@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Bench_env Benchmark Bwtree Harness Hashtbl Instance List Measure Pmwcas Printf Random Skiplist Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_env.ml: Bwtree Nvram Palloc Pmwcas Skiplist

@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bench_env Bwtree Harness Htm List Nvram Palloc Pmwcas Printf Random Skiplist Str String Sys Unix Workload

@@ -1,0 +1,125 @@
+(* E11: single-thread latency microbenchmarks via Bechamel — one staged
+   test per primitive and per index point-operation. *)
+
+open Bechamel
+open Toolkit
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Pm = Skiplist.Pm
+module Tree = Bwtree.Tree
+
+let mwcas_test ~name ~persistent ~nwords =
+  let env =
+    Bench_env.make ~persistent ~max_threads:2 ~heap_words:(1 lsl 12)
+      ~map_words:8 ~data_words:4096 ()
+  in
+  Bench_env.init_data env 0;
+  let h = Pool.register env.pool in
+  let rng = Random.State.make [| 42 |] in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let base = Random.State.int rng (4096 - nwords) in
+         let d = Pool.alloc_desc h in
+         Pool.with_epoch h (fun () ->
+             for w = 0 to nwords - 1 do
+               let a = env.data + base + w in
+               let v = Op.read env.pool a in
+               Pool.add_word d ~addr:a ~expected:v ~desired:(v + 1)
+             done;
+             ignore (Op.execute d))))
+
+let pcas_test () =
+  let env =
+    Bench_env.make ~max_threads:2 ~heap_words:(1 lsl 12) ~map_words:8
+      ~data_words:4096 ()
+  in
+  Bench_env.init_data env 0;
+  let rng = Random.State.make [| 42 |] in
+  Test.make ~name:"pcas (1 word)"
+    (Staged.stage (fun () ->
+         let a = Bench_env.(env.data) + Random.State.int rng 4096 in
+         let v = Pmwcas.Pcas.read env.mem a in
+         ignore (Pmwcas.Pcas.cas env.mem a ~expected:v ~desired:(v + 1))))
+
+let skiplist_tests () =
+  let env =
+    Bench_env.make ~max_threads:2 ~heap_words:(1 lsl 22) ~map_words:8
+      ~data_words:8 ()
+  in
+  let t = Pm.create ~pool:env.pool ~palloc:env.palloc ~anchor:env.sl_anchor () in
+  let h = Pm.register ~seed:1 t in
+  for i = 0 to 9_999 do
+    ignore (Pm.insert h ~key:(2 * i) ~value:i)
+  done;
+  let rng = Random.State.make [| 42 |] in
+  let fresh = ref 1 in
+  [
+    Test.make ~name:"skiplist find (10k keys)"
+      (Staged.stage (fun () ->
+           ignore (Pm.find h ~key:(2 * Random.State.int rng 10_000))));
+    Test.make ~name:"skiplist insert+delete"
+      (Staged.stage (fun () ->
+           let k = 20_000 + !fresh in
+           fresh := !fresh + 2;
+           ignore (Pm.insert h ~key:k ~value:k);
+           ignore (Pm.delete h ~key:k)));
+  ]
+
+let bwtree_tests () =
+  let env =
+    Bench_env.make ~max_threads:2 ~heap_words:(1 lsl 22)
+      ~map_words:(1 lsl 14) ~data_words:8 ()
+  in
+  let t =
+    Tree.create ~pool:env.pool ~palloc:env.palloc ~anchor:env.bt_anchor
+      ~map_base:env.map_base ~map_words:env.map_words ()
+  in
+  let h = Tree.register t in
+  for i = 0 to 9_999 do
+    ignore (Tree.put h ~key:(2 * i) ~value:i)
+  done;
+  let rng = Random.State.make [| 42 |] in
+  [
+    Test.make ~name:"bwtree get (10k keys)"
+      (Staged.stage (fun () ->
+           ignore (Tree.get h ~key:(2 * Random.State.int rng 10_000))));
+    Test.make ~name:"bwtree put"
+      (Staged.stage (fun () ->
+           let k = 2 * Random.State.int rng 10_000 in
+           ignore (Tree.put h ~key:k ~value:k)));
+  ]
+
+let run () =
+  let tests =
+    [
+      pcas_test ();
+      mwcas_test ~name:"mwcas volatile (4 words)" ~persistent:false ~nwords:4;
+      mwcas_test ~name:"pmwcas (4 words)" ~persistent:true ~nwords:4;
+      mwcas_test ~name:"pmwcas (8 words)" ~persistent:true ~nwords:8;
+    ]
+    @ skiplist_tests () @ bwtree_tests ()
+  in
+  let test = Test.make_grouped ~name:"latency" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true
+      ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n=== E11  Single-thread latency (Bechamel, ns/op) ===\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Harness.Table.print ~header:[ "operation"; "ns/op" ]
+    (List.sort compare !rows)

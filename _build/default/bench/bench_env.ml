@@ -1,0 +1,67 @@
+(* Shared construction of simulated-NVRAM environments for the
+   experiments: [pool | allocator heap | index anchors | mapping table |
+   raw data array], mirroring the layout the paper assumes (descriptor
+   pool at a known location, Section 4.4). *)
+
+module Mem = Nvram.Mem
+module Pool = Pmwcas.Pool
+
+type t = {
+  mem : Mem.t;
+  pool : Pool.t;
+  palloc : Palloc.t;
+  heap_base : int;
+  heap_words : int;
+  sl_anchor : int;
+  bt_anchor : int;
+  map_base : int;
+  map_words : int;
+  data : int;
+  data_words : int;
+  max_threads : int;
+}
+
+let align8 a = (a + 7) / 8 * 8
+
+let make ?(persistent = true) ?(flush_delay = 0) ?(max_threads = 8)
+    ?(descs_per_thread = 32) ?(max_words = 8) ?(heap_words = 1 lsl 22)
+    ?(map_words = 1 lsl 16) ?(data_words = 1 lsl 20) () =
+  let pool_words = Pool.region_words ~max_words ~descs_per_thread ~max_threads () in
+  let heap_base = align8 pool_words in
+  let sl_anchor = align8 (heap_base + heap_words) in
+  let bt_anchor = align8 (sl_anchor + Skiplist.Pm.anchor_words) in
+  let map_base = align8 (bt_anchor + Bwtree.Tree.anchor_words) in
+  let data = align8 (map_base + map_words) in
+  let words = data + data_words in
+  let mem = Mem.create (Nvram.Config.make ~flush_delay ~words ()) in
+  let palloc =
+    Palloc.create ~persistent mem ~base:heap_base ~words:heap_words
+      ~max_threads
+  in
+  let pool =
+    Pool.create ~persistent ~max_words ~descs_per_thread ~palloc mem ~base:0
+      ~max_threads
+  in
+  {
+    mem;
+    pool;
+    palloc;
+    heap_base;
+    heap_words;
+    sl_anchor;
+    bt_anchor;
+    map_base;
+    map_words;
+    data;
+    data_words;
+    max_threads;
+  }
+
+(* Initialize the raw data array and make it durable. *)
+let init_data t value =
+  for i = 0 to t.data_words - 1 do
+    Mem.write t.mem (t.data + i) value
+  done;
+  Mem.persist_all t.mem
+
+let flush_count t = (Nvram.Stats.snapshot (Mem.stats t.mem)).flushes

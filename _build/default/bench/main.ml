@@ -1,0 +1,27 @@
+(* Entry point: regenerate the paper's tables and figures.
+
+   usage: bench/main.exe [all|e1|..|e10|bechamel] [--full]
+
+   With no argument, runs every experiment at the quick scale. *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full_scale = List.mem "--full" args in
+  let names = List.filter (fun a -> a <> "--full") args in
+  let scale =
+    if full_scale then Experiments_lib.Experiments.full else Experiments_lib.Experiments.quick
+  in
+  Printf.printf
+    "PMwCAS reproduction benchmarks (%s scale)\n\
+     Single-core host: domains interleave; compare columns, not cores.\n"
+    (if full_scale then "full" else "quick");
+  match names with
+  | [] | [ "all" ] ->
+      Experiments_lib.Experiments.run_all ~full_scale ();
+      Experiments_lib.Bechamel_suite.run ()
+  | names ->
+      List.iter
+        (fun n ->
+          if n = "bechamel" || n = "e11" then Experiments_lib.Bechamel_suite.run ()
+          else Experiments_lib.Experiments.by_name n scale)
+        names

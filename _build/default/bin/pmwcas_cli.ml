@@ -1,0 +1,186 @@
+(* Command-line driver: crash-consistency demos and sizing utilities on
+   top of the PMwCAS library. The benchmark tables live in
+   [bench/main.exe]; this tool is for poking at the system interactively.
+
+     pmwcas_cli crash-demo --workers 4 --fuel 5000 --evict 0.5
+     pmwcas_cli torture --rounds 50
+     pmwcas_cli space --threads 32 --max-words 8
+*)
+
+module Mem = Nvram.Mem
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Pm = Skiplist.Pm
+
+let align8 a = (a + 7) / 8 * 8
+
+(* --- crash-demo: concurrent bank transfers + injected power failure --- *)
+
+let crash_demo workers fuel evict =
+  let accounts = 16 and initial = 1000 in
+  let mem = Mem.create (Nvram.Config.make ~words:65536 ()) in
+  let pool = Pool.create mem ~base:0 ~max_threads:workers in
+  let data = 32768 in
+  for i = 0 to accounts - 1 do
+    Mem.write mem (data + i) initial
+  done;
+  Mem.persist_all mem;
+  Mem.inject_crash_after mem fuel;
+  Printf.printf "%d workers transferring; crash after %d stores\n%!" workers
+    fuel;
+  let worker seed () =
+    let h = Pool.register pool in
+    let rng = Random.State.make [| seed |] in
+    try
+      while true do
+        let i = Random.State.int rng accounts in
+        let j = (i + 1 + Random.State.int rng (accounts - 1)) mod accounts in
+        let vi = Op.read_with h (data + i)
+        and vj = Op.read_with h (data + j) in
+        let d = Pool.alloc_desc h in
+        Pool.add_word d ~addr:(data + i) ~expected:vi ~desired:(vi - 1);
+        Pool.add_word d ~addr:(data + j) ~expected:vj ~desired:(vj + 1);
+        ignore (Op.execute d)
+      done
+    with Mem.Crash -> ()
+  in
+  List.init workers (fun s -> Domain.spawn (worker (s + 1)))
+  |> List.iter Domain.join;
+  let img = Mem.crash_image ~evict_prob:evict mem in
+  let pool', stats = Pmwcas.Recovery.run img ~base:0 in
+  Printf.printf "recovery: %s\n"
+    (Format.asprintf "%a" Pmwcas.Recovery.pp_stats stats);
+  let h = Pool.register pool' in
+  let total = ref 0 in
+  for i = 0 to accounts - 1 do
+    total := !total + Op.read_with h (data + i)
+  done;
+  if !total = accounts * initial then begin
+    Printf.printf "books balance: %d\n" !total;
+    0
+  end
+  else begin
+    Printf.printf "CORRUPTION: total %d, expected %d\n" !total
+      (accounts * initial);
+    1
+  end
+
+(* --- torture: repeated skip-list crash/recover rounds ------------------ *)
+
+let torture rounds evict =
+  let max_threads = 4 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let heap_words = 1 lsl 17 in
+  let anchor = align8 (heap_base + heap_words) in
+  let words = anchor + Pm.anchor_words in
+  let failures = ref 0 in
+  for round = 1 to rounds do
+    let mem = Mem.create (Nvram.Config.make ~words ()) in
+    let palloc =
+      Palloc.create mem ~base:heap_base ~words:heap_words ~max_threads
+    in
+    let pool = Pool.create ~palloc mem ~base:0 ~max_threads in
+    let sl = Pm.create ~pool ~palloc ~anchor () in
+    let h = Pm.register ~seed:round sl in
+    Mem.inject_crash_after mem (100 + Random.int 5000);
+    (try
+       let rng = Random.State.make [| round |] in
+       while true do
+         let k = Random.State.int rng 200 in
+         if Random.State.bool rng then ignore (Pm.insert h ~key:k ~value:k)
+         else ignore (Pm.delete h ~key:k)
+       done
+     with Mem.Crash -> ());
+    let img = Mem.crash_image ~evict_prob:evict mem in
+    (try
+       let palloc', _ =
+         Palloc.recover img ~base:heap_base ~words:heap_words ~max_threads
+       in
+       let pool', _ = Pmwcas.Recovery.run ~palloc:palloc' img ~base:0 in
+       let sl' = Pm.attach ~pool:pool' ~palloc:palloc' ~anchor in
+       let h' = Pm.register ~seed:1 sl' in
+       Pm.check_invariants h'
+     with e ->
+       incr failures;
+       Printf.printf "round %d FAILED: %s\n%!" round (Printexc.to_string e));
+    if round mod 10 = 0 then Printf.printf "round %d/%d ok\n%!" round rounds
+  done;
+  if !failures = 0 then begin
+    Printf.printf "all %d rounds recovered consistently\n" rounds;
+    0
+  end
+  else begin
+    Printf.printf "%d/%d rounds failed\n" !failures rounds;
+    1
+  end
+
+(* --- space: descriptor pool sizing ------------------------------------ *)
+
+let space threads max_words descs =
+  let words =
+    Pool.region_words ~max_words ~descs_per_thread:descs ~max_threads:threads
+      ()
+  in
+  Printf.printf
+    "%d threads x %d descriptors (max %d words each): %d NVRAM words = %d \
+     KiB\n"
+    threads descs max_words words
+    (words * 8 / 1024);
+  0
+
+(* --- cmdliner wiring --------------------------------------------------- *)
+
+open Cmdliner
+
+let workers_t =
+  Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Concurrent domains.")
+
+let fuel_t =
+  Arg.(
+    value & opt int 5000
+    & info [ "fuel" ] ~doc:"Stores before the injected power failure.")
+
+let evict_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "evict" ]
+        ~doc:"Probability an unflushed cache line survives the crash.")
+
+let rounds_t =
+  Arg.(value & opt int 50 & info [ "rounds" ] ~doc:"Crash/recover rounds.")
+
+let threads_t =
+  Arg.(value & opt int 32 & info [ "threads" ] ~doc:"Worker threads.")
+
+let max_words_t =
+  Arg.(value & opt int 8 & info [ "max-words" ] ~doc:"Words per descriptor.")
+
+let descs_t =
+  Arg.(
+    value & opt int 32 & info [ "descs" ] ~doc:"Descriptors per thread.")
+
+let crash_demo_cmd =
+  Cmd.v
+    (Cmd.info "crash-demo"
+       ~doc:"Concurrent transfers, injected power failure, recovery audit.")
+    Term.(const crash_demo $ workers_t $ fuel_t $ evict_t)
+
+let torture_cmd =
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"Repeated skip-list crash/recover rounds with invariant checks.")
+    Term.(const torture $ rounds_t $ evict_t)
+
+let space_cmd =
+  Cmd.v
+    (Cmd.info "space" ~doc:"Descriptor pool space requirements (Appendix B).")
+    Term.(const space $ threads_t $ max_words_t $ descs_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "pmwcas_cli" ~version:"1.0"
+       ~doc:"PMwCAS demos and utilities (Easy Lock-Free Indexing in NVRAM).")
+    [ crash_demo_cmd; torture_cmd; space_cmd ]
+
+let () = Stdlib.exit (Cmd.eval' main)

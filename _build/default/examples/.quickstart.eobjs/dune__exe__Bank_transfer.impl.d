@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Atomic Domain Format List Nvram Pmwcas Printf Random

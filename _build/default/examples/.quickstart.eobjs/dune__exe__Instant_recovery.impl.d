@@ -1,0 +1,1 @@
+examples/instant_recovery.ml: Bwtree Format Nvram Palloc Pmwcas Printf Random Unix

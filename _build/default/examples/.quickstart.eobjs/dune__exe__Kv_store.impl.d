@@ -1,0 +1,1 @@
+examples/kv_store.ml: Domain Format List Nvram Palloc Pmwcas Printf Random Skiplist

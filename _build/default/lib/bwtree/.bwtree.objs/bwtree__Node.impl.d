@@ -1,0 +1,1 @@
+lib/bwtree/node.ml: Array Format Nvram Printf

@@ -1,0 +1,1 @@
+lib/bwtree/node.mli: Format Nvram

@@ -1,0 +1,1 @@
+lib/bwtree/tree.ml: Array Atomic Epoch Format Hashtbl List Node Nvram Palloc Pmwcas Printf

@@ -1,0 +1,1 @@
+lib/bwtree/tree.mli: Format Nvram Palloc Pmwcas

@@ -1,0 +1,183 @@
+module Mem = Nvram.Mem
+
+type tag =
+  | Leaf_base
+  | Inner_base
+  | Put
+  | Del
+  | Leaf_split
+  | Inner_split
+  | Index_entry
+  | Index_del
+  | Merge
+
+let tag_to_int = function
+  | Leaf_base -> 1
+  | Inner_base -> 2
+  | Put -> 3
+  | Del -> 4
+  | Leaf_split -> 5
+  | Inner_split -> 6
+  | Index_entry -> 7
+  | Index_del -> 8
+  | Merge -> 9
+
+let tag_of_int = function
+  | 1 -> Leaf_base
+  | 2 -> Inner_base
+  | 3 -> Put
+  | 4 -> Del
+  | 5 -> Leaf_split
+  | 6 -> Inner_split
+  | 7 -> Index_entry
+  | 8 -> Index_del
+  | 9 -> Merge
+  | n -> invalid_arg (Printf.sprintf "Bwtree.Node.tag_of_int: %d" n)
+
+let pp_tag ppf t =
+  Format.pp_print_string ppf
+    (match t with
+    | Leaf_base -> "leaf"
+    | Inner_base -> "inner"
+    | Put -> "put"
+    | Del -> "del"
+    | Leaf_split -> "leaf-split"
+    | Inner_split -> "inner-split"
+    | Index_entry -> "index-entry"
+    | Index_del -> "index-del"
+    | Merge -> "merge")
+
+let plus_inf = Nvram.Flags.max_payload
+let read_tag mem p = tag_of_int (Mem.read mem p)
+let next mem p = Mem.read mem (p + 1)
+let field mem p i = Mem.read mem (p + i)
+
+type base = {
+  kind : [ `Leaf | `Inner ];
+  count : int;
+  low : int;
+  high : int;
+  link : int;
+  keys : int array;
+  payloads : int array;
+}
+
+let base_words ~count = 5 + (2 * count)
+
+let read_base mem p =
+  let kind =
+    match read_tag mem p with
+    | Leaf_base -> `Leaf
+    | Inner_base -> `Inner
+    | t ->
+        invalid_arg
+          (Format.asprintf "Bwtree.Node.read_base: %a is not a base" pp_tag t)
+  in
+  let count = Mem.read mem (p + 1) in
+  {
+    kind;
+    count;
+    low = Mem.read mem (p + 2);
+    high = Mem.read mem (p + 3);
+    link = Mem.read mem (p + 4);
+    keys = Array.init count (fun i -> Mem.read mem (p + 5 + i));
+    payloads = Array.init count (fun i -> Mem.read mem (p + 5 + count + i));
+  }
+
+let write_base mem p b =
+  if Array.length b.keys <> b.count || Array.length b.payloads <> b.count then
+    invalid_arg "Bwtree.Node.write_base: array sizes";
+  Mem.write mem p
+    (tag_to_int (match b.kind with `Leaf -> Leaf_base | `Inner -> Inner_base));
+  Mem.write mem (p + 1) b.count;
+  Mem.write mem (p + 2) b.low;
+  Mem.write mem (p + 3) b.high;
+  Mem.write mem (p + 4) b.link;
+  for i = 0 to b.count - 1 do
+    Mem.write mem (p + 5 + i) b.keys.(i);
+    Mem.write mem (p + 5 + b.count + i) b.payloads.(i)
+  done
+
+(* Binary search over the in-place key array [p+5 .. p+5+count).
+   Returns the largest index whose key is <= key, or -1. *)
+let floor_index mem p ~count ~key =
+  let lo = ref 0 and hi = ref (count - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Mem.read mem (p + 5 + mid) <= key then begin
+      res := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !res
+
+let base_find mem p ~key =
+  let count = Mem.read mem (p + 1) in
+  let i = floor_index mem p ~count ~key in
+  if i >= 0 && Mem.read mem (p + 5 + i) = key then
+    Some (Mem.read mem (p + 5 + count + i))
+  else None
+
+let base_route mem p ~key =
+  let count = Mem.read mem (p + 1) in
+  let i = floor_index mem p ~count ~key in
+  if i < 0 then Mem.read mem (p + 4) (* leftmost *)
+  else Mem.read mem (p + 5 + count + i)
+
+let delta_words = function
+  | Put -> 4
+  | Del -> 3
+  | Leaf_split | Inner_split -> 4
+  | Index_entry | Index_del -> 4
+  | Merge -> 6
+  | Leaf_base | Inner_base -> invalid_arg "Bwtree.Node.delta_words: base"
+
+let write_put mem p ~next ~key ~value =
+  Mem.write mem p (tag_to_int Put);
+  Mem.write mem (p + 1) next;
+  Mem.write mem (p + 2) key;
+  Mem.write mem (p + 3) value
+
+let write_del mem p ~next ~key =
+  Mem.write mem p (tag_to_int Del);
+  Mem.write mem (p + 1) next;
+  Mem.write mem (p + 2) key
+
+let write_split mem p ~kind ~next ~sep ~right =
+  Mem.write mem p
+    (tag_to_int (match kind with `Leaf -> Leaf_split | `Inner -> Inner_split));
+  Mem.write mem (p + 1) next;
+  Mem.write mem (p + 2) sep;
+  Mem.write mem (p + 3) right
+
+let write_index_entry mem p ~next ~sep ~child =
+  Mem.write mem p (tag_to_int Index_entry);
+  Mem.write mem (p + 1) next;
+  Mem.write mem (p + 2) sep;
+  Mem.write mem (p + 3) child
+
+let write_index_del mem p ~next ~sep ~victim =
+  Mem.write mem p (tag_to_int Index_del);
+  Mem.write mem (p + 1) next;
+  Mem.write mem (p + 2) sep;
+  Mem.write mem (p + 3) victim
+
+let write_merge mem p ~next ~victim_top ~sep ~new_high ~new_right =
+  Mem.write mem p (tag_to_int Merge);
+  Mem.write mem (p + 1) next;
+  Mem.write mem (p + 2) victim_top;
+  Mem.write mem (p + 3) sep;
+  Mem.write mem (p + 4) new_high;
+  Mem.write mem (p + 5) new_right
+
+let chain_blocks mem top =
+  let rec walk p acc =
+    let acc = p :: acc in
+    match read_tag mem p with
+    | Leaf_base | Inner_base -> acc
+    | Merge -> walk (next mem p) (walk (Mem.read mem (p + 2)) acc)
+    | Put | Del | Leaf_split | Inner_split | Index_entry | Index_del ->
+        walk (next mem p) acc
+  in
+  if top = 0 then [] else walk top []

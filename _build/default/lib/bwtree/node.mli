@@ -1,0 +1,101 @@
+(** Bw-tree record formats: base pages and delta records (Section 6.2).
+
+    All records live in NVRAM blocks and are immutable once published —
+    updates prepend new deltas to a page's chain; the only mutable words
+    in the whole tree are the mapping-table entries, which are PMwCAS
+    targets. Record words therefore carry no dirty bits: writers persist
+    a record in full before publishing it.
+
+    {v
+    leaf base   [tag; count; low; high; right_lpid; keys[c]; values[c]]
+    inner base  [tag; count; low; high; leftmost;   keys[c]; children[c]]
+    put         [tag; next; key; value]          (leaf upsert)
+    del         [tag; next; key]                 (leaf delete)
+    leaf split  [tag; next; sep; right_lpid]     (keys >= sep moved)
+    inner split [tag; next; sep; right_lpid]
+    index entry [tag; next; sep; child_lpid]     (parent learns of a split)
+    index del   [tag; next; sep; victim_lpid]    (parent forgets a merge)
+    merge       [tag; next; victim_top; sep; new_high; new_right]
+    v}
+
+    [high] uses [Nvram.Flags.max_payload] as +infinity. Inner entry
+    [(sep, child)] routes keys in [\[sep, next sep)]; keys below the first
+    sep route to [leftmost]. *)
+
+type tag =
+  | Leaf_base
+  | Inner_base
+  | Put
+  | Del
+  | Leaf_split
+  | Inner_split
+  | Index_entry
+  | Index_del
+  | Merge
+
+val tag_to_int : tag -> int
+val tag_of_int : int -> tag
+val pp_tag : Format.formatter -> tag -> unit
+
+val plus_inf : int
+(** Sentinel for an unbounded [high]. *)
+
+val read_tag : Nvram.Mem.t -> int -> tag
+
+(** {1 Field accessors} (addresses relative to the record base) *)
+
+val next : Nvram.Mem.t -> int -> int
+(** Next record in the chain (deltas only). *)
+
+(** {1 Base pages} *)
+
+type base = {
+  kind : [ `Leaf | `Inner ];
+  count : int;
+  low : int;
+  high : int;
+  link : int;  (** right sibling lpid (leaf) / leftmost child (inner) *)
+  keys : int array;
+  payloads : int array;  (** values (leaf) / child lpids (inner) *)
+}
+
+val base_words : count:int -> int
+val read_base : Nvram.Mem.t -> int -> base
+
+val write_base : Nvram.Mem.t -> int -> base -> unit
+(** Writes all words; does not persist (caller flushes before publish). *)
+
+val base_find : Nvram.Mem.t -> int -> key:int -> int option
+(** Binary search a leaf base in place (no array materialization). *)
+
+val base_route : Nvram.Mem.t -> int -> key:int -> int
+(** Route [key] through an inner base in place: the child lpid of the
+    entry with the largest separator [<= key], or the leftmost child. *)
+
+(** {1 Delta records} *)
+
+val delta_words : tag -> int
+
+val write_put : Nvram.Mem.t -> int -> next:int -> key:int -> value:int -> unit
+val write_del : Nvram.Mem.t -> int -> next:int -> key:int -> unit
+
+val write_split :
+  Nvram.Mem.t -> int -> kind:[ `Leaf | `Inner ] -> next:int -> sep:int
+  -> right:int -> unit
+
+val write_index_entry :
+  Nvram.Mem.t -> int -> next:int -> sep:int -> child:int -> unit
+
+val write_index_del :
+  Nvram.Mem.t -> int -> next:int -> sep:int -> victim:int -> unit
+
+val write_merge :
+  Nvram.Mem.t -> int -> next:int -> victim_top:int -> sep:int -> new_high:int
+  -> new_right:int -> unit
+
+val field : Nvram.Mem.t -> int -> int -> int
+(** [field mem p i] — raw word [i] of the record at [p]. *)
+
+val chain_blocks : Nvram.Mem.t -> int -> int list
+(** Every block of the chain rooted at a record pointer, following both
+    branches of merge deltas; used to release a replaced chain. *)

@@ -1,0 +1,978 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Layout = Pmwcas.Layout
+
+let magic = 0xb371_2ee
+let anchor_words = 8
+
+type config = { consolidate_len : int; split_max : int; merge_min : int }
+
+let default_config = { consolidate_len = 8; split_max = 48; merge_min = 4 }
+
+type t = {
+  pool : Pool.t;
+  palloc : Palloc.t;
+  mem : Mem.t;
+  root : int;
+  map_base : int;
+  map_words : int;
+  next_lpid_addr : int;
+  free_lpids : int list Atomic.t;
+  cb : int; (* consolidation finalize callback id *)
+  cfg : config;
+  n_consolidations : int Atomic.t;
+  n_splits : int Atomic.t;
+  n_root_splits : int Atomic.t;
+  n_merges : int Atomic.t;
+}
+
+type handle = { t : t; ph : Pool.handle; pa : Palloc.handle }
+
+let map_addr t lpid = t.map_base + lpid
+
+(* On success: the new base page replaced the whole chain — release every
+   block of it. On failure: release the reserved page instead. *)
+let free_chain_callback mem ~succeeded (entries : Pool.entry array) =
+  if succeeded then
+    if Array.length entries > 0 then Node.chain_blocks mem entries.(0).old_value
+    else []
+  else
+    Array.to_list entries
+    |> List.filter_map (fun (e : Pool.entry) ->
+           if e.new_value <> 0 then Some e.new_value else None)
+
+let recovery_callback mem ~succeeded entries =
+  free_chain_callback mem ~succeeded entries
+
+let persist_record t p nwords =
+  if Pool.persistent t.pool then
+    Mem.clwb_range t.mem ~lo:p ~hi:(p + nwords - 1)
+
+let clwb_if t a = if Pool.persistent t.pool then Mem.clwb t.mem a
+
+let rebuild_free_lpids t =
+  let next = Pmwcas.Pcas.read t.mem t.next_lpid_addr in
+  let free = ref [] in
+  for lpid = 2 to next - 1 do
+    if Flags.payload (Mem.read t.mem (map_addr t lpid)) = 0 then
+      free := lpid :: !free
+  done;
+  Atomic.set t.free_lpids !free
+
+let create ?(config = default_config) ~pool ~palloc ~anchor ~map_base
+    ~map_words () =
+  let mem = Pool.mem pool in
+  if map_words < 8 then invalid_arg "Bwtree: mapping table too small";
+  let cb = Pool.register_callback pool (free_chain_callback mem) in
+  let t =
+    {
+      pool;
+      palloc;
+      mem;
+      root = 1;
+      map_base;
+      map_words;
+      next_lpid_addr = anchor + 2;
+      free_lpids = Atomic.make [];
+      cb;
+      cfg = config;
+      n_consolidations = Atomic.make 0;
+      n_splits = Atomic.make 0;
+      n_root_splits = Atomic.make 0;
+      n_merges = Atomic.make 0;
+    }
+  in
+  if Mem.read mem anchor = magic then begin
+    let t =
+      {
+        t with
+        map_base = Mem.read mem (anchor + 3);
+        map_words = Mem.read mem (anchor + 4);
+        cfg =
+          {
+            consolidate_len = Mem.read mem (anchor + 5);
+            split_max = Mem.read mem (anchor + 6);
+            merge_min = Mem.read mem (anchor + 7);
+          };
+      }
+    in
+    rebuild_free_lpids t;
+    t
+  end
+  else begin
+    (* Idempotent format: the root page delivers into its mapping slot;
+       magic is written last. *)
+    if Mem.read mem (map_addr t t.root) = 0 then begin
+      let pa = Palloc.register_thread palloc in
+      let p =
+        Palloc.alloc pa ~nwords:(Node.base_words ~count:0)
+          ~dest:(map_addr t t.root)
+      in
+      Node.write_base mem p
+        {
+          kind = `Leaf;
+          count = 0;
+          low = 0;
+          high = Node.plus_inf;
+          link = 0;
+          keys = [||];
+          payloads = [||];
+        };
+      persist_record t p (Node.base_words ~count:0);
+      (* Delivery in Palloc.alloc already persisted the mapping slot. *)
+      Palloc.release_thread pa
+    end;
+    Mem.write mem (anchor + 1) t.root;
+    Mem.write mem t.next_lpid_addr 2;
+    Mem.write mem (anchor + 3) map_base;
+    Mem.write mem (anchor + 4) map_words;
+    Mem.write mem (anchor + 5) config.consolidate_len;
+    Mem.write mem (anchor + 6) config.split_max;
+    Mem.write mem (anchor + 7) config.merge_min;
+    Mem.write mem anchor magic;
+    clwb_if t anchor;
+    t
+  end
+
+let attach ~pool ~palloc ~anchor =
+  let mem = Pool.mem pool in
+  if Mem.read mem anchor <> magic then failwith "Bwtree.attach: not formatted";
+  let cb = Pool.register_callback pool (free_chain_callback mem) in
+  let t =
+    {
+      pool;
+      palloc;
+      mem;
+      root = Mem.read mem (anchor + 1);
+      map_base = Mem.read mem (anchor + 3);
+      map_words = Mem.read mem (anchor + 4);
+      next_lpid_addr = anchor + 2;
+      free_lpids = Atomic.make [];
+      cb;
+      cfg =
+        {
+          consolidate_len = Mem.read mem (anchor + 5);
+          split_max = Mem.read mem (anchor + 6);
+          merge_min = Mem.read mem (anchor + 7);
+        };
+      n_consolidations = Atomic.make 0;
+      n_splits = Atomic.make 0;
+      n_root_splits = Atomic.make 0;
+      n_merges = Atomic.make 0;
+    }
+  in
+  rebuild_free_lpids t;
+  t
+
+let register t =
+  { t; ph = Pool.register t.pool; pa = Palloc.register_thread t.palloc }
+
+let unregister h =
+  Pool.unregister h.ph;
+  Palloc.release_thread h.pa
+
+let alloc_lpid h =
+  let t = h.t in
+  let rec pop () =
+    match Atomic.get t.free_lpids with
+    | [] ->
+        let rec bump () =
+          let cur = Pmwcas.Pcas.read t.mem t.next_lpid_addr in
+          if cur >= t.map_words then failwith "Bwtree: mapping table full";
+          let ok =
+            if Pool.persistent t.pool then
+              Pmwcas.Pcas.cas_durable t.mem t.next_lpid_addr ~expected:cur
+                ~desired:(cur + 1)
+            else
+              Mem.cas_bool t.mem t.next_lpid_addr ~expected:cur
+                ~desired:(cur + 1)
+          in
+          if ok then cur else bump ()
+        in
+        bump ()
+    | lpid :: rest as old ->
+        if Atomic.compare_and_set t.free_lpids old rest then lpid else pop ()
+  in
+  pop ()
+
+let release_lpid t lpid =
+  let rec push () =
+    let old = Atomic.get t.free_lpids in
+    if not (Atomic.compare_and_set t.free_lpids old (lpid :: old)) then push ()
+  in
+  push ()
+
+(* ------------------------------------------------------------------ *)
+(* Chain evaluation: fold a delta chain into a logical page image.     *)
+
+type image = {
+  kind : [ `Leaf | `Inner ];
+  low : int;
+  high : int;
+  link : int; (* right-sibling lpid (leaf) / leftmost child (inner) *)
+  pairs : (int * int) list; (* ascending keys *)
+}
+
+let rec upsert pairs k v =
+  match pairs with
+  | [] -> [ (k, v) ]
+  | (k', _) :: rest when k' = k -> (k, v) :: rest
+  | ((k', _) as hd) :: rest when k' < k -> hd :: upsert rest k v
+  | _ -> (k, v) :: pairs
+
+let remove_key pairs k = List.filter (fun (k', _) -> k' <> k) pairs
+
+let rec eval t ptr =
+  let mem = t.mem in
+  let f i = Node.field mem ptr i in
+  match Node.read_tag mem ptr with
+  | Node.Put ->
+      let img = eval t (f 1) in
+      { img with pairs = upsert img.pairs (f 2) (f 3) }
+  | Node.Del ->
+      let img = eval t (f 1) in
+      { img with pairs = remove_key img.pairs (f 2) }
+  | Node.Index_entry ->
+      let img = eval t (f 1) in
+      { img with pairs = upsert img.pairs (f 2) (f 3) }
+  | Node.Index_del ->
+      let img = eval t (f 1) in
+      { img with pairs = remove_key img.pairs (f 2) }
+  | Node.Leaf_split ->
+      let img = eval t (f 1) in
+      let sep = f 2 in
+      {
+        img with
+        pairs = List.filter (fun (k, _) -> k < sep) img.pairs;
+        high = sep;
+        link = f 3;
+      }
+  | Node.Inner_split ->
+      let img = eval t (f 1) in
+      let sep = f 2 in
+      {
+        img with
+        pairs = List.filter (fun (k, _) -> k < sep) img.pairs;
+        high = sep;
+      }
+  | Node.Merge ->
+      let left = eval t (f 1) in
+      let victim = eval t (f 2) in
+      {
+        left with
+        pairs = left.pairs @ victim.pairs;
+        high = f 4;
+        link = f 5;
+      }
+  | Node.Leaf_base | Node.Inner_base ->
+      let b = Node.read_base mem ptr in
+      {
+        kind = b.kind;
+        low = b.low;
+        high = b.high;
+        link = b.link;
+        pairs =
+          List.init b.count (fun i -> (b.keys.(i), b.payloads.(i)));
+      }
+
+let write_image t p img =
+  let pairs = Array.of_list img.pairs in
+  Node.write_base t.mem p
+    {
+      kind = img.kind;
+      count = Array.length pairs;
+      low = img.low;
+      high = img.high;
+      link = img.link;
+      keys = Array.map fst pairs;
+      payloads = Array.map snd pairs;
+    };
+  persist_record t p (Node.base_words ~count:(Array.length pairs))
+
+(* ------------------------------------------------------------------ *)
+(* Traversal.                                                           *)
+
+(* Walk a leaf chain resolving [key]. Returns the value decision and the
+   number of delta records, or jumps to a sibling after a split. *)
+let route_leaf t ~key top =
+  let mem = t.mem in
+  let rec walk ptr len found =
+    let f i = Node.field mem ptr i in
+    match Node.read_tag mem ptr with
+    | Node.Put ->
+        let found =
+          if found = None && f 2 = key then Some (Some (f 3)) else found
+        in
+        walk (f 1) (len + 1) found
+    | Node.Del ->
+        let found = if found = None && f 2 = key then Some None else found in
+        walk (f 1) (len + 1) found
+    | Node.Leaf_split ->
+        if key >= f 2 then `Jump (f 3) else walk (f 1) (len + 1) found
+    | Node.Merge ->
+        let branch = if key >= f 3 then f 2 else f 1 in
+        walk branch (len + 1) found
+    | Node.Leaf_base ->
+        if key < f 2 || key >= f 3 then `Restart
+        else
+          let value =
+            match found with
+            | Some v -> v
+            | None -> Node.base_find mem ptr ~key
+          in
+          `Value (value, len)
+    | Node.Inner_base | Node.Index_entry | Node.Index_del | Node.Inner_split
+      ->
+        failwith "Bwtree: inner record in a leaf chain"
+  in
+  walk top 0 None
+
+(* Walk an inner chain routing [key]. *)
+let route_inner t ~key top =
+  let mem = t.mem in
+  let decided : (int, int option) Hashtbl.t = Hashtbl.create 8 in
+  let best = ref None in
+  let consider sep child =
+    match !best with
+    | Some (s, _) when s >= sep -> ()
+    | _ -> best := Some (sep, child)
+  in
+  let rec walk ptr len =
+    let f i = Node.field mem ptr i in
+    match Node.read_tag mem ptr with
+    | Node.Index_entry ->
+        let sep = f 2 in
+        if not (Hashtbl.mem decided sep) then begin
+          Hashtbl.add decided sep (Some (f 3));
+          if sep <= key then consider sep (f 3)
+        end;
+        walk (f 1) (len + 1)
+    | Node.Index_del ->
+        let sep = f 2 in
+        if not (Hashtbl.mem decided sep) then Hashtbl.add decided sep None;
+        walk (f 1) (len + 1)
+    | Node.Inner_split ->
+        if key >= f 2 then `Jump (f 3) else walk (f 1) (len + 1)
+    | Node.Inner_base ->
+        if key < f 2 || key >= f 3 then `Restart
+        else begin
+          (* Largest base separator <= key not overridden by a delta. *)
+          let count = f 1 in
+          let rec base_candidate i =
+            if i < 0 then None
+            else
+              let k = Mem.read mem (ptr + 5 + i) in
+              if Hashtbl.mem decided k then base_candidate (i - 1)
+              else Some (k, Mem.read mem (ptr + 5 + count + i))
+          in
+          let floor =
+            (* index of largest key <= key *)
+            let lo = ref 0 and hi = ref (count - 1) and res = ref (-1) in
+            while !lo <= !hi do
+              let mid = (!lo + !hi) / 2 in
+              if Mem.read mem (ptr + 5 + mid) <= key then begin
+                res := mid;
+                lo := mid + 1
+              end
+              else hi := mid - 1
+            done;
+            !res
+          in
+          (match base_candidate floor with
+          | Some (sep, child) -> consider sep child
+          | None -> ());
+          let child =
+            match !best with Some (_, c) -> c | None -> f 4 (* leftmost *)
+          in
+          `Child (child, len)
+        end
+    | Node.Leaf_base | Node.Put | Node.Del | Node.Leaf_split | Node.Merge ->
+        failwith "Bwtree: leaf record in an inner chain"
+  in
+  walk top 0
+
+let chain_kind t top =
+  match Node.read_tag t.mem top with
+  | Node.Leaf_base | Node.Put | Node.Del | Node.Leaf_split | Node.Merge ->
+      `Leaf
+  | Node.Inner_base | Node.Index_entry | Node.Index_del | Node.Inner_split ->
+      `Inner
+
+(* Find the leaf for [key]. Returns
+   ((lpid, mapping value, value decision, delta count, ancestor path),
+    consolidation hints). Must run inside an epoch. *)
+let traverse t ~key =
+  let hints = ref [] in
+  let hint lpid path len =
+    if len >= t.cfg.consolidate_len then hints := (lpid, path) :: !hints
+  in
+  let restarts = ref 0 in
+  let rec from_root () =
+    incr restarts;
+    if !restarts > 10_000 then failwith "Bwtree: traversal livelock";
+    go t.root []
+  and go lpid path =
+    let top = Op.read t.pool (map_addr t lpid) in
+    if top = 0 then from_root ()
+    else
+      match chain_kind t top with
+      | `Leaf -> (
+          match route_leaf t ~key top with
+          | `Value (v, len) ->
+              hint lpid path len;
+              ((lpid, top, v, len, path), !hints)
+          | `Jump lpid' -> go lpid' path
+          | `Restart -> from_root ())
+      | `Inner -> (
+          match route_inner t ~key top with
+          | `Child (child, len) ->
+              hint lpid path len;
+              go child (path @ [ lpid ])
+          | `Jump lpid' -> go lpid' path
+          | `Restart -> from_root ())
+  in
+  from_root ()
+
+(* ------------------------------------------------------------------ *)
+(* Structure maintenance (opportunistic, one PMwCAS each).              *)
+
+(* Install a freshly allocated record via ReserveEntry + the persistent
+   allocator, returning its address. *)
+let reserve_record h d ~addr ~expected ~nwords writer =
+  let dest =
+    Pool.reserve_entry ~policy:Layout.Free_new_on_failure d ~addr ~expected
+  in
+  let p = Palloc.alloc h.pa ~nwords ~dest in
+  writer p;
+  persist_record h.t p nwords;
+  p
+
+let split_images img ~sep_index =
+  let pairs = Array.of_list img.pairs in
+  let m = sep_index in
+  let sep = fst pairs.(m) in
+  match img.kind with
+  | `Leaf ->
+      let left_pairs = Array.to_list (Array.sub pairs 0 m) in
+      let right_pairs =
+        Array.to_list (Array.sub pairs m (Array.length pairs - m))
+      in
+      ( sep,
+        { img with pairs = left_pairs; high = sep },
+        { img with pairs = right_pairs; low = sep } )
+  | `Inner ->
+      let left_pairs = Array.to_list (Array.sub pairs 0 m) in
+      let right_pairs =
+        Array.to_list (Array.sub pairs (m + 1) (Array.length pairs - m - 1))
+      in
+      ( sep,
+        { img with pairs = left_pairs; high = sep },
+        { img with pairs = right_pairs; low = sep; link = snd pairs.(m) } )
+
+let try_split h lpid path =
+  let t = h.t in
+  let d = Pool.alloc_desc h.ph in
+  let outcome =
+    Pool.with_epoch h.ph (fun () ->
+        let top = Op.read t.pool (map_addr t lpid) in
+        if top = 0 then begin
+          Pool.discard d;
+          `Done
+        end
+        else begin
+          let img = eval t top in
+          let n = List.length img.pairs in
+          if n < 4 then begin
+            Pool.discard d;
+            `Done
+          end
+          else begin
+            let sep, left, right = split_images img ~sep_index:(n / 2) in
+            match path with
+            | [] ->
+                (* Root split: re-home the old chain under a fresh LPID and
+                   swing the fixed root to a new inner page — one PMwCAS. *)
+                let l_lpid = alloc_lpid h and r_lpid = alloc_lpid h in
+                ignore
+                  (reserve_record h d ~addr:(map_addr t t.root) ~expected:top
+                     ~nwords:(Node.base_words ~count:1) (fun p ->
+                       Node.write_base t.mem p
+                         {
+                           kind = `Inner;
+                           count = 1;
+                           low = img.low;
+                           high = img.high;
+                           link = l_lpid;
+                           keys = [| sep |];
+                           payloads = [| r_lpid |];
+                         }));
+                ignore
+                  (reserve_record h d ~addr:(map_addr t l_lpid) ~expected:0
+                     ~nwords:(Node.delta_words Node.Leaf_split) (fun p ->
+                       Node.write_split t.mem p ~kind:img.kind ~next:top ~sep
+                         ~right:r_lpid));
+                ignore
+                  (reserve_record h d ~addr:(map_addr t r_lpid) ~expected:0
+                     ~nwords:
+                       (Node.base_words ~count:(List.length right.pairs))
+                     (fun p -> write_image t p right));
+                ignore left;
+                if Op.execute d then begin
+                  ignore (Atomic.fetch_and_add t.n_root_splits 1);
+                  `Done
+                end
+                else begin
+                  release_lpid t l_lpid;
+                  release_lpid t r_lpid;
+                  `Done
+                end
+            | _ ->
+                let parent = List.nth path (List.length path - 1) in
+                let ptop = Op.read t.pool (map_addr t parent) in
+                if ptop = 0 then begin
+                  Pool.discard d;
+                  `Done
+                end
+                else begin
+                  let r_lpid = alloc_lpid h in
+                  ignore
+                    (reserve_record h d ~addr:(map_addr t lpid) ~expected:top
+                       ~nwords:(Node.delta_words Node.Leaf_split) (fun p ->
+                         Node.write_split t.mem p ~kind:img.kind ~next:top
+                           ~sep ~right:r_lpid));
+                  ignore
+                    (reserve_record h d ~addr:(map_addr t r_lpid) ~expected:0
+                       ~nwords:
+                         (Node.base_words ~count:(List.length right.pairs))
+                       (fun p -> write_image t p right));
+                  ignore
+                    (reserve_record h d ~addr:(map_addr t parent)
+                       ~expected:ptop
+                       ~nwords:(Node.delta_words Node.Index_entry) (fun p ->
+                         Node.write_index_entry t.mem p ~next:ptop ~sep
+                           ~child:r_lpid));
+                  if Op.execute d then begin
+                    ignore (Atomic.fetch_and_add t.n_splits 1);
+                    `Done
+                  end
+                  else begin
+                    release_lpid t r_lpid;
+                    `Done
+                  end
+                end
+          end
+        end)
+  in
+  match outcome with `Done -> ()
+
+let try_merge h lpid path =
+  let t = h.t in
+  let d = Pool.alloc_desc h.ph in
+  Pool.with_epoch h.ph (fun () ->
+      let give_up () = Pool.discard d in
+      match path with
+      | [] -> give_up ()
+      | _ -> (
+          let parent = List.nth path (List.length path - 1) in
+          let ptop = Op.read t.pool (map_addr t parent) in
+          let rtop = Op.read t.pool (map_addr t lpid) in
+          if ptop = 0 || rtop = 0 then give_up ()
+          else
+            let pimg = eval t ptop in
+            if pimg.kind <> `Inner then give_up ()
+            else
+              (* Locate our entry in the parent; the previous entry (or the
+                 leftmost child) is our left sibling. *)
+              let rec locate prev = function
+                | [] -> None
+                | (sep, child) :: rest ->
+                    if child = lpid then Some (sep, prev)
+                    else locate child rest
+              in
+              match locate pimg.link pimg.pairs with
+              | None -> give_up () (* leftmost child or stale path *)
+              | Some (sep, left_lpid) -> (
+                  let ltop = Op.read t.pool (map_addr t left_lpid) in
+                  if ltop = 0 then give_up ()
+                  else
+                    let rimg = eval t rtop in
+                    if rimg.kind <> `Leaf || chain_kind t ltop <> `Leaf then
+                      give_up ()
+                    else begin
+                      ignore
+                        (reserve_record h d ~addr:(map_addr t left_lpid)
+                           ~expected:ltop
+                           ~nwords:(Node.delta_words Node.Merge) (fun p ->
+                             Node.write_merge t.mem p ~next:ltop
+                               ~victim_top:rtop ~sep ~new_high:rimg.high
+                               ~new_right:rimg.link));
+                      ignore
+                        (reserve_record h d ~addr:(map_addr t parent)
+                           ~expected:ptop
+                           ~nwords:(Node.delta_words Node.Index_del)
+                           (fun p ->
+                             Node.write_index_del t.mem p ~next:ptop ~sep
+                               ~victim:lpid));
+                      Pool.add_word d ~addr:(map_addr t lpid) ~expected:rtop
+                        ~desired:0;
+                      if Op.execute d then begin
+                        ignore (Atomic.fetch_and_add t.n_merges 1);
+                        (* Recycle the LPID once no reader can still be
+                           routing through it. *)
+                        Epoch.defer (Pool.guard h.ph) (fun () ->
+                            release_lpid t lpid)
+                      end
+                    end)))
+
+let try_consolidate h lpid path =
+  let t = h.t in
+  let d = Pool.alloc_desc ~callback:t.cb h.ph in
+  let action =
+    Pool.with_epoch h.ph (fun () ->
+        let top = Op.read t.pool (map_addr t lpid) in
+        if top = 0 then begin
+          Pool.discard d;
+          `None
+        end
+        else
+          match Node.read_tag t.mem top with
+          | Node.Leaf_base | Node.Inner_base ->
+              (* Already consolidated. *)
+              Pool.discard d;
+              `None
+          | _ ->
+              let img = eval t top in
+              let n = List.length img.pairs in
+              if n >= t.cfg.split_max then begin
+                Pool.discard d;
+                `Split
+              end
+              else if
+                img.kind = `Leaf && n <= t.cfg.merge_min && lpid <> t.root
+                && path <> []
+              then begin
+                Pool.discard d;
+                `Merge
+              end
+              else begin
+                ignore
+                  (reserve_record h d ~addr:(map_addr t lpid) ~expected:top
+                     ~nwords:(Node.base_words ~count:n) (fun p ->
+                       write_image t p img));
+                if Op.execute d then
+                  ignore (Atomic.fetch_and_add t.n_consolidations 1);
+                `None
+              end)
+  in
+  match action with
+  | `None -> ()
+  | `Split -> try_split h lpid path
+  | `Merge -> try_merge h lpid path
+
+let run_hints h hints =
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (lpid, path) ->
+      if not (Hashtbl.mem seen lpid) then begin
+        Hashtbl.add seen lpid ();
+        try_consolidate h lpid path
+      end)
+    hints
+
+(* ------------------------------------------------------------------ *)
+(* Record operations.                                                   *)
+
+let check_kv ~key ~value =
+  if key < 0 || key > Flags.max_payload then invalid_arg "Bwtree: key";
+  if value < 0 || value > Flags.max_payload then invalid_arg "Bwtree: value"
+
+(* Install one leaf delta, provided the chain did not move since we
+   resolved [key] against it — which makes the lookup + install pair
+   linearizable at the mapping-entry CAS. [eager_hint] forces a
+   maintenance pass on the target leaf at half the usual chain length —
+   deletes use it so that a page emptied by the last deletes reaching it
+   still gets considered for a merge. *)
+let leaf_delta_op ?(eager_hint = false) h ~key decide =
+  let t = h.t in
+  let rec attempt () =
+    let d = Pool.alloc_desc h.ph in
+    let res =
+      Pool.with_epoch h.ph (fun () ->
+          let (lpid, top, value, len, path), hints = traverse t ~key in
+          match decide value with
+          | `Skip result ->
+              Pool.discard d;
+              `Done (result, hints)
+          | `Install (write, result) ->
+              let nwords, writer = write in
+              ignore
+                (reserve_record h d ~addr:(map_addr t lpid) ~expected:top
+                   ~nwords (fun p -> writer p top));
+              if Op.execute d then begin
+                let hints =
+                  if
+                    eager_hint
+                    && len + 1 >= max 2 (t.cfg.consolidate_len / 2)
+                  then (lpid, path) :: hints
+                  else hints
+                in
+                `Done (result, hints)
+              end
+              else `Retry)
+    in
+    match res with
+    | `Retry -> attempt ()
+    | `Done (result, hints) ->
+        run_hints h hints;
+        result
+  in
+  attempt ()
+
+let put h ~key ~value =
+  check_kv ~key ~value;
+  leaf_delta_op h ~key (fun old ->
+      `Install
+        ( ( Node.delta_words Node.Put,
+            fun p top -> Node.write_put h.t.mem p ~next:top ~key ~value ),
+          old ))
+
+let insert h ~key ~value =
+  check_kv ~key ~value;
+  leaf_delta_op h ~key (fun old ->
+      match old with
+      | Some _ -> `Skip false
+      | None ->
+          `Install
+            ( ( Node.delta_words Node.Put,
+                fun p top -> Node.write_put h.t.mem p ~next:top ~key ~value ),
+              true ))
+
+let remove h ~key =
+  if key < 0 || key > Flags.max_payload then invalid_arg "Bwtree: key";
+  leaf_delta_op ~eager_hint:true h ~key (fun old ->
+      match old with
+      | None -> `Skip false
+      | Some _ ->
+          `Install
+            ( ( Node.delta_words Node.Del,
+                fun p top -> Node.write_del h.t.mem p ~next:top ~key ),
+              true ))
+
+let get h ~key =
+  if key < 0 || key > Flags.max_payload then invalid_arg "Bwtree: key";
+  let t = h.t in
+  let (_, _, value, _, _), hints =
+    Pool.with_epoch h.ph (fun () -> traverse t ~key)
+  in
+  run_hints h hints;
+  value
+
+let fold_range h ~lo ~hi ~init ~f =
+  let t = h.t in
+  let rec scan acc lo =
+    if lo > hi then acc
+    else
+      let step =
+        Pool.with_epoch h.ph (fun () ->
+            let (lpid, _, _, _, _), _ = traverse t ~key:lo in
+            let top = Op.read t.pool (map_addr t lpid) in
+            if top = 0 then `Again lo
+            else
+              let img = eval t top in
+              let acc =
+                List.fold_left
+                  (fun acc (k, v) ->
+                    if k >= lo && k <= hi then f acc ~key:k ~value:v else acc)
+                  acc img.pairs
+              in
+              if img.high > hi || img.high >= Node.plus_inf then `Stop acc
+              else `More (acc, img.high))
+      in
+      match step with
+      | `Stop acc -> acc
+      | `More (acc, next_lo) -> scan acc next_lo
+      | `Again lo -> scan acc lo
+  in
+  scan init lo
+
+let length h =
+  fold_range h ~lo:0 ~hi:Node.plus_inf ~init:0 ~f:(fun acc ~key:_ ~value:_ ->
+      acc + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection.                                                       *)
+
+type stats = {
+  height : int;
+  leaf_pages : int;
+  inner_pages : int;
+  chain_records : int;
+  consolidations : int;
+  splits : int;
+  root_splits : int;
+  merges : int;
+}
+
+let rec chain_length t ptr =
+  match Node.read_tag t.mem ptr with
+  | Node.Leaf_base | Node.Inner_base -> 1
+  | Node.Merge ->
+      1 + chain_length t (Node.next t.mem ptr)
+      + chain_length t (Node.field t.mem ptr 2)
+  | _ -> 1 + chain_length t (Node.next t.mem ptr)
+
+let stats h =
+  let t = h.t in
+  Pool.with_epoch h.ph (fun () ->
+      let leaves = ref 0
+      and inners = ref 0
+      and records = ref 0
+      and height = ref 0 in
+      let rec walk lpid depth =
+        let top = Op.read t.pool (map_addr t lpid) in
+        if top <> 0 then begin
+          records := !records + chain_length t top;
+          let img = eval t top in
+          match img.kind with
+          | `Leaf ->
+              incr leaves;
+              if depth + 1 > !height then height := depth + 1
+          | `Inner ->
+              incr inners;
+              walk img.link (depth + 1);
+              List.iter (fun (_, child) -> walk child (depth + 1)) img.pairs
+        end
+      in
+      walk t.root 0;
+      {
+        height = !height;
+        leaf_pages = !leaves;
+        inner_pages = !inners;
+        chain_records = !records;
+        consolidations = Atomic.get t.n_consolidations;
+        splits = Atomic.get t.n_splits;
+        root_splits = Atomic.get t.n_root_splits;
+        merges = Atomic.get t.n_merges;
+      })
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "height=%d leaves=%d inners=%d records=%d consolidations=%d splits=%d \
+     root_splits=%d merges=%d"
+    s.height s.leaf_pages s.inner_pages s.chain_records s.consolidations
+    s.splits s.root_splits s.merges
+
+let check_invariants h =
+  let t = h.t in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Pool.with_epoch h.ph (fun () ->
+      let leaves = ref [] in
+      let leaf_depth = ref (-1) in
+      let reachable = Hashtbl.create 64 in
+      let rec check lpid ~low ~high ~depth =
+        if Hashtbl.mem reachable lpid then fail "lpid %d reachable twice" lpid;
+        Hashtbl.add reachable lpid ();
+        let top = Op.read t.pool (map_addr t lpid) in
+        if top = 0 then fail "reachable lpid %d is unmapped" lpid;
+        let img = eval t top in
+        if img.low <> low then
+          fail "lpid %d: low %d, expected %d" lpid img.low low;
+        if img.high <> high then
+          fail "lpid %d: high %d, expected %d" lpid img.high high;
+        let rec sorted = function
+          | (a, _) :: ((b, _) :: _ as rest) ->
+              if a >= b then fail "lpid %d: keys out of order" lpid;
+              sorted rest
+          | _ -> ()
+        in
+        sorted img.pairs;
+        List.iter
+          (fun (k, _) ->
+            if k < low || k >= high then
+              fail "lpid %d: key %d outside [%d,%d)" lpid k low high)
+          img.pairs;
+        match img.kind with
+        | `Leaf ->
+            if !leaf_depth = -1 then leaf_depth := depth
+            else if !leaf_depth <> depth then
+              fail "lpid %d: leaf depth %d, expected %d" lpid depth !leaf_depth;
+            leaves := (lpid, img) :: !leaves
+        | `Inner ->
+            let rec children lo link = function
+              | [] -> check link ~low:lo ~high ~depth:(depth + 1)
+              | (sep, child) :: rest ->
+                  check link ~low:lo ~high:sep ~depth:(depth + 1);
+                  children sep child rest
+            in
+            children low img.link img.pairs
+      in
+      check t.root ~low:0 ~high:Node.plus_inf ~depth:0;
+      (* Side links must thread the in-order leaf sequence. *)
+      let leaves = List.rev !leaves in
+      let rec thread = function
+        | (l1, i1) :: (((l2, _) :: _) as rest) ->
+            if i1.link <> l2 then
+              fail "leaf %d: side link %d, expected %d" l1 i1.link l2;
+            thread rest
+        | [ (l, i) ] -> if i.link <> 0 then fail "last leaf %d links to %d" l i.link
+        | [] -> ()
+      in
+      thread leaves;
+      (* No unreachable mapped LPIDs. *)
+      let next = Pmwcas.Pcas.read t.mem t.next_lpid_addr in
+      for lpid = 1 to next - 1 do
+        let v = Flags.payload (Op.read t.pool (map_addr t lpid)) in
+        if v <> 0 && not (Hashtbl.mem reachable lpid) then
+          fail "mapped lpid %d unreachable" lpid
+      done)
+
+let quiesce h =
+  ignore (Epoch.advance (Pool.epoch h.t.pool));
+  ignore (Epoch.reclaim (Pool.guard h.ph))
+
+let consolidate_all h =
+  let t = h.t in
+  let targets =
+    Pool.with_epoch h.ph (fun () ->
+        let acc = ref [] in
+        let rec walk lpid path =
+          let top = Op.read t.pool (map_addr t lpid) in
+          if top <> 0 then begin
+            acc := (lpid, path) :: !acc;
+            let img = eval t top in
+            match img.kind with
+            | `Leaf -> ()
+            | `Inner ->
+                walk img.link (path @ [ lpid ]);
+                List.iter
+                  (fun (_, child) -> walk child (path @ [ lpid ]))
+                  img.pairs
+          end
+        in
+        walk t.root [];
+        !acc)
+  in
+  List.iter
+    (fun (lpid, path) ->
+      let d = Pool.alloc_desc ~callback:t.cb h.ph in
+      Pool.with_epoch h.ph (fun () ->
+          let top = Op.read t.pool (map_addr t lpid) in
+          match
+            if top = 0 then None
+            else
+              match Node.read_tag t.mem top with
+              | Node.Leaf_base | Node.Inner_base -> None
+              | _ -> Some (eval t top)
+          with
+          | None -> Pool.discard d
+          | Some img ->
+              ignore
+                (reserve_record h d ~addr:(map_addr t lpid) ~expected:top
+                   ~nwords:(Node.base_words ~count:(List.length img.pairs))
+                   (fun p -> write_image t p img));
+              if Op.execute d then
+                ignore (Atomic.fetch_and_add t.n_consolidations 1));
+      ignore path)
+    targets

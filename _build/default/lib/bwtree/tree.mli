@@ -1,0 +1,120 @@
+(** The Bw-tree: a lock-free B+-tree over a mapping table (Section 6.2).
+
+    Logical pages are identified by LPIDs; the mapping table translates an
+    LPID to the head of the page's {e delta chain}. Updates never write a
+    page in place — they prepend a delta and swing the mapping entry. The
+    mapping entries are the only mutable words, and every one of them is a
+    PMwCAS target:
+
+    - {b record updates} install a put/delete delta with a 1-word PMwCAS
+      whose [ReserveEntry] transfers ownership of the delta block
+      (Section 5.2), so no crash can leak it;
+    - {b consolidation} replaces a long chain with a fresh base page; a
+      finalize callback releases every block of the replaced chain with
+      the pool's crash-safe free ordering;
+    - {b split} is the paper's flagship simplification: a {e single}
+      3-word PMwCAS installs the split delta on the page, the new sibling
+      in a fresh mapping slot, and the index-entry delta on the parent —
+      no multi-step SMO, no in-progress-split states for other threads to
+      observe, no help-along code in the tree;
+    - {b merge} of a leaf into its left sibling is likewise one 3-word
+      PMwCAS (merge delta on the left, index-delete delta on the parent,
+      victim mapping slot cleared);
+    - {b root split} swings the fixed root LPID to a new inner page and
+      re-homes the old chain under a fresh LPID, atomically.
+
+    As with the skip list, there is no tree-specific recovery code: run
+    {!Palloc.recover}, then {!Pmwcas.Recovery.run} (passing
+    {!recovery_callback}), then {!attach}.
+
+    Keys and values are non-negative integers below
+    [Nvram.Flags.max_payload]; keys are unique. Reverse scans are not
+    offered (Bw-trees scan forward along leaf side-links); the
+    doubly-linked skip list covers that access pattern.
+
+    Simplifications relative to the paper's full system, recorded in
+    DESIGN.md: inner-node merges and root height shrinking are not
+    implemented (inner pages split but never merge back). *)
+
+type t
+
+type config = {
+  consolidate_len : int;  (** Chain length that triggers consolidation. *)
+  split_max : int;  (** Record count that triggers a split. *)
+  merge_min : int;  (** Leaf record count that triggers a merge. *)
+}
+
+val default_config : config
+val anchor_words : int
+
+val create :
+  ?config:config -> pool:Pmwcas.Pool.t -> palloc:Palloc.t -> anchor:int
+  -> map_base:int -> map_words:int -> unit -> t
+(** Format a tree: anchor at [anchor], mapping table of [map_words]
+    entries at [map_base] (both line-aligned, carved by the caller).
+    Registers the consolidation callback on the pool — create trees in
+    the same order on every start so callback ids stay stable.
+    Idempotent across creation crashes. *)
+
+val attach : pool:Pmwcas.Pool.t -> palloc:Palloc.t -> anchor:int -> t
+(** Re-open after recovery. The pool must have been recovered with
+    {!recovery_callback} at the same registration position that [create]
+    used. Rebuilds the volatile free-LPID list by scanning the mapping
+    table. @raise Failure if the anchor is not formatted. *)
+
+val recovery_callback : Nvram.Mem.t -> Pmwcas.Pool.callback
+(** The consolidation finalize callback, for re-registration through
+    [Pmwcas.Recovery.run ~callbacks] before [attach]. *)
+
+type handle
+
+val register : t -> handle
+val unregister : handle -> unit
+
+(** {1 Record operations} *)
+
+val put : handle -> key:int -> value:int -> int option
+(** Upsert; returns the previous value, if any. *)
+
+val insert : handle -> key:int -> value:int -> bool
+(** Insert only if absent. *)
+
+val remove : handle -> key:int -> bool
+(** Delete; [false] if the key was absent. *)
+
+val get : handle -> key:int -> int option
+
+val fold_range :
+  handle -> lo:int -> hi:int -> init:'a -> f:('a -> key:int -> value:int -> 'a)
+  -> 'a
+(** Forward scan over [\[lo, hi\]] along leaf side-links. *)
+
+val length : handle -> int
+
+(** {1 Introspection} *)
+
+type stats = {
+  height : int;
+  leaf_pages : int;
+  inner_pages : int;
+  chain_records : int;  (** Total records across all chains. *)
+  consolidations : int;
+  splits : int;
+  root_splits : int;
+  merges : int;
+}
+
+val stats : handle -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val check_invariants : handle -> unit
+(** Quiescent structural audit: exact low/high bounds at every node,
+    sorted keys, children partitioning their parent's range, uniform leaf
+    depth, side-link chain equal to the in-order leaf sequence, and no
+    unreachable non-zero mapping entries. @raise Failure on violation. *)
+
+val quiesce : handle -> unit
+(** Advance the epoch and drain this handle's deferred reclamation. *)
+
+val consolidate_all : handle -> unit
+(** Force-consolidate every reachable page (tests and space accounting). *)

@@ -1,0 +1,1 @@
+lib/core/op.ml: Array Layout Metrics Nvram Pcas Pool

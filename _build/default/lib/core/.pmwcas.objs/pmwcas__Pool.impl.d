@@ -1,0 +1,1 @@
+lib/core/pool.ml: Array Atomic Domain Epoch Layout List Metrics Nvram Palloc Printf

@@ -1,0 +1,1 @@
+lib/core/pool.mli: Epoch Layout Metrics Nvram Palloc

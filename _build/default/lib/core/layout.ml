@@ -1,0 +1,87 @@
+type t = {
+  pool_base : int;
+  slots_base : int;
+  nslots : int;
+  max_words : int;
+  slot_words : int;
+}
+
+let header_words = 4 (* magic, nslots, max_words, max_threads *)
+
+let make ~line_words ~pool_base ~nslots ~max_words =
+  if nslots <= 0 then invalid_arg "Layout.make: nslots <= 0";
+  if max_words <= 0 || max_words > 32 then
+    invalid_arg "Layout.make: max_words out of range";
+  let align a = (a + line_words - 1) / line_words * line_words in
+  if pool_base <> align pool_base then
+    invalid_arg "Layout.make: pool_base must be line-aligned";
+  let slots_base = align (pool_base + header_words) in
+  let slot_words = align (3 + (4 * max_words)) in
+  { pool_base; slots_base; nslots; max_words; slot_words }
+
+let region_words t = t.slots_base - t.pool_base + (t.nslots * t.slot_words)
+let status_free = 0
+let status_undecided = 1
+let status_succeeded = 2
+let status_failed = 3
+
+let slot_off t i =
+  if i < 0 || i >= t.nslots then invalid_arg "Layout.slot_off: bad index";
+  t.slots_base + (i * t.slot_words)
+
+let status_addr slot = slot
+let count_addr slot = slot + 1
+let callback_addr slot = slot + 2
+
+let entry_addr t slot k =
+  if k < 0 || k >= t.max_words then invalid_arg "Layout.entry_addr: bad k";
+  slot + 3 + (4 * k)
+
+let addr_field e = e
+let old_field e = e + 1
+let new_field e = e + 2
+let policy_field e = e + 3
+let desc_ptr slot = slot lor Nvram.Flags.mwcas lor Nvram.Flags.dirty
+let desc_of_ptr v = Nvram.Flags.payload v land lnot Nvram.Flags.mark
+
+let wd_ptr t ~slot ~k = entry_addr t slot k lor Nvram.Flags.rdcss
+
+let wd_of_ptr t v =
+  let a = Nvram.Flags.payload v in
+  let rel = a - t.slots_base in
+  if rel < 0 then invalid_arg "Layout.wd_of_ptr: below pool";
+  let i = rel / t.slot_words and off = rel mod t.slot_words in
+  if i >= t.nslots || off < 3 || (off - 3) mod 4 <> 0 then
+    invalid_arg "Layout.wd_of_ptr: not a word-descriptor address";
+  let k = (off - 3) / 4 in
+  if k >= t.max_words then invalid_arg "Layout.wd_of_ptr: entry out of range";
+  (t.slots_base + (i * t.slot_words), k)
+
+let slot_index t slot =
+  let rel = slot - t.slots_base in
+  if rel < 0 || rel mod t.slot_words <> 0 || rel / t.slot_words >= t.nslots
+  then invalid_arg "Layout.slot_index: not a slot address";
+  rel / t.slot_words
+
+type policy = None_ | Free_one | Free_new_on_failure | Free_old_on_success
+
+let policy_to_int = function
+  | None_ -> 0
+  | Free_one -> 1
+  | Free_new_on_failure -> 2
+  | Free_old_on_success -> 3
+
+let policy_of_int = function
+  | 0 -> None_
+  | 1 -> Free_one
+  | 2 -> Free_new_on_failure
+  | 3 -> Free_old_on_success
+  | n -> invalid_arg (Printf.sprintf "Layout.policy_of_int: %d" n)
+
+let pp_policy ppf p =
+  Format.pp_print_string ppf
+    (match p with
+    | None_ -> "None"
+    | Free_one -> "FreeOne"
+    | Free_new_on_failure -> "FreeNewOnFailure"
+    | Free_old_on_success -> "FreeOldOnSuccess")

@@ -1,0 +1,80 @@
+(** Descriptor geometry and status encoding (Figure 2 of the paper).
+
+    A descriptor pool is a contiguous NVRAM region: one header line
+    followed by fixed-size, cache-line-aligned descriptor slots. Each slot
+    holds a status word, the entry count, a finalize-callback index and up
+    to [max_words] word descriptors of four words each
+    ([address; old_value; new_value; policy]).
+
+    The paper's word descriptors carry a back-pointer to their containing
+    descriptor; with fixed slot geometry the back-pointer is implicit —
+    [desc_of_wd] recovers it arithmetically. *)
+
+type t = private {
+  pool_base : int;  (** Header line address. *)
+  slots_base : int;  (** First slot address. *)
+  nslots : int;
+  max_words : int;  (** Word-descriptor capacity per slot. *)
+  slot_words : int;  (** Slot stride, line-aligned. *)
+}
+
+val make :
+  line_words:int -> pool_base:int -> nslots:int -> max_words:int -> t
+
+val region_words : t -> int
+(** Total NVRAM words the pool occupies (header + slots). *)
+
+(** {1 Status values} (stored in the slot's first word; the dirty bit may
+    additionally be set while the status update is unflushed) *)
+
+val status_free : int
+val status_undecided : int
+val status_succeeded : int
+val status_failed : int
+
+(** {1 Per-slot addresses} *)
+
+val slot_off : t -> int -> int
+(** Address of slot [i]'s status word. *)
+
+val status_addr : int -> int
+val count_addr : int -> int
+val callback_addr : int -> int
+
+val entry_addr : t -> int -> int -> int
+(** [entry_addr t slot k] — address of word descriptor [k] of the slot at
+    [slot] (its [address] field; [old]/[new]/[policy] follow). *)
+
+val addr_field : int -> int
+val old_field : int -> int
+val new_field : int -> int
+val policy_field : int -> int
+(** Field addresses within a word descriptor given its base address. *)
+
+(** {1 Pointer encoding in target words} *)
+
+val desc_ptr : int -> int
+(** Full-descriptor pointer with [mwcas] and [dirty] flags set — the value
+    installed in target words during Phase 1. *)
+
+val desc_of_ptr : int -> int
+(** Slot address from a target-word value with the [mwcas] flag. *)
+
+val wd_ptr : t -> slot:int -> k:int -> int
+(** RDCSS word-descriptor pointer (with the [rdcss] flag). *)
+
+val wd_of_ptr : t -> int -> int * int
+(** [(slot, k)] from a target-word value with the [rdcss] flag.
+    @raise Invalid_argument if the payload is not a word-descriptor
+    address of this pool. *)
+
+val slot_index : t -> int -> int
+(** Index of the slot at a given slot address. *)
+
+(** {1 Recycle policies} (Table 1) *)
+
+type policy = None_ | Free_one | Free_new_on_failure | Free_old_on_success
+
+val policy_to_int : policy -> int
+val policy_of_int : int -> policy
+val pp_policy : Format.formatter -> policy -> unit

@@ -1,0 +1,56 @@
+let shards = 64
+let fields = 5
+
+type t = int Atomic.t array
+
+type snapshot = {
+  attempts : int;
+  succeeded : int;
+  failed : int;
+  desc_helps : int;
+  rdcss_helps : int;
+}
+
+let create () = Array.init (shards * fields) (fun _ -> Atomic.make 0)
+
+let slot field =
+  let d = (Domain.self () :> int) in
+  ((d land (shards - 1)) * fields) + field
+
+let record t field = ignore (Atomic.fetch_and_add t.(slot field) 1)
+let record_attempt t = record t 0
+let record_succeeded t = record t 1
+let record_failed t = record t 2
+let record_desc_help t = record t 3
+let record_rdcss_help t = record t 4
+
+let sum t field =
+  let acc = ref 0 in
+  for s = 0 to shards - 1 do
+    acc := !acc + Atomic.get t.((s * fields) + field)
+  done;
+  !acc
+
+let snapshot t =
+  {
+    attempts = sum t 0;
+    succeeded = sum t 1;
+    failed = sum t 2;
+    desc_helps = sum t 3;
+    rdcss_helps = sum t 4;
+  }
+
+let reset t = Array.iter (fun c -> Atomic.set c 0) t
+
+let diff a b =
+  {
+    attempts = a.attempts - b.attempts;
+    succeeded = a.succeeded - b.succeeded;
+    failed = a.failed - b.failed;
+    desc_helps = a.desc_helps - b.desc_helps;
+    rdcss_helps = a.rdcss_helps - b.rdcss_helps;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "attempts=%d ok=%d fail=%d helps=%d rdcss_helps=%d"
+    s.attempts s.succeeded s.failed s.desc_helps s.rdcss_helps

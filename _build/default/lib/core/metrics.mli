@@ -1,0 +1,22 @@
+(** PMwCAS operation counters (sharded per thread, like [Nvram.Stats]). *)
+
+type t
+
+type snapshot = {
+  attempts : int;  (** Top-level [Op.execute] calls. *)
+  succeeded : int;
+  failed : int;
+  desc_helps : int;  (** Times a thread helped complete another PMwCAS. *)
+  rdcss_helps : int;  (** Times a thread helped complete an RDCSS install. *)
+}
+
+val create : unit -> t
+val record_attempt : t -> unit
+val record_succeeded : t -> unit
+val record_failed : t -> unit
+val record_desc_help : t -> unit
+val record_rdcss_help : t -> unit
+val snapshot : t -> snapshot
+val reset : t -> unit
+val diff : snapshot -> snapshot -> snapshot
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,202 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+
+exception Phase1_failed
+
+(* Descriptor-pointer words, with the dirty bit elided in volatile mode. *)
+let desc_clean slot = slot lor Flags.mwcas
+
+let desc_word t slot =
+  if Pool.persistent t then Layout.desc_ptr slot else desc_clean slot
+
+let entry_fields t ~slot ~k =
+  let mem = Pool.mem t in
+  let e = Layout.entry_addr (Pool.layout t) slot k in
+  ( Mem.read mem (Layout.addr_field e),
+    Mem.read mem (Layout.old_field e),
+    Mem.read mem (Layout.new_field e) )
+
+(* Entry indices in target-address order: Phase 1 "locks" words in a global
+   order, which rules out deadlock between concurrent PMwCASes (Section
+   2.2). Insertion sort — descriptors hold at most a handful of words. *)
+let sorted_order t ~slot ~count =
+  let addr k =
+    let a, _, _ = entry_fields t ~slot ~k in
+    a
+  in
+  let order = Array.init count (fun k -> k) in
+  for i = 1 to count - 1 do
+    let k = order.(i) in
+    let ak = addr k in
+    let j = ref (i - 1) in
+    while !j >= 0 && addr order.(!j) > ak do
+      order.(!j + 1) <- order.(!j);
+      decr j
+    done;
+    order.(!j + 1) <- k
+  done;
+  order
+
+(* Second half of the RDCSS: promote the word-descriptor pointer to a
+   full-descriptor pointer — but only while the operation is still
+   Undecided; otherwise restore the old value. The status check is the
+   "second compare" that stops a sleeping thread from re-installing a
+   descriptor for an operation that already finished (Section 4.2). *)
+let complete_install t wdp =
+  let mem = Pool.mem t and lay = Pool.layout t in
+  let slot, k = Layout.wd_of_ptr lay wdp in
+  let addr, old_v, _ = entry_fields t ~slot ~k in
+  let undecided =
+    Mem.read mem (Layout.status_addr slot) = Layout.status_undecided
+  in
+  let desired = if undecided then desc_word t slot else old_v in
+  ignore (Mem.cas mem addr ~expected:wdp ~desired)
+
+(* First half of the RDCSS: claim the target word with a word-descriptor
+   pointer, helping any other RDCSS we collide with. Returns the witnessed
+   value ([old_v] on success). *)
+let rec install_rdcss t ~slot ~k ~addr ~old_v =
+  let mem = Pool.mem t in
+  let ptr = Layout.wd_ptr (Pool.layout t) ~slot ~k in
+  let witnessed = Mem.cas mem addr ~expected:old_v ~desired:ptr in
+  if witnessed = old_v then begin
+    complete_install t ptr;
+    old_v
+  end
+  else if Flags.is_rdcss witnessed then begin
+    Metrics.record_rdcss_help (Pool.metrics t);
+    complete_install t witnessed;
+    install_rdcss t ~slot ~k ~addr ~old_v
+  end
+  else if
+    Pool.persistent t
+    && (not (Flags.is_mwcas witnessed))
+    && Flags.is_dirty witnessed
+    && Flags.clear_dirty witnessed = old_v
+  then begin
+    (* The word holds the expected value, merely unflushed: persist it and
+       claim it, rather than failing spuriously. *)
+    Pcas.persist mem addr witnessed;
+    install_rdcss t ~slot ~k ~addr ~old_v
+  end
+  else witnessed
+
+(* Drive the PMwCAS at [slot] to completion. Cooperative: may be entered
+   by the owner and by any number of helpers at any point of the
+   operation's life; every step is a CAS conditioned on the step not yet
+   having been taken. *)
+let rec help t ~slot =
+  let mem = Pool.mem t in
+  let persistent = Pool.persistent t in
+  let count = Mem.read mem (Layout.count_addr slot) in
+  let order = sorted_order t ~slot ~count in
+  (* Phase 1: install descriptor pointers in address order. *)
+  let st = ref Layout.status_succeeded in
+  (try
+     Array.iter
+       (fun k ->
+         let addr, old_v, _ = entry_fields t ~slot ~k in
+         let rec install () =
+           let witnessed = install_rdcss t ~slot ~k ~addr ~old_v in
+           if witnessed = old_v then ()
+           else if Flags.is_mwcas witnessed then
+             if Layout.desc_of_ptr witnessed = slot then
+               (* A helper beat us to this word. *)
+               ()
+             else begin
+               (* Clashed with another in-progress PMwCAS: make sure its
+                  pointer is durable, help it finish, then retry ours. *)
+               if persistent && Flags.is_dirty witnessed then
+                 Pcas.persist mem addr witnessed;
+               Metrics.record_desc_help (Pool.metrics t);
+               ignore (help t ~slot:(Layout.desc_of_ptr witnessed));
+               install ()
+             end
+           else begin
+             st := Layout.status_failed;
+             raise Phase1_failed
+           end
+         in
+         install ())
+       order
+   with Phase1_failed -> ());
+  (* Precommit: persist the installed pointers, then durably decide. The
+     decision must not become visible before every Phase 1 write is
+     durable, or recovery could roll forward over unpersisted state. *)
+  if persistent && !st = Layout.status_succeeded then
+    Array.iter
+      (fun k ->
+        let addr, _, _ = entry_fields t ~slot ~k in
+        Pcas.persist mem addr (Layout.desc_ptr slot))
+      order;
+  let status_a = Layout.status_addr slot in
+  let decided = if persistent then Flags.set_dirty !st else !st in
+  ignore (Mem.cas mem status_a ~expected:Layout.status_undecided ~desired:decided);
+  if persistent then begin
+    let s = Mem.read mem status_a in
+    if Flags.is_dirty s then Pcas.persist mem status_a s
+  end;
+  let final = Flags.clear_dirty (Mem.read mem status_a) in
+  let succeeded = final = Layout.status_succeeded in
+  (* Phase 2: swap in the final values (or roll back to the old ones). *)
+  let expected_dirty = desc_word t slot and expected_clean = desc_clean slot in
+  Array.iter
+    (fun k ->
+      let addr, old_v, new_v = entry_fields t ~slot ~k in
+      let v = if succeeded then new_v else old_v in
+      let v_inst = if persistent then Flags.set_dirty v else v in
+      let witnessed = Mem.cas mem addr ~expected:expected_dirty ~desired:v_inst in
+      let witnessed =
+        if persistent && witnessed = expected_clean then
+          (* Someone flushed the pointer and cleared its dirty bit. *)
+          Mem.cas mem addr ~expected:expected_clean ~desired:v_inst
+        else witnessed
+      in
+      if
+        persistent
+        && (witnessed = expected_dirty || witnessed = expected_clean)
+      then Pcas.persist mem addr v_inst)
+    order;
+  succeeded
+
+(* pmwcas_read (Algorithm 3): never expose descriptor pointers or
+   unpersisted values to the caller. *)
+let rec read t a =
+  let mem = Pool.mem t in
+  let v = Mem.read mem a in
+  if Flags.is_rdcss v then begin
+    Metrics.record_rdcss_help (Pool.metrics t);
+    complete_install t v;
+    read t a
+  end
+  else begin
+    let v =
+      if Flags.is_dirty v then begin
+        if Pool.persistent t then Pcas.persist mem a v;
+        Flags.clear_dirty v
+      end
+      else v
+    in
+    if Flags.is_mwcas v then begin
+      Metrics.record_desc_help (Pool.metrics t);
+      ignore (help t ~slot:(Layout.desc_of_ptr v));
+      read t a
+    end
+    else v
+  end
+
+let read_with h a =
+  Pool.with_epoch h (fun () -> read (Pool.pool_of_handle h) a)
+
+let execute d =
+  if not (Pool.desc_live d) then
+    invalid_arg "Op.execute: descriptor already executed or discarded";
+  let t = Pool.desc_pool d in
+  let h = Pool.desc_handle d in
+  Pool.seal d;
+  Metrics.record_attempt (Pool.metrics t);
+  let ok = Pool.with_epoch h (fun () -> help t ~slot:(Pool.desc_slot d)) in
+  if ok then Metrics.record_succeeded (Pool.metrics t)
+  else Metrics.record_failed (Pool.metrics t);
+  Pool.finish d ~succeeded:ok;
+  ok

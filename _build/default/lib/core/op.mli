@@ -1,0 +1,40 @@
+(** The PMwCAS operation itself (Algorithms 2 and 3 of the paper).
+
+    Two-phase, cooperative and lock-free:
+
+    - {b Phase 1} installs a pointer to the descriptor in every target
+      word in address order, each through an RDCSS (install a
+      word-descriptor pointer, then promote it to a full-descriptor
+      pointer only while the status is still [Undecided]);
+    - {b precommit} persists every installed target word, then durably
+      flips the status to [Succeeded] or [Failed] — the commit point that
+      recovery rolls forward or back from;
+    - {b Phase 2} replaces descriptor pointers with the new values
+      (success) or the old values (failure), persisting each.
+
+    Any thread that bumps into a descriptor pointer — through [read] or
+    its own Phase 1 — helps the owning operation to completion first, so
+    no thread ever blocks on another. *)
+
+val execute : Pool.descriptor -> bool
+(** Run the PMwCAS described by the descriptor. Returns [true] iff all
+    target words were atomically updated (durably so, for a persistent
+    pool). The descriptor is consumed either way: its memory policies are
+    applied and its slot is recycled through the epoch manager.
+    Executes inside the owner's epoch; callers need no bracketing. *)
+
+val read : Pool.t -> Nvram.Mem.addr -> int
+(** [pmwcas_read]: read a word that may be a PMwCAS target. Helps any
+    in-progress operation it encounters, persists dirty values, and
+    returns a clean value (the [mark] bit, if any, is preserved).
+    Must be called inside an epoch ({!Pool.with_epoch}) — the help path
+    dereferences descriptors. *)
+
+val read_with : Pool.handle -> Nvram.Mem.addr -> int
+(** [read] wrapped in the handle's epoch — convenient, slightly slower
+    than batching several reads under one {!Pool.with_epoch}. *)
+
+val help : Pool.t -> slot:int -> bool
+(** Drive the PMwCAS whose descriptor sits at [slot] to completion
+    (exposed for tests; [read] and [execute] call it internally).
+    Must be called inside an epoch. *)

@@ -1,0 +1,30 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+
+let persist mem a v =
+  Mem.clwb mem a;
+  if Flags.is_dirty v then
+    ignore (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v))
+
+let read mem a =
+  let v = Mem.read mem a in
+  if Flags.is_dirty v then begin
+    persist mem a v;
+    Flags.clear_dirty v
+  end
+  else v
+
+let flush mem a =
+  let v = Mem.read mem a in
+  if Flags.is_dirty v then persist mem a v
+
+let cas mem a ~expected ~desired =
+  ignore (read mem a);
+  Mem.cas_bool mem a ~expected ~desired:(Flags.set_dirty desired)
+
+let cas_durable mem a ~expected ~desired =
+  let ok = cas mem a ~expected ~desired in
+  if ok then persist mem a (Flags.set_dirty desired);
+  ok
+
+let write mem a v = Mem.write mem a (Flags.set_dirty v)

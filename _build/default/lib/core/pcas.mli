@@ -1,0 +1,37 @@
+(** Persistent single-word CAS (Algorithm 1 of the paper).
+
+    The flush-on-read principle made cheap: every store sets the dirty
+    bit; any reader that sees a dirty word writes the line back and clears
+    the bit before using the value, so a value can never be depended upon
+    before it is durable, and a durable value is never flushed twice.
+
+    Words managed by this protocol must never hold descriptor pointers —
+    that is [Op]'s territory. Payloads are limited to
+    [Nvram.Flags.address_mask]. *)
+
+val read : Nvram.Mem.t -> Nvram.Mem.addr -> int
+(** [pcas_read]: load; if dirty, persist the line and clear the bit.
+    Returns the clean value. *)
+
+val persist : Nvram.Mem.t -> Nvram.Mem.addr -> int -> unit
+(** [persist mem a v]: write the line back, then clear [v]'s dirty bit
+    with a CAS (a no-op if the word moved on — the new writer's own
+    protocol covers it). Safe to call with a clean [v]. *)
+
+val cas : Nvram.Mem.t -> Nvram.Mem.addr -> expected:int -> desired:int -> bool
+(** Persistent CAS: ensures the current value is durable (flush-on-read),
+    then attempts to install [desired] with the dirty bit set. [expected]
+    and [desired] are clean values. The new value becomes durable when
+    next read through [read] (or via [flush]). *)
+
+val cas_durable :
+  Nvram.Mem.t -> Nvram.Mem.addr -> expected:int -> desired:int -> bool
+(** [cas] followed by an immediate flush of the installed value — for
+    callers that need durability before returning (e.g. commit points). *)
+
+val write : Nvram.Mem.t -> Nvram.Mem.addr -> int -> unit
+(** Store [v] with the dirty bit set (for single-owner initialization
+    paths that still want crash-correct reads through [read]). *)
+
+val flush : Nvram.Mem.t -> Nvram.Mem.addr -> unit
+(** Make the word's current value durable if it is dirty. *)

@@ -1,0 +1,428 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+
+let magic = 0x93_19_ca_50
+
+type entry = {
+  addr : int;
+  old_value : int;
+  new_value : int;
+  policy : Layout.policy;
+}
+
+type callback = succeeded:bool -> entry array -> int list
+
+type t = {
+  mem : Mem.t;
+  lay : Layout.t;
+  persistent : bool;
+  palloc : Palloc.t option;
+  epoch : Epoch.t;
+  metrics : Metrics.t;
+  partitions : int list Atomic.t array; (* free slot addresses, per thread *)
+  claimed : bool Atomic.t array;
+  mutable callbacks : callback array;
+  descs_per_thread : int;
+  max_threads : int;
+}
+
+type handle = {
+  pool : t;
+  hguard : Epoch.guard;
+  part : int;
+  mutable hlive : bool;
+}
+
+type descriptor = {
+  dpool : t;
+  hdl : handle;
+  slot : int;
+  mutable dlive : bool;
+  mutable nentries : int;
+  mutable has_reserved : bool;
+}
+
+let default_max_words = 8
+let default_descs_per_thread = 32
+
+let region_words ?(max_words = default_max_words)
+    ?(descs_per_thread = default_descs_per_thread) ~max_threads () =
+  let lay =
+    Layout.make ~line_words:8 ~pool_base:0
+      ~nslots:(max_threads * descs_per_thread)
+      ~max_words
+  in
+  Layout.region_words lay
+
+let clwb_if t a = if t.persistent then Mem.clwb t.mem a
+
+(* Flush every line of the slot that holds live content: the header fields
+   plus entries 0..count-1. *)
+let persist_desc t ~slot ~count =
+  if t.persistent then
+    Mem.clwb_range t.mem ~lo:slot ~hi:(slot + 2 + (4 * count))
+
+let distribute_slots t =
+  for part = 0 to t.max_threads - 1 do
+    let slots =
+      List.init t.descs_per_thread (fun j ->
+          Layout.slot_off t.lay ((part * t.descs_per_thread) + j))
+    in
+    Atomic.set t.partitions.(part) slots
+  done
+
+let build ?palloc ~persistent mem lay ~descs_per_thread ~max_threads =
+  {
+    mem;
+    lay;
+    persistent;
+    palloc;
+    epoch = Epoch.create ~slots:(max 128 (2 * max_threads)) ();
+    metrics = Metrics.create ();
+    partitions = Array.init max_threads (fun _ -> Atomic.make []);
+    claimed = Array.init max_threads (fun _ -> Atomic.make false);
+    callbacks = [||];
+    descs_per_thread;
+    max_threads;
+  }
+
+let create ?(persistent = true) ?(max_words = default_max_words)
+    ?(descs_per_thread = default_descs_per_thread) ?palloc mem ~base
+    ~max_threads =
+  if max_threads <= 0 then invalid_arg "Pool.create: max_threads <= 0";
+  if descs_per_thread <= 0 then invalid_arg "Pool.create: descs_per_thread";
+  let nslots = max_threads * descs_per_thread in
+  let lay =
+    Layout.make
+      ~line_words:(Mem.config mem).line_words
+      ~pool_base:base ~nslots ~max_words
+  in
+  if base + Layout.region_words lay > Mem.size mem then
+    invalid_arg "Pool.create: pool does not fit in the device";
+  let t = build ?palloc ~persistent mem lay ~descs_per_thread ~max_threads in
+  Mem.write mem base magic;
+  Mem.write mem (base + 1) nslots;
+  Mem.write mem (base + 2) max_words;
+  Mem.write mem (base + 3) max_threads;
+  clwb_if t base;
+  for i = 0 to nslots - 1 do
+    let slot = Layout.slot_off lay i in
+    Mem.write mem (Layout.status_addr slot) Layout.status_free;
+    Mem.write mem (Layout.count_addr slot) 0;
+    clwb_if t slot
+  done;
+  distribute_slots t;
+  t
+
+let attach ?palloc ?(callbacks = []) mem ~base =
+  if Mem.read mem base <> magic then failwith "Pool.attach: bad magic";
+  let nslots = Mem.read mem (base + 1) in
+  let max_words = Mem.read mem (base + 2) in
+  let max_threads = Mem.read mem (base + 3) in
+  if nslots <= 0 || max_threads <= 0 || nslots mod max_threads <> 0 then
+    failwith "Pool.attach: corrupt header";
+  let lay =
+    Layout.make
+      ~line_words:(Mem.config mem).line_words
+      ~pool_base:base ~nslots ~max_words
+  in
+  let t =
+    build ?palloc ~persistent:true mem lay
+      ~descs_per_thread:(nslots / max_threads) ~max_threads
+  in
+  t.callbacks <- Array.of_list callbacks;
+  distribute_slots t;
+  t
+
+let mem t = t.mem
+let layout t = t.lay
+let persistent t = t.persistent
+let palloc t = t.palloc
+let epoch t = t.epoch
+let metrics t = t.metrics
+let max_threads t = t.max_threads
+
+let free_slots t =
+  Array.fold_left (fun acc p -> acc + List.length (Atomic.get p)) 0 t.partitions
+
+let register_callback t fn =
+  t.callbacks <- Array.append t.callbacks [| fn |];
+  Array.length t.callbacks
+
+let callback_fn t id =
+  if id = 0 then None
+  else if id <= Array.length t.callbacks then Some t.callbacks.(id - 1)
+  else invalid_arg "Pool: unregistered callback id"
+
+let register t =
+  let rec claim i =
+    if i >= t.max_threads then failwith "Pool.register: no free partitions"
+    else if Atomic.compare_and_set t.claimed.(i) false true then i
+    else claim (i + 1)
+  in
+  let part = claim 0 in
+  { pool = t; hguard = Epoch.register t.epoch; part; hlive = true }
+
+let check_handle h = if not h.hlive then invalid_arg "Pool: handle unregistered"
+
+let unregister h =
+  check_handle h;
+  h.hlive <- false;
+  Epoch.unregister h.hguard;
+  Atomic.set h.pool.claimed.(h.part) false
+
+let guard h = h.hguard
+let pool_of_handle h = h.pool
+
+let with_epoch h fn =
+  check_handle h;
+  Epoch.with_guard h.hguard fn
+
+let pop_partition t part =
+  let p = t.partitions.(part) in
+  let rec loop () =
+    match Atomic.get p with
+    | [] -> None
+    | slot :: rest as cur ->
+        if Atomic.compare_and_set p cur rest then Some slot else loop ()
+  in
+  loop ()
+
+let push_partition t part slot =
+  let p = t.partitions.(part) in
+  let rec loop () =
+    let cur = Atomic.get p in
+    if not (Atomic.compare_and_set p cur (slot :: cur)) then loop ()
+  in
+  loop ()
+
+let steal t ~not_from =
+  let rec go i =
+    if i >= t.max_threads then None
+    else if i <> not_from then
+      match pop_partition t i with Some s -> Some s | None -> go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let take_slot h =
+  let t = h.pool in
+  let rec attempt tries =
+    match pop_partition t h.part with
+    | Some s -> s
+    | None -> (
+        match steal t ~not_from:h.part with
+        | Some s -> s
+        | None ->
+            if tries = 0 then
+              failwith "Pool.alloc_desc: descriptor pool exhausted"
+            else begin
+              (* Recycling is epoch-deferred: advance, drain, and give a
+                 pinned (possibly preempted) peer a chance to move on. *)
+              ignore (Epoch.advance t.epoch);
+              ignore (Epoch.reclaim h.hguard);
+              Domain.cpu_relax ();
+              attempt (tries - 1)
+            end)
+  in
+  attempt 262144
+
+let alloc_desc ?(callback = 0) h =
+  check_handle h;
+  let t = h.pool in
+  if callback < 0 || callback > Array.length t.callbacks then
+    invalid_arg "Pool.alloc_desc: unregistered callback";
+  let slot = take_slot h in
+  (* Durably enter Undecided with a zero count before any entry exists:
+     recovery will then always process memory reserved into this slot.
+     Order matters even though one flush covers the whole header line --
+     a cache eviction can persist the line between any two stores, and a
+     snapshot showing Undecided next to the previous incarnation's count
+     and entries would make recovery roll back stale entries (and free
+     live memory). Writing the count first keeps every intermediate
+     snapshot either Free (skipped) or Undecided-with-zero-entries
+     (harmless). *)
+  Mem.write t.mem (Layout.count_addr slot) 0;
+  Mem.write t.mem (Layout.callback_addr slot) callback;
+  Mem.write t.mem (Layout.status_addr slot) Layout.status_undecided;
+  clwb_if t slot;
+  { dpool = t; hdl = h; slot; dlive = true; nentries = 0; has_reserved = false }
+
+let check_desc d = if not d.dlive then invalid_arg "Pool: descriptor not live"
+
+let check_value ~what v =
+  if v land Flags.address_mask <> v then
+    invalid_arg (Printf.sprintf "Pool: %s carries flag bits" what)
+
+let entry_base d k = Layout.entry_addr d.dpool.lay d.slot k
+
+let find_entry d a =
+  let t = d.dpool in
+  let rec go k =
+    if k >= d.nentries then None
+    else if Mem.read t.mem (Layout.addr_field (entry_base d k)) = a then Some k
+    else go (k + 1)
+  in
+  go 0
+
+let write_entry d k ~addr ~expected ~desired ~policy =
+  let t = d.dpool in
+  let e = entry_base d k in
+  Mem.write t.mem (Layout.addr_field e) addr;
+  Mem.write t.mem (Layout.old_field e) expected;
+  Mem.write t.mem (Layout.new_field e) desired;
+  Mem.write t.mem (Layout.policy_field e) (Layout.policy_to_int policy)
+
+let append_entry ?(policy = Layout.None_) d ~addr ~expected ~desired =
+  check_desc d;
+  let t = d.dpool in
+  if addr < 0 || addr >= Mem.size t.mem then
+    invalid_arg "Pool.add_word: address out of bounds";
+  check_value ~what:"expected value" expected;
+  check_value ~what:"desired value" desired;
+  if d.nentries >= t.lay.max_words then
+    invalid_arg "Pool.add_word: descriptor full";
+  (match find_entry d addr with
+  | Some _ -> invalid_arg "Pool.add_word: duplicate target address"
+  | None -> ());
+  let k = d.nentries in
+  write_entry d k ~addr ~expected ~desired ~policy;
+  d.nentries <- k + 1;
+  Mem.write t.mem (Layout.count_addr d.slot) d.nentries;
+  k
+
+let add_word ?policy d ~addr ~expected ~desired =
+  ignore (append_entry ?policy d ~addr ~expected ~desired)
+
+let reserve_entry ?(policy = Layout.Free_new_on_failure) d ~addr ~expected =
+  let k = append_entry ~policy d ~addr ~expected ~desired:0 in
+  d.has_reserved <- true;
+  (* The reservation must be durable before the allocator can deliver into
+     it, so that recovery frees the delivered block when rolling back. *)
+  persist_desc d.dpool ~slot:d.slot ~count:d.nentries;
+  Layout.new_field (entry_base d k)
+
+let remove_word d ~addr =
+  check_desc d;
+  if d.has_reserved then
+    invalid_arg "Pool.remove_word: descriptor has reserved entries";
+  match find_entry d addr with
+  | None -> invalid_arg "Pool.remove_word: address not present"
+  | Some k ->
+      let t = d.dpool in
+      let last = d.nentries - 1 in
+      if k <> last then begin
+        let e = entry_base d last in
+        write_entry d k
+          ~addr:(Mem.read t.mem (Layout.addr_field e))
+          ~expected:(Mem.read t.mem (Layout.old_field e))
+          ~desired:(Mem.read t.mem (Layout.new_field e))
+          ~policy:
+            (Layout.policy_of_int (Mem.read t.mem (Layout.policy_field e)))
+      end;
+      d.nentries <- last;
+      Mem.write t.mem (Layout.count_addr d.slot) last
+
+let word_count d = d.nentries
+
+let read_entry t ~slot ~k =
+  let e = Layout.entry_addr t.lay slot k in
+  {
+    addr = Mem.read t.mem (Layout.addr_field e);
+    old_value = Mem.read t.mem (Layout.old_field e);
+    new_value = Mem.read t.mem (Layout.new_field e);
+    policy = Layout.policy_of_int (Mem.read t.mem (Layout.policy_field e));
+  }
+
+let clean_ptr v = Flags.clear_mark (Flags.payload v)
+
+let get_palloc t =
+  match t.palloc with
+  | Some p -> p
+  | None -> invalid_arg "Pool: recycle policy requires an allocator"
+
+let free_value t v =
+  let clean = clean_ptr v in
+  if clean <> 0 then Palloc.free (get_palloc t) clean
+
+(* Blocks a finished descriptor must release, per Table 1. *)
+let values_to_free ~succeeded entries =
+  Array.to_list entries
+  |> List.filter_map (fun e ->
+         let v =
+           match (e.policy, succeeded) with
+           | Layout.None_, _ -> 0
+           | Layout.Free_one, true -> e.old_value
+           | Layout.Free_one, false -> e.new_value
+           | Layout.Free_new_on_failure, false -> e.new_value
+           | Layout.Free_new_on_failure, true -> 0
+           | Layout.Free_old_on_success, true -> e.old_value
+           | Layout.Free_old_on_success, false -> 0
+         in
+         let v = clean_ptr v in
+         if v = 0 then None else Some v)
+
+(* Recycle a decided slot. Durability order matters:
+   1. mark every policy-freed block durably free (but not yet reusable);
+   2. durably return the slot to Free;
+   3. enlist the blocks for reuse.
+   A crash before (2) replays the frees on recovery ([during_recovery]
+   tolerates already-free headers; the heap scan has already re-enlisted
+   them). A crash after (2) skips the slot, and the scan re-enlists.
+   Either way no block is leaked, double-freed, or handed out while a
+   replay could still free it. *)
+let finalize_slot ?(during_recovery = false) t ~slot ~succeeded =
+  let count = Mem.read t.mem (Layout.count_addr slot) in
+  let entries = Array.init count (fun k -> read_entry t ~slot ~k) in
+  let cb = callback_fn t (Mem.read t.mem (Layout.callback_addr slot)) in
+  let to_free =
+    match cb with
+    | Some fn -> List.filter (fun v -> v <> 0) (fn ~succeeded entries)
+    | None -> values_to_free ~succeeded entries
+  in
+  let to_enlist =
+    match to_free with
+    | [] -> []
+    | vs ->
+        let p = get_palloc t in
+        if during_recovery then
+          List.filter (fun v -> Palloc.mark_free_if_allocated p v) vs
+        else begin
+          List.iter (Palloc.mark_free p) vs;
+          vs
+        end
+  in
+  Mem.write t.mem (Layout.status_addr slot) Layout.status_free;
+  clwb_if t slot;
+  (match to_enlist with
+  | [] -> ()
+  | vs ->
+      let p = get_palloc t in
+      List.iter (Palloc.enlist p) vs)
+
+let make_free t ~slot ~part ~succeeded =
+  finalize_slot t ~slot ~succeeded;
+  push_partition t part slot
+
+let discard d =
+  check_desc d;
+  d.dlive <- false;
+  (* Never exposed: recycle immediately, as a failure. *)
+  make_free d.dpool ~slot:d.slot ~part:d.hdl.part ~succeeded:false
+
+let seal d =
+  check_desc d;
+  d.dlive <- false;
+  persist_desc d.dpool ~slot:d.slot ~count:d.nentries
+
+let finish d ~succeeded =
+  let t = d.dpool and slot = d.slot and part = d.hdl.part in
+  Epoch.defer d.hdl.hguard (fun () -> make_free t ~slot ~part ~succeeded)
+
+let desc_slot d = d.slot
+let desc_handle d = d.hdl
+let desc_pool d = d.dpool
+let desc_live d = d.dlive
+
+let desc_status t ~slot =
+  Flags.clear_dirty (Mem.read t.mem (Layout.status_addr slot))

@@ -1,0 +1,162 @@
+(** Descriptor pool and descriptor lifecycle (Sections 2.2, 5.1, 5.2).
+
+    The pool lives in a dedicated NVRAM region at an application-defined
+    base so recovery can find every in-flight PMwCAS after a crash. Slots
+    cycle through
+
+    {v Free -> Undecided -> (Succeeded | Failed) -> Free v}
+
+    with the durability order that makes recovery sound:
+
+    - [alloc_desc] durably moves the slot to [Undecided] {e before} any
+      word is added, so memory reserved into the descriptor is always
+      reachable from a descriptor that recovery will process (and roll
+      back, freeing the reservation);
+    - [reserve_entry] durably persists the entry and count {e before}
+      returning the delivery address, closing the leak window of
+      Section 5.2;
+    - plain [add_word] entries are persisted in bulk when [Op.execute]
+      seals the descriptor — one flush for the common case;
+    - recycling defers through the epoch manager and durably returns the
+      slot to [Free] before it can be reused, so recovery never
+      misinterprets a stale descriptor.
+
+    A pool created with [persistent:false] runs the identical code with
+    every flush and dirty bit elided — the volatile MwCAS of Harris et
+    al., used by the paper (and our benchmarks) as the baseline. *)
+
+type t
+type handle
+type descriptor
+
+type entry = {
+  addr : int;
+  old_value : int;
+  new_value : int;
+  policy : Layout.policy;
+}
+
+type callback = succeeded:bool -> entry array -> int list
+(** Finalize callback: replaces the default per-word policy handling when
+    attached to a descriptor (Section 5.2) and returns the block addresses
+    to release — the pool frees them with the same crash-safe ordering as
+    the built-in policies (durably freed before the slot is, recyclable
+    only after; replay-tolerant during recovery). Multi-block structures
+    (e.g. whole Bw-tree delta chains) release their memory this way.
+    Any other side effect of the callback must be idempotent: a crash
+    during recycling replays it on recovery. Identified by registration
+    index, not address, so it survives restarts — register callbacks in
+    the same order on every start. *)
+
+(** {1 Construction} *)
+
+val region_words :
+  ?max_words:int -> ?descs_per_thread:int -> max_threads:int -> unit -> int
+(** NVRAM words needed for a pool with these parameters. *)
+
+val create :
+  ?persistent:bool ->
+  ?max_words:int ->
+  ?descs_per_thread:int ->
+  ?palloc:Palloc.t ->
+  Nvram.Mem.t ->
+  base:int ->
+  max_threads:int ->
+  t
+(** Format a fresh pool at [base] (line-aligned). [max_words] (default 8)
+    bounds words per PMwCAS; [descs_per_thread] (default 32) sizes each
+    thread's partition; [palloc] enables the recycle policies that free
+    memory. *)
+
+val attach : ?palloc:Palloc.t -> ?callbacks:callback list -> Nvram.Mem.t
+  -> base:int -> t
+(** Re-open an already formatted pool (typically inside a crash image,
+    before running [Recovery.run]). Callbacks are re-registered in order.
+    @raise Failure on bad magic. *)
+
+(** {1 Threads} *)
+
+val register : t -> handle
+(** Claim a partition + epoch slot for the calling domain. One handle per
+    domain; handles are not thread-safe. *)
+
+val unregister : handle -> unit
+val with_epoch : handle -> (unit -> 'a) -> 'a
+val guard : handle -> Epoch.guard
+val pool_of_handle : handle -> t
+
+(** {1 Descriptor lifecycle (the paper's API, Section 2.2)} *)
+
+val alloc_desc : ?callback:int -> handle -> descriptor
+(** [AllocateDescriptor]: take a slot from this thread's partition
+    (stealing, then forcing reclamation, when empty), durably mark it
+    [Undecided]. @raise Failure when the pool is truly exhausted. *)
+
+val add_word :
+  ?policy:Layout.policy -> descriptor -> addr:int -> expected:int
+  -> desired:int -> unit
+(** [AddWord]. Values must be clean payloads (no flag bits).
+    @raise Invalid_argument on duplicate address, full descriptor, flagged
+    values, or a descriptor already executed/discarded. *)
+
+val reserve_entry :
+  ?policy:Layout.policy -> descriptor -> addr:int -> expected:int
+  -> Nvram.Mem.addr
+(** [ReserveEntry]: like [add_word] with the new value left open; returns
+    the NVRAM address of the entry's [new_value] field, to be passed as
+    [dest] to {!Palloc.alloc}. The entry and count are durable on return. *)
+
+val remove_word : descriptor -> addr:int -> unit
+(** [RemoveWord]. @raise Invalid_argument if the address was never added
+    or the descriptor contains reserved entries (removing around an
+    in-flight reservation cannot be made crash-atomic). *)
+
+val discard : descriptor -> unit
+(** [Discard]: cancel before execution. Reserved memory is released
+    according to the failure side of each entry's policy. The slot is
+    durably freed and immediately reusable (it was never visible). *)
+
+val word_count : descriptor -> int
+
+(** {1 Introspection} *)
+
+val mem : t -> Nvram.Mem.t
+val layout : t -> Layout.t
+val persistent : t -> bool
+val palloc : t -> Palloc.t option
+val epoch : t -> Epoch.t
+val metrics : t -> Metrics.t
+val max_threads : t -> int
+val free_slots : t -> int
+(** Currently recycled-and-available slots across all partitions (racy
+    snapshot; exact when quiescent). *)
+
+val register_callback : t -> callback -> int
+(** Returns the index to pass as [alloc_desc ?callback]. Call during
+    single-threaded startup. *)
+
+val desc_status : t -> slot:int -> int
+(** Clean status value of the slot at address [slot] (tests, recovery). *)
+
+(**/**)
+
+(** Internal interface for [Op] and [Recovery]. *)
+
+val desc_slot : descriptor -> int
+val desc_handle : descriptor -> handle
+val desc_pool : descriptor -> t
+val desc_live : descriptor -> bool
+val seal : descriptor -> unit
+val finish : descriptor -> succeeded:bool -> unit
+val free_value : t -> int -> unit
+val callback_fn : t -> int -> callback option
+val read_entry : t -> slot:int -> k:int -> entry
+
+val finalize_slot :
+  ?during_recovery:bool -> t -> slot:int -> succeeded:bool -> unit
+(** Apply the slot's callback or recycle policies and durably return it to
+    [Free]. Crash-safe ordering: frees become durable before the slot
+    does, and blocks only become reusable afterwards. With
+    [during_recovery:true], frees that already happened before the crash
+    are tolerated (replay). Used by the owner's deferred recycle and by
+    [Recovery]. *)

@@ -1,0 +1,64 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+
+type stats = {
+  scanned : int;
+  in_flight : int;
+  rolled_forward : int;
+  rolled_back : int;
+  words_restored : int;
+}
+
+let refers_to_slot lay ~slot ~k w =
+  (Flags.is_mwcas w && Layout.desc_of_ptr w = slot)
+  || Flags.is_rdcss w
+     &&
+     match Layout.wd_of_ptr lay w with
+     | s, k' -> s = slot && k' = k
+     | exception Invalid_argument _ -> false
+
+let run ?palloc ?(callbacks = []) mem ~base =
+  let pool = Pool.attach ?palloc ~callbacks mem ~base in
+  let lay = Pool.layout pool in
+  let in_flight = ref 0
+  and forward = ref 0
+  and backward = ref 0
+  and restored = ref 0 in
+  for i = 0 to lay.nslots - 1 do
+    let slot = Layout.slot_off lay i in
+    let status = Pool.desc_status pool ~slot in
+    if status <> Layout.status_free then begin
+      incr in_flight;
+      let roll_forward = status = Layout.status_succeeded in
+      if roll_forward then incr forward else incr backward;
+      let count = Mem.read mem (Layout.count_addr slot) in
+      if count < 0 || count > lay.max_words then
+        failwith
+          (Printf.sprintf "Recovery: corrupt count %d in slot %d" count i);
+      for k = 0 to count - 1 do
+        let e = Pool.read_entry pool ~slot ~k in
+        let w = Mem.read mem e.addr in
+        if refers_to_slot lay ~slot ~k w then begin
+          let v = if roll_forward then e.new_value else e.old_value in
+          Mem.write mem e.addr v;
+          Mem.clwb mem e.addr;
+          incr restored
+        end
+      done;
+      Pool.finalize_slot ~during_recovery:true pool ~slot ~succeeded:roll_forward
+    end
+  done;
+  ( pool,
+    {
+      scanned = lay.nslots;
+      in_flight = !in_flight;
+      rolled_forward = !forward;
+      rolled_back = !backward;
+      words_restored = !restored;
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "scanned=%d in_flight=%d rolled_forward=%d rolled_back=%d \
+     words_restored=%d"
+    s.scanned s.in_flight s.rolled_forward s.rolled_back s.words_restored

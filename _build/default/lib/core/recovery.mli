@@ -1,0 +1,34 @@
+(** Post-failure recovery of a descriptor pool (Section 4.4).
+
+    Single-threaded; run {e after} {!Palloc.recover} (the allocator must
+    have resolved pending activations first) and {e before} any worker
+    thread touches the data structures.
+
+    For every non-[Free] slot: an operation that durably reached
+    [Succeeded] is rolled forward (new values written to every target word
+    still referencing the descriptor, directly or through a word
+    descriptor); an [Undecided] or [Failed] one is rolled back. Memory
+    held by old/new values is then released per the recycle policies (or
+    the finalize callback), and the slot durably returns to [Free].
+
+    No index-specific recovery code is required — this routine plus the
+    application's discipline of moving the structure between consistent
+    states with single PMwCASes is the paper's whole recovery story. *)
+
+type stats = {
+  scanned : int;  (** Slots examined. *)
+  in_flight : int;  (** Slots found mid-operation. *)
+  rolled_forward : int;
+  rolled_back : int;
+  words_restored : int;  (** Target words rewritten. *)
+}
+
+val run :
+  ?palloc:Palloc.t -> ?callbacks:Pool.callback list -> Nvram.Mem.t
+  -> base:int -> Pool.t * stats
+(** Attach to the pool at [base] inside a crash image, recover every
+    in-flight PMwCAS, and return a ready-to-use pool. [callbacks] must be
+    re-registered in the same order as before the crash.
+    @raise Failure on bad magic or a corrupt descriptor. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,166 @@
+let free_tag = -2
+let idle_tag = -1
+
+type t = {
+  slots : int Atomic.t array;
+  epoch : int Atomic.t;
+  orphans : (int * (unit -> unit)) list Atomic.t;
+  registered : int Atomic.t;
+}
+
+type guard = {
+  mgr : t;
+  cell : int Atomic.t;
+  mutable depth : int;
+  mutable garbage : (int * (unit -> unit)) list;
+  mutable garbage_len : int;
+  mutable exits : int;
+  mutable live : bool;
+}
+
+(* Advance and attempt reclamation every this many outermost exits, or as
+   soon as this much garbage accumulates (keeps bounded pools such as the
+   PMwCAS descriptor pool from starving). *)
+let reclaim_period = 32
+let garbage_high_water = 16
+
+let create ?(slots = 128) () =
+  if slots <= 0 then invalid_arg "Epoch.create: slots <= 0";
+  {
+    slots = Array.init slots (fun _ -> Atomic.make free_tag);
+    epoch = Atomic.make 0;
+    orphans = Atomic.make [];
+    registered = Atomic.make 0;
+  }
+
+let register t =
+  let n = Array.length t.slots in
+  let rec claim i =
+    if i >= n then failwith "Epoch.register: all slots taken"
+    else if Atomic.compare_and_set t.slots.(i) free_tag idle_tag then i
+    else claim (i + 1)
+  in
+  let i = claim 0 in
+  ignore (Atomic.fetch_and_add t.registered 1);
+  {
+    mgr = t;
+    cell = t.slots.(i);
+    depth = 0;
+    garbage = [];
+    garbage_len = 0;
+    exits = 0;
+    live = true;
+  }
+
+let check_live g = if not g.live then invalid_arg "Epoch: guard unregistered"
+let current t = Atomic.get t.epoch
+let advance t = 1 + Atomic.fetch_and_add t.epoch 1
+let registered t = Atomic.get t.registered
+
+let safe_before t =
+  let m = ref max_int in
+  Array.iter
+    (fun s ->
+      let v = Atomic.get s in
+      if v >= 0 && v < !m then m := v)
+    t.slots;
+  if !m = max_int then current t + 1 else !m
+
+let pinned g = g.depth > 0
+
+let enter g =
+  check_live g;
+  if g.depth = 0 then begin
+    (* Publish the pin, then re-check the epoch: guarantees that any
+       retirement happening after our pin is visible as >= our pinned
+       epoch (standard epoch-publication handshake). *)
+    let rec pin () =
+      let e = Atomic.get g.mgr.epoch in
+      Atomic.set g.cell e;
+      if Atomic.get g.mgr.epoch <> e then pin ()
+    in
+    pin ()
+  end;
+  g.depth <- g.depth + 1
+
+let defer g fn =
+  check_live g;
+  g.garbage <- (Atomic.get g.mgr.epoch, fn) :: g.garbage;
+  g.garbage_len <- g.garbage_len + 1
+
+let run_eligible ~bound items =
+  let run, keep = List.partition (fun (e, _) -> e < bound) items in
+  List.iter (fun (_, fn) -> fn ()) run;
+  (List.length run, keep)
+
+let take_orphans t =
+  let rec loop () =
+    let cur = Atomic.get t.orphans in
+    if cur = [] then []
+    else if Atomic.compare_and_set t.orphans cur [] then cur
+    else loop ()
+  in
+  loop ()
+
+let give_orphans t items =
+  if items <> [] then begin
+    let rec loop () =
+      let cur = Atomic.get t.orphans in
+      if not (Atomic.compare_and_set t.orphans cur (items @ cur)) then loop ()
+    in
+    loop ()
+  end
+
+let reclaim g =
+  check_live g;
+  let bound = safe_before g.mgr in
+  let n1, keep = run_eligible ~bound g.garbage in
+  g.garbage <- keep;
+  g.garbage_len <- g.garbage_len - n1;
+  let orphans = take_orphans g.mgr in
+  let n2, keep_orphans = run_eligible ~bound orphans in
+  give_orphans g.mgr keep_orphans;
+  n1 + n2
+
+let exit g =
+  check_live g;
+  if g.depth <= 0 then invalid_arg "Epoch.exit: not pinned";
+  g.depth <- g.depth - 1;
+  if g.depth = 0 then begin
+    Atomic.set g.cell idle_tag;
+    g.exits <- g.exits + 1;
+    if g.exits mod reclaim_period = 0 || g.garbage_len >= garbage_high_water
+    then begin
+      ignore (advance g.mgr);
+      ignore (reclaim g)
+    end
+  end
+
+let with_guard g fn =
+  enter g;
+  match fn () with
+  | v ->
+      exit g;
+      v
+  | exception e ->
+      exit g;
+      raise e
+
+let unregister g =
+  check_live g;
+  if g.depth > 0 then invalid_arg "Epoch.unregister: guard still pinned";
+  give_orphans g.mgr g.garbage;
+  g.garbage <- [];
+  g.garbage_len <- 0;
+  g.live <- false;
+  Atomic.set g.cell free_tag;
+  ignore (Atomic.fetch_and_add g.mgr.registered (-1))
+
+let drain_all t =
+  Array.iter
+    (fun s ->
+      if Atomic.get s >= 0 then failwith "Epoch.drain_all: a guard is pinned")
+    t.slots;
+  let orphans = take_orphans t in
+  let n, _ = run_eligible ~bound:max_int orphans in
+  n

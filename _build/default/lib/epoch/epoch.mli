@@ -1,0 +1,69 @@
+(** Epoch-based resource reclamation (Section 5.1 of the paper).
+
+    Threads register for a slot, then bracket every sequence of operations
+    that may dereference reclaimable objects between [enter] and [exit].
+    An object retired with [defer] while the global epoch was [e] is only
+    reclaimed once no thread is still pinned at an epoch [<= e], which
+    guarantees no thread can hold a reference obtained before retirement.
+
+    Deferred callbacks are kept in per-guard limbo lists (no cross-thread
+    contention); a guard that unregisters hands its leftovers to a shared
+    orphan list drained by other guards. The paper notes garbage lists
+    need not be persistent — recovery is single-threaded and simply reuses
+    every descriptor — so this manager is entirely volatile. *)
+
+type t
+
+type guard
+(** A registered thread's handle. Guards are not thread-safe: use one
+    guard per domain. *)
+
+val create : ?slots:int -> unit -> t
+(** [slots] bounds the number of simultaneously registered guards
+    (default 128). *)
+
+val register : t -> guard
+(** Claim a slot. @raise Failure when all slots are taken. *)
+
+val unregister : guard -> unit
+(** Release the slot. Remaining deferred callbacks are moved to the orphan
+    list. The guard must not be pinned and must not be used afterwards. *)
+
+val enter : guard -> unit
+(** Pin the guard at the current global epoch. Re-entrant calls are
+    counted and only the outermost [exit] unpins. *)
+
+val exit : guard -> unit
+(** Unpin (outermost call). Periodically advances the global epoch and
+    drains eligible garbage. *)
+
+val pinned : guard -> bool
+
+val with_guard : guard -> (unit -> 'a) -> 'a
+(** [enter]/[exit] bracket, exception-safe. *)
+
+val defer : guard -> (unit -> unit) -> unit
+(** Schedule a callback to run once every epoch pinned now is gone. *)
+
+val current : t -> int
+(** Current global epoch. *)
+
+val advance : t -> int
+(** Force a global epoch bump; returns the new epoch. *)
+
+val safe_before : t -> int
+(** Epochs strictly below this value are reclaimable: the minimum epoch
+    any registered guard is pinned at (or the current epoch + 1 when
+    nothing is pinned). *)
+
+val reclaim : guard -> int
+(** Drain this guard's eligible garbage plus a share of the orphan list;
+    returns the number of callbacks run. Called implicitly by [exit], so
+    explicit use is only needed for tests or quiescent cleanup. *)
+
+val drain_all : t -> int
+(** Run every outstanding callback regardless of epochs. Only legal when
+    no guard is pinned (e.g. shutdown); raises [Failure] otherwise. *)
+
+val registered : t -> int
+(** Number of live guards (for tests and space accounting). *)

@@ -1,0 +1,103 @@
+type result = {
+  threads : int;
+  ops : int;
+  seconds : float;
+  throughput : float;
+  per_thread : int array;
+}
+
+let now () = Unix.gettimeofday ()
+
+let finish ~threads ~seconds counts =
+  let ops = Array.fold_left ( + ) 0 counts in
+  {
+    threads;
+    ops;
+    seconds;
+    throughput = (if seconds > 0. then float_of_int ops /. seconds else 0.);
+    per_thread = counts;
+  }
+
+(* A worker that dies during preparation or mid-run must not wedge the
+   barrier: every path increments [ready], and failures are re-raised in
+   the calling domain after all workers are collected. *)
+let collect results =
+  Array.map
+    (function Ok n -> n | Error e -> raise e)
+    results
+
+let run_timed ~threads ~seconds ~prepare =
+  if threads <= 0 then invalid_arg "Runner: threads <= 0";
+  let stop = Atomic.make false in
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let worker tid () =
+    match
+      let op =
+        Fun.protect
+          ~finally:(fun () -> ignore (Atomic.fetch_and_add ready 1))
+          (fun () -> prepare tid)
+      in
+      while not (Atomic.get go) do
+        Domain.cpu_relax ()
+      done;
+      let n = ref 0 in
+      (* Check the clock through the stop flag only; the main domain owns
+         the timing. *)
+      while not (Atomic.get stop) do
+        op ();
+        incr n
+      done;
+      !n
+    with
+    | n -> Ok n
+    | exception e ->
+        Atomic.set stop true;
+        Error e
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  while Atomic.get ready < threads do
+    Domain.cpu_relax ()
+  done;
+  let t0 = now () in
+  Atomic.set go true;
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  let results = Array.of_list (List.map Domain.join domains) in
+  let elapsed = now () -. t0 in
+  finish ~threads ~seconds:elapsed (collect results)
+
+let run_ops ~threads ~ops_per_thread ~prepare =
+  if threads <= 0 then invalid_arg "Runner: threads <= 0";
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let worker tid () =
+    match
+      let op =
+        Fun.protect
+          ~finally:(fun () -> ignore (Atomic.fetch_and_add ready 1))
+          (fun () -> prepare tid)
+      in
+      while not (Atomic.get go) do
+        Domain.cpu_relax ()
+      done;
+      for _ = 1 to ops_per_thread do
+        op ()
+      done;
+      ops_per_thread
+    with
+    | n -> Ok n
+    | exception e -> Error e
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  while Atomic.get ready < threads do
+    Domain.cpu_relax ()
+  done;
+  let t0 = now () in
+  Atomic.set go true;
+  let results = Array.of_list (List.map Domain.join domains) in
+  finish ~threads ~seconds:(now () -. t0) (collect results)
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d threads: %d ops in %.3fs = %.0f ops/s" r.threads
+    r.ops r.seconds r.throughput

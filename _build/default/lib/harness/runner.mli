@@ -1,0 +1,29 @@
+(** Multi-domain throughput driver for the benchmark experiments.
+
+    Each worker domain gets a per-thread state from [prepare] and then
+    calls its operation thunk in a tight loop until the clock runs out
+    (or a fixed per-thread operation count is reached). Timing excludes
+    preparation. On a single-core host the domains interleave
+    preemptively — absolute throughput is not hardware-meaningful, but
+    ratios between configurations at equal thread counts are. *)
+
+type result = {
+  threads : int;
+  ops : int;  (** Total operations completed. *)
+  seconds : float;
+  throughput : float;  (** ops/second. *)
+  per_thread : int array;
+}
+
+val run_timed :
+  threads:int -> seconds:float -> prepare:(int -> unit -> unit) -> result
+(** [prepare tid] returns the thunk the worker loops; each call counts as
+    one operation. *)
+
+val run_ops :
+  threads:int -> ops_per_thread:int -> prepare:(int -> unit -> unit)
+  -> result
+(** Fixed-work variant: every worker performs exactly [ops_per_thread]
+    calls. *)
+
+val pp_result : Format.formatter -> result -> unit

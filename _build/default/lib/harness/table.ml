@@ -1,0 +1,44 @@
+let print ?(out = stdout) ?title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    List.mapi
+      (fun c w ->
+        let s = match List.nth_opt row c with Some s -> s | None -> "" in
+        if c = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s)
+      widths
+    |> String.concat "  "
+  in
+  (match title with
+  | Some t ->
+      output_string out t;
+      output_char out '\n'
+  | None -> ());
+  let head = render header in
+  output_string out head;
+  output_char out '\n';
+  output_string out (String.make (String.length head) '-');
+  output_char out '\n';
+  List.iter
+    (fun r ->
+      output_string out (render r);
+      output_char out '\n')
+    rows;
+  flush out
+
+let mops x = Printf.sprintf "%.3f" (x /. 1_000_000.)
+let kops x = Printf.sprintf "%.1f" (x /. 1_000.)
+let pct x = Printf.sprintf "%.1f%%" (x *. 100.)
+
+let ratio a b =
+  if b = 0. then "n/a"
+  else Printf.sprintf "%+.1f%%" ((a -. b) /. b *. 100.)

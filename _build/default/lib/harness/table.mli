@@ -1,0 +1,15 @@
+(** Plain-text table rendering for benchmark reports. *)
+
+val print :
+  ?out:out_channel -> ?title:string -> header:string list
+  -> string list list -> unit
+(** Column widths auto-size; first column left-aligned, the rest right-
+    aligned (numbers). *)
+
+val mops : float -> string
+(** Format a throughput as millions of ops per second ("1.234"). *)
+
+val kops : float -> string
+val pct : float -> string
+val ratio : float -> float -> string
+(** [ratio a b] — "a/b" as a percentage-difference string ("+4.2%"). *)

@@ -1,0 +1,1 @@
+lib/htm/mwcas.ml: Atomic Domain List Mutex Txn

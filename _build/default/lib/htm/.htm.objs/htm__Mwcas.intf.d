@@ -1,0 +1,1 @@
+lib/htm/mwcas.mli: Nvram Random Txn

@@ -1,0 +1,1 @@
+lib/htm/txn.ml: Array Atomic Domain Format Hashtbl List Nvram Random

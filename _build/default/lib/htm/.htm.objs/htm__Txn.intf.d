@@ -1,0 +1,1 @@
+lib/htm/txn.mli: Format Nvram Random

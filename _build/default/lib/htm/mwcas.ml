@@ -1,0 +1,66 @@
+type t = {
+  htm : Txn.t;
+  max_retries : int;
+  fallback : Mutex.t;
+  fallback_active : bool Atomic.t;
+  fallbacks : int Atomic.t;
+}
+
+type stats = { fallbacks : int; htm : Txn.stats }
+
+let create ?(max_retries = 8) htm =
+  {
+    htm;
+    max_retries;
+    fallback = Mutex.create ();
+    fallback_active = Atomic.make false;
+    fallbacks = Atomic.make 0;
+  }
+
+let body (t : t) words txn =
+  (* A transaction must observe the fallback lock (standard lock-elision
+     pairing): abort if a fallback writer is active. *)
+  if Atomic.get t.fallback_active then raise Txn.Abort;
+  let ok =
+    List.for_all (fun (a, expected, _) -> Txn.read txn a = expected) words
+  in
+  if ok then List.iter (fun (a, _, desired) -> Txn.write txn a desired) words;
+  ok
+
+let run_fallback (t : t) words =
+  Mutex.lock t.fallback;
+  Atomic.set t.fallback_active true;
+  ignore (Atomic.fetch_and_add t.fallbacks 1);
+  let ok =
+    Txn.with_lines_locked t.htm
+      (List.map (fun (a, _, _) -> a) words)
+      (fun ~read ~write ->
+        let ok =
+          List.for_all (fun (a, expected, _) -> read a = expected) words
+        in
+        if ok then List.iter (fun (a, _, desired) -> write a desired) words;
+        ok)
+  in
+  Atomic.set t.fallback_active false;
+  Mutex.unlock t.fallback;
+  ok
+
+let execute (t : t) ~rng words =
+  let words = List.sort (fun (a, _, _) (b, _, _) -> compare a b) words in
+  let rec go tries =
+    match Txn.attempt t.htm ~rng (body t words) with
+    | Ok ok -> ok
+    | Error _ when tries < t.max_retries ->
+        Domain.cpu_relax ();
+        go (tries + 1)
+    | Error _ -> run_fallback t words
+  in
+  go 0
+
+let read (t : t) a = Txn.read_consistent t.htm a
+
+let stats (t : t) = { fallbacks = Atomic.get t.fallbacks; htm = Txn.stats t.htm }
+
+let reset_stats (t : t) =
+  Atomic.set t.fallbacks 0;
+  Txn.reset_stats t.htm

@@ -1,0 +1,23 @@
+(** A multi-word CAS built on the emulated HTM, with the lock fallback
+    that real best-effort HTM deployments require (Section 2.3).
+
+    Each call tries the update as a single hardware transaction; after
+    [max_retries] aborts it acquires a global fallback mutex — the point
+    at which throughput collapses under contention, which is exactly the
+    robustness gap the paper measures against the software MwCAS. *)
+
+type t
+
+val create : ?max_retries:int -> Txn.t -> t
+
+val execute :
+  t -> rng:Random.State.t -> (Nvram.Mem.addr * int * int) list -> bool
+(** [(addr, expected, desired)] triples; true iff all matched and were
+    swapped atomically. *)
+
+val read : t -> Nvram.Mem.addr -> int
+
+type stats = { fallbacks : int; htm : Txn.stats }
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,204 @@
+module Mem = Nvram.Mem
+
+type abort = Conflict | Capacity | Spurious
+
+let pp_abort ppf = function
+  | Conflict -> Format.pp_print_string ppf "conflict"
+  | Capacity -> Format.pp_print_string ppf "capacity"
+  | Spurious -> Format.pp_print_string ppf "spurious"
+
+type t = {
+  mem : Mem.t;
+  versions : int Atomic.t array; (* per line; odd = locked *)
+  line_words : int;
+  abort_prob : float;
+  capacity : int;
+  commits : int Atomic.t;
+  conflicts : int Atomic.t;
+  capacity_aborts : int Atomic.t;
+  spurious : int Atomic.t;
+}
+
+type txn = {
+  h : t;
+  read_set : (int, int) Hashtbl.t; (* line -> observed version *)
+  write_buf : (int, int) Hashtbl.t; (* addr -> value *)
+}
+
+exception Abort
+exception Hard_abort of abort
+
+type stats = { commits : int; conflicts : int; capacity : int; spurious : int }
+
+let create ?(abort_prob = 0.) ?(capacity = 64) mem =
+  let lw = (Mem.config mem).line_words in
+  let lines = (Mem.size mem + lw - 1) / lw in
+  {
+    mem;
+    versions = Array.init lines (fun _ -> Atomic.make 0);
+    line_words = lw;
+    abort_prob;
+    capacity;
+    commits = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    capacity_aborts = Atomic.make 0;
+    spurious = Atomic.make 0;
+  }
+
+let line t a = a / t.line_words
+
+let footprint txn =
+  let lines = Hashtbl.copy txn.read_set in
+  Hashtbl.iter
+    (fun a _ -> Hashtbl.replace lines (line txn.h a) 0)
+    txn.write_buf;
+  Hashtbl.length lines
+
+let track_read txn a =
+  let t = txn.h in
+  let ln = line t a in
+  match Hashtbl.find_opt txn.read_set ln with
+  | Some v0 ->
+      (* Re-validate eagerly: abort as soon as a tracked line moves. *)
+      if Atomic.get t.versions.(ln) <> v0 then raise (Hard_abort Conflict)
+  | None ->
+      let v = Atomic.get t.versions.(ln) in
+      if v land 1 = 1 then raise (Hard_abort Conflict);
+      Hashtbl.add txn.read_set ln v;
+      if footprint txn > t.capacity then raise (Hard_abort Capacity)
+
+let read txn a =
+  match Hashtbl.find_opt txn.write_buf a with
+  | Some v -> v
+  | None ->
+      track_read txn a;
+      let v = Mem.read txn.h.mem a in
+      (* Validate after the load so the value belongs to the version. *)
+      let ln = line txn.h a in
+      if Atomic.get txn.h.versions.(ln) <> Hashtbl.find txn.read_set ln then
+        raise (Hard_abort Conflict);
+      v
+
+let write txn a v =
+  Hashtbl.replace txn.write_buf a v;
+  if footprint txn > txn.h.capacity then raise (Hard_abort Capacity)
+
+let commit txn ~rng =
+  let t = txn.h in
+  if t.abort_prob > 0. && Random.State.float rng 1.0 < t.abort_prob then
+    raise (Hard_abort Spurious);
+  (* Lock the write lines in ascending order. *)
+  let write_lines =
+    Hashtbl.fold (fun a _ acc -> line t a :: acc) txn.write_buf []
+    |> List.sort_uniq compare
+  in
+  let locked = ref [] in
+  let unlock () =
+    List.iter (fun (ln, v0) -> Atomic.set t.versions.(ln) v0) !locked
+  in
+  try
+    List.iter
+      (fun ln ->
+        let v0 =
+          match Hashtbl.find_opt txn.read_set ln with
+          | Some v -> v
+          | None -> Atomic.get t.versions.(ln)
+        in
+        if v0 land 1 = 1 then raise (Hard_abort Conflict);
+        if not (Atomic.compare_and_set t.versions.(ln) v0 (v0 + 1)) then
+          raise (Hard_abort Conflict);
+        locked := (ln, v0) :: !locked)
+      write_lines;
+    (* Validate the read-only lines. *)
+    Hashtbl.iter
+      (fun ln v0 ->
+        if not (List.mem_assoc ln !locked) then
+          if Atomic.get t.versions.(ln) <> v0 then
+            raise (Hard_abort Conflict))
+      txn.read_set;
+    (* Apply and release with bumped versions. *)
+    Hashtbl.iter (fun a v -> Mem.write t.mem a v) txn.write_buf;
+    List.iter (fun (ln, v0) -> Atomic.set t.versions.(ln) (v0 + 2)) !locked;
+    ignore (Atomic.fetch_and_add t.commits 1)
+  with Hard_abort a ->
+    unlock ();
+    raise (Hard_abort a)
+
+let record_abort (t : t) = function
+  | Conflict -> ignore (Atomic.fetch_and_add t.conflicts 1)
+  | Capacity -> ignore (Atomic.fetch_and_add t.capacity_aborts 1)
+  | Spurious -> ignore (Atomic.fetch_and_add t.spurious 1)
+
+let attempt t ~rng body =
+  let txn =
+    { h = t; read_set = Hashtbl.create 8; write_buf = Hashtbl.create 8 }
+  in
+  match
+    let r = body txn in
+    commit txn ~rng;
+    r
+  with
+  | r -> Ok r
+  | exception Hard_abort a ->
+      record_abort t a;
+      Error a
+  | exception Abort ->
+      record_abort t Conflict;
+      Error Conflict
+
+let read_consistent t a =
+  let ln = line t a in
+  let rec loop () =
+    let v0 = Atomic.get t.versions.(ln) in
+    if v0 land 1 = 1 then begin
+      Domain.cpu_relax ();
+      loop ()
+    end
+    else
+      let x = Mem.read t.mem a in
+      if Atomic.get t.versions.(ln) = v0 then x
+      else loop ()
+  in
+  loop ()
+
+let with_lines_locked t addrs body =
+  let lines = List.map (line t) addrs |> List.sort_uniq compare in
+  let locked =
+    List.map
+      (fun ln ->
+        let rec lock () =
+          let v0 = Atomic.get t.versions.(ln) in
+          if v0 land 1 = 1 || not (Atomic.compare_and_set t.versions.(ln) v0 (v0 + 1))
+          then begin
+            Domain.cpu_relax ();
+            lock ()
+          end
+          else v0
+        in
+        (ln, lock ()))
+      lines
+  in
+  let finish () =
+    List.iter (fun (ln, v0) -> Atomic.set t.versions.(ln) (v0 + 2)) locked
+  in
+  match body ~read:(Mem.read t.mem) ~write:(Mem.write t.mem) with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
+let stats (t : t) =
+  {
+    commits = Atomic.get t.commits;
+    conflicts = Atomic.get t.conflicts;
+    capacity = Atomic.get t.capacity_aborts;
+    spurious = Atomic.get t.spurious;
+  }
+
+let reset_stats (t : t) =
+  Atomic.set t.commits 0;
+  Atomic.set t.conflicts 0;
+  Atomic.set t.capacity_aborts 0;
+  Atomic.set t.spurious 0

@@ -1,0 +1,60 @@
+(** Emulated best-effort hardware transactional memory (Section 2.3).
+
+    The paper argues HTM is a tempting but fragile alternative to a
+    software MwCAS: transactions abort spuriously (interrupts, cache
+    events), abort on capacity overflow, and conflict-abort under
+    contention, so an HTM-based multi-word update needs a fallback and
+    degrades abruptly. This module reproduces those failure modes over
+    the simulated NVRAM so the comparison experiment (E6) can run without
+    TSX hardware:
+
+    - optimistic per-cache-line versioning (even = unlocked seqlock);
+    - conflict aborts when a read line changes or a write line is locked;
+    - capacity aborts when a transaction touches more lines than
+      [capacity];
+    - spurious aborts injected with probability [abort_prob] at commit.
+
+    Word reads/writes inside a transaction are buffered; effects reach
+    memory only on a successful commit, which is atomic with respect to
+    other transactions and to readers using {!read_consistent}. *)
+
+type t
+
+type abort = Conflict | Capacity | Spurious
+
+val pp_abort : Format.formatter -> abort -> unit
+
+val create : ?abort_prob:float -> ?capacity:int -> Nvram.Mem.t -> t
+(** [capacity] in cache lines (default 64); [abort_prob] per commit
+    attempt (default 0). *)
+
+type txn
+
+val attempt :
+  t -> rng:Random.State.t -> (txn -> 'a) -> ('a, abort) result
+(** Run one transaction attempt. The body may raise {!Abort} to
+    self-abort (mapped to [Conflict]). No blocking: an attempt either
+    commits or aborts immediately. *)
+
+exception Abort
+
+val read : txn -> Nvram.Mem.addr -> int
+val write : txn -> Nvram.Mem.addr -> int -> unit
+
+val read_consistent : t -> Nvram.Mem.addr -> int
+(** Non-transactional read that never observes a partially committed
+    transaction (seqlock-validated). *)
+
+val with_lines_locked :
+  t -> Nvram.Mem.addr list -> (read:(Nvram.Mem.addr -> int) ->
+  write:(Nvram.Mem.addr -> int -> unit) -> 'a) -> 'a
+(** Spin-lock the cache lines covering the given addresses (in order),
+    run the body with direct read/write access, then release with bumped
+    versions. Concurrent transactions conflict-abort against the locked
+    lines; [read_consistent] waits. This is the fallback path an
+    HTM-based MwCAS needs when transactions keep aborting. *)
+
+type stats = { commits : int; conflicts : int; capacity : int; spurious : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

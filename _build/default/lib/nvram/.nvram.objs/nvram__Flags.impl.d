@@ -1,0 +1,1 @@
+lib/nvram/flags.ml: Format String

@@ -1,0 +1,1 @@
+lib/nvram/flags.mli: Format

@@ -1,0 +1,1 @@
+lib/nvram/mem.ml: Array Atomic Config Domain Flags Format Printf Random Stats

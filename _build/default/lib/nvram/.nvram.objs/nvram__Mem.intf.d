@@ -1,0 +1,1 @@
+lib/nvram/mem.mli: Config Format Random Stats

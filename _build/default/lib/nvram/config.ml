@@ -1,0 +1,10 @@
+type t = { words : int; line_words : int; flush_delay : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make ?(line_words = 8) ?(flush_delay = 0) ~words () =
+  if words <= 0 then invalid_arg "Nvram.Config.make: words <= 0";
+  if not (is_pow2 line_words) then
+    invalid_arg "Nvram.Config.make: line_words must be a positive power of two";
+  if flush_delay < 0 then invalid_arg "Nvram.Config.make: flush_delay < 0";
+  { words; line_words; flush_delay }

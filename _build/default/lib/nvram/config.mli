@@ -1,0 +1,17 @@
+(** Configuration of the simulated NVRAM device. *)
+
+type t = private {
+  words : int;  (** Total capacity in 8-byte words. *)
+  line_words : int;
+      (** Words per cache line (power of two). Write-back granularity of
+          [Mem.clwb] — flushing one word persists its whole line, exactly
+          as CLWB does for 64-byte lines (8 words). *)
+  flush_delay : int;
+      (** Busy-work iterations charged per [clwb], modelling the extra
+          write-back latency of an NVDIMM relative to a cached store.
+          [0] disables the cost model (pure functional simulation). *)
+}
+
+val make : ?line_words:int -> ?flush_delay:int -> words:int -> unit -> t
+(** @raise Invalid_argument if [words <= 0], [line_words] is not a positive
+    power of two, or [flush_delay < 0]. *)

@@ -1,0 +1,25 @@
+let dirty = 1 lsl 61
+let mwcas = 1 lsl 60
+let rdcss = 1 lsl 59
+let mark = 1 lsl 58
+let address_mask = (1 lsl 59) - 1
+let max_payload = (1 lsl 58) - 1
+let is_dirty v = v land dirty <> 0
+let is_mwcas v = v land mwcas <> 0
+let is_rdcss v = v land rdcss <> 0
+let is_marked v = v land mark <> 0
+let is_descriptor v = v land (mwcas lor rdcss) <> 0
+let set_dirty v = v lor dirty
+let clear_dirty v = v land lnot dirty
+let set_mark v = v lor mark
+let clear_mark v = v land lnot mark
+let payload v = v land address_mask
+
+let pp ppf v =
+  let flag b c = if b then String.make 1 c else "" in
+  Format.fprintf ppf "<%s%s%s%s>%d"
+    (flag (is_dirty v) 'd')
+    (flag (is_mwcas v) 'm')
+    (flag (is_rdcss v) 'r')
+    (flag (is_marked v) 'x')
+    (v land max_payload)

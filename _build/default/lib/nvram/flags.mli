@@ -1,0 +1,52 @@
+(** Flag bits stolen from the high-order bits of a 63-bit memory word.
+
+    The paper (Section 3, Figure 2) steals vacant high bits of canonical
+    x86-64 pointers.  Here a word is an OCaml immediate [int]; we use bits
+    61..58 and keep bit 62 (the sign bit) untouched so flagged words stay
+    non-negative:
+
+    {v
+    bit 61  dirty  - the word may not be durable in NVM yet
+    bit 60  mwcas  - the word holds a pointer to a PMwCAS descriptor
+    bit 59  rdcss  - the word holds a pointer to a word descriptor
+    bit 58  mark   - application-level delete mark (indexes)
+    v} *)
+
+val dirty : int
+(** Constant with only the dirty bit set ([DirtyFlag] in the paper). *)
+
+val mwcas : int
+(** Constant with only the MwCAS-descriptor bit set ([MwCASFlag]). *)
+
+val rdcss : int
+(** Constant with only the RDCSS word-descriptor bit set ([RDCSSFlag]). *)
+
+val mark : int
+(** Application-level logical-delete mark. Ignored by the PMwCAS protocol:
+    it travels with the payload. *)
+
+val address_mask : int
+(** Mask selecting the payload bits (everything below the protocol flags,
+    including [mark]): bits 0..58. [AddressMask] in the paper. *)
+
+val max_payload : int
+(** Largest raw payload representable without touching flag bits. *)
+
+val is_dirty : int -> bool
+val is_mwcas : int -> bool
+val is_rdcss : int -> bool
+val is_marked : int -> bool
+
+val is_descriptor : int -> bool
+(** True if the word holds either kind of descriptor pointer. *)
+
+val set_dirty : int -> int
+val clear_dirty : int -> int
+val set_mark : int -> int
+val clear_mark : int -> int
+
+val payload : int -> int
+(** Strip the protocol flag bits ([dirty], [mwcas], [rdcss]); keeps [mark]. *)
+
+val pp : Format.formatter -> int -> unit
+(** Debug printer: ["<d,m>12345"]-style rendering of flags + payload. *)

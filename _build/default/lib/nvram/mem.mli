@@ -1,0 +1,102 @@
+(** Simulated byte-addressable NVRAM behind a volatile CPU cache.
+
+    The device keeps two images of every word:
+
+    - the {e volatile} image — what the coherent cache hierarchy holds and
+      what every load, store and CAS observes;
+    - the {e persistent} image — what has actually reached the NVDIMM and
+      survives a power failure.
+
+    A store only updates the volatile image. [clwb] writes the whole
+    containing cache line back to the persistent image, like the CLWB
+    instruction (Section 2.1 of the paper). A crash may additionally
+    preserve un-flushed lines that happened to be evicted by the cache —
+    [crash_image] models that with a per-line eviction probability, which
+    is exactly the nondeterminism the dirty-bit protocol of Section 3 must
+    tolerate.
+
+    All word operations are linearizable across domains. [clwb] persists
+    the volatile content current at its linearization point (hardware
+    cache coherence gives CLWB the same guarantee). *)
+
+type t
+
+type addr = int
+(** A word offset in [0, size). Word addresses play the role of the
+    paper's 8-byte-aligned pointers. *)
+
+val create : Config.t -> t
+(** Fresh device, all words zero in both images. *)
+
+val size : t -> int
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+(** {1 Volatile (cached) accesses} *)
+
+val read : t -> addr -> int
+(** Plain load from the coherent view. Callers inside the PMwCAS protocol
+    must use [Pmwcas.Op.read] instead; this is the raw instruction. *)
+
+val write : t -> addr -> int -> unit
+(** Plain store to the coherent view. Does not persist. *)
+
+val cas : t -> addr -> expected:int -> desired:int -> int
+(** Atomic compare-and-swap with x86 [cmpxchg] semantics: returns the
+    value witnessed in the word. The swap happened iff the result equals
+    [expected]. *)
+
+val cas_bool : t -> addr -> expected:int -> desired:int -> bool
+(** Convenience wrapper over [cas]. *)
+
+(** {1 Persistence primitives} *)
+
+val clwb : t -> addr -> unit
+(** Write the cache line containing [addr] back to the persistent image.
+    Charges [Config.flush_delay] busy-work. Synchronous in this model, so
+    no separate drain is required (fences remain available for counting
+    fidelity). *)
+
+val fence : t -> unit
+(** Store fence / SFENCE. A counted no-op: [clwb] is synchronous here. *)
+
+val clwb_range : t -> lo:addr -> hi:addr -> unit
+(** Write back every cache line intersecting [\[lo, hi\]] (inclusive).
+    Handles unaligned ranges — the footgun of stepping by the line size
+    from an unaligned start is exactly what this helper exists to avoid. *)
+
+val persist_all : t -> unit
+(** Flush every line. Intended for initialization code, not hot paths. *)
+
+(** {1 Failure simulation} *)
+
+exception Crash
+(** Raised by mutating operations once injected fuel runs out. *)
+
+val inject_crash_after : t -> int -> unit
+(** Arm the fault injector: after [n] further mutating operations
+    ([write]/[cas]/[clwb]) across all domains, every subsequent mutating
+    operation raises {!Crash}. Workers unwind, the test joins them and
+    calls [crash_image] — emulating a power failure at an arbitrary store
+    boundary. [disarm] (or a fresh [crash_image]) turns it off. *)
+
+val disarm : t -> unit
+
+val read_persistent : t -> addr -> int
+(** Read the NVM image directly (white-box accessor for tests). *)
+
+val crash_image : ?evict_prob:float -> ?rng:Random.State.t -> t -> t
+(** Power-failure snapshot: a fresh device whose content is the persistent
+    image, except that each cache line, independently with probability
+    [evict_prob] (default [0.]), instead carries its volatile content —
+    modelling lines that the cache happened to evict before the failure.
+    Both images of the result are equal (a rebooted machine has cold
+    caches). Statistics are reset.
+
+    Must be called while no other domain is mutating [t] (a real power
+    failure stops all CPUs at once). *)
+
+(** {1 Debug} *)
+
+val dump : t -> lo:addr -> hi:addr -> Format.formatter -> unit
+(** Hex-ish dump of the volatile image of words [lo, hi). *)

@@ -1,0 +1,26 @@
+type t = { mem : Mem.t; base : int; mutable next : int }
+
+let create ?(base = 0) mem =
+  if base < 0 || base > Mem.size mem then
+    invalid_arg "Nvram.Region.create: base out of bounds";
+  { mem; base; next = base }
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Nvram.Region.alloc: n <= 0";
+  if t.next + n > Mem.size t.mem then
+    invalid_arg
+      (Printf.sprintf "Nvram.Region.alloc: device exhausted (want %d, have %d)"
+         n
+         (Mem.size t.mem - t.next));
+  let a = t.next in
+  t.next <- t.next + n;
+  a
+
+let alloc_line_aligned t n =
+  let lw = (Mem.config t.mem).line_words in
+  let aligned = (t.next + lw - 1) / lw * lw in
+  t.next <- aligned;
+  alloc t n
+
+let used t = t.next - t.base
+let remaining t = Mem.size t.mem - t.next

@@ -1,0 +1,25 @@
+(** Sequential carving of a device's address space into fixed regions.
+
+    Used at startup to lay out the descriptor pool, index anchors and the
+    allocator heap at deterministic offsets, so that a recovery run over a
+    crash image reproduces the same layout from configuration alone.
+    Not thread-safe: layout happens before worker domains start. *)
+
+type t
+
+val create : ?base:int -> Mem.t -> t
+(** Carver starting at word offset [base] (default 0). *)
+
+val alloc : t -> int -> Mem.addr
+(** [alloc t n] reserves [n] words and returns their base address.
+    @raise Invalid_argument if [n <= 0] or the device is exhausted. *)
+
+val alloc_line_aligned : t -> int -> Mem.addr
+(** Like [alloc] but the returned address starts a fresh cache line, so the
+    region never shares a line with its neighbour (avoids false persistence
+    coupling between regions). *)
+
+val used : t -> int
+(** Words handed out so far, counting alignment padding. *)
+
+val remaining : t -> int

@@ -1,0 +1,36 @@
+let shards = 64
+let fields = 3 (* flush, fence, cas *)
+
+type t = int Atomic.t array
+
+type snapshot = { flushes : int; fences : int; cases : int }
+
+let create () = Array.init (shards * fields) (fun _ -> Atomic.make 0)
+
+let slot field =
+  let d = (Domain.self () :> int) in
+  ((d land (shards - 1)) * fields) + field
+
+let record_flush t = ignore (Atomic.fetch_and_add t.(slot 0) 1)
+let record_fence t = ignore (Atomic.fetch_and_add t.(slot 1) 1)
+let record_cas t = ignore (Atomic.fetch_and_add t.(slot 2) 1)
+
+let sum t field =
+  let acc = ref 0 in
+  for s = 0 to shards - 1 do
+    acc := !acc + Atomic.get t.((s * fields) + field)
+  done;
+  !acc
+
+let snapshot t = { flushes = sum t 0; fences = sum t 1; cases = sum t 2 }
+let reset t = Array.iter (fun c -> Atomic.set c 0) t
+
+let diff a b =
+  {
+    flushes = a.flushes - b.flushes;
+    fences = a.fences - b.fences;
+    cases = a.cases - b.cases;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "flushes=%d fences=%d cas=%d" s.flushes s.fences s.cases

@@ -1,0 +1,25 @@
+(** Operation counters for a simulated NVRAM device.
+
+    Counters are sharded per-thread slot to keep the instrumented fast
+    paths cheap; [snapshot] sums the shards. Only protocol-relevant events
+    are counted (flushes, fences, CASes) — plain loads/stores are free. *)
+
+type t
+
+type snapshot = {
+  flushes : int;  (** [clwb] invocations. *)
+  fences : int;  (** [fence] invocations. *)
+  cases : int;  (** compare-and-swap attempts. *)
+}
+
+val create : unit -> t
+val record_flush : t -> unit
+val record_fence : t -> unit
+val record_cas : t -> unit
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] — per-field subtraction. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,339 @@
+module Mem = Nvram.Mem
+
+let magic = 0x9a110c (* "palloc" *)
+let num_classes = 32
+
+type t = {
+  mem : Mem.t;
+  persistent : bool;
+  base : int;
+  limit : int; (* first word past the heap *)
+  heap_next_addr : int;
+  magic_addr : int;
+  slots_base : int;
+  max_threads : int;
+  heap_base : int;
+  free_lists : int list Atomic.t array; (* header offsets, per size class *)
+  claimed : bool Atomic.t array;
+  carve_lock : Mutex.t;
+}
+
+type handle = { t : t; slot : int; mutable live : bool }
+
+(* Header encoding: [size_class * 2 + allocated_bit]; 0 = never carved. *)
+let hdr ~cls ~allocated = (((cls + 1) * 2) + if allocated then 1 else 0)
+let hdr_class h = (h / 2) - 1
+let hdr_allocated h = h land 1 = 1
+let class_size cls = 1 lsl cls
+
+let class_of nwords =
+  let rec go c = if class_size c >= nwords then c else go (c + 1) in
+  go 0
+
+let metadata_words ~max_threads = 8 + (2 * max_threads) + 8
+
+let line_align mem a =
+  let lw = (Mem.config mem).line_words in
+  (a + lw - 1) / lw * lw
+
+let clwb t a = if t.persistent then Mem.clwb t.mem a
+
+let layout mem ~persistent ~base ~words ~max_threads =
+  if max_threads <= 0 then invalid_arg "Palloc: max_threads <= 0";
+  if base < 0 || words <= 0 || base + words > Mem.size mem then
+    invalid_arg "Palloc: region out of device bounds";
+  if base <> line_align mem base then
+    invalid_arg "Palloc: base must be cache-line aligned";
+  let heap_next_addr = base in
+  let magic_addr = base + 1 in
+  let slots_base = line_align mem (base + 2) in
+  let heap_base = line_align mem (slots_base + (2 * max_threads)) in
+  let limit = base + words in
+  if heap_base + 2 > limit then invalid_arg "Palloc: region too small";
+  {
+    mem;
+    persistent;
+    base;
+    limit;
+    heap_next_addr;
+    magic_addr;
+    slots_base;
+    max_threads;
+    heap_base;
+    free_lists = Array.init num_classes (fun _ -> Atomic.make []);
+    claimed = Array.init max_threads (fun _ -> Atomic.make false);
+    carve_lock = Mutex.create ();
+  }
+
+let create ?(persistent = true) mem ~base ~words ~max_threads =
+  let t = layout mem ~persistent ~base ~words ~max_threads in
+  Mem.write mem t.heap_next_addr t.heap_base;
+  Mem.write mem t.magic_addr magic;
+  for i = 0 to max_threads - 1 do
+    Mem.write mem (t.slots_base + (2 * i)) 0;
+    Mem.write mem (t.slots_base + (2 * i) + 1) 0
+  done;
+  if persistent then begin
+    Mem.clwb mem t.heap_next_addr;
+    let lw = (Mem.config mem).line_words in
+    let a = ref t.slots_base in
+    while !a < t.slots_base + (2 * max_threads) do
+      Mem.clwb mem !a;
+      a := !a + lw
+    done
+  end;
+  t
+
+let base t = t.base
+let mem t = t.mem
+
+let register_thread t =
+  let rec claim i =
+    if i >= t.max_threads then failwith "Palloc.register_thread: no slots"
+    else if Atomic.compare_and_set t.claimed.(i) false true then i
+    else claim (i + 1)
+  in
+  { t; slot = claim 0; live = true }
+
+let release_thread h =
+  if not h.live then invalid_arg "Palloc: handle already released";
+  h.live <- false;
+  Atomic.set h.t.claimed.(h.slot) false
+
+let pop_free t cls =
+  let l = t.free_lists.(cls) in
+  let rec loop () =
+    match Atomic.get l with
+    | [] -> None
+    | b :: rest as cur ->
+        if Atomic.compare_and_set l cur rest then Some b else loop ()
+  in
+  loop ()
+
+let push_free t cls b =
+  let l = t.free_lists.(cls) in
+  let rec loop () =
+    let cur = Atomic.get l in
+    if not (Atomic.compare_and_set l cur (b :: cur)) then loop ()
+  in
+  loop ()
+
+(* Extend the heap by one block of class [cls]; returns the header offset.
+   Ordering for recovery: the free header is durable before the durable
+   bump-pointer update makes the block part of the scannable heap. *)
+let carve t cls =
+  Mutex.lock t.carve_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.carve_lock)
+    (fun () ->
+      let next = Mem.read t.mem t.heap_next_addr in
+      let total = 1 + class_size cls in
+      if next + total > t.limit then failwith "Palloc.alloc: out of memory";
+      Mem.write t.mem next (hdr ~cls ~allocated:false);
+      clwb t next;
+      Mem.write t.mem t.heap_next_addr (next + total);
+      clwb t t.heap_next_addr;
+      next)
+
+let obtain t ~nwords =
+  let cls = class_of nwords in
+  let b = match pop_free t cls with Some b -> b | None -> carve t cls in
+  (cls, b)
+
+let slot_block h = h.t.slots_base + (2 * h.slot)
+let slot_dest h = h.t.slots_base + (2 * h.slot) + 1
+
+let alloc h ~nwords ~dest =
+  if not h.live then invalid_arg "Palloc: handle already released";
+  if nwords <= 0 then invalid_arg "Palloc.alloc: nwords <= 0";
+  let t = h.t in
+  let cls, b = obtain t ~nwords in
+  let payload = b + 1 in
+  if t.persistent then begin
+    (* Activation record. Dest word is written before the block word so a
+       torn volatile snapshot can never show a record pointing at a stale
+       delivery address. Both words share a cache line (2-word aligned
+       slot), so the crash image sees them together. *)
+    Mem.write t.mem (slot_dest h) dest;
+    Mem.write t.mem (slot_block h) b;
+    Mem.clwb t.mem (slot_block h);
+    (* Null the delivery word so recovery's "did it complete?" test is
+       unambiguous. *)
+    Mem.write t.mem dest 0;
+    Mem.clwb t.mem dest
+  end;
+  Mem.write t.mem b (hdr ~cls ~allocated:true);
+  clwb t b;
+  Mem.write t.mem dest payload;
+  clwb t dest;
+  if t.persistent then begin
+    Mem.write t.mem (slot_block h) 0;
+    Mem.clwb t.mem (slot_block h)
+  end;
+  payload
+
+let alloc_unsafe h ~nwords =
+  if not h.live then invalid_arg "Palloc: handle already released";
+  if nwords <= 0 then invalid_arg "Palloc.alloc: nwords <= 0";
+  let t = h.t in
+  let cls, b = obtain t ~nwords in
+  Mem.write t.mem b (hdr ~cls ~allocated:true);
+  clwb t b;
+  b + 1
+
+let header_of t payload =
+  let b = payload - 1 in
+  if b < t.heap_base || b >= t.limit then
+    invalid_arg "Palloc: address outside heap";
+  b
+
+let block_class t payload ~who =
+  let b = header_of t payload in
+  let h = Mem.read t.mem b in
+  let cls = hdr_class h in
+  if h = 0 || cls < 0 || cls >= num_classes then
+    invalid_arg (who ^ ": not a block");
+  (b, h, cls)
+
+let mark_free t payload =
+  let b, h, cls = block_class t payload ~who:"Palloc.mark_free" in
+  if not (hdr_allocated h) then invalid_arg "Palloc.mark_free: double free";
+  if Mem.cas t.mem b ~expected:h ~desired:(hdr ~cls ~allocated:false) <> h
+  then invalid_arg "Palloc.mark_free: concurrent double free";
+  clwb t b
+
+let mark_free_if_allocated t payload =
+  let b, h, cls = block_class t payload ~who:"Palloc.mark_free_if_allocated" in
+  if not (hdr_allocated h) then false
+  else begin
+    Mem.write t.mem b (hdr ~cls ~allocated:false);
+    clwb t b;
+    true
+  end
+
+let enlist t payload =
+  let b, _, cls = block_class t payload ~who:"Palloc.enlist" in
+  push_free t cls b
+
+let free t payload =
+  mark_free t payload;
+  enlist t payload
+
+let usable_size t payload =
+  let b = header_of t payload in
+  let h = Mem.read t.mem b in
+  if h = 0 then invalid_arg "Palloc.usable_size: not a block";
+  class_size (hdr_class h)
+
+let recover mem ~base ~words ~max_threads =
+  let t = layout mem ~persistent:true ~base ~words ~max_threads in
+  if Mem.read mem t.magic_addr <> magic then
+    failwith "Palloc.recover: bad magic (region was never formatted)";
+  (* Phase 1: resolve in-flight activation records. *)
+  let rolled_back = ref 0 in
+  for i = 0 to max_threads - 1 do
+    let sb = t.slots_base + (2 * i) in
+    let b = Mem.read mem sb in
+    if b <> 0 then begin
+      let dest = Mem.read mem (sb + 1) in
+      let payload = b + 1 in
+      let h = Mem.read mem b in
+      let cls = hdr_class h in
+      if dest >= 0 && dest < Mem.size mem && Mem.read mem dest = payload
+      then begin
+        (* Delivery completed: the application owns the block. *)
+        Mem.write mem b (hdr ~cls ~allocated:true);
+        Mem.clwb mem b
+      end
+      else begin
+        Mem.write mem b (hdr ~cls ~allocated:false);
+        Mem.clwb mem b;
+        incr rolled_back
+      end;
+      Mem.write mem sb 0;
+      Mem.clwb mem sb
+    end
+  done;
+  (* Phase 2: rebuild volatile free lists from the durable headers. *)
+  let heap_next = Mem.read mem t.heap_next_addr in
+  let p = ref t.heap_base in
+  while !p < heap_next do
+    let h = Mem.read mem !p in
+    let cls = hdr_class h in
+    if h = 0 || cls < 0 || cls >= num_classes then
+      failwith
+        (Printf.sprintf "Palloc.recover: corrupt header %d at %d" h !p);
+    if not (hdr_allocated h) then push_free t cls !p;
+    p := !p + 1 + class_size cls
+  done;
+  if !p <> heap_next then failwith "Palloc.recover: heap walk overran";
+  (t, !rolled_back)
+
+type audit = {
+  allocated_blocks : int;
+  allocated_words : int;
+  free_blocks : int;
+  free_words : int;
+  carved_words : int;
+  in_flight : int;
+}
+
+let audit t =
+  let heap_next = Mem.read t.mem t.heap_next_addr in
+  let free_set = Hashtbl.create 64 in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun b ->
+          if Hashtbl.mem free_set b then
+            failwith "Palloc.audit: block on a free list twice";
+          Hashtbl.add free_set b ())
+        (Atomic.get l))
+    t.free_lists;
+  let ab = ref 0
+  and aw = ref 0
+  and fb = ref 0
+  and fw = ref 0 in
+  let p = ref t.heap_base in
+  while !p < heap_next do
+    let h = Mem.read t.mem !p in
+    let cls = hdr_class h in
+    if h = 0 || cls < 0 || cls >= num_classes then
+      failwith (Printf.sprintf "Palloc.audit: corrupt header %d at %d" h !p);
+    let sz = class_size cls in
+    if hdr_allocated h then begin
+      if Hashtbl.mem free_set !p then
+        failwith "Palloc.audit: allocated block on a free list";
+      incr ab;
+      aw := !aw + sz
+    end
+    else begin
+      incr fb;
+      fw := !fw + sz
+    end;
+    p := !p + 1 + sz
+  done;
+  if !p <> heap_next then failwith "Palloc.audit: heap walk overran";
+  Hashtbl.iter
+    (fun b () ->
+      let h = Mem.read t.mem b in
+      if hdr_allocated h then failwith "Palloc.audit: free-list header allocated")
+    free_set;
+  let in_flight = ref 0 in
+  for i = 0 to t.max_threads - 1 do
+    if Mem.read t.mem (t.slots_base + (2 * i)) <> 0 then incr in_flight
+  done;
+  {
+    allocated_blocks = !ab;
+    allocated_words = !aw;
+    free_blocks = !fb;
+    free_words = !fw;
+    carved_words = heap_next - t.heap_base;
+    in_flight = !in_flight;
+  }
+
+let pp_audit ppf a =
+  Format.fprintf ppf
+    "alloc=%d blocks/%d words free=%d blocks/%d words carved=%d in_flight=%d"
+    a.allocated_blocks a.allocated_words a.free_blocks a.free_words
+    a.carved_words a.in_flight

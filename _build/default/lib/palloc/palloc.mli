@@ -1,0 +1,121 @@
+(** Persistent memory allocator with safe ownership transfer
+    (Section 5.2 of the paper).
+
+    The allocator owns a contiguous word range of a simulated NVRAM device
+    and hands out blocks through a [posix_memalign]-style {e activation}
+    interface: the caller passes the NVRAM address of a {e delivery word}
+    ([dest]) and the allocator durably stores the block's address there
+    before the allocation is considered complete. After a crash, recovery
+    guarantees every block is owned by exactly one party:
+
+    - if the delivery word durably holds the block address, the
+      application owns it (allocation rolled forward);
+    - otherwise the allocator owns it again (allocation rolled back).
+
+    In-flight allocations are tracked in per-thread {e activation records}
+    inside the allocator's metadata region, mirroring the reserve/activate
+    split of persistent allocators the paper builds on.
+
+    Internally: segregated power-of-two size classes over a persistent
+    bump region. Block headers (1 word: size class + allocated bit) are
+    durable; free lists are volatile and rebuilt by [recover]'s heap scan.
+    Freed blocks are recycled exactly, never split or coalesced, bounding
+    internal fragmentation at 2x — adequate for index nodes, and it keeps
+    the recovery scan trivially linear.
+
+    A [persistent:false] allocator skips every flush (for volatile-mode
+    indexes); such a heap cannot be recovered but behaves identically
+    otherwise. *)
+
+type t
+
+type handle
+(** Per-thread handle owning one activation record. Not thread-safe:
+    one handle per domain. *)
+
+val metadata_words : max_threads:int -> int
+(** Words of the region consumed by allocator metadata for sizing. *)
+
+val create :
+  ?persistent:bool -> Nvram.Mem.t -> base:int -> words:int -> max_threads:int
+  -> t
+(** Format a fresh allocator over [\[base, base+words)]. [max_threads]
+    bounds concurrently registered handles.
+    @raise Invalid_argument if the region is too small or out of bounds. *)
+
+val recover :
+  Nvram.Mem.t -> base:int -> words:int -> max_threads:int -> t * int
+(** Attach to a previously formatted region inside a crash image and run
+    allocator recovery: resolve every in-flight activation record (roll
+    forward or back) and rebuild the volatile free lists by scanning block
+    headers. Returns the allocator and the number of in-flight allocations
+    that were rolled {e back}. Single-threaded, run before any worker
+    starts (and before PMwCAS recovery, which may call [free]). *)
+
+val register_thread : t -> handle
+(** Claim an activation record. @raise Failure if [max_threads] handles
+    are live. *)
+
+val release_thread : handle -> unit
+
+val alloc : handle -> nwords:int -> dest:Nvram.Mem.addr -> Nvram.Mem.addr
+(** Allocate at least [nwords] words; durably deliver the block address
+    into [dest] (which is first durably nulled) and return it. The block's
+    content is NOT zeroed — callers initialize and persist it themselves
+    (freshly carved space is zero; recycled blocks carry old data, as in C).
+    @raise Failure ([Out of memory]) when the heap is exhausted
+    @raise Invalid_argument if [nwords <= 0]. *)
+
+val alloc_unsafe : handle -> nwords:int -> Nvram.Mem.addr
+(** Allocation without a delivery word: no activation record is taken, so
+    a crash between this call and the block becoming reachable leaks the
+    block — exactly the hazard Section 5.2 describes. Provided for
+    volatile-mode data structures and for tests that demonstrate the
+    hazard. *)
+
+val free : t -> Nvram.Mem.addr -> unit
+(** Return a block (by the address [alloc] returned) to its size class.
+    Thread-safe; durable before the block is recyclable.
+    Equivalent to [mark_free] followed by [enlist].
+    @raise Invalid_argument on a non-block address or double free. *)
+
+val mark_free : t -> Nvram.Mem.addr -> unit
+(** Durably flip the block's header to free {e without} making it
+    recyclable. Used by callers that must order "free is durable" before
+    some other durable step, after which they [enlist]. A crash in between
+    is safe: recovery's heap scan re-enlists every durably free block.
+    @raise Invalid_argument on a non-block address or double free. *)
+
+val mark_free_if_allocated : t -> Nvram.Mem.addr -> bool
+(** Crash-replay-tolerant [mark_free]: returns [false] (and does nothing)
+    when the header is already free — the free being replayed happened
+    before the crash. Only meaningful during single-threaded recovery.
+    @raise Invalid_argument on a non-block address. *)
+
+val enlist : t -> Nvram.Mem.addr -> unit
+(** Make a block previously [mark_free]d recyclable. The caller owns the
+    ordering; enlisting a block twice corrupts the free lists. *)
+
+val usable_size : t -> Nvram.Mem.addr -> int
+(** Actual capacity of the block (>= requested [nwords]). *)
+
+val base : t -> int
+val mem : t -> Nvram.Mem.t
+
+(** {1 Introspection (tests, space accounting)} *)
+
+type audit = {
+  allocated_blocks : int;
+  allocated_words : int;  (** Payload words currently owned by clients. *)
+  free_blocks : int;
+  free_words : int;
+  carved_words : int;  (** Total heap words ever carved, incl. headers. *)
+  in_flight : int;  (** Non-empty activation records. *)
+}
+
+val audit : t -> audit
+(** Walk the heap headers and cross-check against the free lists.
+    @raise Failure on any inconsistency (corrupt header, free-list entry
+    whose header is not free, overlapping blocks). *)
+
+val pp_audit : Format.formatter -> audit -> unit

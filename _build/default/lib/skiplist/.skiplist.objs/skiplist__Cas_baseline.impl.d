@@ -1,0 +1,1 @@
+lib/skiplist/cas_baseline.ml: Array Domain Epoch Nvram Palloc Printf Random

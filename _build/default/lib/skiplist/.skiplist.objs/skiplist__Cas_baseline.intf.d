@@ -1,0 +1,1 @@
+lib/skiplist/cas_baseline.mli: Nvram Palloc

@@ -1,0 +1,1 @@
+lib/skiplist/pm.ml: Array Domain Epoch List Nvram Palloc Pmwcas Printf Random

@@ -1,0 +1,1 @@
+lib/skiplist/pm.mli: Palloc Pmwcas

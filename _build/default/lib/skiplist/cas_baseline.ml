@@ -1,0 +1,286 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+
+type t = {
+  mem : Mem.t;
+  palloc : Palloc.t;
+  epoch : Epoch.t;
+  head : int;
+  tail : int;
+  max_level : int;
+}
+
+type handle = {
+  sl : t;
+  guard : Epoch.guard;
+  pa : Palloc.handle;
+  rng : Random.State.t;
+}
+
+(* Node layout: +0 key, +1 value, +2 level, +3.. next[level]. *)
+let key_addr n = n
+let value_addr n = n + 1
+let next_addr n lvl = n + 3 + lvl
+let node_words level = 3 + level
+
+let key_of t n =
+  if n = t.head then min_int
+  else if n = t.tail then max_int
+  else Mem.read t.mem (key_addr n)
+
+let create ?(max_level = 12) mem ~palloc =
+  let pa = Palloc.register_thread palloc in
+  let head = Palloc.alloc_unsafe pa ~nwords:(node_words max_level) in
+  let tail = Palloc.alloc_unsafe pa ~nwords:(node_words max_level) in
+  Palloc.release_thread pa;
+  let t = { mem; palloc; epoch = Epoch.create (); head; tail; max_level } in
+  Mem.write mem (head + 2) max_level;
+  Mem.write mem (tail + 2) max_level;
+  for i = 0 to max_level - 1 do
+    Mem.write mem (next_addr head i) tail;
+    Mem.write mem (next_addr tail i) tail
+  done;
+  t
+
+let register ?seed t =
+  let seed =
+    match seed with Some s -> s | None -> (Domain.self () :> int) + 104729
+  in
+  {
+    sl = t;
+    guard = Epoch.register t.epoch;
+    pa = Palloc.register_thread t.palloc;
+    rng = Random.State.make [| seed |];
+  }
+
+let unregister h =
+  Epoch.unregister h.guard;
+  Palloc.release_thread h.pa
+
+let random_level h =
+  let rec go lvl =
+    if lvl < h.sl.max_level && Random.State.int h.rng 4 = 0 then go (lvl + 1)
+    else lvl
+  in
+  go 1
+
+let read_link t a =
+  let v = Mem.read t.mem a in
+  (Flags.clear_mark v, Flags.is_marked v)
+
+exception Retry
+
+(* Find with physical cleanup of marked nodes (Harris). Returns
+   (found, preds, succs). *)
+let rec find_cleanup t key =
+  let preds = Array.make t.max_level t.head in
+  let succs = Array.make t.max_level t.tail in
+  try
+    let pred = ref t.head in
+    for lvl = t.max_level - 1 downto 0 do
+      let curr = ref (fst (read_link t (next_addr !pred lvl))) in
+      let continue = ref true in
+      while !continue do
+        let succ, marked = read_link t (next_addr !curr lvl) in
+        if marked then begin
+          (* curr is logically deleted: unlink it at this level. *)
+          if
+            not
+              (Mem.cas_bool t.mem (next_addr !pred lvl) ~expected:!curr
+                 ~desired:succ)
+          then raise Retry;
+          curr := succ
+        end
+        else if !curr <> t.tail && key_of t !curr < key then begin
+          pred := !curr;
+          curr := succ
+        end
+        else continue := false
+      done;
+      preds.(lvl) <- !pred;
+      succs.(lvl) <- !curr
+    done;
+    let found = succs.(0) <> t.tail && key_of t succs.(0) = key in
+    (found, preds, succs)
+  with Retry -> find_cleanup t key
+
+let insert h ~key ~value =
+  if key < 0 || key > Flags.max_payload then invalid_arg "Cas.insert: key";
+  let t = h.sl in
+  Epoch.with_guard h.guard (fun () ->
+      let rec attempt () =
+        let found, preds, succs = find_cleanup t key in
+        if found then false
+        else begin
+          let level = random_level h in
+          let n = Palloc.alloc_unsafe h.pa ~nwords:(node_words level) in
+          Mem.write t.mem (key_addr n) key;
+          Mem.write t.mem (value_addr n) value;
+          Mem.write t.mem (n + 2) level;
+          for i = 0 to level - 1 do
+            Mem.write t.mem (next_addr n i) succs.(i)
+          done;
+          if
+            not
+              (Mem.cas_bool t.mem (next_addr preds.(0) 0) ~expected:succs.(0)
+                 ~desired:n)
+          then begin
+            Palloc.free t.palloc n;
+            attempt ()
+          end
+          else begin
+            (* Link the upper levels; every failure forces a re-find and a
+               refresh of the node's own forward pointer — the fiddly part
+               PMwCAS folds into one atomic step. *)
+            let rec link lvl =
+              if lvl >= level then true
+              else begin
+                let rec once () =
+                  let cur_next, marked = read_link t (next_addr n lvl) in
+                  if marked then (* concurrently deleted *) false
+                  else begin
+                    let _, preds, succs = find_cleanup t key in
+                    if succs.(lvl) = n then true
+                    else begin
+                      (* Refresh our forward pointer before exposing. *)
+                      if
+                        cur_next = succs.(lvl)
+                        || Mem.cas_bool t.mem (next_addr n lvl)
+                             ~expected:cur_next ~desired:succs.(lvl)
+                      then
+                        if
+                          Mem.cas_bool t.mem
+                            (next_addr preds.(lvl) lvl)
+                            ~expected:succs.(lvl) ~desired:n
+                        then true
+                        else once ()
+                      else once ()
+                    end
+                  end
+                in
+                if once () then link (lvl + 1) else true (* node deleted *)
+              end
+            in
+            ignore (link 1);
+            true
+          end
+        end
+      in
+      attempt ())
+
+let delete h ~key =
+  let t = h.sl in
+  Epoch.with_guard h.guard (fun () ->
+      let found, _preds, succs = find_cleanup t key in
+      if not found then false
+      else begin
+        let n = succs.(0) in
+        let level = Mem.read t.mem (n + 2) in
+        (* Mark the upper levels top-down. *)
+        for lvl = level - 1 downto 1 do
+          let rec mark () =
+            let succ, marked = read_link t (next_addr n lvl) in
+            if not marked then begin
+              ignore
+                (Mem.cas_bool t.mem (next_addr n lvl) ~expected:succ
+                   ~desired:(Flags.set_mark succ));
+              mark ()
+            end
+          in
+          mark ()
+        done;
+        (* The base-level mark decides who deleted. *)
+        let rec base () =
+          let succ, marked = read_link t (next_addr n 0) in
+          if marked then false
+          else if
+            Mem.cas_bool t.mem (next_addr n 0) ~expected:succ
+              ~desired:(Flags.set_mark succ)
+          then begin
+            (* Physically unlink everywhere, then retire the node. *)
+            ignore (find_cleanup t key);
+            Epoch.defer h.guard (fun () -> Palloc.free t.palloc n);
+            true
+          end
+          else base ()
+        in
+        base ()
+      end)
+
+let find_opt_raw t key =
+  (* Wait-free-ish lookup without cleanup. *)
+  let cur = ref t.head in
+  for lvl = t.max_level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      let nxt, _ = read_link t (next_addr !cur lvl) in
+      if nxt <> t.tail && key_of t nxt < key then cur := nxt
+      else continue := false
+    done
+  done;
+  let nxt, _ = read_link t (next_addr !cur 0) in
+  if nxt <> t.tail && key_of t nxt = key then
+    let _, node_marked = read_link t (next_addr nxt 0) in
+    if node_marked then None else Some nxt
+  else None
+
+let find h ~key =
+  let t = h.sl in
+  Epoch.with_guard h.guard (fun () ->
+      match find_opt_raw t key with
+      | Some n -> Some (Mem.read t.mem (value_addr n))
+      | None -> None)
+
+let update h ~key ~value =
+  let t = h.sl in
+  Epoch.with_guard h.guard (fun () ->
+      match find_opt_raw t key with
+      | None -> false
+      | Some n ->
+          let rec cas_value () =
+            let old_v = Mem.read t.mem (value_addr n) in
+            if Mem.cas_bool t.mem (value_addr n) ~expected:old_v ~desired:value
+            then true
+            else cas_value ()
+          in
+          cas_value ())
+
+let fold_range h ~lo ~hi ~init ~f =
+  let t = h.sl in
+  Epoch.with_guard h.guard (fun () ->
+      let _, _, succs = find_cleanup t lo in
+      let rec walk acc n =
+        if n = t.tail then acc
+        else
+          let k = key_of t n in
+          if k > hi then acc
+          else begin
+            let nxt, marked = read_link t (next_addr n 0) in
+            let acc =
+              if marked then acc
+              else f acc ~key:k ~value:(Mem.read t.mem (value_addr n))
+            in
+            walk acc nxt
+          end
+      in
+      walk init succs.(0))
+
+let length h =
+  fold_range h ~lo:0 ~hi:Flags.max_payload ~init:0
+    ~f:(fun acc ~key:_ ~value:_ -> acc + 1)
+
+let check_invariants h =
+  let t = h.sl in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  for lvl = t.max_level - 1 downto 0 do
+    let rec walk cur =
+      let nxt, marked = read_link t (next_addr cur lvl) in
+      if marked then fail "level %d: reachable marked node %d" lvl cur;
+      if nxt <> t.tail then begin
+        if key_of t cur >= key_of t nxt then
+          fail "level %d: keys not increasing at %d" lvl nxt;
+        walk nxt
+      end
+    in
+    walk t.head
+  done

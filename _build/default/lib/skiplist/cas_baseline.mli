@@ -1,0 +1,37 @@
+(** Baseline: classic lock-free skip list using only single-word CAS
+    (Fraser/Harris-style mark bits, singly linked).
+
+    This is the comparison point the paper's Section 6.1 argues against:
+    every subtlety PMwCAS removes is on display here — logical-delete
+    marks, physical unlinking during traversal, per-level retry loops with
+    re-reads of the victim's forward pointer — and it is {e forward-only}:
+    supporting reverse scans with hand-in-hand CAS is the complexity cliff
+    the doubly-linked PMwCAS version avoids (so this baseline simply does
+    not offer them).
+
+    Volatile only; nodes live in the simulated device (via the allocator's
+    unsafe path) so that substrate costs match the PMwCAS variant, but no
+    flush is ever issued and the structure cannot be recovered. *)
+
+type t
+
+val create : ?max_level:int -> Nvram.Mem.t -> palloc:Palloc.t -> t
+
+type handle
+
+val register : ?seed:int -> t -> handle
+val unregister : handle -> unit
+val insert : handle -> key:int -> value:int -> bool
+val delete : handle -> key:int -> bool
+val find : handle -> key:int -> int option
+val update : handle -> key:int -> value:int -> bool
+
+val fold_range :
+  handle -> lo:int -> hi:int -> init:'a -> f:('a -> key:int -> value:int -> 'a)
+  -> 'a
+(** Forward scan only. *)
+
+val length : handle -> int
+
+val check_invariants : handle -> unit
+(** Quiescent structural audit. @raise Failure on violation. *)

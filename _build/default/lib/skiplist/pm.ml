@@ -1,0 +1,467 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Layout = Pmwcas.Layout
+
+let magic = 0x5_c1_b1_15
+let anchor_words = 8
+let max_level_default = 12
+
+type t = {
+  pool : Pool.t;
+  palloc : Palloc.t;
+  mem : Mem.t;
+  head : int;
+  tail : int;
+  max_level : int;
+}
+
+type handle = {
+  sl : t;
+  ph : Pool.handle;
+  pa : Palloc.handle;
+  rng : Random.State.t;
+}
+
+(* Node layout: +0 key, +1 value, +2 level, +3 alive,
+   +4..+4+level-1 next, +4+level..+4+2*level-1 prev. *)
+let key_addr n = n
+let value_addr n = n + 1
+let level_addr n = n + 2
+let alive_addr n = n + 3
+let next_addr n lvl = n + 4 + lvl
+let prev_addr t n lvl = n + 4 + Mem.read t.mem (level_addr n) + lvl
+let node_words level = 4 + (2 * level)
+
+(* Sentinels sort below/above every key. *)
+let key_of t n =
+  if n = t.head then min_int
+  else if n = t.tail then max_int
+  else Mem.read t.mem (key_addr n)
+
+let persist_node t n =
+  if Pool.persistent t.pool then
+    let last = n + node_words (Mem.read t.mem (level_addr n)) - 1 in
+    Mem.clwb_range t.mem ~lo:n ~hi:last
+
+let init_sentinel t n ~max_level =
+  Mem.write t.mem (key_addr n) 0;
+  Mem.write t.mem (value_addr n) 0;
+  Mem.write t.mem (level_addr n) max_level;
+  Mem.write t.mem (alive_addr n) 1
+
+let clwb_if t a = if Pool.persistent t.pool then Mem.clwb t.mem a
+
+let create ?(max_level = max_level_default) ~pool ~palloc ~anchor () =
+  if max_level < 1 || max_level > 30 then invalid_arg "Pm.create: max_level";
+  let mem = Pool.mem pool in
+  let t = { pool; palloc; mem; head = 0; tail = 0; max_level } in
+  if Mem.read mem anchor = magic then begin
+    (* Already formatted: attach semantics. *)
+    let head = Mem.read mem (anchor + 1) and tail = Mem.read mem (anchor + 2) in
+    { t with head; tail; max_level = Mem.read mem (anchor + 3) }
+  end
+  else begin
+    (* Idempotent initialization: sentinel allocations deliver into the
+       anchor, so a creation crash either rolls them back (allocator
+       recovery) or leaves them reusable here; magic is written last. *)
+    let pa = Palloc.register_thread palloc in
+    let get_sentinel slot_addr =
+      let existing = Mem.read mem slot_addr in
+      if existing <> 0 then existing
+      else Palloc.alloc pa ~nwords:(node_words max_level) ~dest:slot_addr
+    in
+    let head = get_sentinel (anchor + 1) in
+    let tail = get_sentinel (anchor + 2) in
+    Palloc.release_thread pa;
+    let t = { t with head; tail } in
+    init_sentinel t head ~max_level;
+    init_sentinel t tail ~max_level;
+    (* head.next = tail, head.prev = head (never followed);
+       tail.next = tail (end marker), tail.prev = head. *)
+    for i = 0 to max_level - 1 do
+      Mem.write mem (next_addr head i) tail;
+      Mem.write mem (head + 4 + max_level + i) head;
+      Mem.write mem (next_addr tail i) tail;
+      Mem.write mem (tail + 4 + max_level + i) head
+    done;
+    persist_node t head;
+    persist_node t tail;
+    Mem.write mem (anchor + 3) max_level;
+    Mem.write mem anchor magic;
+    clwb_if t anchor;
+    t
+  end
+
+let attach ~pool ~palloc ~anchor =
+  let mem = Pool.mem pool in
+  if Mem.read mem anchor <> magic then failwith "Pm.attach: not formatted";
+  {
+    pool;
+    palloc;
+    mem;
+    head = Mem.read mem (anchor + 1);
+    tail = Mem.read mem (anchor + 2);
+    max_level = Mem.read mem (anchor + 3);
+  }
+
+let register ?seed t =
+  let seed =
+    match seed with Some s -> s | None -> (Domain.self () :> int) + 7919
+  in
+  {
+    sl = t;
+    ph = Pool.register t.pool;
+    pa = Palloc.register_thread t.palloc;
+    rng = Random.State.make [| seed |];
+  }
+
+let unregister h =
+  Pool.unregister h.ph;
+  Palloc.release_thread h.pa
+
+let random_level h =
+  let rec go lvl =
+    if lvl < h.sl.max_level && Random.State.int h.rng 4 = 0 then go (lvl + 1)
+    else lvl
+  in
+  go 1
+
+(* Read a link through the PMwCAS read protocol and split mark/target. *)
+let read_link t a =
+  let v = Op.read t.pool a in
+  (Flags.clear_mark v, Flags.is_marked v)
+
+(* Collect predecessor/successor nodes per level. Marked links still
+   navigate (the node is already unlinked; its forward pointer remains a
+   correct snapshot). *)
+let search t key =
+  let preds = Array.make t.max_level t.head in
+  let succs = Array.make t.max_level t.tail in
+  let cur = ref t.head in
+  for lvl = t.max_level - 1 downto 0 do
+    let rec walk () =
+      let nxt, _marked = read_link t (next_addr !cur lvl) in
+      if nxt <> t.tail && key_of t nxt < key then begin
+        cur := nxt;
+        walk ()
+      end
+      else begin
+        preds.(lvl) <- !cur;
+        succs.(lvl) <- nxt
+      end
+    in
+    walk ()
+  done;
+  (preds, succs)
+
+let alive t n = Op.read t.pool (alive_addr n) = 1
+
+(* Descriptor-allocation discipline: a starved pool waits for epochs to
+   pass, so a thread must never wait while pinned. Every attempt therefore
+   allocates its (single) descriptor BEFORE entering the epoch, and the
+   epoch spans exactly one search + one PMwCAS. *)
+
+let promote h n ~key ~level =
+  let t = h.sl in
+  let rec level_loop i =
+    if i >= level then ()
+    else
+      let rec attempt () =
+        let d = Pool.alloc_desc h.ph in
+        let outcome =
+          Pool.with_epoch h.ph (fun () ->
+              if not (alive t n) then begin
+                Pool.discard d;
+                `Stop
+              end
+              else begin
+                let preds, succs = search t key in
+                let pred = preds.(i) and succ = succs.(i) in
+                if succ = n || fst (read_link t (next_addr n i)) <> 0 then begin
+                  Pool.discard d;
+                  `Next
+                end
+                else begin
+                  Pool.add_word d ~addr:(next_addr pred i) ~expected:succ
+                    ~desired:n;
+                  Pool.add_word d ~addr:(prev_addr t succ i) ~expected:pred
+                    ~desired:n;
+                  Pool.add_word d ~addr:(next_addr n i) ~expected:0
+                    ~desired:succ;
+                  Pool.add_word d ~addr:(prev_addr t n i) ~expected:0
+                    ~desired:pred;
+                  Pool.add_word d ~addr:(alive_addr n) ~expected:1 ~desired:1;
+                  if Op.execute d then `Next else `Retry
+                end
+              end)
+        in
+        match outcome with
+        | `Stop -> ()
+        | `Next -> level_loop (i + 1)
+        | `Retry -> attempt ()
+      in
+      attempt ()
+  in
+  level_loop 1
+
+let insert h ~key ~value =
+  if key < 0 || key > Flags.max_payload then invalid_arg "Pm.insert: key";
+  if value < 0 || value > Flags.max_payload then invalid_arg "Pm.insert: value";
+  let t = h.sl in
+  let rec attempt () =
+    let d = Pool.alloc_desc h.ph in
+    let outcome =
+      Pool.with_epoch h.ph (fun () ->
+          let preds, succs = search t key in
+          if succs.(0) <> t.tail && key_of t succs.(0) = key then begin
+            Pool.discard d;
+            `Exists
+          end
+          else begin
+            let pred = preds.(0) and succ = succs.(0) in
+            let level = random_level h in
+            let dest =
+              Pool.reserve_entry ~policy:Layout.Free_new_on_failure d
+                ~addr:(next_addr pred 0) ~expected:succ
+            in
+            let n = Palloc.alloc h.pa ~nwords:(node_words level) ~dest in
+            Mem.write t.mem (key_addr n) key;
+            Mem.write t.mem (value_addr n) value;
+            Mem.write t.mem (level_addr n) level;
+            Mem.write t.mem (alive_addr n) 1;
+            Mem.write t.mem (next_addr n 0) succ;
+            Mem.write t.mem (n + 4 + level) pred;
+            (* prev[0] *)
+            for i = 1 to level - 1 do
+              Mem.write t.mem (next_addr n i) 0;
+              Mem.write t.mem (n + 4 + level + i) 0
+            done;
+            (* The node body must be durable before it can become
+               reachable. *)
+            persist_node t n;
+            Pool.add_word d ~addr:(prev_addr t succ 0) ~expected:pred
+              ~desired:n;
+            if Op.execute d then `Inserted (n, level) else `Retry
+          end)
+    in
+    match outcome with
+    | `Exists -> false
+    | `Retry -> attempt ()
+    | `Inserted (n, level) ->
+        promote h n ~key ~level;
+        true
+  in
+  attempt ()
+
+let delete h ~key =
+  let t = h.sl in
+  (* One level unlinked per epoch-scoped attempt, top-down; the base-level
+     PMwCAS decides the delete and reclaims the node. *)
+  let rec attempt () =
+    let d = Pool.alloc_desc h.ph in
+    let outcome =
+      Pool.with_epoch h.ph (fun () ->
+          let preds, succs = search t key in
+          let n = succs.(0) in
+          if n = t.tail || key_of t n <> key then begin
+            Pool.discard d;
+            `Absent
+          end
+          else begin
+            let top =
+              let rec highest i =
+                if i = 0 then 0 else if succs.(i) = n then i else highest (i - 1)
+              in
+              highest (t.max_level - 1)
+            in
+            if top > 0 then begin
+              let i = top in
+              let nxt, marked = read_link t (next_addr n i) in
+              if marked then begin
+                (* Level already marked but still linked: physically fix it
+                   by retrying; search will route around it. *)
+                Pool.discard d;
+                `Retry
+              end
+              else begin
+                Pool.add_word d ~addr:(next_addr preds.(i) i) ~expected:n
+                  ~desired:nxt;
+                Pool.add_word d ~addr:(prev_addr t nxt i) ~expected:n
+                  ~desired:preds.(i);
+                Pool.add_word d ~addr:(next_addr n i) ~expected:nxt
+                  ~desired:(Flags.set_mark nxt);
+                ignore (Op.execute d);
+                `Retry
+              end
+            end
+            else begin
+              let nxt, marked = read_link t (next_addr n 0) in
+              if marked then begin
+                (* Another deleter already won the base level. *)
+                Pool.discard d;
+                `Absent
+              end
+              else begin
+                (* FreeOldOnSuccess on the pred link reclaims the node. *)
+                Pool.add_word ~policy:Layout.Free_old_on_success d
+                  ~addr:(next_addr preds.(0) 0) ~expected:n ~desired:nxt;
+                Pool.add_word d ~addr:(prev_addr t nxt 0) ~expected:n
+                  ~desired:preds.(0);
+                Pool.add_word d ~addr:(next_addr n 0) ~expected:nxt
+                  ~desired:(Flags.set_mark nxt);
+                Pool.add_word d ~addr:(alive_addr n) ~expected:1 ~desired:0;
+                if Op.execute d then `Deleted
+                else if not (alive t n) then `Absent
+                else `Retry
+              end
+            end
+          end)
+    in
+    match outcome with
+    | `Absent -> false
+    | `Deleted -> true
+    | `Retry -> attempt ()
+  in
+  attempt ()
+
+let update h ~key ~value =
+  if value < 0 || value > Flags.max_payload then invalid_arg "Pm.update: value";
+  let t = h.sl in
+  let rec attempt () =
+    let d = Pool.alloc_desc h.ph in
+    let outcome =
+      Pool.with_epoch h.ph (fun () ->
+          let _, succs = search t key in
+          let n = succs.(0) in
+          if n = t.tail || key_of t n <> key then begin
+            Pool.discard d;
+            `Absent
+          end
+          else begin
+            let old_v = Op.read t.pool (value_addr n) in
+            Pool.add_word d ~addr:(value_addr n) ~expected:old_v
+              ~desired:value;
+            Pool.add_word d ~addr:(alive_addr n) ~expected:1 ~desired:1;
+            if Op.execute d then `Updated
+            else if not (alive t n) then `Absent
+            else `Retry
+          end)
+    in
+    match outcome with
+    | `Absent -> false
+    | `Updated -> true
+    | `Retry -> attempt ()
+  in
+  attempt ()
+
+let find h ~key =
+  let t = h.sl in
+  Pool.with_epoch h.ph (fun () ->
+      let _, succs = search t key in
+      let n = succs.(0) in
+      if n <> t.tail && key_of t n = key then
+        Some (Op.read t.pool (value_addr n))
+      else None)
+
+let fold_range h ~lo ~hi ~init ~f =
+  let t = h.sl in
+  Pool.with_epoch h.ph (fun () ->
+      let _, succs = search t lo in
+      let rec walk acc n =
+        if n = t.tail then acc
+        else
+          let k = key_of t n in
+          if k > hi then acc
+          else begin
+            let v = Op.read t.pool (value_addr n) in
+            let nxt, _ = read_link t (next_addr n 0) in
+            walk (f acc ~key:k ~value:v) nxt
+          end
+      in
+      walk init succs.(0))
+
+let fold_range_rev h ~lo ~hi ~init ~f =
+  let t = h.sl in
+  Pool.with_epoch h.ph (fun () ->
+      (* Position after hi, then follow the backward links. *)
+      let _, succs = search t (hi + 1) in
+      let start, _ = read_link t (prev_addr t succs.(0) 0) in
+      let rec walk acc n =
+        if n = t.head then acc
+        else
+          let k = key_of t n in
+          if k < lo then acc
+          else if k > hi then
+            (* Racing insert shifted us; step back further. *)
+            let p, _ = read_link t (prev_addr t n 0) in
+            walk acc p
+          else begin
+            let v = Op.read t.pool (value_addr n) in
+            let p, _ = read_link t (prev_addr t n 0) in
+            walk (f acc ~key:k ~value:v) p
+          end
+      in
+      walk init start)
+
+let length h =
+  fold_range h ~lo:0 ~hi:Flags.max_payload ~init:0 ~f:(fun acc ~key:_ ~value:_ ->
+      acc + 1)
+
+let quiesce h =
+  ignore (Epoch.advance (Pool.epoch h.sl.pool));
+  ignore (Epoch.reclaim (Pool.guard h.ph))
+
+let node_count_words t =
+  (* Quiescent base-level walk summing per-node footprints. *)
+  let rec walk acc n =
+    if n = t.tail then acc
+    else
+      let level = Mem.read t.mem (level_addr n) in
+      let nxt = Flags.clear_mark (Mem.read t.mem (next_addr n 0)) in
+      walk (acc + node_words level) (Flags.payload nxt)
+  in
+  walk (2 * node_words t.max_level) (Flags.payload (Mem.read t.mem (next_addr t.head 0)))
+
+let check_invariants h =
+  let t = h.sl in
+  Pool.with_epoch h.ph (fun () ->
+      let fail fmt = Printf.ksprintf failwith fmt in
+      (* Forward walk at every level: strict order, prev symmetry, marks,
+         alive bits, tower containment. *)
+      let level_nodes = Array.make t.max_level [] in
+      for lvl = t.max_level - 1 downto 0 do
+        let rec walk cur =
+          let nxt_raw = Op.read t.pool (next_addr cur lvl) in
+          if Flags.is_marked nxt_raw then
+            fail "level %d: reachable marked link at node %d" lvl cur;
+          let nxt = Flags.clear_mark nxt_raw in
+          if nxt <> t.tail then begin
+            if key_of t cur >= key_of t nxt then
+              fail "level %d: keys not increasing at %d" lvl nxt;
+            if Op.read t.pool (alive_addr nxt) <> 1 then
+              fail "level %d: dead node %d still linked" lvl nxt;
+            let back = Flags.clear_mark (Op.read t.pool (prev_addr t nxt lvl)) in
+            if back <> cur then
+              fail "level %d: prev(%d) = %d, expected %d" lvl nxt back cur;
+            level_nodes.(lvl) <- nxt :: level_nodes.(lvl);
+            walk nxt
+          end
+          else begin
+            let back = Flags.clear_mark (Op.read t.pool (prev_addr t nxt lvl)) in
+            if back <> cur then
+              fail "level %d: tail.prev = %d, expected %d" lvl back cur
+          end
+        in
+        walk t.head
+      done;
+      (* Tower containment: nodes at level i must appear at level i-1. *)
+      for lvl = 1 to t.max_level - 1 do
+        let lower = level_nodes.(lvl - 1) in
+        List.iter
+          (fun n ->
+            if not (List.mem n lower) then
+              fail "node %d at level %d missing from level %d" n lvl (lvl - 1))
+          level_nodes.(lvl)
+      done)

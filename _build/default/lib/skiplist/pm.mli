@@ -1,0 +1,85 @@
+(** Lock-free doubly-linked skip list built on PMwCAS (Section 6.1).
+
+    Every structural change is one PMwCAS that moves the list between
+    consistent states, so the index needs {e no recovery code of its own}:
+    after a crash, run {!Palloc.recover} and {!Pmwcas.Recovery.run}, then
+    {!attach} — the paper's headline programming model.
+
+    - {b insert} at the base level is a 2-word PMwCAS ([pred.next],
+      [succ.prev]); the new node is allocated through [ReserveEntry] with
+      [FreeNewOnFailure], so a crashed or failed insert can never leak it.
+    - {b tower promotion} to level [i] is a 5-word PMwCAS that also
+      publishes the node's own [next]/[prev] at that level and asserts the
+      node is still alive.
+    - {b delete} unlinks top-down; the base-level PMwCAS marks the node,
+      clears its alive bit and carries [FreeOldOnSuccess], so the node's
+      memory is reclaimed (epoch-safely) exactly once.
+
+    Because [next] and [prev] move in the same atomic step, backward
+    pointers are always exact — reverse range scans need none of the
+    fix-up machinery a CAS-based doubly-linked list requires.
+
+    Keys and values are non-negative integers below
+    [Nvram.Flags.max_payload]; keys are unique (a set-style map). Created
+    with a [persistent:false] pool this is the volatile MwCAS skip list —
+    identical code, no flushes. *)
+
+type t
+
+val anchor_words : int
+(** Words to carve (line-aligned) for the index anchor. *)
+
+val max_level_default : int
+
+val create :
+  ?max_level:int -> pool:Pmwcas.Pool.t -> palloc:Palloc.t -> anchor:int
+  -> unit -> t
+(** Format a new index whose anchor lives at [anchor]. Idempotent across
+    creation crashes: a half-initialized anchor is completed, a finished
+    one is attached. *)
+
+val attach : pool:Pmwcas.Pool.t -> palloc:Palloc.t -> anchor:int -> t
+(** Re-open after recovery. @raise Failure if the anchor is not
+    formatted. *)
+
+type handle
+(** Per-domain handle (wraps pool, allocator and epoch registration). *)
+
+val register : ?seed:int -> t -> handle
+val unregister : handle -> unit
+
+val insert : handle -> key:int -> value:int -> bool
+(** [false] if the key is already present. *)
+
+val delete : handle -> key:int -> bool
+val find : handle -> key:int -> int option
+
+val update : handle -> key:int -> value:int -> bool
+(** Replace the value of an existing key; [false] if absent. *)
+
+val fold_range :
+  handle -> lo:int -> hi:int -> init:'a -> f:('a -> key:int -> value:int -> 'a)
+  -> 'a
+(** Forward scan over keys in [\[lo, hi\]]. *)
+
+val fold_range_rev :
+  handle -> lo:int -> hi:int -> init:'a -> f:('a -> key:int -> value:int -> 'a)
+  -> 'a
+(** Reverse scan over keys in [\[lo, hi\]], following the backward links —
+    the capability the doubly-linked design exists for. *)
+
+val length : handle -> int
+(** O(n) base-level walk. *)
+
+val quiesce : handle -> unit
+(** Advance the epoch and drain this handle's deferred reclamation —
+    useful in tests and before taking crash images or space measurements. *)
+
+val check_invariants : handle -> unit
+(** Structural audit for tests (call when quiescent): strict key order,
+    [prev]/[next] symmetry forward and backward, tower containment, no
+    reachable marks, alive bits set. @raise Failure on violation. *)
+
+val node_count_words : t -> int
+(** Words a node of each currently linked tower occupies, summed — used by
+    space accounting in benchmarks. *)

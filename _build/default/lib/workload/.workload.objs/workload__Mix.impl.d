@@ -1,0 +1,1 @@
+lib/workload/mix.ml: List Printf Random String

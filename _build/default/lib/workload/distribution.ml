@@ -1,0 +1,84 @@
+type spec =
+  | Uniform of int
+  | Zipfian of { n : int; theta : float; scrambled : bool }
+  | Hotspot of { n : int; hot_fraction : float; hot_probability : float }
+
+type t =
+  | U of int
+  | Z of {
+      n : int;
+      theta : float;
+      alpha : float;
+      zetan : float;
+      eta : float;
+      scrambled : bool;
+    }
+  | H of { n : int; hot_n : int; hot_probability : float }
+
+let zeta n theta =
+  let s = ref 0. in
+  for i = 1 to n do
+    s := !s +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let create = function
+  | Uniform n ->
+      if n <= 0 then invalid_arg "Distribution: n <= 0";
+      U n
+  | Zipfian { n; theta; scrambled } ->
+      if n <= 0 then invalid_arg "Distribution: n <= 0";
+      if theta < 0. || theta >= 1. then invalid_arg "Distribution: theta";
+      let zetan = zeta n theta in
+      let zeta2 = zeta 2 theta in
+      let alpha = 1. /. (1. -. theta) in
+      let eta =
+        (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+        /. (1. -. (zeta2 /. zetan))
+      in
+      Z { n; theta; alpha; zetan; eta; scrambled }
+  | Hotspot { n; hot_fraction; hot_probability } ->
+      if n <= 0 then invalid_arg "Distribution: n <= 0";
+      if hot_fraction <= 0. || hot_fraction > 1. then
+        invalid_arg "Distribution: hot_fraction";
+      if hot_probability < 0. || hot_probability > 1. then
+        invalid_arg "Distribution: hot_probability";
+      H
+        {
+          n;
+          hot_n = max 1 (int_of_float (hot_fraction *. float_of_int n));
+          hot_probability;
+        }
+
+(* Fibonacci-hash scramble, bijective over 61-bit ints modulo masking. *)
+let scramble n rank = rank * 0x2545F4914F6CDD1D land max_int mod n
+
+let next t rng =
+  match t with
+  | U n -> Random.State.int rng n
+  | Z { n; theta; alpha; zetan; eta; scrambled } ->
+      let u = Random.State.float rng 1.0 in
+      let uz = u *. zetan in
+      let rank =
+        if uz < 1.0 then 0
+        else if uz < 1.0 +. Float.pow 0.5 theta then 1
+        else
+          int_of_float
+            (float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.) alpha)
+      in
+      let rank = if rank >= n then n - 1 else rank in
+      if scrambled then scramble n rank else rank
+  | H { n; hot_n; hot_probability } ->
+      if Random.State.float rng 1.0 < hot_probability then
+        Random.State.int rng hot_n
+      else hot_n + Random.State.int rng (max 1 (n - hot_n))
+
+let n = function U n -> n | Z { n; _ } -> n | H { n; _ } -> n
+
+let describe = function
+  | Uniform n -> Printf.sprintf "uniform(%d)" n
+  | Zipfian { n; theta; scrambled } ->
+      Printf.sprintf "zipf(%d,%.2f%s)" n theta (if scrambled then ",scr" else "")
+  | Hotspot { n; hot_fraction; hot_probability } ->
+      Printf.sprintf "hotspot(%d,%.0f%%->%.0f%%)" n (hot_fraction *. 100.)
+        (hot_probability *. 100.)

@@ -1,0 +1,26 @@
+(** Key distributions for benchmark workloads.
+
+    The evaluation drives indexes with both uniform and skewed accesses;
+    the skewed generator is the standard YCSB/Gray Zipfian with optional
+    scrambling (hash the rank so the hot keys spread across the key
+    space instead of clustering at the low end). *)
+
+type spec =
+  | Uniform of int  (** keys in [\[0, n)] *)
+  | Zipfian of { n : int; theta : float; scrambled : bool }
+      (** Gray et al. self-similar Zipf; [theta] in [\[0, 1)], YCSB uses
+          0.99. *)
+  | Hotspot of { n : int; hot_fraction : float; hot_probability : float }
+      (** [hot_probability] of the accesses hit the first
+          [hot_fraction * n] keys. *)
+
+type t
+
+val create : spec -> t
+(** Precomputes the Zipfian constants (O(n) once). *)
+
+val next : t -> Random.State.t -> int
+(** Sample a key in [\[0, n)]. *)
+
+val n : t -> int
+val describe : spec -> string

@@ -1,0 +1,48 @@
+type op = Read | Update | Insert | Delete | Scan
+
+type t = {
+  read : int;
+  update : int;
+  insert : int;
+  delete : int;
+  scan : int;
+  scan_len : int;
+}
+
+let make ?(read = 0) ?(update = 0) ?(insert = 0) ?(delete = 0) ?(scan = 0)
+    ?(scan_len = 20) () =
+  if read + update + insert + delete + scan <> 100 then
+    invalid_arg "Mix.make: percentages must sum to 100";
+  if List.exists (fun p -> p < 0) [ read; update; insert; delete; scan ] then
+    invalid_arg "Mix.make: negative percentage";
+  if scan_len <= 0 then invalid_arg "Mix.make: scan_len <= 0";
+  { read; update; insert; delete; scan; scan_len }
+
+let read_only = make ~read:100 ()
+let read_heavy = make ~read:90 ~update:10 ()
+let balanced = make ~read:50 ~update:50 ()
+let write_heavy = make ~read:10 ~update:50 ~insert:20 ~delete:20 ()
+let insert_only = make ~insert:100 ()
+let scan_heavy = make ~read:80 ~scan:20 ()
+
+let next t rng =
+  let r = Random.State.int rng 100 in
+  if r < t.read then Read
+  else if r < t.read + t.update then Update
+  else if r < t.read + t.update + t.insert then Insert
+  else if r < t.read + t.update + t.insert + t.delete then Delete
+  else Scan
+
+let describe t =
+  let parts =
+    List.filter_map
+      (fun (n, v) -> if v > 0 then Some (Printf.sprintf "%d%%%s" v n) else None)
+      [
+        ("r", t.read);
+        ("u", t.update);
+        ("i", t.insert);
+        ("d", t.delete);
+        ("s", t.scan);
+      ]
+  in
+  String.concat "/" parts

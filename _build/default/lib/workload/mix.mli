@@ -1,0 +1,39 @@
+(** Operation mixes for index benchmarks (YCSB-style).
+
+    Percentages must sum to 100. The mixes used by the paper's evaluation
+    ("realistic workloads") are provided as constants. *)
+
+type op = Read | Update | Insert | Delete | Scan
+
+type t = {
+  read : int;
+  update : int;
+  insert : int;
+  delete : int;
+  scan : int;
+  scan_len : int;  (** Keys per scan. *)
+}
+
+val make :
+  ?read:int -> ?update:int -> ?insert:int -> ?delete:int -> ?scan:int
+  -> ?scan_len:int -> unit -> t
+(** @raise Invalid_argument unless the five percentages sum to 100. *)
+
+val read_only : t
+
+val read_heavy : t
+(** 90% read / 10% update. *)
+
+val balanced : t
+(** 50% read / 50% update. *)
+
+val write_heavy : t
+(** 10% read / 50% update / 20% insert / 20% delete. *)
+
+val insert_only : t
+
+val scan_heavy : t
+(** 80% read / 20% scans of [scan_len]. *)
+
+val next : t -> Random.State.t -> op
+val describe : t -> string

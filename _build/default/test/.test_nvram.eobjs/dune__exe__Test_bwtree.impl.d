@@ -1,0 +1,1 @@
+test/test_bwtree.ml: Alcotest Atomic Bwtree Domain Hashtbl List Nvram Palloc Pmwcas Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Array Atomic Domain Epoch List QCheck QCheck_alcotest Unix

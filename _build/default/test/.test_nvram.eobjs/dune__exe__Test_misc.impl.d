@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Atomic Domain Filename Float Harness Hashtbl Htm List Nvram Option Printf Random Str Sys Workload

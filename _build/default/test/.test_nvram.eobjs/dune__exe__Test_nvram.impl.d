@@ -1,0 +1,1 @@
+test/test_nvram.ml: Alcotest Array Domain List Mem Nvram QCheck QCheck_alcotest Random Region Stats

@@ -1,0 +1,1 @@
+test/test_palloc.ml: Alcotest Domain List Nvram Palloc Printf QCheck QCheck_alcotest Random

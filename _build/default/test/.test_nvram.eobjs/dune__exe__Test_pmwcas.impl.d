@@ -1,0 +1,1 @@
+test/test_pmwcas.ml: Alcotest Array Atomic Domain Epoch List Nvram Palloc Pmwcas Printf QCheck QCheck_alcotest Random Unix

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Atomic Domain Hashtbl List Nvram Palloc Pmwcas Printf QCheck QCheck_alcotest Random Skiplist String

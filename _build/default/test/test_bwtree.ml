@@ -1,0 +1,619 @@
+(* Tests for the Bw-tree: record formats, tree operations, structure
+   modifications, concurrency, and crash recovery. *)
+
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Pool = Pmwcas.Pool
+module Tree = Bwtree.Tree
+module Node = Bwtree.Node
+
+let align8 a = (a + 7) / 8 * 8
+
+type env = {
+  mem : Mem.t;
+  pool : Pool.t;
+  palloc : Palloc.t;
+  heap_base : int;
+  heap_words : int;
+  anchor : int;
+  map_base : int;
+  map_words : int;
+  max_threads : int;
+}
+
+let make_env ?(persistent = true) ?(max_threads = 4) ?(heap_words = 1 lsl 18)
+    ?(map_words = 1024) () =
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let anchor = align8 (heap_base + heap_words) in
+  let map_base = align8 (anchor + Tree.anchor_words) in
+  let words = map_base + map_words in
+  let mem = Mem.create (Nvram.Config.make ~words ()) in
+  let palloc =
+    Palloc.create ~persistent mem ~base:heap_base ~words:heap_words
+      ~max_threads
+  in
+  let pool = Pool.create ~persistent ~palloc mem ~base:0 ~max_threads in
+  {
+    mem;
+    pool;
+    palloc;
+    heap_base;
+    heap_words;
+    anchor;
+    map_base;
+    map_words;
+    max_threads;
+  }
+
+let small_config =
+  (* Small pages so splits and merges happen quickly in tests. *)
+  Tree.{ consolidate_len = 4; split_max = 8; merge_min = 1 }
+
+let make_tree ?persistent ?(config = small_config) ?max_threads ?map_words ()
+    =
+  let env = make_env ?persistent ?max_threads ?map_words () in
+  let t =
+    Tree.create ~config ~pool:env.pool ~palloc:env.palloc ~anchor:env.anchor
+      ~map_base:env.map_base ~map_words:env.map_words ()
+  in
+  (env, t)
+
+let recover_env env img =
+  let palloc, _ =
+    Palloc.recover img ~base:env.heap_base ~words:env.heap_words
+      ~max_threads:env.max_threads
+  in
+  let pool, stats =
+    Pmwcas.Recovery.run ~palloc
+      ~callbacks:[ Tree.recovery_callback img ]
+      img ~base:0
+  in
+  let t = Tree.attach ~pool ~palloc ~anchor:env.anchor in
+  ({ env with mem = img; pool; palloc }, t, stats)
+
+(* Total blocks reachable from the mapping table (pages + deltas). *)
+let reachable_blocks env =
+  let n = ref 0 in
+  for lpid = 1 to env.map_words - 1 do
+    let v = Flags.payload (Mem.read env.mem (env.map_base + lpid)) in
+    if v <> 0 then n := !n + List.length (Node.chain_blocks env.mem v)
+  done;
+  !n
+
+let node_tests =
+  [
+    Alcotest.test_case "base page round trip" `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:256 ()) in
+        let b =
+          Node.
+            {
+              kind = `Inner;
+              count = 3;
+              low = 10;
+              high = 90;
+              link = 77;
+              keys = [| 20; 40; 60 |];
+              payloads = [| 2; 4; 6 |];
+            }
+        in
+        Node.write_base mem 8 b;
+        let b' = Node.read_base mem 8 in
+        Alcotest.(check bool) "equal" true (b = b'));
+    Alcotest.test_case "base_find binary search" `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:256 ()) in
+        Node.write_base mem 0
+          Node.
+            {
+              kind = `Leaf;
+              count = 4;
+              low = 0;
+              high = Node.plus_inf;
+              link = 0;
+              keys = [| 2; 5; 9; 11 |];
+              payloads = [| 20; 50; 90; 110 |];
+            };
+        Alcotest.(check (option int)) "hit" (Some 50) (Node.base_find mem 0 ~key:5);
+        Alcotest.(check (option int)) "miss" None (Node.base_find mem 0 ~key:6);
+        Alcotest.(check (option int)) "first" (Some 20)
+          (Node.base_find mem 0 ~key:2);
+        Alcotest.(check (option int)) "last" (Some 110)
+          (Node.base_find mem 0 ~key:11);
+        Alcotest.(check (option int)) "below" None (Node.base_find mem 0 ~key:1));
+    Alcotest.test_case "base_route picks floor entry" `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:256 ()) in
+        Node.write_base mem 0
+          Node.
+            {
+              kind = `Inner;
+              count = 2;
+              low = 0;
+              high = Node.plus_inf;
+              link = 111;
+              keys = [| 10; 20 |];
+              payloads = [| 210; 220 |];
+            };
+        Alcotest.(check int) "below first" 111 (Node.base_route mem 0 ~key:5);
+        Alcotest.(check int) "exact" 210 (Node.base_route mem 0 ~key:10);
+        Alcotest.(check int) "between" 210 (Node.base_route mem 0 ~key:15);
+        Alcotest.(check int) "above" 220 (Node.base_route mem 0 ~key:99));
+    Alcotest.test_case "chain_blocks follows merges" `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:256 ()) in
+        (* base at 0, victim base at 32, merge at 64 (-> 0 and 32),
+           put at 96 -> 64 *)
+        Node.write_base mem 0
+          Node.
+            {
+              kind = `Leaf;
+              count = 0;
+              low = 0;
+              high = 50;
+              link = 0;
+              keys = [||];
+              payloads = [||];
+            };
+        Node.write_base mem 32
+          Node.
+            {
+              kind = `Leaf;
+              count = 0;
+              low = 50;
+              high = Node.plus_inf;
+              link = 0;
+              keys = [||];
+              payloads = [||];
+            };
+        Node.write_merge mem 64 ~next:0 ~victim_top:32 ~sep:50
+          ~new_high:Node.plus_inf ~new_right:0;
+        Node.write_put mem 96 ~next:64 ~key:7 ~value:70;
+        let blocks = Node.chain_blocks mem 96 |> List.sort compare in
+        Alcotest.(check (list int)) "all four" [ 0; 32; 64; 96 ] blocks);
+    Alcotest.test_case "tag round trip" `Quick (fun () ->
+        List.iter
+          (fun tg ->
+            Alcotest.(check bool)
+              "round" true
+              (Node.tag_of_int (Node.tag_to_int tg) = tg))
+          Node.
+            [
+              Leaf_base;
+              Inner_base;
+              Put;
+              Del;
+              Leaf_split;
+              Inner_split;
+              Index_entry;
+              Index_del;
+              Merge;
+            ]);
+  ]
+
+let basic_tests =
+  [
+    Alcotest.test_case "empty tree" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        Alcotest.(check (option int)) "get" None (Tree.get h ~key:5);
+        Alcotest.(check int) "length" 0 (Tree.length h);
+        Alcotest.(check bool) "remove" false (Tree.remove h ~key:5);
+        Tree.check_invariants h);
+    Alcotest.test_case "put/get/remove" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        Alcotest.(check (option int)) "fresh put" None (Tree.put h ~key:7 ~value:70);
+        Alcotest.(check (option int)) "get" (Some 70) (Tree.get h ~key:7);
+        Alcotest.(check (option int)) "overwrite" (Some 70)
+          (Tree.put h ~key:7 ~value:71);
+        Alcotest.(check (option int)) "new value" (Some 71) (Tree.get h ~key:7);
+        Alcotest.(check bool) "remove" true (Tree.remove h ~key:7);
+        Alcotest.(check (option int)) "gone" None (Tree.get h ~key:7);
+        Alcotest.(check bool) "re-remove" false (Tree.remove h ~key:7));
+    Alcotest.test_case "insert only if absent" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        Alcotest.(check bool) "first" true (Tree.insert h ~key:3 ~value:30);
+        Alcotest.(check bool) "dup" false (Tree.insert h ~key:3 ~value:31);
+        Alcotest.(check (option int)) "unchanged" (Some 30) (Tree.get h ~key:3));
+    Alcotest.test_case "splits build a real tree" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        for k = 1 to 500 do
+          ignore (Tree.put h ~key:(k * 3) ~value:k)
+        done;
+        let s = Tree.stats h in
+        Alcotest.(check bool) "grew" true (s.height >= 2);
+        Alcotest.(check bool) "root split happened" true (s.root_splits >= 1);
+        Alcotest.(check bool) "splits happened" true (s.splits >= 1);
+        Alcotest.(check int) "all present" 500 (Tree.length h);
+        for k = 1 to 500 do
+          Alcotest.(check (option int))
+            (Printf.sprintf "key %d" k)
+            (Some k)
+            (Tree.get h ~key:(k * 3))
+        done;
+        Tree.check_invariants h);
+    Alcotest.test_case "descending inserts" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        for k = 400 downto 1 do
+          ignore (Tree.put h ~key:k ~value:(k * 2))
+        done;
+        Alcotest.(check int) "count" 400 (Tree.length h);
+        Tree.check_invariants h);
+    Alcotest.test_case "deletes trigger merges" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        for k = 1 to 300 do
+          ignore (Tree.put h ~key:k ~value:k)
+        done;
+        for k = 1 to 280 do
+          ignore (Tree.remove h ~key:k)
+        done;
+        (* Touch the survivors to trigger consolidation/merge passes. *)
+        for k = 281 to 300 do
+          ignore (Tree.get h ~key:k)
+        done;
+        let s = Tree.stats h in
+        Alcotest.(check bool) "merges happened" true (s.merges >= 1);
+        Alcotest.(check int) "survivors" 20 (Tree.length h);
+        Tree.check_invariants h);
+    Alcotest.test_case "range scan" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        for k = 1 to 200 do
+          ignore (Tree.put h ~key:(k * 2) ~value:k)
+        done;
+        let got =
+          Tree.fold_range h ~lo:51 ~hi:99 ~init:[] ~f:(fun acc ~key ~value:_ ->
+              key :: acc)
+          |> List.rev
+        in
+        let expected =
+          List.init 200 (fun i -> (i + 1) * 2)
+          |> List.filter (fun k -> k >= 51 && k <= 99)
+        in
+        Alcotest.(check (list int)) "window" expected got);
+    Alcotest.test_case "consolidate_all compacts chains" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        for k = 1 to 100 do
+          ignore (Tree.put h ~key:k ~value:k)
+        done;
+        Tree.consolidate_all h;
+        let s = Tree.stats h in
+        Alcotest.(check int) "one record per page" (s.leaf_pages + s.inner_pages)
+          s.chain_records;
+        Alcotest.(check int) "intact" 100 (Tree.length h);
+        Tree.check_invariants h);
+    Alcotest.test_case "random ops match a model" `Quick (fun () ->
+        let _env, t = make_tree () in
+        let h = Tree.register t in
+        let model = Hashtbl.create 64 in
+        let rng = Random.State.make [| 4242 |] in
+        for _ = 1 to 4000 do
+          let k = Random.State.int rng 500 in
+          match Random.State.int rng 4 with
+          | 0 ->
+              let prev = Tree.put h ~key:k ~value:k in
+              let expect = Hashtbl.find_opt model k in
+              if prev <> expect then Alcotest.fail "put disagrees";
+              Hashtbl.replace model k k
+          | 1 ->
+              let r = Tree.remove h ~key:k in
+              if r <> Hashtbl.mem model k then Alcotest.fail "remove disagrees";
+              Hashtbl.remove model k
+          | 2 ->
+              let r = Tree.insert h ~key:k ~value:(k + 1) in
+              if r = Hashtbl.mem model k then Alcotest.fail "insert disagrees";
+              if r then Hashtbl.replace model k (k + 1)
+          | _ ->
+              if Tree.get h ~key:k <> Hashtbl.find_opt model k then
+                Alcotest.fail "get disagrees"
+        done;
+        Alcotest.(check int) "length" (Hashtbl.length model) (Tree.length h);
+        Tree.check_invariants h);
+    Alcotest.test_case "volatile mode issues no flushes" `Quick (fun () ->
+        let env, t = make_tree ~persistent:false () in
+        let h = Tree.register t in
+        let f0 = (Nvram.Stats.snapshot (Mem.stats env.mem)).flushes in
+        for k = 1 to 200 do
+          ignore (Tree.put h ~key:k ~value:k)
+        done;
+        let f1 = (Nvram.Stats.snapshot (Mem.stats env.mem)).flushes in
+        Alcotest.(check int) "no flushes" f0 f1;
+        Tree.check_invariants h);
+    Alcotest.test_case "no block leaks during SMO storms" `Quick (fun () ->
+        let env, t = make_tree () in
+        let h = Tree.register t in
+        for k = 1 to 400 do
+          ignore (Tree.put h ~key:k ~value:k)
+        done;
+        for k = 100 to 300 do
+          ignore (Tree.remove h ~key:k)
+        done;
+        (* Drain deferred recycling, then compare reachable vs allocated. *)
+        Tree.quiesce h;
+        Tree.quiesce h;
+        Alcotest.(check int) "reachable = allocated" (reachable_blocks env)
+          (Palloc.audit env.palloc).allocated_blocks;
+        Tree.check_invariants h);
+  ]
+
+let concurrency_tests =
+  [
+    Alcotest.test_case "concurrent mixed workload keeps invariants" `Slow
+      (fun () ->
+        let _env, t = make_tree ~max_threads:4 () in
+        let worker seed () =
+          let h = Tree.register t in
+          let rng = Random.State.make [| seed * 13 |] in
+          for _ = 1 to 1200 do
+            let k = Random.State.int rng 400 in
+            match Random.State.int rng 4 with
+            | 0 -> ignore (Tree.put h ~key:k ~value:k)
+            | 1 -> ignore (Tree.remove h ~key:k)
+            | 2 -> ignore (Tree.get h ~key:k)
+            | _ ->
+                ignore
+                  (Tree.fold_range h ~lo:k ~hi:(k + 20) ~init:0
+                     ~f:(fun acc ~key:_ ~value:_ -> acc + 1))
+          done;
+          Tree.unregister h
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+        List.iter Domain.join ds;
+        let h = Tree.register t in
+        Tree.check_invariants h);
+    Alcotest.test_case "same-key contention is linearizable" `Slow (fun () ->
+        let _env, t = make_tree ~max_threads:4 () in
+        let inserts = Atomic.make 0 and deletes = Atomic.make 0 in
+        let worker seed () =
+          let h = Tree.register t in
+          let rng = Random.State.make [| seed * 31 |] in
+          for _ = 1 to 800 do
+            let k = Random.State.int rng 8 in
+            if Random.State.bool rng then begin
+              if Tree.insert h ~key:k ~value:k then
+                ignore (Atomic.fetch_and_add inserts 1)
+            end
+            else if Tree.remove h ~key:k then
+              ignore (Atomic.fetch_and_add deletes 1)
+          done;
+          Tree.unregister h
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+        List.iter Domain.join ds;
+        let h = Tree.register t in
+        Tree.check_invariants h;
+        Alcotest.(check int) "net count"
+          (Atomic.get inserts - Atomic.get deletes)
+          (Tree.length h));
+  ]
+
+let crash_tests =
+  [
+    Alcotest.test_case "attach after clean shutdown" `Quick (fun () ->
+        let env, t = make_tree () in
+        let h = Tree.register t in
+        for k = 1 to 300 do
+          ignore (Tree.put h ~key:k ~value:(k * 7))
+        done;
+        let img = Mem.crash_image env.mem in
+        let _env', t', _ = recover_env env img in
+        let h' = Tree.register t' in
+        Tree.check_invariants h';
+        Alcotest.(check int) "all keys" 300 (Tree.length h');
+        Alcotest.(check (option int)) "value survives" (Some 700)
+          (Tree.get h' ~key:100));
+    Alcotest.test_case "crash mid-workload: membership off by at most one"
+      `Slow (fun () ->
+        List.iter
+          (fun fuel ->
+            let env, t = make_tree () in
+            let h = Tree.register t in
+            let applied = Hashtbl.create 64 in
+            let last = ref (-1) in
+            let rng = Random.State.make [| fuel * 3 |] in
+            Mem.inject_crash_after env.mem fuel;
+            (try
+               while true do
+                 let k = Random.State.int rng 120 in
+                 last := k;
+                 if Random.State.int rng 3 > 0 then begin
+                   ignore (Tree.put h ~key:k ~value:k);
+                   Hashtbl.replace applied k k
+                 end
+                 else begin
+                   ignore (Tree.remove h ~key:k);
+                   Hashtbl.remove applied k
+                 end
+               done
+             with Mem.Crash -> ());
+            let img =
+              Mem.crash_image ~evict_prob:0.4
+                ~rng:(Random.State.make [| fuel + 1 |])
+                env.mem
+            in
+            let env', t', _ = recover_env env img in
+            let h' = Tree.register t' in
+            Tree.check_invariants h';
+            let recovered =
+              Tree.fold_range h' ~lo:0 ~hi:1000 ~init:[]
+                ~f:(fun acc ~key ~value:_ -> key :: acc)
+            in
+            let tracked =
+              Hashtbl.fold (fun k _ acc -> k :: acc) applied []
+            in
+            let diff =
+              List.filter (fun k -> not (List.mem k tracked)) recovered
+              @ List.filter (fun k -> not (List.mem k recovered)) tracked
+            in
+            (match diff with
+            | [] -> ()
+            | [ k ] when k = !last -> ()
+            | ks ->
+                Alcotest.failf "fuel %d: spurious divergence on keys %s" fuel
+                  (String.concat "," (List.map string_of_int ks)));
+            (* Leak audit: exactly the reachable blocks are allocated. *)
+            Alcotest.(check int)
+              (Printf.sprintf "fuel %d: reachable = allocated" fuel)
+              (reachable_blocks env')
+              (Palloc.audit env'.palloc).allocated_blocks)
+          [ 60; 150; 320; 700; 1500; 3200 ]);
+    Alcotest.test_case "crash during SMO storm stays consistent" `Slow
+      (fun () ->
+        List.iter
+          (fun fuel ->
+            let env, t = make_tree () in
+            let h = Tree.register t in
+            Mem.inject_crash_after env.mem fuel;
+            (try
+               for k = 1 to 100_000 do
+                 ignore (Tree.put h ~key:(k * 17 mod 1021) ~value:k)
+               done
+             with Mem.Crash -> ());
+            let img =
+              Mem.crash_image ~evict_prob:0.3
+                ~rng:(Random.State.make [| fuel |])
+                env.mem
+            in
+            let env', t', _ = recover_env env img in
+            let h' = Tree.register t' in
+            Tree.check_invariants h';
+            Alcotest.(check int)
+              (Printf.sprintf "fuel %d: no leaks" fuel)
+              (reachable_blocks env')
+              (Palloc.audit env'.palloc).allocated_blocks)
+          [ 500; 2000; 5000; 9000; 14000 ]);
+  ]
+
+(* Crash during a delete-heavy storm exercises merges + index-delete
+   deltas under fault injection. *)
+let delete_storm_crash_tests =
+  [
+    Alcotest.test_case "crash during merge storm stays consistent" `Slow
+      (fun () ->
+        List.iter
+          (fun fuel ->
+            let env, t = make_tree () in
+            let h = Tree.register t in
+            (* Build first, uninjected. *)
+            for k = 1 to 400 do
+              ignore (Tree.put h ~key:k ~value:k)
+            done;
+            Mem.inject_crash_after env.mem fuel;
+            (try
+               for round = 0 to 100 do
+                 for k = 1 to 400 do
+                   if (k + round) mod 3 = 0 then ignore (Tree.remove h ~key:k)
+                   else if (k + round) mod 7 = 0 then
+                     ignore (Tree.put h ~key:k ~value:(k + round))
+                 done
+               done
+             with Mem.Crash -> ());
+            let img =
+              Mem.crash_image ~evict_prob:0.4
+                ~rng:(Random.State.make [| fuel |])
+                env.mem
+            in
+            let env', t', _ = recover_env env img in
+            let h' = Tree.register t' in
+            Tree.check_invariants h';
+            Alcotest.(check int)
+              (Printf.sprintf "fuel %d: no leaks" fuel)
+              (reachable_blocks env')
+              (Palloc.audit env'.palloc).allocated_blocks)
+          [ 800; 2500; 7000; 15000 ]);
+    Alcotest.test_case "double crash (crash during recovery)" `Quick
+      (fun () ->
+        let env, t = make_tree () in
+        let h = Tree.register t in
+        Mem.inject_crash_after env.mem 4000;
+        (try
+           for k = 1 to 100_000 do
+             ignore (Tree.put h ~key:(k mod 333) ~value:k)
+           done
+         with Mem.Crash -> ());
+        let img = Mem.crash_image env.mem in
+        (* First recovery dies part-way. *)
+        Mem.inject_crash_after img 25;
+        (try ignore (recover_env env img) with Mem.Crash -> ());
+        Mem.disarm img;
+        let img2 = Mem.crash_image img in
+        let env2, t2, _ = recover_env env img2 in
+        let h2 = Tree.register t2 in
+        Tree.check_invariants h2;
+        Alcotest.(check int) "no leaks after double crash"
+          (reachable_blocks env2)
+          (Palloc.audit env2.palloc).allocated_blocks);
+  ]
+
+(* Property: fold_range windows agree with a model map. *)
+let prop_scan_window =
+  QCheck.Test.make ~count:25 ~name:"range scans agree with model"
+    QCheck.(pair (int_bound 300) (int_bound 100_000))
+    (fun (n_ops, seed) ->
+      let _env, t = make_tree () in
+      let h = Tree.register t in
+      let model = Hashtbl.create 64 in
+      let rng = Random.State.make [| seed |] in
+      for _ = 1 to n_ops do
+        let k = Random.State.int rng 200 in
+        if Random.State.int rng 3 > 0 then begin
+          ignore (Tree.put h ~key:k ~value:k);
+          Hashtbl.replace model k k
+        end
+        else begin
+          ignore (Tree.remove h ~key:k);
+          Hashtbl.remove model k
+        end
+      done;
+      let lo = Random.State.int rng 100 in
+      let hi = lo + Random.State.int rng 120 in
+      let got =
+        Tree.fold_range h ~lo ~hi ~init:[] ~f:(fun acc ~key ~value:_ ->
+            key :: acc)
+        |> List.rev
+      in
+      let expect =
+        Hashtbl.fold (fun k _ acc -> k :: acc) model []
+        |> List.filter (fun k -> k >= lo && k <= hi)
+        |> List.sort compare
+      in
+      got = expect)
+
+let prop_model =
+  QCheck.Test.make ~count:25 ~name:"bwtree agrees with model map"
+    QCheck.(pair (int_bound 400) (int_bound 100_000))
+    (fun (n_ops, seed) ->
+      let _env, t = make_tree () in
+      let h = Tree.register t in
+      let model = Hashtbl.create 64 in
+      let rng = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to n_ops do
+        let k = Random.State.int rng 80 in
+        match Random.State.int rng 3 with
+        | 0 ->
+            let prev = Tree.put h ~key:k ~value:k in
+            if prev <> Hashtbl.find_opt model k then ok := false;
+            Hashtbl.replace model k k
+        | 1 ->
+            let r = Tree.remove h ~key:k in
+            if r <> Hashtbl.mem model k then ok := false;
+            Hashtbl.remove model k
+        | _ -> if Tree.get h ~key:k <> Hashtbl.find_opt model k then ok := false
+      done;
+      !ok && Tree.length h = Hashtbl.length model)
+
+let () =
+  Alcotest.run "bwtree"
+    [
+      ("node", node_tests);
+      ("basic", basic_tests);
+      ("concurrency", concurrency_tests);
+      ("crash", crash_tests @ delete_storm_crash_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_model; prop_scan_window ]
+      );
+    ]

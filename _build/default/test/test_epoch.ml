@@ -1,0 +1,236 @@
+(* Tests for the epoch-based reclamation manager. *)
+
+let test_register_unregister () =
+  let t = Epoch.create ~slots:4 () in
+  let g1 = Epoch.register t in
+  let g2 = Epoch.register t in
+  Alcotest.(check int) "two registered" 2 (Epoch.registered t);
+  Epoch.unregister g1;
+  Epoch.unregister g2;
+  Alcotest.(check int) "none registered" 0 (Epoch.registered t)
+
+let test_slot_exhaustion () =
+  let t = Epoch.create ~slots:2 () in
+  let g1 = Epoch.register t in
+  let g2 = Epoch.register t in
+  (try
+     ignore (Epoch.register t);
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ());
+  Epoch.unregister g1;
+  (* Freed slot becomes claimable again. *)
+  let g3 = Epoch.register t in
+  Epoch.unregister g2;
+  Epoch.unregister g3
+
+let test_pin_blocks_reclaim () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  let reaper = Epoch.register t in
+  let freed = ref false in
+  Epoch.enter g;
+  Epoch.defer g (fun () -> freed := true);
+  ignore (Epoch.advance t);
+  (* Guard g is still pinned at the retire epoch: nothing may run. *)
+  ignore (Epoch.reclaim g);
+  Alcotest.(check bool) "still live while pinned" false !freed;
+  Epoch.exit g;
+  ignore (Epoch.advance t);
+  ignore (Epoch.reclaim g);
+  Alcotest.(check bool) "freed after exit" true !freed;
+  Epoch.unregister g;
+  Epoch.unregister reaper
+
+let test_unpinned_defer_reclaims_after_advance () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  let n = ref 0 in
+  for _ = 1 to 10 do
+    Epoch.defer g (fun () -> incr n)
+  done;
+  ignore (Epoch.advance t);
+  let ran = Epoch.reclaim g in
+  Alcotest.(check int) "all ran" 10 ran;
+  Alcotest.(check int) "effects" 10 !n;
+  Epoch.unregister g
+
+let test_reentrant_pin () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  Epoch.enter g;
+  Epoch.enter g;
+  Alcotest.(check bool) "pinned" true (Epoch.pinned g);
+  Epoch.exit g;
+  Alcotest.(check bool) "still pinned after inner exit" true (Epoch.pinned g);
+  Epoch.exit g;
+  Alcotest.(check bool) "unpinned" false (Epoch.pinned g);
+  (try
+     Epoch.exit g;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  Epoch.unregister g
+
+let test_with_guard_exception_safety () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  (try Epoch.with_guard g (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check bool) "unpinned after raise" false (Epoch.pinned g);
+  Epoch.unregister g
+
+let test_safe_before () =
+  let t = Epoch.create () in
+  let g1 = Epoch.register t in
+  let g2 = Epoch.register t in
+  let e0 = Epoch.current t in
+  Alcotest.(check int) "nothing pinned" (e0 + 1) (Epoch.safe_before t);
+  Epoch.enter g1;
+  ignore (Epoch.advance t);
+  ignore (Epoch.advance t);
+  Epoch.enter g2;
+  Alcotest.(check int) "oldest pin rules" e0 (Epoch.safe_before t);
+  Epoch.exit g1;
+  Alcotest.(check int) "next pin rules" (e0 + 2) (Epoch.safe_before t);
+  Epoch.exit g2;
+  Epoch.unregister g1;
+  Epoch.unregister g2
+
+let test_unregister_orphans_garbage () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  let g2 = Epoch.register t in
+  let n = ref 0 in
+  Epoch.defer g (fun () -> incr n);
+  Epoch.unregister g;
+  ignore (Epoch.advance t);
+  ignore (Epoch.reclaim g2);
+  Alcotest.(check int) "orphan ran via other guard" 1 !n;
+  Epoch.unregister g2
+
+let test_drain_all () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  let n = ref 0 in
+  Epoch.defer g (fun () -> incr n);
+  Epoch.defer g (fun () -> incr n);
+  Epoch.unregister g;
+  Alcotest.(check int) "drained" 2 (Epoch.drain_all t);
+  Alcotest.(check int) "effects" 2 !n
+
+let test_drain_all_refuses_pinned () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  Epoch.enter g;
+  (try
+     ignore (Epoch.drain_all t);
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ());
+  Epoch.exit g;
+  Epoch.unregister g
+
+let test_guard_unusable_after_unregister () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  Epoch.unregister g;
+  try
+    Epoch.enter g;
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* Concurrent stress: each worker retires tagged objects and checks, via a
+   canary read, that no object it can still reach was reclaimed while it
+   was pinned. We model objects as refs set to -1 on "free"; a reader that
+   obtained the ref inside an epoch must never observe -1. *)
+let test_concurrent_no_premature_free () =
+  let t = Epoch.create () in
+  let shared = Atomic.make (ref 0) in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let writer () =
+    let g = Epoch.register t in
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      incr i;
+      let fresh = ref !i in
+      Epoch.with_guard g (fun () ->
+          let old = Atomic.exchange shared fresh in
+          Epoch.defer g (fun () -> old := -1));
+      ignore (Epoch.reclaim g)
+    done;
+    Epoch.unregister g
+  in
+  let reader () =
+    let g = Epoch.register t in
+    while not (Atomic.get stop) do
+      Epoch.with_guard g (fun () ->
+          let r = Atomic.get shared in
+          (* Spin a little to widen the race window. *)
+          for _ = 1 to 50 do
+            Domain.cpu_relax ()
+          done;
+          if !r = -1 then ignore (Atomic.fetch_and_add violations 1))
+    done;
+    Epoch.unregister g
+  in
+  let ds =
+    [ Domain.spawn writer; Domain.spawn reader; Domain.spawn reader ]
+  in
+  Unix.sleepf 0.3;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no use-after-free" 0 (Atomic.get violations)
+
+let prop_defer_reclaim_conservation =
+  QCheck.Test.make ~count:100
+    ~name:"every deferred callback runs exactly once across reclaims"
+    QCheck.(int_bound 50)
+    (fun n ->
+      let t = Epoch.create () in
+      let g = Epoch.register t in
+      let runs = Array.make (max n 1) 0 in
+      for i = 0 to n - 1 do
+        Epoch.defer g (fun () -> runs.(i) <- runs.(i) + 1);
+        if i mod 7 = 0 then begin
+          ignore (Epoch.advance t);
+          ignore (Epoch.reclaim g)
+        end
+      done;
+      ignore (Epoch.advance t);
+      ignore (Epoch.reclaim g);
+      Epoch.unregister g;
+      ignore (Epoch.drain_all t);
+      Array.for_all (fun c -> c = 1) (Array.sub runs 0 n))
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "register/unregister" `Quick
+            test_register_unregister;
+          Alcotest.test_case "slot exhaustion and reuse" `Quick
+            test_slot_exhaustion;
+          Alcotest.test_case "pin blocks reclamation" `Quick
+            test_pin_blocks_reclaim;
+          Alcotest.test_case "unpinned defer reclaims" `Quick
+            test_unpinned_defer_reclaims_after_advance;
+          Alcotest.test_case "re-entrant pin" `Quick test_reentrant_pin;
+          Alcotest.test_case "with_guard exception safety" `Quick
+            test_with_guard_exception_safety;
+          Alcotest.test_case "safe_before tracks oldest pin" `Quick
+            test_safe_before;
+          Alcotest.test_case "unregister orphans garbage" `Quick
+            test_unregister_orphans_garbage;
+          Alcotest.test_case "drain_all" `Quick test_drain_all;
+          Alcotest.test_case "drain_all refuses pinned" `Quick
+            test_drain_all_refuses_pinned;
+          Alcotest.test_case "guard unusable after unregister" `Quick
+            test_guard_unusable_after_unregister;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "no premature free under load" `Slow
+            test_concurrent_no_premature_free;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_defer_reclaim_conservation ] );
+    ]

@@ -1,0 +1,272 @@
+(* Tests for the HTM emulation, the workload generators, and the bench
+   harness. *)
+
+module Mem = Nvram.Mem
+module Txn = Htm.Txn
+module Hmw = Htm.Mwcas
+module Dist = Workload.Distribution
+module Mix = Workload.Mix
+
+let mem words = Mem.create (Nvram.Config.make ~words ())
+let rng seed = Random.State.make [| seed |]
+
+let htm_tests =
+  [
+    Alcotest.test_case "transaction commits buffered writes" `Quick (fun () ->
+        let m = mem 64 in
+        let h = Txn.create m in
+        let r =
+          Txn.attempt h ~rng:(rng 1) (fun tx ->
+              Txn.write tx 0 5;
+              Txn.write tx 9 6;
+              (* Reads see own writes. *)
+              Txn.read tx 0 + Txn.read tx 9)
+        in
+        Alcotest.(check bool) "committed" true (r = Ok 11);
+        Alcotest.(check int) "w0" 5 (Mem.read m 0);
+        Alcotest.(check int) "w9" 6 (Mem.read m 9);
+        Alcotest.(check int) "one commit" 1 (Txn.stats h).commits);
+    Alcotest.test_case "self-abort discards writes" `Quick (fun () ->
+        let m = mem 64 in
+        let h = Txn.create m in
+        let r =
+          Txn.attempt h ~rng:(rng 1) (fun tx ->
+              Txn.write tx 0 5;
+              raise Txn.Abort)
+        in
+        Alcotest.(check bool) "aborted" true (r = Error Txn.Conflict);
+        Alcotest.(check int) "no write" 0 (Mem.read m 0));
+    Alcotest.test_case "capacity aborts" `Quick (fun () ->
+        let m = mem 1024 in
+        let h = Txn.create ~capacity:4 m in
+        let r =
+          Txn.attempt h ~rng:(rng 1) (fun tx ->
+              (* Touch 6 distinct lines. *)
+              for i = 0 to 5 do
+                Txn.write tx (i * 8) i
+              done)
+        in
+        Alcotest.(check bool) "capacity" true (r = Error Txn.Capacity);
+        Alcotest.(check int) "counted" 1 (Txn.stats h).capacity);
+    Alcotest.test_case "spurious aborts" `Quick (fun () ->
+        let m = mem 64 in
+        let h = Txn.create ~abort_prob:1.0 m in
+        let r = Txn.attempt h ~rng:(rng 1) (fun tx -> Txn.write tx 0 1) in
+        Alcotest.(check bool) "spurious" true (r = Error Txn.Spurious));
+    Alcotest.test_case "concurrent transfers conserve the total" `Slow
+      (fun () ->
+        let m = mem 64 in
+        let h = Txn.create m in
+        let n = 8 in
+        for i = 0 to n - 1 do
+          Mem.write m (i * 8) 1000
+        done;
+        let worker seed () =
+          let rng = rng seed in
+          for _ = 1 to 3000 do
+            let i = Random.State.int rng n in
+            let j = (i + 1 + Random.State.int rng (n - 1)) mod n in
+            ignore
+              (Txn.attempt h ~rng (fun tx ->
+                   let vi = Txn.read tx (i * 8) in
+                   let vj = Txn.read tx (j * 8) in
+                   Txn.write tx (i * 8) (vi - 1);
+                   Txn.write tx (j * 8) (vj + 1)))
+          done
+        in
+        let ds = List.init 4 (fun s -> Domain.spawn (worker (s + 1))) in
+        List.iter Domain.join ds;
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum := !sum + Mem.read m (i * 8)
+        done;
+        Alcotest.(check int) "conserved" (n * 1000) !sum);
+    Alcotest.test_case "htm-mwcas swaps atomically with fallback" `Slow
+      (fun () ->
+        (* High spurious abort rate forces the lock fallback path. *)
+        let m = mem 64 in
+        let h = Txn.create ~abort_prob:0.5 m in
+        let mw = Hmw.create ~max_retries:2 h in
+        let n = 8 in
+        let worker seed () =
+          let rng = rng seed in
+          let ok = ref 0 in
+          for _ = 1 to 2000 do
+            let i = Random.State.int rng n in
+            let j = (i + 1 + Random.State.int rng (n - 1)) mod n in
+            let vi = Hmw.read mw (i * 8) and vj = Hmw.read mw (j * 8) in
+            if
+              Hmw.execute mw ~rng
+                [ (i * 8, vi, vi + 1); (j * 8, vj, vj - 1) ]
+            then incr ok
+          done;
+          !ok
+        in
+        let ds = List.init 4 (fun s -> Domain.spawn (worker (s + 1))) in
+        let _oks = List.map Domain.join ds in
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum := !sum + Mem.read m (i * 8)
+        done;
+        Alcotest.(check int) "conserved" 0 !sum;
+        Alcotest.(check bool) "fallbacks happened" true
+          ((Hmw.stats mw).fallbacks > 0));
+  ]
+
+let dist_tests =
+  [
+    Alcotest.test_case "uniform stays in range and covers" `Quick (fun () ->
+        let d = Dist.create (Dist.Uniform 100) in
+        let seen = Array.make 100 false in
+        let r = rng 7 in
+        for _ = 1 to 10_000 do
+          let k = Dist.next d r in
+          Alcotest.(check bool) "range" true (k >= 0 && k < 100);
+          seen.(k) <- true
+        done;
+        Alcotest.(check bool) "coverage" true
+          (Array.for_all (fun b -> b) seen));
+    Alcotest.test_case "zipfian skews towards few keys" `Quick (fun () ->
+        let d =
+          Dist.create (Dist.Zipfian { n = 10_000; theta = 0.99; scrambled = false })
+        in
+        let r = rng 11 in
+        let counts = Hashtbl.create 64 in
+        let total = 50_000 in
+        for _ = 1 to total do
+          let k = Dist.next d r in
+          Alcotest.(check bool) "range" true (k >= 0 && k < 10_000);
+          Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+        done;
+        (* Top 10 ranks should draw a large share under theta=0.99. *)
+        let top =
+          Hashtbl.fold (fun _ c acc -> c :: acc) counts []
+          |> List.sort (fun a b -> compare b a)
+          |> List.filteri (fun i _ -> i < 10)
+          |> List.fold_left ( + ) 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "top-10 share %d/%d" top total)
+          true
+          (float_of_int top /. float_of_int total > 0.25));
+    Alcotest.test_case "scrambled zipfian spreads hot keys" `Quick (fun () ->
+        let d =
+          Dist.create (Dist.Zipfian { n = 10_000; theta = 0.99; scrambled = true })
+        in
+        let r = rng 11 in
+        let low = ref 0 and total = 20_000 in
+        for _ = 1 to total do
+          if Dist.next d r < 100 then incr low
+        done;
+        (* Unscrambled, ranks < 100 absorb most samples; scrambled they
+           should not. *)
+        Alcotest.(check bool) "spread" true
+          (float_of_int !low /. float_of_int total < 0.3));
+    Alcotest.test_case "hotspot honours probabilities" `Quick (fun () ->
+        let d =
+          Dist.create
+            (Dist.Hotspot { n = 1000; hot_fraction = 0.1; hot_probability = 0.9 })
+        in
+        let r = rng 3 in
+        let hot = ref 0 and total = 20_000 in
+        for _ = 1 to total do
+          if Dist.next d r < 100 then incr hot
+        done;
+        let share = float_of_int !hot /. float_of_int total in
+        Alcotest.(check bool)
+          (Printf.sprintf "hot share %.2f" share)
+          true
+          (share > 0.85 && share < 0.95));
+    Alcotest.test_case "invalid specs rejected" `Quick (fun () ->
+        let bad spec =
+          try
+            ignore (Dist.create spec);
+            Alcotest.fail "expected Invalid_argument"
+          with Invalid_argument _ -> ()
+        in
+        bad (Dist.Uniform 0);
+        bad (Dist.Zipfian { n = 10; theta = 1.0; scrambled = false });
+        bad (Dist.Hotspot { n = 10; hot_fraction = 0.; hot_probability = 0.5 }));
+  ]
+
+let mix_tests =
+  [
+    Alcotest.test_case "percentages must sum to 100" `Quick (fun () ->
+        (try
+           ignore (Mix.make ~read:50 ());
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        ignore (Mix.make ~read:50 ~update:50 ()));
+    Alcotest.test_case "sampling matches the mix" `Quick (fun () ->
+        let m = Mix.make ~read:70 ~update:20 ~insert:10 () in
+        let r = rng 5 in
+        let counts = Hashtbl.create 8 in
+        let total = 50_000 in
+        for _ = 1 to total do
+          let op = Mix.next m r in
+          Hashtbl.replace counts op
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts op))
+        done;
+        let share op =
+          float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts op))
+          /. float_of_int total
+        in
+        Alcotest.(check bool) "reads ~0.7" true
+          (Float.abs (share Mix.Read -. 0.7) < 0.02);
+        Alcotest.(check bool) "updates ~0.2" true
+          (Float.abs (share Mix.Update -. 0.2) < 0.02);
+        Alcotest.(check bool) "no deletes" true (share Mix.Delete = 0.));
+  ]
+
+let harness_tests =
+  [
+    Alcotest.test_case "run_ops counts exactly" `Quick (fun () ->
+        let counter = Atomic.make 0 in
+        let r =
+          Harness.Runner.run_ops ~threads:3 ~ops_per_thread:1000
+            ~prepare:(fun _tid () -> ignore (Atomic.fetch_and_add counter 1))
+        in
+        Alcotest.(check int) "result ops" 3000 r.ops;
+        Alcotest.(check int) "side effects" 3000 (Atomic.get counter);
+        Alcotest.(check int) "threads" 3 r.threads);
+    Alcotest.test_case "run_timed stops and reports" `Quick (fun () ->
+        let r =
+          Harness.Runner.run_timed ~threads:2 ~seconds:0.1
+            ~prepare:(fun _tid () -> ())
+        in
+        Alcotest.(check bool) "ran some ops" true (r.ops > 0);
+        Alcotest.(check bool) "throughput positive" true (r.throughput > 0.);
+        Alcotest.(check bool) "duration sane" true
+          (r.seconds >= 0.09 && r.seconds < 2.0));
+    Alcotest.test_case "table renders all cells" `Quick (fun () ->
+        let buf = Filename.temp_file "table" ".txt" in
+        let oc = open_out buf in
+        Harness.Table.print ~out:oc ~title:"T" ~header:[ "a"; "bb" ]
+          [ [ "x"; "1" ]; [ "yyy"; "22" ] ];
+        close_out oc;
+        let ic = open_in buf in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        Sys.remove buf;
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool)
+              (Printf.sprintf "contains %s" needle)
+              true
+              (let re = Str.regexp_string needle in
+               try
+                 ignore (Str.search_forward re s 0);
+                 true
+               with Not_found -> false))
+          [ "T"; "a"; "bb"; "x"; "yyy"; "22" ]);
+  ]
+
+let () =
+  Alcotest.run "misc"
+    [
+      ("htm", htm_tests);
+      ("distribution", dist_tests);
+      ("mix", mix_tests);
+      ("harness", harness_tests);
+    ]

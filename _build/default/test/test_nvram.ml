@@ -1,0 +1,279 @@
+(* Unit and property tests for the simulated NVRAM device. *)
+
+let mem ?(flush_delay = 0) words =
+  Nvram.Mem.create (Nvram.Config.make ~flush_delay ~words ())
+
+let expect_invalid_arg f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let flags_tests =
+  let open Nvram.Flags in
+  [
+    Alcotest.test_case "flag bits are distinct and above payload" `Quick
+      (fun () ->
+        Alcotest.(check bool) "distinct" true
+          (dirty <> mwcas && mwcas <> rdcss && rdcss <> mark);
+        List.iter
+          (fun f ->
+            Alcotest.(check bool) "above payload" true (f > max_payload))
+          [ dirty; mwcas; rdcss; mark ]);
+    Alcotest.test_case "set/clear dirty round-trips" `Quick (fun () ->
+        let v = 123456 in
+        Alcotest.(check bool) "set" true (is_dirty (set_dirty v));
+        Alcotest.(check int) "clear" v (clear_dirty (set_dirty v));
+        Alcotest.(check int) "idempotent clear" v (clear_dirty v));
+    Alcotest.test_case "payload strips protocol flags, keeps mark" `Quick
+      (fun () ->
+        let v = set_mark 99 in
+        Alcotest.(check int) "strip" v
+          (payload (set_dirty (v lor mwcas lor rdcss)));
+        Alcotest.(check bool) "marked survives" true (is_marked (payload v)));
+    Alcotest.test_case "is_descriptor" `Quick (fun () ->
+        Alcotest.(check bool) "mwcas" true (is_descriptor (7 lor mwcas));
+        Alcotest.(check bool) "rdcss" true (is_descriptor (7 lor rdcss));
+        Alcotest.(check bool) "plain" false (is_descriptor (set_dirty 7)));
+    Alcotest.test_case "flagged words stay non-negative" `Quick (fun () ->
+        let v = max_payload lor dirty lor mwcas lor rdcss lor mark in
+        Alcotest.(check bool) "non-negative" true (v >= 0));
+  ]
+
+let config_tests =
+  [
+    Alcotest.test_case "rejects bad parameters" `Quick (fun () ->
+        expect_invalid_arg (fun () -> Nvram.Config.make ~words:0 ());
+        expect_invalid_arg (fun () ->
+            Nvram.Config.make ~words:8 ~line_words:3 ());
+        expect_invalid_arg (fun () ->
+            Nvram.Config.make ~words:8 ~line_words:0 ());
+        expect_invalid_arg (fun () ->
+            Nvram.Config.make ~words:8 ~flush_delay:(-1) ()));
+  ]
+
+let mem_tests =
+  let open Nvram in
+  [
+    Alcotest.test_case "read/write volatile only" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.write m 3 42;
+        Alcotest.(check int) "volatile" 42 (Mem.read m 3);
+        Alcotest.(check int) "nvm untouched" 0 (Mem.read_persistent m 3));
+    Alcotest.test_case "clwb persists the whole line" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.write m 8 1;
+        Mem.write m 9 2;
+        Mem.write m 15 3;
+        Mem.write m 16 4;
+        (* word 16 is on the next line *)
+        Mem.clwb m 9;
+        Alcotest.(check int) "same line lo" 1 (Mem.read_persistent m 8);
+        Alcotest.(check int) "flushed word" 2 (Mem.read_persistent m 9);
+        Alcotest.(check int) "same line hi" 3 (Mem.read_persistent m 15);
+        Alcotest.(check int) "other line" 0 (Mem.read_persistent m 16));
+    Alcotest.test_case "cas returns witnessed value" `Quick (fun () ->
+        let m = mem 8 in
+        Mem.write m 0 10;
+        Alcotest.(check int) "success witnesses expected" 10
+          (Mem.cas m 0 ~expected:10 ~desired:11);
+        Alcotest.(check int) "value swapped" 11 (Mem.read m 0);
+        Alcotest.(check int) "failure witnesses current" 11
+          (Mem.cas m 0 ~expected:10 ~desired:12);
+        Alcotest.(check int) "value unchanged" 11 (Mem.read m 0));
+    Alcotest.test_case "cas_bool" `Quick (fun () ->
+        let m = mem 8 in
+        Alcotest.(check bool) "ok" true (Mem.cas_bool m 0 ~expected:0 ~desired:5);
+        Alcotest.(check bool) "stale" false
+          (Mem.cas_bool m 0 ~expected:0 ~desired:6));
+    Alcotest.test_case "bounds checking" `Quick (fun () ->
+        let m = mem 8 in
+        expect_invalid_arg (fun () -> Mem.read m 8);
+        expect_invalid_arg (fun () -> Mem.read m (-1));
+        expect_invalid_arg (fun () ->
+            Mem.write m 9 0;
+            0);
+        expect_invalid_arg (fun () -> Mem.cas m 100 ~expected:0 ~desired:1));
+    Alcotest.test_case "persist_all flushes everything" `Quick (fun () ->
+        let m = mem 70 in
+        for i = 0 to 69 do
+          Mem.write m i (i * 2)
+        done;
+        Mem.persist_all m;
+        for i = 0 to 69 do
+          Alcotest.(check int) "word" (i * 2) (Mem.read_persistent m i)
+        done);
+    Alcotest.test_case "stats count flushes, fences and cas" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.clwb m 0;
+        Mem.clwb m 1;
+        Mem.fence m;
+        ignore (Mem.cas m 0 ~expected:0 ~desired:1);
+        let s = Mem.stats m |> Stats.snapshot in
+        Alcotest.(check int) "flushes" 2 s.flushes;
+        Alcotest.(check int) "fences" 1 s.fences;
+        Alcotest.(check int) "cas" 1 s.cases;
+        Stats.reset (Mem.stats m);
+        let s = Mem.stats m |> Stats.snapshot in
+        Alcotest.(check int) "reset" 0 (s.flushes + s.fences + s.cases));
+    Alcotest.test_case "stats diff" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.clwb m 0;
+        let s0 = Mem.stats m |> Stats.snapshot in
+        Mem.clwb m 0;
+        Mem.fence m;
+        let s1 = Mem.stats m |> Stats.snapshot in
+        let d = Stats.diff s1 s0 in
+        Alcotest.(check int) "flushes" 1 d.flushes;
+        Alcotest.(check int) "fences" 1 d.fences);
+    Alcotest.test_case "crash image drops unflushed writes" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.write m 0 7;
+        Mem.clwb m 0;
+        Mem.write m 0 8;
+        (* dirty again, not flushed *)
+        Mem.write m 32 9;
+        (* never flushed *)
+        let img = Mem.crash_image m in
+        Alcotest.(check int) "flushed survives" 7 (Mem.read img 0);
+        Alcotest.(check int) "unflushed lost" 0 (Mem.read img 32);
+        Alcotest.(check int) "images agree" (Mem.read img 0)
+          (Mem.read_persistent img 0));
+    Alcotest.test_case "crash image with eviction keeps line granularity"
+      `Quick (fun () ->
+        (* With evict_prob = 1.0 every line survives with its volatile
+           content, flushed or not. *)
+        let m = mem 64 in
+        Mem.write m 5 50;
+        Mem.write m 40 41;
+        let img =
+          Mem.crash_image ~evict_prob:1.0 ~rng:(Random.State.make [| 1 |]) m
+        in
+        Alcotest.(check int) "evicted line a" 50 (Mem.read img 5);
+        Alcotest.(check int) "evicted line b" 41 (Mem.read img 40));
+    Alcotest.test_case "concurrent cas increments are exact" `Quick (fun () ->
+        let m = mem 8 in
+        let per = 2000 and workers = 4 in
+        let body () =
+          for _ = 1 to per do
+            let rec retry () =
+              let cur = Mem.read m 0 in
+              if Mem.cas m 0 ~expected:cur ~desired:(cur + 1) <> cur then
+                retry ()
+            in
+            retry ()
+          done
+        in
+        let ds = List.init workers (fun _ -> Domain.spawn body) in
+        List.iter Domain.join ds;
+        Alcotest.(check int) "total" (per * workers) (Mem.read m 0));
+    Alcotest.test_case "concurrent clwb races persist a current value" `Quick
+      (fun () ->
+        (* Writers bump word 0 and flush; after joining, a final flush must
+           leave the NVM image holding the final coherent value. *)
+        let m = mem 8 in
+        let per = 1000 and workers = 4 in
+        let body () =
+          for _ = 1 to per do
+            let rec retry () =
+              let cur = Mem.read m 0 in
+              if Mem.cas m 0 ~expected:cur ~desired:(cur + 1) <> cur then
+                retry ()
+            in
+            retry ();
+            Mem.clwb m 0
+          done
+        in
+        let ds = List.init workers (fun _ -> Domain.spawn body) in
+        List.iter Domain.join ds;
+        Mem.clwb m 0;
+        Alcotest.(check int) "final persisted" (per * workers)
+          (Mem.read_persistent m 0));
+    Alcotest.test_case "flush_delay does not change semantics" `Quick
+      (fun () ->
+        let m = mem ~flush_delay:50 16 in
+        Mem.write m 2 9;
+        Mem.clwb m 2;
+        Alcotest.(check int) "persisted" 9 (Mem.read_persistent m 2));
+  ]
+
+let region_tests =
+  let open Nvram in
+  [
+    Alcotest.test_case "sequential carving" `Quick (fun () ->
+        let m = mem 64 in
+        let r = Region.create m in
+        let a = Region.alloc r 10 in
+        let b = Region.alloc r 5 in
+        Alcotest.(check int) "first" 0 a;
+        Alcotest.(check int) "second" 10 b;
+        Alcotest.(check int) "used" 15 (Region.used r);
+        Alcotest.(check int) "remaining" 49 (Region.remaining r));
+    Alcotest.test_case "line alignment" `Quick (fun () ->
+        let m = mem 64 in
+        let r = Region.create m in
+        let _ = Region.alloc r 3 in
+        let b = Region.alloc_line_aligned r 4 in
+        Alcotest.(check int) "aligned" 8 b);
+    Alcotest.test_case "base offset respected" `Quick (fun () ->
+        let m = mem 64 in
+        let r = Region.create ~base:16 m in
+        Alcotest.(check int) "first" 16 (Region.alloc r 4));
+    Alcotest.test_case "exhaustion raises" `Quick (fun () ->
+        let m = mem 16 in
+        let r = Region.create m in
+        let _ = Region.alloc r 16 in
+        expect_invalid_arg (fun () -> Region.alloc r 1);
+        expect_invalid_arg (fun () -> Region.alloc r 0));
+  ]
+
+(* Property: whatever interleaving of writes and flushes happened, every
+   word of a crash image holds a value that was stored to that word at some
+   point (no invention, no tearing). *)
+let prop_crash_values_were_written =
+  QCheck.Test.make ~count:200
+    ~name:"crash image only contains previously written values"
+    QCheck.(pair (list (pair (int_bound 15) (int_bound 1000))) (int_bound 100))
+    (fun (ops, seed) ->
+      let m = mem 16 in
+      let written = Array.make 16 [ 0 ] in
+      List.iteri
+        (fun i (a, v) ->
+          Nvram.Mem.write m a v;
+          written.(a) <- v :: written.(a);
+          if i mod 3 = 0 then Nvram.Mem.clwb m a)
+        ops;
+      let img =
+        Nvram.Mem.crash_image ~evict_prob:0.5
+          ~rng:(Random.State.make [| seed |])
+          m
+      in
+      let ok = ref true in
+      for a = 0 to 15 do
+        if not (List.mem (Nvram.Mem.read img a) written.(a)) then ok := false
+      done;
+      !ok)
+
+let prop_flushed_state_survives =
+  QCheck.Test.make ~count:200 ~name:"persist_all implies full survival"
+    QCheck.(list (pair (int_bound 15) (int_bound 1000)))
+    (fun ops ->
+      let m = mem 16 in
+      List.iter (fun (a, v) -> Nvram.Mem.write m a v) ops;
+      Nvram.Mem.persist_all m;
+      let img = Nvram.Mem.crash_image m in
+      List.for_all
+        (fun (a, _) -> Nvram.Mem.read img a = Nvram.Mem.read m a)
+        ops)
+
+let () =
+  Alcotest.run "nvram"
+    [
+      ("flags", flags_tests);
+      ("config", config_tests);
+      ("mem", mem_tests);
+      ("region", region_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_crash_values_were_written; prop_flushed_state_survives ] );
+    ]

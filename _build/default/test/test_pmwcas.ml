@@ -1,0 +1,856 @@
+(* Tests for the PMwCAS core: layout, persistent single-word CAS, the
+   descriptor pool, the two-phase algorithm, memory policies, and crash
+   recovery with fault injection. *)
+
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Layout = Pmwcas.Layout
+module Pcas = Pmwcas.Pcas
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Recovery = Pmwcas.Recovery
+
+let expect_invalid f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* One simulated device laid out as [pool | palloc heap | data array]. *)
+type env = {
+  mem : Mem.t;
+  pool : Pool.t;
+  palloc : Palloc.t;
+  heap_base : int;
+  heap_words : int;
+  data : int;
+  data_words : int;
+  max_threads : int;
+}
+
+let align8 a = (a + 7) / 8 * 8
+
+let make_env ?(persistent = true) ?(max_threads = 4) ?(descs_per_thread = 8)
+    ?(max_words = 8) ?(data_words = 512) ?(heap_words = 8192) () =
+  let pool_words = Pool.region_words ~max_words ~descs_per_thread ~max_threads () in
+  let heap_base = align8 pool_words in
+  let data = align8 (heap_base + heap_words) in
+  let mem = Mem.create (Nvram.Config.make ~words:(data + data_words) ()) in
+  let palloc =
+    Palloc.create ~persistent mem ~base:heap_base ~words:heap_words ~max_threads
+  in
+  let pool =
+    Pool.create ~persistent ~max_words ~descs_per_thread ~palloc mem ~base:0
+      ~max_threads
+  in
+  { mem; pool; palloc; heap_base; heap_words; data; data_words; max_threads }
+
+(* Re-open an environment inside a crash image: allocator recovery first,
+   then PMwCAS recovery, exactly the order Section 5.2 prescribes. *)
+let recover_env ?callbacks env img =
+  let palloc, _rolled =
+    Palloc.recover img ~base:env.heap_base ~words:env.heap_words
+      ~max_threads:env.max_threads
+  in
+  let pool, stats = Recovery.run ~palloc ?callbacks img ~base:0 in
+  ( {
+      mem = img;
+      pool;
+      palloc;
+      heap_base = env.heap_base;
+      heap_words = env.heap_words;
+      data = env.data;
+      data_words = env.data_words;
+      max_threads = env.max_threads;
+    },
+    stats )
+
+let init_data env values =
+  List.iteri (fun i v -> Mem.write env.mem (env.data + i) v) values;
+  Mem.persist_all env.mem
+
+(* Build and run one PMwCAS over (addr, expected, desired) triples. *)
+let run_mwcas ?policy h triples =
+  let d = Pool.alloc_desc h in
+  List.iter
+    (fun (addr, expected, desired) ->
+      Pool.add_word ?policy d ~addr ~expected ~desired)
+    triples;
+  Op.execute d
+
+let layout_tests =
+  let lay =
+    Layout.make ~line_words:8 ~pool_base:16 ~nslots:6 ~max_words:4
+  in
+  [
+    Alcotest.test_case "slot geometry" `Quick (fun () ->
+        Alcotest.(check int) "slot stride is line multiple" 0
+          (lay.slot_words mod 8);
+        Alcotest.(check bool) "stride fits header+entries" true
+          (lay.slot_words >= 3 + (4 * 4));
+        let s0 = Layout.slot_off lay 0 and s1 = Layout.slot_off lay 1 in
+        Alcotest.(check int) "stride" lay.slot_words (s1 - s0);
+        Alcotest.(check int) "index round trip" 1 (Layout.slot_index lay s1);
+        expect_invalid (fun () -> Layout.slot_off lay 6);
+        expect_invalid (fun () -> Layout.slot_index lay (s0 + 1)));
+    Alcotest.test_case "descriptor pointer round trip" `Quick (fun () ->
+        let slot = Layout.slot_off lay 3 in
+        let p = Layout.desc_ptr slot in
+        Alcotest.(check bool) "mwcas flag" true (Flags.is_mwcas p);
+        Alcotest.(check bool) "dirty flag" true (Flags.is_dirty p);
+        Alcotest.(check int) "decodes" slot (Layout.desc_of_ptr p));
+    Alcotest.test_case "word descriptor pointer round trip" `Quick (fun () ->
+        let slot = Layout.slot_off lay 2 in
+        let p = Layout.wd_ptr lay ~slot ~k:3 in
+        Alcotest.(check bool) "rdcss flag" true (Flags.is_rdcss p);
+        let slot', k' = Layout.wd_of_ptr lay p in
+        Alcotest.(check int) "slot" slot slot';
+        Alcotest.(check int) "entry" 3 k';
+        expect_invalid (fun () -> Layout.wd_of_ptr lay (Flags.rdcss lor 5)));
+    Alcotest.test_case "entry field addresses are consecutive" `Quick
+      (fun () ->
+        let slot = Layout.slot_off lay 0 in
+        let e0 = Layout.entry_addr lay slot 0 in
+        Alcotest.(check int) "first entry after header" (slot + 3) e0;
+        Alcotest.(check int) "old" (e0 + 1) (Layout.old_field e0);
+        Alcotest.(check int) "new" (e0 + 2) (Layout.new_field e0);
+        Alcotest.(check int) "policy" (e0 + 3) (Layout.policy_field e0);
+        Alcotest.(check int) "next entry" (e0 + 4)
+          (Layout.entry_addr lay slot 1));
+    Alcotest.test_case "policy round trip" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            Alcotest.(check bool)
+              "round trip" true
+              (Layout.policy_of_int (Layout.policy_to_int p) = p))
+          [
+            Layout.None_;
+            Layout.Free_one;
+            Layout.Free_new_on_failure;
+            Layout.Free_old_on_success;
+          ];
+        expect_invalid (fun () -> Layout.policy_of_int 9));
+  ]
+
+let pcas_tests =
+  [
+    Alcotest.test_case "write leaves word dirty; read persists it" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+        Pcas.write mem 0 42;
+        Alcotest.(check bool) "dirty in place" true
+          (Flags.is_dirty (Mem.read mem 0));
+        Alcotest.(check int) "read returns clean" 42 (Pcas.read mem 0);
+        (* The NVM image may keep the dirty bit set: persist flushes first
+           and clears the bit only in the coherent copy. Payload is what
+           matters. *)
+        Alcotest.(check int) "now durable" 42
+          (Flags.clear_dirty (Mem.read_persistent mem 0));
+        Alcotest.(check bool) "dirty bit cleared" false
+          (Flags.is_dirty (Mem.read mem 0)));
+    Alcotest.test_case "second read does not flush again" `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+        Pcas.write mem 0 7;
+        ignore (Pcas.read mem 0);
+        let f0 = (Nvram.Stats.snapshot (Mem.stats mem)).flushes in
+        ignore (Pcas.read mem 0);
+        ignore (Pcas.read mem 0);
+        let f1 = (Nvram.Stats.snapshot (Mem.stats mem)).flushes in
+        Alcotest.(check int) "no extra flush" f0 f1);
+    Alcotest.test_case "cas makes the old value durable first" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+        Pcas.write mem 0 5;
+        (* 5 is dirty and not yet durable *)
+        Alcotest.(check bool) "cas succeeds" true
+          (Pcas.cas mem 0 ~expected:5 ~desired:6);
+        (* The flush-on-read inside cas persisted 5 before installing 6. *)
+        Alcotest.(check bool) "new value dirty" true
+          (Flags.is_dirty (Mem.read mem 0));
+        Alcotest.(check int) "read" 6 (Pcas.read mem 0));
+    Alcotest.test_case "cas failure leaves value intact" `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+        Pcas.write mem 0 5;
+        Alcotest.(check bool) "fails" false
+          (Pcas.cas mem 0 ~expected:9 ~desired:6);
+        Alcotest.(check int) "unchanged" 5 (Pcas.read mem 0));
+    Alcotest.test_case "cas_durable survives an immediate crash" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+        Alcotest.(check bool) "ok" true
+          (Pcas.cas_durable mem 0 ~expected:0 ~desired:9);
+        let img = Mem.crash_image mem in
+        Alcotest.(check int) "durable" 9 (Flags.clear_dirty (Mem.read img 0)));
+    Alcotest.test_case "unflushed cas can be lost in a crash" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+        ignore (Pcas.cas mem 0 ~expected:0 ~desired:9);
+        let img = Mem.crash_image mem in
+        Alcotest.(check int) "lost" 0 (Flags.clear_dirty (Mem.read img 0)));
+  ]
+
+let pool_tests =
+  [
+    Alcotest.test_case "register/unregister partitions" `Quick (fun () ->
+        let env = make_env ~max_threads:2 () in
+        let h1 = Pool.register env.pool in
+        let h2 = Pool.register env.pool in
+        (try
+           ignore (Pool.register env.pool);
+           Alcotest.fail "expected Failure"
+         with Failure _ -> ());
+        Pool.unregister h1;
+        let h3 = Pool.register env.pool in
+        Pool.unregister h2;
+        Pool.unregister h3);
+    Alcotest.test_case "alloc_desc marks slot undecided durably" `Quick
+      (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        let slot = Pool.desc_slot d in
+        Alcotest.(check int) "volatile status" Layout.status_undecided
+          (Pool.desc_status env.pool ~slot);
+        Alcotest.(check int) "durable status" Layout.status_undecided
+          (Flags.clear_dirty (Mem.read_persistent env.mem slot));
+        Pool.discard d;
+        Alcotest.(check int) "freed" Layout.status_free
+          (Pool.desc_status env.pool ~slot));
+    Alcotest.test_case "add_word validations" `Quick (fun () ->
+        let env = make_env ~max_words:2 () in
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        Pool.add_word d ~addr:env.data ~expected:0 ~desired:1;
+        expect_invalid (fun () ->
+            Pool.add_word d ~addr:env.data ~expected:0 ~desired:2);
+        expect_invalid (fun () ->
+            Pool.add_word d ~addr:(env.data + 1) ~expected:Flags.dirty
+              ~desired:0);
+        expect_invalid (fun () ->
+            Pool.add_word d ~addr:(-1) ~expected:0 ~desired:0);
+        Pool.add_word d ~addr:(env.data + 1) ~expected:0 ~desired:1;
+        expect_invalid (fun () ->
+            Pool.add_word d ~addr:(env.data + 2) ~expected:0 ~desired:1);
+        Pool.discard d);
+    Alcotest.test_case "remove_word" `Quick (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        Pool.add_word d ~addr:env.data ~expected:0 ~desired:1;
+        Pool.add_word d ~addr:(env.data + 1) ~expected:0 ~desired:2;
+        Pool.add_word d ~addr:(env.data + 2) ~expected:0 ~desired:3;
+        Pool.remove_word d ~addr:(env.data + 1);
+        Alcotest.(check int) "count" 2 (Pool.word_count d);
+        expect_invalid (fun () -> Pool.remove_word d ~addr:(env.data + 9));
+        (* Removed word is re-addable; the others survive. *)
+        Pool.add_word d ~addr:(env.data + 1) ~expected:0 ~desired:9;
+        Alcotest.(check bool) "executes" true (Op.execute d);
+        Alcotest.(check int) "w0" 1 (Op.read_with h env.data);
+        Alcotest.(check int) "w1" 9 (Op.read_with h (env.data + 1));
+        Alcotest.(check int) "w2" 3 (Op.read_with h (env.data + 2)));
+    Alcotest.test_case "descriptor unusable after execute or discard" `Quick
+      (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        Pool.add_word d ~addr:env.data ~expected:0 ~desired:1;
+        ignore (Op.execute d);
+        expect_invalid (fun () ->
+            Pool.add_word d ~addr:(env.data + 1) ~expected:0 ~desired:1);
+        expect_invalid (fun () -> Op.execute d);
+        expect_invalid (fun () -> Pool.discard d));
+    Alcotest.test_case "pool exhaustion recovers via recycling" `Quick
+      (fun () ->
+        let env = make_env ~max_threads:1 ~descs_per_thread:4 () in
+        let h = Pool.register env.pool in
+        (* Many more ops than slots: recycling must keep up. *)
+        for i = 1 to 100 do
+          Alcotest.(check bool)
+            (Printf.sprintf "op %d" i)
+            true
+            (run_mwcas h [ (env.data, i - 1, i) ])
+        done;
+        Alcotest.(check int) "final value" 100 (Op.read_with h env.data));
+    Alcotest.test_case "free_slots accounting" `Quick (fun () ->
+        let env = make_env ~max_threads:2 ~descs_per_thread:4 () in
+        Alcotest.(check int) "initial" 8 (Pool.free_slots env.pool);
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        Alcotest.(check int) "one taken" 7 (Pool.free_slots env.pool);
+        Pool.discard d;
+        Alcotest.(check int) "returned" 8 (Pool.free_slots env.pool));
+  ]
+
+let op_tests =
+  [
+    Alcotest.test_case "successful 4-word swap installs all words" `Quick
+      (fun () ->
+        let env = make_env () in
+        init_data env [ 10; 20; 30; 40 ];
+        let h = Pool.register env.pool in
+        let ok =
+          run_mwcas h
+            [
+              (env.data, 10, 11);
+              (env.data + 1, 20, 21);
+              (env.data + 2, 30, 31);
+              (env.data + 3, 40, 41);
+            ]
+        in
+        Alcotest.(check bool) "succeeded" true ok;
+        List.iteri
+          (fun i v ->
+            Alcotest.(check int)
+              (Printf.sprintf "word %d" i)
+              v
+              (Op.read_with h (env.data + i)))
+          [ 11; 21; 31; 41 ]);
+    Alcotest.test_case "one stale word fails the whole operation" `Quick
+      (fun () ->
+        let env = make_env () in
+        init_data env [ 10; 20; 30 ];
+        let h = Pool.register env.pool in
+        let ok =
+          run_mwcas h
+            [
+              (env.data, 10, 11);
+              (env.data + 1, 99, 21);
+              (* stale expected *)
+              (env.data + 2, 30, 31);
+            ]
+        in
+        Alcotest.(check bool) "failed" false ok;
+        List.iteri
+          (fun i v ->
+            Alcotest.(check int)
+              (Printf.sprintf "word %d unchanged" i)
+              v
+              (Op.read_with h (env.data + i)))
+          [ 10; 20; 30 ]);
+    Alcotest.test_case "values with mark bits flow through" `Quick (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let marked = Flags.set_mark 77 in
+        Alcotest.(check bool) "ok" true (run_mwcas h [ (env.data, 0, marked) ]);
+        let v = Op.read_with h env.data in
+        Alcotest.(check bool) "mark preserved" true (Flags.is_marked v);
+        Alcotest.(check int) "payload" 77 (Flags.clear_mark v));
+    Alcotest.test_case "empty descriptor trivially succeeds" `Quick (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        Alcotest.(check bool) "ok" true (Op.execute d));
+    Alcotest.test_case "read is transparent after completion" `Quick
+      (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        ignore (run_mwcas h [ (env.data, 0, 5); (env.data + 7, 0, 6) ]);
+        (* No flag bits are ever visible through Op.read. *)
+        let v = Op.read_with h env.data in
+        Alcotest.(check int) "clean" 5 v;
+        Alcotest.(check bool) "no flags" false (Flags.is_descriptor v));
+    Alcotest.test_case "target words become durable on success" `Quick
+      (fun () ->
+        let env = make_env () in
+        init_data env [ 1; 2 ];
+        let h = Pool.register env.pool in
+        ignore (run_mwcas h [ (env.data, 1, 100); (env.data + 1, 2, 200) ]);
+        (* Phase 2 persists eagerly: a crash right now keeps the values.
+           The descriptor itself may still be awaiting its epoch-deferred
+           recycle, in which case recovery rolls it forward (idempotent). *)
+        let img = Mem.crash_image env.mem in
+        let _, stats = recover_env env img in
+        Alcotest.(check bool) "at most the last op in flight" true
+          (stats.in_flight <= 1 && stats.rolled_back = 0);
+        Alcotest.(check int) "w0" 100 (Flags.clear_dirty (Mem.read img env.data));
+        Alcotest.(check int) "w1" 200
+          (Flags.clear_dirty (Mem.read img (env.data + 1))));
+    Alcotest.test_case "volatile pool never flushes" `Quick (fun () ->
+        let env = make_env ~persistent:false () in
+        let h = Pool.register env.pool in
+        let before = (Nvram.Stats.snapshot (Mem.stats env.mem)).flushes in
+        for i = 0 to 9 do
+          ignore (run_mwcas h [ (env.data, i, i + 1); (env.data + 1, i, i + 1) ])
+        done;
+        let after = (Nvram.Stats.snapshot (Mem.stats env.mem)).flushes in
+        Alcotest.(check int) "zero flushes" before after;
+        Alcotest.(check int) "value" 10 (Op.read_with h env.data));
+    Alcotest.test_case "persistent op flushes a bounded amount" `Quick
+      (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let s0 = Nvram.Stats.snapshot (Mem.stats env.mem) in
+        ignore
+          (run_mwcas h
+             [ (env.data, 0, 1); (env.data + 8, 0, 1); (env.data + 16, 0, 1) ]);
+        let s1 = Nvram.Stats.snapshot (Mem.stats env.mem) in
+        let flushes = (Nvram.Stats.diff s1 s0).flushes in
+        Alcotest.(check bool) "some flushes" true (flushes > 0);
+        (* alloc(1) + seal(2 lines) + 3 installs + 3 phase-2 + status +
+           recycle slack: way under 20 for a 3-word op. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "bounded (%d)" flushes)
+          true (flushes <= 20));
+    Alcotest.test_case "help completes a stalled operation" `Quick (fun () ->
+        (* Install phase-1 state by hand, then let a reader's help path
+           finish the operation. *)
+        let env = make_env () in
+        init_data env [ 7; 8 ];
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        Pool.add_word d ~addr:env.data ~expected:7 ~desired:70;
+        Pool.add_word d ~addr:(env.data + 1) ~expected:8 ~desired:80;
+        Pool.seal d;
+        let slot = Pool.desc_slot d in
+        (* Forge a phase-1 installation of the first word only. *)
+        ignore
+          (Mem.cas env.mem env.data ~expected:7
+             ~desired:(Layout.desc_ptr slot));
+        (* A reader of either word must help the op to completion. *)
+        let v = Op.read_with h env.data in
+        Alcotest.(check int) "helped to success" 70 v;
+        Alcotest.(check int) "second word too" 80 (Op.read_with h (env.data + 1));
+        Alcotest.(check int) "status" Layout.status_succeeded
+          (Pool.desc_status env.pool ~slot);
+        Pool.finish d ~succeeded:true);
+  ]
+
+let policy_tests =
+  [
+    Alcotest.test_case "FreeOne frees old on success" `Quick (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let ph = Palloc.register_thread env.palloc in
+        (* Install block A, then replace it by block B with FreeOne. *)
+        let d1 = Pool.alloc_desc h in
+        let dest = Pool.reserve_entry d1 ~addr:env.data ~expected:0 in
+        let a = Palloc.alloc ph ~nwords:4 ~dest in
+        Alcotest.(check bool) "install A" true (Op.execute d1);
+        let d2 = Pool.alloc_desc h in
+        let dest =
+          Pool.reserve_entry ~policy:Layout.Free_one d2 ~addr:env.data
+            ~expected:a
+        in
+        let b = Palloc.alloc ph ~nwords:4 ~dest in
+        Alcotest.(check bool) "replace by B" true (Op.execute d2);
+        (* Force the deferred recycle. *)
+        ignore (Epoch.advance (Pool.epoch env.pool));
+        ignore (Epoch.reclaim (Pool.guard h));
+        let audit = Palloc.audit env.palloc in
+        Alcotest.(check int) "only B remains" 1 audit.allocated_blocks;
+        Alcotest.(check int) "value is B" b (Op.read_with h env.data);
+        (* A is recyclable again. *)
+        let d3 = Pool.alloc_desc h in
+        let dest = Pool.reserve_entry d3 ~addr:(env.data + 1) ~expected:0 in
+        let c = Palloc.alloc ph ~nwords:4 ~dest in
+        Alcotest.(check int) "A reused" a c;
+        Pool.discard d3);
+    Alcotest.test_case "FreeOne frees new on failure" `Quick (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let ph = Palloc.register_thread env.palloc in
+        init_data env [ 123 ];
+        let d = Pool.alloc_desc h in
+        let dest =
+          Pool.reserve_entry ~policy:Layout.Free_one d ~addr:env.data
+            ~expected:999 (* stale: will fail *)
+        in
+        let _b = Palloc.alloc ph ~nwords:4 ~dest in
+        Alcotest.(check bool) "fails" false (Op.execute d);
+        ignore (Epoch.advance (Pool.epoch env.pool));
+        ignore (Epoch.reclaim (Pool.guard h));
+        let audit = Palloc.audit env.palloc in
+        Alcotest.(check int) "new block freed" 0 audit.allocated_blocks;
+        Alcotest.(check int) "target untouched" 123 (Op.read_with h env.data));
+    Alcotest.test_case "FreeOldOnSuccess (delete from a structure)" `Quick
+      (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let ph = Palloc.register_thread env.palloc in
+        let d1 = Pool.alloc_desc h in
+        let dest = Pool.reserve_entry d1 ~addr:env.data ~expected:0 in
+        let a = Palloc.alloc ph ~nwords:4 ~dest in
+        ignore (Op.execute d1);
+        (* Delete: a -> 0, freeing a on success. *)
+        let d2 = Pool.alloc_desc h in
+        Pool.add_word ~policy:Layout.Free_old_on_success d2 ~addr:env.data
+          ~expected:a ~desired:0;
+        Alcotest.(check bool) "delete" true (Op.execute d2);
+        ignore (Epoch.advance (Pool.epoch env.pool));
+        ignore (Epoch.reclaim (Pool.guard h));
+        Alcotest.(check int) "freed" 0
+          (Palloc.audit env.palloc).allocated_blocks);
+    Alcotest.test_case "discard releases reservations" `Quick (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let ph = Palloc.register_thread env.palloc in
+        let d = Pool.alloc_desc h in
+        let dest = Pool.reserve_entry d ~addr:env.data ~expected:0 in
+        let _b = Palloc.alloc ph ~nwords:4 ~dest in
+        Pool.discard d;
+        Alcotest.(check int) "no block survives" 0
+          (Palloc.audit env.palloc).allocated_blocks);
+    Alcotest.test_case "finalize callback replaces policies" `Quick (fun () ->
+        let env = make_env () in
+        let seen = ref [] in
+        let cb =
+          Pool.register_callback env.pool (fun ~succeeded entries ->
+              seen := (succeeded, Array.length entries) :: !seen;
+              [])
+        in
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc ~callback:cb h in
+        Pool.add_word d ~addr:env.data ~expected:0 ~desired:5;
+        Pool.add_word d ~addr:(env.data + 1) ~expected:0 ~desired:6;
+        Alcotest.(check bool) "ok" true (Op.execute d);
+        ignore (Epoch.advance (Pool.epoch env.pool));
+        ignore (Epoch.reclaim (Pool.guard h));
+        Alcotest.(check (list (pair bool int))) "callback ran once"
+          [ (true, 2) ] !seen;
+        expect_invalid (fun () -> Pool.alloc_desc ~callback:99 h));
+    Alcotest.test_case "reserve_entry forbids remove_word" `Quick (fun () ->
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let d = Pool.alloc_desc h in
+        let _ = Pool.reserve_entry d ~addr:env.data ~expected:0 in
+        expect_invalid (fun () -> Pool.remove_word d ~addr:env.data);
+        Pool.discard d);
+  ]
+
+(* --- Concurrency ------------------------------------------------------ *)
+
+let concurrency_tests =
+  [
+    Alcotest.test_case "swaps over shared words are atomic" `Slow (fun () ->
+        (* Workers repeatedly pick 4 distinct words of a small array and
+           apply a sum-preserving PMwCAS. Under any interleaving the array
+           total is invariant — partial installs would break it. *)
+        let env = make_env ~max_threads:4 ~descs_per_thread:16 () in
+        let n = 16 in
+        init_data env (List.init n (fun _ -> 1000));
+        let ops_per_worker = 400 in
+        let worker seed () =
+          let h = Pool.register env.pool in
+          let rng = Random.State.make [| seed |] in
+          let successes = ref 0 in
+          for _ = 1 to ops_per_worker do
+            let idx = Array.init 4 (fun _ -> Random.State.int rng n) in
+            let distinct = Array.to_list idx |> List.sort_uniq compare in
+            if List.length distinct = 4 then begin
+              let addrs = List.map (fun i -> env.data + i) distinct in
+              let vals =
+                Pool.with_epoch h (fun () ->
+                    List.map (Op.read env.pool) addrs)
+              in
+              let delta = 1 + Random.State.int rng 5 in
+              let triples =
+                match List.combine addrs vals with
+                | (a1, v1) :: (a2, v2) :: rest ->
+                    (a1, v1, v1 + delta) :: (a2, v2, v2 - delta)
+                    :: List.map (fun (a, v) -> (a, v, v)) rest
+                | _ -> assert false
+              in
+              if run_mwcas h triples then incr successes
+            end
+          done;
+          Pool.unregister h;
+          !successes
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+        let total_success = List.fold_left (fun a d -> a + Domain.join d) 0 ds in
+        Alcotest.(check bool) "some ops succeeded" true (total_success > 0);
+        let h = Pool.register env.pool in
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum := !sum + Op.read_with h (env.data + i)
+        done;
+        Alcotest.(check int) "sum invariant" (n * 1000) !sum;
+        let m = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        Alcotest.(check int) "metrics: attempts add up"
+          m.attempts (m.succeeded + m.failed));
+    Alcotest.test_case "readers never observe descriptors or dirty bits"
+      `Slow (fun () ->
+        let env = make_env ~max_threads:4 () in
+        init_data env [ 0; 0 ];
+        let stop = Atomic.make false in
+        let violations = Atomic.make 0 in
+        let writer () =
+          let h = Pool.register env.pool in
+          let i = ref 0 in
+          while not (Atomic.get stop) do
+            incr i;
+            ignore
+              (run_mwcas h
+                 [ (env.data, !i - 1, !i); (env.data + 1, (!i - 1) * 2, !i * 2) ])
+            |> ignore;
+            (* Single writer: every op succeeds. *)
+            ()
+          done;
+          Pool.unregister h
+        in
+        let reader () =
+          let h = Pool.register env.pool in
+          while not (Atomic.get stop) do
+            (* Explicit sequencing: a strictly before b (a tuple would
+               evaluate right-to-left and invert the ordering argument). *)
+            let a, b =
+              Pool.with_epoch h (fun () ->
+                  let a = Op.read env.pool env.data in
+                  let b = Op.read env.pool (env.data + 1) in
+                  (a, b))
+            in
+            if Flags.is_descriptor a || Flags.is_dirty a then
+              ignore (Atomic.fetch_and_add violations 1);
+            (* b was read after a; with one writer, b >= 2a - 2 always
+               holds (b may lag by at most one op ahead). The strong check
+               is flag cleanliness; arithmetic sanity: *)
+            if b < (2 * a) - 2 then ignore (Atomic.fetch_and_add violations 1)
+          done;
+          Pool.unregister h
+        in
+        let ds =
+          [ Domain.spawn writer; Domain.spawn reader; Domain.spawn reader ]
+        in
+        Unix.sleepf 0.4;
+        Atomic.set stop true;
+        List.iter Domain.join ds;
+        Alcotest.(check int) "no violations" 0 (Atomic.get violations));
+  ]
+
+(* --- Crash recovery --------------------------------------------------- *)
+
+(* Run sum-preserving transfers with fault injection; at whatever point the
+   crash hits, recovery must restore a state where the bank balances. *)
+let bank_crash_roundtrip ~workers ~fuel ~evict_seed ~evict_prob =
+  let env = make_env ~max_threads:(max workers 1) ~data_words:64 () in
+  let n = 16 in
+  init_data env (List.init n (fun _ -> 1000));
+  Mem.inject_crash_after env.mem fuel;
+  let worker seed () =
+    let h = Pool.register env.pool in
+    let rng = Random.State.make [| seed |] in
+    (try
+       while true do
+         let i = Random.State.int rng n in
+         let j = (i + 1 + Random.State.int rng (n - 1)) mod n in
+         let vi, vj =
+           Pool.with_epoch h (fun () ->
+               (Op.read env.pool (env.data + i), Op.read env.pool (env.data + j)))
+         in
+         let d = 1 + Random.State.int rng 10 in
+         ignore
+           (run_mwcas h
+              [ (env.data + i, vi, vi + d); (env.data + j, vj, vj - d) ])
+       done
+     with Mem.Crash -> ());
+    ()
+  in
+  if workers <= 1 then worker 42 ()
+  else begin
+    let ds = List.init workers (fun s -> Domain.spawn (worker (s + 1))) in
+    List.iter Domain.join ds
+  end;
+  let img =
+    Mem.crash_image ~evict_prob ~rng:(Random.State.make [| evict_seed |])
+      env.mem
+  in
+  let env', stats = recover_env env img in
+  (* All descriptors settled; no flag bits anywhere in the data. *)
+  let sum = ref 0 in
+  for i = 0 to n - 1 do
+    let v = Mem.read img (env'.data + i) in
+    if Flags.is_descriptor v then
+      Alcotest.failf "word %d still holds a descriptor" i;
+    sum := !sum + Flags.clear_dirty v
+  done;
+  Alcotest.(check int) "bank balance preserved" (n * 1000) !sum;
+  (* Pool is reusable after recovery. *)
+  let h = Pool.register env'.pool in
+  Alcotest.(check bool) "post-recovery op" true
+    (run_mwcas h
+       [ (env'.data, Op.read_with h env'.data, 1); (env'.data + 1, Op.read_with h (env'.data + 1), 2) ]);
+  ignore stats
+
+let recovery_tests =
+  [
+    Alcotest.test_case "bank invariant across single-thread crashes" `Slow
+      (fun () ->
+        List.iter
+          (fun fuel ->
+            bank_crash_roundtrip ~workers:1 ~fuel ~evict_seed:fuel
+              ~evict_prob:0.4)
+          [ 5; 17; 33; 64; 121; 250; 501; 999; 2000 ]);
+    Alcotest.test_case "bank invariant across multi-thread crashes" `Slow
+      (fun () ->
+        List.iter
+          (fun fuel ->
+            bank_crash_roundtrip ~workers:3 ~fuel ~evict_seed:(fuel * 7)
+              ~evict_prob:0.4)
+          [ 50; 333; 1111; 4242 ]);
+    Alcotest.test_case "no reserved block is leaked or double-owned" `Slow
+      (fun () ->
+        (* Pointer-slot workload: install fresh blocks, delete old ones,
+           crash at a random point. After both recoveries, exactly the
+           blocks reachable from the slots are allocated. *)
+        List.iter
+          (fun fuel ->
+            let env = make_env ~data_words:64 () in
+            let nslots = 8 in
+            Mem.inject_crash_after env.mem fuel;
+            let h = Pool.register env.pool in
+            let ph = Palloc.register_thread env.palloc in
+            let rng = Random.State.make [| fuel |] in
+            (try
+               while true do
+                 let s = env.data + Random.State.int rng nslots in
+                 let cur = Op.read_with h s in
+                 if cur = 0 || Random.State.bool rng then begin
+                   (* install a fresh block over whatever is there *)
+                   let d = Pool.alloc_desc h in
+                   let dest =
+                     Pool.reserve_entry ~policy:Layout.Free_one d ~addr:s
+                       ~expected:cur
+                   in
+                   let _b = Palloc.alloc ph ~nwords:4 ~dest in
+                   ignore (Op.execute d)
+                 end
+                 else begin
+                   (* delete *)
+                   let d = Pool.alloc_desc h in
+                   Pool.add_word ~policy:Layout.Free_old_on_success d ~addr:s
+                     ~expected:cur ~desired:0;
+                   ignore (Op.execute d)
+                 end
+               done
+             with Mem.Crash -> ());
+            let img =
+              Mem.crash_image ~evict_prob:0.3
+                ~rng:(Random.State.make [| fuel + 1 |])
+                env.mem
+            in
+            let env', _stats = recover_env env img in
+            let live = ref 0 in
+            for i = 0 to nslots - 1 do
+              let v = Flags.clear_dirty (Mem.read img (env'.data + i)) in
+              if v <> 0 then incr live
+            done;
+            let audit = Palloc.audit env'.palloc in
+            Alcotest.(check int)
+              (Printf.sprintf "fuel %d: blocks = live pointers" fuel)
+              !live audit.allocated_blocks;
+            Alcotest.(check int) "no activation records" 0 audit.in_flight)
+          [ 10; 30; 55; 100; 180; 333; 500; 900; 1500; 3000 ]);
+    Alcotest.test_case "recovery is idempotent" `Quick (fun () ->
+        let env = make_env () in
+        init_data env [ 5; 6 ];
+        Mem.inject_crash_after env.mem 40;
+        let h = Pool.register env.pool in
+        (try
+           let i = ref 0 in
+           while true do
+             incr i;
+             ignore
+               (run_mwcas h
+                  [
+                    (env.data, Op.read_with h env.data, !i);
+                    (env.data + 1, Op.read_with h (env.data + 1), !i * 2);
+                  ])
+           done
+         with Mem.Crash -> ());
+        let img = Mem.crash_image env.mem in
+        let env1, s1 = recover_env env img in
+        (* Run recovery again over the already recovered image. *)
+        let _env2, s2 = recover_env env1 (Mem.crash_image img) in
+        Alcotest.(check int) "second pass finds nothing" 0 s2.in_flight;
+        ignore s1);
+    Alcotest.test_case "crash during recovery is recoverable" `Quick
+      (fun () ->
+        let env = make_env () in
+        init_data env [ 5; 6 ];
+        Mem.inject_crash_after env.mem 60;
+        let h = Pool.register env.pool in
+        (try
+           let i = ref 0 in
+           while true do
+             incr i;
+             ignore
+               (run_mwcas h
+                  [
+                    (env.data, Op.read_with h env.data, !i);
+                    (env.data + 1, Op.read_with h (env.data + 1), !i * 3);
+                  ])
+           done
+         with Mem.Crash -> ());
+        let img = Mem.crash_image env.mem in
+        (* First recovery attempt dies after a few steps. *)
+        Mem.inject_crash_after img 10;
+        (try
+           let _ = recover_env env img in
+           ()
+         with Mem.Crash -> ());
+        Mem.disarm img;
+        let img2 = Mem.crash_image img in
+        let env2, _ = recover_env env img2 in
+        let a = Flags.clear_dirty (Mem.read img2 env2.data) in
+        let b = Flags.clear_dirty (Mem.read img2 (env2.data + 1)) in
+        Alcotest.(check bool) "consistent pair" true (b = 3 * a || (a = 5 && b = 6));
+        Alcotest.(check int) "all settled" 0
+          (let _, s = recover_env env2 (Mem.crash_image img2) in
+           s.in_flight))
+  ]
+
+(* Property: single-threaded random mixes of 1..6-word PMwCASes with random
+   crash fuel always recover to a prefix-consistent state: every op is all
+   or nothing. We tag each op with a unique stamp written to all its words;
+   recovery must show every word group carrying the same stamp. *)
+let prop_all_or_nothing =
+  QCheck.Test.make ~count:60 ~name:"every PMwCAS is all-or-nothing at crash"
+    QCheck.(pair (int_bound 400) (int_bound 10_000))
+    (fun (fuel, seed) ->
+      let env = make_env ~data_words:64 () in
+      let group = 4 in
+      (* data words i*4..i*4+3 always updated together to the same stamp *)
+      let h = Pool.register env.pool in
+      let rng = Random.State.make [| seed |] in
+      Mem.inject_crash_after env.mem (1 + fuel);
+      (try
+         let stamp = ref 0 in
+         while true do
+           incr stamp;
+           let g = Random.State.int rng 4 in
+           let base = env.data + (g * group) in
+           let cur = Op.read_with h base in
+           let triples =
+             List.init group (fun i -> (base + i, cur, !stamp))
+           in
+           (* all four words of a group always hold the same value *)
+           ignore (run_mwcas h triples)
+         done
+       with Mem.Crash -> ());
+      let img =
+        Mem.crash_image ~evict_prob:0.5 ~rng:(Random.State.make [| seed + 1 |])
+          env.mem
+      in
+      let _env', _ = recover_env env img in
+      let ok = ref true in
+      for g = 0 to 3 do
+        let base = env.data + (g * group) in
+        let v0 = Flags.clear_dirty (Mem.read img base) in
+        for i = 1 to group - 1 do
+          if Flags.clear_dirty (Mem.read img (base + i)) <> v0 then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pmwcas"
+    [
+      ("layout", layout_tests);
+      ("pcas", pcas_tests);
+      ("pool", pool_tests);
+      ("op", op_tests);
+      ("policies", policy_tests);
+      ("concurrency", concurrency_tests);
+      ("recovery", recovery_tests);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_all_or_nothing ]);
+    ]

@@ -1,0 +1,483 @@
+(* Tests for both skip lists: the PMwCAS doubly-linked one (persistent and
+   volatile modes) and the CAS-only baseline. *)
+
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Pool = Pmwcas.Pool
+module Pm = Skiplist.Pm
+module Cas = Skiplist.Cas_baseline
+
+let align8 a = (a + 7) / 8 * 8
+
+type env = {
+  mem : Mem.t;
+  pool : Pool.t;
+  palloc : Palloc.t;
+  heap_base : int;
+  heap_words : int;
+  anchor : int;
+  max_threads : int;
+}
+
+let make_env ?(persistent = true) ?(max_threads = 4) ?(heap_words = 1 lsl 16)
+    () =
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let anchor = align8 (heap_base + heap_words) in
+  let words = anchor + Pm.anchor_words in
+  let mem = Mem.create (Nvram.Config.make ~words ()) in
+  let palloc =
+    Palloc.create ~persistent mem ~base:heap_base ~words:heap_words
+      ~max_threads
+  in
+  let pool =
+    Pool.create ~persistent ~palloc mem ~base:0 ~max_threads
+  in
+  { mem; pool; palloc; heap_base; heap_words; anchor; max_threads }
+
+let make_pm ?persistent ?max_threads () =
+  let env = make_env ?persistent ?max_threads () in
+  let t =
+    Pm.create ~pool:env.pool ~palloc:env.palloc ~anchor:env.anchor ()
+  in
+  (env, t)
+
+let recover_env env img =
+  let palloc, _ =
+    Palloc.recover img ~base:env.heap_base ~words:env.heap_words
+      ~max_threads:env.max_threads
+  in
+  let pool, stats = Pmwcas.Recovery.run ~palloc img ~base:0 in
+  let t = Pm.attach ~pool ~palloc ~anchor:env.anchor in
+  ({ env with mem = img; pool; palloc }, t, stats)
+
+(* Shared black-box test battery, instantiated for each implementation. *)
+module type INDEX = sig
+  type handle
+
+  val insert : handle -> key:int -> value:int -> bool
+  val delete : handle -> key:int -> bool
+  val find : handle -> key:int -> int option
+  val update : handle -> key:int -> value:int -> bool
+
+  val fold_range :
+    handle -> lo:int -> hi:int -> init:'a
+    -> f:('a -> key:int -> value:int -> 'a) -> 'a
+
+  val length : handle -> int
+  val check_invariants : handle -> unit
+end
+
+let battery (type h) (module I : INDEX with type handle = h) (mk : unit -> h)
+    name =
+  [
+    Alcotest.test_case (name ^ ": insert/find/delete") `Quick (fun () ->
+        let h = mk () in
+        Alcotest.(check bool) "insert" true (I.insert h ~key:5 ~value:50);
+        Alcotest.(check bool) "duplicate" false (I.insert h ~key:5 ~value:51);
+        Alcotest.(check (option int)) "find" (Some 50) (I.find h ~key:5);
+        Alcotest.(check (option int)) "absent" None (I.find h ~key:6);
+        Alcotest.(check bool) "delete" true (I.delete h ~key:5);
+        Alcotest.(check bool) "re-delete" false (I.delete h ~key:5);
+        Alcotest.(check (option int)) "gone" None (I.find h ~key:5));
+    Alcotest.test_case (name ^ ": update") `Quick (fun () ->
+        let h = mk () in
+        Alcotest.(check bool) "update absent" false (I.update h ~key:3 ~value:1);
+        ignore (I.insert h ~key:3 ~value:30);
+        Alcotest.(check bool) "update" true (I.update h ~key:3 ~value:31);
+        Alcotest.(check (option int)) "new value" (Some 31) (I.find h ~key:3));
+    Alcotest.test_case (name ^ ": ordered iteration") `Quick (fun () ->
+        let h = mk () in
+        let keys = [ 42; 7; 99; 1; 63; 15; 8; 77; 23; 50 ] in
+        List.iter (fun k -> ignore (I.insert h ~key:k ~value:(k * 10))) keys;
+        let got =
+          I.fold_range h ~lo:0 ~hi:1000 ~init:[] ~f:(fun acc ~key ~value ->
+              (key, value) :: acc)
+          |> List.rev
+        in
+        let expected =
+          List.sort compare keys |> List.map (fun k -> (k, k * 10))
+        in
+        Alcotest.(check (list (pair int int))) "sorted" expected got;
+        Alcotest.(check int) "length" 10 (I.length h);
+        I.check_invariants h);
+    Alcotest.test_case (name ^ ": sub-range") `Quick (fun () ->
+        let h = mk () in
+        for k = 1 to 20 do
+          ignore (I.insert h ~key:(k * 10) ~value:k)
+        done;
+        let got =
+          I.fold_range h ~lo:35 ~hi:95 ~init:[] ~f:(fun acc ~key ~value:_ ->
+              key :: acc)
+          |> List.rev
+        in
+        Alcotest.(check (list int)) "window" [ 40; 50; 60; 70; 80; 90 ] got);
+    Alcotest.test_case (name ^ ": random ops match a model") `Quick (fun () ->
+        let h = mk () in
+        let model = Hashtbl.create 64 in
+        let rng = Random.State.make [| 2024 |] in
+        for _ = 1 to 2000 do
+          let k = Random.State.int rng 200 in
+          match Random.State.int rng 3 with
+          | 0 ->
+              let inserted = I.insert h ~key:k ~value:k in
+              let expect = not (Hashtbl.mem model k) in
+              if inserted <> expect then Alcotest.fail "insert disagrees";
+              if inserted then Hashtbl.replace model k k
+          | 1 ->
+              let deleted = I.delete h ~key:k in
+              if deleted <> Hashtbl.mem model k then
+                Alcotest.fail "delete disagrees";
+              Hashtbl.remove model k
+          | _ ->
+              let found = I.find h ~key:k in
+              let expect =
+                if Hashtbl.mem model k then Some (Hashtbl.find model k)
+                else None
+              in
+              if found <> expect then Alcotest.fail "find disagrees"
+        done;
+        Alcotest.(check int) "length" (Hashtbl.length model) (I.length h);
+        I.check_invariants h);
+  ]
+
+(* Fresh index per test case. *)
+let pm_mk ?persistent () () =
+  let _env, t = make_pm ?persistent () in
+  Pm.register ~seed:7 t
+
+let cas_mk () () =
+  let env = make_env ~persistent:false () in
+  let t = Cas.create env.mem ~palloc:env.palloc in
+  Cas.register ~seed:7 t
+
+module Pm_index = struct
+  type handle = Pm.handle
+
+  let insert = Pm.insert
+  let delete = Pm.delete
+  let find = Pm.find
+  let update = Pm.update
+  let fold_range = Pm.fold_range
+  let length = Pm.length
+  let check_invariants = Pm.check_invariants
+end
+
+module Cas_index = struct
+  type handle = Cas.handle
+
+  let insert = Cas.insert
+  let delete = Cas.delete
+  let find = Cas.find
+  let update = Cas.update
+  let fold_range = Cas.fold_range
+  let length = Cas.length
+  let check_invariants = Cas.check_invariants
+end
+
+let pm_specific =
+  [
+    Alcotest.test_case "reverse range scan" `Quick (fun () ->
+        let _env, t = make_pm () in
+        let h = Pm.register ~seed:3 t in
+        for k = 1 to 15 do
+          ignore (Pm.insert h ~key:(k * 2) ~value:k)
+        done;
+        let fwd =
+          Pm.fold_range h ~lo:5 ~hi:25 ~init:[] ~f:(fun acc ~key ~value:_ ->
+              key :: acc)
+          |> List.rev
+        in
+        let rev =
+          Pm.fold_range_rev h ~lo:5 ~hi:25 ~init:[]
+            ~f:(fun acc ~key ~value:_ -> key :: acc)
+        in
+        Alcotest.(check (list int)) "reverse = forward" fwd rev;
+        Alcotest.(check (list int)) "expected window" [ 6; 8; 10; 12; 14; 16; 18; 20; 22; 24 ] fwd);
+    Alcotest.test_case "volatile mode issues no flushes" `Quick (fun () ->
+        let env, t = make_pm ~persistent:false () in
+        let h = Pm.register ~seed:5 t in
+        let f0 = (Nvram.Stats.snapshot (Mem.stats env.mem)).flushes in
+        for k = 1 to 50 do
+          ignore (Pm.insert h ~key:k ~value:k)
+        done;
+        for k = 1 to 25 do
+          ignore (Pm.delete h ~key:k)
+        done;
+        let f1 = (Nvram.Stats.snapshot (Mem.stats env.mem)).flushes in
+        Alcotest.(check int) "no flushes" f0 f1;
+        Pm.check_invariants h);
+    Alcotest.test_case "deleted nodes are reclaimed" `Quick (fun () ->
+        let env, t = make_pm () in
+        let h = Pm.register ~seed:11 t in
+        let baseline = (Palloc.audit env.palloc).allocated_blocks in
+        for k = 1 to 100 do
+          ignore (Pm.insert h ~key:k ~value:k)
+        done;
+        for k = 1 to 100 do
+          ignore (Pm.delete h ~key:k)
+        done;
+        (* Push the epoch along so deferred frees run. *)
+        Pm.quiesce h;
+        Pm.quiesce h;
+        let audit = Palloc.audit env.palloc in
+        Alcotest.(check int) "back to sentinels only" baseline
+          audit.allocated_blocks;
+        Pm.check_invariants h);
+    Alcotest.test_case "concurrent mixed workload keeps invariants" `Slow
+      (fun () ->
+        let _env, t = make_pm ~max_threads:4 () in
+        let worker seed () =
+          let h = Pm.register ~seed t in
+          let rng = Random.State.make [| seed * 13 |] in
+          for _ = 1 to 1500 do
+            let k = Random.State.int rng 300 in
+            match Random.State.int rng 4 with
+            | 0 -> ignore (Pm.insert h ~key:k ~value:k)
+            | 1 -> ignore (Pm.delete h ~key:k)
+            | 2 -> ignore (Pm.update h ~key:k ~value:(k + 1))
+            | _ -> ignore (Pm.find h ~key:k)
+          done;
+          Pm.unregister h
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+        List.iter Domain.join ds;
+        let h = Pm.register ~seed:99 t in
+        Pm.check_invariants h;
+        (* Forward and reverse walks agree after the storm. *)
+        let fwd =
+          Pm.fold_range h ~lo:0 ~hi:1000 ~init:[] ~f:(fun acc ~key ~value:_ ->
+              key :: acc)
+        in
+        let rev =
+          Pm.fold_range_rev h ~lo:0 ~hi:1000 ~init:[]
+            ~f:(fun acc ~key ~value:_ -> key :: acc)
+          |> List.rev
+        in
+        Alcotest.(check (list int)) "fwd = rev" fwd rev);
+    Alcotest.test_case "concurrent same-key contention is linearizable"
+      `Slow (fun () ->
+        (* All workers fight over 8 keys; final membership must match the
+           net effect counted by successful ops. *)
+        let _env, t = make_pm ~max_threads:4 () in
+        let inserts = Atomic.make 0 and deletes = Atomic.make 0 in
+        let worker seed () =
+          let h = Pm.register ~seed t in
+          let rng = Random.State.make [| seed * 31 |] in
+          for _ = 1 to 1000 do
+            let k = Random.State.int rng 8 in
+            if Random.State.bool rng then begin
+              if Pm.insert h ~key:k ~value:k then
+                ignore (Atomic.fetch_and_add inserts 1)
+            end
+            else if Pm.delete h ~key:k then
+              ignore (Atomic.fetch_and_add deletes 1)
+          done;
+          Pm.unregister h
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+        List.iter Domain.join ds;
+        let h = Pm.register ~seed:123 t in
+        Pm.check_invariants h;
+        let present = Pm.length h in
+        Alcotest.(check int) "net count"
+          (Atomic.get inserts - Atomic.get deletes)
+          present);
+  ]
+
+let pm_crash_tests =
+  [
+    Alcotest.test_case "attach after clean shutdown" `Quick (fun () ->
+        let env, t = make_pm () in
+        let h = Pm.register ~seed:21 t in
+        for k = 1 to 30 do
+          ignore (Pm.insert h ~key:k ~value:(k * 7))
+        done;
+        let img = Mem.crash_image env.mem in
+        let _env', t', _ = recover_env env img in
+        let h' = Pm.register ~seed:22 t' in
+        Pm.check_invariants h';
+        Alcotest.(check int) "all keys" 30 (Pm.length h');
+        Alcotest.(check (option int)) "value survives" (Some 70)
+          (Pm.find h' ~key:10));
+    Alcotest.test_case "crash mid-workload: membership off by at most one"
+      `Slow (fun () ->
+        List.iter
+          (fun fuel ->
+            let env, t = make_pm () in
+            let h = Pm.register ~seed:fuel t in
+            let applied = Hashtbl.create 64 in
+            let last = ref (-1) in
+            let rng = Random.State.make [| fuel * 3 |] in
+            Mem.inject_crash_after env.mem fuel;
+            (try
+               while true do
+                 let k = Random.State.int rng 60 in
+                 last := k;
+                 if Random.State.bool rng then begin
+                   if Pm.insert h ~key:k ~value:k then
+                     Hashtbl.replace applied k k
+                 end
+                 else begin
+                   if Pm.delete h ~key:k then Hashtbl.remove applied k
+                 end
+               done
+             with Mem.Crash -> ());
+            let img =
+              Mem.crash_image ~evict_prob:0.4
+                ~rng:(Random.State.make [| fuel + 1 |])
+                env.mem
+            in
+            let env', t', _ = recover_env env img in
+            let h' = Pm.register ~seed:1 t' in
+            Pm.check_invariants h';
+            let recovered =
+              Pm.fold_range h' ~lo:0 ~hi:1000 ~init:[]
+                ~f:(fun acc ~key ~value:_ -> key :: acc)
+            in
+            let tracked =
+              Hashtbl.fold (fun k _ acc -> k :: acc) applied []
+            in
+            let diff =
+              List.filter (fun k -> not (List.mem k tracked)) recovered
+              @ List.filter (fun k -> not (List.mem k recovered)) tracked
+            in
+            (match diff with
+            | [] -> ()
+            | [ k ] when k = !last -> ()
+            | ks ->
+                Alcotest.failf "fuel %d: spurious divergence on keys %s" fuel
+                  (String.concat "," (List.map string_of_int ks)));
+            (* Leak check: every allocated block is a reachable node or a
+               sentinel. *)
+            let audit = Palloc.audit env'.palloc in
+            Alcotest.(check int)
+              (Printf.sprintf "fuel %d: no leaked nodes" fuel)
+              (List.length recovered + 2)
+              audit.allocated_blocks)
+          [ 40; 90; 170; 333; 612; 1234; 2500 ]);
+  ]
+
+let cas_specific =
+  [
+    Alcotest.test_case "concurrent mixed workload keeps invariants" `Slow
+      (fun () ->
+        let env = make_env ~persistent:false () in
+        let t = Cas.create env.mem ~palloc:env.palloc in
+        let worker seed () =
+          let h = Cas.register ~seed t in
+          let rng = Random.State.make [| seed * 17 |] in
+          for _ = 1 to 1500 do
+            let k = Random.State.int rng 300 in
+            match Random.State.int rng 3 with
+            | 0 -> ignore (Cas.insert h ~key:k ~value:k)
+            | 1 -> ignore (Cas.delete h ~key:k)
+            | _ -> ignore (Cas.find h ~key:k)
+          done;
+          Cas.unregister h
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+        List.iter Domain.join ds;
+        let h = Cas.register ~seed:5 t in
+        Cas.check_invariants h);
+    Alcotest.test_case "same-key contention is linearizable" `Slow (fun () ->
+        let env = make_env ~persistent:false () in
+        let t = Cas.create env.mem ~palloc:env.palloc in
+        let inserts = Atomic.make 0 and deletes = Atomic.make 0 in
+        let worker seed () =
+          let h = Cas.register ~seed t in
+          let rng = Random.State.make [| seed * 71 |] in
+          for _ = 1 to 1000 do
+            let k = Random.State.int rng 8 in
+            if Random.State.bool rng then begin
+              if Cas.insert h ~key:k ~value:k then
+                ignore (Atomic.fetch_and_add inserts 1)
+            end
+            else if Cas.delete h ~key:k then
+              ignore (Atomic.fetch_and_add deletes 1)
+          done;
+          Cas.unregister h
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+        List.iter Domain.join ds;
+        let h = Cas.register ~seed:2 t in
+        Cas.check_invariants h;
+        Alcotest.(check int) "net count"
+          (Atomic.get inserts - Atomic.get deletes)
+          (Cas.length h));
+  ]
+
+(* Property: a random op sequence applied to the PM list and to a model map
+   always agree, and crash+recover at a random point preserves membership
+   up to the in-flight op. *)
+let prop_pm_model =
+  QCheck.Test.make ~count:40 ~name:"pm skiplist agrees with model map"
+    QCheck.(pair (int_bound 300) (int_bound 100_000))
+    (fun (n_ops, seed) ->
+      let _env, t = make_pm () in
+      let h = Pm.register ~seed t in
+      let model = Hashtbl.create 64 in
+      let rng = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to n_ops do
+        let k = Random.State.int rng 50 in
+        match Random.State.int rng 3 with
+        | 0 ->
+            let r = Pm.insert h ~key:k ~value:k in
+            if r <> not (Hashtbl.mem model k) then ok := false;
+            if r then Hashtbl.replace model k k
+        | 1 ->
+            let r = Pm.delete h ~key:k in
+            if r <> Hashtbl.mem model k then ok := false;
+            Hashtbl.remove model k
+        | _ ->
+            let r = Pm.find h ~key:k in
+            let e =
+              if Hashtbl.mem model k then Some k else None
+            in
+            if r <> e then ok := false
+      done;
+      !ok && Pm.length h = Hashtbl.length model)
+
+(* Property: after random ops, a reverse scan of any window equals the
+   reversed forward scan — the prev links never drift from the next
+   links. *)
+let prop_reverse_scan =
+  QCheck.Test.make ~count:30 ~name:"reverse scan mirrors forward scan"
+    QCheck.(pair (int_bound 200) (int_bound 100_000))
+    (fun (n_ops, seed) ->
+      let _env, t = make_pm () in
+      let h = Pm.register ~seed t in
+      let rng = Random.State.make [| seed |] in
+      for _ = 1 to n_ops do
+        let k = Random.State.int rng 100 in
+        if Random.State.bool rng then ignore (Pm.insert h ~key:k ~value:k)
+        else ignore (Pm.delete h ~key:k)
+      done;
+      let lo = Random.State.int rng 50 in
+      let hi = lo + Random.State.int rng 60 in
+      let fwd =
+        Pm.fold_range h ~lo ~hi ~init:[] ~f:(fun acc ~key ~value:_ ->
+            key :: acc)
+        |> List.rev
+      in
+      let rev =
+        Pm.fold_range_rev h ~lo ~hi ~init:[] ~f:(fun acc ~key ~value:_ ->
+            key :: acc)
+      in
+      fwd = rev)
+
+let () =
+  Alcotest.run "skiplist"
+    [
+      ("pm-persistent", battery (module Pm_index) (pm_mk ()) "pm");
+      ( "pm-volatile",
+        battery (module Pm_index) (pm_mk ~persistent:false ()) "pm-volatile" );
+      ("cas-baseline", battery (module Cas_index) (cas_mk ()) "cas");
+      ("pm-specific", pm_specific);
+      ("pm-crash", pm_crash_tests);
+      ("cas-specific", cas_specific);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pm_model; prop_reverse_scan ] );
+    ]
