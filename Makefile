@@ -1,0 +1,16 @@
+.PHONY: all check test bench clean
+
+all:
+	dune build
+
+check:
+	sh scripts/check.sh
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- all
+
+clean:
+	dune clean

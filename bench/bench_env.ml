@@ -23,7 +23,11 @@ type t = {
 
 let align8 a = (a + 7) / 8 * 8
 
-let make ?(persistent = true) ?(flush_delay = 0) ?(max_threads = 8)
+(* Backend used when an experiment asks for a volatile environment and
+   does not pin one itself. Overridden by [main.exe --backend]. *)
+let default_volatile_backend : Mem.backend ref = ref `Dram
+
+let make ?(persistent = true) ?backend ?(flush_delay = 0) ?(max_threads = 8)
     ?(descs_per_thread = 32) ?(max_words = 8) ?(heap_words = 1 lsl 22)
     ?(map_words = 1 lsl 16) ?(data_words = 1 lsl 20) () =
   let pool_words = Pool.region_words ~max_words ~descs_per_thread ~max_threads () in
@@ -33,7 +37,14 @@ let make ?(persistent = true) ?(flush_delay = 0) ?(max_threads = 8)
   let map_base = align8 (bt_anchor + Bwtree.Tree.anchor_words) in
   let data = align8 (map_base + map_words) in
   let words = data + data_words in
-  let mem = Mem.create (Nvram.Config.make ~flush_delay ~words ()) in
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> if persistent then `Sim else !default_volatile_backend
+  in
+  if persistent && backend <> `Sim then
+    invalid_arg "Bench_env.make: persistent runs need the simulated backend";
+  let mem = Mem.create_backend backend (Nvram.Config.make ~flush_delay ~words ()) in
   let palloc =
     Palloc.create ~persistent mem ~base:heap_base ~words:heap_words
       ~max_threads

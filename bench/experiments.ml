@@ -45,9 +45,9 @@ let section title = Printf.printf "\n=== %s ===\n%!" title
 (* ------------------------------------------------------------------ *)
 (* Multi-word CAS microbenchmark thunks.                               *)
 
-let mwcas_env ?persistent ?flush_delay ~threads ~range () =
+let mwcas_env ?persistent ?backend ?flush_delay ~threads ~range () =
   let env =
-    Bench_env.make ?persistent ?flush_delay ~max_threads:threads
+    Bench_env.make ?persistent ?backend ?flush_delay ~max_threads:threads
       ~heap_words:(1 lsl 12)
       ~map_words:8
       ~data_words:(max 64 range)
@@ -86,9 +86,9 @@ let mwcas_thunk (env : Bench_env.t) ~nwords ~range tid =
           idx;
         ignore (Op.execute d))
 
-let run_mwcas_point ?persistent ?flush_delay ~threads ~range ~nwords ~seconds
-    () =
-  let env = mwcas_env ?persistent ?flush_delay ~threads ~range () in
+let run_mwcas_point ?persistent ?backend ?flush_delay ~threads ~range ~nwords
+    ~seconds () =
+  let env = mwcas_env ?persistent ?backend ?flush_delay ~threads ~range () in
   let r =
     Runner.run_timed ~threads ~seconds ~prepare:(fun tid ->
         mwcas_thunk env ~nwords ~range tid)
@@ -742,6 +742,41 @@ let a2 s =
     ~header:[ "chain limit"; "Kops/s"; "avg chain len" ]
     rows
 
+(* B1: memory-backend comparison. The same volatile 4-word MwCAS
+   workload on the simulated cache-line device (persistence bookkeeping
+   priced in, flushes elided) vs the lean DRAM backend (bare atomics).
+   The gap is the simulator tax a volatile run no longer pays. *)
+let b1 s =
+  section "B1  Volatile MwCAS: simulated NVRAM device vs lean DRAM backend";
+  let rows = ref [] in
+  List.iter
+    (fun range ->
+      List.iter
+        (fun threads ->
+          let sim, _, _ =
+            run_mwcas_point ~persistent:false ~backend:`Sim ~threads ~range
+              ~nwords:4 ~seconds:s.seconds ()
+          in
+          let dram, _, _ =
+            run_mwcas_point ~persistent:false ~backend:`Dram ~threads ~range
+              ~nwords:4 ~seconds:s.seconds ()
+          in
+          rows :=
+            [
+              string_of_int range;
+              string_of_int threads;
+              Table.kops sim.throughput;
+              Table.kops dram.throughput;
+              Table.ratio dram.throughput sim.throughput;
+            ]
+            :: !rows)
+        s.threads)
+    s.mwcas_ranges;
+  Table.print
+    ~title:"volatile 4-word MwCAS throughput (Kops/s); speedup = dram/sim"
+    ~header:[ "array"; "threads"; "sim"; "dram"; "speedup" ]
+    (List.rev !rows)
+
 let run_all ~full_scale () =
   let s = if full_scale then full else quick in
   e1 s;
@@ -755,7 +790,8 @@ let run_all ~full_scale () =
   e9 s;
   e10 s;
   a1 s;
-  a2 s
+  a2 s;
+  b1 s
 
 let by_name name s =
   match name with
@@ -771,4 +807,5 @@ let by_name name s =
   | "e10" -> e10 s
   | "a1" -> a1 s
   | "a2" -> a2 s
+  | "b1" | "backends" -> b1 s
   | _ -> Printf.printf "unknown experiment %s\n" name

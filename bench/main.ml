@@ -1,20 +1,36 @@
 (* Entry point: regenerate the paper's tables and figures.
 
-   usage: bench/main.exe [all|e1|..|e10|bechamel] [--full]
+   usage: bench/main.exe [all|e1|..|e10|b1|bechamel] [--full]
+                         [--backend sim|dram]
 
-   With no argument, runs every experiment at the quick scale. *)
+   With no argument, runs every experiment at the quick scale.
+   [--backend] picks the memory backend for volatile runs (default dram;
+   persistent runs always use the simulated NVRAM device). *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full_scale = List.mem "--full" args in
-  let names = List.filter (fun a -> a <> "--full") args in
+  let rec strip = function
+    | "--backend" :: b :: rest ->
+        (match Nvram.Mem.backend_of_string b with
+        | Some b -> Experiments_lib.Bench_env.default_volatile_backend := b
+        | None ->
+            Printf.eprintf "unknown backend %S (expected sim or dram)\n" b;
+            exit 2);
+        strip rest
+    | "--full" :: rest -> strip rest
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let names = strip args in
   let scale =
     if full_scale then Experiments_lib.Experiments.full else Experiments_lib.Experiments.quick
   in
   Printf.printf
-    "PMwCAS reproduction benchmarks (%s scale)\n\
+    "PMwCAS reproduction benchmarks (%s scale, volatile backend: %s)\n\
      Single-core host: domains interleave; compare columns, not cores.\n"
-    (if full_scale then "full" else "quick");
+    (if full_scale then "full" else "quick")
+    (Nvram.Mem.backend_name !Experiments_lib.Bench_env.default_volatile_backend);
   match names with
   | [] | [ "all" ] ->
       Experiments_lib.Experiments.run_all ~full_scale ();

@@ -5,6 +5,7 @@
      pmwcas_cli crash-demo --workers 4 --fuel 5000 --evict 0.5
      pmwcas_cli torture --rounds 50
      pmwcas_cli space --threads 32 --max-words 8
+     pmwcas_cli trace-check --workers 4 --ops 2000
 *)
 
 module Mem = Nvram.Mem
@@ -46,7 +47,7 @@ let crash_demo workers fuel evict =
   in
   List.init workers (fun s -> Domain.spawn (worker (s + 1)))
   |> List.iter Domain.join;
-  let img = Mem.crash_image ~evict_prob:evict mem in
+  let img = Mem.crash_image ~evict_prob:evict ~seed:fuel mem in
   let pool', stats = Pmwcas.Recovery.run img ~base:0 in
   Printf.printf "recovery: %s\n"
     (Format.asprintf "%a" Pmwcas.Recovery.pp_stats stats);
@@ -92,7 +93,7 @@ let torture rounds evict =
          else ignore (Pm.delete h ~key:k)
        done
      with Mem.Crash -> ());
-    let img = Mem.crash_image ~evict_prob:evict mem in
+    let img = Mem.crash_image ~evict_prob:evict ~seed:round mem in
     (try
        let palloc', _ =
          Palloc.recover img ~base:heap_base ~words:heap_words ~max_threads
@@ -114,6 +115,55 @@ let torture rounds evict =
     Printf.printf "%d/%d rounds failed\n" !failures rounds;
     1
   end
+
+(* --- trace-check: replay a traced run through the ordering checker ---- *)
+
+let trace_check ?dump workers ops =
+  let accounts = 16 and initial = 1000 in
+  let mem = Mem.traced (Mem.create (Nvram.Config.make ~words:65536 ())) in
+  let pool = Pool.create mem ~base:0 ~max_threads:workers in
+  let data = 32768 in
+  for i = 0 to accounts - 1 do
+    Mem.write mem (data + i) initial
+  done;
+  Mem.persist_all mem;
+  Printf.printf "%d workers, %d transfers each, every word op traced\n%!"
+    workers ops;
+  let worker seed () =
+    let h = Pool.register pool in
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to ops do
+      let i = Random.State.int rng accounts in
+      let j = (i + 1 + Random.State.int rng (accounts - 1)) mod accounts in
+      let vi = Op.read_with h (data + i)
+      and vj = Op.read_with h (data + j) in
+      let d = Pool.alloc_desc h in
+      Pool.add_word d ~addr:(data + i) ~expected:vi ~desired:(vi - 1);
+      Pool.add_word d ~addr:(data + j) ~expected:vj ~desired:(vj + 1);
+      ignore (Op.execute d)
+    done;
+    Pool.unregister h
+  in
+  List.init workers (fun s -> Domain.spawn (worker (s + 1)))
+  |> List.iter Domain.join;
+  (match dump with
+  | None -> ()
+  | Some file ->
+      let tr = Option.get (Mem.trace mem) in
+      let oc = open_out file in
+      let ppf = Format.formatter_of_out_channel oc in
+      Array.iter
+        (fun e -> Format.fprintf ppf "%a@." Nvram.Trace.pp_event e)
+        (Nvram.Trace.events tr);
+      close_out oc);
+  let report = Harness.Trace_check.check pool in
+  Printf.printf "%s\n"
+    (Format.asprintf "%a" Nvram.Checker.pp_report report);
+  if Nvram.Checker.ok report then begin
+    Printf.printf "persistence ordering clean\n";
+    0
+  end
+  else 1
 
 (* --- space: descriptor pool sizing ------------------------------------ *)
 
@@ -172,6 +222,25 @@ let torture_cmd =
        ~doc:"Repeated skip-list crash/recover rounds with invariant checks.")
     Term.(const torture $ rounds_t $ evict_t)
 
+let ops_t =
+  Arg.(
+    value & opt int 2000
+    & info [ "ops" ] ~doc:"PMwCAS operations per worker.")
+
+let dump_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump" ] ~doc:"Write the merged event log to $(docv).")
+
+let trace_check_cmd =
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Run a traced multi-domain PMwCAS workload and replay the event \
+          log through the persistence-ordering checker.")
+    Term.(const (fun dump w o -> trace_check ?dump w o) $ dump_t $ workers_t $ ops_t)
+
 let space_cmd =
   Cmd.v
     (Cmd.info "space" ~doc:"Descriptor pool space requirements (Appendix B).")
@@ -181,6 +250,6 @@ let main =
   Cmd.group
     (Cmd.info "pmwcas_cli" ~version:"1.0"
        ~doc:"PMwCAS demos and utilities (Easy Lock-Free Indexing in NVRAM).")
-    [ crash_demo_cmd; torture_cmd; space_cmd ]
+    [ crash_demo_cmd; torture_cmd; trace_check_cmd; space_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

@@ -55,7 +55,7 @@ let () =
 
   (* Reboot: some unflushed cache lines survive by accident, some don't —
      the protocol must cope with either. *)
-  let img = Mem.crash_image ~evict_prob:0.5 mem in
+  let img = Mem.crash_image ~evict_prob:0.5 ~seed:fuel mem in
   let pool', stats = Pmwcas.Recovery.run img ~base:0 in
   Printf.printf "recovery: %s\n"
     (Format.asprintf "%a" Pmwcas.Recovery.pp_stats stats);

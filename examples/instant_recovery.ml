@@ -73,7 +73,7 @@ let () =
   print_endline "power failure mid-burst!";
 
   (* Path A: NVRAM recovery — allocator scan + descriptor-pool scan. *)
-  let img = Mem.crash_image ~evict_prob:0.5 mem in
+  let img = Mem.crash_image ~evict_prob:0.5 ~seed:1 mem in
   let t0 = Unix.gettimeofday () in
   let palloc', _ =
     Palloc.recover img ~base:l.heap_base ~words:l.heap_words ~max_threads:4

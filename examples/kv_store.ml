@@ -66,7 +66,7 @@ let () =
 
   (* Reboot: allocator recovery, PMwCAS recovery, re-attach. Note the
      store itself ships zero recovery code. *)
-  let img = Mem.crash_image ~evict_prob:0.5 mem in
+  let img = Mem.crash_image ~evict_prob:0.5 ~seed:1 mem in
   let palloc', rolled_back =
     Palloc.recover img ~base:l.heap_base ~words:l.heap_words ~max_threads
   in

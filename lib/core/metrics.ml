@@ -1,6 +1,10 @@
 let shards = 64
 let fields = 5
 
+(* Pad each domain's field group to [stride] boxed atomics (128 bytes) so
+   neighbouring domains never false-share a cache line; see Nvram.Stats. *)
+let stride = 8
+
 type t = int Atomic.t array
 
 type snapshot = {
@@ -11,11 +15,11 @@ type snapshot = {
   rdcss_helps : int;
 }
 
-let create () = Array.init (shards * fields) (fun _ -> Atomic.make 0)
+let create () = Array.init (shards * stride) (fun _ -> Atomic.make 0)
 
 let slot field =
   let d = (Domain.self () :> int) in
-  ((d land (shards - 1)) * fields) + field
+  ((d land (shards - 1)) * stride) + field
 
 let record t field = ignore (Atomic.fetch_and_add t.(slot field) 1)
 let record_attempt t = record t 0
@@ -27,9 +31,11 @@ let record_rdcss_help t = record t 4
 let sum t field =
   let acc = ref 0 in
   for s = 0 to shards - 1 do
-    acc := !acc + Atomic.get t.((s * fields) + field)
+    acc := !acc + Atomic.get t.((s * stride) + field)
   done;
   !acc
+
+let _ = assert (fields <= stride)
 
 let snapshot t =
   {

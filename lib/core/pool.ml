@@ -86,9 +86,12 @@ let build ?palloc ~persistent mem lay ~descs_per_thread ~max_threads =
     max_threads;
   }
 
-let create ?(persistent = true) ?(max_words = default_max_words)
+let create ?persistent ?(max_words = default_max_words)
     ?(descs_per_thread = default_descs_per_thread) ?palloc mem ~base
     ~max_threads =
+  let persistent = Option.value persistent ~default:(Mem.durable mem) in
+  if persistent && not (Mem.durable mem) then
+    invalid_arg "Pool.create: persistent pool requires a durable backend";
   if max_threads <= 0 then invalid_arg "Pool.create: max_threads <= 0";
   if descs_per_thread <= 0 then invalid_arg "Pool.create: descs_per_thread";
   let nslots = max_threads * descs_per_thread in
@@ -115,6 +118,8 @@ let create ?(persistent = true) ?(max_words = default_max_words)
   t
 
 let attach ?palloc ?(callbacks = []) mem ~base =
+  if not (Mem.durable mem) then
+    invalid_arg "Pool.attach: requires a durable backend";
   if Mem.read mem base <> magic then failwith "Pool.attach: bad magic";
   let nslots = Mem.read mem (base + 1) in
   let max_words = Mem.read mem (base + 2) in

@@ -66,13 +66,16 @@ val create :
 (** Format a fresh pool at [base] (line-aligned). [max_words] (default 8)
     bounds words per PMwCAS; [descs_per_thread] (default 32) sizes each
     thread's partition; [palloc] enables the recycle policies that free
-    memory. *)
+    memory. [persistent] defaults to [Mem.durable mem]: flushes are
+    elided automatically on a volatile (DRAM) backend, and requesting
+    [persistent:true] on one raises [Invalid_argument]. *)
 
 val attach : ?palloc:Palloc.t -> ?callbacks:callback list -> Nvram.Mem.t
   -> base:int -> t
 (** Re-open an already formatted pool (typically inside a crash image,
     before running [Recovery.run]). Callbacks are re-registered in order.
-    @raise Failure on bad magic. *)
+    @raise Failure on bad magic.
+    @raise Invalid_argument on a non-durable backend. *)
 
 (** {1 Threads} *)
 

@@ -1,0 +1,38 @@
+module Mem = Nvram.Mem
+module Checker = Nvram.Checker
+module Layout = Pmwcas.Layout
+module Pool = Pmwcas.Pool
+
+let protocol pool =
+  let mem = Pool.mem pool in
+  let l = Pool.layout pool in
+  let slots_end = l.slots_base + (l.nslots * l.slot_words) in
+  {
+    Checker.words = Mem.size mem;
+    line_words = (Mem.config mem).line_words;
+    max_words = l.max_words;
+    is_status_addr =
+      (fun a ->
+        a >= l.slots_base && a < slots_end
+        && (a - l.slots_base) mod l.slot_words = 0);
+    is_desc_addr = (fun a -> a >= l.pool_base && a < slots_end);
+    slot_of_status = Fun.id;
+    count_addr = Layout.count_addr;
+    entry_fields =
+      (fun slot k ->
+        let e = Layout.entry_addr l slot k in
+        (Layout.addr_field e, Layout.old_field e, Layout.new_field e));
+    desc_ptr = Layout.desc_ptr;
+    status_undecided = Layout.status_undecided;
+    status_succeeded = Layout.status_succeeded;
+    status_failed = Layout.status_failed;
+    status_free = Layout.status_free;
+  }
+
+let check pool =
+  match Mem.trace (Pool.mem pool) with
+  | None ->
+      invalid_arg
+        "Harness.Trace_check.check: pool's memory is not a traced device \
+         (build it over [Mem.traced])"
+  | Some tr -> Checker.run (protocol pool) (Nvram.Trace.events tr)

@@ -1,0 +1,13 @@
+(** Bridge from a live descriptor pool to the offline persistence-order
+    checker: derives the [Nvram.Checker.protocol] geometry (status-word
+    addresses, entry field layout, descriptor-pointer encoding) from the
+    pool's [Layout], so tests and the CLI can replay a traced run without
+    duplicating slot arithmetic. *)
+
+val protocol : Pmwcas.Pool.t -> Nvram.Checker.protocol
+(** Checker geometry for [pool]'s memory device and descriptor layout. *)
+
+val check : Pmwcas.Pool.t -> Nvram.Checker.report
+(** Drain the trace from the pool's memory device and replay it through
+    [Nvram.Checker.run].
+    @raise Invalid_argument if the device is not traced. *)

@@ -1,0 +1,19 @@
+(* The backend signature is the whole module: see backend.mli. *)
+
+module type S = sig
+  type t
+
+  val create : Config.t -> t
+  val size : t -> int
+  val config : t -> Config.t
+  val stats : t -> Stats.t
+  val durable : t -> bool
+  val read : t -> int -> int
+  val write : t -> int -> int -> unit
+  val cas : t -> int -> expected:int -> desired:int -> int
+  val clwb : t -> int -> unit
+  val fence : t -> unit
+  val persist_all : t -> unit
+  val read_persistent : t -> int -> int
+  val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
+end

@@ -1,0 +1,48 @@
+(** The memory-backend seam.
+
+    Every layer above [Nvram] addresses memory through {!Mem}, which
+    dispatches to a concrete backend implementing this signature. Keeping
+    the signature small — word reads/writes/CAS plus the persistence
+    primitives the paper's protocol needs (CLWB, SFENCE, crash imaging) —
+    is what makes flush behaviour cheap to vary: a simulated NVDIMM
+    ({!Sim}), a plain DRAM array with no persistence bookkeeping
+    ({!Dram}), or any of those wrapped in an event recorder
+    ({!Trace}-backed dispatch in {!Mem}). *)
+
+module type S = sig
+  type t
+
+  val create : Config.t -> t
+  (** Fresh device, all words zero. *)
+
+  val size : t -> int
+  val config : t -> Config.t
+  val stats : t -> Stats.t
+
+  val durable : t -> bool
+  (** Whether [clwb]/[crash_image] model real persistence. [false] means
+      the backend is volatile: flushes are free no-ops and nothing
+      survives a crash. *)
+
+  val read : t -> int -> int
+  val write : t -> int -> int -> unit
+
+  val cas : t -> int -> expected:int -> desired:int -> int
+  (** x86 [cmpxchg] semantics: returns the witnessed value; the swap
+      happened iff the result equals [expected]. *)
+
+  val clwb : t -> int -> unit
+  (** Write the containing cache line back to the persistent image (no-op
+      on volatile backends). *)
+
+  val fence : t -> unit
+  (** Store fence; a counted no-op where [clwb] is synchronous. *)
+
+  val persist_all : t -> unit
+  val read_persistent : t -> int -> int
+
+  val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
+  (** Power-failure snapshot. [seed] drives the per-line eviction lottery
+      and is required whenever [evict_prob > 0] so crash tests are
+      reproducible. *)
+end

@@ -1,0 +1,278 @@
+type protocol = {
+  words : int;
+  line_words : int;
+  max_words : int;
+  is_status_addr : int -> bool;
+  is_desc_addr : int -> bool;
+  slot_of_status : int -> int;
+  count_addr : int -> int;
+  entry_fields : int -> int -> int * int * int;
+  desc_ptr : int -> int;
+  status_undecided : int;
+  status_succeeded : int;
+  status_failed : int;
+  status_free : int;
+}
+
+type violation = { seq : int; message : string }
+
+type report = {
+  events : int;
+  decided : int;
+  recycled : int;
+  still_in_flight : int;
+  violations : violation list;
+}
+
+(* A decided-but-not-yet-recycled PMwCAS: the final value owed to each
+   target word, and whether a write-back has persisted it since the
+   decision. *)
+type inflight = {
+  status : int;
+  succeeded : bool;
+  decided_seq : int;
+  targets : int array;
+  finals : int array;
+  flushed : bool array;
+}
+
+type state = {
+  p : protocol;
+  vol : int array;
+  per : int array;
+  (* Dirty values observed by a read and not yet written back: addr ->
+     (domain, seq of the observation). *)
+  obligations : (int, (int * int) list) Hashtbl.t;
+  obliged : (int, int) Hashtbl.t; (* domain -> open observations *)
+  inflight : (int, inflight) Hashtbl.t; (* slot -> record *)
+  mutable decided : int;
+  mutable recycled : int;
+  mutable violations : violation list;
+}
+
+let flag st seq fmt =
+  Format.kasprintf
+    (fun message -> st.violations <- { seq; message } :: st.violations)
+    fmt
+
+let bump st d n =
+  let c = Option.value (Hashtbl.find_opt st.obliged d) ~default:0 in
+  Hashtbl.replace st.obliged d (c + n)
+
+let observe_dirty st ~domain ~seq addr =
+  let l = Option.value (Hashtbl.find_opt st.obligations addr) ~default:[] in
+  Hashtbl.replace st.obligations addr ((domain, seq) :: l);
+  bump st domain 1
+
+let discharge st addr =
+  match Hashtbl.find_opt st.obligations addr with
+  | None -> ()
+  | Some l ->
+      List.iter (fun (d, _) -> bump st d (-1)) l;
+      Hashtbl.remove st.obligations addr
+
+let first_obligation st domain =
+  Hashtbl.fold
+    (fun addr l acc ->
+      List.fold_left
+        (fun acc (d, seq) ->
+          if d <> domain then acc
+          else
+            match acc with
+            | Some (_, s) when s <= seq -> acc
+            | _ -> Some (addr, seq))
+        acc l)
+    st.obligations None
+
+let domain_obliged st domain =
+  Option.value (Hashtbl.find_opt st.obliged domain) ~default:0 > 0
+
+(* Persist one word: update the NVM image, retire read obligations, and
+   credit any in-flight operation owed a durable final value here. *)
+let persist_word st a =
+  st.per.(a) <- st.vol.(a);
+  discharge st a;
+  Hashtbl.iter
+    (fun _ (fl : inflight) ->
+      Array.iteri
+        (fun k target ->
+          if
+            target = a
+            && (not fl.flushed.(k))
+            && Flags.clear_dirty st.vol.(a) = fl.finals.(k)
+          then fl.flushed.(k) <- true)
+        fl.targets)
+    st.inflight
+
+let persist_line st addr =
+  let lw = st.p.line_words in
+  let lo = addr / lw * lw in
+  let hi = min (lo + lw) st.p.words in
+  for a = lo to hi - 1 do
+    persist_word st a
+  done
+
+let check_divergence st ~seq ~what addr observed =
+  if observed <> st.vol.(addr) then
+    flag st seq
+      "replay divergence: %s at %d observed %a but replay holds %a (was the \
+       device traced from creation?)"
+      what addr Flags.pp observed Flags.pp st.vol.(addr)
+
+(* The decision point: a successful CAS taking a status word from
+   Undecided to Succeeded/Failed. Section 4.2 requires every Phase 1
+   descriptor pointer of a succeeding op to be durable first. *)
+let on_decide st ~seq status desired =
+  let p = st.p in
+  let succeeded = Flags.clear_dirty desired = p.status_succeeded in
+  let slot = p.slot_of_status status in
+  let count = st.vol.(p.count_addr slot) in
+  if count < 0 || count > p.max_words then
+    flag st seq "corrupt entry count %d in decided slot %d" count slot
+  else begin
+    st.decided <- st.decided + 1;
+    let targets = Array.make count 0
+    and finals = Array.make count 0
+    and flushed = Array.make count false in
+    for k = 0 to count - 1 do
+      let af, of_, nf = p.entry_fields slot k in
+      let target = st.vol.(af) in
+      targets.(k) <- target;
+      finals.(k) <-
+        Flags.clear_dirty (if succeeded then st.vol.(nf) else st.vol.(of_));
+      if target < 0 || target >= p.words then
+        flag st seq "decided slot %d entry %d targets bad address %d" slot k
+          target
+      else begin
+        let claimed =
+          Flags.clear_dirty st.vol.(target)
+          = Flags.clear_dirty (p.desc_ptr slot)
+        in
+        (* A failed op rolls back only the words it actually claimed in
+           phase 1; an unclaimed entry owes no flush. Neither does a
+           final value that is already durable (a rollback to a value
+           that never left the NVM image). *)
+        flushed.(k) <-
+          ((not succeeded) && not claimed)
+          || Flags.clear_dirty st.per.(target) = finals.(k);
+        if
+          succeeded
+          && Flags.clear_dirty st.per.(target)
+             <> Flags.clear_dirty (p.desc_ptr slot)
+        then
+          flag st seq
+            "status of slot %d CAS'd to Succeeded before the phase-1 \
+             descriptor pointer at %d was persisted (NVM holds %a)"
+            slot target Flags.pp st.per.(target)
+      end
+    done;
+    Hashtbl.replace st.inflight slot
+      { status; succeeded; decided_seq = seq; targets; finals; flushed }
+  end
+
+(* Recycling: the status word returns to Free. Section 4.4 requires the
+   decided status and every phase-2 final value to be durable first, or a
+   crash could resurrect the operation against reused memory. *)
+let on_recycle st ~seq status =
+  let p = st.p in
+  let slot = p.slot_of_status status in
+  match Hashtbl.find_opt st.inflight slot with
+  | None -> () (* never decided (e.g. discarded): nothing was promised *)
+  | Some fl ->
+      st.recycled <- st.recycled + 1;
+      let expect =
+        if fl.succeeded then p.status_succeeded else p.status_failed
+      in
+      if Flags.clear_dirty st.per.(fl.status) <> expect then
+        flag st seq
+          "slot %d recycled before its decided status was persisted (NVM \
+           holds %a)"
+          slot Flags.pp st.per.(fl.status);
+      Array.iteri
+        (fun k ok ->
+          if not ok then
+            flag st seq
+              "slot %d (decided at seq %d) recycled before the phase-2 \
+               final value %a at %d was persisted"
+              slot fl.decided_seq Flags.pp fl.finals.(k) fl.targets.(k))
+        fl.flushed;
+      Hashtbl.remove st.inflight slot
+
+let step st (e : Trace.event) =
+  let p = st.p in
+  let seq = e.seq in
+  match e.op with
+  | Fence -> ()
+  | Persist_all ->
+      for a = 0 to p.words - 1 do
+        persist_word st a
+      done
+  | Clwb { addr } -> persist_line st addr
+  | Read { addr; value } ->
+      check_divergence st ~seq ~what:"read" addr value;
+      if Flags.is_dirty value && not (p.is_desc_addr addr) then
+        observe_dirty st ~domain:e.domain ~seq addr
+  | Write { addr; value } ->
+      if st.vol.(addr) <> value then discharge st addr;
+      st.vol.(addr) <- value;
+      if p.is_status_addr addr && value = p.status_free then
+        on_recycle st ~seq addr
+  | Cas { addr; expected; desired; witnessed } ->
+      check_divergence st ~seq ~what:"cas" addr witnessed;
+      if domain_obliged st e.domain then begin
+        match first_obligation st e.domain with
+        | Some (a, obs_seq) ->
+            flag st seq
+              "domain %d CAS at %d while the dirty value it observed at %d \
+               (seq %d) is still unflushed"
+              e.domain addr a obs_seq;
+            (* Report each misuse once. *)
+            discharge st a
+        | None -> ()
+      end;
+      if witnessed = expected then begin
+        if st.vol.(addr) <> desired then discharge st addr;
+        st.vol.(addr) <- desired;
+        if
+          p.is_status_addr addr
+          && expected = p.status_undecided
+          &&
+          let d = Flags.clear_dirty desired in
+          d = p.status_succeeded || d = p.status_failed
+        then on_decide st ~seq addr desired
+      end
+
+let run p events =
+  if p.words <= 0 then invalid_arg "Nvram.Checker.run: words <= 0";
+  let st =
+    {
+      p;
+      vol = Array.make p.words 0;
+      per = Array.make p.words 0;
+      obligations = Hashtbl.create 16;
+      obliged = Hashtbl.create 16;
+      inflight = Hashtbl.create 64;
+      decided = 0;
+      recycled = 0;
+      violations = [];
+    }
+  in
+  Array.iter (fun e -> step st e) events;
+  {
+    events = Array.length events;
+    decided = st.decided;
+    recycled = st.recycled;
+    still_in_flight = Hashtbl.length st.inflight;
+    violations = List.rev st.violations;
+  }
+
+let ok (r : report) = r.violations = []
+
+let pp_violation ppf v = Format.fprintf ppf "seq %d: %s" v.seq v.message
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "events=%d decided=%d recycled=%d in_flight=%d violations=%d" r.events
+    r.decided r.recycled r.still_in_flight
+    (List.length r.violations);
+  List.iter (fun v -> Format.fprintf ppf "@.  %a" pp_violation v) r.violations

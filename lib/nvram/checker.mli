@@ -1,0 +1,63 @@
+(** Offline durable-ordering checker for PMwCAS traces.
+
+    [run] replays a merged {!Trace} (one produced by a traced {!Mem},
+    sorted by sequence stamp) against a model of the device — a volatile
+    and a persistent image, both starting from zero, with [Clwb] events
+    copying whole lines across — and asserts the protocol's durability
+    invariants from Sections 4.2–4.4 of the paper:
+
+    - {b decide-after-persist} — a status word is never CAS'd from
+      Undecided to Succeeded before the phase-1 descriptor pointer of
+      every entry of that operation is in the persistent image;
+    - {b persist-before-recycle} — when a status word returns to Free,
+      the decided status and every phase-2 final value (rolled forward or
+      back) have been persisted since the decision, so a crash cannot
+      resurrect the operation against reused memory;
+    - {b flush-before-use} — a domain that observes a dirty value with a
+      read outside the descriptor area never issues another CAS until the
+      observed word has been written back (the obligation [Op.read] and
+      [Pcas] discharge with clwb-then-clear).
+
+    The checker also cross-checks every read/CAS against its replayed
+    volatile image and reports divergence, which catches traces that did
+    not start at device creation.
+
+    The [protocol] record describes descriptor geometry abstractly so
+    this module stays independent of [Pmwcas.Layout];
+    [Harness.Trace_check] builds one from a live pool. *)
+
+type protocol = {
+  words : int;  (** Device size; replay images start all-zero. *)
+  line_words : int;
+  max_words : int;  (** Per-descriptor entry capacity (sanity bound). *)
+  is_status_addr : int -> bool;
+  is_desc_addr : int -> bool;  (** Inside the descriptor-pool region. *)
+  slot_of_status : int -> int;
+  count_addr : int -> int;
+  entry_fields : int -> int -> int * int * int;
+      (** [entry_fields slot k] — addresses of the [address], [old] and
+          [new] fields of word descriptor [k]. *)
+  desc_ptr : int -> int;  (** Phase-1 pointer value for a slot. *)
+  status_undecided : int;
+  status_succeeded : int;
+  status_failed : int;
+  status_free : int;
+}
+
+type violation = { seq : int; message : string }
+
+type report = {
+  events : int;
+  decided : int;  (** Successful Undecided → decided transitions seen. *)
+  recycled : int;  (** Decided operations whose slot returned to Free. *)
+  still_in_flight : int;  (** Decided but not yet recycled at trace end. *)
+  violations : violation list;
+}
+
+val run : protocol -> Trace.event array -> report
+
+val ok : report -> bool
+(** No violations. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

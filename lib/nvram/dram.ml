@@ -1,0 +1,48 @@
+type t = { cfg : Config.t; cells : int Atomic.t array; stats : Stats.t }
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    cells = Array.init cfg.words (fun _ -> Atomic.make 0);
+    stats = Stats.create ();
+  }
+
+let size t = t.cfg.words
+let config t = t.cfg
+
+(* The lean backend does not meter the hot path; its stats stay zero. *)
+let stats t = t.stats
+let durable _ = false
+
+let check t a =
+  if a < 0 || a >= t.cfg.words then
+    invalid_arg (Printf.sprintf "Nvram.Mem: address %d out of bounds" a)
+
+(* Hot ops lean on OCaml's built-in array bounds check (also
+   [Invalid_argument]) instead of an explicit range test: one branch per
+   access, no fuel counter, no stats — that is the point of this
+   backend. *)
+
+let read t a = Atomic.get t.cells.(a)
+let write t a v = Atomic.set t.cells.(a) v
+
+let cas t a ~expected ~desired =
+  let cell = t.cells.(a) in
+  let rec loop () =
+    let cur = Atomic.get cell in
+    if cur <> expected then cur
+    else if Atomic.compare_and_set cell expected desired then expected
+    else loop ()
+  in
+  loop ()
+
+let clwb t a = check t a
+let fence _ = ()
+let persist_all _ = ()
+
+(* There is no separate NVM image: "persistent" reads observe the one
+   coherent array, which is what volatile-mode protocol tests expect. *)
+let read_persistent = read
+
+(* A power failure wipes DRAM: the image is a fresh zeroed device. *)
+let crash_image ?evict_prob:_ ?seed:_ t = create t.cfg

@@ -1,0 +1,27 @@
+(** Plain volatile DRAM backend ({!Backend.S}).
+
+    One coherent array of words, no persistent image, no line locks, no
+    fault-injection fuel: loads, stores and CAS are bare [Atomic]
+    operations, and the persistence primitives are free no-ops (only CAS
+    is counted in {!Stats}). This is the baseline volatile-mode benchmarks
+    run on, so they stop paying the simulator's bookkeeping tax.
+
+    [crash_image] returns a fresh zeroed device — a power failure wipes
+    DRAM. [read_persistent] reads the one coherent array. Callers address
+    backends through {!Mem}; this module is exposed for white-box tests. *)
+
+type t
+
+val create : Config.t -> t
+val size : t -> int
+val config : t -> Config.t
+val stats : t -> Stats.t
+val durable : t -> bool
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+val cas : t -> int -> expected:int -> desired:int -> int
+val clwb : t -> int -> unit
+val fence : t -> unit
+val persist_all : t -> unit
+val read_persistent : t -> int -> int
+val crash_image : ?evict_prob:float -> ?seed:int -> t -> t

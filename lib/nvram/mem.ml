@@ -1,146 +1,197 @@
+(* Backends must implement the full interface. *)
+module _ : Backend.S = Sim
+module _ : Backend.S = Dram
+
 type addr = int
 
-exception Crash
+exception Crash = Sim.Crash
 
-type t = {
-  cfg : Config.t;
-  volatile : int Atomic.t array;
-  persistent : int array;
-  line_locks : int Atomic.t array;
-  stats : Stats.t;
-  fuel : int Atomic.t; (* fault injector; max_int = disarmed *)
-}
+type t =
+  | Simulated of Sim.t
+  | Dram of Dram.t
+  | Traced of { inner : t; tr : Trace.t }
 
-let create (cfg : Config.t) =
-  let lines = (cfg.words + cfg.line_words - 1) / cfg.line_words in
-  {
-    cfg;
-    volatile = Array.init cfg.words (fun _ -> Atomic.make 0);
-    persistent = Array.make cfg.words 0;
-    line_locks = Array.init lines (fun _ -> Atomic.make 0);
-    stats = Stats.create ();
-    fuel = Atomic.make max_int;
-  }
+type backend = [ `Sim | `Dram ]
 
-let inject_crash_after t n = Atomic.set t.fuel n
-let disarm t = Atomic.set t.fuel max_int
+let create cfg = Simulated (Sim.create cfg)
+let create_dram cfg = Dram (Dram.create cfg)
 
-let spend t =
-  if Atomic.get t.fuel <> max_int then
-    if Atomic.fetch_and_add t.fuel (-1) <= 0 then raise Crash
+let create_backend kind cfg =
+  match kind with `Sim -> create cfg | `Dram -> create_dram cfg
 
-let size t = t.cfg.words
-let config t = t.cfg
-let stats t = t.stats
+let backend_of_string = function
+  | "sim" -> Some `Sim
+  | "dram" -> Some `Dram
+  | _ -> None
 
-let check t a =
-  if a < 0 || a >= t.cfg.words then
-    invalid_arg (Printf.sprintf "Nvram.Mem: address %d out of bounds" a)
+let backend_name = function `Sim -> "sim" | `Dram -> "dram"
 
-let read t a =
-  check t a;
-  Atomic.get t.volatile.(a)
+let rec kind = function
+  | Simulated _ -> `Sim
+  | Dram _ -> `Dram
+  | Traced { inner; _ } -> kind inner
 
-let write t a v =
-  check t a;
-  spend t;
-  Atomic.set t.volatile.(a) v
+let traced t =
+  match t with
+  | Traced _ -> invalid_arg "Nvram.Mem.traced: already traced"
+  | _ -> Traced { inner = t; tr = Trace.create () }
 
-let cas t a ~expected ~desired =
-  check t a;
-  spend t;
-  Stats.record_cas t.stats;
-  let cell = t.volatile.(a) in
-  let rec loop () =
-    let cur = Atomic.get cell in
-    if cur <> expected then cur
-    else if Atomic.compare_and_set cell expected desired then expected
-    else loop ()
-  in
-  loop ()
+let trace = function Traced { tr; _ } -> Some tr | _ -> None
 
-let cas_bool t a ~expected ~desired = cas t a ~expected ~desired = expected
+let rec size = function
+  | Simulated s -> Sim.size s
+  | Dram d -> Dram.size d
+  | Traced { inner; _ } -> size inner
 
-let lock_line t line =
-  let l = t.line_locks.(line) in
-  while not (Atomic.compare_and_set l 0 1) do
-    Domain.cpu_relax ()
-  done
+let rec config = function
+  | Simulated s -> Sim.config s
+  | Dram d -> Dram.config d
+  | Traced { inner; _ } -> config inner
 
-let unlock_line t line = Atomic.set t.line_locks.(line) 0
+let rec stats = function
+  | Simulated s -> Sim.stats s
+  | Dram d -> Dram.stats d
+  | Traced { inner; _ } -> stats inner
 
-(* Copy the coherent content of a whole line into the NVM image, under the
-   line lock so that the persistent image always equals "the volatile value
-   at the time of the last write-back" — the guarantee cache coherence
-   gives a real CLWB. *)
-let write_back_line t line =
-  lock_line t line;
-  let lo = line * t.cfg.line_words in
-  let hi = min (lo + t.cfg.line_words) t.cfg.words in
-  for a = lo to hi - 1 do
-    t.persistent.(a) <- Atomic.get t.volatile.(a)
-  done;
-  unlock_line t line
+let rec durable = function
+  | Simulated s -> Sim.durable s
+  | Dram d -> Dram.durable d
+  | Traced { inner; _ } -> durable inner
 
-let charge_flush_delay t =
-  for _ = 1 to t.cfg.flush_delay do
-    Domain.cpu_relax ()
-  done
+(* The traced paths live out of line so the exported dispatchers below
+   stay small enough for the Closure backend to inline at call sites —
+   the hot loops in [Pcas]/[Op] hit the Simulated arm with one match and
+   one direct call. [traced] guarantees [inner] is never itself traced,
+   so these don't recurse. *)
 
-let clwb t a =
-  check t a;
-  spend t;
-  Stats.record_flush t.stats;
-  write_back_line t (a / t.cfg.line_words);
-  charge_flush_delay t
+let untraced_read t a =
+  match t with
+  | Simulated s -> Sim.read s a
+  | Dram d -> Dram.read d a
+  | Traced _ -> assert false
+
+let untraced_write t a v =
+  match t with
+  | Simulated s -> Sim.write s a v
+  | Dram d -> Dram.write d a v
+  | Traced _ -> assert false
+
+let untraced_cas t a ~expected ~desired =
+  match t with
+  | Simulated s -> Sim.cas s a ~expected ~desired
+  | Dram d -> Dram.cas d a ~expected ~desired
+  | Traced _ -> assert false
+
+let untraced_clwb t a =
+  match t with
+  | Simulated s -> Sim.clwb s a
+  | Dram d -> Dram.clwb d a
+  | Traced _ -> assert false
+
+let traced_read inner tr a =
+  Trace.locked tr (fun () ->
+      let v = untraced_read inner a in
+      Trace.record tr (Trace.Read { addr = a; value = v });
+      v)
+
+let traced_write inner tr a v =
+  Trace.locked tr (fun () ->
+      untraced_write inner a v;
+      Trace.record tr (Trace.Write { addr = a; value = v }))
+
+let traced_cas inner tr a ~expected ~desired =
+  Trace.locked tr (fun () ->
+      let witnessed = untraced_cas inner a ~expected ~desired in
+      Trace.record tr (Trace.Cas { addr = a; expected; desired; witnessed });
+      witnessed)
+
+let traced_clwb inner tr a =
+  Trace.locked tr (fun () ->
+      untraced_clwb inner a;
+      Trace.record tr (Trace.Clwb { addr = a }))
+
+let[@inline] read t a =
+  match t with
+  | Simulated s -> Sim.read s a
+  | Dram d -> Dram.read d a
+  | Traced { inner; tr } -> traced_read inner tr a
+
+let[@inline] write t a v =
+  match t with
+  | Simulated s -> Sim.write s a v
+  | Dram d -> Dram.write d a v
+  | Traced { inner; tr } -> traced_write inner tr a v
+
+let[@inline] cas t a ~expected ~desired =
+  match t with
+  | Simulated s -> Sim.cas s a ~expected ~desired
+  | Dram d -> Dram.cas d a ~expected ~desired
+  | Traced { inner; tr } -> traced_cas inner tr a ~expected ~desired
+
+let[@inline] cas_bool t a ~expected ~desired =
+  cas t a ~expected ~desired = expected
+
+let[@inline] clwb t a =
+  match t with
+  | Simulated s -> Sim.clwb s a
+  | Dram d -> Dram.clwb d a
+  | Traced { inner; tr } -> traced_clwb inner tr a
 
 let clwb_range t ~lo ~hi =
-  check t lo;
-  check t hi;
-  let lw = t.cfg.line_words in
+  let words = size t in
+  if lo < 0 || lo >= words then
+    invalid_arg (Printf.sprintf "Nvram.Mem: address %d out of bounds" lo);
+  if hi < 0 || hi >= words then
+    invalid_arg (Printf.sprintf "Nvram.Mem: address %d out of bounds" hi);
+  let lw = (config t).line_words in
   let a = ref (lo / lw * lw) in
   while !a <= hi do
     clwb t !a;
     a := !a + lw
   done
 
-let fence t = Stats.record_fence t.stats
+let rec fence t =
+  match t with
+  | Simulated s -> Sim.fence s
+  | Dram d -> Dram.fence d
+  | Traced { inner; tr } ->
+      Trace.locked tr (fun () ->
+          fence inner;
+          Trace.record tr Trace.Fence)
 
-let persist_all t =
-  for line = 0 to Array.length t.line_locks - 1 do
-    write_back_line t line
-  done
+let rec persist_all t =
+  match t with
+  | Simulated s -> Sim.persist_all s
+  | Dram d -> Dram.persist_all d
+  | Traced { inner; tr } ->
+      Trace.locked tr (fun () ->
+          persist_all inner;
+          Trace.record tr Trace.Persist_all)
 
-let read_persistent t a =
-  check t a;
-  (* Take the line lock so tests never observe a half-written line. *)
-  let line = a / t.cfg.line_words in
-  lock_line t line;
-  let v = t.persistent.(a) in
-  unlock_line t line;
-  v
+let rec read_persistent t a =
+  match t with
+  | Simulated s -> Sim.read_persistent s a
+  | Dram d -> Dram.read_persistent d a
+  | Traced { inner; _ } -> read_persistent inner a
 
-let crash_image ?(evict_prob = 0.) ?rng t =
-  let rng =
-    match rng with Some r -> r | None -> Random.State.make_self_init ()
-  in
-  let img = create t.cfg in
-  let lw = t.cfg.line_words in
-  for line = 0 to Array.length t.line_locks - 1 do
-    let evicted = evict_prob > 0. && Random.State.float rng 1.0 < evict_prob in
-    let lo = line * lw in
-    let hi = min (lo + lw) t.cfg.words in
-    for a = lo to hi - 1 do
-      let v =
-        if evicted then Atomic.get t.volatile.(a) else t.persistent.(a)
-      in
-      Atomic.set img.volatile.(a) v;
-      img.persistent.(a) <- v
-    done
-  done;
-  img
+let rec crash_image ?evict_prob ?seed t =
+  match t with
+  | Simulated s -> Simulated (Sim.crash_image ?evict_prob ?seed s)
+  | Dram d -> Dram (Dram.crash_image ?evict_prob ?seed d)
+  | Traced { inner; _ } -> crash_image ?evict_prob ?seed inner
+
+let rec inject_crash_after t n =
+  match t with
+  | Simulated s -> Sim.inject_crash_after s n
+  | Dram _ -> invalid_arg "Nvram.Mem.inject_crash_after: volatile backend"
+  | Traced { inner; _ } -> inject_crash_after inner n
+
+let rec disarm = function
+  | Simulated s -> Sim.disarm s
+  | Dram _ -> ()
+  | Traced { inner; _ } -> disarm inner
 
 let dump t ~lo ~hi ppf =
   for a = lo to hi - 1 do
-    Format.fprintf ppf "%6d: %a@." a Flags.pp (Atomic.get t.volatile.(a))
+    Format.fprintf ppf "%6d: %a@." a Flags.pp (read t a)
   done

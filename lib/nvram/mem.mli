@@ -1,23 +1,22 @@
-(** Simulated byte-addressable NVRAM behind a volatile CPU cache.
+(** The memory device every layer above [Nvram] addresses.
 
-    The device keeps two images of every word:
+    [Mem.t] dispatches each word operation to a concrete backend
+    implementing {!Backend.S}:
 
-    - the {e volatile} image — what the coherent cache hierarchy holds and
-      what every load, store and CAS observes;
-    - the {e persistent} image — what has actually reached the NVDIMM and
-      survives a power failure.
+    - {!Sim} — simulated cache-lined NVRAM with separate volatile and
+      persistent images, flush-delay modelling and fault injection (the
+      default, and the only durable backend);
+    - {!Dram} — a bare coherent array with no persistence bookkeeping,
+      for volatile-mode baselines;
+    - a {e traced} wrapper around either, which appends every operation
+      to per-domain {!Trace} logs for offline checking with {!Checker}.
 
-    A store only updates the volatile image. [clwb] writes the whole
-    containing cache line back to the persistent image, like the CLWB
-    instruction (Section 2.1 of the paper). A crash may additionally
-    preserve un-flushed lines that happened to be evicted by the cache —
-    [crash_image] models that with a per-line eviction probability, which
-    is exactly the nondeterminism the dirty-bit protocol of Section 3 must
-    tolerate.
-
-    All word operations are linearizable across domains. [clwb] persists
-    the volatile content current at its linearization point (hardware
-    cache coherence gives CLWB the same guarantee). *)
+    Dispatch is a single variant match per operation; the simulated hot
+    path is unchanged from the pre-backend design (verified against the
+    E1 microbenchmark). All word operations are linearizable across
+    domains; on the simulated backend, [clwb] persists the volatile
+    content current at its linearization point, like the hardware CLWB
+    under cache coherence. *)
 
 type t
 
@@ -25,12 +24,40 @@ type addr = int
 (** A word offset in [0, size). Word addresses play the role of the
     paper's 8-byte-aligned pointers. *)
 
+type backend = [ `Sim | `Dram ]
+
+(** {1 Construction} *)
+
 val create : Config.t -> t
-(** Fresh device, all words zero in both images. *)
+(** Fresh simulated-NVRAM device, all words zero in both images. *)
+
+val create_dram : Config.t -> t
+(** Fresh volatile DRAM device. *)
+
+val create_backend : backend -> Config.t -> t
+val backend_of_string : string -> backend option
+val backend_name : backend -> string
+
+val traced : t -> t
+(** Wrap a device so every subsequent operation is appended to a
+    {!Trace}. Tracing serializes operations (stamp and operation are
+    atomic) — use for checking, not benchmarking. Raises
+    [Invalid_argument] if [t] is already traced. *)
+
+val trace : t -> Trace.t option
+(** The event log of a traced device. *)
+
+(** {1 Introspection} *)
 
 val size : t -> int
 val config : t -> Config.t
 val stats : t -> Stats.t
+
+val kind : t -> backend
+
+val durable : t -> bool
+(** Whether [clwb]/[crash_image] model real persistence. [Pool] and
+    [Palloc] default their [persistent] flag to this. *)
 
 (** {1 Volatile (cached) accesses} *)
 
@@ -53,8 +80,9 @@ val cas_bool : t -> addr -> expected:int -> desired:int -> bool
 
 val clwb : t -> addr -> unit
 (** Write the cache line containing [addr] back to the persistent image.
-    Charges [Config.flush_delay] busy-work. Synchronous in this model, so
-    no separate drain is required (fences remain available for counting
+    Charges [Config.flush_delay] busy-work on the simulated backend; a
+    free no-op on volatile backends. Synchronous in this model, so no
+    separate drain is required (fences remain available for counting
     fidelity). *)
 
 val fence : t -> unit
@@ -78,20 +106,27 @@ val inject_crash_after : t -> int -> unit
     ([write]/[cas]/[clwb]) across all domains, every subsequent mutating
     operation raises {!Crash}. Workers unwind, the test joins them and
     calls [crash_image] — emulating a power failure at an arbitrary store
-    boundary. [disarm] (or a fresh [crash_image]) turns it off. *)
+    boundary. [disarm] (or a fresh [crash_image]) turns it off. Only the
+    simulated backend supports injection; raises [Invalid_argument] on a
+    volatile device. *)
 
 val disarm : t -> unit
 
 val read_persistent : t -> addr -> int
-(** Read the NVM image directly (white-box accessor for tests). *)
+(** Read the NVM image directly (white-box accessor for tests). On a
+    volatile backend this reads the one coherent array. *)
 
-val crash_image : ?evict_prob:float -> ?rng:Random.State.t -> t -> t
-(** Power-failure snapshot: a fresh device whose content is the persistent
-    image, except that each cache line, independently with probability
-    [evict_prob] (default [0.]), instead carries its volatile content —
-    modelling lines that the cache happened to evict before the failure.
-    Both images of the result are equal (a rebooted machine has cold
-    caches). Statistics are reset.
+val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
+(** Power-failure snapshot: a fresh device whose content is the
+    persistent image, except that each cache line, independently with
+    probability [evict_prob] (default [0.]), instead carries its volatile
+    content — modelling lines that the cache happened to evict before the
+    failure. [seed] drives the eviction lottery and is required whenever
+    [evict_prob > 0], so eviction-based crash tests are deterministic.
+    Lines are sampled under their line locks, so an image never contains
+    a torn line. Both images of the result are equal (a rebooted machine
+    has cold caches); statistics are reset. A volatile device comes back
+    zeroed; a traced device's image is untraced.
 
     Must be called while no other domain is mutating [t] (a real power
     failure stops all CPUs at once). *)

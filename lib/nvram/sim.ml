@@ -1,0 +1,145 @@
+type addr = int
+
+exception Crash
+
+type t = {
+  cfg : Config.t;
+  volatile : int Atomic.t array;
+  persistent : int array;
+  line_locks : int Atomic.t array;
+  stats : Stats.t;
+  fuel : int Atomic.t; (* fault injector; max_int = disarmed *)
+}
+
+let create (cfg : Config.t) =
+  let lines = (cfg.words + cfg.line_words - 1) / cfg.line_words in
+  {
+    cfg;
+    volatile = Array.init cfg.words (fun _ -> Atomic.make 0);
+    persistent = Array.make cfg.words 0;
+    line_locks = Array.init lines (fun _ -> Atomic.make 0);
+    stats = Stats.create ();
+    fuel = Atomic.make max_int;
+  }
+
+let inject_crash_after t n = Atomic.set t.fuel n
+let disarm t = Atomic.set t.fuel max_int
+
+let spend t =
+  if Atomic.get t.fuel <> max_int then
+    if Atomic.fetch_and_add t.fuel (-1) <= 0 then raise Crash
+
+let size t = t.cfg.words
+let config t = t.cfg
+let stats t = t.stats
+let durable _ = true
+
+let check t a =
+  if a < 0 || a >= t.cfg.words then
+    invalid_arg (Printf.sprintf "Nvram.Mem: address %d out of bounds" a)
+
+let read t a =
+  check t a;
+  Atomic.get t.volatile.(a)
+
+let write t a v =
+  check t a;
+  spend t;
+  Atomic.set t.volatile.(a) v
+
+let cas t a ~expected ~desired =
+  check t a;
+  spend t;
+  Stats.record_cas t.stats;
+  let cell = t.volatile.(a) in
+  let rec loop () =
+    let cur = Atomic.get cell in
+    if cur <> expected then cur
+    else if Atomic.compare_and_set cell expected desired then expected
+    else loop ()
+  in
+  loop ()
+
+let lock_line t line =
+  let l = t.line_locks.(line) in
+  while not (Atomic.compare_and_set l 0 1) do
+    Domain.cpu_relax ()
+  done
+
+let unlock_line t line = Atomic.set t.line_locks.(line) 0
+
+(* Copy the coherent content of a whole line into the NVM image, under the
+   line lock so that the persistent image always equals "the volatile value
+   at the time of the last write-back" — the guarantee cache coherence
+   gives a real CLWB. *)
+let write_back_line t line =
+  lock_line t line;
+  let lo = line * t.cfg.line_words in
+  let hi = min (lo + t.cfg.line_words) t.cfg.words in
+  for a = lo to hi - 1 do
+    t.persistent.(a) <- Atomic.get t.volatile.(a)
+  done;
+  unlock_line t line
+
+let charge_flush_delay t =
+  for _ = 1 to t.cfg.flush_delay do
+    Domain.cpu_relax ()
+  done
+
+let clwb t a =
+  check t a;
+  spend t;
+  Stats.record_flush t.stats;
+  write_back_line t (a / t.cfg.line_words);
+  charge_flush_delay t
+
+let fence t = Stats.record_fence t.stats
+
+let persist_all t =
+  for line = 0 to Array.length t.line_locks - 1 do
+    write_back_line t line
+  done
+
+let read_persistent t a =
+  check t a;
+  (* Take the line lock so tests never observe a half-written line. *)
+  let line = a / t.cfg.line_words in
+  lock_line t line;
+  let v = t.persistent.(a) in
+  unlock_line t line;
+  v
+
+let crash_image ?(evict_prob = 0.) ?seed t =
+  let rng =
+    if evict_prob <= 0. then None
+    else
+      match seed with
+      | Some s -> Some (Random.State.make [| s |])
+      | None ->
+          invalid_arg
+            "Nvram.Mem.crash_image: evict_prob > 0 requires an explicit seed"
+  in
+  let img = create t.cfg in
+  let lw = t.cfg.line_words in
+  for line = 0 to Array.length t.line_locks - 1 do
+    let evicted =
+      match rng with
+      | Some rng -> Random.State.float rng 1.0 < evict_prob
+      | None -> false
+    in
+    let lo = line * lw in
+    let hi = min (lo + lw) t.cfg.words in
+    (* Sample the whole line under its lock so a concurrent write-back can
+       never tear it: an evicted line is exactly the coherent volatile
+       content, a surviving line exactly the last completed write-back. *)
+    lock_line t line;
+    for a = lo to hi - 1 do
+      let v =
+        if evicted then Atomic.get t.volatile.(a) else t.persistent.(a)
+      in
+      Atomic.set img.volatile.(a) v;
+      img.persistent.(a) <- v
+    done;
+    unlock_line t line
+  done;
+  img

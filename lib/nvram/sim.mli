@@ -1,0 +1,42 @@
+(** Simulated byte-addressable NVRAM behind a volatile CPU cache — the
+    durable backend ({!Backend.S} plus fault injection).
+
+    The device keeps two images of every word: the {e volatile} image
+    (what the coherent cache hierarchy holds and every load, store and CAS
+    observes) and the {e persistent} image (what has reached the NVDIMM
+    and survives a power failure). A store only updates the volatile
+    image; [clwb] writes the whole containing cache line back, like the
+    CLWB instruction (Section 2.1 of the paper). [crash_image] models the
+    per-line eviction nondeterminism the dirty-bit protocol of Section 3
+    must tolerate.
+
+    Callers address backends through {!Mem}; this module is exposed for
+    white-box tests. *)
+
+type t
+
+type addr = int
+
+exception Crash
+(** Raised by mutating operations once injected fuel runs out. *)
+
+val create : Config.t -> t
+val size : t -> int
+val config : t -> Config.t
+val stats : t -> Stats.t
+val durable : t -> bool
+val read : t -> addr -> int
+val write : t -> addr -> int -> unit
+val cas : t -> addr -> expected:int -> desired:int -> int
+val clwb : t -> addr -> unit
+val fence : t -> unit
+val persist_all : t -> unit
+val read_persistent : t -> addr -> int
+
+val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
+(** Power-failure snapshot; lines are sampled under their line locks so an
+    image never contains a torn line. [seed] is required whenever
+    [evict_prob > 0], making eviction-based crash tests deterministic. *)
+
+val inject_crash_after : t -> int -> unit
+val disarm : t -> unit

@@ -1,15 +1,22 @@
 let shards = 64
 let fields = 3 (* flush, fence, cas *)
 
+(* Each domain's field group is padded out to [stride] cells. The atomics
+   are boxed two-word blocks allocated back to back by [Array.init], so
+   without padding four of them share a 64-byte line and neighbouring
+   domains false-share; a stride of 8 boxes (128 bytes) keeps every
+   domain's counters on their own lines under 8+ domain bench runs. *)
+let stride = 8
+
 type t = int Atomic.t array
 
 type snapshot = { flushes : int; fences : int; cases : int }
 
-let create () = Array.init (shards * fields) (fun _ -> Atomic.make 0)
+let create () = Array.init (shards * stride) (fun _ -> Atomic.make 0)
 
 let slot field =
   let d = (Domain.self () :> int) in
-  ((d land (shards - 1)) * fields) + field
+  ((d land (shards - 1)) * stride) + field
 
 let record_flush t = ignore (Atomic.fetch_and_add t.(slot 0) 1)
 let record_fence t = ignore (Atomic.fetch_and_add t.(slot 1) 1)
@@ -18,7 +25,7 @@ let record_cas t = ignore (Atomic.fetch_and_add t.(slot 2) 1)
 let sum t field =
   let acc = ref 0 in
   for s = 0 to shards - 1 do
-    acc := !acc + Atomic.get t.((s * fields) + field)
+    acc := !acc + Atomic.get t.((s * stride) + field)
   done;
   !acc
 
@@ -34,3 +41,5 @@ let diff a b =
 
 let pp ppf s =
   Format.fprintf ppf "flushes=%d fences=%d cas=%d" s.flushes s.fences s.cases
+
+let _ = assert (fields <= stride)

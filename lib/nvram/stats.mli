@@ -1,8 +1,10 @@
-(** Operation counters for a simulated NVRAM device.
+(** Operation counters for a memory backend.
 
-    Counters are sharded per-thread slot to keep the instrumented fast
-    paths cheap; [snapshot] sums the shards. Only protocol-relevant events
-    are counted (flushes, fences, CASes) — plain loads/stores are free. *)
+    Counters are sharded per domain — each domain increments its own
+    cache-line-padded group of atomics, so the instrumented fast paths
+    never contend — and [snapshot] merges the shards on read. Only
+    protocol-relevant events are counted (flushes, fences, CASes) — plain
+    loads/stores are free. *)
 
 type t
 

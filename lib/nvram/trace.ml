@@ -1,0 +1,66 @@
+type op =
+  | Read of { addr : int; value : int }
+  | Write of { addr : int; value : int }
+  | Cas of { addr : int; expected : int; desired : int; witnessed : int }
+  | Clwb of { addr : int }
+  | Fence
+  | Persist_all
+
+type event = { seq : int; domain : int; op : op }
+
+let shards = 64
+
+type t = {
+  lock : Mutex.t;
+  mutable seq : int;
+  logs : event list ref array; (* per-domain, newest first *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    seq = 0;
+    logs = Array.init shards (fun _ -> ref []);
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Only call while [locked]: the global stamp and the shard list are both
+   guarded by the trace lock. *)
+let record t op =
+  let domain = (Domain.self () :> int) in
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let log = t.logs.(domain land (shards - 1)) in
+  log := { seq; domain; op } :: !log
+
+let length t = locked t (fun () -> t.seq)
+
+let clear t =
+  locked t (fun () ->
+      t.seq <- 0;
+      Array.iter (fun l -> l := []) t.logs)
+
+let events t =
+  locked t (fun () ->
+      let all =
+        Array.fold_left (fun acc l -> List.rev_append !l acc) [] t.logs
+      in
+      let a = Array.of_list all in
+      Array.sort (fun e1 e2 -> compare e1.seq e2.seq : event -> event -> int) a;
+      a)
+
+let pp_op ppf = function
+  | Read { addr; value } -> Format.fprintf ppf "read  %d -> %a" addr Flags.pp value
+  | Write { addr; value } -> Format.fprintf ppf "write %d <- %a" addr Flags.pp value
+  | Cas { addr; expected; desired; witnessed } ->
+      Format.fprintf ppf "cas   %d %a -> %a (saw %a)" addr Flags.pp expected
+        Flags.pp desired Flags.pp witnessed
+  | Clwb { addr } -> Format.fprintf ppf "clwb  %d" addr
+  | Fence -> Format.fprintf ppf "fence"
+  | Persist_all -> Format.fprintf ppf "persist_all"
+
+let pp_event ppf (e : event) =
+  Format.fprintf ppf "%8d d%-3d %a" e.seq e.domain pp_op e.op

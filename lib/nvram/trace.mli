@@ -1,0 +1,43 @@
+(** Per-domain event logs for the tracing backend.
+
+    A traced {!Mem} appends every read/write/CAS/clwb/fence to the log of
+    the executing domain, stamped with a globally unique, monotonically
+    increasing sequence number. The stamp is taken {e atomically with the
+    operation} (both run under the trace lock), so sorting the merged log
+    by [seq] reproduces the exact linearization order — which is what lets
+    {!Checker} replay a multi-domain run deterministically. Tracing
+    therefore serializes memory operations; it is a checking tool, not a
+    benchmarking mode.
+
+    The event type is public so tests can also synthesize or edit traces
+    (e.g. delete a [Clwb] to emulate a protocol that skipped a flush). *)
+
+type op =
+  | Read of { addr : int; value : int }  (** [value] = witnessed content. *)
+  | Write of { addr : int; value : int }
+  | Cas of { addr : int; expected : int; desired : int; witnessed : int }
+      (** The swap happened iff [witnessed = expected]. *)
+  | Clwb of { addr : int }  (** Persists the whole containing line. *)
+  | Fence
+  | Persist_all  (** Whole-device flush (initialization helper). *)
+
+type event = { seq : int; domain : int; op : op }
+
+type t
+
+val create : unit -> t
+
+val locked : t -> (unit -> 'a) -> 'a
+(** Run [f] under the trace lock (used by {!Mem} to make operation and
+    stamp atomic). Not reentrant. *)
+
+val record : t -> op -> unit
+(** Append an event to the calling domain's log. Must be called while
+    {!locked}. *)
+
+val events : t -> event array
+(** Merge all per-domain logs, sorted by sequence number. *)
+
+val length : t -> int
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit

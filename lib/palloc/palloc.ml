@@ -65,7 +65,10 @@ let layout mem ~persistent ~base ~words ~max_threads =
     carve_lock = Mutex.create ();
   }
 
-let create ?(persistent = true) mem ~base ~words ~max_threads =
+let create ?persistent mem ~base ~words ~max_threads =
+  let persistent = Option.value persistent ~default:(Mem.durable mem) in
+  if persistent && not (Mem.durable mem) then
+    invalid_arg "Palloc.create: persistent allocator requires a durable backend";
   let t = layout mem ~persistent ~base ~words ~max_threads in
   Mem.write mem t.heap_next_addr t.heap_base;
   Mem.write mem t.magic_addr magic;
@@ -226,6 +229,8 @@ let usable_size t payload =
   class_size (hdr_class h)
 
 let recover mem ~base ~words ~max_threads =
+  if not (Mem.durable mem) then
+    invalid_arg "Palloc.recover: requires a durable backend";
   let t = layout mem ~persistent:true ~base ~words ~max_threads in
   if Mem.read mem t.magic_addr <> magic then
     failwith "Palloc.recover: bad magic (region was never formatted)";

@@ -40,8 +40,11 @@ val create :
   ?persistent:bool -> Nvram.Mem.t -> base:int -> words:int -> max_threads:int
   -> t
 (** Format a fresh allocator over [\[base, base+words)]. [max_threads]
-    bounds concurrently registered handles.
-    @raise Invalid_argument if the region is too small or out of bounds. *)
+    bounds concurrently registered handles. [persistent] defaults to
+    [Mem.durable mem]: flushes are elided automatically on a volatile
+    (DRAM) backend, and requesting [persistent:true] on one is an error.
+    @raise Invalid_argument if the region is too small or out of bounds,
+    or if [persistent:true] is requested on a non-durable backend. *)
 
 val recover :
   Nvram.Mem.t -> base:int -> words:int -> max_threads:int -> t * int

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo gate: format (when ocamlformat is available), build, tests.
+# Run from the repository root, e.g. via `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping format check (ocamlformat not installed)"
+fi
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "check: all green"

@@ -1,0 +1,370 @@
+(* Tests for the pluggable memory backends (simulated NVRAM / DRAM /
+   traced) and the offline persistence-order checker. *)
+
+module Mem = Nvram.Mem
+module Trace = Nvram.Trace
+module Checker = Nvram.Checker
+module Flags = Nvram.Flags
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+
+let sim ?(line_words = 8) words =
+  Mem.create (Nvram.Config.make ~line_words ~words ())
+
+let dram ?(line_words = 8) words =
+  Mem.create_dram (Nvram.Config.make ~line_words ~words ())
+
+let expect_invalid_arg f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* --- DRAM backend semantics ------------------------------------------- *)
+
+let dram_tests =
+  [
+    Alcotest.test_case "read/write/cas, one coherent array" `Quick (fun () ->
+        let m = dram 64 in
+        Alcotest.(check bool) "not durable" false (Mem.durable m);
+        Alcotest.(check bool) "kind" true (Mem.kind m = `Dram);
+        Mem.write m 3 42;
+        Alcotest.(check int) "read" 42 (Mem.read m 3);
+        Alcotest.(check int) "persistent view = volatile" 42
+          (Mem.read_persistent m 3);
+        Alcotest.(check int) "cas witnesses" 42
+          (Mem.cas m 3 ~expected:42 ~desired:7);
+        Alcotest.(check int) "cas applied" 7 (Mem.read m 3);
+        Alcotest.(check bool) "cas_bool failure" false
+          (Mem.cas_bool m 3 ~expected:42 ~desired:9);
+        Alcotest.(check int) "unchanged" 7 (Mem.read m 3));
+    Alcotest.test_case "flush machinery is a free no-op" `Quick (fun () ->
+        let m = dram 64 in
+        Mem.write m 0 1;
+        Mem.clwb m 0;
+        Mem.clwb_range m ~lo:0 ~hi:63;
+        Mem.fence m;
+        Mem.persist_all m;
+        Mem.disarm m;
+        Alcotest.(check int) "value intact" 1 (Mem.read m 0);
+        expect_invalid_arg (fun () -> Mem.clwb m 64));
+    Alcotest.test_case "no crash injection, zeroed crash image" `Quick
+      (fun () ->
+        let m = dram 64 in
+        Mem.write m 5 99;
+        expect_invalid_arg (fun () -> Mem.inject_crash_after m 10);
+        let img = Mem.crash_image m in
+        Alcotest.(check int) "image is fresh" 0 (Mem.read img 5);
+        Alcotest.(check int) "original untouched" 99 (Mem.read m 5));
+  ]
+
+(* --- backend equivalence ---------------------------------------------- *)
+
+(* The same deterministic PMwCAS workload must produce the same logical
+   values on every backend: persistence is invisible to the volatile
+   semantics. *)
+let data = 4096
+let accounts = 16
+
+let run_workload ?persistent mem =
+  let pool = Pool.create ?persistent mem ~base:0 ~max_threads:1 in
+  for i = 0 to accounts - 1 do
+    Mem.write mem (data + i) 1000
+  done;
+  Mem.persist_all mem;
+  let h = Pool.register pool in
+  let rng = Random.State.make [| 1234 |] in
+  for _ = 1 to 300 do
+    let i = Random.State.int rng accounts in
+    let j = (i + 1 + Random.State.int rng (accounts - 1)) mod accounts in
+    let vi = Op.read_with h (data + i) and vj = Op.read_with h (data + j) in
+    let d = Pool.alloc_desc h in
+    Pool.add_word d ~addr:(data + i) ~expected:vi ~desired:(vi - 1);
+    Pool.add_word d ~addr:(data + j) ~expected:vj ~desired:(vj + 1);
+    ignore (Op.execute d)
+  done;
+  Array.init accounts (fun i -> Op.read_with h (data + i))
+
+let equivalence_tests =
+  [
+    Alcotest.test_case "sim-persistent = sim-volatile = dram" `Quick
+      (fun () ->
+        let words = 8192 in
+        let a = run_workload (sim words) in
+        let volatile_sim = run_workload ~persistent:false (sim words) in
+        let c = run_workload (dram words) in
+        Alcotest.(check (array int)) "sim = dram" a c;
+        Alcotest.(check (array int)) "sim = volatile sim" a volatile_sim;
+        Alcotest.(check int) "conserved" (accounts * 1000)
+          (Array.fold_left ( + ) 0 a));
+    Alcotest.test_case "persistent pool rejects volatile backend" `Quick
+      (fun () ->
+        let m = dram 8192 in
+        expect_invalid_arg (fun () ->
+            Pool.create ~persistent:true m ~base:0 ~max_threads:1);
+        expect_invalid_arg (fun () ->
+            Palloc.create ~persistent:true m ~base:4096 ~words:2048
+              ~max_threads:1));
+  ]
+
+(* --- clwb_range boundaries -------------------------------------------- *)
+
+let clwb_range_tests =
+  [
+    Alcotest.test_case "line coverage at the edges" `Quick (fun () ->
+        let check_range ~lo ~hi expect_lines =
+          let m = sim 64 in
+          for i = 0 to 63 do
+            Mem.write m i (i + 1)
+          done;
+          Mem.clwb_range m ~lo ~hi;
+          for i = 0 to 63 do
+            let expected =
+              if List.mem (i / 8) expect_lines then i + 1 else 0
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "lo=%d hi=%d word %d" lo hi i)
+              expected
+              (Mem.read_persistent m i)
+          done
+        in
+        check_range ~lo:10 ~hi:10 [ 1 ];
+        (* same line, unaligned ends *)
+        check_range ~lo:9 ~hi:14 [ 1 ];
+        (* spans three lines *)
+        check_range ~lo:7 ~hi:17 [ 0; 1; 2 ];
+        (* hi on the last word of the device *)
+        check_range ~lo:56 ~hi:63 [ 7 ];
+        check_range ~lo:0 ~hi:63 [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+    Alcotest.test_case "rejects out-of-bounds endpoints" `Quick (fun () ->
+        let m = sim 64 in
+        expect_invalid_arg (fun () -> Mem.clwb_range m ~lo:(-1) ~hi:8);
+        expect_invalid_arg (fun () -> Mem.clwb_range m ~lo:0 ~hi:64));
+  ]
+
+(* --- tracing backend --------------------------------------------------- *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "records every op with increasing stamps" `Quick
+      (fun () ->
+        let m = Mem.traced (sim 64) in
+        let tr = Option.get (Mem.trace m) in
+        Mem.write m 1 10;
+        Alcotest.(check int) "read through" 10 (Mem.read m 1);
+        ignore (Mem.cas m 1 ~expected:10 ~desired:11);
+        Mem.clwb m 1;
+        Mem.fence m;
+        let evs = Trace.events tr in
+        Alcotest.(check int) "five events" 5 (Array.length evs);
+        Array.iteri
+          (fun i (e : Trace.event) ->
+            Alcotest.(check int) "dense stamps" i e.seq)
+          evs;
+        (match evs.(2).op with
+        | Trace.Cas { addr = 1; expected = 10; desired = 11; witnessed = 10 }
+          ->
+            ()
+        | _ -> Alcotest.fail "third event should be the CAS");
+        Alcotest.(check int) "length" 5 (Trace.length tr);
+        Trace.clear tr;
+        Alcotest.(check int) "cleared" 0 (Trace.length tr));
+    Alcotest.test_case "traced image and double-trace" `Quick (fun () ->
+        let m = Mem.traced (sim 64) in
+        expect_invalid_arg (fun () -> Mem.traced m);
+        Mem.write m 1 5;
+        Mem.clwb m 1;
+        let img = Mem.crash_image m in
+        Alcotest.(check bool) "image untraced" true (Mem.trace img = None);
+        Alcotest.(check int) "image holds flushed value" 5 (Mem.read img 1));
+    Alcotest.test_case "untraced device has no trace" `Quick (fun () ->
+        Alcotest.(check bool) "none" true (Mem.trace (sim 64) = None));
+  ]
+
+(* --- crash image determinism ------------------------------------------ *)
+
+let crash_image_tests =
+  [
+    Alcotest.test_case "same seed, same image" `Quick (fun () ->
+        let m = sim 512 in
+        for i = 0 to 511 do
+          Mem.write m i (i * 3)
+        done;
+        (* leave everything unflushed so eviction sampling matters *)
+        let dump img = Array.init 512 (Mem.read_persistent img) in
+        let a = dump (Mem.crash_image ~evict_prob:0.5 ~seed:42 m) in
+        let b = dump (Mem.crash_image ~evict_prob:0.5 ~seed:42 m) in
+        let c = dump (Mem.crash_image ~evict_prob:0.5 ~seed:43 m) in
+        Alcotest.(check (array int)) "deterministic" a b;
+        Alcotest.(check bool) "seed matters" true (a <> c);
+        Alcotest.(check bool) "some lines evicted" true
+          (Array.exists (fun v -> v <> 0) a));
+    Alcotest.test_case "eviction without a seed is rejected" `Quick (fun () ->
+        let m = sim 64 in
+        expect_invalid_arg (fun () ->
+            ignore (Mem.crash_image ~evict_prob:0.5 m));
+        (* no eviction needs no seed *)
+        ignore (Mem.crash_image m);
+        ignore (Mem.crash_image ~evict_prob:0. m));
+  ]
+
+(* --- checker ----------------------------------------------------------- *)
+
+(* A traced multi-domain transfer workload; returns the pool (for the
+   geometry) with its trace attached. *)
+let traced_workload ~domains ~ops =
+  let mem = Mem.traced (sim 32768) in
+  let pool = Pool.create mem ~base:0 ~max_threads:domains in
+  let base = 16384 in
+  for i = 0 to accounts - 1 do
+    Mem.write mem (base + i) 1000
+  done;
+  Mem.persist_all mem;
+  let worker seed () =
+    let h = Pool.register pool in
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to ops do
+      let i = Random.State.int rng accounts in
+      let j = (i + 1 + Random.State.int rng (accounts - 1)) mod accounts in
+      let vi = Op.read_with h (base + i) and vj = Op.read_with h (base + j) in
+      let d = Pool.alloc_desc h in
+      Pool.add_word d ~addr:(base + i) ~expected:vi ~desired:(vi - 1);
+      Pool.add_word d ~addr:(base + j) ~expected:vj ~desired:(vj + 1);
+      ignore (Op.execute d)
+    done;
+    Pool.unregister h
+  in
+  List.init domains (fun s -> Domain.spawn (worker (s + 1)))
+  |> List.iter Domain.join;
+  pool
+
+let hand_protocol =
+  {
+    Checker.words = 64;
+    line_words = 8;
+    max_words = 4;
+    is_status_addr = (fun _ -> false);
+    is_desc_addr = (fun a -> a < 8);
+    slot_of_status = Fun.id;
+    count_addr = (fun s -> s + 1);
+    entry_fields = (fun _ _ -> (0, 0, 0));
+    desc_ptr = Fun.id;
+    status_undecided = 1;
+    status_succeeded = 2;
+    status_failed = 3;
+    status_free = 0;
+  }
+
+let checker_tests =
+  [
+    Alcotest.test_case "multi-domain PMwCAS run is clean" `Quick (fun () ->
+        let pool = traced_workload ~domains:3 ~ops:150 in
+        let r = Harness.Trace_check.check pool in
+        Alcotest.(check bool) "ok" true (Checker.ok r);
+        Alcotest.(check bool) "saw decisions" true (r.decided > 0);
+        Alcotest.(check bool) "saw recycling" true (r.recycled > 0);
+        Alcotest.(check bool) "events flowed" true (r.events > 1000));
+    Alcotest.test_case "a skipped data flush is detected" `Quick (fun () ->
+        let pool = traced_workload ~domains:2 ~ops:100 in
+        let tr = Option.get (Mem.trace (Pool.mem pool)) in
+        let evs = Trace.events tr in
+        (* Drop every write-back of the data region: phase-1 descriptor
+           pointers are then never durable when the status is decided. *)
+        let sabotaged =
+          Array.of_seq
+            (Seq.filter
+               (fun (e : Trace.event) ->
+                 match e.op with
+                 | Trace.Clwb { addr } -> addr < 16384
+                 | _ -> true)
+               (Array.to_seq evs))
+        in
+        let p = Harness.Trace_check.protocol pool in
+        let r = Checker.run p sabotaged in
+        Alcotest.(check bool) "violations found" false (Checker.ok r);
+        let mentions_phase1 =
+          List.exists
+            (fun (v : Checker.violation) ->
+              let re = Str.regexp_string "before the phase-1" in
+              try
+                ignore (Str.search_forward re v.message 0);
+                true
+              with Not_found -> false)
+            r.violations
+        in
+        Alcotest.(check bool) "decide-after-persist fired" true
+          mentions_phase1);
+    Alcotest.test_case "dirty read obliges a flush before CAS" `Quick
+      (fun () ->
+        let ev seq op = { Trace.seq; domain = 1; op } in
+        let dirty = Flags.set_dirty 7 in
+        let bad =
+          [|
+            ev 0 (Trace.Write { addr = 10; value = dirty });
+            ev 1 (Trace.Read { addr = 10; value = dirty });
+            ev 2 (Trace.Cas { addr = 12; expected = 0; desired = 5; witnessed = 0 });
+          |]
+        in
+        let r = Checker.run hand_protocol bad in
+        Alcotest.(check int) "one violation" 1 (List.length r.violations);
+        let good =
+          [|
+            ev 0 (Trace.Write { addr = 10; value = dirty });
+            ev 1 (Trace.Read { addr = 10; value = dirty });
+            ev 2 (Trace.Clwb { addr = 10 });
+            ev 3 (Trace.Cas { addr = 12; expected = 0; desired = 5; witnessed = 0 });
+          |]
+        in
+        Alcotest.(check bool) "flush discharges" true
+          (Checker.ok (Checker.run hand_protocol good));
+        (* descriptor-area reads are exempt (helping reads the pool) *)
+        let desc =
+          [|
+            ev 0 (Trace.Write { addr = 3; value = dirty });
+            ev 1 (Trace.Read { addr = 3; value = dirty });
+            ev 2 (Trace.Cas { addr = 12; expected = 0; desired = 5; witnessed = 0 });
+          |]
+        in
+        Alcotest.(check bool) "desc read exempt" true
+          (Checker.ok (Checker.run hand_protocol desc)));
+    Alcotest.test_case "replay divergence is reported" `Quick (fun () ->
+        let ev seq op = { Trace.seq; domain = 1; op } in
+        let r =
+          Checker.run hand_protocol
+            [| ev 0 (Trace.Read { addr = 10; value = 99 }) |]
+        in
+        Alcotest.(check bool) "not ok" false (Checker.ok r));
+  ]
+
+(* --- sharded stats ----------------------------------------------------- *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "per-domain shards merge on read" `Quick (fun () ->
+        let m = sim 64 in
+        let per_domain = 500 in
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                for i = 0 to per_domain - 1 do
+                  ignore (Mem.cas m (i mod 64) ~expected:0 ~desired:0);
+                  Mem.clwb m (i mod 64);
+                  Mem.fence m
+                done))
+        |> List.iter Domain.join;
+        let s = Nvram.Stats.snapshot (Mem.stats m) in
+        Alcotest.(check int) "cases" (4 * per_domain) s.cases;
+        Alcotest.(check int) "flushes" (4 * per_domain) s.flushes;
+        Alcotest.(check int) "fences" (4 * per_domain) s.fences);
+  ]
+
+let () =
+  Alcotest.run "backend"
+    [
+      ("dram", dram_tests);
+      ("equivalence", equivalence_tests);
+      ("clwb_range", clwb_range_tests);
+      ("trace", trace_tests);
+      ("crash_image", crash_image_tests);
+      ("checker", checker_tests);
+      ("stats", stats_tests);
+    ]

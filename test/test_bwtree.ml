@@ -431,7 +431,7 @@ let crash_tests =
              with Mem.Crash -> ());
             let img =
               Mem.crash_image ~evict_prob:0.4
-                ~rng:(Random.State.make [| fuel + 1 |])
+                ~seed:(fuel + 1)
                 env.mem
             in
             let env', t', _ = recover_env env img in
@@ -474,7 +474,7 @@ let crash_tests =
              with Mem.Crash -> ());
             let img =
               Mem.crash_image ~evict_prob:0.3
-                ~rng:(Random.State.make [| fuel |])
+                ~seed:(fuel)
                 env.mem
             in
             let env', t', _ = recover_env env img in
@@ -513,7 +513,7 @@ let delete_storm_crash_tests =
              with Mem.Crash -> ());
             let img =
               Mem.crash_image ~evict_prob:0.4
-                ~rng:(Random.State.make [| fuel |])
+                ~seed:(fuel)
                 env.mem
             in
             let env', t', _ = recover_env env img in

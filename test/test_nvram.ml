@@ -147,7 +147,7 @@ let mem_tests =
         Mem.write m 5 50;
         Mem.write m 40 41;
         let img =
-          Mem.crash_image ~evict_prob:1.0 ~rng:(Random.State.make [| 1 |]) m
+          Mem.crash_image ~evict_prob:1.0 ~seed:(1) m
         in
         Alcotest.(check int) "evicted line a" 50 (Mem.read img 5);
         Alcotest.(check int) "evicted line b" 41 (Mem.read img 40));
@@ -245,7 +245,7 @@ let prop_crash_values_were_written =
         ops;
       let img =
         Nvram.Mem.crash_image ~evict_prob:0.5
-          ~rng:(Random.State.make [| seed |])
+          ~seed:(seed)
           m
       in
       let ok = ref true in

@@ -250,7 +250,7 @@ let prop_crash_ownership =
           end)
         sizes;
       let img =
-        Mem.crash_image ~evict_prob:0.3 ~rng:(Random.State.make [| seed + 1 |])
+        Mem.crash_image ~evict_prob:0.3 ~seed:(seed + 1)
           mem
       in
       let t', _rolled =

@@ -651,7 +651,7 @@ let bank_crash_roundtrip ~workers ~fuel ~evict_seed ~evict_prob =
     List.iter Domain.join ds
   end;
   let img =
-    Mem.crash_image ~evict_prob ~rng:(Random.State.make [| evict_seed |])
+    Mem.crash_image ~evict_prob ~seed:(evict_seed)
       env.mem
   in
   let env', stats = recover_env env img in
@@ -725,7 +725,7 @@ let recovery_tests =
              with Mem.Crash -> ());
             let img =
               Mem.crash_image ~evict_prob:0.3
-                ~rng:(Random.State.make [| fuel + 1 |])
+                ~seed:(fuel + 1)
                 env.mem
             in
             let env', _stats = recover_env env img in
@@ -828,7 +828,7 @@ let prop_all_or_nothing =
          done
        with Mem.Crash -> ());
       let img =
-        Mem.crash_image ~evict_prob:0.5 ~rng:(Random.State.make [| seed + 1 |])
+        Mem.crash_image ~evict_prob:0.5 ~seed:(seed + 1)
           env.mem
       in
       let _env', _ = recover_env env img in

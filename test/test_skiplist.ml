@@ -325,7 +325,7 @@ let pm_crash_tests =
              with Mem.Crash -> ());
             let img =
               Mem.crash_image ~evict_prob:0.4
-                ~rng:(Random.State.make [| fuel + 1 |])
+                ~seed:(fuel + 1)
                 env.mem
             in
             let env', t', _ = recover_env env img in
