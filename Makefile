@@ -1,4 +1,4 @@
-.PHONY: all check test bench clean
+.PHONY: all check test bench sweep clean
 
 all:
 	dune build
@@ -11,6 +11,13 @@ test:
 
 bench:
 	dune exec bench/main.exe -- all
+
+# Full crash-point sweep across every suite (~1200 points), plus the
+# sabotage self-test that proves the sweeper can see a broken protocol.
+sweep:
+	dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 300 --seeds 2
+	dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 200 \
+	  --seeds 1 --sabotage
 
 clean:
 	dune clean

@@ -165,6 +165,117 @@ let trace_check ?dump workers ops =
   end
   else 1
 
+(* --- crash-sweep: exhaustive crash-point sweep over the suites -------- *)
+
+let crash_sweep suite budget evict seeds domains trace sabotage =
+  let module Cs = Harness.Crash_sweep in
+  let suites =
+    if suite = "all" then Harness.Sweep_suites.all ()
+    else
+      match Harness.Sweep_suites.find suite with
+      | Some s -> [ s ]
+      | None ->
+          Printf.eprintf "unknown suite %S (try all|bank|palloc|skiplist|bwtree)\n"
+            suite;
+          exit 2
+  in
+  let evict_seeds = List.init (max 0 seeds) (fun i -> i + 1) in
+  let sweep_one (s : Cs.spec) =
+    let progress ~done_ ~total =
+      if done_ mod 64 = 0 || done_ = total then
+        Printf.printf "\r%-9s %4d/%-4d points%!" s.name done_ total
+    in
+    let sum =
+      Cs.sweep ~budget ~evict_prob:evict ~evict_seeds ~trace ~domains
+        ~progress s
+    in
+    Printf.printf "\r%-30s\r%!" "";
+    sum
+  in
+  let run_all () = List.map sweep_one suites in
+  let summaries =
+    if sabotage then Cs.with_sabotaged_precommit run_all else run_all ()
+  in
+  Harness.Table.print ~title:"crash-point sweep"
+    ~header:
+      [
+        "suite"; "steps"; "points"; "crashed"; "images"; "rolled-fwd";
+        "rolled-back"; "failures"; "secs";
+      ]
+    (List.map
+       (fun (s : Cs.summary) ->
+         [
+           s.suite;
+           string_of_int s.total_steps;
+           string_of_int s.points;
+           string_of_int s.crashes;
+           string_of_int s.images;
+           string_of_int s.rolled_forward;
+           string_of_int s.rolled_back;
+           string_of_int (List.length s.failures);
+           Printf.sprintf "%.1f" s.seconds;
+         ])
+       summaries);
+  print_newline ();
+  let phase_rows =
+    List.filter_map
+      (fun p ->
+        let row =
+          List.map
+            (fun (s : Cs.summary) ->
+              match List.assoc_opt p s.by_phase with
+              | Some n -> string_of_int n
+              | None -> "0")
+            summaries
+        in
+        if List.for_all (( = ) "0") row then None
+        else Some (Nvram.Stats.phase_name p :: row))
+      Nvram.Stats.all_phases
+  in
+  Harness.Table.print ~title:"crash points by protocol phase"
+    ~header:("phase" :: List.map (fun (s : Cs.summary) -> s.suite) summaries)
+    phase_rows;
+  List.iter
+    (fun (s : Cs.summary) ->
+      List.iter
+        (fun f ->
+          Printf.printf "%s FAILURE %s\n" s.suite
+            (Format.asprintf "%a" Cs.pp_failure f))
+        s.failures)
+    summaries;
+  let total_points =
+    List.fold_left (fun n (s : Cs.summary) -> n + s.points) 0 summaries
+  in
+  let failed = List.exists (fun (s : Cs.summary) -> s.failures <> []) summaries in
+  if sabotage then
+    (* Self-test: the sweeper must catch the dropped precommit flush and
+       shrink at least one failure to a concrete repro. *)
+    let detected =
+      List.exists
+        (fun (s : Cs.summary) ->
+          List.exists (fun f -> f.Cs.shrunk <> None) s.failures)
+        summaries
+    in
+    if detected then begin
+      Printf.printf
+        "sabotage self-test: violation detected and shrunk (%d points)\n"
+        total_points;
+      0
+    end
+    else begin
+      Printf.printf
+        "sabotage self-test: NO violation detected across %d points — the \
+         sweeper is not sensitive enough\n"
+        total_points;
+      1
+    end
+  else if failed then 1
+  else begin
+    Printf.printf "%d crash points swept, all recovered consistently\n"
+      total_points;
+    0
+  end
+
 (* --- space: descriptor pool sizing ------------------------------------ *)
 
 let space threads max_words descs =
@@ -246,10 +357,69 @@ let space_cmd =
     (Cmd.info "space" ~doc:"Descriptor pool space requirements (Appendix B).")
     Term.(const space $ threads_t $ max_words_t $ descs_t)
 
+let suite_t =
+  Arg.(
+    value & opt string "all"
+    & info [ "suite" ]
+        ~doc:"Suite to sweep: all, bank, palloc, skiplist or bwtree.")
+
+let budget_t =
+  Arg.(
+    value & opt int 512
+    & info [ "budget" ]
+        ~doc:
+          "Max distinct crash points per suite (totals beyond it are \
+           stratified-sampled).")
+
+let seeds_t =
+  Arg.(
+    value & opt int 2
+    & info [ "seeds" ]
+        ~doc:"Eviction seeds per crash point (plus the no-eviction image).")
+
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~doc:"Worker domains to farm sweep points across.")
+
+let sweep_trace_t =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Also replay every crashed run through the persistence-ordering \
+           checker (slow).")
+
+let sabotage_t =
+  Arg.(
+    value & flag
+    & info [ "sabotage" ]
+        ~doc:
+          "Self-test: drop the precommit flushes and demand that the sweep \
+           detects the violation (exit 0 iff detected).")
+
+let sweep_evict_t =
+  Arg.(
+    value & opt float 0.25
+    & info [ "evict" ]
+        ~doc:"Eviction probability for the seeded crash images.")
+
+let crash_sweep_cmd =
+  Cmd.v
+    (Cmd.info "crash-sweep"
+       ~doc:
+         "Self-calibrating exhaustive crash-point sweep: run each suite \
+          once to count its stores, then crash it at every store boundary \
+          (or a stratified sample), recover every image and check \
+          durable-prefix semantics.")
+    Term.(
+      const crash_sweep $ suite_t $ budget_t $ sweep_evict_t $ seeds_t
+      $ domains_t $ sweep_trace_t $ sabotage_t)
+
 let main =
   Cmd.group
     (Cmd.info "pmwcas_cli" ~version:"1.0"
        ~doc:"PMwCAS demos and utilities (Easy Lock-Free Indexing in NVRAM).")
-    [ crash_demo_cmd; torture_cmd; trace_check_cmd; space_cmd ]
+    [ crash_demo_cmd; torture_cmd; trace_check_cmd; crash_sweep_cmd; space_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

@@ -7,10 +7,11 @@ type t = {
 }
 
 let header_words = 4 (* magic, nslots, max_words, max_threads *)
+let max_words_limit = 32
 
 let make ~line_words ~pool_base ~nslots ~max_words =
   if nslots <= 0 then invalid_arg "Layout.make: nslots <= 0";
-  if max_words <= 0 || max_words > 32 then
+  if max_words <= 0 || max_words > max_words_limit then
     invalid_arg "Layout.make: max_words out of range";
   let align a = (a + line_words - 1) / line_words * line_words in
   if pool_base <> align pool_base then

@@ -21,6 +21,13 @@ type t = private {
 val make :
   line_words:int -> pool_base:int -> nslots:int -> max_words:int -> t
 
+val header_words : int
+(** Words in the pool header (magic, nslots, max_words, max_threads). *)
+
+val max_words_limit : int
+(** Upper bound [make] accepts for [max_words]; attach-time header
+    validation checks against the same constant. *)
+
 val region_words : t -> int
 (** Total NVRAM words the pool occupies (header + slots). *)
 

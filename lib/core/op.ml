@@ -1,7 +1,15 @@
 module Mem = Nvram.Mem
 module Flags = Nvram.Flags
+module Stats = Nvram.Stats
 
 exception Phase1_failed
+
+(* Crash-sweep self-test knob: drop the precommit flushes so the decision
+   can become durable before the phase-1 pointers are. A sweeping harness
+   that cannot flag this is not testing anything (see
+   Harness.Crash_sweep). Never set outside tests and the CLI. *)
+let sabotage_precommit = Atomic.make false
+let set_sabotage_skip_precommit_flush b = Atomic.set sabotage_precommit b
 
 (* Descriptor-pointer words, with the dirty bit elided in volatile mode. *)
 let desc_clean slot = slot lor Flags.mwcas
@@ -88,6 +96,12 @@ let rec install_rdcss t ~slot ~k ~addr ~old_v =
 let rec help t ~slot =
   let mem = Pool.mem t in
   let persistent = Pool.persistent t in
+  (* Phase labels for crash classification. Saved and restored so nested
+     helping keeps the outer label on return; an injected crash skips the
+     restore and freezes the label (see Nvram.Stats). *)
+  let stats = Mem.stats mem in
+  let prev_phase = Stats.current_phase stats in
+  Stats.set_phase stats Stats.Install;
   let count = Mem.read mem (Layout.count_addr slot) in
   let order = sorted_order t ~slot ~count in
   (* Phase 1: install descriptor pointers in address order. *)
@@ -123,12 +137,18 @@ let rec help t ~slot =
   (* Precommit: persist the installed pointers, then durably decide. The
      decision must not become visible before every Phase 1 write is
      durable, or recovery could roll forward over unpersisted state. *)
-  if persistent && !st = Layout.status_succeeded then
+  Stats.set_phase stats Stats.Precommit;
+  if
+    persistent
+    && !st = Layout.status_succeeded
+    && not (Atomic.get sabotage_precommit)
+  then
     Array.iter
       (fun k ->
         let addr, _, _ = entry_fields t ~slot ~k in
         Pcas.persist mem addr (Layout.desc_ptr slot))
       order;
+  Stats.set_phase stats Stats.Decide;
   let status_a = Layout.status_addr slot in
   let decided = if persistent then Flags.set_dirty !st else !st in
   ignore (Mem.cas mem status_a ~expected:Layout.status_undecided ~desired:decided);
@@ -139,6 +159,7 @@ let rec help t ~slot =
   let final = Flags.clear_dirty (Mem.read mem status_a) in
   let succeeded = final = Layout.status_succeeded in
   (* Phase 2: swap in the final values (or roll back to the old ones). *)
+  Stats.set_phase stats Stats.Apply;
   let expected_dirty = desc_word t slot and expected_clean = desc_clean slot in
   Array.iter
     (fun k ->
@@ -157,6 +178,7 @@ let rec help t ~slot =
         && (witnessed = expected_dirty || witnessed = expected_clean)
       then Pcas.persist mem addr v_inst)
     order;
+  Stats.set_phase stats prev_phase;
   succeeded
 
 (* pmwcas_read (Algorithm 3): never expose descriptor pointers or

@@ -38,3 +38,12 @@ val help : Pool.t -> slot:int -> bool
 (** Drive the PMwCAS whose descriptor sits at [slot] to completion
     (exposed for tests; [read] and [execute] call it internally).
     Must be called inside an epoch. *)
+
+(**/**)
+
+val set_sabotage_skip_precommit_flush : bool -> unit
+(** Debug knob for the crash-sweep self-test: when set, [help] skips the
+    precommit flushes, breaking the durability ordering the protocol
+    relies on. {!Harness.Crash_sweep} must detect the resulting
+    durable-prefix violations — if it does not, the sweeper is broken.
+    Global and racy by design; never set outside tests and the CLI. *)

@@ -1,5 +1,6 @@
 module Mem = Nvram.Mem
 module Flags = Nvram.Flags
+module Stats = Nvram.Stats
 
 let magic = 0x93_19_ca_50
 
@@ -45,16 +46,17 @@ type descriptor = {
 let default_max_words = 8
 let default_descs_per_thread = 32
 
-let region_words ?(max_words = default_max_words)
+let region_words ?(line_words = 8) ?(max_words = default_max_words)
     ?(descs_per_thread = default_descs_per_thread) ~max_threads () =
   let lay =
-    Layout.make ~line_words:8 ~pool_base:0
+    Layout.make ~line_words ~pool_base:0
       ~nslots:(max_threads * descs_per_thread)
       ~max_words
   in
   Layout.region_words lay
 
 let clwb_if t a = if t.persistent then Mem.clwb t.mem a
+let clwb_range_if t ~lo ~hi = if t.persistent then Mem.clwb_range t.mem ~lo ~hi
 
 (* Flush every line of the slot that holds live content: the header fields
    plus entries 0..count-1. *)
@@ -107,12 +109,14 @@ let create ?persistent ?(max_words = default_max_words)
   Mem.write mem (base + 1) nslots;
   Mem.write mem (base + 2) max_words;
   Mem.write mem (base + 3) max_threads;
-  clwb_if t base;
+  (* Four header words: on devices with lines shorter than the header a
+     single clwb of [base] would leave the tail words volatile-only. *)
+  clwb_range_if t ~lo:base ~hi:(base + Layout.header_words - 1);
   for i = 0 to nslots - 1 do
     let slot = Layout.slot_off lay i in
     Mem.write mem (Layout.status_addr slot) Layout.status_free;
     Mem.write mem (Layout.count_addr slot) 0;
-    clwb_if t slot
+    clwb_range_if t ~lo:slot ~hi:(Layout.count_addr slot)
   done;
   distribute_slots t;
   t
@@ -124,13 +128,30 @@ let attach ?palloc ?(callbacks = []) mem ~base =
   let nslots = Mem.read mem (base + 1) in
   let max_words = Mem.read mem (base + 2) in
   let max_threads = Mem.read mem (base + 3) in
-  if nslots <= 0 || max_threads <= 0 || nslots mod max_threads <> 0 then
-    failwith "Pool.attach: corrupt header";
+  (* Validate every header field here, before geometry construction: a
+     corrupt word must surface as a recognizable attach failure, not as
+     [Layout.make]'s generic [Invalid_argument] (or worse, as a plausible
+     layout scanning the wrong addresses). *)
+  let corrupt what =
+    failwith (Printf.sprintf "Pool.attach: corrupt header (%s)" what)
+  in
+  if nslots <= 0 then corrupt (Printf.sprintf "nslots %d" nslots);
+  if max_threads <= 0 then corrupt (Printf.sprintf "max_threads %d" max_threads);
+  if nslots mod max_threads <> 0 then
+    corrupt
+      (Printf.sprintf "nslots %d not divisible by max_threads %d" nslots
+         max_threads);
+  if max_words <= 0 || max_words > Layout.max_words_limit then
+    corrupt (Printf.sprintf "max_words %d out of range" max_words);
   let lay =
     Layout.make
       ~line_words:(Mem.config mem).line_words
       ~pool_base:base ~nslots ~max_words
   in
+  if base + Layout.region_words lay > Mem.size mem then
+    corrupt
+      (Printf.sprintf "pool of %d words exceeds the device"
+         (Layout.region_words lay));
   let t =
     build ?palloc ~persistent:true mem lay
       ~descs_per_thread:(nslots / max_threads) ~max_threads
@@ -249,6 +270,15 @@ let alloc_desc ?(callback = 0) h =
      (harmless). *)
   Mem.write t.mem (Layout.count_addr slot) 0;
   Mem.write t.mem (Layout.callback_addr slot) callback;
+  (* On devices whose lines are shorter than the three header words the
+     count/callback tail must be durable before the status line: were the
+     status flushed first, a crash in between would persist Undecided next
+     to the previous incarnation's callback id. With the common >= 4-word
+     line this branch vanishes and the whole header costs one flush. *)
+  let lw = (Mem.config t.mem).line_words in
+  if t.persistent && Layout.callback_addr slot / lw <> slot / lw then
+    Mem.clwb_range t.mem ~lo:(Layout.count_addr slot)
+      ~hi:(Layout.callback_addr slot);
   Mem.write t.mem (Layout.status_addr slot) Layout.status_undecided;
   clwb_if t slot;
   { dpool = t; hdl = h; slot; dlive = true; nentries = 0; has_reserved = false }
@@ -292,6 +322,17 @@ let append_entry ?(policy = Layout.None_) d ~addr ~expected ~desired =
   | None -> ());
   let k = d.nentries in
   write_entry d k ~addr ~expected ~desired ~policy;
+  (* The entry's words must be durable before any durable count covers
+     them. A descriptor spans several cache lines, and once the count is
+     written the count line can reach the persistent image at any moment
+     (eviction, or a later flush ordered ahead of this entry's tail
+     line); a crash image pairing the new count with this entry's
+     PREVIOUS-incarnation words would make recovery roll back a stale
+     entry — and free a live block under a Free_* policy. *)
+  if t.persistent then begin
+    let e = entry_base d k in
+    Mem.clwb_range t.mem ~lo:e ~hi:(Layout.policy_field e)
+  end;
   d.nentries <- k + 1;
   Mem.write t.mem (Layout.count_addr d.slot) d.nentries;
   k
@@ -303,8 +344,10 @@ let reserve_entry ?(policy = Layout.Free_new_on_failure) d ~addr ~expected =
   let k = append_entry ~policy d ~addr ~expected ~desired:0 in
   d.has_reserved <- true;
   (* The reservation must be durable before the allocator can deliver into
-     it, so that recovery frees the delivered block when rolling back. *)
-  persist_desc d.dpool ~slot:d.slot ~count:d.nentries;
+     it, so that recovery frees the delivered block when rolling back.
+     [append_entry] already persisted the entry words; only the count line
+     is still volatile. *)
+  clwb_if d.dpool (Layout.count_addr d.slot);
   Layout.new_field (entry_base d k)
 
 let remove_word d ~addr =
@@ -377,6 +420,11 @@ let values_to_free ~succeeded entries =
    Either way no block is leaked, double-freed, or handed out while a
    replay could still free it. *)
 let finalize_slot ?(during_recovery = false) t ~slot ~succeeded =
+  (* Phase label for crash classification; deliberately not restored on
+     exception so an injected crash freezes it (see Nvram.Stats). *)
+  let stats = Mem.stats t.mem in
+  let prev_phase = Stats.current_phase stats in
+  Stats.set_phase stats Stats.Finalize;
   let count = Mem.read t.mem (Layout.count_addr slot) in
   let entries = Array.init count (fun k -> read_entry t ~slot ~k) in
   let cb = callback_fn t (Mem.read t.mem (Layout.callback_addr slot)) in
@@ -403,7 +451,8 @@ let finalize_slot ?(during_recovery = false) t ~slot ~succeeded =
   | [] -> ()
   | vs ->
       let p = get_palloc t in
-      List.iter (Palloc.enlist p) vs)
+      List.iter (Palloc.enlist p) vs);
+  Stats.set_phase stats prev_phase
 
 let make_free t ~slot ~part ~succeeded =
   finalize_slot t ~slot ~succeeded;

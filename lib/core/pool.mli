@@ -51,8 +51,16 @@ type callback = succeeded:bool -> entry array -> int list
 (** {1 Construction} *)
 
 val region_words :
-  ?max_words:int -> ?descs_per_thread:int -> max_threads:int -> unit -> int
-(** NVRAM words needed for a pool with these parameters. *)
+  ?line_words:int ->
+  ?max_words:int ->
+  ?descs_per_thread:int ->
+  max_threads:int ->
+  unit ->
+  int
+(** NVRAM words needed for a pool with these parameters. [line_words]
+    (default 8) must match the device the pool will live on — slot
+    strides are line-aligned, so sizing against the wrong line width
+    under-reserves on devices with longer lines. *)
 
 val create :
   ?persistent:bool ->
@@ -74,7 +82,10 @@ val attach : ?palloc:Palloc.t -> ?callbacks:callback list -> Nvram.Mem.t
   -> base:int -> t
 (** Re-open an already formatted pool (typically inside a crash image,
     before running [Recovery.run]). Callbacks are re-registered in order.
-    @raise Failure on bad magic.
+    Every header field is validated — a corrupt [nslots], [max_words] or
+    [max_threads], or a pool that would overrun the device, fails with a
+    ["Pool.attach: corrupt header (...)"] message naming the field.
+    @raise Failure on bad magic or a corrupt header.
     @raise Invalid_argument on a non-durable backend. *)
 
 (** {1 Threads} *)

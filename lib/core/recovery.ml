@@ -18,6 +18,9 @@ let refers_to_slot lay ~slot ~k w =
      | exception Invalid_argument _ -> false
 
 let run ?palloc ?(callbacks = []) mem ~base =
+  let stats_sh = Mem.stats mem in
+  let prev_phase = Nvram.Stats.current_phase stats_sh in
+  Nvram.Stats.set_phase stats_sh Nvram.Stats.Recovery;
   let pool = Pool.attach ?palloc ~callbacks mem ~base in
   let lay = Pool.layout pool in
   let in_flight = ref 0
@@ -48,6 +51,7 @@ let run ?palloc ?(callbacks = []) mem ~base =
       Pool.finalize_slot ~during_recovery:true pool ~slot ~succeeded:roll_forward
     end
   done;
+  Nvram.Stats.set_phase stats_sh prev_phase;
   ( pool,
     {
       scanned = lay.nslots;

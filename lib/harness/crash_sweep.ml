@@ -1,0 +1,309 @@
+module Mem = Nvram.Mem
+module Stats = Nvram.Stats
+
+type run = {
+  mem : Mem.t;
+  crashed : bool;
+  sweep_steps : int;
+  verify : Mem.t -> Pmwcas.Recovery.stats * string list;
+  check_trace : (unit -> string list) option;
+}
+
+type spec = {
+  name : string;
+  execute : traced:bool -> fuel:int option -> run;
+}
+
+type failure = {
+  fuel : int;
+  evict_seed : int option;
+  phase : Stats.phase;
+  reason : string;
+  shrunk : (int * int option) option;
+}
+
+type summary = {
+  suite : string;
+  total_steps : int;
+  points : int;
+  crashes : int;
+  images : int;
+  rolled_forward : int;
+  rolled_back : int;
+  by_phase : (Stats.phase * int) list;
+  failures : failure list;
+  seconds : float;
+}
+
+(* Per-worker accumulator; merged after the domains join. *)
+type acc = {
+  mutable a_points : int;
+  mutable a_crashes : int;
+  mutable a_images : int;
+  mutable a_fwd : int;
+  mutable a_back : int;
+  a_phases : int array;
+  mutable a_failures : failure list;
+}
+
+let new_acc () =
+  {
+    a_points = 0;
+    a_crashes = 0;
+    a_images = 0;
+    a_fwd = 0;
+    a_back = 0;
+    a_phases = Array.make (List.length Stats.all_phases) 0;
+    a_failures = [];
+  }
+
+let merge_acc a b =
+  a.a_points <- a.a_points + b.a_points;
+  a.a_crashes <- a.a_crashes + b.a_crashes;
+  a.a_images <- a.a_images + b.a_images;
+  a.a_fwd <- a.a_fwd + b.a_fwd;
+  a.a_back <- a.a_back + b.a_back;
+  Array.iteri (fun i n -> a.a_phases.(i) <- a.a_phases.(i) + n) b.a_phases;
+  a.a_failures <- a.a_failures @ b.a_failures
+
+let with_sabotaged_precommit f =
+  Pmwcas.Op.set_sabotage_skip_precommit_flush true;
+  Fun.protect ~finally:(fun () ->
+      Pmwcas.Op.set_sabotage_skip_precommit_flush false)
+    f
+
+(* Run once with no injection to learn the sweepable step count, and
+   insist the baseline image recovers clean — a suite whose own verify
+   rejects an uncrashed run would report nonsense failures. *)
+let calibrate spec =
+  let r = spec.execute ~traced:false ~fuel:None in
+  if r.crashed then
+    failwith (spec.name ^ ": calibration run crashed without injection");
+  (match r.verify (Mem.crash_image r.mem) with
+  | _, [] -> ()
+  | _, e :: _ -> failwith (spec.name ^ ": baseline image failed verify: " ^ e)
+  | exception e ->
+      failwith
+        (spec.name ^ ": baseline verify raised: " ^ Printexc.to_string e));
+  r.sweep_steps
+
+(* Fuel points: exhaustive below the budget, else one deterministic
+   sample per equal-width stratum so every region of the run stays
+   covered. *)
+let fuel_points ~total ~budget ~sample_seed =
+  if total <= budget then List.init total Fun.id
+  else begin
+    let rng = Random.State.make [| sample_seed; total; budget |] in
+    List.init budget (fun i ->
+        let lo = i * total / budget and hi = (i + 1) * total / budget in
+        lo + Random.State.int rng (max 1 (hi - lo)))
+  end
+
+let image ~evict_prob run = function
+  | None -> Mem.crash_image run.mem
+  | Some s -> Mem.crash_image ~evict_prob ~seed:s run.mem
+
+(* Violations of one crash image: the suite's own checks plus recovery
+   bookkeeping sanity. Any exception out of verify is itself a finding —
+   recovery must never die on a crash image. *)
+let check_image ~evict_prob run acc seed =
+  acc.a_images <- acc.a_images + 1;
+  match run.verify (image ~evict_prob run seed) with
+  | stats, errs ->
+      acc.a_fwd <- acc.a_fwd + stats.Pmwcas.Recovery.rolled_forward;
+      acc.a_back <- acc.a_back + stats.rolled_back;
+      let errs =
+        if stats.rolled_forward + stats.rolled_back <> stats.in_flight then
+          Printf.sprintf
+            "recovery stats inconsistent: %d forward + %d back <> %d \
+             in-flight"
+            stats.rolled_forward stats.rolled_back stats.in_flight
+          :: errs
+        else errs
+      in
+      if stats.in_flight > stats.scanned then
+        Printf.sprintf "recovery stats inconsistent: in_flight %d > scanned %d"
+          stats.in_flight stats.scanned
+        :: errs
+      else errs
+  | exception e -> [ "verify raised: " ^ Printexc.to_string e ]
+
+let eval_point ~trace ~evict_prob ~evict_seeds spec acc fuel =
+  acc.a_points <- acc.a_points + 1;
+  match spec.execute ~traced:trace ~fuel:(Some fuel) with
+  | exception e ->
+      (* The workload must absorb [Mem.Crash]; anything escaping is a
+         finding in its own right. *)
+      acc.a_failures <-
+        {
+          fuel;
+          evict_seed = None;
+          phase = Stats.App;
+          reason = "workload raised: " ^ Printexc.to_string e;
+          shrunk = None;
+        }
+        :: acc.a_failures
+  | run -> (
+      (* Same domain as the workload, so the sharded register is ours. *)
+      let phase = Stats.current_phase (Mem.stats run.mem) in
+      if run.crashed then begin
+        acc.a_crashes <- acc.a_crashes + 1;
+        let pi = Stats.phase_to_int phase in
+        acc.a_phases.(pi) <- acc.a_phases.(pi) + 1
+      end;
+      let fail seed reason =
+        acc.a_failures <-
+          { fuel; evict_seed = seed; phase; reason; shrunk = None }
+          :: acc.a_failures
+      in
+      List.iter
+        (fun seed ->
+          match check_image ~evict_prob run acc seed with
+          | [] -> ()
+          | errs -> fail seed (String.concat "; " errs))
+        (None :: List.map Option.some evict_seeds);
+      match run.check_trace with
+      | Some check when trace -> (
+          match check () with
+          | [] -> ()
+          | errs -> fail None ("trace: " ^ String.concat "; " errs)
+          | exception e ->
+              fail None ("trace check raised: " ^ Printexc.to_string e))
+      | _ -> ())
+
+(* Does [(fuel, seed)] still exhibit any violation? Used by the
+   shrinker, which cares only about fail/pass. *)
+let reproduces ~evict_prob spec ~fuel ~seed =
+  match spec.execute ~traced:false ~fuel:(Some fuel) with
+  | run when not run.crashed -> false
+  | run -> (
+      let acc = new_acc () in
+      match check_image ~evict_prob run acc seed with
+      | [] -> false
+      | _ -> true)
+  | exception _ -> true
+
+let replay spec ~fuel ?(evict_prob = 0.25) ?evict_seed () =
+  let run = spec.execute ~traced:false ~fuel:(Some fuel) in
+  if not run.crashed then [ "injector never fired at this fuel" ]
+  else check_image ~evict_prob run (new_acc ()) evict_seed
+
+(* Greedy shrink to a minimal (fuel, seed): drop the eviction seed if
+   the plain image already fails, then halve the fuel while the failure
+   persists, then walk down linearly. Bounded re-executions. *)
+let shrink ~evict_prob ?(budget = 48) spec (f : failure) =
+  let left = ref budget in
+  let try_point ~fuel ~seed =
+    !left > 0
+    &&
+    (decr left;
+     reproduces ~evict_prob spec ~fuel ~seed)
+  in
+  let seed =
+    if f.evict_seed <> None && try_point ~fuel:f.fuel ~seed:None then None
+    else f.evict_seed
+  in
+  let fuel = ref f.fuel in
+  let halving = ref true in
+  while !halving && !fuel > 0 do
+    let cand = !fuel / 2 in
+    if try_point ~fuel:cand ~seed then fuel := cand else halving := false
+  done;
+  let stepping = ref true in
+  while !stepping && !fuel > 0 && !left > 0 do
+    if try_point ~fuel:(!fuel - 1) ~seed then decr fuel else stepping := false
+  done;
+  { f with shrunk = Some (!fuel, seed) }
+
+let sweep ?(budget = 512) ?(evict_prob = 0.25) ?(evict_seeds = [ 1; 2 ])
+    ?(trace = false) ?(sample_seed = 0xC0FFEE) ?(domains = 1)
+    ?(max_shrunk = 3) ?progress spec =
+  let t0 = Unix.gettimeofday () in
+  let total = calibrate spec in
+  let points =
+    Array.of_list (fuel_points ~total ~budget:(max 1 budget) ~sample_seed)
+  in
+  let n = Array.length points in
+  let domains = max 1 (min domains (max 1 n)) in
+  let done_count = Atomic.make 0 in
+  (* Round-robin chunks; each worker owns its points end to end so the
+     phase register it reads is the one its own workload wrote. *)
+  let eval_chunk first =
+    let acc = new_acc () in
+    let i = ref first in
+    while !i < n do
+      eval_point ~trace ~evict_prob ~evict_seeds spec acc points.(!i);
+      Atomic.incr done_count;
+      (match progress with
+      | Some p when first = 0 -> p ~done_:(Atomic.get done_count) ~total:n
+      | _ -> ());
+      i := !i + domains
+    done;
+    acc
+  in
+  let acc =
+    if domains = 1 then eval_chunk 0
+    else begin
+      let workers =
+        List.init (domains - 1) (fun k ->
+            Domain.spawn (fun () -> eval_chunk (k + 1)))
+      in
+      let acc = eval_chunk 0 in
+      List.iter (fun d -> merge_acc acc (Domain.join d)) workers;
+      acc
+    end
+  in
+  let failures =
+    List.sort (fun a b -> compare (a.fuel, a.evict_seed) (b.fuel, b.evict_seed))
+      acc.a_failures
+    |> List.mapi (fun i f ->
+           if i < max_shrunk then shrink ~evict_prob spec f else f)
+  in
+  let by_phase =
+    List.filter_map
+      (fun p ->
+        let n = acc.a_phases.(Stats.phase_to_int p) in
+        if n = 0 then None else Some (p, n))
+      Stats.all_phases
+  in
+  {
+    suite = spec.name;
+    total_steps = total;
+    points = acc.a_points;
+    crashes = acc.a_crashes;
+    images = acc.a_images;
+    rolled_forward = acc.a_fwd;
+    rolled_back = acc.a_back;
+    by_phase;
+    failures;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let ok s = s.failures = []
+
+let pp_seed ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some s -> Format.pp_print_int ppf s
+
+let pp_failure ppf f =
+  Format.fprintf ppf "fuel=%d seed=%a phase=%s: %s" f.fuel pp_seed
+    f.evict_seed (Stats.phase_name f.phase) f.reason;
+  match f.shrunk with
+  | None -> ()
+  | Some (fuel, seed) ->
+      Format.fprintf ppf " [shrunk to fuel=%d seed=%a]" fuel pp_seed seed
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%s: %d steps, %d points (%d crashed), %d images, rolled forward %d / \
+     back %d, %.2fs"
+    s.suite s.total_steps s.points s.crashes s.images s.rolled_forward
+    s.rolled_back s.seconds;
+  List.iter
+    (fun (p, n) -> Format.fprintf ppf "@.  phase %-10s %d" (Stats.phase_name p) n)
+    s.by_phase;
+  match s.failures with
+  | [] -> Format.fprintf ppf "@.  no failures"
+  | fs ->
+      Format.fprintf ppf "@.  %d FAILURES" (List.length fs);
+      List.iter (fun f -> Format.fprintf ppf "@.  %a" pp_failure f) fs

@@ -1,0 +1,114 @@
+(** Exhaustive crash-point sweep harness.
+
+    The fault injector ({!Nvram.Mem.inject_crash_after}) crashes a
+    workload after an exact number of mutating memory operations, and the
+    step counter ({!Nvram.Mem.steps}) reports how many such operations a
+    workload performs — so instead of probing a handful of hand-picked
+    fuel values, a suite can be swept {e self-calibratingly} across every
+    store boundary it ever crosses:
+
+    + run the workload once, uninjected, and read the step total;
+    + for every fuel value below the total (or a stratified sample when
+      the total exceeds the budget), run the workload to [Mem.Crash];
+    + classify the crash point by protocol phase (the per-domain phase
+      register in {!Nvram.Stats} is frozen by the injected exception);
+    + extract deterministic crash images — one with no eviction, one per
+      eviction seed — and push each through allocator recovery,
+      [Recovery.run] and re-attach;
+    + check that (a) the recovery stats are sane, (b) the structure's own
+      invariants hold, and (c) the {e durable prefix} is exact: every
+      acknowledged operation is present and nothing else is, except
+      possibly the single operation in flight at the crash.
+
+    A failing point is shrunk to a minimal [(fuel, evict seed)] pair so
+    the repro can be pasted into a unit test. Suites live in
+    {!Sweep_suites}; the [crash-sweep] CLI subcommand drives them. *)
+
+type run = {
+  mem : Nvram.Mem.t;
+      (** The device the workload ran on (still armed if it crashed). *)
+  crashed : bool;  (** Whether [Mem.Crash] was raised. *)
+  sweep_steps : int;
+      (** Mutating operations performed after the injector's arm point —
+          the sweepable range. Meaningful only for uncrashed runs. *)
+  verify : Nvram.Mem.t -> Pmwcas.Recovery.stats * string list;
+      (** Recover the given crash image and check it; returns the
+          recovery stats plus a list of violations (empty = clean).
+          Exceptions are treated as violations by the driver. *)
+  check_trace : (unit -> string list) option;
+      (** When the run was traced: drain the event log through
+          {!Nvram.Checker} and report violations. *)
+}
+
+type spec = {
+  name : string;
+  execute : traced:bool -> fuel:int option -> run;
+      (** Build a fresh device, arm the injector with [fuel] {e after}
+          setup, run the seeded single-domain workload (absorbing
+          [Mem.Crash]), and return the run. Must be deterministic: equal
+          [fuel] must crash at the identical point. *)
+}
+
+type failure = {
+  fuel : int;
+  evict_seed : int option;  (** [None] — the no-eviction image. *)
+  phase : Nvram.Stats.phase;  (** Protocol phase at the crash point. *)
+  reason : string;
+  shrunk : (int * int option) option;
+      (** Minimal [(fuel, evict_seed)] still reproducing the failure. *)
+}
+
+type summary = {
+  suite : string;
+  total_steps : int;  (** Calibrated sweepable step count. *)
+  points : int;  (** Distinct fuel values swept. *)
+  crashes : int;  (** Points at which the injector actually fired. *)
+  images : int;  (** Crash images recovered and checked. *)
+  rolled_forward : int;  (** Summed over all recoveries. *)
+  rolled_back : int;
+  by_phase : (Nvram.Stats.phase * int) list;
+      (** Crash points per protocol phase (phases with zero hits
+          omitted). *)
+  failures : failure list;
+  seconds : float;
+}
+
+val sweep :
+  ?budget:int ->
+  ?evict_prob:float ->
+  ?evict_seeds:int list ->
+  ?trace:bool ->
+  ?sample_seed:int ->
+  ?domains:int ->
+  ?max_shrunk:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  spec ->
+  summary
+(** Calibrate, then sweep. [budget] (default 512) caps the number of
+    distinct fuel points; totals beyond it are sampled one point per
+    equal-width stratum, seeded by [sample_seed]. Each point is checked
+    on a no-eviction image plus one image per seed in [evict_seeds]
+    (default [[1; 2]]) at [evict_prob] (default [0.25]). [trace] wraps
+    every run in {!Nvram.Mem.traced} and replays the log through the
+    ordering checker (slow; off by default). [domains] (default 1) farms
+    points across that many worker domains — each worker executes its
+    points end to end, so the per-domain phase register stays coherent.
+    The first [max_shrunk] (default 3) failures are shrunk to minimal
+    repros. [progress] is called from the coordinating domain.
+
+    @raise Failure if the uninjected calibration run crashes or its
+    no-eviction image fails verification. *)
+
+val replay : spec -> fuel:int -> ?evict_prob:float -> ?evict_seed:int
+  -> unit -> string list
+(** Re-run a single [(fuel, evict_seed)] point — the repro a shrunken
+    failure names — and return its violations. *)
+
+val with_sabotaged_precommit : (unit -> 'a) -> 'a
+(** Run [f] with {!Pmwcas.Op.set_sabotage_skip_precommit_flush} enabled,
+    restoring it afterwards — the sweeper self-test: a sweep under this
+    wrapper must report failures, or the harness is vacuous. *)
+
+val ok : summary -> bool
+val pp_failure : Format.formatter -> failure -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,490 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Recovery = Pmwcas.Recovery
+
+let align8 a = (a + 7) / 8 * 8
+
+(* A word that recovery has finished with must hold a plain payload:
+   descriptor pointers surviving recovery are themselves violations. *)
+let clean_word img a errs =
+  let v = Mem.read img a in
+  if Flags.is_rdcss v || Flags.is_mwcas v then begin
+    errs :=
+      Printf.sprintf "word %d still holds a descriptor pointer (%#x)" a v
+      :: !errs;
+    0
+  end
+  else Flags.clear_dirty v
+
+let violations_of_report report =
+  if Nvram.Checker.ok report then []
+  else
+    List.map
+      (fun v -> Format.asprintf "%a" Nvram.Checker.pp_violation v)
+      report.Nvram.Checker.violations
+
+(* Build the traced/untraced device, hand it to [f] for setup, then arm
+   the injector and run [work] absorbing the injected crash. *)
+let run_workload ~traced ~fuel ~words ~setup ~work ~finish =
+  let mem = Mem.create (Nvram.Config.make ~words ()) in
+  let mem = if traced then Mem.traced mem else mem in
+  let state = setup mem in
+  let steps0 = Mem.steps mem in
+  let crashed =
+    try
+      (match fuel with Some f -> Mem.inject_crash_after mem f | None -> ());
+      work mem state;
+      Mem.disarm mem;
+      false
+    with Mem.Crash -> true
+  in
+  finish mem state ~crashed ~sweep_steps:(Mem.steps mem - steps0)
+
+(* {1 bank} — raw multi-word PMwCAS transfers between account words. *)
+
+let bank ?(accounts = 12) ?(ops = 150) ?(seed = 42) () =
+  let max_threads = 2 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let acc_base = align8 pool_words in
+  let words = align8 (acc_base + accounts) in
+  let initial = 100 in
+  let execute ~traced ~fuel =
+    let model = Array.make accounts initial in
+    let pending = ref None in
+    let pool_ref = ref None in
+    let setup mem =
+      let pool = Pool.create mem ~base:0 ~max_threads in
+      pool_ref := Some pool;
+      let h = Pool.register pool in
+      for i = 0 to accounts - 1 do
+        Mem.write mem (acc_base + i) initial
+      done;
+      Mem.persist_all mem;
+      h
+    in
+    let work _mem h =
+      let rng = Random.State.make [| seed |] in
+      for _ = 1 to ops do
+        let i = Random.State.int rng accounts in
+        let j = (i + 1 + Random.State.int rng (accounts - 1)) mod accounts in
+        let vi = Op.read_with h (acc_base + i) in
+        let vj = Op.read_with h (acc_base + j) in
+        let amt = min (1 + Random.State.int rng 10) vi in
+        if amt > 0 then begin
+          pending := Some (i, j, amt);
+          let d = Pool.alloc_desc h in
+          Pool.add_word d ~addr:(acc_base + i) ~expected:vi
+            ~desired:(vi - amt);
+          Pool.add_word d ~addr:(acc_base + j) ~expected:vj
+            ~desired:(vj + amt);
+          if not (Op.execute d) then
+            failwith "bank: single-domain PMwCAS failed";
+          model.(i) <- model.(i) - amt;
+          model.(j) <- model.(j) + amt;
+          pending := None
+        end
+      done
+    in
+    let finish mem _h ~crashed ~sweep_steps =
+      let candidates =
+        let base = Array.copy model in
+        match !pending with
+        | None -> [ base ]
+        | Some (i, j, amt) ->
+            let applied = Array.copy base in
+            applied.(i) <- applied.(i) - amt;
+            applied.(j) <- applied.(j) + amt;
+            [ base; applied ]
+      in
+      let verify img =
+        let _pool, stats = Recovery.run img ~base:0 in
+        let errs = ref [] in
+        let got =
+          Array.init accounts (fun k -> clean_word img (acc_base + k) errs)
+        in
+        if not (List.exists (fun c -> c = got) candidates) then
+          errs :=
+            Printf.sprintf
+              "balances [%s] match neither the acked model nor acked+pending"
+              (String.concat ";"
+                 (Array.to_list (Array.map string_of_int got)))
+            :: !errs;
+        let sum = Array.fold_left ( + ) 0 got in
+        if sum <> accounts * initial then
+          errs :=
+            Printf.sprintf "sum %d <> %d: money created or destroyed" sum
+              (accounts * initial)
+            :: !errs;
+        (stats, List.rev !errs)
+      in
+      let check_trace =
+        match !pool_ref with
+        | Some pool when Mem.trace (Pool.mem pool) <> None ->
+            Some (fun () -> violations_of_report (Trace_check.check pool))
+        | _ -> None
+      in
+      Crash_sweep.{ mem; crashed; sweep_steps; verify; check_trace }
+    in
+    run_workload ~traced ~fuel ~words ~setup ~work ~finish
+  in
+  Crash_sweep.{ name = "bank"; execute }
+
+(* {1 palloc_policies} — ReserveEntry ownership transfer in and out of
+   pointer slots, exercising FreeNewOnFailure and FreeOldOnSuccess. *)
+
+let palloc_policies ?(slots = 8) ?(ops = 120) ?(seed = 7) () =
+  let max_threads = 2 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let heap_words = 1 lsl 12 in
+  let slots_base = align8 (heap_base + heap_words) in
+  let words = align8 (slots_base + slots) in
+  let execute ~traced ~fuel =
+    let model = Array.make slots None in
+    let pending = ref None in
+    let pool_ref = ref None in
+    let setup mem =
+      let palloc =
+        Palloc.create mem ~base:heap_base ~words:heap_words ~max_threads
+      in
+      let pool = Pool.create ~palloc mem ~base:0 ~max_threads in
+      pool_ref := Some pool;
+      let h = Pool.register pool in
+      let ph = Palloc.register_thread palloc in
+      Mem.persist_all mem;
+      (h, ph)
+    in
+    let work mem (h, ph) =
+      let rng = Random.State.make [| seed |] in
+      for i = 1 to ops do
+        let s = Random.State.int rng slots in
+        let a = slots_base + s in
+        let cur = Op.read_with h a in
+        if cur = 0 then begin
+          let stamp = 0x1000 + i in
+          pending := Some (s, `Put stamp);
+          let d = Pool.alloc_desc h in
+          let dest =
+            Pool.reserve_entry ~policy:Pmwcas.Layout.Free_new_on_failure d
+              ~addr:a ~expected:0
+          in
+          let blk = Palloc.alloc ph ~nwords:4 ~dest in
+          Mem.write mem blk stamp;
+          Mem.clwb mem blk;
+          if not (Op.execute d) then
+            failwith "palloc_policies: single-domain put failed";
+          model.(s) <- Some stamp
+        end
+        else begin
+          pending := Some (s, `Clear);
+          let d = Pool.alloc_desc h in
+          Pool.add_word ~policy:Pmwcas.Layout.Free_old_on_success d ~addr:a
+            ~expected:cur ~desired:0;
+          if not (Op.execute d) then
+            failwith "palloc_policies: single-domain clear failed";
+          model.(s) <- None
+        end;
+        pending := None
+      done
+    in
+    let finish mem _state ~crashed ~sweep_steps =
+      let candidates =
+        let base = Array.copy model in
+        match !pending with
+        | None -> [ base ]
+        | Some (s, op) ->
+            let applied = Array.copy base in
+            (applied.(s) <-
+               (match op with `Put stamp -> Some stamp | `Clear -> None));
+            [ base; applied ]
+      in
+      let verify img =
+        let palloc, _rolled_back =
+          Palloc.recover img ~base:heap_base ~words:heap_words ~max_threads
+        in
+        let _pool, stats = Recovery.run ~palloc img ~base:0 in
+        let errs = ref [] in
+        let got =
+          Array.init slots (fun s -> clean_word img (slots_base + s) errs)
+        in
+        let matches cand =
+          let ok = ref true in
+          Array.iteri
+            (fun s expect ->
+              match (expect, got.(s)) with
+              | None, 0 -> ()
+              | Some stamp, p when p <> 0 ->
+                  if Mem.read img p <> stamp then ok := false
+              | _ -> ok := false)
+            cand;
+          !ok
+        in
+        (match List.find_opt matches candidates with
+        | None ->
+            errs :=
+              "slot contents match neither the acked model nor acked+pending"
+              :: !errs
+        | Some cand ->
+            let occupied =
+              Array.fold_left
+                (fun n -> function Some _ -> n + 1 | None -> n)
+                0 cand
+            in
+            let audit = Palloc.audit palloc in
+            if audit.Palloc.allocated_blocks <> occupied then
+              errs :=
+                Printf.sprintf "heap leak: %d blocks allocated, %d slots \
+                                occupied"
+                  audit.Palloc.allocated_blocks occupied
+                :: !errs;
+            if audit.Palloc.in_flight <> 0 then
+              errs :=
+                Printf.sprintf "%d activation records still in flight"
+                  audit.Palloc.in_flight
+                :: !errs);
+        (stats, List.rev !errs)
+      in
+      let check_trace =
+        match !pool_ref with
+        | Some pool when Mem.trace (Pool.mem pool) <> None ->
+            Some (fun () -> violations_of_report (Trace_check.check pool))
+        | _ -> None
+      in
+      Crash_sweep.{ mem; crashed; sweep_steps; verify; check_trace }
+    in
+    run_workload ~traced ~fuel ~words ~setup ~work ~finish
+  in
+  Crash_sweep.{ name = "palloc"; execute }
+
+(* {1 skiplist} — the doubly-linked PMwCAS skip list under a mixed
+   insert/delete/update workload. *)
+
+let skiplist ?(keys = 48) ?(ops = 140) ?(seed = 3) () =
+  let module Pm = Skiplist.Pm in
+  let max_threads = 2 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let heap_words = 1 lsl 14 in
+  let anchor = align8 (heap_base + heap_words) in
+  let words = align8 (anchor + Pm.anchor_words) in
+  let execute ~traced ~fuel =
+    let model = Hashtbl.create 64 in
+    let pending = ref None in
+    let pool_ref = ref None in
+    let setup mem =
+      let palloc =
+        Palloc.create mem ~base:heap_base ~words:heap_words ~max_threads
+      in
+      let pool = Pool.create ~palloc mem ~base:0 ~max_threads in
+      pool_ref := Some pool;
+      let t = Pm.create ~pool ~palloc ~anchor () in
+      Pm.register ~seed:(seed + 1) t
+    in
+    let work _mem h =
+      let rng = Random.State.make [| seed |] in
+      for i = 1 to ops do
+        let k = 1 + Random.State.int rng keys in
+        match Random.State.int rng 3 with
+        | 0 ->
+            let v = (k * 100) + i in
+            pending := Some (`Insert (k, v));
+            if Pm.insert h ~key:k ~value:v then Hashtbl.replace model k v;
+            pending := None
+        | 1 ->
+            pending := Some (`Delete k);
+            if Pm.delete h ~key:k then Hashtbl.remove model k;
+            pending := None
+        | _ ->
+            let v = (k * 100) + i in
+            pending := Some (`Update (k, v));
+            if Pm.update h ~key:k ~value:v then Hashtbl.replace model k v;
+            pending := None
+      done
+    in
+    let finish mem _h ~crashed ~sweep_steps =
+      let bindings tbl =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort compare
+      in
+      let candidates =
+        let base = Hashtbl.copy model in
+        match !pending with
+        | None -> [ bindings base ]
+        | Some op ->
+            let applied = Hashtbl.copy base in
+            (match op with
+            | `Insert (k, v) ->
+                if not (Hashtbl.mem applied k) then Hashtbl.replace applied k v
+            | `Delete k -> Hashtbl.remove applied k
+            | `Update (k, v) ->
+                if Hashtbl.mem applied k then Hashtbl.replace applied k v);
+            [ bindings base; bindings applied ]
+      in
+      let verify img =
+        let palloc, _ =
+          Palloc.recover img ~base:heap_base ~words:heap_words ~max_threads
+        in
+        let pool, stats = Recovery.run ~palloc img ~base:0 in
+        let t = Pm.attach ~pool ~palloc ~anchor in
+        let h = Pm.register ~seed:99 t in
+        let errs = ref [] in
+        (try Pm.check_invariants h
+         with Failure m -> errs := ("invariants: " ^ m) :: !errs);
+        let recovered =
+          Pm.fold_range h ~lo:0 ~hi:(keys * 200) ~init:[]
+            ~f:(fun acc ~key ~value -> (key, value) :: acc)
+          |> List.rev
+        in
+        if not (List.exists (fun c -> c = recovered) candidates) then
+          errs :=
+            Printf.sprintf
+              "recovered contents (%d keys) match neither the acked model \
+               nor acked+pending"
+              (List.length recovered)
+            :: !errs;
+        let audit = Palloc.audit palloc in
+        (* Every allocated block is a reachable node or one of the two
+           sentinels — nothing leaked, nothing freed twice. *)
+        if audit.Palloc.allocated_blocks <> List.length recovered + 2 then
+          errs :=
+            Printf.sprintf "heap leak: %d blocks for %d nodes + 2 sentinels"
+              audit.Palloc.allocated_blocks (List.length recovered)
+            :: !errs;
+        (stats, List.rev !errs)
+      in
+      let check_trace =
+        match !pool_ref with
+        | Some pool when Mem.trace (Pool.mem pool) <> None ->
+            Some (fun () -> violations_of_report (Trace_check.check pool))
+        | _ -> None
+      in
+      Crash_sweep.{ mem; crashed; sweep_steps; verify; check_trace }
+    in
+    run_workload ~traced ~fuel ~words ~setup ~work ~finish
+  in
+  Crash_sweep.{ name = "skiplist"; execute }
+
+(* {1 bwtree} — put/remove with thresholds low enough that
+   consolidation, splits and merges all fire inside a small run. *)
+
+let bwtree ?(keys = 40) ?(ops = 120) ?(seed = 5) () =
+  let module Tree = Bwtree.Tree in
+  let module Node = Bwtree.Node in
+  let max_threads = 2 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let heap_words = 1 lsl 15 in
+  let anchor = align8 (heap_base + heap_words) in
+  let map_base = align8 (anchor + Tree.anchor_words) in
+  let map_words = 128 in
+  let words = align8 (map_base + map_words) in
+  let config = Tree.{ consolidate_len = 4; split_max = 8; merge_min = 1 } in
+  let execute ~traced ~fuel =
+    let model = Hashtbl.create 64 in
+    let pending = ref None in
+    let pool_ref = ref None in
+    let setup mem =
+      let palloc =
+        Palloc.create mem ~base:heap_base ~words:heap_words ~max_threads
+      in
+      let pool = Pool.create ~palloc mem ~base:0 ~max_threads in
+      pool_ref := Some pool;
+      let t =
+        Tree.create ~config ~pool ~palloc ~anchor ~map_base ~map_words ()
+      in
+      Tree.register t
+    in
+    let work _mem h =
+      let rng = Random.State.make [| seed |] in
+      for i = 1 to ops do
+        let k = 1 + Random.State.int rng keys in
+        if Random.State.int rng 3 = 0 then begin
+          pending := Some (`Remove k);
+          if Tree.remove h ~key:k then Hashtbl.remove model k;
+          pending := None
+        end
+        else begin
+          let v = (k * 100) + i in
+          pending := Some (`Put (k, v));
+          ignore (Tree.put h ~key:k ~value:v);
+          Hashtbl.replace model k v;
+          pending := None
+        end
+      done
+    in
+    let finish mem _h ~crashed ~sweep_steps =
+      let bindings tbl =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort compare
+      in
+      let candidates =
+        let base = Hashtbl.copy model in
+        match !pending with
+        | None -> [ bindings base ]
+        | Some op ->
+            let applied = Hashtbl.copy base in
+            (match op with
+            | `Put (k, v) -> Hashtbl.replace applied k v
+            | `Remove k -> Hashtbl.remove applied k);
+            [ bindings base; bindings applied ]
+      in
+      let verify img =
+        let palloc, _ =
+          Palloc.recover img ~base:heap_base ~words:heap_words ~max_threads
+        in
+        let pool, stats =
+          Recovery.run ~palloc
+            ~callbacks:[ Tree.recovery_callback img ]
+            img ~base:0
+        in
+        let t = Tree.attach ~pool ~palloc ~anchor in
+        let h = Tree.register t in
+        let errs = ref [] in
+        (try Tree.check_invariants h
+         with Failure m -> errs := ("invariants: " ^ m) :: !errs);
+        let recovered =
+          Tree.fold_range h ~lo:0 ~hi:(keys * 200) ~init:[]
+            ~f:(fun acc ~key ~value -> (key, value) :: acc)
+          |> List.rev
+        in
+        if not (List.exists (fun c -> c = recovered) candidates) then
+          errs :=
+            Printf.sprintf
+              "recovered contents (%d keys) match neither the acked model \
+               nor acked+pending"
+              (List.length recovered)
+            :: !errs;
+        (* Every heap block is reachable from the mapping table. *)
+        let reachable = ref 0 in
+        for lpid = 1 to map_words - 1 do
+          let v = Flags.payload (Mem.read img (map_base + lpid)) in
+          if v <> 0 then
+            reachable := !reachable + List.length (Node.chain_blocks img v)
+        done;
+        let audit = Palloc.audit palloc in
+        if audit.Palloc.allocated_blocks <> !reachable then
+          errs :=
+            Printf.sprintf "heap leak: %d blocks allocated, %d reachable"
+              audit.Palloc.allocated_blocks !reachable
+            :: !errs;
+        (stats, List.rev !errs)
+      in
+      let check_trace =
+        match !pool_ref with
+        | Some pool when Mem.trace (Pool.mem pool) <> None ->
+            Some (fun () -> violations_of_report (Trace_check.check pool))
+        | _ -> None
+      in
+      Crash_sweep.{ mem; crashed; sweep_steps; verify; check_trace }
+    in
+    run_workload ~traced ~fuel ~words ~setup ~work ~finish
+  in
+  Crash_sweep.{ name = "bwtree"; execute }
+
+let all () =
+  [ bank (); palloc_policies (); skiplist (); bwtree () ]
+
+let find name =
+  List.find_opt (fun s -> s.Crash_sweep.name = name) (all ())

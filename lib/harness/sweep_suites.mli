@@ -1,0 +1,31 @@
+(** Canonical workload suites for {!Crash_sweep}.
+
+    Each suite is a seeded, single-domain workload with a shadow model:
+    it tracks every acknowledged operation plus the single operation in
+    flight, so the sweep can check the {e durable prefix} — the
+    recovered structure must equal the model of the acknowledged
+    operations, or that model with the in-flight operation also applied,
+    and nothing else.
+
+    - [bank] — raw 2-word PMwCAS transfers between account words; the
+      recovered balances must match a prefix and conserve their sum.
+    - [palloc_policies] — reservation-based allocation into pointer
+      slots ([FreeNewOnFailure]) and clears ([FreeOldOnSuccess]); the
+      recovered heap must have exactly one block per occupied slot and
+      no in-flight activations.
+    - [skiplist] — insert/delete/update on the doubly-linked PMwCAS
+      skip list, with [check_invariants] and an exact leak check.
+    - [bwtree] — put/remove on the Bw-tree with aggressive
+      consolidation/split/merge thresholds, with [check_invariants] and
+      a reachable-blocks-vs-heap audit. *)
+
+val bank : ?accounts:int -> ?ops:int -> ?seed:int -> unit -> Crash_sweep.spec
+val palloc_policies : ?slots:int -> ?ops:int -> ?seed:int -> unit -> Crash_sweep.spec
+val skiplist : ?keys:int -> ?ops:int -> ?seed:int -> unit -> Crash_sweep.spec
+val bwtree : ?keys:int -> ?ops:int -> ?seed:int -> unit -> Crash_sweep.spec
+
+val all : unit -> Crash_sweep.spec list
+(** The four suites at their default sizes. *)
+
+val find : string -> Crash_sweep.spec option
+(** Look up a default-sized suite by name. *)

@@ -7,6 +7,7 @@ module type S = sig
   val size : t -> int
   val config : t -> Config.t
   val stats : t -> Stats.t
+  val steps : t -> int
   val durable : t -> bool
   val read : t -> int -> int
   val write : t -> int -> int -> unit

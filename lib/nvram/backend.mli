@@ -19,6 +19,10 @@ module type S = sig
   val config : t -> Config.t
   val stats : t -> Stats.t
 
+  val steps : t -> int
+  (** Completed mutating operations (write/CAS/clwb) since creation.
+      Backends that do not meter their hot path may return 0. *)
+
   val durable : t -> bool
   (** Whether [clwb]/[crash_image] model real persistence. [false] means
       the backend is volatile: flushes are free no-ops and nothing

@@ -12,6 +12,7 @@ let config t = t.cfg
 
 (* The lean backend does not meter the hot path; its stats stay zero. *)
 let stats t = t.stats
+let steps _ = 0
 let durable _ = false
 
 let check t a =

@@ -16,6 +16,10 @@ val create : Config.t -> t
 val size : t -> int
 val config : t -> Config.t
 val stats : t -> Stats.t
+
+val steps : t -> int
+(** Always 0 — this backend does not meter its hot path. *)
+
 val durable : t -> bool
 val read : t -> int -> int
 val write : t -> int -> int -> unit

@@ -53,6 +53,16 @@ let rec stats = function
   | Dram d -> Dram.stats d
   | Traced { inner; _ } -> stats inner
 
+let rec steps = function
+  | Simulated s -> Sim.steps s
+  | Dram d -> Dram.steps d
+  | Traced { inner; _ } -> steps inner
+
+let rec fuel_remaining = function
+  | Simulated s -> Sim.fuel_remaining s
+  | Dram _ -> None
+  | Traced { inner; _ } -> fuel_remaining inner
+
 let rec durable = function
   | Simulated s -> Sim.durable s
   | Dram d -> Dram.durable d

@@ -53,6 +53,12 @@ val size : t -> int
 val config : t -> Config.t
 val stats : t -> Stats.t
 
+val steps : t -> int
+(** Completed mutating operations (write/CAS/clwb) since creation across
+    all domains. The crash-sweep harness runs a workload once, reads the
+    total, and sweeps every fuel value below it — no fuel guessing.
+    Always 0 on the DRAM backend. *)
+
 val kind : t -> backend
 
 val durable : t -> bool
@@ -111,6 +117,11 @@ val inject_crash_after : t -> int -> unit
     volatile device. *)
 
 val disarm : t -> unit
+
+val fuel_remaining : t -> int option
+(** Remaining injector fuel; [None] when disarmed (or on a volatile
+    backend). Exhausted fuel stays at zero — it cannot wrap — and a
+    [disarm] that raced a concurrent mutating operation still wins. *)
 
 val read_persistent : t -> addr -> int
 (** Read the NVM image directly (white-box accessor for tests). On a

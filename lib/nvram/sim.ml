@@ -9,6 +9,7 @@ type t = {
   line_locks : int Atomic.t array;
   stats : Stats.t;
   fuel : int Atomic.t; (* fault injector; max_int = disarmed *)
+  steps : int Atomic.t; (* completed mutating ops since creation *)
 }
 
 let create (cfg : Config.t) =
@@ -20,14 +21,37 @@ let create (cfg : Config.t) =
     line_locks = Array.init lines (fun _ -> Atomic.make 0);
     stats = Stats.create ();
     fuel = Atomic.make max_int;
+    steps = Atomic.make 0;
   }
 
-let inject_crash_after t n = Atomic.set t.fuel n
+let inject_crash_after t n =
+  if n < 0 then invalid_arg "Nvram.Mem.inject_crash_after: negative fuel";
+  Atomic.set t.fuel n
+
 let disarm t = Atomic.set t.fuel max_int
 
+(* CAS loop rather than fetch_and_add: a blind decrement could interleave
+   with [disarm] (pass the armed check, then subtract from max_int,
+   silently re-arming the injector), and after a crash it would keep
+   driving exhausted fuel toward wrap-around. Here a concurrent [disarm]
+   fails the CAS and the retry observes max_int; exhausted fuel is left
+   at 0 forever, so every later op keeps raising. *)
 let spend t =
-  if Atomic.get t.fuel <> max_int then
-    if Atomic.fetch_and_add t.fuel (-1) <= 0 then raise Crash
+  let rec burn () =
+    let f = Atomic.get t.fuel in
+    if f = max_int then ()
+    else if f <= 0 then raise Crash
+    else if not (Atomic.compare_and_set t.fuel f (f - 1)) then burn ()
+  in
+  burn ();
+  Atomic.incr t.steps
+
+let steps t = Atomic.get t.steps
+
+let fuel_remaining t =
+  match Atomic.get t.fuel with
+  | f when f = max_int -> None
+  | f -> Some (max f 0)
 
 let size t = t.cfg.words
 let config t = t.cfg

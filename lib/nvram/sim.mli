@@ -40,3 +40,13 @@ val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
 
 val inject_crash_after : t -> int -> unit
 val disarm : t -> unit
+
+val steps : t -> int
+(** Completed mutating operations (write/CAS/clwb) since creation — the
+    crash-sweep harness measures a workload once and sweeps every fuel
+    value below the total. *)
+
+val fuel_remaining : t -> int option
+(** Remaining injector fuel; [None] when disarmed. Once armed fuel
+    reaches zero it stays there (no wrap-around), and a concurrent
+    [disarm] can never be undone by an in-flight [spend]. *)

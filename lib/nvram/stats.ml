@@ -8,10 +8,60 @@ let fields = 3 (* flush, fence, cas *)
    domain's counters on their own lines under 8+ domain bench runs. *)
 let stride = 8
 
+(* Field [phase_field] of each shard holds the protocol phase the domain
+   is currently executing, so a crash point can be classified after the
+   fact (the fault injector freezes it: nothing restores the register
+   once [Crash] starts unwinding). *)
+let phase_field = 3
+
 type t = int Atomic.t array
 
 type snapshot = { flushes : int; fences : int; cases : int }
 
+type phase =
+  | App
+  | Install
+  | Precommit
+  | Decide
+  | Apply
+  | Finalize
+  | Alloc
+  | Recovery
+
+let all_phases =
+  [ App; Install; Precommit; Decide; Apply; Finalize; Alloc; Recovery ]
+
+let phase_to_int = function
+  | App -> 0
+  | Install -> 1
+  | Precommit -> 2
+  | Decide -> 3
+  | Apply -> 4
+  | Finalize -> 5
+  | Alloc -> 6
+  | Recovery -> 7
+
+let phase_of_int = function
+  | 1 -> Install
+  | 2 -> Precommit
+  | 3 -> Decide
+  | 4 -> Apply
+  | 5 -> Finalize
+  | 6 -> Alloc
+  | 7 -> Recovery
+  | _ -> App
+
+let phase_name = function
+  | App -> "app"
+  | Install -> "install"
+  | Precommit -> "precommit"
+  | Decide -> "decide"
+  | Apply -> "apply"
+  | Finalize -> "finalize"
+  | Alloc -> "alloc"
+  | Recovery -> "recovery"
+
+let pp_phase ppf p = Format.pp_print_string ppf (phase_name p)
 let create () = Array.init (shards * stride) (fun _ -> Atomic.make 0)
 
 let slot field =
@@ -21,6 +71,8 @@ let slot field =
 let record_flush t = ignore (Atomic.fetch_and_add t.(slot 0) 1)
 let record_fence t = ignore (Atomic.fetch_and_add t.(slot 1) 1)
 let record_cas t = ignore (Atomic.fetch_and_add t.(slot 2) 1)
+let set_phase t p = Atomic.set t.(slot phase_field) (phase_to_int p)
+let current_phase t = phase_of_int (Atomic.get t.(slot phase_field))
 
 let sum t field =
   let acc = ref 0 in
@@ -42,4 +94,6 @@ let diff a b =
 let pp ppf s =
   Format.fprintf ppf "flushes=%d fences=%d cas=%d" s.flushes s.fences s.cases
 
-let _ = assert (fields <= stride)
+(* The phase register must sit past the counter fields and inside the
+   shard's padding. *)
+let _ = assert (fields <= phase_field && phase_field < stride)

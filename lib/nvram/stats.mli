@@ -4,7 +4,14 @@
     cache-line-padded group of atomics, so the instrumented fast paths
     never contend — and [snapshot] merges the shards on read. Only
     protocol-relevant events are counted (flushes, fences, CASes) — plain
-    loads/stores are free. *)
+    loads/stores are free.
+
+    Each shard additionally carries a {e phase register}: the layer above
+    ([Pmwcas.Op], [Pmwcas.Pool], [Palloc], [Pmwcas.Recovery]) labels the
+    protocol phase the domain is currently in, and nothing restores the
+    register while a {!Mem.Crash} unwinds — so a crash-sweep harness can
+    read back {e which phase the injected power failure landed in} and
+    build a per-phase coverage histogram. *)
 
 type t
 
@@ -14,10 +21,36 @@ type snapshot = {
   cases : int;  (** compare-and-swap attempts. *)
 }
 
+(** Protocol phase labels, coarsest first. [App] is everything outside
+    the instrumented protocol sections. *)
+type phase =
+  | App  (** Application code / descriptor construction. *)
+  | Install  (** PMwCAS phase 1: RDCSS descriptor installation. *)
+  | Precommit  (** Persisting installed pointers before the decision. *)
+  | Decide  (** Status CAS and its flush — the commit point. *)
+  | Apply  (** PMwCAS phase 2: final values swapped in and persisted. *)
+  | Finalize  (** Slot recycling: policy frees and status-free. *)
+  | Alloc  (** Inside [Palloc.alloc]'s activation-record protocol. *)
+  | Recovery  (** Inside [Pmwcas.Recovery.run]. *)
+
+val all_phases : phase list
+val phase_name : phase -> string
+
+val phase_to_int : phase -> int
+(** Stable dense index in [0, List.length all_phases) for histograms. *)
+
+val pp_phase : Format.formatter -> phase -> unit
 val create : unit -> t
 val record_flush : t -> unit
 val record_fence : t -> unit
 val record_cas : t -> unit
+
+val set_phase : t -> phase -> unit
+(** Label the calling domain's current phase. *)
+
+val current_phase : t -> phase
+(** The calling domain's phase register ([App] if never set). *)
+
 val snapshot : t -> snapshot
 val reset : t -> unit
 

@@ -150,6 +150,11 @@ let alloc h ~nwords ~dest =
   if not h.live then invalid_arg "Palloc: handle already released";
   if nwords <= 0 then invalid_arg "Palloc.alloc: nwords <= 0";
   let t = h.t in
+  (* Phase label for crash classification; restored on normal return only
+     so an injected crash freezes it (see Nvram.Stats). *)
+  let stats_sh = Mem.stats t.mem in
+  let prev_phase = Nvram.Stats.current_phase stats_sh in
+  Nvram.Stats.set_phase stats_sh Nvram.Stats.Alloc;
   let cls, b = obtain t ~nwords in
   let payload = b + 1 in
   if t.persistent then begin
@@ -173,6 +178,7 @@ let alloc h ~nwords ~dest =
     Mem.write t.mem (slot_block h) 0;
     Mem.clwb t.mem (slot_block h)
   end;
+  Nvram.Stats.set_phase stats_sh prev_phase;
   payload
 
 let alloc_unsafe h ~nwords =

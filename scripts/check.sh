@@ -18,4 +18,9 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== crash-sweep smoke"
+dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 60 --seeds 1
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 120 \
+  --seeds 1 --sabotage
+
 echo "check: all green"

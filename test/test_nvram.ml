@@ -197,6 +197,122 @@ let mem_tests =
         Alcotest.(check int) "persisted" 9 (Mem.read_persistent m 2));
   ]
 
+let injector_tests =
+  let open Nvram in
+  [
+    Alcotest.test_case "steps count mutating operations only" `Quick
+      (fun () ->
+        let m = mem 64 in
+        Alcotest.(check int) "fresh" 0 (Mem.steps m);
+        Mem.write m 0 1;
+        ignore (Mem.cas m 1 ~expected:0 ~desired:2);
+        Mem.clwb m 0;
+        ignore (Mem.read m 0);
+        ignore (Mem.read_persistent m 0);
+        Mem.fence m;
+        Alcotest.(check int) "write+cas+clwb" 3 (Mem.steps m));
+    Alcotest.test_case "fuel n allows exactly n operations" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.inject_crash_after m 3;
+        Alcotest.(check (option int)) "armed" (Some 3) (Mem.fuel_remaining m);
+        Mem.write m 0 1;
+        Mem.write m 1 2;
+        Mem.write m 2 3;
+        Alcotest.(check (option int)) "spent" (Some 0) (Mem.fuel_remaining m);
+        (try
+           Mem.write m 3 4;
+           Alcotest.fail "expected Crash"
+         with Mem.Crash -> ());
+        Alcotest.(check int) "word not written" 0 (Mem.read m 3));
+    Alcotest.test_case "exhausted fuel stays clamped at zero" `Quick
+      (fun () ->
+        (* Regression: the old [fetch_and_add (-1)] let exhausted fuel keep
+           decrementing, eventually wrapping past min_int. Every op after
+           exhaustion must keep crashing and the gauge must stay at 0. *)
+        let m = mem 64 in
+        Mem.inject_crash_after m 0;
+        for _ = 1 to 100 do
+          try
+            Mem.write m 0 9;
+            Alcotest.fail "expected Crash"
+          with Mem.Crash -> ()
+        done;
+        Alcotest.(check (option int)) "still zero" (Some 0)
+          (Mem.fuel_remaining m);
+        Mem.disarm m;
+        Mem.write m 0 9;
+        Alcotest.(check int) "writable after disarm" 9 (Mem.read m 0));
+    Alcotest.test_case "negative fuel is rejected" `Quick (fun () ->
+        let m = mem 64 in
+        expect_invalid_arg (fun () ->
+            Mem.inject_crash_after m (-1);
+            0));
+    Alcotest.test_case "disarm wins a race with concurrent spenders" `Quick
+      (fun () ->
+        (* Regression: a domain that had passed the armed check could
+           decrement after [disarm] reset the counter to max_int,
+           re-arming the injector at max_int - 1. After disarm + join the
+           injector must always read as off. *)
+        for round = 1 to 200 do
+          let m = mem 64 in
+          Mem.inject_crash_after m (round mod 7);
+          let writer =
+            Domain.spawn (fun () ->
+                try
+                  for i = 0 to 63 do
+                    Mem.write m i i
+                  done
+                with Mem.Crash -> ())
+          in
+          Mem.disarm m;
+          Domain.join writer;
+          Alcotest.(check (option int))
+            (Printf.sprintf "round %d disarmed" round)
+            None (Mem.fuel_remaining m);
+          (* And the device must still be usable. *)
+          Mem.write m 0 round
+        done);
+    Alcotest.test_case "phase register defaults to App and round-trips"
+      `Quick (fun () ->
+        let m = mem 64 in
+        let st = Mem.stats m in
+        Alcotest.(check string) "default" "app"
+          (Stats.phase_name (Stats.current_phase st));
+        List.iter
+          (fun p ->
+            Stats.set_phase st p;
+            Alcotest.(check string) "roundtrip" (Stats.phase_name p)
+              (Stats.phase_name (Stats.current_phase st)))
+          Stats.all_phases;
+        Stats.set_phase st Stats.App);
+    Alcotest.test_case "phase register is per-domain" `Quick (fun () ->
+        let m = mem 64 in
+        let st = Mem.stats m in
+        Stats.set_phase st Stats.Decide;
+        let other =
+          Domain.spawn (fun () -> Stats.phase_name (Stats.current_phase st))
+        in
+        Alcotest.(check string) "other domain sees its own default" "app"
+          (Domain.join other);
+        Alcotest.(check string) "ours untouched" "decide"
+          (Stats.phase_name (Stats.current_phase st));
+        Stats.set_phase st Stats.App);
+    Alcotest.test_case "injected crash freezes the phase register" `Quick
+      (fun () ->
+        let m = mem 64 in
+        let st = Mem.stats m in
+        Mem.inject_crash_after m 0;
+        (try
+           Stats.set_phase st Stats.Apply;
+           Mem.write m 0 1;
+           Alcotest.fail "expected Crash"
+         with Mem.Crash -> ());
+        Alcotest.(check string) "frozen" "apply"
+          (Stats.phase_name (Stats.current_phase st));
+        Mem.disarm m;
+        Stats.set_phase st Stats.App);
+  ]
+
 let region_tests =
   let open Nvram in
   [
@@ -272,6 +388,7 @@ let () =
       ("flags", flags_tests);
       ("config", config_tests);
       ("mem", mem_tests);
+      ("injector", injector_tests);
       ("region", region_tests);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

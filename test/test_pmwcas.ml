@@ -842,6 +842,245 @@ let prop_all_or_nothing =
       done;
       !ok)
 
+(* Header sizing, short-cache-line durability and attach validation. *)
+let header_tests =
+  [
+    Alcotest.test_case "region_words honours line_words" `Quick (fun () ->
+        let max_threads = 2 and descs_per_thread = 4 and max_words = 4 in
+        let w8 =
+          Pool.region_words ~max_words ~descs_per_thread ~max_threads ()
+        in
+        let w16 =
+          Pool.region_words ~line_words:16 ~max_words ~descs_per_thread
+            ~max_threads ()
+        in
+        let lay16 =
+          Layout.make ~line_words:16 ~pool_base:0
+            ~nslots:(max_threads * descs_per_thread) ~max_words
+        in
+        Alcotest.(check int) "matches the 16-word-line layout"
+          (Layout.region_words lay16) w16;
+        (* Regression: sizing used to hardcode 8-word lines, so a device
+           with longer lines under-reserved and the pool overran the
+           carve. *)
+        Alcotest.(check bool) "longer lines need more words" true (w16 > w8);
+        let mem =
+          Mem.create (Nvram.Config.make ~line_words:16 ~words:w16 ())
+        in
+        let pool =
+          Pool.create ~max_words ~descs_per_thread mem ~base:0 ~max_threads
+        in
+        Alcotest.(check int) "pool fills the reserve exactly" w16
+          (Layout.region_words (Pool.layout pool)));
+    Alcotest.test_case "header survives a crash on 2-word-line devices"
+      `Quick (fun () ->
+        (* Regression: [create] flushed only the line of [base], leaving
+           header words 2-3 (max_words, max_threads) volatile on devices
+           with lines shorter than the header. *)
+        let max_threads = 2 and descs_per_thread = 2 in
+        let words =
+          Pool.region_words ~line_words:2 ~descs_per_thread ~max_threads ()
+        in
+        let mem =
+          Mem.create (Nvram.Config.make ~line_words:2 ~words ())
+        in
+        let _ = Pool.create ~descs_per_thread mem ~base:0 ~max_threads in
+        let img = Mem.crash_image mem in
+        let pool = Pool.attach img ~base:0 in
+        let lay = Pool.layout pool in
+        Alcotest.(check int) "nslots" (max_threads * descs_per_thread)
+          lay.nslots;
+        Alcotest.(check int) "max_words" 8 lay.max_words;
+        for i = 0 to lay.nslots - 1 do
+          Alcotest.(check int) "slot formatted free" Layout.status_free
+            (Pool.desc_status pool ~slot:(Layout.slot_off lay i))
+        done);
+    Alcotest.test_case "alloc_desc persists count and callback on short lines"
+      `Quick (fun () ->
+        (* Regression: [alloc_desc] flushed only the line of [slot] after
+           writing three header words; with 2-word lines the callback word
+           sits on the next line and a crash image could durably pair an
+           Undecided status with a stale callback id. *)
+        let max_threads = 1 and descs_per_thread = 2 in
+        let words =
+          Pool.region_words ~line_words:2 ~descs_per_thread ~max_threads ()
+        in
+        let mem =
+          Mem.create (Nvram.Config.make ~line_words:2 ~words ())
+        in
+        let pool = Pool.create ~descs_per_thread mem ~base:0 ~max_threads in
+        let id = Pool.register_callback pool (fun ~succeeded:_ _ -> []) in
+        let h = Pool.register pool in
+        let d = Pool.alloc_desc ~callback:id h in
+        let slot = Pool.desc_slot d in
+        let img = Mem.crash_image mem in
+        Alcotest.(check int) "status undecided" Layout.status_undecided
+          (Flags.clear_dirty (Mem.read img (Layout.status_addr slot)));
+        Alcotest.(check int) "count durable" 0
+          (Mem.read img (Layout.count_addr slot));
+        Alcotest.(check int) "callback durable" id
+          (Mem.read img (Layout.callback_addr slot)));
+    Alcotest.test_case "attach validates every header field" `Quick (fun () ->
+        let fresh () =
+          let env = make_env () in
+          Mem.crash_image env.mem
+        in
+        let expect_corrupt what f =
+          let img = fresh () in
+          f img;
+          match Pool.attach img ~base:0 with
+          | _ -> Alcotest.failf "%s: attach accepted a corrupt header" what
+          | exception Failure m ->
+              Alcotest.(check bool)
+                (what ^ ": message names the corrupt header")
+                true
+                (String.starts_with ~prefix:"Pool.attach: corrupt header (" m)
+        in
+        expect_corrupt "max_words 0" (fun img -> Mem.write img 2 0);
+        expect_corrupt "max_words negative" (fun img -> Mem.write img 2 (-3));
+        expect_corrupt "max_words 100" (fun img -> Mem.write img 2 100);
+        expect_corrupt "nslots 0" (fun img -> Mem.write img 1 0);
+        expect_corrupt "nslots overruns device" (fun img ->
+            Mem.write img 1 (1 lsl 40));
+        expect_corrupt "nslots not divisible" (fun img ->
+            Mem.write img 1 (Mem.read img 1 + 1));
+        expect_corrupt "max_threads 0" (fun img -> Mem.write img 3 0);
+        (* Bad magic stays its own, earlier failure. *)
+        let img = fresh () in
+        Mem.write img 0 0;
+        (match Pool.attach img ~base:0 with
+        | _ -> Alcotest.fail "attach accepted bad magic"
+        | exception Failure m ->
+            Alcotest.(check string) "bad magic" "Pool.attach: bad magic" m);
+        (* And an untouched image still attaches. *)
+        ignore (Pool.attach (fresh ()) ~base:0));
+  ]
+
+(* Crash points the coarse recovery tests cannot hit: inside the slot
+   finalizer and inside recovery itself. *)
+let recovery_edge_tests =
+  [
+    Alcotest.test_case "crash anywhere inside finalize_slot is recoverable"
+      `Quick (fun () ->
+        (* A succeeded 1-word PMwCAS with FreeOldOnSuccess sits decided
+           but not yet recycled; drive [finalize_slot] into a crash at
+           every injectable point — including between the durable
+           mark-free and the durable status-free — and demand recovery
+           frees the old block exactly once. *)
+        let build () =
+          let env = make_env () in
+          let h = Pool.register env.pool in
+          let ph = Palloc.register_thread env.palloc in
+          init_data env [ 0 ];
+          let d0 = Pool.alloc_desc h in
+          let dest0 =
+            Pool.reserve_entry ~policy:Layout.Free_new_on_failure d0
+              ~addr:env.data ~expected:0
+          in
+          let p_old = Palloc.alloc ph ~nwords:4 ~dest:dest0 in
+          Alcotest.(check bool) "seed op" true (Op.execute d0);
+          let d1 = Pool.alloc_desc h in
+          let dest1 =
+            Pool.reserve_entry ~policy:Layout.Free_old_on_success d1
+              ~addr:env.data ~expected:p_old
+          in
+          let p_new = Palloc.alloc ph ~nwords:4 ~dest:dest1 in
+          Alcotest.(check bool) "swap op" true (Op.execute d1);
+          (env, p_new, Pool.desc_slot d1)
+        in
+        let env, _, slot = build () in
+        let s0 = Mem.steps env.mem in
+        Pool.finalize_slot env.pool ~slot ~succeeded:true;
+        let total = Mem.steps env.mem - s0 in
+        Alcotest.(check bool) "finalize has several crash points" true
+          (total >= 3);
+        for fuel = 0 to total - 1 do
+          let env, p_new, slot = build () in
+          Mem.inject_crash_after env.mem fuel;
+          (try Pool.finalize_slot env.pool ~slot ~succeeded:true
+           with Mem.Crash -> ());
+          let img = Mem.crash_image env.mem in
+          let env', _ = recover_env env img in
+          Alcotest.(check int)
+            (Printf.sprintf "fuel %d: new block still linked" fuel)
+            p_new
+            (Flags.clear_dirty (Mem.read img env.data));
+          let audit = Palloc.audit env'.palloc in
+          Alcotest.(check int)
+            (Printf.sprintf "fuel %d: old block freed exactly once" fuel)
+            1 audit.allocated_blocks
+        done);
+    Alcotest.test_case "recovery is idempotent under crashes" `Quick
+      (fun () ->
+        (* Crash a reservation-heavy workload, then crash recovery itself
+           at a spread of points and re-run it on the resulting image: the
+           doubly-recovered state must equal straight-through recovery. *)
+        let env = make_env () in
+        let h = Pool.register env.pool in
+        let ph = Palloc.register_thread env.palloc in
+        let nslots = 8 in
+        init_data env (List.init nslots (fun _ -> 0));
+        Mem.inject_crash_after env.mem 900;
+        (try
+           let rng = Random.State.make [| 17 |] in
+           while true do
+             let s = Random.State.int rng nslots in
+             let a = env.data + s in
+             let cur = Op.read_with h a in
+             if cur = 0 then begin
+               let d = Pool.alloc_desc h in
+               let dest =
+                 Pool.reserve_entry ~policy:Layout.Free_new_on_failure d
+                   ~addr:a ~expected:0
+               in
+               ignore (Palloc.alloc ph ~nwords:4 ~dest);
+               ignore (Op.execute d)
+             end
+             else begin
+               let d = Pool.alloc_desc h in
+               Pool.add_word ~policy:Layout.Free_old_on_success d ~addr:a
+                 ~expected:cur ~desired:0;
+               ignore (Op.execute d)
+             end
+           done
+         with Mem.Crash -> ());
+        let img = Mem.crash_image env.mem in
+        (* [img] is fully persistent, so [crash_image img] is an exact,
+           independent copy — one per recovery attempt. *)
+        let copy () = Mem.crash_image img in
+        let data_words m =
+          List.init nslots (fun i ->
+              Flags.clear_dirty (Mem.read m (env.data + i)))
+        in
+        let ref_img = copy () in
+        let ref_env, ref_stats = recover_env env ref_img in
+        Alcotest.(check bool) "workload left work in flight" true
+          (ref_stats.Recovery.in_flight > 0);
+        let ref_words = data_words ref_img in
+        let ref_blocks = (Palloc.audit ref_env.palloc).allocated_blocks in
+        let count_img = copy () in
+        let s0 = Mem.steps count_img in
+        ignore (recover_env env count_img);
+        let total = Mem.steps count_img - s0 in
+        Alcotest.(check bool) "recovery performs stores" true (total > 0);
+        let fuel = ref 0 in
+        while !fuel < total do
+          let m = copy () in
+          Mem.inject_crash_after m !fuel;
+          (try ignore (recover_env env m) with Mem.Crash -> ());
+          let img2 = Mem.crash_image m in
+          let env2, _ = recover_env env img2 in
+          Alcotest.(check (list int))
+            (Printf.sprintf "recovery fuel %d: data converges" !fuel)
+            ref_words (data_words img2);
+          Alcotest.(check int)
+            (Printf.sprintf "recovery fuel %d: heap converges" !fuel)
+            ref_blocks
+            (Palloc.audit env2.palloc).allocated_blocks;
+          fuel := !fuel + max 1 (total / 25)
+        done);
+  ]
+
 let () =
   Alcotest.run "pmwcas"
     [
@@ -852,5 +1091,7 @@ let () =
       ("policies", policy_tests);
       ("concurrency", concurrency_tests);
       ("recovery", recovery_tests);
+      ("header", header_tests);
+      ("recovery-edge", recovery_edge_tests);
       ("properties", [ QCheck_alcotest.to_alcotest prop_all_or_nothing ]);
     ]

@@ -1,0 +1,88 @@
+(* Tier-1 coverage for the crash-point sweep harness itself: clean sweeps
+   over every suite at smoke scale, exhaustive-vs-stratified point
+   selection, the multi-domain driver, and the sabotage self-test that
+   proves the sweeper can actually see a broken persistence protocol. *)
+
+module Cs = Harness.Crash_sweep
+module Suites = Harness.Sweep_suites
+
+let check_clean ?(min_phases = 2) name (s : Cs.summary) =
+  Alcotest.(check (list string)) (name ^ ": no failures") []
+    (List.map (Format.asprintf "%a" Cs.pp_failure) s.failures);
+  Alcotest.(check bool) (name ^ ": swept points") true (s.points > 0);
+  Alcotest.(check int) (name ^ ": every point crashed") s.points s.crashes;
+  Alcotest.(check bool)
+    (name ^ ": classified several phases")
+    true
+    (List.length s.by_phase >= min_phases)
+
+let bank_small ?(ops = 60) () = Suites.bank ~accounts:6 ~ops ()
+
+let sweep_tests =
+  [
+    Alcotest.test_case "bank sweeps clean" `Quick (fun () ->
+        let s = Cs.sweep ~budget:40 ~evict_seeds:[ 1 ] (bank_small ()) in
+        check_clean "bank" s;
+        Alcotest.(check int) "stratified budget honoured" 40 s.points;
+        (* One no-evict image plus one seeded image per point. *)
+        Alcotest.(check int) "images per point" (2 * s.points) s.images;
+        Alcotest.(check bool) "recovery did work" true
+          (s.rolled_forward + s.rolled_back > 0));
+    Alcotest.test_case "short workloads sweep exhaustively" `Quick (fun () ->
+        let spec = bank_small ~ops:2 () in
+        let s = Cs.sweep ~budget:4096 ~evict_seeds:[ 1 ] spec in
+        Alcotest.(check (list string)) "no failures" []
+          (List.map (Format.asprintf "%a" Cs.pp_failure) s.failures);
+        (* Budget exceeds the run length, so every fuel value is visited
+           exactly once. *)
+        Alcotest.(check int) "one point per step" s.total_steps s.points);
+    Alcotest.test_case "multi-domain sweep covers the same points" `Quick
+      (fun () ->
+        let s = Cs.sweep ~budget:30 ~evict_seeds:[ 1 ] ~domains:3
+            (bank_small ()) in
+        check_clean "bank x3 domains" s;
+        Alcotest.(check int) "all points farmed out" 30 s.points);
+    Alcotest.test_case "palloc suite sweeps clean" `Quick (fun () ->
+        check_clean "palloc"
+          (Cs.sweep ~budget:25 ~evict_seeds:[ 1 ]
+             (Suites.palloc_policies ~slots:6 ~ops:50 ())));
+    Alcotest.test_case "skiplist suite sweeps clean" `Quick (fun () ->
+        check_clean "skiplist"
+          (Cs.sweep ~budget:25 ~evict_seeds:[ 1 ]
+             (Suites.skiplist ~keys:16 ~ops:50 ())));
+    Alcotest.test_case "bwtree suite sweeps clean" `Quick (fun () ->
+        check_clean "bwtree"
+          (Cs.sweep ~budget:25 ~evict_seeds:[ 1 ]
+             (Suites.bwtree ~keys:16 ~ops:50 ())));
+    Alcotest.test_case "traced sweep checks persistence order" `Quick
+      (fun () ->
+        check_clean "bank traced"
+          (Cs.sweep ~budget:12 ~evict_seeds:[ 1 ] ~trace:true
+             (bank_small ~ops:40 ())));
+    Alcotest.test_case "sabotaged precommit flush is detected and shrunk"
+      `Quick (fun () ->
+        (* Self-test from the issue: dropping the precommit persist must
+           surface as a durable-prefix violation, and the shrinker must
+           hand back a replayable (fuel, seed) pair. *)
+        Cs.with_sabotaged_precommit (fun () ->
+            let spec = Suites.bank () in
+            let s = Cs.sweep ~budget:200 ~evict_seeds:[ 1 ] spec in
+            Alcotest.(check bool) "sweep reports failures" true
+              (s.failures <> []);
+            let shrunk =
+              List.filter_map (fun (f : Cs.failure) -> f.shrunk) s.failures
+            in
+            match shrunk with
+            | [] -> Alcotest.fail "no failure was shrunk"
+            | (fuel, seed) :: _ ->
+                let errs =
+                  Cs.replay spec ~fuel ?evict_seed:seed ()
+                in
+                Alcotest.(check bool) "shrunk repro still fails" true
+                  (errs <> []));
+        (* The knob is restored: the same workload sweeps clean again. *)
+        check_clean "bank after sabotage"
+          (Cs.sweep ~budget:20 ~evict_seeds:[ 1 ] (bank_small ())));
+  ]
+
+let () = Alcotest.run "sweep" [ ("sweep", sweep_tests) ]
