@@ -9,8 +9,10 @@ check:
 test:
 	dune runtest
 
+# Writes the registry snapshot + per-experiment rows alongside the
+# human-readable tables.
 bench:
-	dune exec bench/main.exe -- all
+	dune exec bench/main.exe -- all --metrics BENCH_$$(date +%F).json
 
 # Full crash-point sweep across every suite (~1200 points), plus the
 # sabotage self-test that proves the sweeper can see a broken protocol.

@@ -86,14 +86,46 @@ let mwcas_thunk (env : Bench_env.t) ~nwords ~range tid =
           idx;
         ignore (Op.execute d))
 
-let run_mwcas_point ?persistent ?backend ?flush_delay ~threads ~range ~nwords
-    ~seconds () =
+(* [label] additionally pushes a JSON row (and, with it, a throughput /
+   flush-rate time series) into [Report] when [--metrics] is active. *)
+let run_mwcas_point ?persistent ?backend ?flush_delay ?label ~threads ~range
+    ~nwords ~seconds () =
   let env = mwcas_env ?persistent ?backend ?flush_delay ~threads ~range () in
+  let sampler =
+    match label with
+    | Some _ when Report.want () ->
+        Some
+          (Telemetry.Sampler.start
+             [
+               Telemetry.Sampler.counter "ops_per_s" (fun () ->
+                   (Metrics.snapshot (Pool.metrics env.pool)).attempts);
+               Telemetry.Sampler.counter "flushes_per_s" (fun () ->
+                   (Nvram.Stats.snapshot (Mem.stats env.mem)).flushes);
+             ])
+    | _ -> None
+  in
   let r =
     Runner.run_timed ~threads ~seconds ~prepare:(fun tid ->
         mwcas_thunk env ~nwords ~range tid)
   in
-  (r, Metrics.snapshot (Pool.metrics env.pool), env)
+  let series = Option.map Telemetry.Sampler.stop sampler in
+  let m = Metrics.snapshot (Pool.metrics env.pool) in
+  Option.iter
+    (fun label ->
+      Report.add_row ~experiment:label
+        ~params:
+          [
+            ("range", Report.V.Int range);
+            ("threads", Report.V.Int threads);
+            ("nwords", Report.V.Int nwords);
+            ( "persistent",
+              Report.V.Bool (Option.value persistent ~default:true) );
+          ]
+        ~result:r ~metrics:m
+        ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
+        ?series ())
+    label;
+  (r, m, env)
 
 (* E1: throughput vs threads under three contention levels, volatile
    MwCAS vs PMwCAS (same code, flushes elided vs real), plus PMwCAS with
@@ -108,16 +140,17 @@ let e1 s =
       List.iter
         (fun threads ->
           let v, _, _ =
-            run_mwcas_point ~persistent:false ~threads ~range ~nwords:4
-              ~seconds:s.seconds ()
+            run_mwcas_point ~persistent:false ~label:"e1.volatile" ~threads
+              ~range ~nwords:4 ~seconds:s.seconds ()
           in
           let p, _, _ =
-            run_mwcas_point ~persistent:true ~threads ~range ~nwords:4
-              ~seconds:s.seconds ()
+            run_mwcas_point ~persistent:true ~label:"e1.pmwcas" ~threads
+              ~range ~nwords:4 ~seconds:s.seconds ()
           in
           let pf, _, _ =
-            run_mwcas_point ~persistent:true ~flush_delay:60 ~threads ~range
-              ~nwords:4 ~seconds:s.seconds ()
+            run_mwcas_point ~persistent:true ~flush_delay:60
+              ~label:"e1.pmwcas_lat" ~threads ~range ~nwords:4
+              ~seconds:s.seconds ()
           in
           rows :=
             [
@@ -147,12 +180,12 @@ let e2 s =
     List.map
       (fun nwords ->
         let v, _, _ =
-          run_mwcas_point ~persistent:false ~threads ~range ~nwords
-            ~seconds:s.seconds ()
+          run_mwcas_point ~persistent:false ~label:"e2.volatile" ~threads
+            ~range ~nwords ~seconds:s.seconds ()
         in
         let p, _, env =
-          run_mwcas_point ~persistent:true ~threads ~range ~nwords
-            ~seconds:s.seconds ()
+          run_mwcas_point ~persistent:true ~label:"e2.pmwcas" ~threads ~range
+            ~nwords ~seconds:s.seconds ()
         in
         let flushes_per_op =
           float_of_int (Bench_env.flush_count env)
@@ -180,8 +213,8 @@ let e3 s =
     List.map
       (fun range ->
         let r, m, _ =
-          run_mwcas_point ~persistent:true ~threads ~range ~nwords:4
-            ~seconds:s.seconds ()
+          run_mwcas_point ~persistent:true ~label:"e3" ~threads ~range
+            ~nwords:4 ~seconds:s.seconds ()
         in
         let per x = float_of_int x /. float_of_int (max 1 m.attempts) in
         [
@@ -224,7 +257,7 @@ let index_op (type h) ~insert ~delete ~update ~find ~scan ~(h : h) ~mix ~dist
 
 let index_heap_words s = max (1 lsl 20) (64 * s.index_keys)
 
-let skiplist_bench s ~mix ~threads variant =
+let skiplist_bench ?label ?(mix_name = "") s ~mix ~threads variant =
   let persistent = variant = Sl_persistent in
   let env =
     Bench_env.make ~persistent ~max_threads:threads
@@ -233,9 +266,10 @@ let skiplist_bench s ~mix ~threads variant =
   in
   let keyspace = preload_keys s.index_keys in
   let dist = Dist.create (Dist.Uniform keyspace) in
-  match variant with
-  | Sl_cas ->
-      let t = Cas.create env.mem ~palloc:env.palloc in
+  let r =
+    match variant with
+    | Sl_cas ->
+        let t = Cas.create env.mem ~palloc:env.palloc in
       let h0 = Cas.register ~seed:1 t in
       for i = 0 to s.index_keys - 1 do
         ignore (Cas.insert h0 ~key:(2 * i) ~value:i)
@@ -274,6 +308,22 @@ let skiplist_bench s ~mix ~threads variant =
               ~scan:(fun h lo hi ->
                 Pm.fold_range h ~lo ~hi ~init:0 ~f:(fun a ~key:_ ~value:_ ->
                     a + 1)))
+  in
+  Option.iter
+    (fun label ->
+      Report.add_row ~experiment:label
+        ~params:
+          [
+            ("variant", Report.V.String (sl_variant_name variant));
+            ("mix", Report.V.String mix_name);
+            ("threads", Report.V.Int threads);
+          ]
+        ~result:r
+        ~metrics:(Metrics.snapshot (Pool.metrics env.pool))
+        ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
+        ())
+    label;
+  r
 
 (* E4: the skip-list comparison — the paper reports 1-3% PMwCAS overhead
    vs the volatile MwCAS implementation under realistic workloads. *)
@@ -287,9 +337,9 @@ let e4 s =
     (fun (mname, mix) ->
       List.iter
         (fun threads ->
-          let cas = skiplist_bench s ~mix ~threads Sl_cas in
-          let vol = skiplist_bench s ~mix ~threads Sl_volatile in
-          let per = skiplist_bench s ~mix ~threads Sl_persistent in
+          let cas = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_cas in
+          let vol = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_volatile in
+          let per = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_persistent in
           rows :=
             [
               mname;
@@ -309,7 +359,7 @@ let e4 s =
     ~header:[ "mix"; "threads"; "cas-singly"; "mwcas-vol"; "pmwcas"; "overhead" ]
     (List.rev !rows)
 
-let bwtree_bench s ~mix ~threads ~persistent =
+let bwtree_bench ?label ?(mix_name = "") s ~mix ~threads ~persistent =
   let env =
     Bench_env.make ~persistent ~max_threads:threads
       ~heap_words:(index_heap_words s) ~map_words:(1 lsl 14) ~data_words:8 ()
@@ -325,18 +375,35 @@ let bwtree_bench s ~mix ~threads ~persistent =
     ignore (Tree.put h0 ~key:(2 * i) ~value:i)
   done;
   Tree.unregister h0;
-  Runner.run_timed ~threads ~seconds:s.seconds ~prepare:(fun tid ->
-      let h = Tree.register t in
-      let rng = Random.State.make [| 17 * (tid + 1) |] in
-      fun () ->
-        index_op ~h ~mix ~dist ~rng ~keyspace
-          ~insert:(fun h k -> Tree.insert h ~key:k ~value:k)
-          ~delete:(fun h k -> Tree.remove h ~key:k)
-          ~update:(fun h k v -> ignore (Tree.put h ~key:k ~value:v))
-          ~find:(fun h k -> Tree.get h ~key:k)
-          ~scan:(fun h lo hi ->
-            Tree.fold_range h ~lo ~hi ~init:0 ~f:(fun a ~key:_ ~value:_ ->
-                a + 1)))
+  let r =
+    Runner.run_timed ~threads ~seconds:s.seconds ~prepare:(fun tid ->
+        let h = Tree.register t in
+        let rng = Random.State.make [| 17 * (tid + 1) |] in
+        fun () ->
+          index_op ~h ~mix ~dist ~rng ~keyspace
+            ~insert:(fun h k -> Tree.insert h ~key:k ~value:k)
+            ~delete:(fun h k -> Tree.remove h ~key:k)
+            ~update:(fun h k v -> ignore (Tree.put h ~key:k ~value:v))
+            ~find:(fun h k -> Tree.get h ~key:k)
+            ~scan:(fun h lo hi ->
+              Tree.fold_range h ~lo ~hi ~init:0 ~f:(fun a ~key:_ ~value:_ ->
+                  a + 1)))
+  in
+  Option.iter
+    (fun label ->
+      Report.add_row ~experiment:label
+        ~params:
+          [
+            ("persistent", Report.V.Bool persistent);
+            ("mix", Report.V.String mix_name);
+            ("threads", Report.V.Int threads);
+          ]
+        ~result:r
+        ~metrics:(Metrics.snapshot (Pool.metrics env.pool))
+        ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
+        ())
+    label;
+  r
 
 (* E5: the Bw-tree comparison — paper reports 4-8% overhead. *)
 let e5 s =
@@ -347,8 +414,8 @@ let e5 s =
     (fun (mname, mix) ->
       List.iter
         (fun threads ->
-          let vol = bwtree_bench s ~mix ~threads ~persistent:false in
-          let per = bwtree_bench s ~mix ~threads ~persistent:true in
+          let vol = bwtree_bench ~label:"e5" ~mix_name:mname s ~mix ~threads ~persistent:false in
+          let per = bwtree_bench ~label:"e5" ~mix_name:mname s ~mix ~threads ~persistent:true in
           rows :=
             [
               mname;
@@ -402,8 +469,8 @@ let e6 s =
     (fun range ->
       (* Software volatile MwCAS reference. *)
       let sw, _, _ =
-        run_mwcas_point ~persistent:false ~threads ~range ~nwords:4
-          ~seconds:s.seconds ()
+        run_mwcas_point ~persistent:false ~label:"e6.sw" ~threads ~range
+          ~nwords:4 ~seconds:s.seconds ()
       in
       List.iter
         (fun abort_prob ->
@@ -566,6 +633,15 @@ let e8 s =
         in
         let _pool, stats = Pmwcas.Recovery.run ~palloc img ~base:0 in
         let dt = Unix.gettimeofday () -. t0 in
+        Report.add_row ~experiment:"e8"
+          ~params:
+            [
+              ("inflight", Report.V.Int inflight);
+              ("scanned", Report.V.Int stats.scanned);
+              ("rolled_back", Report.V.Int stats.rolled_back);
+              ("recovery_ms", Report.V.Float (dt *. 1000.));
+            ]
+          ();
         [
           string_of_int inflight;
           string_of_int stats.scanned;
@@ -639,6 +715,12 @@ let e10 s =
             else Pool.with_epoch h (fun () -> ignore (Op.read env.pool k)))
     in
     let flushes = Bench_env.flush_count env in
+    Report.add_row
+      ~experiment:(if naive then "e10.flush_on_read" else "e10.dirty_bit")
+      ~result:r
+      ~metrics:(Metrics.snapshot (Pool.metrics env.pool))
+      ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
+      ();
     (r, float_of_int flushes /. float_of_int (max 1 r.ops))
   in
   let naive, naive_fpo = run_mode true in
@@ -673,6 +755,12 @@ let a1 s =
           Runner.run_timed ~threads ~seconds:s.seconds ~prepare:(fun tid ->
               mwcas_thunk env ~nwords:4 ~range tid)
         in
+        Report.add_row ~experiment:"a1"
+          ~params:[ ("descs_per_thread", Report.V.Int descs_per_thread) ]
+          ~result:r
+          ~metrics:(Metrics.snapshot (Pool.metrics env.pool))
+          ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
+          ();
         [ string_of_int descs_per_thread; Table.kops r.throughput ])
       [ 2; 4; 8; 32; 128 ]
   in
@@ -727,6 +815,16 @@ let a2 s =
         in
         let h = Tree.register t in
         let st = Tree.stats h in
+        Report.add_row ~experiment:"a2"
+          ~params:
+            [
+              ("consolidate_len", Report.V.Int consolidate_len);
+              ("chain_records", Report.V.Int st.chain_records);
+            ]
+          ~result:r
+          ~metrics:(Metrics.snapshot (Pool.metrics env.pool))
+          ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
+          ();
         [
           string_of_int consolidate_len;
           Table.kops r.throughput;
@@ -754,12 +852,12 @@ let b1 s =
       List.iter
         (fun threads ->
           let sim, _, _ =
-            run_mwcas_point ~persistent:false ~backend:`Sim ~threads ~range
-              ~nwords:4 ~seconds:s.seconds ()
+            run_mwcas_point ~persistent:false ~backend:`Sim ~label:"b1.sim"
+              ~threads ~range ~nwords:4 ~seconds:s.seconds ()
           in
           let dram, _, _ =
-            run_mwcas_point ~persistent:false ~backend:`Dram ~threads ~range
-              ~nwords:4 ~seconds:s.seconds ()
+            run_mwcas_point ~persistent:false ~backend:`Dram ~label:"b1.dram"
+              ~threads ~range ~nwords:4 ~seconds:s.seconds ()
           in
           rows :=
             [
@@ -776,6 +874,33 @@ let b1 s =
     ~title:"volatile 4-word MwCAS throughput (Kops/s); speedup = dram/sim"
     ~header:[ "array"; "threads"; "sim"; "dram"; "speedup" ]
     (List.rev !rows)
+
+(* Telemetry smoke: one tiny point per instrumented subsystem, so a
+   [--metrics] run populates every latency histogram (PMwCAS attempt,
+   clwb stall, palloc alloc, skip-list op, Bw-tree op) in a couple of
+   seconds. scripts/check.sh validates the resulting file. *)
+let smoke s =
+  section "SMOKE  one tiny point per instrumented subsystem";
+  let s = { s with seconds = min 0.2 s.seconds; index_keys = 1_000 } in
+  let mw, _, _ =
+    run_mwcas_point ~persistent:true ~label:"smoke.mwcas" ~threads:2
+      ~range:256 ~nwords:4 ~seconds:s.seconds ()
+  in
+  let sl =
+    skiplist_bench ~label:"smoke.skiplist" ~mix_name:"50/50" s
+      ~mix:Mix.balanced ~threads:2 Sl_persistent
+  in
+  let bt =
+    bwtree_bench ~label:"smoke.bwtree" ~mix_name:"50/50" s ~mix:Mix.balanced
+      ~threads:2 ~persistent:true
+  in
+  Table.print ~title:"quick persistent runs (Kops/s)"
+    ~header:[ "subsystem"; "Kops/s" ]
+    [
+      [ "pmwcas"; Table.kops mw.throughput ];
+      [ "skiplist"; Table.kops sl.throughput ];
+      [ "bwtree"; Table.kops bt.throughput ];
+    ]
 
 let run_all ~full_scale () =
   let s = if full_scale then full else quick in
@@ -808,4 +933,5 @@ let by_name name s =
   | "a1" -> a1 s
   | "a2" -> a2 s
   | "b1" | "backends" -> b1 s
+  | "smoke" -> smoke s
   | _ -> Printf.printf "unknown experiment %s\n" name

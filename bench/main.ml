@@ -1,11 +1,14 @@
 (* Entry point: regenerate the paper's tables and figures.
 
-   usage: bench/main.exe [all|e1|..|e10|b1|bechamel] [--full]
-                         [--backend sim|dram]
+   usage: bench/main.exe [all|e1|..|e10|b1|smoke|bechamel] [--full]
+                         [--backend sim|dram] [--metrics FILE]
 
    With no argument, runs every experiment at the quick scale.
    [--backend] picks the memory backend for volatile runs (default dram;
-   persistent runs always use the simulated NVRAM device). *)
+   persistent runs always use the simulated NVRAM device).
+   [--metrics FILE] enables telemetry and writes a JSON report — the
+   registry snapshot (per-phase times, latency histograms, epoch
+   counters) plus one row per measured point — to FILE at the end. *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -18,11 +21,29 @@ let () =
             Printf.eprintf "unknown backend %S (expected sim or dram)\n" b;
             exit 2);
         strip rest
+    | "--metrics" :: path :: rest ->
+        Experiments_lib.Report.out_path := Some path;
+        strip rest
     | "--full" :: rest -> strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in
   let names = strip args in
+  if Experiments_lib.Report.want () then begin
+    Telemetry.enable ();
+    (* Pre-create the histograms the report schema promises, so a run
+       that never exercises some subsystem still exports them (empty). *)
+    List.iter
+      (fun n -> ignore (Telemetry.histogram n))
+      [
+        "pmwcas.attempt_ns"; "pmwcas.success_ns"; "nvram.clwb_stall_ns";
+        "palloc.alloc_ns"; "skiplist.op_ns"; "bwtree.op_ns";
+      ];
+    Telemetry.register_source ~kind:`Gauge "nvram.phase_ns" (fun () ->
+        Nvram.Stats.phase_times_to_json ());
+    Telemetry.register_source ~kind:`Counter "epoch" (fun () ->
+        Epoch.counters_to_json (Epoch.counters ()))
+  end;
   let scale =
     if full_scale then Experiments_lib.Experiments.full else Experiments_lib.Experiments.quick
   in
@@ -31,7 +52,7 @@ let () =
      Single-core host: domains interleave; compare columns, not cores.\n"
     (if full_scale then "full" else "quick")
     (Nvram.Mem.backend_name !Experiments_lib.Bench_env.default_volatile_backend);
-  match names with
+  (match names with
   | [] | [ "all" ] ->
       Experiments_lib.Experiments.run_all ~full_scale ();
       Experiments_lib.Bechamel_suite.run ()
@@ -40,4 +61,9 @@ let () =
         (fun n ->
           if n = "bechamel" || n = "e11" then Experiments_lib.Bechamel_suite.run ()
           else Experiments_lib.Experiments.by_name n scale)
-        names
+        names);
+  Experiments_lib.Report.write
+    ~scale:(if full_scale then "full" else "quick")
+    ~backend:
+      (Nvram.Mem.backend_name
+         !Experiments_lib.Bench_env.default_volatile_backend)

@@ -1,0 +1,96 @@
+(* Machine-readable benchmark output (main.exe --metrics FILE).
+
+   Experiments keep printing their human tables; when an output path is
+   set they additionally push one JSON row per measured point here, and
+   [write] dumps {meta; registry; rows} at the end of the run. The
+   registry part is the live [Telemetry.snapshot] — per-phase times, the
+   latency histograms and the epoch counters; the rows carry per-point
+   throughput plus the PMwCAS metrics snapshot the tables only show in
+   ratio form. *)
+
+module V = Telemetry.Value
+
+let out_path : string option ref = ref None
+let want () = !out_path <> None
+let rows : V.t list ref = ref [] (* newest first *)
+
+let result_to_json (r : Harness.Runner.result) =
+  V.Obj
+    [
+      ("threads", V.Int r.threads);
+      ("ops", V.Int r.ops);
+      ("seconds", V.Float r.seconds);
+      ("throughput", V.Float r.throughput);
+    ]
+
+(* The per-op ratios every experiment wants but only some tables print:
+   derived here once so each JSON row is self-describing. *)
+let metrics_to_json (m : Pmwcas.Metrics.snapshot) =
+  let att = max 1 m.attempts in
+  let per x = float_of_int x /. float_of_int att in
+  match Pmwcas.Metrics.to_json m with
+  | V.Obj fields ->
+      V.Obj
+        (fields
+        @ [
+            ("failure_rate", V.Float (per m.failed));
+            ("helps_per_op", V.Float (per m.desc_helps));
+            ("rdcss_helps_per_op", V.Float (per m.rdcss_helps));
+          ])
+  | other -> other
+
+let stats_to_json ?ops (s : Nvram.Stats.snapshot) =
+  match (Nvram.Stats.to_json s, ops) with
+  | V.Obj fields, Some ops when ops > 0 ->
+      V.Obj
+        (fields
+        @ [
+            ( "flushes_per_op",
+              V.Float (float_of_int s.flushes /. float_of_int ops) );
+          ])
+  | j, _ -> j
+
+let add_row ~experiment ?(params = []) ?result ?metrics ?stats ?series () =
+  if want () then begin
+    let opt name f v = Option.map (fun x -> (name, f x)) v in
+    let fields =
+      [ Some ("experiment", V.String experiment) ]
+      @ List.map (fun kv -> Some kv) params
+      @ [
+          opt "result" result_to_json result;
+          opt "pmwcas" metrics_to_json metrics;
+          opt "nvram"
+            (stats_to_json ?ops:(Option.map (fun (r : Harness.Runner.result) -> r.ops) result))
+            stats;
+          opt "series" Telemetry.Sampler.to_json series;
+        ]
+    in
+    rows := V.Obj (List.filter_map Fun.id fields) :: !rows
+  end
+
+let write ~scale ~backend =
+  match !out_path with
+  | None -> ()
+  | Some path ->
+      let tm = Unix.gmtime (Unix.gettimeofday ()) in
+      let date =
+        Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.tm_year + 1900)
+          (tm.tm_mon + 1) tm.tm_mday tm.tm_hour tm.tm_min tm.tm_sec
+      in
+      let doc =
+        V.Obj
+          [
+            ( "meta",
+              V.Obj
+                [
+                  ("date", V.String date);
+                  ("scale", V.String scale);
+                  ("backend", V.String backend);
+                ] );
+            ("registry", Telemetry.snapshot ());
+            ("rows", V.List (List.rev !rows));
+          ]
+      in
+      Telemetry.Export.write_file path (V.to_string ~pretty:true doc ^ "\n");
+      Printf.printf "\nwrote metrics to %s (%d rows)\n%!" path
+        (List.length !rows)

@@ -165,9 +165,225 @@ let trace_check ?dump workers ops =
   end
   else 1
 
+(* --- telemetry plumbing shared by stats and crash-sweep ---------------- *)
+
+module V = Telemetry.Value
+
+let core_histograms =
+  [
+    "pmwcas.attempt_ns"; "pmwcas.success_ns"; "nvram.clwb_stall_ns";
+    "palloc.alloc_ns"; "skiplist.op_ns"; "bwtree.op_ns";
+  ]
+
+let telemetry_setup () =
+  Telemetry.enable ();
+  List.iter (fun n -> ignore (Telemetry.histogram n)) core_histograms;
+  Telemetry.register_source ~kind:`Gauge "nvram.phase_ns" (fun () ->
+      Nvram.Stats.phase_times_to_json ());
+  Telemetry.register_source ~kind:`Counter "epoch" (fun () ->
+      Epoch.counters_to_json (Epoch.counters ()))
+
+(* --- stats: run a mixed workload, dump the registry snapshot ----------- *)
+
+let stats domains seconds format out =
+  telemetry_setup ();
+  (* One simulated device hosting every subsystem: descriptor pool, heap,
+     both indexes, and a raw array for plain PMwCAS ops. Each worker
+     claims three pool handles (its own + one inside each index handle),
+     and two allocator slots. *)
+  let cap = (3 * domains) + 2 in
+  let pool_words = Pool.region_words ~max_threads:cap () in
+  let heap_base = align8 pool_words in
+  let heap_words = 1 lsl 18 in
+  let sl_anchor = align8 (heap_base + heap_words) in
+  let bt_anchor = align8 (sl_anchor + Pm.anchor_words) in
+  let map_base = align8 (bt_anchor + Bwtree.Tree.anchor_words) in
+  let map_words = 1 lsl 12 in
+  let data = align8 (map_base + map_words) in
+  let data_words = 1024 in
+  let mem = Mem.create (Nvram.Config.make ~words:(data + data_words) ()) in
+  let palloc =
+    Palloc.create mem ~base:heap_base ~words:heap_words ~max_threads:cap
+  in
+  let pool = Pool.create ~palloc mem ~base:0 ~max_threads:cap in
+  let sl = Pm.create ~pool ~palloc ~anchor:sl_anchor () in
+  let bt =
+    Bwtree.Tree.create ~pool ~palloc ~anchor:bt_anchor ~map_base ~map_words ()
+  in
+  Telemetry.register_source ~kind:`Counter "pmwcas.metrics" (fun () ->
+      Pmwcas.Metrics.to_json (Pmwcas.Metrics.snapshot (Pool.metrics pool)));
+  Telemetry.register_source ~kind:`Counter "nvram.stats" (fun () ->
+      Nvram.Stats.to_json (Nvram.Stats.snapshot (Mem.stats mem)));
+  (* Progress goes to stderr: stdout is the machine-readable output when
+     no [--out] is given. *)
+  Printf.eprintf "stats: %d domains, %.1fs mixed workload...\n%!" domains
+    seconds;
+  let worker tid () =
+    let h = Pool.register pool in
+    let slh = Pm.register ~seed:(tid + 1) sl in
+    let bth = Bwtree.Tree.register bt in
+    let rng = Random.State.make [| 53 * (tid + 1) |] in
+    let deadline = Unix.gettimeofday () +. seconds in
+    while Unix.gettimeofday () < deadline do
+      for _ = 1 to 32 do
+        let k = Random.State.int rng data_words in
+        let d = Pool.alloc_desc h in
+        Pool.with_epoch h (fun () ->
+            let a = data + k in
+            let v = Op.read pool a in
+            Pool.add_word d ~addr:a ~expected:v ~desired:(v + 1);
+            ignore (Op.execute d));
+        let key = Random.State.int rng 512 in
+        (match Random.State.int rng 4 with
+        | 0 -> ignore (Pm.insert slh ~key ~value:key)
+        | 1 -> ignore (Pm.delete slh ~key)
+        | _ -> ignore (Pm.find slh ~key));
+        match Random.State.int rng 4 with
+        | 0 -> ignore (Bwtree.Tree.insert bth ~key ~value:key)
+        | 1 -> ignore (Bwtree.Tree.remove bth ~key)
+        | _ -> ignore (Bwtree.Tree.get bth ~key)
+      done
+    done;
+    Pm.unregister slh;
+    Bwtree.Tree.unregister bth;
+    Pool.unregister h
+  in
+  let done_flag = Atomic.make 0 in
+  let watchdog =
+    Domain.spawn (fun () ->
+        let stop = Unix.gettimeofday () +. (seconds *. 10.) +. 10. in
+        while Atomic.get done_flag < domains && Unix.gettimeofday () < stop do
+          Unix.sleepf 0.2
+        done;
+        if Atomic.get done_flag < domains then begin
+          Printf.eprintf "WATCHDOG: workers stalled; registry deltas:\n";
+          for _ = 1 to 3 do
+            let m = Pmwcas.Metrics.snapshot (Pool.metrics pool) in
+            Printf.eprintf "  metrics: %s\n%!"
+              (V.to_string (Pmwcas.Metrics.to_json m));
+            Printf.eprintf "  epoch: %s\n%!"
+              (V.to_string (Epoch.counters_to_json (Epoch.counters ())));
+            Printf.eprintf "  stats: %s\n%!"
+              (V.to_string (Nvram.Stats.to_json (Nvram.Stats.snapshot (Mem.stats mem))));
+            Unix.sleepf 1.0
+          done;
+          Stdlib.exit 3
+        end)
+  in
+  List.init domains (fun t ->
+      Domain.spawn (fun () ->
+          worker t ();
+          Atomic.incr done_flag))
+  |> List.iter Domain.join;
+  Domain.join watchdog;
+  let output =
+    match format with
+    | "json" ->
+        Telemetry.Export.to_json ~pretty:true (Telemetry.snapshot ()) ^ "\n"
+    | "csv" -> Telemetry.Export.to_csv (Telemetry.snapshot ())
+    | "prom" -> Telemetry.Export.to_prometheus Telemetry.default
+    | f ->
+        Printf.eprintf "unknown format %S (expected json, csv or prom)\n" f;
+        exit 2
+  in
+  (match out with
+  | None -> print_string output
+  | Some path ->
+      Telemetry.Export.write_file path output;
+      Printf.printf "wrote %s\n" path);
+  0
+
+(* --- check-metrics: validate a --metrics report against the schema ----- *)
+
+let check_metrics file =
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match V.of_string text with
+  | Error e ->
+      Printf.printf "check-metrics: %s: parse error: %s\n" file e;
+      1
+  | Ok v ->
+      let errors = ref [] in
+      let check cond msg = if not cond then errors := msg :: !errors in
+      let has p = V.find_path v p <> None in
+      let int_at p = Option.bind (V.find_path v p) V.to_int in
+      List.iter
+        (fun f -> check (has [ "meta"; f ]) ("meta." ^ f ^ " missing"))
+        [ "date"; "scale"; "backend" ];
+      (* The six core latency histograms must all be exported (possibly
+         empty — a single-experiment run legitimately skips some
+         subsystem); every populated histogram anywhere in the registry
+         must carry percentile summaries; and at least four must be
+         populated overall. *)
+      List.iter
+        (fun (grp, h) ->
+          check
+            (has [ "registry"; grp; h; "count" ])
+            (grp ^ "." ^ h ^ " missing"))
+        [
+          ("pmwcas", "attempt_ns");
+          ("pmwcas", "success_ns");
+          ("nvram", "clwb_stall_ns");
+          ("palloc", "alloc_ns");
+          ("skiplist", "op_ns");
+          ("bwtree", "op_ns");
+        ];
+      let populated = ref 0 in
+      let rec scan path node =
+        match node with
+        | V.Obj fields when List.assoc_opt "type" fields = Some (V.String "histogram")
+          -> (
+            match Option.bind (List.assoc_opt "count" fields) V.to_int with
+            | Some c when c > 0 ->
+                incr populated;
+                check
+                  (List.mem_assoc "p50" fields)
+                  (path ^ ".p50 missing");
+                check
+                  (List.mem_assoc "p99" fields)
+                  (path ^ ".p99 missing")
+            | _ -> ())
+        | V.Obj fields ->
+            List.iter (fun (k, v) -> scan (path ^ "." ^ k) v) fields
+        | _ -> ()
+      in
+      Option.iter (scan "registry") (V.find_path v [ "registry" ]);
+      check (!populated >= 4)
+        (Printf.sprintf "only %d populated histograms (need >= 4)" !populated);
+      check
+        (match int_at [ "registry"; "nvram"; "phase_ns"; "total" ] with
+        | Some _ -> true
+        | None ->
+            (* totals are an object of per-phase sums *)
+            has [ "registry"; "nvram"; "phase_ns"; "total" ])
+        "registry.nvram.phase_ns.total missing";
+      check
+        (match int_at [ "registry"; "epoch"; "enters" ] with
+        | Some n -> n > 0
+        | None -> false)
+        "registry.epoch.enters missing or zero";
+      (match V.find_path v [ "rows" ] with
+      | Some (V.List []) -> check false "rows empty"
+      | Some (V.List rows) ->
+          check
+            (List.exists (fun row -> V.member "pmwcas" row <> None) rows)
+            "no row carries a pmwcas metrics snapshot"
+      | _ -> check false "rows missing");
+      (match !errors with
+      | [] ->
+          Printf.printf "check-metrics: %s OK\n" file;
+          0
+      | es ->
+          List.iter
+            (fun e -> Printf.printf "check-metrics: %s: FAIL: %s\n" file e)
+            (List.rev es);
+          1)
+
 (* --- crash-sweep: exhaustive crash-point sweep over the suites -------- *)
 
-let crash_sweep suite budget evict seeds domains trace sabotage =
+let crash_sweep suite budget evict seeds domains trace sabotage metrics =
+  Option.iter (fun _ -> telemetry_setup ()) metrics;
   let module Cs = Harness.Crash_sweep in
   let suites =
     if suite = "all" then Harness.Sweep_suites.all ()
@@ -196,6 +412,18 @@ let crash_sweep suite budget evict seeds domains trace sabotage =
   let summaries =
     if sabotage then Cs.with_sabotaged_precommit run_all else run_all ()
   in
+  Option.iter
+    (fun path ->
+      let doc =
+        V.Obj
+          [
+            ("registry", Telemetry.snapshot ());
+            ("summaries", V.List (List.map Cs.summary_to_json summaries));
+          ]
+      in
+      Telemetry.Export.write_file path (V.to_string ~pretty:true doc ^ "\n");
+      Printf.printf "wrote metrics to %s\n%!" path)
+    metrics;
   Harness.Table.print ~title:"crash-point sweep"
     ~header:
       [
@@ -404,6 +632,15 @@ let sweep_evict_t =
     & info [ "evict" ]
         ~doc:"Eviction probability for the seeded crash images.")
 
+let sweep_metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "Enable telemetry and write the registry snapshot plus per-suite \
+           summaries as JSON to $(docv).")
+
 let crash_sweep_cmd =
   Cmd.v
     (Cmd.info "crash-sweep"
@@ -414,12 +651,59 @@ let crash_sweep_cmd =
           durable-prefix semantics.")
     Term.(
       const crash_sweep $ suite_t $ budget_t $ sweep_evict_t $ seeds_t
-      $ domains_t $ sweep_trace_t $ sabotage_t)
+      $ domains_t $ sweep_trace_t $ sabotage_t $ sweep_metrics_t)
+
+let stats_domains_t =
+  Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker domains.")
+
+let stats_seconds_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "seconds" ] ~doc:"Workload duration per domain.")
+
+let format_t =
+  Arg.(
+    value & opt string "json"
+    & info [ "format" ] ~doc:"Output format: json, csv or prom.")
+
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~doc:"Write to $(docv) instead of stdout.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a short mixed workload (PMwCAS + skip list + Bw-tree on one \
+          simulated device) with telemetry enabled and dump the full \
+          registry snapshot: per-phase times, latency histograms, epoch \
+          counters.")
+    Term.(const stats $ stats_domains_t $ stats_seconds_t $ format_t $ out_t)
+
+let file_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Metrics JSON file to validate.")
+
+let check_metrics_cmd =
+  Cmd.v
+    (Cmd.info "check-metrics"
+       ~doc:
+         "Validate a bench --metrics report: meta block, populated latency \
+          histograms with percentiles, per-phase times, epoch counters and \
+          per-experiment rows.")
+    Term.(const check_metrics $ file_t)
 
 let main =
   Cmd.group
     (Cmd.info "pmwcas_cli" ~version:"1.0"
        ~doc:"PMwCAS demos and utilities (Easy Lock-Free Indexing in NVRAM).")
-    [ crash_demo_cmd; torture_cmd; trace_check_cmd; crash_sweep_cmd; space_cmd ]
+    [
+      crash_demo_cmd; torture_cmd; trace_check_cmd; crash_sweep_cmd;
+      space_cmd; stats_cmd; check_metrics_cmd;
+    ]
 
 let () = Stdlib.exit (Cmd.eval' main)

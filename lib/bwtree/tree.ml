@@ -730,7 +730,16 @@ let leaf_delta_op ?(eager_hint = false) h ~key decide =
   in
   attempt ()
 
-let put h ~key ~value =
+(* Whole-operation latency (traverse + delta install + retries +
+   triggered maintenance), shared across put/insert/remove/get: one
+   combined curve per structure, matching [Skiplist.Pm]. *)
+let op_hist = Telemetry.on_demand "bwtree.op_ns"
+
+let record_op t0 =
+  if t0 <> 0 then
+    Telemetry.Histogram.record (op_hist ()) (Telemetry.now_ns () - t0)
+
+let put_impl h ~key ~value =
   check_kv ~key ~value;
   leaf_delta_op h ~key (fun old ->
       `Install
@@ -738,7 +747,7 @@ let put h ~key ~value =
             fun p top -> Node.write_put h.t.mem p ~next:top ~key ~value ),
           old ))
 
-let insert h ~key ~value =
+let insert_impl h ~key ~value =
   check_kv ~key ~value;
   leaf_delta_op h ~key (fun old ->
       match old with
@@ -749,7 +758,7 @@ let insert h ~key ~value =
                 fun p top -> Node.write_put h.t.mem p ~next:top ~key ~value ),
               true ))
 
-let remove h ~key =
+let remove_impl h ~key =
   if key < 0 || key > Flags.max_payload then invalid_arg "Bwtree: key";
   leaf_delta_op ~eager_hint:true h ~key (fun old ->
       match old with
@@ -760,7 +769,7 @@ let remove h ~key =
                 fun p top -> Node.write_del h.t.mem p ~next:top ~key ),
               true ))
 
-let get h ~key =
+let get_impl h ~key =
   if key < 0 || key > Flags.max_payload then invalid_arg "Bwtree: key";
   let t = h.t in
   let (_, _, value, _, _), hints =
@@ -768,6 +777,30 @@ let get h ~key =
   in
   run_hints h hints;
   value
+
+let put h ~key ~value =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = put_impl h ~key ~value in
+  record_op t0;
+  r
+
+let insert h ~key ~value =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = insert_impl h ~key ~value in
+  record_op t0;
+  r
+
+let remove h ~key =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = remove_impl h ~key in
+  record_op t0;
+  r
+
+let get h ~key =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = get_impl h ~key in
+  record_op t0;
+  r
 
 let fold_range h ~lo ~hi ~init ~f =
   let t = h.t in

@@ -57,6 +57,16 @@ let diff a b =
     rdcss_helps = a.rdcss_helps - b.rdcss_helps;
   }
 
-let pp ppf s =
-  Format.fprintf ppf "attempts=%d ok=%d fail=%d helps=%d rdcss_helps=%d"
-    s.attempts s.succeeded s.failed s.desc_helps s.rdcss_helps
+let to_json s =
+  Telemetry.Value.Obj
+    [
+      ("attempts", Telemetry.Value.Int s.attempts);
+      ("succeeded", Telemetry.Value.Int s.succeeded);
+      ("failed", Telemetry.Value.Int s.failed);
+      ("desc_helps", Telemetry.Value.Int s.desc_helps);
+      ("rdcss_helps", Telemetry.Value.Int s.rdcss_helps);
+    ]
+
+(* Derived from [to_json]; the printed fields cannot drift from the
+   exported ones. *)
+let pp ppf s = Telemetry.Value.pp_flat ppf (to_json s)

@@ -19,4 +19,10 @@ val record_rdcss_help : t -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 val diff : snapshot -> snapshot -> snapshot
+
+val to_json : snapshot -> Telemetry.Value.t
+(** Stable export shape:
+    [{attempts; succeeded; failed; desc_helps; rdcss_helps}]. Exporters
+    use this; [pp] derives from it. *)
+
 val pp : Format.formatter -> snapshot -> unit

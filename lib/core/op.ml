@@ -4,6 +4,15 @@ module Stats = Nvram.Stats
 
 exception Phase1_failed
 
+(* Latency and help-chain telemetry (recorded only while
+   [Telemetry.enabled]). [attempt_ns] covers every top-level [execute];
+   [success_ns] just the committed ones, so the gap between the two
+   curves is the retry/contention tax. [help_depth] records how deep a
+   nested help chain ran each time a thread helped a foreign PMwCAS. *)
+let attempt_hist = Telemetry.on_demand "pmwcas.attempt_ns"
+let success_hist = Telemetry.on_demand "pmwcas.success_ns"
+let help_depth_hist = Telemetry.on_demand "pmwcas.help_depth"
+
 (* Crash-sweep self-test knob: drop the precommit flushes so the decision
    can become durable before the phase-1 pointers are. A sweeping harness
    that cannot flag this is not testing anything (see
@@ -92,8 +101,11 @@ let rec install_rdcss t ~slot ~k ~addr ~old_v =
 (* Drive the PMwCAS at [slot] to completion. Cooperative: may be entered
    by the owner and by any number of helpers at any point of the
    operation's life; every step is a CAS conditioned on the step not yet
-   having been taken. *)
-let rec help t ~slot =
+   having been taken. [depth] is the help-chain depth: 0 for the owner,
+   [n + 1] when entered while helping at depth [n]. *)
+let rec help_at t ~depth ~slot =
+  if depth > 0 && Telemetry.enabled () then
+    Telemetry.Histogram.record (help_depth_hist ()) depth;
   let mem = Pool.mem t in
   let persistent = Pool.persistent t in
   (* Phase labels for crash classification. Saved and restored so nested
@@ -123,7 +135,9 @@ let rec help t ~slot =
                if persistent && Flags.is_dirty witnessed then
                  Pcas.persist mem addr witnessed;
                Metrics.record_desc_help (Pool.metrics t);
-               ignore (help t ~slot:(Layout.desc_of_ptr witnessed));
+               ignore
+                 (help_at t ~depth:(depth + 1)
+                    ~slot:(Layout.desc_of_ptr witnessed));
                install ()
              end
            else begin
@@ -181,6 +195,8 @@ let rec help t ~slot =
   Stats.set_phase stats prev_phase;
   succeeded
 
+let help t ~slot = help_at t ~depth:1 ~slot
+
 (* pmwcas_read (Algorithm 3): never expose descriptor pointers or
    unpersisted values to the caller. *)
 let rec read t a =
@@ -217,7 +233,15 @@ let execute d =
   let h = Pool.desc_handle d in
   Pool.seal d;
   Metrics.record_attempt (Pool.metrics t);
-  let ok = Pool.with_epoch h (fun () -> help t ~slot:(Pool.desc_slot d)) in
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let ok =
+    Pool.with_epoch h (fun () -> help_at t ~depth:0 ~slot:(Pool.desc_slot d))
+  in
+  if t0 <> 0 then begin
+    let dt = Telemetry.now_ns () - t0 in
+    Telemetry.Histogram.record (attempt_hist ()) dt;
+    if ok then Telemetry.Histogram.record (success_hist ()) dt
+  end;
   if ok then Metrics.record_succeeded (Pool.metrics t)
   else Metrics.record_failed (Pool.metrics t);
   Pool.finish d ~succeeded:ok;

@@ -1,6 +1,57 @@
 let free_tag = -2
 let idle_tag = -1
 
+(* --- reclamation telemetry ----------------------------------------- *)
+
+(* Process-global sharded counters (one padded group per domain, see
+   Telemetry.Sharded): the reclamation layer had zero instrumentation,
+   and per-manager attribution matters less than "how much is this
+   process deferring/freeing and how deep do limbo lists get". Counted
+   unconditionally — each is one uncontended fetch-and-add on a path
+   that already takes a CAS or list append. *)
+let f_enter = 0 (* outermost pins *)
+let f_exit = 1 (* outermost unpins *)
+let f_advance = 2 (* global epoch bumps *)
+let f_defer = 3 (* callbacks deferred *)
+let f_free = 4 (* callbacks run (reclaimed) *)
+let f_limbo = 5 (* max limbo-list depth seen (a max, not a counter) *)
+let counters_cells = Telemetry.Sharded.create ~fields:6
+
+type counters = {
+  enters : int;
+  exits : int;
+  advances : int;
+  deferred : int;
+  freed : int;
+  max_limbo : int;
+}
+
+let counters () =
+  let sum = Telemetry.Sharded.sum counters_cells in
+  {
+    enters = sum f_enter;
+    exits = sum f_exit;
+    advances = sum f_advance;
+    deferred = sum f_defer;
+    freed = sum f_free;
+    max_limbo = Telemetry.Sharded.max_over counters_cells f_limbo;
+  }
+
+let reset_counters () = Telemetry.Sharded.reset counters_cells
+
+let counters_to_json c =
+  Telemetry.Value.Obj
+    [
+      ("enters", Telemetry.Value.Int c.enters);
+      ("exits", Telemetry.Value.Int c.exits);
+      ("advances", Telemetry.Value.Int c.advances);
+      ("deferred", Telemetry.Value.Int c.deferred);
+      ("freed", Telemetry.Value.Int c.freed);
+      ("max_limbo", Telemetry.Value.Int c.max_limbo);
+    ]
+
+let pp_counters ppf c = Telemetry.Value.pp_flat ppf (counters_to_json c)
+
 type t = {
   slots : int Atomic.t array;
   epoch : int Atomic.t;
@@ -54,7 +105,10 @@ let register t =
 
 let check_live g = if not g.live then invalid_arg "Epoch: guard unregistered"
 let current t = Atomic.get t.epoch
-let advance t = 1 + Atomic.fetch_and_add t.epoch 1
+
+let advance t =
+  Telemetry.Sharded.incr counters_cells f_advance;
+  1 + Atomic.fetch_and_add t.epoch 1
 let registered t = Atomic.get t.registered
 
 let safe_before t =
@@ -79,14 +133,17 @@ let enter g =
       Atomic.set g.cell e;
       if Atomic.get g.mgr.epoch <> e then pin ()
     in
-    pin ()
+    pin ();
+    Telemetry.Sharded.incr counters_cells f_enter
   end;
   g.depth <- g.depth + 1
 
 let defer g fn =
   check_live g;
   g.garbage <- (Atomic.get g.mgr.epoch, fn) :: g.garbage;
-  g.garbage_len <- g.garbage_len + 1
+  g.garbage_len <- g.garbage_len + 1;
+  Telemetry.Sharded.incr counters_cells f_defer;
+  Telemetry.Sharded.record_max counters_cells f_limbo g.garbage_len
 
 let run_eligible ~bound items =
   let run, keep = List.partition (fun (e, _) -> e < bound) items in
@@ -120,6 +177,7 @@ let reclaim g =
   let orphans = take_orphans g.mgr in
   let n2, keep_orphans = run_eligible ~bound orphans in
   give_orphans g.mgr keep_orphans;
+  if n1 + n2 > 0 then Telemetry.Sharded.add counters_cells f_free (n1 + n2);
   n1 + n2
 
 let exit g =
@@ -128,6 +186,7 @@ let exit g =
   g.depth <- g.depth - 1;
   if g.depth = 0 then begin
     Atomic.set g.cell idle_tag;
+    Telemetry.Sharded.incr counters_cells f_exit;
     g.exits <- g.exits + 1;
     if g.exits mod reclaim_period = 0 || g.garbage_len >= garbage_high_water
     then begin
@@ -163,4 +222,5 @@ let drain_all t =
     t.slots;
   let orphans = take_orphans t in
   let n, _ = run_eligible ~bound:max_int orphans in
+  if n > 0 then Telemetry.Sharded.add counters_cells f_free n;
   n

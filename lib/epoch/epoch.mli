@@ -67,3 +67,26 @@ val drain_all : t -> int
 
 val registered : t -> int
 (** Number of live guards (for tests and space accounting). *)
+
+(** {2 Reclamation counters}
+
+    Process-global (across every manager): cumulative reclamation
+    activity, counted unconditionally on paths that already pay a CAS or
+    a list append. *)
+
+type counters = {
+  enters : int;  (** Outermost [enter] calls (pins). *)
+  exits : int;  (** Outermost [exit] calls (unpins). *)
+  advances : int;  (** Global epoch bumps. *)
+  deferred : int;  (** Callbacks scheduled with [defer]. *)
+  freed : int;  (** Callbacks actually run. *)
+  max_limbo : int;  (** Deepest per-guard limbo list ever observed. *)
+}
+
+val counters : unit -> counters
+
+val reset_counters : unit -> unit
+(** Zero the process-global counters (tests and fresh benchmark runs). *)
+
+val counters_to_json : counters -> Telemetry.Value.t
+val pp_counters : Format.formatter -> counters -> unit

@@ -293,6 +293,46 @@ let pp_failure ppf f =
   | Some (fuel, seed) ->
       Format.fprintf ppf " [shrunk to fuel=%d seed=%a]" fuel pp_seed seed
 
+let summary_to_json s =
+  let module V = Telemetry.Value in
+  let failure_to_json f =
+    V.Obj
+      [
+        ("fuel", V.Int f.fuel);
+        ( "evict_seed",
+          match f.evict_seed with None -> V.Null | Some x -> V.Int x );
+        ("phase", V.String (Stats.phase_name f.phase));
+        ("reason", V.String f.reason);
+        ( "shrunk",
+          match f.shrunk with
+          | None -> V.Null
+          | Some (fuel, seed) ->
+              V.Obj
+                [
+                  ("fuel", V.Int fuel);
+                  ( "evict_seed",
+                    match seed with None -> V.Null | Some x -> V.Int x );
+                ] );
+      ]
+  in
+  V.Obj
+    [
+      ("suite", V.String s.suite);
+      ("total_steps", V.Int s.total_steps);
+      ("points", V.Int s.points);
+      ("crashes", V.Int s.crashes);
+      ("images", V.Int s.images);
+      ("rolled_forward", V.Int s.rolled_forward);
+      ("rolled_back", V.Int s.rolled_back);
+      ( "by_phase",
+        V.Obj
+          (List.map
+             (fun (p, n) -> (Stats.phase_name p, V.Int n))
+             s.by_phase) );
+      ("failures", V.List (List.map failure_to_json s.failures));
+      ("seconds", V.Float s.seconds);
+    ]
+
 let pp_summary ppf s =
   Format.fprintf ppf
     "%s: %d steps, %d points (%d crashed), %d images, rolled forward %d / \

@@ -112,3 +112,7 @@ val with_sabotaged_precommit : (unit -> 'a) -> 'a
 val ok : summary -> bool
 val pp_failure : Format.formatter -> failure -> unit
 val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_json : summary -> Telemetry.Value.t
+(** Stable export shape: every [pp_summary] field plus the full failure
+    list, for [--metrics] output of the sweep CLI. *)

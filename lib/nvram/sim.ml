@@ -110,14 +110,35 @@ let charge_flush_delay t =
     Domain.cpu_relax ()
   done
 
+(* Stall-time histograms: how long the caller was stuck in the
+   write-back (line lock + copy + modelled device latency). On-demand so
+   the registry entry only appears once a simulated device runs. *)
+let clwb_hist = Telemetry.on_demand "nvram.clwb_stall_ns"
+let fence_hist = Telemetry.on_demand "nvram.fence_ns"
+
 let clwb t a =
   check t a;
   spend t;
   Stats.record_flush t.stats;
-  write_back_line t (a / t.cfg.line_words);
-  charge_flush_delay t
+  if Telemetry.enabled () then begin
+    let t0 = Telemetry.now_ns () in
+    write_back_line t (a / t.cfg.line_words);
+    charge_flush_delay t;
+    Telemetry.Histogram.record (clwb_hist ())
+      (Telemetry.now_ns () - t0)
+  end
+  else begin
+    write_back_line t (a / t.cfg.line_words);
+    charge_flush_delay t
+  end
 
-let fence t = Stats.record_fence t.stats
+let fence t =
+  Stats.record_fence t.stats;
+  (* [clwb] is synchronous in this model, so a fence never stalls: it
+     records a zero-duration sample purely so fence frequency shows up
+     alongside the clwb stall histogram. *)
+  if Telemetry.enabled () then
+    Telemetry.Histogram.record (fence_hist ()) 0
 
 let persist_all t =
   for line = 0 to Array.length t.line_locks - 1 do

@@ -71,8 +71,79 @@ let slot field =
 let record_flush t = ignore (Atomic.fetch_and_add t.(slot 0) 1)
 let record_fence t = ignore (Atomic.fetch_and_add t.(slot 1) 1)
 let record_cas t = ignore (Atomic.fetch_and_add t.(slot 2) 1)
-let set_phase t p = Atomic.set t.(slot phase_field) (phase_to_int p)
+
+(* --- per-phase wall time ------------------------------------------- *)
+
+(* Accumulated nanoseconds per (domain shard, phase), fed by the phase
+   register transitions below. Process-global rather than per-device:
+   the phase register itself stays per-device (crash classification
+   needs the frozen instance value), but telemetry wants "time this
+   process spent in Decide" across every device a bench run creates.
+   One group of [stride] = 8 boxed atomics per shard — exactly one cell
+   per phase — so neighbouring domains never share a line. *)
+let phase_ns = Array.init (shards * stride) (fun _ -> Atomic.make 0)
+
+(* Per-shard timestamp of the last phase switch (slot 0 of each padded
+   group). 0 means "no switch seen since telemetry was enabled": the
+   first switch only stamps, so enabling mid-run never credits the
+   entire process uptime to a phase. *)
+let last_switch = Array.init (shards * stride) (fun _ -> Atomic.make 0)
+
+let set_phase t p =
+  let s = (Domain.self () :> int) land (shards - 1) in
+  let reg = t.((s * stride) + phase_field) in
+  if Telemetry.enabled () then begin
+    let now = Telemetry.now_ns () in
+    let last_cell = last_switch.(s * stride) in
+    let last = Atomic.get last_cell in
+    (if last <> 0 then
+       let prev = Atomic.get reg in
+       ignore (Atomic.fetch_and_add phase_ns.((s * stride) + prev) (now - last)));
+    Atomic.set last_cell now
+  end;
+  Atomic.set reg (phase_to_int p)
+
 let current_phase t = phase_of_int (Atomic.get t.(slot phase_field))
+
+let phase_time p =
+  let f = phase_to_int p in
+  let acc = ref 0 in
+  for s = 0 to shards - 1 do
+    acc := !acc + Atomic.get phase_ns.((s * stride) + f)
+  done;
+  !acc
+
+let phase_times () = List.map (fun p -> (p, phase_time p)) all_phases
+
+let phase_times_by_domain () =
+  List.filter_map
+    (fun s ->
+      let row =
+        List.filter_map
+          (fun p ->
+            let v = Atomic.get phase_ns.((s * stride) + phase_to_int p) in
+            if v = 0 then None else Some (p, v))
+          all_phases
+      in
+      if row = [] then None else Some (s, row))
+    (List.init shards (fun s -> s))
+
+let reset_phase_times () =
+  Array.iter (fun c -> Atomic.set c 0) phase_ns;
+  Array.iter (fun c -> Atomic.set c 0) last_switch
+
+let phase_times_to_json () =
+  let module V = Telemetry.Value in
+  let row ps = V.Obj (List.map (fun (p, ns) -> (phase_name p, V.Int ns)) ps) in
+  V.Obj
+    [
+      ("total", row (phase_times ()));
+      ( "by_domain",
+        V.Obj
+          (List.map
+             (fun (s, ps) -> (string_of_int s, row ps))
+             (phase_times_by_domain ())) );
+    ]
 
 let sum t field =
   let acc = ref 0 in
@@ -91,8 +162,17 @@ let diff a b =
     cases = a.cases - b.cases;
   }
 
-let pp ppf s =
-  Format.fprintf ppf "flushes=%d fences=%d cas=%d" s.flushes s.fences s.cases
+let to_json s =
+  Telemetry.Value.Obj
+    [
+      ("flushes", Telemetry.Value.Int s.flushes);
+      ("fences", Telemetry.Value.Int s.fences);
+      ("cas", Telemetry.Value.Int s.cases);
+    ]
+
+(* Derived from [to_json], so the printed fields can never drift from
+   the exported ones. *)
+let pp ppf s = Telemetry.Value.pp_flat ppf (to_json s)
 
 (* The phase register must sit past the counter fields and inside the
    shard's padding. *)

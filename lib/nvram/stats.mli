@@ -46,7 +46,10 @@ val record_fence : t -> unit
 val record_cas : t -> unit
 
 val set_phase : t -> phase -> unit
-(** Label the calling domain's current phase. *)
+(** Label the calling domain's current phase. When telemetry is enabled
+    ({!Telemetry.enabled}), each transition also charges the wall time
+    since the shard's previous transition to the phase being left — the
+    per-phase timing the telemetry registry reports. *)
 
 val current_phase : t -> phase
 (** The calling domain's phase register ([App] if never set). *)
@@ -57,4 +60,24 @@ val reset : t -> unit
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] — per-field subtraction. *)
 
+val to_json : snapshot -> Telemetry.Value.t
+(** Stable export shape: [{flushes; fences; cas}]. Exporters use this;
+    [pp] derives from it. *)
+
 val pp : Format.formatter -> snapshot -> unit
+
+(** {1 Per-phase wall time}
+
+    Process-global accumulation (across every device), per domain shard,
+    fed by {!set_phase} transitions while telemetry is enabled. Time in
+    a phase that has not transitioned out yet is not counted. *)
+
+val phase_time : phase -> int
+(** Total nanoseconds charged to a phase, summed over domains. *)
+
+val phase_times : unit -> (phase * int) list
+val phase_times_by_domain : unit -> (int * (phase * int) list) list
+(** Non-empty rows only, keyed by domain shard index. *)
+
+val phase_times_to_json : unit -> Telemetry.Value.t
+val reset_phase_times : unit -> unit

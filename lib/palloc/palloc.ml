@@ -146,9 +146,15 @@ let obtain t ~nwords =
 let slot_block h = h.t.slots_base + (2 * h.slot)
 let slot_dest h = h.t.slots_base + (2 * h.slot) + 1
 
+(* End-to-end allocation latency: covers free-list pop / carve, the
+   activation record and its flushes. On-demand so the registry entry
+   only appears once an allocator runs. *)
+let alloc_hist = Telemetry.on_demand "palloc.alloc_ns"
+
 let alloc h ~nwords ~dest =
   if not h.live then invalid_arg "Palloc: handle already released";
   if nwords <= 0 then invalid_arg "Palloc.alloc: nwords <= 0";
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
   let t = h.t in
   (* Phase label for crash classification; restored on normal return only
      so an injected crash freezes it (see Nvram.Stats). *)
@@ -179,6 +185,9 @@ let alloc h ~nwords ~dest =
     Mem.clwb t.mem (slot_block h)
   end;
   Nvram.Stats.set_phase stats_sh prev_phase;
+  if t0 <> 0 then
+    Telemetry.Histogram.record (alloc_hist ())
+      (Telemetry.now_ns () - t0);
   payload
 
 let alloc_unsafe h ~nwords =

@@ -206,7 +206,17 @@ let promote h n ~key ~level =
   in
   level_loop 1
 
-let insert h ~key ~value =
+(* Whole-operation latency (search + PMwCAS + retries), shared across
+   insert/delete/update/find: the per-attempt cost already has its own
+   histogram in [Pmwcas.Op], so one combined curve per structure is the
+   right granularity for comparing index designs. *)
+let op_hist = Telemetry.on_demand "skiplist.op_ns"
+
+let record_op t0 =
+  if t0 <> 0 then
+    Telemetry.Histogram.record (op_hist ()) (Telemetry.now_ns () - t0)
+
+let insert_impl h ~key ~value =
   if key < 0 || key > Flags.max_payload then invalid_arg "Pm.insert: key";
   if value < 0 || value > Flags.max_payload then invalid_arg "Pm.insert: value";
   let t = h.sl in
@@ -255,7 +265,7 @@ let insert h ~key ~value =
   in
   attempt ()
 
-let delete h ~key =
+let delete_impl h ~key =
   let t = h.sl in
   (* One level unlinked per epoch-scoped attempt, top-down; the base-level
      PMwCAS decides the delete and reclaims the node. *)
@@ -326,7 +336,7 @@ let delete h ~key =
   in
   attempt ()
 
-let update h ~key ~value =
+let update_impl h ~key ~value =
   if value < 0 || value > Flags.max_payload then invalid_arg "Pm.update: value";
   let t = h.sl in
   let rec attempt () =
@@ -356,7 +366,7 @@ let update h ~key ~value =
   in
   attempt ()
 
-let find h ~key =
+let find_impl h ~key =
   let t = h.sl in
   Pool.with_epoch h.ph (fun () ->
       let _, succs = search t key in
@@ -364,6 +374,30 @@ let find h ~key =
       if n <> t.tail && key_of t n = key then
         Some (Op.read t.pool (value_addr n))
       else None)
+
+let insert h ~key ~value =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = insert_impl h ~key ~value in
+  record_op t0;
+  r
+
+let delete h ~key =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = delete_impl h ~key in
+  record_op t0;
+  r
+
+let update h ~key ~value =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = update_impl h ~key ~value in
+  record_op t0;
+  r
+
+let find h ~key =
+  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = find_impl h ~key in
+  record_op t0;
+  r
 
 let fold_range h ~lo ~hi ~init ~f =
   let t = h.sl in

@@ -1,0 +1,4 @@
+(* Monotonic nanosecond clock (CLOCK_MONOTONIC via bechamel's noalloc C
+   stub). All latency instrumentation records through this. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())

@@ -1,0 +1,134 @@
+(* Exporters over the registry / value tree: JSON (BENCH_*.json and
+   --metrics files), CSV (flat path,value rows for spreadsheets), and the
+   Prometheus text exposition format. *)
+
+let to_json ?pretty v = Value.to_string ?pretty v
+
+(* ------------------------------------------------------------------ *)
+(* CSV: flatten the tree to [path,value] rows; lists index as [i].     *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv v =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "path,value\n";
+  let emit path s =
+    Buffer.add_string buf (csv_escape path);
+    Buffer.add_char buf ',';
+    Buffer.add_string buf (csv_escape s);
+    Buffer.add_char buf '\n'
+  in
+  let join path k = if path = "" then k else path ^ "." ^ k in
+  let rec walk path = function
+    | Value.Null -> emit path "null"
+    | Value.Bool b -> emit path (string_of_bool b)
+    | Value.Int i -> emit path (string_of_int i)
+    | Value.Float f -> emit path (Printf.sprintf "%.12g" f)
+    | Value.String s -> emit path s
+    | Value.List items ->
+        List.iteri (fun i v -> walk (join path (string_of_int i)) v) items
+    | Value.Obj fields -> List.iter (fun (k, v) -> walk (join path k) v) fields
+  in
+  walk "" v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text format.                                             *)
+
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* Label values escape backslash, double-quote and newline per the
+   exposition-format spec. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k)
+                 (escape_label_value v))
+             labels)
+      ^ "}"
+
+let hist_to_prometheus buf ~name ~labels snap =
+  let base = sanitize_name name in
+  Printf.bprintf buf "# TYPE %s histogram\n" base;
+  let cumulative = ref 0 in
+  List.iter
+    (fun (_, hi, n) ->
+      cumulative := !cumulative + n;
+      Printf.bprintf buf "%s_bucket%s %d\n" base
+        (render_labels (labels @ [ ("le", string_of_int hi) ]))
+        !cumulative)
+    (Histogram.nonzero_buckets snap);
+  Printf.bprintf buf "%s_bucket%s %d\n" base
+    (render_labels (labels @ [ ("le", "+Inf") ]))
+    snap.Histogram.count;
+  Printf.bprintf buf "%s_sum%s %d\n" base (render_labels labels)
+    snap.Histogram.sum;
+  Printf.bprintf buf "%s_count%s %d\n" base (render_labels labels)
+    snap.Histogram.count
+
+(* A source's numeric leaves flatten to one series per path. Counter
+   sources get the conventional [_total] suffix. *)
+let source_to_prometheus buf ~name ~labels ~kind v =
+  let join path k =
+    if k = "" then path else if path = "" then k else path ^ "_" ^ k
+  in
+  let type_str, suffix =
+    match kind with `Counter -> ("counter", "_total") | `Gauge -> ("gauge", "")
+  in
+  let emit path value =
+    let series = sanitize_name (join name path) ^ suffix in
+    Printf.bprintf buf "# TYPE %s %s\n" series type_str;
+    Printf.bprintf buf "%s%s %s\n" series (render_labels labels) value
+  in
+  let rec walk path = function
+    | Value.Int i -> emit path (string_of_int i)
+    | Value.Float f -> emit path (Printf.sprintf "%.12g" f)
+    | Value.Bool b -> emit path (if b then "1" else "0")
+    | Value.Obj fields -> List.iter (fun (k, v) -> walk (join path k) v) fields
+    | Value.List _ | Value.String _ | Value.Null -> ()
+  in
+  walk "" v
+
+let to_prometheus ?(labels = []) reg =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Registry.Hist h ->
+          hist_to_prometheus buf ~name ~labels (Histogram.snapshot h)
+      | Registry.Source (kind, fn) ->
+          source_to_prometheus buf ~name ~labels ~kind (fn ()))
+    (Registry.entries reg);
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

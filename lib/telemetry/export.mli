@@ -1,0 +1,27 @@
+(** Exporters: JSON, CSV and Prometheus text format.
+
+    JSON and CSV consume any {!Value.t} tree (typically
+    [Registry.snapshot] plus bench rows); the Prometheus exporter works
+    off the registry directly, because it needs to know which entries are
+    histograms (cumulative [_bucket{le=...}] series) versus counter or
+    gauge sources. *)
+
+val to_json : ?pretty:bool -> Value.t -> string
+
+val to_csv : Value.t -> string
+(** Flatten to [path,value] rows (header included); list elements index
+    as path segments. *)
+
+val to_prometheus : ?labels:(string * string) list -> Registry.t -> string
+(** Prometheus text exposition: each histogram entry becomes
+    [_bucket]/[_sum]/[_count] series with [le] labels, each counter
+    source's numeric leaves become [_total] counters, gauge sources
+    become gauges. [labels] are attached to every series; label values
+    are escaped per the format spec. *)
+
+val write_file : string -> string -> unit
+
+(**/**)
+
+val sanitize_name : string -> string
+val escape_label_value : string -> string

@@ -1,0 +1,198 @@
+(* Log-bucketed latency histogram, HdrHistogram-style: values below
+   [sub_buckets] get exact unit-width buckets; each further power-of-two
+   range [2^e, 2^(e+1)) is split into [sub_buckets] equal sub-buckets, so
+   relative error is bounded by 1/sub_buckets at every scale. Recording
+   is a handful of lock-free fetch-and-adds on the calling domain's
+   shard; snapshots merge the shards. *)
+
+let sub_bits = 3
+let sub_buckets = 1 lsl sub_bits (* 8: <= 12.5% relative bucket width *)
+let max_exponent = 62
+let groups = max_exponent - sub_bits + 1
+let num_buckets = (groups + 1) * sub_buckets
+
+(* Domains hash onto [shards] independent bucket arrays purely to cut
+   contention; correctness never depends on the mapping. *)
+let shards = 8
+
+let msb v =
+  (* Index of the highest set bit; [v > 0]. *)
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin
+    r := !r + 32;
+    v := !v lsr 32
+  end;
+  if !v lsr 16 <> 0 then begin
+    r := !r + 16;
+    v := !v lsr 16
+  end;
+  if !v lsr 8 <> 0 then begin
+    r := !r + 8;
+    v := !v lsr 8
+  end;
+  if !v lsr 4 <> 0 then begin
+    r := !r + 4;
+    v := !v lsr 4
+  end;
+  if !v lsr 2 <> 0 then begin
+    r := !r + 2;
+    v := !v lsr 2
+  end;
+  if !v lsr 1 <> 0 then incr r;
+  !r
+
+let index v =
+  let v = if v < 0 then 0 else v in
+  if v < sub_buckets then v
+  else begin
+    let e = msb v in
+    let shift = e - sub_bits in
+    let i = ((shift + 1) lsl sub_bits) lor ((v lsr shift) land (sub_buckets - 1)) in
+    if i >= num_buckets then num_buckets - 1 else i
+  end
+
+let bounds i =
+  if i < 0 || i >= num_buckets then invalid_arg "Histogram.bounds";
+  let g = i lsr sub_bits and sub = i land (sub_buckets - 1) in
+  if g = 0 then (sub, sub)
+  else begin
+    let e = g + sub_bits - 1 in
+    let width = 1 lsl (e - sub_bits) in
+    let lo = (1 lsl e) lor (sub * width) in
+    (lo, lo + width - 1)
+  end
+
+type shard = {
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  max_v : int Atomic.t;
+}
+
+type t = shard array
+
+let make_shard () =
+  {
+    buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    max_v = Atomic.make 0;
+  }
+
+let create () = Array.init shards (fun _ -> make_shard ())
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let s = t.((Domain.self () :> int) land (shards - 1)) in
+  ignore (Atomic.fetch_and_add s.buckets.(index v) 1);
+  ignore (Atomic.fetch_and_add s.count 1);
+  ignore (Atomic.fetch_and_add s.sum v);
+  atomic_max s.max_v v
+
+type snapshot = {
+  counts : int array;  (** one cell per bucket, dense *)
+  count : int;
+  sum : int;
+  max_value : int;
+}
+
+let empty =
+  { counts = Array.make num_buckets 0; count = 0; sum = 0; max_value = 0 }
+
+let snapshot t =
+  let counts = Array.make num_buckets 0 in
+  let count = ref 0 and sum = ref 0 and max_v = ref 0 in
+  Array.iter
+    (fun s ->
+      for i = 0 to num_buckets - 1 do
+        counts.(i) <- counts.(i) + Atomic.get s.buckets.(i)
+      done;
+      count := !count + Atomic.get s.count;
+      sum := !sum + Atomic.get s.sum;
+      max_v := max !max_v (Atomic.get s.max_v))
+    t;
+  { counts; count = !count; sum = !sum; max_value = !max_v }
+
+let reset t =
+  Array.iter
+    (fun s ->
+      Array.iter (fun c -> Atomic.set c 0) s.buckets;
+      Atomic.set s.count 0;
+      Atomic.set s.sum 0;
+      Atomic.set s.max_v 0)
+    t
+
+let merge a b =
+  {
+    counts = Array.init num_buckets (fun i -> a.counts.(i) + b.counts.(i));
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    max_value = max a.max_value b.max_value;
+  }
+
+let mean s = if s.count = 0 then 0. else float_of_int s.sum /. float_of_int s.count
+
+(* Value at quantile [q]: the upper bound of the first bucket whose
+   cumulative count reaches [q * count], clamped to the recorded maximum
+   (so [percentile s 1. = s.max_value]). *)
+let percentile s q =
+  if s.count = 0 then 0
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int s.count)) in
+      if t < 1 then 1 else t
+    in
+    let rec scan i acc =
+      if i >= num_buckets then s.max_value
+      else begin
+        let acc = acc + s.counts.(i) in
+        if acc >= target then min (snd (bounds i)) s.max_value
+        else scan (i + 1) acc
+      end
+    in
+    scan 0 0
+  end
+
+let nonzero_buckets s =
+  let out = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if s.counts.(i) > 0 then begin
+      let lo, hi = bounds i in
+      out := (lo, hi, s.counts.(i)) :: !out
+    end
+  done;
+  !out
+
+let to_json s =
+  Value.Obj
+    [
+      ("type", Value.String "histogram");
+      ("count", Value.Int s.count);
+      ("sum", Value.Int s.sum);
+      ("mean", Value.Float (mean s));
+      ("max", Value.Int s.max_value);
+      ("p50", Value.Int (percentile s 0.50));
+      ("p90", Value.Int (percentile s 0.90));
+      ("p99", Value.Int (percentile s 0.99));
+      ("p999", Value.Int (percentile s 0.999));
+      ( "buckets",
+        Value.List
+          (List.map
+             (fun (lo, hi, n) ->
+               Value.Obj
+                 [
+                   ("lo", Value.Int lo);
+                   ("hi", Value.Int hi);
+                   ("count", Value.Int n);
+                 ])
+             (nonzero_buckets s)) );
+    ]
+
+let pp ppf s =
+  Format.fprintf ppf "count=%d mean=%.0f p50=%d p99=%d max=%d" s.count
+    (mean s) (percentile s 0.5) (percentile s 0.99) s.max_value

@@ -1,0 +1,56 @@
+(** Lock-free log-bucketed latency histogram (HdrHistogram-style).
+
+    Values below 8 get exact unit buckets; each power-of-two range above
+    is split into 8 sub-buckets, bounding relative error to 12.5% at
+    every scale up to [2^62]. [record] performs a few fetch-and-adds on
+    the calling domain's shard — no locks, no allocation — so it is safe
+    on the hottest paths when telemetry is enabled. Snapshots merge the
+    shards and are themselves mergeable (associatively and commutatively),
+    so multi-process or per-phase snapshots compose. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+(** Record a non-negative sample (negative values clamp to 0). Typically
+    a latency in nanoseconds. *)
+
+val reset : t -> unit
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counts : int array;
+  count : int;
+  sum : int;
+  max_value : int;
+}
+
+val empty : snapshot
+val snapshot : t -> snapshot
+val merge : snapshot -> snapshot -> snapshot
+
+val percentile : snapshot -> float -> int
+(** [percentile s q] for [q] in [0, 1]: upper bound of the bucket where
+    the cumulative count reaches [q * count], clamped to [max_value];
+    0 on an empty snapshot. Monotone in [q]. *)
+
+val mean : snapshot -> float
+
+val nonzero_buckets : snapshot -> (int * int * int) list
+(** [(lo, hi, count)] per occupied bucket, ascending; bounds inclusive. *)
+
+val to_json : snapshot -> Value.t
+(** Tree with [type=histogram], count/sum/mean/max, p50/p90/p99/p999 and
+    the occupied buckets. *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+(** {1 Bucket geometry (exposed for tests)} *)
+
+val num_buckets : int
+val index : int -> int
+(** Bucket index a value lands in; monotone non-decreasing. *)
+
+val bounds : int -> int * int
+(** Inclusive [lo, hi] of a bucket index. *)

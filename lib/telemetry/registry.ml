@@ -1,0 +1,85 @@
+(* Central metric registry: a flat name -> entry table whose [snapshot]
+   assembles one nested tree from the dotted names. Histograms live in
+   the registry itself; counter groups owned by other layers
+   (Nvram.Stats, Pmwcas.Metrics, epoch counters) plug in as snapshot
+   thunks. Registration is rare (startup / per-bench-environment), so a
+   mutex is fine; reading a histogram someone else is recording into is
+   lock-free as always. *)
+
+type kind = [ `Counter | `Gauge ]
+
+type entry =
+  | Hist of Histogram.t
+  | Source of kind * (unit -> Value.t)
+
+type t = { mutable entries : (string * entry) list; lock : Mutex.t }
+
+let create () = { entries = []; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let histogram t name =
+  with_lock t (fun () ->
+      match List.assoc_opt name t.entries with
+      | Some (Hist h) -> h
+      | Some (Source _) ->
+          invalid_arg
+            (Printf.sprintf "Registry.histogram: %S is a source" name)
+      | None ->
+          let h = Histogram.create () in
+          t.entries <- t.entries @ [ (name, Hist h) ];
+          h)
+
+(* Re-registering a name replaces it: benches create a fresh environment
+   (device, pool, epoch manager) per data point, and the registry should
+   describe the live one. *)
+let register_source ?(kind = `Counter) t name fn =
+  with_lock t (fun () ->
+      let entry = Source (kind, fn) in
+      if List.mem_assoc name t.entries then
+        t.entries <-
+          List.map
+            (fun (n, e) -> if n = name then (n, entry) else (n, e))
+            t.entries
+      else t.entries <- t.entries @ [ (name, entry) ])
+
+let remove t name =
+  with_lock t (fun () ->
+      t.entries <- List.filter (fun (n, _) -> n <> name) t.entries)
+
+let entries t = with_lock t (fun () -> t.entries)
+
+let reset_histograms t =
+  List.iter
+    (function _, Hist h -> Histogram.reset h | _, Source _ -> ())
+    (entries t)
+
+(* Insert [value] at dotted [path] inside a nested Obj tree, preserving
+   first-registration order of siblings. *)
+let rec insert_path tree path value =
+  match path with
+  | [] -> value
+  | seg :: rest ->
+      let fields = match tree with Value.Obj f -> f | _ -> [] in
+      if List.mem_assoc seg fields then
+        Value.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = seg then (k, insert_path v rest value) else (k, v))
+             fields)
+      else Value.Obj (fields @ [ (seg, insert_path (Value.Obj []) rest value) ])
+
+let split_name name = String.split_on_char '.' name
+
+let snapshot t =
+  List.fold_left
+    (fun tree (name, entry) ->
+      let v =
+        match entry with
+        | Hist h -> Histogram.to_json (Histogram.snapshot h)
+        | Source (_, fn) -> fn ()
+      in
+      insert_path tree (split_name name) v)
+    (Value.Obj []) (entries t)

@@ -1,0 +1,37 @@
+(** Central metric registry.
+
+    Metrics register under dotted names ("pmwcas.attempt_ns"); [snapshot]
+    assembles every entry into one nested {!Value.t} tree. Histograms are
+    owned by the registry; counter groups owned by other layers plug in
+    as snapshot thunks via [register_source]. Registration is
+    mutex-guarded (it is rare); recording into a registered histogram is
+    lock-free. *)
+
+type t
+
+type kind = [ `Counter | `Gauge ]
+(** How the Prometheus exporter types a source's numeric leaves:
+    [`Counter] leaves export as monotonically increasing [_total] series,
+    [`Gauge] leaves as gauges. *)
+
+type entry =
+  | Hist of Histogram.t
+  | Source of kind * (unit -> Value.t)
+
+val create : unit -> t
+
+val histogram : t -> string -> Histogram.t
+(** Get-or-create the histogram registered under this name.
+    @raise Invalid_argument if the name is taken by a source. *)
+
+val register_source : ?kind:kind -> t -> string -> (unit -> Value.t) -> unit
+(** Register (or replace — benches re-register per environment) a
+    snapshot thunk under a dotted name. [kind] defaults to [`Counter]. *)
+
+val remove : t -> string -> unit
+val entries : t -> (string * entry) list
+
+val snapshot : t -> Value.t
+(** One nested object tree over all entries, splitting names on ['.']. *)
+
+val reset_histograms : t -> unit

@@ -1,0 +1,72 @@
+(* Periodic time-series sampler: a background domain wakes every
+   [interval_s], reads each source, and appends a sample row. Counter
+   sources report rates (delta / interval); gauge sources report levels.
+   The sampled counters are the sharded ones ([Nvram.Stats],
+   [Pmwcas.Metrics]) that worker domains already maintain, so sampling
+   adds nothing to the hot loops — benches get throughput-over-time
+   curves for free. *)
+
+type source = { name : string; read : unit -> float; kind : [ `Rate | `Level ] }
+
+let counter name read =
+  { name; read = (fun () -> float_of_int (read ())); kind = `Rate }
+
+let gauge name read = { name; read; kind = `Level }
+
+type sample = { at_s : float; values : (string * float) list }
+
+type t = {
+  stop : bool Atomic.t;
+  domain : sample list Domain.t;
+}
+
+let start ?(interval_s = 0.05) sources =
+  if interval_s <= 0. then invalid_arg "Sampler.start: interval_s <= 0";
+  let stop = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        let t0 = Clock.now_ns () in
+        let prev = Array.of_list (List.map (fun s -> s.read ()) sources) in
+        let prev_t = ref t0 in
+        let out = ref [] in
+        while not (Atomic.get stop) do
+          Unix.sleepf interval_s;
+          let now = Clock.now_ns () in
+          let dt = float_of_int (now - !prev_t) /. 1e9 in
+          if dt > 0. then begin
+            let values =
+              List.mapi
+                (fun i s ->
+                  let v = s.read () in
+                  let out =
+                    match s.kind with
+                    | `Rate ->
+                        let d = v -. prev.(i) in
+                        prev.(i) <- v;
+                        d /. dt
+                    | `Level -> v
+                  in
+                  (s.name, out))
+                sources
+            in
+            prev_t := now;
+            out :=
+              { at_s = float_of_int (now - t0) /. 1e9; values } :: !out
+          end
+        done;
+        List.rev !out)
+  in
+  { stop; domain }
+
+let stop t =
+  Atomic.set t.stop true;
+  Domain.join t.domain
+
+let to_json samples =
+  Value.List
+    (List.map
+       (fun s ->
+         Value.Obj
+           (("t_s", Value.Float s.at_s)
+           :: List.map (fun (k, v) -> (k, Value.Float v)) s.values))
+       samples)

@@ -1,0 +1,29 @@
+(** Periodic time-series sampler.
+
+    A background domain polls the given sources at a fixed interval while
+    worker domains run, turning the system's sharded counters into
+    throughput/retry-rate/flush-rate curves over time — without touching
+    the hot loops (workers already maintain those counters). *)
+
+type source
+
+val counter : string -> (unit -> int) -> source
+(** A monotone counter; samples report its rate (delta per second over
+    the last interval). *)
+
+val gauge : string -> (unit -> float) -> source
+(** An instantaneous level; samples report it as read. *)
+
+type sample = { at_s : float;  (** seconds since [start] *)
+                values : (string * float) list }
+
+type t
+
+val start : ?interval_s:float -> source list -> t
+(** Spawn the sampling domain (default interval 50 ms). *)
+
+val stop : t -> sample list
+(** Stop and join the sampler; returns the samples in time order. *)
+
+val to_json : sample list -> Value.t
+(** A JSON list of [{t_s; <name>: rate-or-level; ...}] rows. *)

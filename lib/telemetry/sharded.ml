@@ -1,0 +1,50 @@
+(* Per-domain sharded counter groups — the pattern [Nvram.Stats] and
+   [Pmwcas.Metrics] established, factored out for new instrumentation
+   (epoch reclamation counters). Each domain increments its own
+   cache-line-padded group of boxed atomics, so instrumented fast paths
+   never contend; [sum] merges the shards on read. *)
+
+let shards = 64
+
+(* 8 boxed atomics = 128 bytes: two cache lines per domain group, enough
+   that neighbouring domains never false-share. *)
+let stride = 8
+
+type t = int Atomic.t array
+
+let create ~fields =
+  if fields <= 0 || fields > stride then invalid_arg "Sharded.create: fields";
+  Array.init (shards * stride) (fun _ -> Atomic.make 0)
+
+let slot field =
+  let d = (Domain.self () :> int) in
+  ((d land (shards - 1)) * stride) + field
+
+let incr t field = ignore (Atomic.fetch_and_add t.(slot field) 1)
+let add t field n = ignore (Atomic.fetch_and_add t.(slot field) n)
+
+(* Monotone max cell: each domain maxes into its own shard, [max_over]
+   takes the max across shards — a lock-free global running maximum. *)
+let record_max t field v =
+  let cell = t.(slot field) in
+  let rec loop () =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then loop ()
+  in
+  loop ()
+
+let sum t field =
+  let acc = ref 0 in
+  for s = 0 to shards - 1 do
+    acc := !acc + Atomic.get t.((s * stride) + field)
+  done;
+  !acc
+
+let max_over t field =
+  let acc = ref 0 in
+  for s = 0 to shards - 1 do
+    acc := max !acc (Atomic.get t.((s * stride) + field))
+  done;
+  !acc
+
+let reset t = Array.iter (fun c -> Atomic.set c 0) t

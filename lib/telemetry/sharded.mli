@@ -1,0 +1,25 @@
+(** Per-domain sharded counter groups.
+
+    The counter pattern of [Nvram.Stats]/[Pmwcas.Metrics] factored out:
+    each domain owns a cache-line-padded group of atomics (no contention
+    on the increment path), [sum] merges shards on read. Up to 8 fields
+    per group. *)
+
+type t
+
+val create : fields:int -> t
+(** @raise Invalid_argument unless [0 < fields <= 8]. *)
+
+val incr : t -> int -> unit
+(** [incr t field] — bump the calling domain's counter for [field]. *)
+
+val add : t -> int -> int -> unit
+
+val record_max : t -> int -> int -> unit
+(** Treat [field] as a running maximum instead of a counter: lock-free
+    max into the calling domain's shard. Read back with {!max_over} (not
+    {!sum}). *)
+
+val sum : t -> int -> int
+val max_over : t -> int -> int
+val reset : t -> unit

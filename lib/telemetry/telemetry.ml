@@ -1,0 +1,56 @@
+(** Unified telemetry layer.
+
+    One process-wide switch ({!enable}/{!enabled}), a monotonic
+    nanosecond clock, lock-free histograms and sharded counters, a
+    central registry that snapshots everything into one {!Value.t} tree,
+    and JSON/CSV/Prometheus exporters plus a periodic time-series
+    sampler.
+
+    Instrumented fast paths throughout the stack ([Op.execute],
+    [Sim.clwb], [Palloc.alloc], index operations) guard their recording
+    with [if Telemetry.enabled () then ...]: disabled, the cost is one
+    atomic load and a branch; enabled, a clock read and a few
+    fetch-and-adds on the calling domain's histogram shard. *)
+
+module Value = Value
+module Histogram = Histogram
+module Sharded = Sharded
+module Registry = Registry
+module Export = Export
+module Sampler = Sampler
+module Clock = Clock
+
+(* The global switch. A plain atomic read on every instrumented path;
+   false by default so the seed benchmarks are unaffected. *)
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let[@inline] enabled () = Atomic.get enabled_flag
+
+let now_ns = Clock.now_ns
+
+(* The default registry every layer's module-level histograms register
+   into; [pmwcas_cli stats] and [bench --metrics] snapshot it. *)
+let default : Registry.t = Registry.create ()
+let histogram name = Registry.histogram default name
+
+(* Domain-safe on-first-use histogram handle for module-level
+   instrumentation sites. OCaml's [lazy] must not be forced from two
+   domains at once (CamlinternalLazy.Undefined), so hot modules use this
+   instead of [lazy (histogram name)]. [histogram] is get-or-create
+   under the registry lock, so a racing first call is idempotent and the
+   losing writer caches the same handle. *)
+let on_demand name =
+  let cell = Atomic.make None in
+  fun () ->
+    match Atomic.get cell with
+    | Some h -> h
+    | None ->
+        let h = histogram name in
+        Atomic.set cell (Some h);
+        h
+
+let register_source ?kind name fn =
+  Registry.register_source ?kind default name fn
+
+let snapshot () = Registry.snapshot default

@@ -1,0 +1,315 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_json f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_json f)
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let rec write_indented buf ~indent ~level = function
+  | List [] -> Buffer.add_string buf "[]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | List items ->
+      let pad n = String.make (indent * n) ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (level + 1));
+          write_indented buf ~indent ~level:(level + 1) v)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad level);
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      let pad n = String.make (indent * n) ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (level + 1));
+          escape_string buf k;
+          Buffer.add_string buf ": ";
+          write_indented buf ~indent ~level:(level + 1) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad level);
+      Buffer.add_char buf '}'
+  | v -> write buf v
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  if pretty then write_indented buf ~indent:2 ~level:0 v else write buf v;
+  Buffer.contents buf
+
+let pp ppf v = Format.pp_print_string ppf (to_string ~pretty:true v)
+
+(* [pp_flat] renders the top-level fields of an object as "k=v k=v ..." —
+   the one place the human-readable counter lines are formatted, so [pp]
+   in Stats/Metrics derives from [to_json] instead of hand-formatting. *)
+let pp_flat ppf v =
+  let leaf = function
+    | Null -> "null"
+    | Bool b -> string_of_bool b
+    | Int i -> string_of_int i
+    | Float f -> Printf.sprintf "%g" f
+    | String s -> s
+    | (List _ | Obj _) as v -> to_string v
+  in
+  match v with
+  | Obj fields ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+        (fun ppf (k, v) -> Format.fprintf ppf "%s=%s" k (leaf v))
+        ppf fields
+  | v -> Format.pp_print_string ppf (leaf v)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (minimal recursive descent, enough for our own exports).    *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %c" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail c "bad \\u escape"
+            in
+            (* Only BMP code points below 0x80 round-trip exactly; encode
+               the rest as UTF-8. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            c.pos <- c.pos + 4
+        | _ -> fail c "bad escape");
+        advance c;
+        loop ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec run () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        run ()
+    | _ -> ()
+  in
+  run ();
+  let s = String.sub c.src start (c.pos - start) in
+  if s = "" then fail c "expected number";
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' ->
+      advance c;
+      String (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail c "expected , or ]"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          expect c '"';
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev (kv :: acc)
+          | _ -> fail c "expected , or }"
+        in
+        Obj (fields [])
+      end
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then Error "trailing garbage"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Access helpers (schema checks, tests).                              *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let rec find_path v = function
+  | [] -> Some v
+  | name :: rest -> (
+      match member name v with
+      | Some v' -> find_path v' rest
+      | None -> None)
+
+let to_int = function Int i -> Some i | Float f -> Some (int_of_float f) | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None

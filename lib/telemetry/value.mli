@@ -1,0 +1,40 @@
+(** A JSON-shaped value tree: the lingua franca of the telemetry layer.
+
+    Every snapshot source ([Nvram.Stats.to_json], [Pmwcas.Metrics.to_json],
+    epoch counters, histogram snapshots) produces one of these; every
+    exporter (JSON, CSV, Prometheus) consumes them. Keeping one tree type
+    means no layer ever hand-formats its metrics. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize as JSON. [pretty] indents with two spaces. Non-finite
+    floats serialize as [null]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty JSON on a formatter. *)
+
+val pp_flat : Format.formatter -> t -> unit
+(** Render an object's top-level fields as ["k=v k=v ..."] — the derived
+    human-readable form used by [Stats.pp] and [Metrics.pp]. *)
+
+val of_string : string -> (t, string) result
+(** Parse JSON text (objects, arrays, strings with escapes, ints, floats,
+    booleans, null). Integers without a fractional part parse as [Int].
+    Used by the metrics-schema checker and the round-trip tests. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] elsewhere. *)
+
+val find_path : t -> string list -> t option
+(** Nested field lookup, e.g. [find_path v ["registry"; "pmwcas"]]. *)
+
+val to_int : t -> int option
+val to_float : t -> float option

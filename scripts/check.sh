@@ -18,6 +18,10 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== telemetry smoke"
+dune exec bench/main.exe -- smoke --metrics /tmp/telemetry_smoke.json
+dune exec bin/pmwcas_cli.exe -- check-metrics /tmp/telemetry_smoke.json
+
 echo "== crash-sweep smoke"
 dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 60 --seeds 1
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 120 \

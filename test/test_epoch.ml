@@ -200,6 +200,40 @@ let prop_defer_reclaim_conservation =
       ignore (Epoch.drain_all t);
       Array.for_all (fun c -> c = 1) (Array.sub runs 0 n))
 
+let test_counters_track_activity () =
+  let before = Epoch.counters () in
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  Epoch.enter g;
+  for _ = 1 to 5 do
+    Epoch.defer g (fun () -> ())
+  done;
+  Epoch.exit g;
+  ignore (Epoch.advance t);
+  let ran = Epoch.reclaim g in
+  Alcotest.(check int) "reclaimed all" 5 ran;
+  Epoch.unregister g;
+  let after = Epoch.counters () in
+  (* Deltas, not absolutes: the counters are process-global and other
+     tests in this binary also touch them. *)
+  Alcotest.(check int) "enters" 1 (after.Epoch.enters - before.Epoch.enters);
+  Alcotest.(check int) "exits" 1 (after.Epoch.exits - before.Epoch.exits);
+  Alcotest.(check bool) "advances" true
+    (after.Epoch.advances - before.Epoch.advances >= 1);
+  Alcotest.(check int) "deferred" 5
+    (after.Epoch.deferred - before.Epoch.deferred);
+  Alcotest.(check int) "freed" 5 (after.Epoch.freed - before.Epoch.freed);
+  Alcotest.(check bool) "max_limbo saw the backlog" true
+    (after.Epoch.max_limbo >= 5);
+  (* Snapshot serialization carries every field. *)
+  let j = Epoch.counters_to_json after in
+  List.iter
+    (fun k ->
+      match Telemetry.Value.member k j with
+      | Some (Telemetry.Value.Int _) -> ()
+      | _ -> Alcotest.failf "counters_to_json missing int field %s" k)
+    [ "enters"; "exits"; "advances"; "deferred"; "freed"; "max_limbo" ]
+
 let () =
   Alcotest.run "epoch"
     [
@@ -225,6 +259,8 @@ let () =
             test_drain_all_refuses_pinned;
           Alcotest.test_case "guard unusable after unregister" `Quick
             test_guard_unusable_after_unregister;
+          Alcotest.test_case "reclamation counters track activity" `Quick
+            test_counters_track_activity;
         ] );
       ( "concurrency",
         [

@@ -1,0 +1,363 @@
+(* Tests for the telemetry layer: histogram bucketing and percentiles,
+   merge algebra, the registry tree, exporters (JSON round-trip, CSV,
+   Prometheus text), the sampler, and the per-phase time accounting in
+   Nvram.Stats. *)
+
+module H = Telemetry.Histogram
+module V = Telemetry.Value
+module R = Telemetry.Registry
+module E = Telemetry.Export
+
+(* --- histogram bucketing ---------------------------------------------- *)
+
+let test_bucket_boundaries () =
+  (* Every representative value must land in a bucket whose [lo, hi]
+     range contains it, and the index must be monotone in the value. *)
+  let values =
+    [ 0; 1; 2; 7; 8; 9; 15; 16; 17; 100; 1023; 1024; 65537; 1_000_000;
+      (1 lsl 40) + 123; max_int ]
+  in
+  List.iter
+    (fun v ->
+      let i = H.index v in
+      let lo, hi = H.bounds i in
+      if not (lo <= v && v <= hi) then
+        Alcotest.failf "value %d in bucket %d = [%d, %d]" v i lo hi)
+    values;
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        if H.index a > H.index b then
+          Alcotest.failf "index not monotone at %d -> %d" a b;
+        pairs rest
+    | _ -> ()
+  in
+  pairs values;
+  Alcotest.(check bool)
+    "indices stay in range" true
+    (List.for_all (fun v -> H.index v < H.num_buckets) values)
+
+let test_record_snapshot () =
+  let h = H.create () in
+  List.iter (fun v -> H.record h v) [ 1; 2; 3; 100; 1000 ];
+  let s = H.snapshot h in
+  Alcotest.(check int) "count" 5 s.H.count;
+  Alcotest.(check int) "sum" 1106 s.H.sum;
+  Alcotest.(check int) "max" 1000 s.H.max_value;
+  (* Negative samples clamp to zero rather than corrupting a bucket. *)
+  H.record h (-5);
+  let s = H.snapshot h in
+  Alcotest.(check int) "negative clamps" 6 s.H.count
+
+let test_percentiles () =
+  let h = H.create () in
+  for v = 1 to 1000 do
+    H.record h v
+  done;
+  let s = H.snapshot h in
+  let p50 = H.percentile s 0.5
+  and p90 = H.percentile s 0.9
+  and p99 = H.percentile s 0.99
+  and p100 = H.percentile s 1.0 in
+  (* Bucketed percentiles overestimate by at most one sub-bucket width
+     (1/8 relative). *)
+  if not (p50 >= 500 && p50 <= 640) then Alcotest.failf "p50 = %d" p50;
+  if not (p90 >= 900 && p90 <= 1024) then Alcotest.failf "p90 = %d" p90;
+  (* Monotone, and p100 is exactly the max. *)
+  if not (p50 <= p90 && p90 <= p99 && p99 <= p100) then
+    Alcotest.failf "percentiles not monotone: %d %d %d %d" p50 p90 p99 p100;
+  Alcotest.(check int) "p100 = max" 1000 p100
+
+let test_empty_histogram () =
+  let s = H.snapshot (H.create ()) in
+  Alcotest.(check int) "count" 0 s.H.count;
+  Alcotest.(check int) "p50 of empty" 0 (H.percentile s 0.5);
+  Alcotest.(check int) "max" 0 s.H.max_value;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (H.mean s)
+
+let test_merge () =
+  let mk vals =
+    let h = H.create () in
+    List.iter (H.record h) vals;
+    H.snapshot h
+  in
+  let a = mk [ 1; 10; 100 ]
+  and b = mk [ 2; 20; 2000 ]
+  and c = mk [ 3; 30000 ] in
+  let ab_c = H.merge (H.merge a b) c and a_bc = H.merge a (H.merge b c) in
+  Alcotest.(check bool) "associative" true (ab_c = a_bc);
+  Alcotest.(check bool) "commutative" true (H.merge a b = H.merge b a);
+  Alcotest.(check int) "merged count" 8 ab_c.H.count;
+  Alcotest.(check int) "merged max" 30000 ab_c.H.max_value;
+  Alcotest.(check int) "merged sum" 32136 ab_c.H.sum;
+  Alcotest.(check bool) "empty is identity" true (H.merge a H.empty = a)
+
+let test_concurrent_record () =
+  let h = H.create () in
+  let domains = 4 and per = 10_000 in
+  List.init domains (fun _ ->
+      Domain.spawn (fun () ->
+          for v = 1 to per do
+            H.record h v
+          done))
+  |> List.iter Domain.join;
+  let s = H.snapshot h in
+  Alcotest.(check int) "count" (domains * per) s.H.count;
+  Alcotest.(check int) "sum" (domains * (per * (per + 1) / 2)) s.H.sum;
+  Alcotest.(check int) "max" per s.H.max_value
+
+(* --- registry --------------------------------------------------------- *)
+
+let test_registry_tree () =
+  let r = R.create () in
+  let h = R.histogram r "a.b.lat_ns" in
+  H.record h 42;
+  R.register_source r "a.counters" (fun () ->
+      V.Obj [ ("x", V.Int 7) ]);
+  (* get-or-create: same histogram back. *)
+  H.record (R.histogram r "a.b.lat_ns") 43;
+  let s = R.snapshot r in
+  (match V.find_path s [ "a"; "b"; "lat_ns"; "count" ] with
+  | Some (V.Int 2) -> ()
+  | v ->
+      Alcotest.failf "bad count node %s"
+        (Option.fold ~none:"missing" ~some:(fun v -> V.to_string v) v));
+  (match V.find_path s [ "a"; "counters"; "x" ] with
+  | Some (V.Int 7) -> ()
+  | _ -> Alcotest.fail "source leaf missing");
+  (* asking for a histogram under a source's name is rejected *)
+  (try
+     ignore (R.histogram r "a.counters");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* [Telemetry.on_demand] exists because [lazy] cells poisoned under
+   concurrent first forcing (CamlinternalLazy.Undefined): hammer the
+   first use from several domains and check every record landed in one
+   shared histogram. *)
+let test_on_demand_concurrent () =
+  let get = Telemetry.on_demand "test.on_demand_ns" in
+  let domains = 4 and per = 1000 in
+  List.init domains (fun _ ->
+      Domain.spawn (fun () ->
+          for v = 1 to per do
+            H.record (get ()) v
+          done))
+  |> List.iter Domain.join;
+  let s = H.snapshot (Telemetry.histogram "test.on_demand_ns") in
+  Alcotest.(check int) "all records in one histogram" (domains * per)
+    s.H.count;
+  Telemetry.Registry.remove Telemetry.default "test.on_demand_ns"
+
+(* --- JSON round-trip and exporters ------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    V.Obj
+      [
+        ("s", V.String "with \"quotes\"\nand\tescapes\\");
+        ("i", V.Int (-42));
+        ("f", V.Float 0.001219);
+        ("whole", V.Float 3.0);
+        ("b", V.Bool true);
+        ("n", V.Null);
+        ("l", V.List [ V.Int 1; V.Obj []; V.List [] ]);
+      ]
+  in
+  List.iter
+    (fun pretty ->
+      match V.of_string (V.to_string ~pretty v) with
+      | Ok v' ->
+          if v' <> v then
+            Alcotest.failf "round-trip mismatch (pretty=%b): %s" pretty
+              (V.to_string v')
+      | Error e -> Alcotest.failf "parse failed (pretty=%b): %s" pretty e)
+    [ false; true ];
+  (* Non-finite floats degrade to null, not invalid JSON. *)
+  (match V.of_string (V.to_string (V.Float Float.nan)) with
+  | Ok V.Null -> ()
+  | _ -> Alcotest.fail "nan must serialize as null");
+  match V.of_string "{\"a\": 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated input must not parse"
+
+let test_csv () =
+  let v =
+    V.Obj
+      [
+        ("a", V.Obj [ ("b", V.Int 1) ]);
+        ("l", V.List [ V.Int 5; V.Int 6 ]);
+      ]
+  in
+  let lines = String.split_on_char '\n' (String.trim (E.to_csv v)) in
+  Alcotest.(check (list string))
+    "rows"
+    [ "path,value"; "a.b,1"; "l.0,5"; "l.1,6" ]
+    lines
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus () =
+  let r = R.create () in
+  let h = R.histogram r "ns.lat_ns" in
+  List.iter (H.record h) [ 1; 5; 9; 100 ];
+  R.register_source ~kind:`Counter r "ns.ops" (fun () -> V.Int 4);
+  R.register_source ~kind:`Gauge r "ns.depth" (fun () -> V.Int 3);
+  let text = E.to_prometheus ~labels:[ ("run", "a\"b\\c\nd") ] r in
+  (* histogram typed as such, with cumulative buckets and +Inf = count *)
+  Alcotest.(check bool) "histogram TYPE" true
+    (contains ~needle:"# TYPE ns_lat_ns histogram" text);
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains ~needle:"le=\"+Inf\"" text);
+  Alcotest.(check bool) "count series" true
+    (contains ~needle:"ns_lat_ns_count" text);
+  (* counters get _total and the counter type; gauges neither *)
+  Alcotest.(check bool) "counter TYPE" true
+    (contains ~needle:"# TYPE ns_ops_total counter" text);
+  Alcotest.(check bool) "gauge TYPE" true
+    (contains ~needle:"# TYPE ns_depth gauge" text);
+  (* label escaping: backslash, quote and newline *)
+  Alcotest.(check bool) "label escaped" true
+    (contains ~needle:"run=\"a\\\"b\\\\c\\nd\"" text);
+  (* cumulative bucket counts are nondecreasing and end at count *)
+  let buckets =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> contains ~needle:"ns_lat_ns_bucket" l)
+    |> List.map (fun l ->
+           match String.rindex_opt l ' ' with
+           | Some i ->
+               int_of_string
+                 (String.sub l (i + 1) (String.length l - i - 1))
+           | None -> Alcotest.failf "bad bucket line %s" l)
+  in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative" true (nondecreasing buckets);
+  Alcotest.(check int) "last bucket = count" 4
+    (List.nth buckets (List.length buckets - 1))
+
+(* --- sharded counters -------------------------------------------------- *)
+
+let test_sharded () =
+  let c = Telemetry.Sharded.create ~fields:3 in
+  List.init 4 (fun _ ->
+      Domain.spawn (fun () ->
+          for i = 1 to 1000 do
+            Telemetry.Sharded.incr c 0;
+            Telemetry.Sharded.add c 1 2;
+            Telemetry.Sharded.record_max c 2 i
+          done))
+  |> List.iter Domain.join;
+  let sum = Telemetry.Sharded.sum c in
+  Alcotest.(check int) "incr" 4000 (sum 0);
+  Alcotest.(check int) "add" 8000 (sum 1);
+  Alcotest.(check int) "max" 1000 (Telemetry.Sharded.max_over c 2);
+  Telemetry.Sharded.reset c;
+  Alcotest.(check int) "reset" 0 (sum 0)
+
+(* --- sampler ----------------------------------------------------------- *)
+
+let test_sampler () =
+  let ticks = Atomic.make 0 in
+  let s =
+    Telemetry.Sampler.start ~interval_s:0.01
+      [
+        Telemetry.Sampler.counter "rate" (fun () -> Atomic.get ticks);
+        Telemetry.Sampler.gauge "level" (fun () -> 2.5);
+      ]
+  in
+  for _ = 1 to 50 do
+    ignore (Atomic.fetch_and_add ticks 10);
+    Unix.sleepf 0.002
+  done;
+  let samples = Telemetry.Sampler.stop s in
+  Alcotest.(check bool) "collected samples" true (List.length samples >= 2);
+  List.iter
+    (fun (smp : Telemetry.Sampler.sample) ->
+      match List.assoc_opt "level" smp.values with
+      | Some l -> Alcotest.(check (float 1e-9)) "gauge level" 2.5 l
+      | None -> Alcotest.fail "missing gauge")
+    samples;
+  (* times strictly increase *)
+  let ts = List.map (fun (s : Telemetry.Sampler.sample) -> s.at_s) samples in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps increase" true (increasing ts);
+  match Telemetry.Sampler.to_json samples with
+  | V.List (row :: _) ->
+      Alcotest.(check bool) "t_s present" true (V.member "t_s" row <> None)
+  | _ -> Alcotest.fail "to_json shape"
+
+(* --- phase-time accounting in Nvram.Stats ------------------------------ *)
+
+let test_phase_times () =
+  let module S = Nvram.Stats in
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable (fun () ->
+      S.reset_phase_times ();
+      let st = S.create () in
+      S.set_phase st S.Install;
+      Unix.sleepf 0.01;
+      S.set_phase st S.Apply;
+      Unix.sleepf 0.002;
+      S.set_phase st S.App;
+      let install = S.phase_time S.Install and apply = S.phase_time S.Apply in
+      (* Sleeps put loose lower bounds on the charged intervals. *)
+      Alcotest.(check bool) "install charged" true (install >= 5_000_000);
+      Alcotest.(check bool) "apply charged" true (apply >= 1_000_000);
+      Alcotest.(check bool) "install > apply" true (install > apply);
+      match V.find_path (S.phase_times_to_json ()) [ "total"; "install" ] with
+      | Some (V.Int n) -> Alcotest.(check int) "json total" install n
+      | _ -> Alcotest.fail "phase_times_to_json shape")
+
+let test_disabled_costs_nothing () =
+  (* With telemetry off, set_phase must not accumulate time. *)
+  let module S = Nvram.Stats in
+  Telemetry.disable ();
+  S.reset_phase_times ();
+  let st = S.create () in
+  S.set_phase st S.Install;
+  Unix.sleepf 0.002;
+  S.set_phase st S.App;
+  Alcotest.(check int) "nothing charged" 0 (S.phase_time S.Install)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "record/snapshot" `Quick test_record_snapshot;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "empty" `Quick test_empty_histogram;
+          Alcotest.test_case "merge algebra" `Quick test_merge;
+          Alcotest.test_case "concurrent record" `Quick test_concurrent_record;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "nested tree" `Quick test_registry_tree;
+          Alcotest.test_case "on_demand concurrent first use" `Quick
+            test_on_demand_concurrent;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "prometheus" `Quick test_prometheus;
+        ] );
+      ( "sharded",
+        [ Alcotest.test_case "concurrent counters" `Quick test_sharded ] );
+      ("sampler", [ Alcotest.test_case "rates and gauges" `Quick test_sampler ]);
+      ( "phases",
+        [
+          Alcotest.test_case "accumulation" `Quick test_phase_times;
+          Alcotest.test_case "disabled is free" `Quick
+            test_disabled_costs_nothing;
+        ] );
+    ]
