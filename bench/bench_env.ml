@@ -27,9 +27,14 @@ let align8 a = (a + 7) / 8 * 8
    does not pin one itself. Overridden by [main.exe --backend]. *)
 let default_volatile_backend : Mem.backend ref = ref `Dram
 
-let make ?(persistent = true) ?backend ?(flush_delay = 0) ?(max_threads = 8)
-    ?(descs_per_thread = 32) ?(max_words = 8) ?(heap_words = 1 lsl 22)
-    ?(map_words = 1 lsl 16) ?(data_words = 1 lsl 20) () =
+(* Flush mode for environments that do not pin one (the b2 experiment
+   pins both sides explicitly). Overridden by [main.exe --flush]. *)
+let default_flush_mode : Nvram.Config.flush_mode option ref = ref None
+
+let make ?(persistent = true) ?backend ?(flush_delay = 0) ?flush_mode
+    ?(max_threads = 8) ?(descs_per_thread = 32) ?(max_words = 8)
+    ?(heap_words = 1 lsl 22) ?(map_words = 1 lsl 16)
+    ?(data_words = 1 lsl 20) () =
   let pool_words = Pool.region_words ~max_words ~descs_per_thread ~max_threads () in
   let heap_base = align8 pool_words in
   let sl_anchor = align8 (heap_base + heap_words) in
@@ -44,7 +49,13 @@ let make ?(persistent = true) ?backend ?(flush_delay = 0) ?(max_threads = 8)
   in
   if persistent && backend <> `Sim then
     invalid_arg "Bench_env.make: persistent runs need the simulated backend";
-  let mem = Mem.create_backend backend (Nvram.Config.make ~flush_delay ~words ()) in
+  let flush_mode =
+    match flush_mode with Some _ -> flush_mode | None -> !default_flush_mode
+  in
+  let mem =
+    Mem.create_backend backend
+      (Nvram.Config.make ~flush_delay ?flush_mode ~words ())
+  in
   let palloc =
     Palloc.create ~persistent mem ~base:heap_base ~words:heap_words
       ~max_threads

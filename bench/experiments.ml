@@ -45,9 +45,11 @@ let section title = Printf.printf "\n=== %s ===\n%!" title
 (* ------------------------------------------------------------------ *)
 (* Multi-word CAS microbenchmark thunks.                               *)
 
-let mwcas_env ?persistent ?backend ?flush_delay ~threads ~range () =
+let mwcas_env ?persistent ?backend ?flush_delay ?flush_mode ~threads ~range
+    () =
   let env =
-    Bench_env.make ?persistent ?backend ?flush_delay ~max_threads:threads
+    Bench_env.make ?persistent ?backend ?flush_delay ?flush_mode
+      ~max_threads:threads
       ~heap_words:(1 lsl 12)
       ~map_words:8
       ~data_words:(max 64 range)
@@ -88,9 +90,11 @@ let mwcas_thunk (env : Bench_env.t) ~nwords ~range tid =
 
 (* [label] additionally pushes a JSON row (and, with it, a throughput /
    flush-rate time series) into [Report] when [--metrics] is active. *)
-let run_mwcas_point ?persistent ?backend ?flush_delay ?label ~threads ~range
-    ~nwords ~seconds () =
-  let env = mwcas_env ?persistent ?backend ?flush_delay ~threads ~range () in
+let run_mwcas_point ?persistent ?backend ?flush_delay ?flush_mode ?label
+    ~threads ~range ~nwords ~seconds () =
+  let env =
+    mwcas_env ?persistent ?backend ?flush_delay ?flush_mode ~threads ~range ()
+  in
   let sampler =
     match label with
     | Some _ when Report.want () ->
@@ -257,10 +261,11 @@ let index_op (type h) ~insert ~delete ~update ~find ~scan ~(h : h) ~mix ~dist
 
 let index_heap_words s = max (1 lsl 20) (64 * s.index_keys)
 
-let skiplist_bench ?label ?(mix_name = "") s ~mix ~threads variant =
+let skiplist_bench ?label ?(mix_name = "") ?flush_delay ?flush_mode s ~mix
+    ~threads variant =
   let persistent = variant = Sl_persistent in
   let env =
-    Bench_env.make ~persistent ~max_threads:threads
+    Bench_env.make ~persistent ?flush_delay ?flush_mode ~max_threads:threads
       ~heap_words:(index_heap_words s) ~map_words:8
       ~data_words:8 ()
   in
@@ -323,7 +328,7 @@ let skiplist_bench ?label ?(mix_name = "") s ~mix ~threads variant =
         ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
         ())
     label;
-  r
+  (r, Nvram.Stats.snapshot (Mem.stats env.mem))
 
 (* E4: the skip-list comparison — the paper reports 1-3% PMwCAS overhead
    vs the volatile MwCAS implementation under realistic workloads. *)
@@ -337,9 +342,9 @@ let e4 s =
     (fun (mname, mix) ->
       List.iter
         (fun threads ->
-          let cas = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_cas in
-          let vol = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_volatile in
-          let per = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_persistent in
+          let cas, _ = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_cas in
+          let vol, _ = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_volatile in
+          let per, _ = skiplist_bench ~label:"e4" ~mix_name:mname s ~mix ~threads Sl_persistent in
           rows :=
             [
               mname;
@@ -875,6 +880,78 @@ let b1 s =
     ~header:[ "array"; "threads"; "sim"; "dram"; "speedup" ]
     (List.rev !rows)
 
+(* B2: the asynchronous write-back pipeline (clwb marks a line pending,
+   the fence drains distinct lines once) against the synchronous model
+   (every clwb stalls for its full write-back). Both sides pay the same
+   modelled NVM write-back latency (flush_delay 240 — 4x E1's delayed
+   variant, so the write-back dominates the pipeline's bookkeeping);
+   only the device's flush semantics change, so the throughput gap and
+   the flushes-per-op drop are pure pipeline wins: coalesced lines are
+   charged once per distinct line per fence, and clean lines not at
+   all.  The MwCAS point uses a small 64-word array so a descriptor's
+   target words share cache lines — the case phase-batched flushing is
+   built for. *)
+let b2 s =
+  section
+    "B2  Flush pipeline: async clwb + drain fence vs synchronous clwb";
+  let fpo (st : Nvram.Stats.snapshot) (r : Harness.Runner.result) =
+    float_of_int st.flushes /. float_of_int (max 1 r.ops)
+  in
+  let mwcas_point mode threads =
+    let r, _, env =
+      run_mwcas_point ~persistent:true ~flush_delay:240 ~flush_mode:mode
+        ~label:("b2.mwcas." ^ Nvram.Config.flush_mode_name mode)
+        ~threads ~range:64 ~nwords:4 ~seconds:s.seconds ()
+    in
+    (r, Nvram.Stats.snapshot (Mem.stats env.mem))
+  in
+  let sl_point mode threads =
+    skiplist_bench
+      ~label:("b2.skiplist." ^ Nvram.Config.flush_mode_name mode)
+      ~mix_name:"50/50" ~flush_delay:240 ~flush_mode:mode s ~mix:Mix.balanced
+      ~threads Sl_persistent
+  in
+  let rows = ref [] in
+  List.iter
+    (fun
+      ( workload,
+        (point :
+          Nvram.Config.flush_mode ->
+          int ->
+          Runner.result * Nvram.Stats.snapshot) )
+    ->
+      List.iter
+        (fun threads ->
+          let sr, sst = point Nvram.Config.Sync threads in
+          let ar, ast = point Nvram.Config.Async threads in
+          rows :=
+            [
+              workload;
+              string_of_int threads;
+              Table.kops sr.throughput;
+              Table.kops ar.throughput;
+              Table.ratio ar.throughput sr.throughput;
+              Printf.sprintf "%.1f" (fpo sst sr);
+              Printf.sprintf "%.1f" (fpo ast ar);
+              Printf.sprintf "%.2f"
+                (float_of_int ast.elided_flushes
+                /. float_of_int (max 1 (ast.flushes + ast.elided_flushes)));
+            ]
+            :: !rows)
+        s.threads)
+    [ ("mwcas-4w", mwcas_point); ("skiplist", sl_point) ];
+  Table.print
+    ~title:
+      "persistent workloads, sync vs async flushing (Kops/s); speedup = \
+       async/sync; fl/op = device flushes per operation; elide = fraction \
+       of async clwbs absorbed by coalescing"
+    ~header:
+      [
+        "workload"; "threads"; "sync"; "async"; "speedup"; "fl/op sync";
+        "fl/op async"; "elide";
+      ]
+    (List.rev !rows)
+
 (* Telemetry smoke: one tiny point per instrumented subsystem, so a
    [--metrics] run populates every latency histogram (PMwCAS attempt,
    clwb stall, palloc alloc, skip-list op, Bw-tree op) in a couple of
@@ -886,7 +963,7 @@ let smoke s =
     run_mwcas_point ~persistent:true ~label:"smoke.mwcas" ~threads:2
       ~range:256 ~nwords:4 ~seconds:s.seconds ()
   in
-  let sl =
+  let sl, _ =
     skiplist_bench ~label:"smoke.skiplist" ~mix_name:"50/50" s
       ~mix:Mix.balanced ~threads:2 Sl_persistent
   in
@@ -916,7 +993,8 @@ let run_all ~full_scale () =
   e10 s;
   a1 s;
   a2 s;
-  b1 s
+  b1 s;
+  b2 s
 
 let by_name name s =
   match name with
@@ -933,5 +1011,6 @@ let by_name name s =
   | "a1" -> a1 s
   | "a2" -> a2 s
   | "b1" | "backends" -> b1 s
+  | "b2" | "flush" -> b2 s
   | "smoke" -> smoke s
   | _ -> Printf.printf "unknown experiment %s\n" name

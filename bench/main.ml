@@ -1,11 +1,14 @@
 (* Entry point: regenerate the paper's tables and figures.
 
-   usage: bench/main.exe [all|e1|..|e10|b1|smoke|bechamel] [--full]
-                         [--backend sim|dram] [--metrics FILE]
+   usage: bench/main.exe [all|e1|..|e10|b1|b2|smoke|bechamel] [--full]
+                         [--backend sim|dram] [--flush sync|async]
+                         [--metrics FILE]
 
    With no argument, runs every experiment at the quick scale.
    [--backend] picks the memory backend for volatile runs (default dram;
    persistent runs always use the simulated NVRAM device).
+   [--flush] forces the device's write-back mode for every experiment
+   that does not pin one itself (default async; b2 compares both).
    [--metrics FILE] enables telemetry and writes a JSON report — the
    registry snapshot (per-phase times, latency histograms, epoch
    counters) plus one row per measured point — to FILE at the end. *)
@@ -19,6 +22,14 @@ let () =
         | Some b -> Experiments_lib.Bench_env.default_volatile_backend := b
         | None ->
             Printf.eprintf "unknown backend %S (expected sim or dram)\n" b;
+            exit 2);
+        strip rest
+    | "--flush" :: m :: rest ->
+        (match Nvram.Config.flush_mode_of_string m with
+        | Some m -> Experiments_lib.Bench_env.default_flush_mode := Some m
+        | None ->
+            Printf.eprintf "unknown flush mode %S (expected sync or async)\n"
+              m;
             exit 2);
         strip rest
     | "--metrics" :: path :: rest ->

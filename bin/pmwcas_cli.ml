@@ -295,7 +295,7 @@ let stats domains seconds format out =
 
 (* --- check-metrics: validate a --metrics report against the schema ----- *)
 
-let check_metrics file =
+let check_metrics require_coalescing file =
   let ic = open_in_bin file in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -368,7 +368,33 @@ let check_metrics file =
       | Some (V.List rows) ->
           check
             (List.exists (fun row -> V.member "pmwcas" row <> None) rows)
-            "no row carries a pmwcas metrics snapshot"
+            "no row carries a pmwcas metrics snapshot";
+          if require_coalescing then begin
+            (* The async write-back pipeline must show its teeth: clwbs
+               that coalesced or elided, and strictly fewer fences than
+               issued flushes (a fence batches many lines). *)
+            let sum field =
+              List.fold_left
+                (fun acc row ->
+                  match
+                    Option.bind (V.member "nvram" row) (fun s ->
+                        Option.bind (V.member field s) V.to_int)
+                  with
+                  | Some n -> acc + n
+                  | None -> acc)
+                0 rows
+            in
+            let flushes = sum "flushes"
+            and fences = sum "fences"
+            and elided = sum "elided_flushes" in
+            check (elided > 0)
+              (Printf.sprintf "no flush coalescing observed (elided=%d)"
+                 elided);
+            check
+              (fences <= flushes)
+              (Printf.sprintf "fences (%d) exceed flushes (%d)" fences
+                 flushes)
+          end
       | _ -> check false "rows missing");
       (match !errors with
       | [] ->
@@ -382,7 +408,8 @@ let check_metrics file =
 
 (* --- crash-sweep: exhaustive crash-point sweep over the suites -------- *)
 
-let crash_sweep suite budget evict seeds domains trace sabotage metrics =
+let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
+    metrics =
   Option.iter (fun _ -> telemetry_setup ()) metrics;
   let module Cs = Harness.Crash_sweep in
   let suites =
@@ -408,6 +435,39 @@ let crash_sweep suite budget evict seeds domains trace sabotage metrics =
     Printf.printf "\r%-30s\r%!" "";
     sum
   in
+  if sabotage_drain then
+    (* Self-test for the async pipeline: with fences no longer draining,
+       nothing clwb'd ever reaches NVM, so every persistent suite must
+       fail — typically at calibration, whose baseline image can no
+       longer recover. Exit 0 iff every suite notices. *)
+    let verdicts =
+      Cs.with_sabotaged_drain (fun () ->
+          List.map
+            (fun (s : Cs.spec) ->
+              match sweep_one s with
+              | sum -> (s.name, sum.Cs.failures <> [], "sweep failures")
+              | exception Failure m -> (s.name, true, m))
+            suites)
+    in
+    let all_detected = List.for_all (fun (_, d, _) -> d) verdicts in
+    List.iter
+      (fun (name, d, why) ->
+        Printf.printf "%-9s %s (%s)\n" name
+          (if d then "detected" else "NOT DETECTED")
+          why)
+      verdicts;
+    if all_detected then begin
+      Printf.printf
+        "drain-sabotage self-test: every suite noticed the dropped fences\n";
+      0
+    end
+    else begin
+      Printf.printf
+        "drain-sabotage self-test: some suite swept clean without durable \
+         writes — its fences are not load-bearing\n";
+      1
+    end
+  else
   let run_all () = List.map sweep_one suites in
   let summaries =
     if sabotage then Cs.with_sabotaged_precommit run_all else run_all ()
@@ -626,6 +686,15 @@ let sabotage_t =
           "Self-test: drop the precommit flushes and demand that the sweep \
            detects the violation (exit 0 iff detected).")
 
+let sabotage_drain_t =
+  Arg.(
+    value & flag
+    & info [ "sabotage-drain" ]
+        ~doc:
+          "Self-test for the async write-back pipeline: fences stop \
+           draining pending lines, so clwb'd data never becomes durable. \
+           Every suite must fail (exit 0 iff all do).")
+
 let sweep_evict_t =
   Arg.(
     value & opt float 0.25
@@ -651,7 +720,8 @@ let crash_sweep_cmd =
           durable-prefix semantics.")
     Term.(
       const crash_sweep $ suite_t $ budget_t $ sweep_evict_t $ seeds_t
-      $ domains_t $ sweep_trace_t $ sabotage_t $ sweep_metrics_t)
+      $ domains_t $ sweep_trace_t $ sabotage_t $ sabotage_drain_t
+      $ sweep_metrics_t)
 
 let stats_domains_t =
   Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker domains.")
@@ -688,6 +758,15 @@ let file_t =
     & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"Metrics JSON file to validate.")
 
+let require_coalescing_t =
+  Arg.(
+    value & flag
+    & info [ "require-coalescing" ]
+        ~doc:
+          "Additionally demand evidence of the async write-back pipeline: \
+           summed over the rows' nvram snapshots, elided_flushes > 0 and \
+           fences <= flushes.")
+
 let check_metrics_cmd =
   Cmd.v
     (Cmd.info "check-metrics"
@@ -695,7 +774,7 @@ let check_metrics_cmd =
          "Validate a bench --metrics report: meta block, populated latency \
           histograms with percentiles, per-phase times, epoch counters and \
           per-experiment rows.")
-    Term.(const check_metrics $ file_t)
+    Term.(const check_metrics $ require_coalescing_t $ file_t)
 
 let main =
   Cmd.group

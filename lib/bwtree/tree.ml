@@ -51,6 +51,7 @@ let persist_record t p nwords =
     Mem.clwb_range t.mem ~lo:p ~hi:(p + nwords - 1)
 
 let clwb_if t a = if Pool.persistent t.pool then Mem.clwb t.mem a
+let fence_if t = if Pool.persistent t.pool then Mem.fence t.mem
 
 let rebuild_free_lpids t =
   let next = Pmwcas.Pcas.read t.mem t.next_lpid_addr in
@@ -131,8 +132,11 @@ let create ?(config = default_config) ~pool ~palloc ~anchor ~map_base
     Mem.write mem (anchor + 5) config.consolidate_len;
     Mem.write mem (anchor + 6) config.split_max;
     Mem.write mem (anchor + 7) config.merge_min;
+    (* Root record durable before any durable magic can reference it. *)
+    fence_if t;
     Mem.write mem anchor magic;
     clwb_if t anchor;
+    fence_if t;
     t
   end
 

@@ -1,5 +1,5 @@
 let shards = 64
-let fields = 5
+let fields = 6
 
 (* Pad each domain's field group to [stride] boxed atomics (128 bytes) so
    neighbouring domains never false-share a cache line; see Nvram.Stats. *)
@@ -13,6 +13,7 @@ type snapshot = {
   failed : int;
   desc_helps : int;
   rdcss_helps : int;
+  backoffs : int;
 }
 
 let create () = Array.init (shards * stride) (fun _ -> Atomic.make 0)
@@ -27,6 +28,7 @@ let record_succeeded t = record t 1
 let record_failed t = record t 2
 let record_desc_help t = record t 3
 let record_rdcss_help t = record t 4
+let record_backoff t = record t 5
 
 let sum t field =
   let acc = ref 0 in
@@ -44,6 +46,7 @@ let snapshot t =
     failed = sum t 2;
     desc_helps = sum t 3;
     rdcss_helps = sum t 4;
+    backoffs = sum t 5;
   }
 
 let reset t = Array.iter (fun c -> Atomic.set c 0) t
@@ -55,6 +58,7 @@ let diff a b =
     failed = a.failed - b.failed;
     desc_helps = a.desc_helps - b.desc_helps;
     rdcss_helps = a.rdcss_helps - b.rdcss_helps;
+    backoffs = a.backoffs - b.backoffs;
   }
 
 let to_json s =
@@ -65,6 +69,7 @@ let to_json s =
       ("failed", Telemetry.Value.Int s.failed);
       ("desc_helps", Telemetry.Value.Int s.desc_helps);
       ("rdcss_helps", Telemetry.Value.Int s.rdcss_helps);
+      ("backoffs", Telemetry.Value.Int s.backoffs);
     ]
 
 (* Derived from [to_json]; the printed fields cannot drift from the

@@ -8,6 +8,9 @@ type snapshot = {
   failed : int;
   desc_helps : int;  (** Times a thread helped complete another PMwCAS. *)
   rdcss_helps : int;  (** Times a thread helped complete an RDCSS install. *)
+  backoffs : int;
+      (** Bounded exponential-backoff waits taken after contended
+          failures (failed [Op.execute] attempts, RDCSS collisions). *)
 }
 
 val create : unit -> t
@@ -16,13 +19,14 @@ val record_succeeded : t -> unit
 val record_failed : t -> unit
 val record_desc_help : t -> unit
 val record_rdcss_help : t -> unit
+val record_backoff : t -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 val diff : snapshot -> snapshot -> snapshot
 
 val to_json : snapshot -> Telemetry.Value.t
 (** Stable export shape:
-    [{attempts; succeeded; failed; desc_helps; rdcss_helps}]. Exporters
-    use this; [pp] derives from it. *)
+    [{attempts; succeeded; failed; desc_helps; rdcss_helps; backoffs}].
+    Exporters use this; [pp] derives from it. *)
 
 val pp : Format.formatter -> snapshot -> unit

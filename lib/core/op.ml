@@ -35,24 +35,38 @@ let entry_fields t ~slot ~k =
 
 (* Entry indices in target-address order: Phase 1 "locks" words in a global
    order, which rules out deadlock between concurrent PMwCASes (Section
-   2.2). Insertion sort — descriptors hold at most a handful of words. *)
+   2.2). Insertion sort — descriptors hold at most a handful of words.
+   Each entry's target address is read from the descriptor once up front;
+   sorting compares the local array, not the device. *)
 let sorted_order t ~slot ~count =
-  let addr k =
-    let a, _, _ = entry_fields t ~slot ~k in
-    a
+  let mem = Pool.mem t and lay = Pool.layout t in
+  let addrs =
+    Array.init count (fun k ->
+        Mem.read mem (Layout.addr_field (Layout.entry_addr lay slot k)))
   in
   let order = Array.init count (fun k -> k) in
   for i = 1 to count - 1 do
     let k = order.(i) in
-    let ak = addr k in
+    let ak = addrs.(k) in
     let j = ref (i - 1) in
-    while !j >= 0 && addr order.(!j) > ak do
+    while !j >= 0 && addrs.(order.(!j)) > ak do
       order.(!j + 1) <- order.(!j);
       decr j
     done;
     order.(!j + 1) <- k
   done;
   order
+
+(* Bounded exponential backoff under contention: a failed attempt or a
+   lost RDCSS race spins [2^attempt] capped pauses off the line before
+   retrying, so pile-ups drain instead of re-colliding at full speed. *)
+let max_backoff_shift = 10
+
+let backoff t attempt =
+  Metrics.record_backoff (Pool.metrics t);
+  for _ = 1 to 1 lsl min attempt max_backoff_shift do
+    Domain.cpu_relax ()
+  done
 
 (* Second half of the RDCSS: promote the word-descriptor pointer to a
    full-descriptor pointer — but only while the operation is still
@@ -70,33 +84,38 @@ let complete_install t wdp =
   ignore (Mem.cas mem addr ~expected:wdp ~desired)
 
 (* First half of the RDCSS: claim the target word with a word-descriptor
-   pointer, helping any other RDCSS we collide with. Returns the witnessed
-   value ([old_v] on success). *)
-let rec install_rdcss t ~slot ~k ~addr ~old_v =
+   pointer, helping any other RDCSS we collide with (and backing off
+   before re-contending the line). Returns the witnessed value ([old_v]
+   on success). *)
+let install_rdcss t ~slot ~k ~addr ~old_v =
   let mem = Pool.mem t in
   let ptr = Layout.wd_ptr (Pool.layout t) ~slot ~k in
-  let witnessed = Mem.cas mem addr ~expected:old_v ~desired:ptr in
-  if witnessed = old_v then begin
-    complete_install t ptr;
-    old_v
-  end
-  else if Flags.is_rdcss witnessed then begin
-    Metrics.record_rdcss_help (Pool.metrics t);
-    complete_install t witnessed;
-    install_rdcss t ~slot ~k ~addr ~old_v
-  end
-  else if
-    Pool.persistent t
-    && (not (Flags.is_mwcas witnessed))
-    && Flags.is_dirty witnessed
-    && Flags.clear_dirty witnessed = old_v
-  then begin
-    (* The word holds the expected value, merely unflushed: persist it and
-       claim it, rather than failing spuriously. *)
-    Pcas.persist mem addr witnessed;
-    install_rdcss t ~slot ~k ~addr ~old_v
-  end
-  else witnessed
+  let rec go attempt =
+    let witnessed = Mem.cas mem addr ~expected:old_v ~desired:ptr in
+    if witnessed = old_v then begin
+      complete_install t ptr;
+      old_v
+    end
+    else if Flags.is_rdcss witnessed then begin
+      Metrics.record_rdcss_help (Pool.metrics t);
+      complete_install t witnessed;
+      if attempt > 0 then backoff t attempt;
+      go (attempt + 1)
+    end
+    else if
+      Pool.persistent t
+      && (not (Flags.is_mwcas witnessed))
+      && Flags.is_dirty witnessed
+      && Flags.clear_dirty witnessed = old_v
+    then begin
+      (* The word holds the expected value, merely unflushed: persist it
+         and claim it, rather than failing spuriously. *)
+      Pcas.persist mem addr witnessed;
+      go (attempt + 1)
+    end
+    else witnessed
+  in
+  go 0
 
 (* Drive the PMwCAS at [slot] to completion. Cooperative: may be entered
    by the owner and by any number of helpers at any point of the
@@ -122,7 +141,7 @@ let rec help_at t ~depth ~slot =
      Array.iter
        (fun k ->
          let addr, old_v, _ = entry_fields t ~slot ~k in
-         let rec install () =
+         let rec install attempt =
            let witnessed = install_rdcss t ~slot ~k ~addr ~old_v in
            if witnessed = old_v then ()
            else if Flags.is_mwcas witnessed then
@@ -131,21 +150,24 @@ let rec help_at t ~depth ~slot =
                ()
              else begin
                (* Clashed with another in-progress PMwCAS: make sure its
-                  pointer is durable, help it finish, then retry ours. *)
+                  pointer is durable, help it finish, then retry ours
+                  (after a pause — the loser of this clash tends to lose
+                  the immediate rematch too). *)
                if persistent && Flags.is_dirty witnessed then
                  Pcas.persist mem addr witnessed;
                Metrics.record_desc_help (Pool.metrics t);
                ignore
                  (help_at t ~depth:(depth + 1)
                     ~slot:(Layout.desc_of_ptr witnessed));
-               install ()
+               if attempt > 0 then backoff t attempt;
+               install (attempt + 1)
              end
            else begin
              st := Layout.status_failed;
              raise Phase1_failed
            end
          in
-         install ())
+         install 0)
        order
    with Phase1_failed -> ());
   (* Precommit: persist the installed pointers, then durably decide. The
@@ -157,11 +179,15 @@ let rec help_at t ~depth ~slot =
     && !st = Layout.status_succeeded
     && not (Atomic.get sabotage_precommit)
   then
-    Array.iter
-      (fun k ->
-        let addr, _, _ = entry_fields t ~slot ~k in
-        Pcas.persist mem addr (Layout.desc_ptr slot))
-      order;
+    (* Batched: clwb every installed pointer (entries sharing a line
+       coalesce in the device), then one drain-fence for the whole
+       phase. *)
+    Pcas.persist_batch mem
+      (Array.fold_right
+         (fun k acc ->
+           let addr, _, _ = entry_fields t ~slot ~k in
+           (addr, Layout.desc_ptr slot) :: acc)
+         order []);
   Stats.set_phase stats Stats.Decide;
   let status_a = Layout.status_addr slot in
   let decided = if persistent then Flags.set_dirty !st else !st in
@@ -175,6 +201,10 @@ let rec help_at t ~depth ~slot =
   (* Phase 2: swap in the final values (or roll back to the old ones). *)
   Stats.set_phase stats Stats.Apply;
   let expected_dirty = desc_word t slot and expected_clean = desc_clean slot in
+  (* Swap every word first, collecting the ones this thread won, then
+     persist them as one batch (single drain-fence) — the phase-batching
+     the sync model could not express. *)
+  let won = ref [] in
   Array.iter
     (fun k ->
       let addr, old_v, new_v = entry_fields t ~slot ~k in
@@ -190,8 +220,9 @@ let rec help_at t ~depth ~slot =
       if
         persistent
         && (witnessed = expected_dirty || witnessed = expected_clean)
-      then Pcas.persist mem addr v_inst)
+      then won := (addr, v_inst) :: !won)
     order;
+  if persistent then Pcas.persist_batch mem !won;
   Stats.set_phase stats prev_phase;
   succeeded
 
@@ -226,6 +257,11 @@ let rec read t a =
 let read_with h a =
   Pool.with_epoch h (fun () -> read (Pool.pool_of_handle h) a)
 
+(* Consecutive failed [execute]s on this domain: seeds the backoff taken
+   before handing a failure back to the (immediately retrying) caller.
+   Reset on success, so uncontended misses stay near-free. *)
+let failure_streak = Domain.DLS.new_key (fun () -> ref 0)
+
 let execute d =
   if not (Pool.desc_live d) then
     invalid_arg "Op.execute: descriptor already executed or discarded";
@@ -242,7 +278,15 @@ let execute d =
     Telemetry.Histogram.record (attempt_hist ()) dt;
     if ok then Telemetry.Histogram.record (success_hist ()) dt
   end;
-  if ok then Metrics.record_succeeded (Pool.metrics t)
-  else Metrics.record_failed (Pool.metrics t);
+  let streak = Domain.DLS.get failure_streak in
+  if ok then begin
+    Metrics.record_succeeded (Pool.metrics t);
+    streak := 0
+  end
+  else begin
+    Metrics.record_failed (Pool.metrics t);
+    incr streak;
+    backoff t !streak
+  end;
   Pool.finish d ~succeeded:ok;
   ok

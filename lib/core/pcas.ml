@@ -1,10 +1,30 @@
 module Mem = Nvram.Mem
 module Flags = Nvram.Flags
 
+(* clwb + fence: under the async write-back model the line is only
+   durable once the fence drains it, and the dirty bit must not be
+   cleared before that — a reader of the cleared value would skip its
+   own flush of a line that never reached the NVM image. *)
 let persist mem a v =
   Mem.clwb mem a;
+  Mem.fence mem;
   if Flags.is_dirty v then
     ignore (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v))
+
+(* Phase-batched variant: clwb every word (the device coalesces words
+   sharing a line), then one fence drains all of them, then the dirty
+   bits fall. One drain per distinct line instead of one per word. *)
+let persist_batch mem words =
+  match words with
+  | [] -> ()
+  | _ ->
+      List.iter (fun (a, _) -> Mem.clwb mem a) words;
+      Mem.fence mem;
+      List.iter
+        (fun (a, v) ->
+          if Flags.is_dirty v then
+            ignore (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v)))
+        words
 
 let read mem a =
   let v = Mem.read mem a in

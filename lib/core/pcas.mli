@@ -14,9 +14,16 @@ val read : Nvram.Mem.t -> Nvram.Mem.addr -> int
     Returns the clean value. *)
 
 val persist : Nvram.Mem.t -> Nvram.Mem.addr -> int -> unit
-(** [persist mem a v]: write the line back, then clear [v]'s dirty bit
+(** [persist mem a v]: write the line back (clwb + fence, so it is
+    durable even under the async flush model), then clear [v]'s dirty bit
     with a CAS (a no-op if the word moved on — the new writer's own
     protocol covers it). Safe to call with a clean [v]. *)
+
+val persist_batch : Nvram.Mem.t -> (Nvram.Mem.addr * int) list -> unit
+(** Persist several words with a single drain: clwb each word (the device
+    coalesces words sharing a cache line), issue {e one} fence, then
+    clear each dirty bit. Equivalent to [persist] on every pair but pays
+    one stall per distinct line instead of one per word. No-op on []. *)
 
 val cas : Nvram.Mem.t -> Nvram.Mem.addr -> expected:int -> desired:int -> bool
 (** Persistent CAS: ensures the current value is durable (flush-on-read),

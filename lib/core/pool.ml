@@ -57,12 +57,16 @@ let region_words ?(line_words = 8) ?(max_words = default_max_words)
 
 let clwb_if t a = if t.persistent then Mem.clwb t.mem a
 let clwb_range_if t ~lo ~hi = if t.persistent then Mem.clwb_range t.mem ~lo ~hi
+let fence_if t = if t.persistent then Mem.fence t.mem
 
-(* Flush every line of the slot that holds live content: the header fields
-   plus entries 0..count-1. *)
+(* Flush every line of the slot that holds live content — the header
+   fields plus entries 0..count-1 — and drain them with one fence, so
+   the whole descriptor costs a single stall per distinct line. *)
 let persist_desc t ~slot ~count =
-  if t.persistent then
-    Mem.clwb_range t.mem ~lo:slot ~hi:(slot + 2 + (4 * count))
+  if t.persistent then begin
+    Mem.clwb_range t.mem ~lo:slot ~hi:(slot + 2 + (4 * count));
+    Mem.fence t.mem
+  end
 
 let distribute_slots t =
   for part = 0 to t.max_threads - 1 do
@@ -118,6 +122,8 @@ let create ?persistent ?(max_words = default_max_words)
     Mem.write mem (Layout.count_addr slot) 0;
     clwb_range_if t ~lo:slot ~hi:(Layout.count_addr slot)
   done;
+  (* One drain for the header and every slot line enqueued above. *)
+  fence_if t;
   distribute_slots t;
   t
 
@@ -276,11 +282,18 @@ let alloc_desc ?(callback = 0) h =
      to the previous incarnation's callback id. With the common >= 4-word
      line this branch vanishes and the whole header costs one flush. *)
   let lw = (Mem.config t.mem).line_words in
-  if t.persistent && Layout.callback_addr slot / lw <> slot / lw then
+  if t.persistent && Layout.callback_addr slot / lw <> slot / lw then begin
     Mem.clwb_range t.mem ~lo:(Layout.count_addr slot)
       ~hi:(Layout.callback_addr slot);
+    (* Drain before the status store executes: an async clwb alone does
+       not order the tail ahead of a later eviction of the status line. *)
+    Mem.fence t.mem
+  end;
   Mem.write t.mem (Layout.status_addr slot) Layout.status_undecided;
   clwb_if t slot;
+  (* One drain for the whole header: the slot is durably Undecided (with a
+     zero count) before the caller can reserve memory into it. *)
+  fence_if t;
   { dpool = t; hdl = h; slot; dlive = true; nentries = 0; has_reserved = false }
 
 let check_desc d = if not d.dlive then invalid_arg "Pool: descriptor not live"
@@ -331,7 +344,11 @@ let append_entry ?(policy = Layout.None_) d ~addr ~expected ~desired =
      entry — and free a live block under a Free_* policy. *)
   if t.persistent then begin
     let e = entry_base d k in
-    Mem.clwb_range t.mem ~lo:e ~hi:(Layout.policy_field e)
+    Mem.clwb_range t.mem ~lo:e ~hi:(Layout.policy_field e);
+    (* Drain before the count store executes: the async pipeline would
+       otherwise leave the entry lines pending while an eviction could
+       persist the new count next to the previous incarnation's words. *)
+    Mem.fence t.mem
   end;
   d.nentries <- k + 1;
   Mem.write t.mem (Layout.count_addr d.slot) d.nentries;
@@ -348,6 +365,7 @@ let reserve_entry ?(policy = Layout.Free_new_on_failure) d ~addr ~expected =
      [append_entry] already persisted the entry words; only the count line
      is still volatile. *)
   clwb_if d.dpool (Layout.count_addr d.slot);
+  fence_if d.dpool;
   Layout.new_field (entry_base d k)
 
 let remove_word d ~addr =
@@ -445,8 +463,16 @@ let finalize_slot ?(during_recovery = false) t ~slot ~succeeded =
           vs
         end
   in
+  (* Drain everything still pending before the slot can return to Free:
+     the policy frees marked above, and — during recovery — the rollback
+     write-backs the caller enqueued. Always fenced, so the status store
+     below can never be (durably) observed ahead of them. *)
+  fence_if t;
   Mem.write t.mem (Layout.status_addr slot) Layout.status_free;
   clwb_if t slot;
+  (* The durable Free must land before the freed blocks (and, via
+     [make_free], the slot itself) become reusable. *)
+  fence_if t;
   (match to_enlist with
   | [] -> ()
   | vs ->

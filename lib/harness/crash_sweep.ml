@@ -72,6 +72,10 @@ let with_sabotaged_precommit f =
       Pmwcas.Op.set_sabotage_skip_precommit_flush false)
     f
 
+let with_sabotaged_drain f =
+  Nvram.Mem.set_sabotage_skip_drain true;
+  Fun.protect ~finally:(fun () -> Nvram.Mem.set_sabotage_skip_drain false) f
+
 (* Run once with no injection to learn the sweepable step count, and
    insist the baseline image recovers clean — a suite whose own verify
    rejects an uncrashed run would report nonsense failures. *)

@@ -109,6 +109,13 @@ val with_sabotaged_precommit : (unit -> 'a) -> 'a
     restoring it afterwards — the sweeper self-test: a sweep under this
     wrapper must report failures, or the harness is vacuous. *)
 
+val with_sabotaged_drain : (unit -> 'a) -> 'a
+(** Run [f] with {!Nvram.Mem.set_sabotage_skip_drain} enabled, restoring
+    it afterwards — the async-pipeline self-test: fences stop draining
+    pending lines, so nothing clwb'd ever becomes durable and even the
+    uncrashed calibration image must fail verification. A sweep under
+    this wrapper must fail, or the fences are not load-bearing. *)
+
 val ok : summary -> bool
 val pp_failure : Format.formatter -> failure -> unit
 val pp_summary : Format.formatter -> summary -> unit

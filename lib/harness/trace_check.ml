@@ -11,6 +11,7 @@ let protocol pool =
     Checker.words = Mem.size mem;
     line_words = (Mem.config mem).line_words;
     max_words = l.max_words;
+    async_flush = (Mem.config mem).flush_mode = Nvram.Config.Async;
     is_status_addr =
       (fun a ->
         a >= l.slots_base && a < slots_end

@@ -36,11 +36,14 @@ module type S = sig
       happened iff the result equals [expected]. *)
 
   val clwb : t -> int -> unit
-  (** Write the containing cache line back to the persistent image (no-op
-      on volatile backends). *)
+  (** Initiate write-back of the containing cache line (no-op on volatile
+      backends). Whether the copy happens here or at the next [fence] is
+      the backend's [Config.flush_mode]. *)
 
   val fence : t -> unit
-  (** Store fence; a counted no-op where [clwb] is synchronous. *)
+  (** Store fence / drain point: orders (and, under an asynchronous flush
+      model, performs) the write-backs initiated by earlier [clwb]s. A
+      counted no-op where [clwb] is synchronous. *)
 
   val persist_all : t -> unit
   val read_persistent : t -> int -> int

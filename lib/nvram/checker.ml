@@ -2,6 +2,7 @@ type protocol = {
   words : int;
   line_words : int;
   max_words : int;
+  async_flush : bool;
   is_status_addr : int -> bool;
   is_desc_addr : int -> bool;
   slot_of_status : int -> int;
@@ -45,6 +46,10 @@ type state = {
   obligations : (int, (int * int) list) Hashtbl.t;
   obliged : (int, int) Hashtbl.t; (* domain -> open observations *)
   inflight : (int, inflight) Hashtbl.t; (* slot -> record *)
+  (* Async flush model: lines clwb'd but not yet drained by a fence.
+     Nothing in here is durable — a Clwb only persists at the next
+     Fence/Persist_all, mirroring [Sim]'s pending table. *)
+  pending_lines : (int, unit) Hashtbl.t;
   mutable decided : int;
   mutable recycled : int;
   mutable violations : violation list;
@@ -202,12 +207,21 @@ let step st (e : Trace.event) =
   let p = st.p in
   let seq = e.seq in
   match e.op with
-  | Fence -> ()
+  | Fence ->
+      if p.async_flush then begin
+        Hashtbl.iter (fun line () -> persist_line st (line * p.line_words))
+          st.pending_lines;
+        Hashtbl.reset st.pending_lines
+      end
   | Persist_all ->
+      Hashtbl.reset st.pending_lines;
       for a = 0 to p.words - 1 do
         persist_word st a
       done
-  | Clwb { addr } -> persist_line st addr
+  | Clwb { addr } ->
+      if p.async_flush then
+        Hashtbl.replace st.pending_lines (addr / p.line_words) ()
+      else persist_line st addr
   | Read { addr; value } ->
       check_divergence st ~seq ~what:"read" addr value;
       if Flags.is_dirty value && not (p.is_desc_addr addr) then
@@ -252,6 +266,7 @@ let run p events =
       obligations = Hashtbl.create 16;
       obliged = Hashtbl.create 16;
       inflight = Hashtbl.create 64;
+      pending_lines = Hashtbl.create 16;
       decided = 0;
       recycled = 0;
       violations = [];

@@ -30,6 +30,13 @@ type protocol = {
   words : int;  (** Device size; replay images start all-zero. *)
   line_words : int;
   max_words : int;  (** Per-descriptor entry capacity (sanity bound). *)
+  async_flush : bool;
+      (** Replay under {!Config.Async} semantics: a [Clwb] only marks its
+          line pending; the next [Fence] (or [Persist_all]) persists all
+          pending lines. With [false], [Clwb] persists immediately — the
+          legacy synchronous model. Must match the
+          [Config.flush_mode] the traced device ran with, or the checker
+          proves the wrong ordering. *)
   is_status_addr : int -> bool;
   is_desc_addr : int -> bool;  (** Inside the descriptor-pool region. *)
   slot_of_status : int -> int;

@@ -1,5 +1,17 @@
 (** Configuration of the simulated NVRAM device. *)
 
+(** Write-back model of [Mem.clwb]/[Mem.fence].
+
+    [Async] is the realistic CLWB+SFENCE pipeline: [clwb] marks the line
+    pending and returns, [fence] drains every pending line (one copy and
+    one modelled stall per {e distinct} line). A line clwb'd but not yet
+    fenced is not guaranteed durable in [crash_image].
+
+    [Sync] is the legacy model: every [clwb] copies its line and pays the
+    stall immediately; [fence] orders nothing because there is nothing in
+    flight. Kept as the baseline the flush experiments compare against. *)
+type flush_mode = Sync | Async
+
 type t = private {
   words : int;  (** Total capacity in 8-byte words. *)
   line_words : int;
@@ -7,11 +19,21 @@ type t = private {
           [Mem.clwb] — flushing one word persists its whole line, exactly
           as CLWB does for 64-byte lines (8 words). *)
   flush_delay : int;
-      (** Busy-work iterations charged per [clwb], modelling the extra
-          write-back latency of an NVDIMM relative to a cached store.
-          [0] disables the cost model (pure functional simulation). *)
+      (** Busy-work iterations charged per line write-back, modelling the
+          extra latency of an NVDIMM relative to a cached store. [0]
+          disables the cost model (pure functional simulation). *)
+  flush_mode : flush_mode;  (** Write-back pipeline model; default [Async]. *)
 }
 
-val make : ?line_words:int -> ?flush_delay:int -> words:int -> unit -> t
+val make :
+  ?line_words:int ->
+  ?flush_delay:int ->
+  ?flush_mode:flush_mode ->
+  words:int ->
+  unit ->
+  t
 (** @raise Invalid_argument if [words <= 0], [line_words] is not a positive
     power of two, or [flush_delay < 0]. *)
+
+val flush_mode_name : flush_mode -> string
+val flush_mode_of_string : string -> flush_mode option

@@ -201,6 +201,8 @@ let rec disarm = function
   | Dram _ -> ()
   | Traced { inner; _ } -> disarm inner
 
+let set_sabotage_skip_drain = Sim.set_sabotage_skip_drain
+
 let dump t ~lo ~hi ppf =
   for a = lo to hi - 1 do
     Format.fprintf ppf "%6d: %a@." a Flags.pp (read t a)

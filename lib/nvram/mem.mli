@@ -54,10 +54,10 @@ val config : t -> Config.t
 val stats : t -> Stats.t
 
 val steps : t -> int
-(** Completed mutating operations (write/CAS/clwb) since creation across
-    all domains. The crash-sweep harness runs a workload once, reads the
-    total, and sweeps every fuel value below it — no fuel guessing.
-    Always 0 on the DRAM backend. *)
+(** Completed mutating operations (write/CAS/clwb/fence) since creation
+    across all domains. The crash-sweep harness runs a workload once,
+    reads the total, and sweeps every fuel value below it — no fuel
+    guessing. Always 0 on the DRAM backend. *)
 
 val kind : t -> backend
 
@@ -85,14 +85,21 @@ val cas_bool : t -> addr -> expected:int -> desired:int -> bool
 (** {1 Persistence primitives} *)
 
 val clwb : t -> addr -> unit
-(** Write the cache line containing [addr] back to the persistent image.
-    Charges [Config.flush_delay] busy-work on the simulated backend; a
-    free no-op on volatile backends. Synchronous in this model, so no
-    separate drain is required (fences remain available for counting
-    fidelity). *)
+(** Ask for the cache line containing [addr] to be written back to the
+    persistent image. Under the default {!Config.Async} flush mode this
+    only enqueues the line (redundant clwbs of a pending or already-clean
+    line are elided and counted in [Stats.elided_flushes]); durability
+    comes from the next [fence]. Under {!Config.Sync} the copy and the
+    [Config.flush_delay] busy-work happen here. A free no-op on volatile
+    backends. *)
 
 val fence : t -> unit
-(** Store fence / SFENCE. A counted no-op: [clwb] is synchronous here. *)
+(** Store fence / SFENCE: the drain point of the asynchronous write-back
+    pipeline. Copies every pending line to the persistent image, charging
+    the modelled stall once per distinct line. Burns injector fuel, so
+    the crash sweep can land a power failure exactly on a fence — losing
+    whatever was clwb'd but not yet drained. Under {!Config.Sync} it
+    orders nothing (clwb already copied) but still counts and spends. *)
 
 val clwb_range : t -> lo:addr -> hi:addr -> unit
 (** Write back every cache line intersecting [\[lo, hi\]] (inclusive).
@@ -109,7 +116,7 @@ exception Crash
 
 val inject_crash_after : t -> int -> unit
 (** Arm the fault injector: after [n] further mutating operations
-    ([write]/[cas]/[clwb]) across all domains, every subsequent mutating
+    ([write]/[cas]/[clwb]/[fence]) across all domains, every subsequent mutating
     operation raises {!Crash}. Workers unwind, the test joins them and
     calls [crash_image] — emulating a power failure at an arbitrary store
     boundary. [disarm] (or a fresh [crash_image]) turns it off. Only the
@@ -117,6 +124,12 @@ val inject_crash_after : t -> int -> unit
     volatile device. *)
 
 val disarm : t -> unit
+
+val set_sabotage_skip_drain : bool -> unit
+(** Process-global self-test hook (see {!Sim.set_sabotage_skip_drain}):
+    armed, every simulated [fence] skips its drain while still counting
+    and spending fuel. The crash-sweep must flag the resulting silent
+    durability loss. *)
 
 val fuel_remaining : t -> int option
 (** Remaining injector fuel; [None] when disarmed (or on a volatile

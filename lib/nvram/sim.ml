@@ -7,10 +7,19 @@ type t = {
   volatile : int Atomic.t array;
   persistent : int array;
   line_locks : int Atomic.t array;
+  pending : bool Atomic.t array; (* line enqueued for write-back *)
+  pending_stack : int list Atomic.t; (* lines awaiting the next fence *)
   stats : Stats.t;
   fuel : int Atomic.t; (* fault injector; max_int = disarmed *)
   steps : int Atomic.t; (* completed mutating ops since creation *)
 }
+
+(* Device-level sabotage for checker/harness self-tests: when armed,
+   [fence] spends fuel and counts as usual but skips the drain, i.e. the
+   program "executes" a fence that persists nothing. Process-global so
+   the CLI can arm it without threading a handle through the suites. *)
+let sabotage_skip_drain = Atomic.make false
+let set_sabotage_skip_drain b = Atomic.set sabotage_skip_drain b
 
 let create (cfg : Config.t) =
   let lines = (cfg.words + cfg.line_words - 1) / cfg.line_words in
@@ -19,6 +28,8 @@ let create (cfg : Config.t) =
     volatile = Array.init cfg.words (fun _ -> Atomic.make 0);
     persistent = Array.make cfg.words 0;
     line_locks = Array.init lines (fun _ -> Atomic.make 0);
+    pending = Array.init lines (fun _ -> Atomic.make false);
+    pending_stack = Atomic.make [];
     stats = Stats.create ();
     fuel = Atomic.make max_int;
     steps = Atomic.make 0;
@@ -110,38 +121,128 @@ let charge_flush_delay t =
     Domain.cpu_relax ()
   done
 
-(* Stall-time histograms: how long the caller was stuck in the
-   write-back (line lock + copy + modelled device latency). On-demand so
-   the registry entry only appears once a simulated device runs. *)
+(* A line whose persistent image already equals its coherent volatile
+   content needs no write-back at all (FliT-style elision). Sound for
+   every caller in this codebase: single-writer words (descriptor slots,
+   allocator records) can only observe equality when their own last store
+   is durable, and shared data words are persisted via [Pcas.persist],
+   whose CAS-clear of the dirty bit fails if the word moved on — a
+   superseding writer re-flushes. *)
+let line_clean t line =
+  lock_line t line;
+  let lo = line * t.cfg.line_words in
+  let hi = min (lo + t.cfg.line_words) t.cfg.words in
+  let clean = ref true in
+  (try
+     for a = lo to hi - 1 do
+       if t.persistent.(a) <> Atomic.get t.volatile.(a) then begin
+         clean := false;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  unlock_line t line;
+  !clean
+
+let rec push_pending t line =
+  let cur = Atomic.get t.pending_stack in
+  if not (Atomic.compare_and_set t.pending_stack cur (line :: cur)) then
+    push_pending t line
+
+(* Drain one line: clear the pending flag *before* copying, so any clwb
+   that elided after observing the flag set is guaranteed its value is
+   covered — the copy starts after the clear, hence reads volatile
+   content at least as new as that clwb's preceding store (all cells are
+   seq-cst atomics). Copy-then-clear would let such a clwb's store slip
+   between the copy and the clear and never persist. *)
+let drain_line t line =
+  Atomic.set t.pending.(line) false;
+  write_back_line t line;
+  charge_flush_delay t;
+  Stats.record_drain t.stats
+
+(* Stall-time histograms: how long the caller was stuck in the device.
+   Under [Async], clwb stalls only for the elision bookkeeping (the
+   clean-line scan takes the line lock) and the fence pays the drain;
+   under [Sync], clwb pays the whole write-back and fences are free.
+   On-demand so the registry entry only appears once a device runs. *)
 let clwb_hist = Telemetry.on_demand "nvram.clwb_stall_ns"
 let fence_hist = Telemetry.on_demand "nvram.fence_ns"
+
+let clwb_sync t a =
+  Stats.record_flush t.stats;
+  write_back_line t (a / t.cfg.line_words);
+  charge_flush_delay t
+
+(* Async CLWB: mark the line pending and return — the copy and the
+   modelled stall are deferred to the draining fence, charged once per
+   distinct line however many clwbs hit it. Elided entirely when the
+   line is already pending (coalesced into the in-flight batch: the
+   draining fence clears the flag before it copies, so observing the
+   flag set guarantees the coming copy covers this clwb's values) or
+   already clean in the persistent image. *)
+let clwb_async t a =
+  let line = a / t.cfg.line_words in
+  if Atomic.get t.pending.(line) then Stats.record_elided t.stats
+  else if line_clean t line then Stats.record_elided t.stats
+  else if Atomic.compare_and_set t.pending.(line) false true then begin
+    Stats.record_flush t.stats;
+    push_pending t line
+  end
+  else (* lost the race: someone else just marked it pending *)
+    Stats.record_elided t.stats
 
 let clwb t a =
   check t a;
   spend t;
-  Stats.record_flush t.stats;
+  let body =
+    match t.cfg.flush_mode with
+    | Config.Sync -> clwb_sync
+    | Config.Async -> clwb_async
+  in
   if Telemetry.enabled () then begin
     let t0 = Telemetry.now_ns () in
-    write_back_line t (a / t.cfg.line_words);
-    charge_flush_delay t;
-    Telemetry.Histogram.record (clwb_hist ())
-      (Telemetry.now_ns () - t0)
+    body t a;
+    Telemetry.Histogram.record (clwb_hist ()) (Telemetry.now_ns () - t0)
   end
-  else begin
-    write_back_line t (a / t.cfg.line_words);
-    charge_flush_delay t
-  end
+  else body t a
+
+(* Drain every line enqueued so far. Runs to completion once entered:
+   [fence] spends its fuel *before* the drain, so an injected crash lands
+   on the fence boundary (pending lines lost) — never inside a torn
+   drain. *)
+let drain_all t =
+  let rec loop () =
+    match Atomic.exchange t.pending_stack [] with
+    | [] -> ()
+    | lines ->
+        List.iter (fun line -> drain_line t line) lines;
+        loop ()
+  in
+  loop ()
 
 let fence t =
+  spend t;
   Stats.record_fence t.stats;
-  (* [clwb] is synchronous in this model, so a fence never stalls: it
-     records a zero-duration sample purely so fence frequency shows up
-     alongside the clwb stall histogram. *)
-  if Telemetry.enabled () then
-    Telemetry.Histogram.record (fence_hist ()) 0
+  let drain () =
+    match t.cfg.flush_mode with
+    | Config.Sync -> ()
+    | Config.Async ->
+        if not (Atomic.get sabotage_skip_drain) then drain_all t
+  in
+  if Telemetry.enabled () then begin
+    let t0 = Telemetry.now_ns () in
+    drain ();
+    Telemetry.Histogram.record (fence_hist ()) (Telemetry.now_ns () - t0)
+  end
+  else drain ()
 
 let persist_all t =
+  (* Full-device write-back: also retires the pending pipeline so a
+     subsequent crash image reflects a quiescent device. *)
+  ignore (Atomic.exchange t.pending_stack []);
   for line = 0 to Array.length t.line_locks - 1 do
+    if Atomic.exchange t.pending.(line) false then Stats.record_drain t.stats;
     write_back_line t line
   done
 
@@ -176,7 +277,10 @@ let crash_image ?(evict_prob = 0.) ?seed t =
     let hi = min (lo + lw) t.cfg.words in
     (* Sample the whole line under its lock so a concurrent write-back can
        never tear it: an evicted line is exactly the coherent volatile
-       content, a surviving line exactly the last completed write-back. *)
+       content, a surviving line exactly the last completed write-back.
+       A line that is clwb'd but not yet fenced is *not* sampled from the
+       volatile image — it survives only via this eviction lottery, which
+       is exactly the asynchronous-CLWB durability contract. *)
     lock_line t line;
     for a = lo to hi - 1 do
       let v =

@@ -5,10 +5,15 @@
     (what the coherent cache hierarchy holds and every load, store and CAS
     observes) and the {e persistent} image (what has reached the NVDIMM
     and survives a power failure). A store only updates the volatile
-    image; [clwb] writes the whole containing cache line back, like the
-    CLWB instruction (Section 2.1 of the paper). [crash_image] models the
-    per-line eviction nondeterminism the dirty-bit protocol of Section 3
-    must tolerate.
+    image; [clwb] asks for the whole containing cache line to be written
+    back, like the CLWB instruction (Section 2.1 of the paper). Under the
+    default {!Config.Async} flush mode [clwb] only enqueues the line —
+    [fence] is the drain point that copies (and charges the modelled
+    stall for) each {e distinct} pending line, matching CLWB+SFENCE
+    ordering; clwb'd-but-unfenced lines are durable only if the eviction
+    lottery of [crash_image] saves them. {!Config.Sync} restores the
+    legacy copy-on-clwb model. [crash_image] models the per-line eviction
+    nondeterminism the dirty-bit protocol of Section 3 must tolerate.
 
     Callers address backends through {!Mem}; this module is exposed for
     white-box tests. *)
@@ -42,9 +47,15 @@ val inject_crash_after : t -> int -> unit
 val disarm : t -> unit
 
 val steps : t -> int
-(** Completed mutating operations (write/CAS/clwb) since creation — the
-    crash-sweep harness measures a workload once and sweeps every fuel
-    value below the total. *)
+(** Completed mutating operations (write/CAS/clwb/fence) since creation —
+    the crash-sweep harness measures a workload once and sweeps every
+    fuel value below the total. *)
+
+val set_sabotage_skip_drain : bool -> unit
+(** Self-test hook (process-global): when armed, [fence] spends fuel and
+    is counted but skips its drain, so nothing enqueued by [clwb] ever
+    persists except through eviction. The crash-sweep calibration must
+    detect this as a correctness failure. *)
 
 val fuel_remaining : t -> int option
 (** Remaining injector fuel; [None] when disarmed. Once armed fuel

@@ -1,5 +1,5 @@
 let shards = 64
-let fields = 3 (* flush, fence, cas *)
+let fields = 5 (* flush, fence, cas, elided, drained *)
 
 (* Each domain's field group is padded out to [stride] cells. The atomics
    are boxed two-word blocks allocated back to back by [Array.init], so
@@ -12,11 +12,17 @@ let stride = 8
    is currently executing, so a crash point can be classified after the
    fact (the fault injector freezes it: nothing restores the register
    once [Crash] starts unwinding). *)
-let phase_field = 3
+let phase_field = 5
 
 type t = int Atomic.t array
 
-type snapshot = { flushes : int; fences : int; cases : int }
+type snapshot = {
+  flushes : int;
+  fences : int;
+  cases : int;
+  elided_flushes : int;
+  drained_lines : int;
+}
 
 type phase =
   | App
@@ -71,6 +77,8 @@ let slot field =
 let record_flush t = ignore (Atomic.fetch_and_add t.(slot 0) 1)
 let record_fence t = ignore (Atomic.fetch_and_add t.(slot 1) 1)
 let record_cas t = ignore (Atomic.fetch_and_add t.(slot 2) 1)
+let record_elided t = ignore (Atomic.fetch_and_add t.(slot 3) 1)
+let record_drain t = ignore (Atomic.fetch_and_add t.(slot 4) 1)
 
 (* --- per-phase wall time ------------------------------------------- *)
 
@@ -152,7 +160,14 @@ let sum t field =
   done;
   !acc
 
-let snapshot t = { flushes = sum t 0; fences = sum t 1; cases = sum t 2 }
+let snapshot t =
+  {
+    flushes = sum t 0;
+    fences = sum t 1;
+    cases = sum t 2;
+    elided_flushes = sum t 3;
+    drained_lines = sum t 4;
+  }
 let reset t = Array.iter (fun c -> Atomic.set c 0) t
 
 let diff a b =
@@ -160,6 +175,8 @@ let diff a b =
     flushes = a.flushes - b.flushes;
     fences = a.fences - b.fences;
     cases = a.cases - b.cases;
+    elided_flushes = a.elided_flushes - b.elided_flushes;
+    drained_lines = a.drained_lines - b.drained_lines;
   }
 
 let to_json s =
@@ -168,6 +185,8 @@ let to_json s =
       ("flushes", Telemetry.Value.Int s.flushes);
       ("fences", Telemetry.Value.Int s.fences);
       ("cas", Telemetry.Value.Int s.cases);
+      ("elided_flushes", Telemetry.Value.Int s.elided_flushes);
+      ("drained_lines", Telemetry.Value.Int s.drained_lines);
     ]
 
 (* Derived from [to_json], so the printed fields can never drift from

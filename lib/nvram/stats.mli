@@ -16,9 +16,17 @@
 type t
 
 type snapshot = {
-  flushes : int;  (** [clwb] invocations. *)
+  flushes : int;
+      (** [clwb] invocations that reached the device (enqueued a line for
+          write-back, or copied it immediately in the [Sync] model). *)
   fences : int;  (** [fence] invocations. *)
   cases : int;  (** compare-and-swap attempts. *)
+  elided_flushes : int;
+      (** [clwb] invocations skipped because the line was already pending
+          drain (coalesced) or already clean in the persistent image. *)
+  drained_lines : int;
+      (** Distinct lines actually written back by [fence]/[persist_all]
+          drains in the [Async] model. *)
 }
 
 (** Protocol phase labels, coarsest first. [App] is everything outside
@@ -44,6 +52,8 @@ val create : unit -> t
 val record_flush : t -> unit
 val record_fence : t -> unit
 val record_cas : t -> unit
+val record_elided : t -> unit
+val record_drain : t -> unit
 
 val set_phase : t -> phase -> unit
 (** Label the calling domain's current phase. When telemetry is enabled
@@ -61,8 +71,9 @@ val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] — per-field subtraction. *)
 
 val to_json : snapshot -> Telemetry.Value.t
-(** Stable export shape: [{flushes; fences; cas}]. Exporters use this;
-    [pp] derives from it. *)
+(** Stable export shape:
+    [{flushes; fences; cas; elided_flushes; drained_lines}]. Exporters
+    use this; [pp] derives from it. *)
 
 val pp : Format.formatter -> snapshot -> unit
 

@@ -37,6 +37,7 @@ let line_align mem a =
   (a + lw - 1) / lw * lw
 
 let clwb t a = if t.persistent then Mem.clwb t.mem a
+let fence t = if t.persistent then Mem.fence t.mem
 
 let layout mem ~persistent ~base ~words ~max_threads =
   if max_threads <= 0 then invalid_arg "Palloc: max_threads <= 0";
@@ -83,7 +84,8 @@ let create ?persistent mem ~base ~words ~max_threads =
     while !a < t.slots_base + (2 * max_threads) do
       Mem.clwb mem !a;
       a := !a + lw
-    done
+    done;
+    Mem.fence mem
   end;
   t
 
@@ -134,8 +136,17 @@ let carve t cls =
       if next + total > t.limit then failwith "Palloc.alloc: out of memory";
       Mem.write t.mem next (hdr ~cls ~allocated:false);
       clwb t next;
+      (* Drain before the bump-pointer store executes: the header must be
+         durable before any durable [heap_next] covers it, or recovery's
+         heap walk reads an uncarved word. *)
+      fence t;
       Mem.write t.mem t.heap_next_addr (next + total);
       clwb t t.heap_next_addr;
+      (* And the new bump pointer must be durable before the block is
+         delivered: a crash image whose walk stops short of a block the
+         application durably references would let a later carve hand the
+         same words out twice. *)
+      fence t;
       next)
 
 let obtain t ~nwords =
@@ -174,12 +185,21 @@ let alloc h ~nwords ~dest =
     (* Null the delivery word so recovery's "did it complete?" test is
        unambiguous. *)
     Mem.write t.mem dest 0;
-    Mem.clwb t.mem dest
+    Mem.clwb t.mem dest;
+    (* The record and the nulled delivery word must be durable before the
+       header flips to allocated — recovery's "did it complete?" test
+       reads them. *)
+    Mem.fence t.mem
   end;
   Mem.write t.mem b (hdr ~cls ~allocated:true);
   clwb t b;
   Mem.write t.mem dest payload;
   clwb t dest;
+  (* One drain covers the header and the delivery word; both must be
+     durable before the record is retired, or a crash image could pair a
+     cleared record with a free header the application durably points
+     into. *)
+  fence t;
   if t.persistent then begin
     Mem.write t.mem (slot_block h) 0;
     Mem.clwb t.mem (slot_block h)
@@ -197,6 +217,7 @@ let alloc_unsafe h ~nwords =
   let cls, b = obtain t ~nwords in
   Mem.write t.mem b (hdr ~cls ~allocated:true);
   clwb t b;
+  fence t;
   b + 1
 
 let header_of t payload =
@@ -235,6 +256,10 @@ let enlist t payload =
 
 let free t payload =
   mark_free t payload;
+  (* Durably free before reusable ([mark_free] itself leaves the write-back
+     pending so slot-finalization paths can batch several frees under the
+     pool's one fence). *)
+  fence t;
   enlist t payload
 
 let usable_size t payload =
@@ -274,6 +299,9 @@ let recover mem ~base ~words ~max_threads =
       Mem.clwb mem sb
     end
   done;
+  (* Drain the record resolutions before the allocator goes back into
+     service. *)
+  Mem.fence mem;
   (* Phase 2: rebuild volatile free lists from the durable headers. *)
   let heap_next = Mem.read mem t.heap_next_addr in
   let p = ref t.heap_base in

@@ -52,6 +52,7 @@ let init_sentinel t n ~max_level =
   Mem.write t.mem (alive_addr n) 1
 
 let clwb_if t a = if Pool.persistent t.pool then Mem.clwb t.mem a
+let fence_if t = if Pool.persistent t.pool then Mem.fence t.mem
 
 let create ?(max_level = max_level_default) ~pool ~palloc ~anchor () =
   if max_level < 1 || max_level > 30 then invalid_arg "Pm.create: max_level";
@@ -88,9 +89,12 @@ let create ?(max_level = max_level_default) ~pool ~palloc ~anchor () =
     done;
     persist_node t head;
     persist_node t tail;
+    (* Sentinels durable before any durable magic can point at them. *)
+    fence_if t;
     Mem.write mem (anchor + 3) max_level;
     Mem.write mem anchor magic;
     clwb_if t anchor;
+    fence_if t;
     t
   end
 

@@ -18,13 +18,16 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== telemetry smoke"
+echo "== telemetry smoke (with flush-coalescing gate)"
 dune exec bench/main.exe -- smoke --metrics /tmp/telemetry_smoke.json
-dune exec bin/pmwcas_cli.exe -- check-metrics /tmp/telemetry_smoke.json
+dune exec bin/pmwcas_cli.exe -- check-metrics --require-coalescing \
+  /tmp/telemetry_smoke.json
 
 echo "== crash-sweep smoke"
 dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 60 --seeds 1
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 120 \
   --seeds 1 --sabotage
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 40 \
+  --seeds 1 --sabotage-drain
 
 echo "check: all green"

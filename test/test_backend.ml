@@ -118,6 +118,7 @@ let clwb_range_tests =
             Mem.write m i (i + 1)
           done;
           Mem.clwb_range m ~lo ~hi;
+          Mem.fence m;
           for i = 0 to 63 do
             let expected =
               if List.mem (i / 8) expect_lines then i + 1 else 0
@@ -174,6 +175,7 @@ let trace_tests =
         expect_invalid_arg (fun () -> Mem.traced m);
         Mem.write m 1 5;
         Mem.clwb m 1;
+        Mem.fence m;
         let img = Mem.crash_image m in
         Alcotest.(check bool) "image untraced" true (Mem.trace img = None);
         Alcotest.(check int) "image holds flushed value" 5 (Mem.read img 1));
@@ -243,6 +245,7 @@ let hand_protocol =
     Checker.words = 64;
     line_words = 8;
     max_words = 4;
+    async_flush = false;
     is_status_addr = (fun _ -> false);
     is_desc_addr = (fun a -> a < 8);
     slot_of_status = Fun.id;
@@ -294,6 +297,30 @@ let checker_tests =
         in
         Alcotest.(check bool) "decide-after-persist fired" true
           mentions_phase1);
+    Alcotest.test_case "deleting the drain fences is detected" `Quick
+      (fun () ->
+        let pool = traced_workload ~domains:2 ~ops:100 in
+        let tr = Option.get (Mem.trace (Pool.mem pool)) in
+        let evs = Trace.events tr in
+        let p = Harness.Trace_check.protocol pool in
+        (* The device defaults to the async write-back model, where a
+           clwb only marks its line pending and the fence is what makes
+           it durable. *)
+        Alcotest.(check bool) "async protocol" true p.Checker.async_flush;
+        Alcotest.(check bool) "untouched trace is clean" true
+          (Checker.ok (Checker.run p evs));
+        (* Drop every fence: no clwb ever drains, so nothing the
+           protocol ordered ever becomes durable and the persistence
+           rules must fire. *)
+        let sabotaged =
+          Array.of_seq
+            (Seq.filter
+               (fun (e : Trace.event) ->
+                 match e.op with Trace.Fence -> false | _ -> true)
+               (Array.to_seq evs))
+        in
+        let r = Checker.run p sabotaged in
+        Alcotest.(check bool) "violations found" false (Checker.ok r));
     Alcotest.test_case "dirty read obliges a flush before CAS" `Quick
       (fun () ->
         let ev seq op = { Trace.seq; domain = 1; op } in
@@ -353,7 +380,10 @@ let stats_tests =
         |> List.iter Domain.join;
         let s = Nvram.Stats.snapshot (Mem.stats m) in
         Alcotest.(check int) "cases" (4 * per_domain) s.cases;
-        Alcotest.(check int) "flushes" (4 * per_domain) s.flushes;
+        (* Under async flushing a clwb either issues (flush) or coalesces /
+           elides on a clean line; the attempts are conserved. *)
+        Alcotest.(check int) "clwb attempts" (4 * per_domain)
+          (s.flushes + s.elided_flushes);
         Alcotest.(check int) "fences" (4 * per_domain) s.fences);
   ]
 

@@ -50,6 +50,16 @@ let config_tests =
             Nvram.Config.make ~words:8 ~line_words:0 ());
         expect_invalid_arg (fun () ->
             Nvram.Config.make ~words:8 ~flush_delay:(-1) ()));
+    Alcotest.test_case "flush mode names round-trip" `Quick (fun () ->
+        let open Nvram.Config in
+        Alcotest.(check (option string)) "sync" (Some "sync")
+          (Option.map flush_mode_name (flush_mode_of_string "sync"));
+        Alcotest.(check (option string)) "async" (Some "async")
+          (Option.map flush_mode_name (flush_mode_of_string "async"));
+        Alcotest.(check bool) "garbage" true
+          (flush_mode_of_string "bogus" = None);
+        Alcotest.(check string) "default is async" "async"
+          (flush_mode_name (Nvram.Config.make ~words:8 ()).flush_mode));
   ]
 
 let mem_tests =
@@ -68,6 +78,9 @@ let mem_tests =
         Mem.write m 16 4;
         (* word 16 is on the next line *)
         Mem.clwb m 9;
+        Alcotest.(check int) "not durable before fence" 0
+          (Mem.read_persistent m 9);
+        Mem.fence m;
         Alcotest.(check int) "same line lo" 1 (Mem.read_persistent m 8);
         Alcotest.(check int) "flushed word" 2 (Mem.read_persistent m 9);
         Alcotest.(check int) "same line hi" 3 (Mem.read_persistent m 15);
@@ -105,31 +118,45 @@ let mem_tests =
         done);
     Alcotest.test_case "stats count flushes, fences and cas" `Quick (fun () ->
         let m = mem 64 in
+        Mem.write m 0 1;
         Mem.clwb m 0;
+        (* word 1 shares line 0: the second clwb coalesces into the pending
+           flush instead of issuing another. *)
         Mem.clwb m 1;
+        Mem.write m 8 2;
+        Mem.clwb m 8;
         Mem.fence m;
-        ignore (Mem.cas m 0 ~expected:0 ~desired:1);
+        ignore (Mem.cas m 0 ~expected:1 ~desired:2);
         let s = Mem.stats m |> Stats.snapshot in
         Alcotest.(check int) "flushes" 2 s.flushes;
+        Alcotest.(check int) "elided" 1 s.elided_flushes;
+        Alcotest.(check int) "drained" 2 s.drained_lines;
         Alcotest.(check int) "fences" 1 s.fences;
         Alcotest.(check int) "cas" 1 s.cases;
         Stats.reset (Mem.stats m);
         let s = Mem.stats m |> Stats.snapshot in
-        Alcotest.(check int) "reset" 0 (s.flushes + s.fences + s.cases));
+        Alcotest.(check int) "reset" 0
+          (s.flushes + s.fences + s.cases + s.elided_flushes + s.drained_lines));
     Alcotest.test_case "stats diff" `Quick (fun () ->
         let m = mem 64 in
+        Mem.write m 0 1;
         Mem.clwb m 0;
         let s0 = Mem.stats m |> Stats.snapshot in
+        Mem.write m 8 2;
+        Mem.clwb m 8;
         Mem.clwb m 0;
+        (* already pending: elided *)
         Mem.fence m;
         let s1 = Mem.stats m |> Stats.snapshot in
         let d = Stats.diff s1 s0 in
         Alcotest.(check int) "flushes" 1 d.flushes;
+        Alcotest.(check int) "elided" 1 d.elided_flushes;
         Alcotest.(check int) "fences" 1 d.fences);
     Alcotest.test_case "crash image drops unflushed writes" `Quick (fun () ->
         let m = mem 64 in
         Mem.write m 0 7;
         Mem.clwb m 0;
+        Mem.fence m;
         Mem.write m 0 8;
         (* dirty again, not flushed *)
         Mem.write m 32 9;
@@ -187,6 +214,7 @@ let mem_tests =
         let ds = List.init workers (fun _ -> Domain.spawn body) in
         List.iter Domain.join ds;
         Mem.clwb m 0;
+        Mem.fence m;
         Alcotest.(check int) "final persisted" (per * workers)
           (Mem.read_persistent m 0));
     Alcotest.test_case "flush_delay does not change semantics" `Quick
@@ -194,7 +222,132 @@ let mem_tests =
         let m = mem ~flush_delay:50 16 in
         Mem.write m 2 9;
         Mem.clwb m 2;
+        Mem.fence m;
         Alcotest.(check int) "persisted" 9 (Mem.read_persistent m 2));
+  ]
+
+(* --- asynchronous write-back pipeline --------------------------------- *)
+
+let sync_mem words =
+  Nvram.Mem.create
+    (Nvram.Config.make ~flush_mode:Nvram.Config.Sync ~words ())
+
+let async_tests =
+  let open Nvram in
+  [
+    Alcotest.test_case "clwb is asynchronous, fence drains" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.write m 0 1;
+        Mem.write m 8 2;
+        Mem.clwb m 0;
+        Mem.clwb m 8;
+        Alcotest.(check int) "line 0 pending" 0 (Mem.read_persistent m 0);
+        Alcotest.(check int) "line 1 pending" 0 (Mem.read_persistent m 8);
+        Mem.fence m;
+        Alcotest.(check int) "line 0 drained" 1 (Mem.read_persistent m 0);
+        Alcotest.(check int) "line 1 drained" 2 (Mem.read_persistent m 8));
+    Alcotest.test_case "pending clwbs coalesce per line" `Quick (fun () ->
+        let m = mem 64 in
+        for i = 0 to 7 do
+          Mem.write m i (i + 1)
+        done;
+        for i = 0 to 7 do
+          Mem.clwb m i
+        done;
+        Mem.fence m;
+        let s = Mem.stats m |> Stats.snapshot in
+        Alcotest.(check int) "one flush" 1 s.flushes;
+        Alcotest.(check int) "seven coalesced" 7 s.elided_flushes;
+        Alcotest.(check int) "one drain" 1 s.drained_lines);
+    Alcotest.test_case "clean lines elide the flush entirely" `Quick
+      (fun () ->
+        let m = mem 64 in
+        Mem.write m 0 1;
+        Mem.clwb m 0;
+        Mem.fence m;
+        Stats.reset (Mem.stats m);
+        (* Nothing changed since the drain: clwb has no work to do. *)
+        Mem.clwb m 0;
+        Mem.fence m;
+        let s = Mem.stats m |> Stats.snapshot in
+        Alcotest.(check int) "no flush" 0 s.flushes;
+        Alcotest.(check int) "elided" 1 s.elided_flushes;
+        Alcotest.(check int) "nothing drained" 0 s.drained_lines);
+    Alcotest.test_case "unfenced pending lines are lost in a crash image"
+      `Quick (fun () ->
+        let m = mem 64 in
+        Mem.write m 0 7;
+        Mem.clwb m 0;
+        let img = Mem.crash_image m in
+        Alcotest.(check int) "pending lost" 0 (Mem.read img 0);
+        (* ...unless the eviction lottery writes them back anyway. *)
+        let img = Mem.crash_image ~evict_prob:1.0 ~seed:1 m in
+        Alcotest.(check int) "evicted survives" 7 (Mem.read img 0));
+    Alcotest.test_case "persist_all clears the pending set" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.write m 0 3;
+        Mem.clwb m 0;
+        Mem.persist_all m;
+        Alcotest.(check int) "durable" 3 (Mem.read_persistent m 0);
+        Stats.reset (Mem.stats m);
+        Mem.fence m;
+        let s = Mem.stats m |> Stats.snapshot in
+        Alcotest.(check int) "nothing left to drain" 0 s.drained_lines);
+    Alcotest.test_case "sync mode persists at the clwb" `Quick (fun () ->
+        let m = sync_mem 64 in
+        Mem.write m 0 5;
+        Mem.write m 1 6;
+        Mem.clwb m 0;
+        Alcotest.(check int) "durable immediately" 5 (Mem.read_persistent m 0);
+        Alcotest.(check int) "whole line" 6 (Mem.read_persistent m 1);
+        Mem.clwb m 1;
+        Mem.fence m;
+        let s = Mem.stats m |> Stats.snapshot in
+        Alcotest.(check int) "every clwb flushes" 2 s.flushes;
+        Alcotest.(check int) "never elides" 0 s.elided_flushes;
+        Alcotest.(check int) "never drains" 0 s.drained_lines);
+    Alcotest.test_case "fence burns crash fuel" `Quick (fun () ->
+        let m = mem 64 in
+        Mem.write m 0 1;
+        Mem.clwb m 0;
+        Mem.inject_crash_after m 0;
+        (try
+           Mem.fence m;
+           Alcotest.fail "expected Crash"
+         with Mem.Crash -> ());
+        Mem.disarm m;
+        (* The crash landed at the fence boundary: the drain never ran. *)
+        Alcotest.(check int) "pending line lost" 0 (Mem.read_persistent m 0);
+        Mem.fence m;
+        Alcotest.(check int) "drains after disarm" 1 (Mem.read_persistent m 0));
+    Alcotest.test_case "concurrent clwb/fence storm stays coherent" `Quick
+      (fun () ->
+        let m = mem 64 in
+        let per = 2000 and workers = 4 in
+        let body seed () =
+          let rng = Random.State.make [| seed |] in
+          for _ = 1 to per do
+            let a = Random.State.int rng 64 in
+            let rec retry () =
+              let cur = Mem.read m a in
+              if Mem.cas m a ~expected:cur ~desired:(cur + 1) <> cur then
+                retry ()
+            in
+            retry ();
+            Mem.clwb m a;
+            if Random.State.int rng 8 = 0 then Mem.fence m
+          done
+        in
+        let ds = List.init workers (fun s -> Domain.spawn (body s)) in
+        List.iter Domain.join ds;
+        Mem.fence m;
+        let total = ref 0 and durable = ref 0 in
+        for a = 0 to 63 do
+          total := !total + Mem.read m a;
+          durable := !durable + Mem.read_persistent m a
+        done;
+        Alcotest.(check int) "every increment landed" (per * workers) !total;
+        Alcotest.(check int) "final fence drained everything" !total !durable);
   ]
 
 let injector_tests =
@@ -209,8 +362,11 @@ let injector_tests =
         Mem.clwb m 0;
         ignore (Mem.read m 0);
         ignore (Mem.read_persistent m 0);
+        Alcotest.(check int) "write+cas+clwb" 3 (Mem.steps m);
+        (* A fence is a mutating operation too: it drains pending lines, so
+           the injector must be able to land a crash on it. *)
         Mem.fence m;
-        Alcotest.(check int) "write+cas+clwb" 3 (Mem.steps m));
+        Alcotest.(check int) "+fence" 4 (Mem.steps m));
     Alcotest.test_case "fuel n allows exactly n operations" `Quick (fun () ->
         let m = mem 64 in
         Mem.inject_crash_after m 3;
@@ -388,6 +544,7 @@ let () =
       ("flags", flags_tests);
       ("config", config_tests);
       ("mem", mem_tests);
+      ("async", async_tests);
       ("injector", injector_tests);
       ("region", region_tests);
       ( "properties",

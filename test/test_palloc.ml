@@ -169,6 +169,7 @@ let recovery_tests =
         (* header marked allocated, like alloc does before delivery *)
         Mem.write mem b (Mem.read mem b lor 1);
         Mem.clwb mem b;
+        Mem.fence mem;
         let img = Mem.crash_image mem in
         let t', rolled =
           Palloc.recover img ~base:8 ~words:4088 ~max_threads:4
@@ -193,6 +194,7 @@ let recovery_tests =
         Mem.clwb mem b;
         Mem.write mem dest p;
         Mem.clwb mem dest;
+        Mem.fence mem;
         (* crash before the record was cleared *)
         let img = Mem.crash_image mem in
         let t', rolled =

@@ -413,6 +413,61 @@ let op_tests =
         Alcotest.(check int) "status" Layout.status_succeeded
           (Pool.desc_status env.pool ~slot);
         Pool.finish d ~succeeded:true);
+    Alcotest.test_case "shared-line descriptor coalesces its phase flushes"
+      `Quick (fun () ->
+        let env = make_env () in
+        let stats () = Nvram.Stats.snapshot (Mem.stats env.mem) in
+        let line = (Mem.config env.mem).line_words in
+        (* Run one 4-word op and return the device flushes / elisions it
+           cost.  The targets are freshly persisted, so the deltas are
+           dominated by the op's own phase batches. *)
+        let run h addrs =
+          List.iter (fun a -> Mem.write env.mem a 5) addrs;
+          Mem.persist_all env.mem;
+          let before = stats () in
+          let d = Pool.alloc_desc h in
+          List.iter
+            (fun a -> Pool.add_word d ~addr:a ~expected:5 ~desired:6)
+            addrs;
+          Alcotest.(check bool) "succeeded" true (Op.execute d);
+          let after = stats () in
+          ( after.flushes - before.flushes,
+            after.elided_flushes - before.elided_flushes )
+        in
+        let h = Pool.register env.pool in
+        let shared = List.init 4 (fun i -> env.data + i) in
+        let spread = List.init 4 (fun i -> env.data + ((i + 1) * line)) in
+        let shared_fl, shared_el = run h shared in
+        let spread_fl, _ = run h spread in
+        Pool.unregister h;
+        (* All four targets on one cache line: the precommit and apply
+           batches flush that line once and elide the duplicates, so the
+           shared-line op must be strictly cheaper in device flushes. *)
+        Alcotest.(check bool) "duplicates elided" true (shared_el > 0);
+        Alcotest.(check bool) "fewer distinct-line flushes" true
+          (shared_fl < spread_fl));
+    Alcotest.test_case "failed attempts record contention backoff" `Quick
+      (fun () ->
+        let env = make_env () in
+        init_data env [ 1 ];
+        let h = Pool.register env.pool in
+        let m0 = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        (* Stale-expected failures grow this domain's failure streak;
+           each one takes a bounded backoff before returning. *)
+        for _ = 1 to 4 do
+          Alcotest.(check bool) "stale expected fails" false
+            (run_mwcas h [ (env.data, 99, 100) ])
+        done;
+        let m1 = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        Alcotest.(check bool) "backoffs recorded" true
+          (m1.backoffs >= m0.backoffs + 4);
+        (* A success resets the streak and takes no backoff. *)
+        Alcotest.(check bool) "succeeds" true
+          (run_mwcas h [ (env.data, 1, 2) ]);
+        let m2 = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        Alcotest.(check int) "success does not back off" m1.backoffs
+          m2.backoffs;
+        Pool.unregister h);
   ]
 
 let policy_tests =
