@@ -1,4 +1,4 @@
-.PHONY: all check test bench sweep clean
+.PHONY: all check test slow bench sweep dst clean
 
 all:
 	dune build
@@ -8,6 +8,10 @@ check:
 
 test:
 	dune runtest
+
+# Slow tier: deep DST enumerations and dense scheduled-crash sweeps.
+slow:
+	dune build @slow
 
 # Writes the registry snapshot + per-experiment rows alongside the
 # human-readable tables.
@@ -20,6 +24,17 @@ sweep:
 	dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 300 --seeds 2
 	dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 200 \
 	  --seeds 1 --sabotage
+
+# Deterministic-scheduling smoke: random + PCT + a tiny exhaustive
+# enumeration, then the broken-helper self-test (the DST stack must
+# catch a sabotaged persist-before-decide flush and print a replayable
+# token).
+dst:
+	dune exec bin/pmwcas_cli.exe -- dst --strategy random --seeds 5
+	dune exec bin/pmwcas_cli.exe -- dst --strategy pct --seeds 3
+	dune exec bin/pmwcas_cli.exe -- dst --strategy exhaustive --threads 2 \
+	  --ops 1 --addrs 2 --preemptions 1
+	dune exec bin/pmwcas_cli.exe -- dst --broken-helper
 
 clean:
 	dune clean

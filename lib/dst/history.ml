@@ -1,0 +1,71 @@
+type ('op, 'res) call = {
+  c_thread : int;
+  c_op : 'op;
+  mutable c_res : 'res option;
+  c_inv : int;
+  mutable c_ret : int;
+}
+
+type ('op, 'res) t = {
+  mutable calls : ('op, 'res) call list; (* reverse invocation order *)
+  mutable stamp : int;
+  mutable n : int;
+}
+
+type ('op, 'res) entry = {
+  thread : int;
+  op : 'op;
+  res : 'res option;
+  inv : int;
+  ret : int;
+}
+
+let create () = { calls = []; stamp = 0; n = 0 }
+
+let invoke t ~thread op =
+  let c =
+    { c_thread = thread; c_op = op; c_res = None; c_inv = t.stamp; c_ret = max_int }
+  in
+  t.stamp <- t.stamp + 1;
+  t.n <- t.n + 1;
+  t.calls <- c :: t.calls;
+  c
+
+let return t c res =
+  if c.c_res <> None then invalid_arg "History.return: call already returned";
+  c.c_res <- Some res;
+  c.c_ret <- t.stamp;
+  t.stamp <- t.stamp + 1
+
+let entries t =
+  let a =
+    Array.of_list
+      (List.rev_map
+         (fun c ->
+           {
+             thread = c.c_thread;
+             op = c.c_op;
+             res = c.c_res;
+             inv = c.c_inv;
+             ret = c.c_ret;
+           })
+         t.calls)
+  in
+  a
+
+let length t = t.n
+
+let pending t =
+  List.fold_left (fun n c -> if c.c_res = None then n + 1 else n) 0 t.calls
+
+let pp ~pp_op ~pp_res ppf t =
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "t%d %6d..%-6s %a -> %a@." e.thread e.inv
+        (if e.ret = max_int then "?" else string_of_int e.ret)
+        pp_op e.op
+        (fun ppf -> function
+          | None -> Format.pp_print_string ppf "pending"
+          | Some r -> pp_res ppf r)
+        e.res)
+    (entries t)

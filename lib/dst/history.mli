@@ -1,0 +1,50 @@
+(** Concurrent-operation history recorder.
+
+    A history is the sequence of operation {e invocations} and
+    {e responses} a concurrent run produced, in real-time order — the
+    input to the linearizability checker ({!Linearize}). Each logical
+    thread records [invoke] when it starts an operation and [return]
+    when the operation's response becomes visible to it; an operation
+    whose return never happened (the run crashed, or the scheduler was
+    stopped mid-flight) stays {e pending}, and the checker is free to
+    include or exclude it.
+
+    The recorder is {e not} thread-safe: it is designed for the
+    cooperative DST scheduler, where all logical threads share one
+    domain and record strictly between yield points. *)
+
+type ('op, 'res) call
+(** Token for one in-flight operation, handed back to [return]. *)
+
+type ('op, 'res) t
+
+val create : unit -> ('op, 'res) t
+
+val invoke : ('op, 'res) t -> thread:int -> 'op -> ('op, 'res) call
+(** Record the invocation of [op] by logical thread [thread]. *)
+
+val return : ('op, 'res) t -> ('op, 'res) call -> 'res -> unit
+(** Record the response of a previously invoked operation.
+    @raise Invalid_argument if the call already returned. *)
+
+type ('op, 'res) entry = {
+  thread : int;
+  op : 'op;
+  res : 'res option;  (** [None] — pending (no response recorded). *)
+  inv : int;  (** Invocation stamp (global, monotonic). *)
+  ret : int;  (** Response stamp; [max_int] when pending. *)
+}
+
+val entries : ('op, 'res) t -> ('op, 'res) entry array
+(** All recorded operations, sorted by invocation stamp. *)
+
+val length : ('op, 'res) t -> int
+val pending : ('op, 'res) t -> int
+
+val pp :
+  pp_op:(Format.formatter -> 'op -> unit) ->
+  pp_res:(Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('op, 'res) t ->
+  unit
+(** One line per operation: [t<thread> inv..ret op -> res]. *)

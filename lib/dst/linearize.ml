@@ -1,0 +1,160 @@
+module type MODEL = sig
+  type state
+  type op
+  type res
+
+  val apply : state -> op -> state * res
+  val state_key : state -> string
+  val equal_res : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+type verdict = Linearizable | Violation of string | Out_of_budget
+
+let verdict_ok = function Linearizable -> true | _ -> false
+
+let pp_verdict ppf = function
+  | Linearizable -> Format.pp_print_string ppf "linearizable"
+  | Violation msg -> Format.fprintf ppf "VIOLATION: %s" msg
+  | Out_of_budget -> Format.pp_print_string ppf "out of checker budget"
+
+module Make (M : MODEL) = struct
+  exception Found
+  exception Budget
+
+  (* Wing–Gong search. State: per-thread cursor into that thread's
+     (real-time ordered) operation list, plus the model state reached by
+     the linearization prefix chosen so far. A thread head [e] may
+     linearize next iff no other un-linearized operation returned before
+     [e] was invoked — since per-thread stamps are monotone, it suffices
+     to compare against the minimum return stamp over the other thread
+     heads. A pending head (no response) may also be dropped outright:
+     its effects never have to appear. Visited (cursors, state) pairs
+     are memoized (Lowe's optimization), which turns the factorial
+     search into something tractable for the history sizes DST runs
+     produce. *)
+
+  let search ?(budget = 2_000_000) ~init ~(obs_ok : M.state -> bool) h =
+    let es = History.entries h in
+    let nthreads =
+      Array.fold_left (fun m (e : _ History.entry) -> max m (e.thread + 1)) 0 es
+    in
+    let per_thread =
+      Array.init nthreads (fun t ->
+          Array.of_list
+            (List.filter
+               (fun (e : _ History.entry) -> e.thread = t)
+               (Array.to_list es)))
+    in
+    (* Well-formedness: within a thread, a pending op must be the last
+       one — a logical thread cannot invoke past an unanswered call. *)
+    Array.iter
+      (fun ops ->
+        Array.iteri
+          (fun i (e : _ History.entry) ->
+            if e.res = None && i < Array.length ops - 1 then
+              invalid_arg "Linearize: pending op is not last in its thread")
+          ops)
+      per_thread;
+    let progress = Array.make (max nthreads 1) 0 in
+    let visited = Hashtbl.create 4096 in
+    let nodes = ref 0 in
+    let buf = Buffer.create 64 in
+    let progress_key state_k =
+      Buffer.clear buf;
+      Array.iter
+        (fun p ->
+          Buffer.add_string buf (string_of_int p);
+          Buffer.add_char buf ',')
+        progress;
+      Buffer.add_char buf '#';
+      Buffer.add_string buf state_k;
+      Buffer.contents buf
+    in
+    let rec dfs state state_k =
+      let all_done = ref true in
+      for t = 0 to nthreads - 1 do
+        if progress.(t) < Array.length per_thread.(t) then all_done := false
+      done;
+      if !all_done then (if obs_ok state then raise Found)
+      else
+        let key = progress_key state_k in
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.add visited key ();
+          incr nodes;
+          if !nodes > budget then raise Budget;
+          (* Minimum return stamp over current heads: an op invoked
+             after that point cannot linearize before the op that
+             produced it. *)
+          let min_ret = ref max_int in
+          for t = 0 to nthreads - 1 do
+            if progress.(t) < Array.length per_thread.(t) then begin
+              let e = per_thread.(t).(progress.(t)) in
+              if e.ret < !min_ret then min_ret := e.ret
+            end
+          done;
+          for t = 0 to nthreads - 1 do
+            if progress.(t) < Array.length per_thread.(t) then begin
+              let e = per_thread.(t).(progress.(t)) in
+              (if e.inv <= !min_ret then
+                 let state', r = M.apply state e.op in
+                 let matches =
+                   match e.res with
+                   | None -> true (* pending: any response is acceptable *)
+                   | Some r0 -> M.equal_res r r0
+                 in
+                 if matches then begin
+                   progress.(t) <- progress.(t) + 1;
+                   dfs state' (M.state_key state');
+                   progress.(t) <- progress.(t) - 1
+                 end);
+              if e.res = None then begin
+                (* Drop the pending op entirely. *)
+                progress.(t) <- progress.(t) + 1;
+                dfs state state_k;
+                progress.(t) <- progress.(t) - 1
+              end
+            end
+          done
+        end
+    in
+    match dfs init (M.state_key init) with
+    | () ->
+        let dump =
+          Format.asprintf "%a"
+            (History.pp ~pp_op:M.pp_op ~pp_res:M.pp_res)
+            h
+        in
+        Violation
+          (Printf.sprintf
+             "no linearization of %d ops (%d pending, %d states explored)\n%s"
+             (History.length h) (History.pending h) !nodes dump)
+    | exception Found -> Linearizable
+    | exception Budget -> Out_of_budget
+
+  let check ?budget ~init h = search ?budget ~init ~obs_ok:(fun _ -> true) h
+
+  let check_durable ?budget ~init ~observation h =
+    let obs_ok state =
+      let rec go state = function
+        | [] -> true
+        | (op, expect) :: rest ->
+            let state', r = M.apply state op in
+            M.equal_res r expect && go state' rest
+      in
+      go state observation
+    in
+    match search ?budget ~init ~obs_ok h with
+    | Violation msg ->
+        let obs_dump =
+          String.concat "; "
+            (List.map
+               (fun (op, r) ->
+                 Format.asprintf "%a -> %a" M.pp_op op M.pp_res r)
+               observation)
+        in
+        Violation
+          (Printf.sprintf "durable check: %s\nobservation: %s" msg obs_dump)
+    | v -> v
+end

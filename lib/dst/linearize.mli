@@ -1,0 +1,64 @@
+(** Linearizability checking (Wing–Gong search with Lowe-style
+    memoization) over recorded {!History} values.
+
+    A history is linearizable w.r.t. a sequential model when there is a
+    total order of its operations that (a) respects real time — if op
+    [a] returned before op [b] was invoked, [a] precedes [b]; (b) agrees
+    with the model: replaying the order from the initial state yields
+    exactly the recorded responses. Operations that never returned
+    ({e pending} — the run crashed or was stopped) may be included at
+    any legal point or dropped entirely, per the standard definition.
+
+    [check_durable] adds the durable-linearizability acceptance bar of
+    Zuriel et al.: the state {e observed after crash + recovery} must be
+    the final state of some such linearization — every acknowledged
+    operation persisted, pending ones atomically or not at all. The
+    observation is a sequence of (operation, expected response) pairs
+    replayed against each candidate final state. *)
+
+module type MODEL = sig
+  type state
+  type op
+  type res
+
+  val apply : state -> op -> state * res
+  (** Purely functional sequential semantics. *)
+
+  val state_key : state -> string
+  (** Canonical encoding, used to memoize visited search states. Equal
+      states must map to equal keys. *)
+
+  val equal_res : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+type verdict =
+  | Linearizable
+  | Violation of string  (** Human-readable explanation + history dump. *)
+  | Out_of_budget
+      (** The search exceeded its node budget — no verdict. Treat as a
+          failure in tests; raise the budget to resolve. *)
+
+val verdict_ok : verdict -> bool
+(** [true] only for [Linearizable]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+module Make (M : MODEL) : sig
+  val check :
+    ?budget:int -> init:M.state -> (M.op, M.res) History.t -> verdict
+  (** Plain linearizability of a (possibly crashed) history. [budget]
+      (default 2,000,000) caps visited search nodes. *)
+
+  val check_durable :
+    ?budget:int ->
+    init:M.state ->
+    observation:(M.op * M.res) list ->
+    (M.op, M.res) History.t ->
+    verdict
+  (** Durable linearizability: some linearization of the history (all
+      completed ops, any subset of pending ones) must produce a final
+      state on which replaying [observation] yields exactly the given
+      responses. *)
+end

@@ -1,0 +1,106 @@
+(* States are sorted association lists: cheap, canonical (so state_key
+   is just a fold), and persistent — the checker's DFS backtracks, so
+   states must be immutable. Histories DST produces touch a handful of
+   addresses/keys; no balanced tree needed. *)
+
+let rec assoc_upsert k v = function
+  | [] -> [ (k, v) ]
+  | (k', _) as hd :: tl ->
+      if k < k' then (k, v) :: hd :: tl
+      else if k = k' then (k, v) :: tl
+      else hd :: assoc_upsert k v tl
+
+let rec assoc_remove k = function
+  | [] -> []
+  | ((k', _) as hd) :: tl ->
+      if k = k' then tl else if k < k' then hd :: tl else hd :: assoc_remove k tl
+
+let key_of_bindings bindings =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (string_of_int k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ';')
+    bindings;
+  Buffer.contents buf
+
+module Registers = struct
+  type state = (int * int) list (* sorted by address *)
+  type op = Read of int | Mwcas of (int * int * int) list
+  type res = Value of int | Done of bool
+
+  let init bindings =
+    List.sort_uniq (fun (a, _) (b, _) -> compare a b) bindings
+
+  let get state a = match List.assoc_opt a state with Some v -> v | None -> 0
+
+  let apply state = function
+    | Read a -> (state, Value (get state a))
+    | Mwcas words ->
+        if List.for_all (fun (a, exp, _) -> get state a = exp) words then
+          ( List.fold_left (fun s (a, _, des) -> assoc_upsert a des s) state words,
+            Done true )
+        else (state, Done false)
+
+  let state_key = key_of_bindings
+  let equal_res (a : res) b = a = b
+
+  let pp_op ppf = function
+    | Read a -> Format.fprintf ppf "read[%d]" a
+    | Mwcas words ->
+        Format.fprintf ppf "mwcas{%s}"
+          (String.concat ","
+             (List.map
+                (fun (a, exp, des) -> Printf.sprintf "[%d]:%d->%d" a exp des)
+                words))
+
+  let pp_res ppf = function
+    | Value v -> Format.fprintf ppf "%d" v
+    | Done b -> Format.fprintf ppf "%B" b
+end
+
+module Kv = struct
+  type state = (int * int) list (* sorted by key *)
+
+  type op =
+    | Insert of int * int
+    | Delete of int
+    | Update of int * int
+    | Put of int * int
+    | Find of int
+
+  type res = Bool of bool | Opt of int option
+
+  let init bindings =
+    List.sort_uniq (fun (a, _) (b, _) -> compare a b) bindings
+
+  let apply state = function
+    | Insert (k, v) ->
+        if List.mem_assoc k state then (state, Bool false)
+        else (assoc_upsert k v state, Bool true)
+    | Delete k ->
+        if List.mem_assoc k state then (assoc_remove k state, Bool true)
+        else (state, Bool false)
+    | Update (k, v) ->
+        if List.mem_assoc k state then (assoc_upsert k v state, Bool true)
+        else (state, Bool false)
+    | Put (k, v) -> (assoc_upsert k v state, Opt (List.assoc_opt k state))
+    | Find k -> (state, Opt (List.assoc_opt k state))
+
+  let state_key = key_of_bindings
+  let equal_res (a : res) b = a = b
+
+  let pp_op ppf = function
+    | Insert (k, v) -> Format.fprintf ppf "insert(%d,%d)" k v
+    | Delete k -> Format.fprintf ppf "delete(%d)" k
+    | Update (k, v) -> Format.fprintf ppf "update(%d,%d)" k v
+    | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
+    | Find k -> Format.fprintf ppf "find(%d)" k
+
+  let pp_res ppf = function
+    | Bool b -> Format.fprintf ppf "%B" b
+    | Opt None -> Format.pp_print_string ppf "none"
+    | Opt (Some v) -> Format.fprintf ppf "some %d" v
+end

@@ -1,0 +1,45 @@
+(** Sequential specification models for the linearizability checker.
+
+    Two models cover the repo's concurrent objects: {!Registers} — an
+    array of integer words mutated by multi-word CAS, the specification
+    of [Pmwcas.Op] — and {!Kv} — a finite int→int map, the shared
+    specification of the persistent skiplist and the Bw-tree. *)
+
+(** Shared registers with atomic multi-word CAS. State maps addresses
+    to values; unmentioned addresses read as 0. *)
+module Registers : sig
+  type state
+
+  type op =
+    | Read of int  (** Read one address. *)
+    | Mwcas of (int * int * int) list
+        (** [(addr, expected, desired)] triples; atomically installs all
+            desireds iff every address holds its expected value. *)
+
+  type res = Value of int | Done of bool
+
+  include
+    Linearize.MODEL with type state := state and type op := op and type res := res
+
+  val init : (int * int) list -> state
+  (** Initial state from [(addr, value)] bindings. *)
+end
+
+(** A finite map with the combined skiplist/Bw-tree API surface. *)
+module Kv : sig
+  type state
+
+  type op =
+    | Insert of int * int  (** Fails (false) if the key exists. *)
+    | Delete of int  (** Fails (false) if the key is absent. *)
+    | Update of int * int  (** Fails (false) if the key is absent. *)
+    | Put of int * int  (** Upsert; returns the previous binding. *)
+    | Find of int
+
+  type res = Bool of bool | Opt of int option
+
+  include
+    Linearize.MODEL with type state := state and type op := op and type res := res
+
+  val init : (int * int) list -> state
+end

@@ -1,0 +1,623 @@
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Config = Nvram.Config
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Layout = Pmwcas.Layout
+module Recovery = Pmwcas.Recovery
+module RegCheck = Linearize.Make (Model.Registers)
+module KvCheck = Linearize.Make (Model.Kv)
+
+let align8 a = (a + 7) / 8 * 8
+
+type crash_point = { at : int; evict_prob : float; evict_seed : int }
+
+type run_result = {
+  outcome : Sched.outcome;
+  verdict : Linearize.verdict;
+  mem : Mem.t;
+  crashed : bool;
+  sweep_steps : int;
+  history_ops : int;
+  history_pending : int;
+  verify_image : Mem.t -> Recovery.stats * string list;
+}
+
+type t = {
+  name : string;
+  nthreads : int;
+  run :
+    pick:Sched.pick_fn -> fuel:int option -> crash:crash_point option ->
+    run_result;
+}
+
+(* A word recovery is done with must hold a plain payload. *)
+let clean_word img a errs =
+  let v = Mem.read img a in
+  if Flags.is_rdcss v || Flags.is_mwcas v then begin
+    errs :=
+      Printf.sprintf "word %d still holds a descriptor pointer (%#x)" a v
+      :: !errs;
+    0
+  end
+  else Flags.clear_dirty v
+
+let verdict_of_errs = function
+  | [] -> Linearize.Linearizable
+  | errs -> Linearize.Violation (String.concat "; " errs)
+
+let push_verdict errs = function
+  | Linearize.Linearizable -> ()
+  | Linearize.Violation m -> errs := m :: !errs
+  | v -> errs := Format.asprintf "%a" Linearize.pp_verdict v :: !errs
+
+(* Shared driver: arm fuel, schedule the fibers, disarm, classify. *)
+let scheduled_run ~base ~mem ~pick ~fuel ~crash bodies =
+  let steps0 = Mem.steps base in
+  (match fuel with Some f -> Mem.inject_crash_after base f | None -> ());
+  let stop_at = Option.map (fun c -> c.at) crash in
+  let outcome = Sched.run ?stop_at ~mem ~pick bodies in
+  (match fuel with Some _ -> Mem.disarm base | None -> ());
+  let sweep_steps = Mem.steps base - steps0 in
+  let crashed =
+    List.exists (fun (_, e) -> e = Mem.Crash) outcome.Sched.failures
+  in
+  let hard =
+    List.filter_map
+      (fun (i, e) ->
+        match e with
+        | Mem.Crash -> None
+        | e -> Some (Printf.sprintf "fiber %d raised %s" i (Printexc.to_string e)))
+      outcome.Sched.failures
+  in
+  (outcome, sweep_steps, crashed, hard)
+
+let base_errs ~crash ~crashed outcome hard =
+  let errs = ref (List.rev hard) in
+  if outcome.Sched.stalled then
+    errs := "scheduler stalled: max_steps exceeded (livelock?)" :: !errs;
+  if crash = None && not crashed && not outcome.Sched.completed then
+    errs := "fibers did not run to completion" :: !errs;
+  errs
+
+(* Resolve the verdict for the three run modes. [live_check] runs the
+   completed-run checks (final state + invariants); [verify_image]
+   checks a crash image. *)
+let finish ~base ~crash ~crashed ~errs ~live_check ~verify_image =
+  if !errs <> [] then verdict_of_errs (List.rev !errs)
+  else
+    match crash with
+    | Some c -> (
+        let img =
+          Mem.crash_image ~evict_prob:c.evict_prob ~seed:c.evict_seed base
+        in
+        match verify_image img with
+        | _, [] -> Linearize.Linearizable
+        | _, verrs -> verdict_of_errs verrs
+        | exception e ->
+            Linearize.Violation
+              ("verify_image raised: " ^ Printexc.to_string e))
+    | None ->
+        if crashed then
+          (* Fueled run: Crash_sweep drives verify_image itself. *)
+          Linearize.Linearizable
+        else live_check ()
+
+(* ------------------------------------------------------------------ *)
+(* pmwcas: overlapping multi-word CASes on shared words.               *)
+
+let pmwcas ?(threads = 2) ?(ops = 1) ?(width = 2) ?(addrs = 4) ?(seed = 0) () =
+  if threads < 1 || threads > 26 then
+    invalid_arg "Scenarios.pmwcas: threads must be in [1,26]";
+  if width < 1 || width > addrs then
+    invalid_arg "Scenarios.pmwcas: need 1 <= width <= addrs";
+  let max_threads = threads + 1 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let data_base = align8 pool_words in
+  (* One register per cache line. Eviction in [Mem.crash_image] is
+     per-line, so co-located registers would always persist together —
+     hiding exactly the mixed (some-words-new, some-words-old) images a
+     skipped precommit flush produces. *)
+  let line_pitch = 8 in
+  let addr_of a = data_base + (a * line_pitch) in
+  let words = align8 (data_base + (addrs * line_pitch)) in
+  let initial a = 1000 + a in
+  let init_state =
+    Model.Registers.init (List.init addrs (fun a -> (addr_of a, initial a)))
+  in
+  let run ~pick ~fuel ~crash =
+    let base = Mem.create (Config.make ~words ()) in
+    let mem = Mem.hooked base in
+    let pool = Pool.create mem ~base:0 ~max_threads in
+    for a = 0 to addrs - 1 do
+      Mem.write mem (addr_of a) (initial a)
+    done;
+    Mem.persist_all mem;
+    let hist : (Model.Registers.op, Model.Registers.res) History.t =
+      History.create ()
+    in
+    let work t =
+      let h = Pool.register pool in
+      let rng = Random.State.make [| seed; t; 0xd57 |] in
+      for j = 1 to ops do
+        (* [width] distinct addresses, ascending (install order). *)
+        let chosen =
+          let all = Array.init addrs Fun.id in
+          for i = 0 to width - 1 do
+            let r = i + Random.State.int rng (addrs - i) in
+            let tmp = all.(i) in
+            all.(i) <- all.(r);
+            all.(r) <- tmp
+          done;
+          List.sort compare (Array.to_list (Array.sub all 0 width))
+        in
+        let reads =
+          List.map
+            (fun a ->
+              let c =
+                History.invoke hist ~thread:t
+                  (Model.Registers.Read (addr_of a))
+              in
+              let v = Op.read_with h (addr_of a) in
+              History.return hist c (Model.Registers.Value v);
+              (a, v))
+            chosen
+        in
+        let triples =
+          List.mapi
+            (fun i (a, v) ->
+              (addr_of a, v, 2000 + ((((t * ops) + j) * 16) + i)))
+            reads
+        in
+        let c =
+          History.invoke hist ~thread:t (Model.Registers.Mwcas triples)
+        in
+        let d = Pool.alloc_desc h in
+        List.iter
+          (fun (a, e, dv) -> Pool.add_word d ~addr:a ~expected:e ~desired:dv)
+          triples;
+        let ok = Op.execute d in
+        History.return hist c (Model.Registers.Done ok)
+      done;
+      Pool.unregister h
+    in
+    let bodies = Array.init threads (fun t () -> work t) in
+    let outcome, sweep_steps, crashed, hard =
+      scheduled_run ~base ~mem ~pick ~fuel ~crash bodies
+    in
+    let errs = base_errs ~crash ~crashed outcome hard in
+    let verify_image img =
+      let _pool, stats = Recovery.run img ~base:0 in
+      let verrs = ref [] in
+      let observation =
+        List.init addrs (fun a ->
+            ( Model.Registers.Read (addr_of a),
+              Model.Registers.Value (clean_word img (addr_of a) verrs) ))
+      in
+      push_verdict verrs
+        (RegCheck.check_durable ~init:init_state ~observation hist);
+      (stats, List.rev !verrs)
+    in
+    let live_check () =
+      let lerrs = ref [] in
+      (* Drain deferred recycling, then every slot must be terminal. *)
+      (try ignore (Epoch.drain_all (Pool.epoch pool))
+       with Failure m -> lerrs := ("drain_all: " ^ m) :: !lerrs);
+      let l = Pool.layout pool in
+      for i = 0 to l.Layout.nslots - 1 do
+        let s = Pool.desc_status pool ~slot:(Layout.slot_off l i) in
+        if s <> Layout.status_free then
+          lerrs :=
+            Printf.sprintf "slot %d not terminal: status %d" i s :: !lerrs
+      done;
+      if Pool.free_slots pool <> l.Layout.nslots then
+        lerrs :=
+          Printf.sprintf "%d of %d slots recycled" (Pool.free_slots pool)
+            l.Layout.nslots
+          :: !lerrs;
+      let observation =
+        List.init addrs (fun a ->
+            ( Model.Registers.Read (addr_of a),
+              Model.Registers.Value (clean_word base (addr_of a) lerrs) ))
+      in
+      push_verdict lerrs
+        (RegCheck.check_durable ~init:init_state ~observation hist);
+      verdict_of_errs (List.rev !lerrs)
+    in
+    let verdict = finish ~base ~crash ~crashed ~errs ~live_check ~verify_image in
+    {
+      outcome;
+      verdict;
+      mem = base;
+      crashed;
+      sweep_steps;
+      history_ops = History.length hist;
+      history_pending = History.pending hist;
+      verify_image;
+    }
+  in
+  { name = "pmwcas"; nthreads = threads; run }
+
+(* ------------------------------------------------------------------ *)
+(* Index scenarios share everything but construction and the op mix.   *)
+
+let kv_observation ~keys ~find =
+  List.init keys (fun i ->
+      let k = i + 1 in
+      (Model.Kv.Find k, Model.Kv.Opt (find ~key:k)))
+
+let skiplist ?(threads = 2) ?(ops = 4) ?(keys = 5) ?(seed = 0) () =
+  let module Pm = Skiplist.Pm in
+  if threads < 1 || threads > 26 then
+    invalid_arg "Scenarios.skiplist: threads must be in [1,26]";
+  let max_threads = threads + 1 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let heap_words = 1 lsl 13 in
+  let anchor = align8 (heap_base + heap_words) in
+  let words = align8 (anchor + Pm.anchor_words) in
+  let run ~pick ~fuel ~crash =
+    let base = Mem.create (Config.make ~words ()) in
+    let mem = Mem.hooked base in
+    let palloc =
+      Palloc.create mem ~base:heap_base ~words:heap_words ~max_threads
+    in
+    let pool = Pool.create ~palloc mem ~base:0 ~max_threads in
+    let sl = Pm.create ~pool ~palloc ~anchor () in
+    Mem.persist_all mem;
+    let hist : (Model.Kv.op, Model.Kv.res) History.t = History.create () in
+    let work t =
+      let h = Pm.register ~seed:((seed * 31) + t + 1) sl in
+      let rng = Random.State.make [| seed; t; 0x5317 |] in
+      for j = 1 to ops do
+        let k = 1 + Random.State.int rng keys in
+        let v = ((t + 1) * 1000) + j in
+        (match Random.State.int rng 4 with
+        | 0 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Insert (k, v)) in
+            let r = Pm.insert h ~key:k ~value:v in
+            History.return hist c (Model.Kv.Bool r)
+        | 1 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Delete k) in
+            let r = Pm.delete h ~key:k in
+            History.return hist c (Model.Kv.Bool r)
+        | 2 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Update (k, v)) in
+            let r = Pm.update h ~key:k ~value:v in
+            History.return hist c (Model.Kv.Bool r)
+        | _ ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Find k) in
+            let r = Pm.find h ~key:k in
+            History.return hist c (Model.Kv.Opt r));
+        ()
+      done;
+      Pm.unregister h
+    in
+    let bodies = Array.init threads (fun t () -> work t) in
+    let outcome, sweep_steps, crashed, hard =
+      scheduled_run ~base ~mem ~pick ~fuel ~crash bodies
+    in
+    let errs = base_errs ~crash ~crashed outcome hard in
+    let verify_image img =
+      let palloc', _ =
+        Palloc.recover img ~base:heap_base ~words:heap_words ~max_threads
+      in
+      let pool', stats = Recovery.run ~palloc:palloc' img ~base:0 in
+      let sl' = Pm.attach ~pool:pool' ~palloc:palloc' ~anchor in
+      let h' = Pm.register ~seed:97 sl' in
+      let verrs = ref [] in
+      (try Pm.check_invariants h'
+       with Failure m -> verrs := ("invariants: " ^ m) :: !verrs);
+      let observation =
+        kv_observation ~keys ~find:(fun ~key -> Pm.find h' ~key)
+      in
+      push_verdict verrs
+        (KvCheck.check_durable ~init:(Model.Kv.init []) ~observation hist);
+      Pm.unregister h';
+      (stats, List.rev !verrs)
+    in
+    let live_check () =
+      let h' = Pm.register ~seed:98 sl in
+      let lerrs = ref [] in
+      Pm.quiesce h';
+      (try Pm.check_invariants h'
+       with Failure m -> lerrs := ("invariants: " ^ m) :: !lerrs);
+      let observation =
+        kv_observation ~keys ~find:(fun ~key -> Pm.find h' ~key)
+      in
+      push_verdict lerrs
+        (KvCheck.check_durable ~init:(Model.Kv.init []) ~observation hist);
+      Pm.unregister h';
+      verdict_of_errs (List.rev !lerrs)
+    in
+    let verdict = finish ~base ~crash ~crashed ~errs ~live_check ~verify_image in
+    {
+      outcome;
+      verdict;
+      mem = base;
+      crashed;
+      sweep_steps;
+      history_ops = History.length hist;
+      history_pending = History.pending hist;
+      verify_image;
+    }
+  in
+  { name = "skiplist"; nthreads = threads; run }
+
+let bwtree ?(threads = 2) ?(ops = 4) ?(keys = 5) ?(seed = 0) () =
+  let module Tree = Bwtree.Tree in
+  if threads < 1 || threads > 26 then
+    invalid_arg "Scenarios.bwtree: threads must be in [1,26]";
+  let max_threads = threads + 1 in
+  let pool_words = Pool.region_words ~max_threads () in
+  let heap_base = align8 pool_words in
+  let heap_words = 1 lsl 13 in
+  let anchor = align8 (heap_base + heap_words) in
+  let map_base = align8 (anchor + Tree.anchor_words) in
+  let map_words = 64 in
+  let words = align8 (map_base + map_words) in
+  let config = Tree.{ consolidate_len = 3; split_max = 4; merge_min = 1 } in
+  let run ~pick ~fuel ~crash =
+    let base = Mem.create (Config.make ~words ()) in
+    let mem = Mem.hooked base in
+    let palloc =
+      Palloc.create mem ~base:heap_base ~words:heap_words ~max_threads
+    in
+    let pool = Pool.create ~palloc mem ~base:0 ~max_threads in
+    let tree =
+      Tree.create ~config ~pool ~palloc ~anchor ~map_base ~map_words ()
+    in
+    Mem.persist_all mem;
+    let hist : (Model.Kv.op, Model.Kv.res) History.t = History.create () in
+    let work t =
+      let h = Tree.register tree in
+      let rng = Random.State.make [| seed; t; 0xb37 |] in
+      for j = 1 to ops do
+        let k = 1 + Random.State.int rng keys in
+        let v = ((t + 1) * 1000) + j in
+        (match Random.State.int rng 4 with
+        | 0 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Insert (k, v)) in
+            let r = Tree.insert h ~key:k ~value:v in
+            History.return hist c (Model.Kv.Bool r)
+        | 1 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Delete k) in
+            let r = Tree.remove h ~key:k in
+            History.return hist c (Model.Kv.Bool r)
+        | 2 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Put (k, v)) in
+            let r = Tree.put h ~key:k ~value:v in
+            History.return hist c (Model.Kv.Opt r)
+        | _ ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Find k) in
+            let r = Tree.get h ~key:k in
+            History.return hist c (Model.Kv.Opt r));
+        ()
+      done;
+      Tree.unregister h
+    in
+    let bodies = Array.init threads (fun t () -> work t) in
+    let outcome, sweep_steps, crashed, hard =
+      scheduled_run ~base ~mem ~pick ~fuel ~crash bodies
+    in
+    let errs = base_errs ~crash ~crashed outcome hard in
+    let verify_image img =
+      let palloc', _ =
+        Palloc.recover img ~base:heap_base ~words:heap_words ~max_threads
+      in
+      let pool', stats =
+        Recovery.run ~palloc:palloc'
+          ~callbacks:[ Tree.recovery_callback img ]
+          img ~base:0
+      in
+      let tree' = Tree.attach ~pool:pool' ~palloc:palloc' ~anchor in
+      let h' = Tree.register tree' in
+      let verrs = ref [] in
+      (try Tree.check_invariants h'
+       with Failure m -> verrs := ("invariants: " ^ m) :: !verrs);
+      let observation =
+        kv_observation ~keys ~find:(fun ~key -> Tree.get h' ~key)
+      in
+      push_verdict verrs
+        (KvCheck.check_durable ~init:(Model.Kv.init []) ~observation hist);
+      Tree.unregister h';
+      (stats, List.rev !verrs)
+    in
+    let live_check () =
+      let h' = Tree.register tree in
+      let lerrs = ref [] in
+      Tree.quiesce h';
+      (try Tree.check_invariants h'
+       with Failure m -> lerrs := ("invariants: " ^ m) :: !lerrs);
+      let observation =
+        kv_observation ~keys ~find:(fun ~key -> Tree.get h' ~key)
+      in
+      push_verdict lerrs
+        (KvCheck.check_durable ~init:(Model.Kv.init []) ~observation hist);
+      Tree.unregister h';
+      verdict_of_errs (List.rev !lerrs)
+    in
+    let verdict = finish ~base ~crash ~crashed ~errs ~live_check ~verify_image in
+    {
+      outcome;
+      verdict;
+      mem = base;
+      crashed;
+      sweep_steps;
+      history_ops = History.length hist;
+      history_pending = History.pending hist;
+      verify_image;
+    }
+  in
+  { name = "bwtree"; nthreads = threads; run }
+
+let names = [ "pmwcas"; "skiplist"; "bwtree" ]
+
+let find = function
+  | "pmwcas" -> Some (pmwcas ())
+  | "skiplist" -> Some (skiplist ())
+  | "bwtree" -> Some (bwtree ())
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Tokens: "<rle>" or "<rle>/c<at>e<seed>p<evict percent>".            *)
+
+let encode_token ~schedule ~crash =
+  let s = Sched.encode_schedule schedule in
+  match crash with
+  | None -> s
+  | Some c ->
+      Printf.sprintf "%s/c%de%dp%d" s c.at c.evict_seed
+        (int_of_float ((c.evict_prob *. 100.) +. 0.5))
+
+let decode_token token =
+  match String.index_opt token '/' with
+  | None -> (Sched.decode_schedule token, None)
+  | Some i ->
+      let sched = Sched.decode_schedule (String.sub token 0 i) in
+      let rest = String.sub token (i + 1) (String.length token - i - 1) in
+      let fail () = invalid_arg "Scenarios.decode_token: malformed crash spec" in
+      (try Scanf.sscanf rest "c%de%dp%d%!" (fun at seed pct ->
+           if at < 0 || pct < 0 || pct > 100 then fail ();
+           ( sched,
+             Some
+               {
+                 at;
+                 evict_seed = seed;
+                 evict_prob = float_of_int pct /. 100.;
+               } ))
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail ())
+
+let replay scenario token =
+  let schedule, crash = decode_token token in
+  scenario.run
+    ~pick:(Sched.pick_of_strategy (Sched.Prefix schedule))
+    ~fuel:None ~crash
+
+let verdict_fails r = not (Linearize.verdict_ok r.verdict)
+
+let hunt ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(evicts = [ (0., 0); (0.3, 1); (0.3, 2) ])
+    ?(stride = 1) scenario =
+  let stride = max 1 stride in
+  let result = ref None in
+  let try_seed seed =
+    if !result = None then begin
+      let full =
+        scenario.run
+          ~pick:(Sched.pick_of_strategy (Sched.Random seed))
+          ~fuel:None ~crash:None
+      in
+      if verdict_fails full then
+        result :=
+          Some
+            ( encode_token ~schedule:full.outcome.Sched.schedule ~crash:None,
+              full )
+      else begin
+        let s = full.outcome.Sched.schedule in
+        let steps = Array.length s in
+        let at = ref 1 in
+        while !result = None && !at < steps do
+          List.iter
+            (fun (evict_prob, evict_seed) ->
+              if !result = None then begin
+                let crash = { at = !at; evict_prob; evict_seed } in
+                let r =
+                  scenario.run
+                    ~pick:(Sched.pick_of_strategy (Sched.Prefix s))
+                    ~fuel:None ~crash:(Some crash)
+                in
+                if verdict_fails r then
+                  result :=
+                    Some
+                      ( encode_token
+                          ~schedule:(Array.sub s 0 (min !at steps))
+                          ~crash:(Some crash),
+                        r )
+              end)
+            evicts;
+          at := !at + stride
+        done
+      end
+    end
+  in
+  List.iter try_seed seeds;
+  !result
+
+let shrink_token scenario token =
+  let schedule, crash = decode_token token in
+  match crash with
+  | None ->
+      let fails sched =
+        verdict_fails
+          (scenario.run
+             ~pick:(Sched.pick_of_strategy (Sched.Prefix sched))
+             ~fuel:None ~crash:None)
+      in
+      if not (fails schedule) then token
+      else
+        encode_token
+          ~schedule:(Sched.shrink_schedule ~fails schedule)
+          ~crash:None
+  | Some c ->
+      let run_at sched =
+        scenario.run
+          ~pick:(Sched.pick_of_strategy (Sched.Prefix sched))
+          ~fuel:None
+          ~crash:(Some { c with at = Array.length sched })
+      in
+      let fails sched = verdict_fails (run_at sched) in
+      let sched0 =
+        if Array.length schedule = c.at then schedule
+        else if c.at < Array.length schedule then Array.sub schedule 0 c.at
+        else schedule
+      in
+      if not (fails sched0) then token
+      else begin
+        let s' = Sched.shrink_schedule ~fails sched0 in
+        encode_token ~schedule:s'
+          ~crash:(Some { c with at = Array.length s' })
+      end
+
+let exhaust ?max_schedules ?(preemptions = 1) scenario =
+  let violations = ref [] in
+  let run ~pick =
+    let r = scenario.run ~pick ~fuel:None ~crash:None in
+    if verdict_fails r then
+      violations :=
+        (Sched.encode_schedule r.outcome.Sched.schedule, r.verdict)
+        :: !violations;
+    r.outcome
+  in
+  let e =
+    Sched.explore ?max_schedules ~preemptions ~run ~on_outcome:ignore ()
+  in
+  (e, List.rev !violations)
+
+let broken_helper_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(stride = 1)
+    ?(log = ignore) () =
+  let scenario = pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:4 () in
+  Op.set_sabotage_skip_precommit_flush true;
+  Fun.protect
+    ~finally:(fun () -> Op.set_sabotage_skip_precommit_flush false)
+    (fun () ->
+      match hunt ~seeds ~stride scenario with
+      | None -> Error "sabotaged precommit flush was NOT detected"
+      | Some (token, _) ->
+          log (Printf.sprintf "violation found: %s" token);
+          let token = shrink_token scenario token in
+          log (Printf.sprintf "shrunk to: %s" token);
+          let sabotaged = replay scenario token in
+          if not (verdict_fails sabotaged) then
+            Error
+              (Printf.sprintf "token %s did not replay the violation" token)
+          else begin
+            Op.set_sabotage_skip_precommit_flush false;
+            let clean = replay scenario token in
+            Op.set_sabotage_skip_precommit_flush true;
+            if verdict_fails clean then
+              Error
+                (Printf.sprintf
+                   "token %s fails even without sabotage: %s" token
+                   (Format.asprintf "%a" Linearize.pp_verdict clean.verdict))
+            else Ok token
+          end)

@@ -1,0 +1,129 @@
+(** Executable DST scenarios: concurrent workloads over the real PMwCAS
+    stack, run under the deterministic scheduler with every operation
+    recorded and checked for (durable) linearizability.
+
+    Each scenario builds a fresh simulated-NVRAM device wrapped with
+    {!Nvram.Mem.hooked}, runs N logical threads as fibers under a
+    {!Sched} strategy, and produces a {!run_result} carrying the
+    scheduler outcome, a linearizability verdict, and a [verify_image]
+    closure that re-checks any crash image of the run's device against
+    the recorded history (durable linearizability) — the piece
+    {!Harness.Crash_sweep} composes with.
+
+    Three modes per run:
+    - {b completed} ([fuel = None], [crash = None]): all fibers run to
+      completion; the verdict covers plain linearizability, the final
+      observed state, structure invariants (indexes) and — for the
+      PMwCAS scenario — every descriptor slot back at terminal [Free];
+    - {b scheduled crash} ([crash = Some _]): the scheduler stops at an
+      exact step with every fiber parked at a word-operation boundary,
+      takes a (possibly evicting) crash image, recovers it and requires
+      the post-crash state to match a prefix-consistent linearization;
+    - {b fuel crash} ([fuel = Some _]): the classic injector model, for
+      {!Harness.Crash_sweep} composition ([run_result.crashed],
+      [sweep_steps] and [verify_image] line up with [Crash_sweep.run]). *)
+
+type crash_point = {
+  at : int;  (** Scheduler step to stop at. *)
+  evict_prob : float;  (** Cache-line eviction probability for the image. *)
+  evict_seed : int;
+}
+
+type run_result = {
+  outcome : Sched.outcome;
+  verdict : Linearize.verdict;
+  mem : Nvram.Mem.t;  (** The base (unhooked, unwrapped) device. *)
+  crashed : bool;  (** An injected [Mem.Crash] fired during the run. *)
+  sweep_steps : int;
+      (** Mutating device operations during the scheduled phase. *)
+  history_ops : int;
+  history_pending : int;
+  verify_image : Nvram.Mem.t -> Pmwcas.Recovery.stats * string list;
+      (** Recover a crash image of [mem] and check durable
+          linearizability of the recorded history against it. *)
+}
+
+type t = {
+  name : string;
+  nthreads : int;
+  run :
+    pick:Sched.pick_fn -> fuel:int option -> crash:crash_point option ->
+    run_result;
+}
+
+(** {1 Scenarios} *)
+
+val pmwcas :
+  ?threads:int -> ?ops:int -> ?width:int -> ?addrs:int -> ?seed:int -> unit -> t
+(** Raw overlapping PMwCAS operations: each thread performs [ops]
+    multi-word CASes of [width] (default 2) words drawn from [addrs]
+    (default 4) shared words, reading its expected values through
+    [Op.read_with] first (reads are recorded operations too). With
+    [addrs = width] every operation targets the same words — forced
+    RDCSS install collisions and helping. Checked against
+    {!Model.Registers}; completed runs additionally require every
+    descriptor slot durably back at [Free]. *)
+
+val skiplist :
+  ?threads:int -> ?ops:int -> ?keys:int -> ?seed:int -> unit -> t
+(** Mixed insert/delete/update/find over the doubly-linked PMwCAS skip
+    list, checked against {!Model.Kv} (plus [check_invariants]). *)
+
+val bwtree : ?threads:int -> ?ops:int -> ?keys:int -> ?seed:int -> unit -> t
+(** Mixed insert/remove/put/get over the Bw-tree with aggressive
+    consolidation/split thresholds, checked against {!Model.Kv}. *)
+
+val names : string list
+val find : string -> t option
+(** Scenario with default parameters, by name. *)
+
+(** {1 Schedule tokens (replayable failure repros)} *)
+
+val encode_token : schedule:int array -> crash:crash_point option -> string
+(** ["a12b3"] for a completed-run schedule, ["a12b3/c15e2p30"] for a
+    crash at step 15 with eviction seed 2 at probability 0.30. *)
+
+val decode_token : string -> int array * crash_point option
+(** @raise Invalid_argument on malformed input. *)
+
+val replay : t -> string -> run_result
+(** Re-run a token: [Prefix] replay of the schedule (+ the recorded
+    crash point, if any). Deterministic — equal tokens, equal verdicts. *)
+
+(** {1 Drivers} *)
+
+val hunt :
+  ?seeds:int list ->
+  ?evicts:(float * int) list ->
+  ?stride:int ->
+  t ->
+  (string * run_result) option
+(** Search for a violation: for each seed, run a [Random]-schedule
+    execution to completion (checking it), then re-run its recorded
+    schedule stopping at every [stride]-th step (default 1), taking a
+    no-eviction image plus one per [evicts] entry, recovering and
+    checking each. Returns the first failing token. *)
+
+val shrink_token : t -> string -> string
+(** Greedy shrink of a failing token ({!Sched.shrink_schedule}); returns
+    a (weakly) simpler token that still fails, or the input unchanged. *)
+
+val exhaust :
+  ?max_schedules:int ->
+  ?preemptions:int ->
+  t ->
+  Sched.exploration * (string * Linearize.verdict) list
+(** Exhaustive bounded-preemption enumeration (default 1 preemption) of
+    completed runs; returns the exploration stats and every violating
+    (token, verdict). *)
+
+val broken_helper_selftest :
+  ?seeds:int list -> ?stride:int -> ?log:(string -> unit) -> unit ->
+  (string, string) result
+(** Seeded end-to-end self-test of the whole DST stack: enable
+    {!Pmwcas.Op.set_sabotage_skip_precommit_flush}, hunt the PMwCAS
+    scenario for a durable-linearizability violation, shrink it, and
+    require that (a) the shrunk token still reproduces the violation
+    under sabotage and (b) the same token is clean without sabotage.
+    [Ok token] when all three hold; [Error reason] otherwise — a
+    passing DST harness must return [Ok]. *)

@@ -1,0 +1,312 @@
+type _ Effect.t += Yield : unit Effect.t
+
+type pick_fn = step:int -> current:int option -> runnable:int array -> int
+
+type outcome = {
+  schedule : int array;
+  runnable_log : int array array;
+  completed : bool;
+  stopped : bool;
+  stalled : bool;
+  failures : (int * exn) list;
+}
+
+type fiber =
+  | Ready of (unit -> unit)
+  | Paused of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+let run ?(max_steps = 200_000) ?stop_at ~mem ~pick bodies =
+  let n = Array.length bodies in
+  let fibers = Array.map (fun f -> Ready f) bodies in
+  let failures = ref [] in
+  let schedule = ref [] in
+  let rlog = ref [] in
+  let steps = ref 0 in
+  let current = ref None in
+  let stopped = ref false in
+  let stalled = ref false in
+  let handler i =
+    {
+      Effect.Deep.retc = (fun () -> fibers.(i) <- Finished);
+      exnc =
+        (fun e ->
+          fibers.(i) <- Finished;
+          failures := (i, e) :: !failures);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  fibers.(i) <- Paused k)
+          | _ -> None);
+    }
+  in
+  let resume i =
+    match fibers.(i) with
+    | Ready f -> Effect.Deep.match_with f () (handler i)
+    | Paused k -> Effect.Deep.continue k ()
+    | Finished -> assert false
+  in
+  let runnable () =
+    let count = ref 0 in
+    Array.iter (function Finished -> () | _ -> incr count) fibers;
+    let out = Array.make !count 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      match fibers.(i) with
+      | Finished -> ()
+      | _ ->
+          out.(!j) <- i;
+          incr j
+    done;
+    out
+  in
+  Nvram.Mem.set_hook mem (fun () -> Effect.perform Yield);
+  Fun.protect
+    ~finally:(fun () -> Nvram.Mem.clear_hook mem)
+    (fun () ->
+      let rec loop () =
+        let r = runnable () in
+        if Array.length r = 0 then ()
+        else if match stop_at with Some s -> !steps >= s | None -> false then
+          stopped := true
+        else if !steps >= max_steps then stalled := true
+        else begin
+          let i = pick ~step:!steps ~current:!current ~runnable:r in
+          if not (Array.exists (Int.equal i) r) then
+            invalid_arg "Sched.run: pick chose a non-runnable thread";
+          schedule := i :: !schedule;
+          rlog := r :: !rlog;
+          incr steps;
+          current := Some i;
+          resume i;
+          loop ()
+        end
+      in
+      loop ());
+  let completed = Array.for_all (function Finished -> true | _ -> false) fibers in
+  {
+    schedule = Array.of_list (List.rev !schedule);
+    runnable_log = Array.of_list (List.rev !rlog);
+    completed;
+    stopped = !stopped;
+    stalled = !stalled;
+    failures = List.rev !failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+
+type strategy =
+  | Random of int
+  | Pct of { seed : int; changes : int; horizon : int }
+  | Round_robin
+  | Prefix of int array
+
+let mem_arr x a = Array.exists (Int.equal x) a
+
+let default_pick ~current ~runnable =
+  match current with
+  | Some c when mem_arr c runnable -> c
+  | _ -> runnable.(0)
+
+let pick_of_strategy = function
+  | Random seed ->
+      let rng = Random.State.make [| seed; 0x5eed |] in
+      fun ~step:_ ~current:_ ~runnable ->
+        runnable.(Random.State.int rng (Array.length runnable))
+  | Round_robin ->
+      fun ~step ~current:_ ~runnable ->
+        runnable.(step mod Array.length runnable)
+  | Prefix prefix ->
+      fun ~step ~current ~runnable ->
+        if step < Array.length prefix && mem_arr prefix.(step) runnable then
+          prefix.(step)
+        else default_pick ~current ~runnable
+  | Pct { seed; changes; horizon } ->
+      let rng = Random.State.make [| seed; 0x9c7 |] in
+      (* Priorities are assigned lazily as threads first appear; change
+         points are [changes] distinct steps in [0, horizon). *)
+      let prio = Hashtbl.create 8 in
+      let min_prio = ref 0 in
+      let change_steps = Hashtbl.create 8 in
+      let horizon = max horizon 1 in
+      let target = min changes horizon in
+      while Hashtbl.length change_steps < target do
+        Hashtbl.replace change_steps (Random.State.int rng horizon) ()
+      done;
+      let priority t =
+        match Hashtbl.find_opt prio t with
+        | Some p -> p
+        | None ->
+            (* Random initial rank: draw a fresh random priority above
+               any change-point demotions. *)
+            let p = Random.State.int rng 1_000_000 + 1 in
+            Hashtbl.replace prio t p;
+            p
+      in
+      let top runnable =
+        let best = ref runnable.(0) in
+        let bestp = ref (priority runnable.(0)) in
+        Array.iter
+          (fun t ->
+            let p = priority t in
+            if p > !bestp then begin
+              best := t;
+              bestp := p
+            end)
+          runnable;
+        !best
+      in
+      fun ~step ~current:_ ~runnable ->
+        if Hashtbl.mem change_steps step then begin
+          let t = top runnable in
+          decr min_prio;
+          Hashtbl.replace prio t !min_prio
+        end;
+        top runnable
+
+(* ------------------------------------------------------------------ *)
+(* Schedule tokens: run-length encoding with letter thread ids.        *)
+
+let segments schedule =
+  let segs = ref [] in
+  Array.iter
+    (fun t ->
+      match !segs with
+      | (t', n) :: rest when t' = t -> segs := (t', n + 1) :: rest
+      | rest -> segs := (t, 1) :: rest)
+    schedule;
+  List.rev !segs
+
+let of_segments segs =
+  Array.concat (List.map (fun (t, n) -> Array.make n t) segs)
+
+let encode_schedule schedule =
+  if Array.length schedule = 0 then "-"
+  else begin
+    let buf = Buffer.create 32 in
+    List.iter
+      (fun (t, n) ->
+        if t < 0 || t > 25 then
+          invalid_arg "Sched.encode_schedule: thread id out of [0,25]";
+        Buffer.add_char buf (Char.chr (Char.code 'a' + t));
+        Buffer.add_string buf (string_of_int n))
+      (segments schedule);
+    Buffer.contents buf
+  end
+
+let decode_schedule s =
+  if s = "-" then [||]
+  else begin
+    let segs = ref [] in
+    let i = ref 0 in
+    let len = String.length s in
+    while !i < len do
+      let c = s.[!i] in
+      if c < 'a' || c > 'z' then
+        invalid_arg "Sched.decode_schedule: expected thread letter";
+      let t = Char.code c - Char.code 'a' in
+      incr i;
+      let start = !i in
+      while !i < len && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      if !i = start then invalid_arg "Sched.decode_schedule: expected count";
+      let n = int_of_string (String.sub s start (!i - start)) in
+      if n <= 0 then invalid_arg "Sched.decode_schedule: count must be > 0";
+      segs := (t, n) :: !segs
+    done;
+    of_segments (List.rev !segs)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive bounded-preemption enumeration (iterative, Chess-style). *)
+
+type exploration = { schedules_run : int; truncated : bool }
+
+let explore ?(max_schedules = 100_000) ~preemptions ~run ~on_outcome () =
+  let queue = Queue.create () in
+  Queue.add ([||], preemptions) queue;
+  let count = ref 0 in
+  let truncated = ref false in
+  while not (Queue.is_empty queue) do
+    let prefix, budget = Queue.pop queue in
+    if !count >= max_schedules then begin
+      truncated := true;
+      Queue.clear queue
+    end
+    else begin
+      incr count;
+      let out = run ~pick:(pick_of_strategy (Prefix prefix)) in
+      on_outcome out;
+      (* Branch at every step past the prefix: each runnable thread not
+         chosen there starts a new prefix. Deviating from a still-
+         runnable previous thread costs one preemption; a forced switch
+         is free. Steps inside the prefix were branched by ancestors. *)
+      let sched = out.schedule in
+      let rlog = out.runnable_log in
+      for s = Array.length prefix to Array.length sched - 1 do
+        let chosen = sched.(s) in
+        let prev_runnable =
+          s > 0 && mem_arr sched.(s - 1) rlog.(s)
+        in
+        Array.iter
+          (fun alt ->
+            if alt <> chosen then begin
+              let cost = if prev_runnable then 1 else 0 in
+              if cost <= budget then
+                Queue.add
+                  (Array.append (Array.sub sched 0 s) [| alt |], budget - cost)
+                  queue
+            end)
+          rlog.(s)
+      done
+    end
+  done;
+  { schedules_run = !count; truncated = !truncated }
+
+(* ------------------------------------------------------------------ *)
+(* Greedy schedule shrinking.                                          *)
+
+let shrink_schedule ?(max_attempts = 500) ~fails schedule =
+  let attempts = ref 0 in
+  let try_candidate segs =
+    if !attempts >= max_attempts then None
+    else begin
+      incr attempts;
+      let cand = of_segments segs in
+      if fails cand then Some cand else None
+    end
+  in
+  let rec splice_out i = function
+    | [] -> []
+    | _ :: tl when i = 0 -> tl
+    | hd :: tl -> hd :: splice_out (i - 1) tl
+  in
+  let relabel i segs =
+    (* Merge segment i into the thread of segment i-1 (drop a switch). *)
+    List.mapi (fun j (t, n) -> if j = i then (fst (List.nth segs (i - 1)), n) else (t, n)) segs
+  in
+  let rec pass schedule =
+    let segs = segments schedule in
+    let nsegs = List.length segs in
+    let rec try_at i =
+      if i >= nsegs || !attempts >= max_attempts then None
+      else
+        match try_candidate (splice_out i segs) with
+        | Some c -> Some c
+        | None ->
+            if i > 0 then
+              match try_candidate (relabel i segs) with
+              | Some c -> Some c
+              | None -> try_at (i + 1)
+            else try_at (i + 1)
+    in
+    match try_at 0 with
+    | Some better -> pass better
+    | None -> schedule
+  in
+  if Array.length schedule = 0 then schedule else pass schedule

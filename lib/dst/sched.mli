@@ -1,0 +1,119 @@
+(** Deterministic interleaving scheduler.
+
+    Runs N logical threads as cooperative fibers (OCaml effects) on one
+    domain, context-switching only at {!Nvram.Mem} word-operation
+    boundaries: the fibers share a {!Nvram.Mem.hooked} device whose
+    per-operation hook performs a [Yield] effect, so every shared-memory
+    step is a scheduling point and a run is fully determined by the
+    sequence of thread choices. That sequence — the {e schedule} — is
+    recorded, printable as a compact token, and replayable.
+
+    One scheduling step = resume one fiber until it is about to issue
+    its next word operation (or finishes). Stopping the scheduler at
+    step [k] therefore parks every fiber at an operation boundary —
+    never inside a torn word — which is how DST models a power failure
+    at an arbitrary store boundary ([stop_at] + [Mem.crash_image]). *)
+
+type pick_fn = step:int -> current:int option -> runnable:int array -> int
+(** A strategy: given the step index, the previously scheduled thread
+    (if any) and the runnable set (non-empty, ascending), choose the
+    thread to run. Must return a member of [runnable]. *)
+
+type outcome = {
+  schedule : int array;  (** Thread chosen at each step. *)
+  runnable_log : int array array;
+      (** Runnable set observed at each step (same length), consumed by
+          the exhaustive explorer to find branch points. *)
+  completed : bool;  (** Every fiber ran to completion (or died). *)
+  stopped : bool;  (** The [stop_at] bound was hit (crash point). *)
+  stalled : bool;  (** [max_steps] exceeded — treat as livelock. *)
+  failures : (int * exn) list;
+      (** Exceptions that escaped fiber bodies, with the fiber index.
+          [Nvram.Mem.Crash] lands here too when fuel runs out. *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?stop_at:int ->
+  mem:Nvram.Mem.t ->
+  pick:pick_fn ->
+  (unit -> unit) array ->
+  outcome
+(** Run the fiber bodies to completion under [pick]. [mem] must be a
+    {!Nvram.Mem.hooked} device; its hook is installed for the duration
+    and reset afterwards. [stop_at k] abandons the run after [k] steps
+    with every fiber parked at an operation boundary (their
+    continuations are dropped — safe, the run is over). [max_steps]
+    (default [200_000]) bounds runaway schedules. *)
+
+(** {1 Strategies} *)
+
+type strategy =
+  | Random of int  (** Seeded uniform choice among runnable threads. *)
+  | Pct of { seed : int; changes : int; horizon : int }
+      (** PCT (probabilistic concurrency testing): random thread
+          priorities, [changes] priority-change points sampled in
+          [\[0, horizon)]; each step runs the highest-priority runnable
+          thread. Finds bugs of preemption depth ≤ [changes]+1 with
+          provable probability. *)
+  | Round_robin  (** Rotate through the runnable set. *)
+  | Prefix of int array
+      (** Follow the given choices verbatim, then stay with the current
+          thread while it remains runnable (switching — lowest runnable —
+          only when forced). With a full recorded schedule this is exact
+          replay; with a shorter prefix it is the explorer's default
+          continuation. A prefix entry that is not runnable falls back
+          to the default rule (the caller can detect the divergence by
+          comparing [outcome.schedule] against the prefix). *)
+
+val pick_of_strategy : strategy -> pick_fn
+(** Fresh mutable strategy state on each call — a returned [pick_fn] is
+    single-run. *)
+
+(** {1 Schedule tokens} *)
+
+val encode_schedule : int array -> string
+(** Run-length token, e.g. [\[|0;0;0;1;0|\]] -> ["a3b1a1"]. Threads are
+    letters (max 26). Empty schedule -> ["-"]. *)
+
+val decode_schedule : string -> int array
+(** Inverse of {!encode_schedule}.
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Exhaustive exploration} *)
+
+type exploration = {
+  schedules_run : int;
+  truncated : bool;
+      (** [max_schedules] was hit; coverage is incomplete and any
+          "all outcomes OK" claim must say so. *)
+}
+
+val explore :
+  ?max_schedules:int ->
+  preemptions:int ->
+  run:(pick:pick_fn -> outcome) ->
+  on_outcome:(outcome -> unit) ->
+  unit ->
+  exploration
+(** Chess-style iterative bounded-preemption enumeration. Systematically
+    runs every schedule reachable with at most [preemptions] preemptive
+    context switches (a switch away from a still-runnable thread;
+    forced switches are free), using [Prefix] continuations: each run's
+    branch points spawn new prefixes. [run] must create a {e fresh}
+    system instance per call — determinism of the system under a fixed
+    schedule is what makes the enumeration meaningful. [on_outcome]
+    sees every completed run. [max_schedules] (default [100_000]) caps
+    the enumeration; the result says whether it was hit. *)
+
+(** {1 Shrinking} *)
+
+val shrink_schedule :
+  ?max_attempts:int -> fails:(int array -> bool) -> int array -> int array
+(** Greedily simplify a failing schedule: repeatedly try deleting a
+    run-length segment or relabelling it to its predecessor's thread
+    (removing one context switch), keeping any candidate for which
+    [fails] still holds. [fails] must re-run the system under the
+    candidate schedule (replay semantics: [Prefix] + default
+    continuation). At most [max_attempts] (default 500) candidate
+    evaluations. *)

@@ -1,0 +1,44 @@
+module Scenarios = Dst.Scenarios
+module Sched = Dst.Sched
+
+(* A DST scenario run under a fixed seeded schedule is exactly the
+   deterministic single-run shape Crash_sweep.spec wants; the
+   scenario's verify_image closure carries the recorded history, so
+   every crash image is judged by durable linearizability instead of a
+   hand-maintained shadow model. *)
+let spec_of_scenario ~name ~seed (scenario : Scenarios.t) =
+  let execute ~traced:_ ~fuel =
+    let r =
+      scenario.Scenarios.run
+        ~pick:(Sched.pick_of_strategy (Sched.Random seed))
+        ~fuel ~crash:None
+    in
+    (match r.Scenarios.verdict with
+    | Dst.Linearize.Linearizable -> ()
+    | v ->
+        (* A verdict failure on the live run (completed mode) is a
+           finding regardless of crash images. *)
+        failwith (Format.asprintf "live run: %a" Dst.Linearize.pp_verdict v));
+    Crash_sweep.
+      {
+        mem = r.Scenarios.mem;
+        crashed = r.Scenarios.crashed;
+        sweep_steps = r.Scenarios.sweep_steps;
+        verify = r.Scenarios.verify_image;
+        check_trace = None;
+      }
+  in
+  Crash_sweep.{ name; execute }
+
+let dst_pmwcas ?(seed = 11) () =
+  spec_of_scenario ~name:"dst-pmwcas" ~seed
+    (Scenarios.pmwcas ~threads:2 ~ops:3 ~width:2 ~addrs:5 ())
+
+let dst_skiplist ?(seed = 12) () =
+  spec_of_scenario ~name:"dst-skiplist" ~seed
+    (Scenarios.skiplist ~threads:2 ~ops:5 ~keys:5 ())
+
+let all () = [ dst_pmwcas (); dst_skiplist () ]
+
+let find name =
+  List.find_opt (fun s -> s.Crash_sweep.name = name) (all ())

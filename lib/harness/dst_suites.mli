@@ -1,0 +1,22 @@
+(** DST scenarios packaged as {!Crash_sweep} suites.
+
+    Each suite runs a {!Dst.Scenarios} workload under a fixed
+    [Random]-seeded deterministic schedule with the classic fuel
+    injector armed, and verifies every crash image with the scenario's
+    durable-linearizability checker — the checker {e replaces} the
+    hand-written shadow-model prefix audits of {!Sweep_suites} for
+    these suites. Deterministic per fuel value, as [Crash_sweep.spec]
+    requires (the cooperative scheduler never diverges under equal
+    fuel). Tracing is not supported (a device cannot be both hooked and
+    traced), so [check_trace] is always [None]. *)
+
+val dst_pmwcas : ?seed:int -> unit -> Crash_sweep.spec
+(** Overlapping multi-word CASes ({!Dst.Scenarios.pmwcas}), suite name
+    ["dst-pmwcas"]. *)
+
+val dst_skiplist : ?seed:int -> unit -> Crash_sweep.spec
+(** Concurrent skip-list workload ({!Dst.Scenarios.skiplist}), suite
+    name ["dst-skiplist"]. *)
+
+val all : unit -> Crash_sweep.spec list
+val find : string -> Crash_sweep.spec option

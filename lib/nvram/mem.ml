@@ -10,6 +10,7 @@ type t =
   | Simulated of Sim.t
   | Dram of Dram.t
   | Traced of { inner : t; tr : Trace.t }
+  | Hooked of { inner : t; hook : (unit -> unit) ref }
 
 type backend = [ `Sim | `Dram ]
 
@@ -30,73 +31,102 @@ let rec kind = function
   | Simulated _ -> `Sim
   | Dram _ -> `Dram
   | Traced { inner; _ } -> kind inner
+  | Hooked { inner; _ } -> kind inner
 
 let traced t =
   match t with
   | Traced _ -> invalid_arg "Nvram.Mem.traced: already traced"
+  | Hooked _ -> invalid_arg "Nvram.Mem.traced: trace the base device, not a hooked one"
   | _ -> Traced { inner = t; tr = Trace.create () }
 
 let trace = function Traced { tr; _ } -> Some tr | _ -> None
+
+let hooked t =
+  match t with
+  | Traced _ | Hooked _ ->
+      invalid_arg "Nvram.Mem.hooked: hook the base device"
+  | _ -> Hooked { inner = t; hook = ref ignore }
+
+let set_hook t fn =
+  match t with
+  | Hooked { hook; _ } -> hook := fn
+  | _ -> invalid_arg "Nvram.Mem.set_hook: not a hooked device"
+
+let clear_hook t = set_hook t ignore
+
+let mask_hook t f =
+  match t with
+  | Hooked { hook; _ } ->
+      let saved = !hook in
+      hook := ignore;
+      Fun.protect ~finally:(fun () -> hook := saved) f
+  | _ -> f ()
 
 let rec size = function
   | Simulated s -> Sim.size s
   | Dram d -> Dram.size d
   | Traced { inner; _ } -> size inner
+  | Hooked { inner; _ } -> size inner
 
 let rec config = function
   | Simulated s -> Sim.config s
   | Dram d -> Dram.config d
   | Traced { inner; _ } -> config inner
+  | Hooked { inner; _ } -> config inner
 
 let rec stats = function
   | Simulated s -> Sim.stats s
   | Dram d -> Dram.stats d
   | Traced { inner; _ } -> stats inner
+  | Hooked { inner; _ } -> stats inner
 
 let rec steps = function
   | Simulated s -> Sim.steps s
   | Dram d -> Dram.steps d
   | Traced { inner; _ } -> steps inner
+  | Hooked { inner; _ } -> steps inner
 
 let rec fuel_remaining = function
   | Simulated s -> Sim.fuel_remaining s
   | Dram _ -> None
   | Traced { inner; _ } -> fuel_remaining inner
+  | Hooked { inner; _ } -> fuel_remaining inner
 
 let rec durable = function
   | Simulated s -> Sim.durable s
   | Dram d -> Dram.durable d
   | Traced { inner; _ } -> durable inner
+  | Hooked { inner; _ } -> durable inner
 
 (* The traced paths live out of line so the exported dispatchers below
    stay small enough for the Closure backend to inline at call sites —
    the hot loops in [Pcas]/[Op] hit the Simulated arm with one match and
-   one direct call. [traced] guarantees [inner] is never itself traced,
-   so these don't recurse. *)
+   one direct call. [traced] and [hooked] both guarantee [inner] is a
+   base (Sim/Dram) device, so these don't recurse. *)
 
 let untraced_read t a =
   match t with
   | Simulated s -> Sim.read s a
   | Dram d -> Dram.read d a
-  | Traced _ -> assert false
+  | Traced _ | Hooked _ -> assert false
 
 let untraced_write t a v =
   match t with
   | Simulated s -> Sim.write s a v
   | Dram d -> Dram.write d a v
-  | Traced _ -> assert false
+  | Traced _ | Hooked _ -> assert false
 
 let untraced_cas t a ~expected ~desired =
   match t with
   | Simulated s -> Sim.cas s a ~expected ~desired
   | Dram d -> Dram.cas d a ~expected ~desired
-  | Traced _ -> assert false
+  | Traced _ | Hooked _ -> assert false
 
 let untraced_clwb t a =
   match t with
   | Simulated s -> Sim.clwb s a
   | Dram d -> Dram.clwb d a
-  | Traced _ -> assert false
+  | Traced _ | Hooked _ -> assert false
 
 let traced_read inner tr a =
   Trace.locked tr (fun () ->
@@ -120,23 +150,47 @@ let traced_clwb inner tr a =
       untraced_clwb inner a;
       Trace.record tr (Trace.Clwb { addr = a }))
 
+(* The hooked (DST) paths: run the installed hook — a scheduler yield
+   point — before the operation reaches the device, so a deterministic
+   scheduler can interleave logical threads at exactly the word-operation
+   granularity the hardware interleaves real threads at. *)
+
+let hooked_read inner hook a =
+  !hook ();
+  untraced_read inner a
+
+let hooked_write inner hook a v =
+  !hook ();
+  untraced_write inner a v
+
+let hooked_cas inner hook a ~expected ~desired =
+  !hook ();
+  untraced_cas inner a ~expected ~desired
+
+let hooked_clwb inner hook a =
+  !hook ();
+  untraced_clwb inner a
+
 let[@inline] read t a =
   match t with
   | Simulated s -> Sim.read s a
   | Dram d -> Dram.read d a
   | Traced { inner; tr } -> traced_read inner tr a
+  | Hooked { inner; hook } -> hooked_read inner hook a
 
 let[@inline] write t a v =
   match t with
   | Simulated s -> Sim.write s a v
   | Dram d -> Dram.write d a v
   | Traced { inner; tr } -> traced_write inner tr a v
+  | Hooked { inner; hook } -> hooked_write inner hook a v
 
 let[@inline] cas t a ~expected ~desired =
   match t with
   | Simulated s -> Sim.cas s a ~expected ~desired
   | Dram d -> Dram.cas d a ~expected ~desired
   | Traced { inner; tr } -> traced_cas inner tr a ~expected ~desired
+  | Hooked { inner; hook } -> hooked_cas inner hook a ~expected ~desired
 
 let[@inline] cas_bool t a ~expected ~desired =
   cas t a ~expected ~desired = expected
@@ -146,6 +200,7 @@ let[@inline] clwb t a =
   | Simulated s -> Sim.clwb s a
   | Dram d -> Dram.clwb d a
   | Traced { inner; tr } -> traced_clwb inner tr a
+  | Hooked { inner; hook } -> hooked_clwb inner hook a
 
 let clwb_range t ~lo ~hi =
   let words = size t in
@@ -168,6 +223,9 @@ let rec fence t =
       Trace.locked tr (fun () ->
           fence inner;
           Trace.record tr Trace.Fence)
+  | Hooked { inner; hook } ->
+      !hook ();
+      fence inner
 
 let rec persist_all t =
   match t with
@@ -177,29 +235,36 @@ let rec persist_all t =
       Trace.locked tr (fun () ->
           persist_all inner;
           Trace.record tr Trace.Persist_all)
+  | Hooked { inner; hook } ->
+      !hook ();
+      persist_all inner
 
 let rec read_persistent t a =
   match t with
   | Simulated s -> Sim.read_persistent s a
   | Dram d -> Dram.read_persistent d a
   | Traced { inner; _ } -> read_persistent inner a
+  | Hooked { inner; _ } -> read_persistent inner a
 
 let rec crash_image ?evict_prob ?seed t =
   match t with
   | Simulated s -> Simulated (Sim.crash_image ?evict_prob ?seed s)
   | Dram d -> Dram (Dram.crash_image ?evict_prob ?seed d)
   | Traced { inner; _ } -> crash_image ?evict_prob ?seed inner
+  | Hooked { inner; _ } -> crash_image ?evict_prob ?seed inner
 
 let rec inject_crash_after t n =
   match t with
   | Simulated s -> Sim.inject_crash_after s n
   | Dram _ -> invalid_arg "Nvram.Mem.inject_crash_after: volatile backend"
   | Traced { inner; _ } -> inject_crash_after inner n
+  | Hooked { inner; _ } -> inject_crash_after inner n
 
 let rec disarm = function
   | Simulated s -> Sim.disarm s
   | Dram _ -> ()
   | Traced { inner; _ } -> disarm inner
+  | Hooked { inner; _ } -> disarm inner
 
 let set_sabotage_skip_drain = Sim.set_sabotage_skip_drain
 

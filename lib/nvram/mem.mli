@@ -47,6 +47,32 @@ val traced : t -> t
 val trace : t -> Trace.t option
 (** The event log of a traced device. *)
 
+val hooked : t -> t
+(** Wrap a base device so every word operation (read/write/CAS/clwb/
+    fence/persist_all) first runs an installable hook — the per-operation
+    seam the deterministic-interleaving scheduler ([Dst.Sched]) uses as
+    its yield points, exactly where {!traced} records its events. The
+    hook starts as [ignore]; install one with {!set_hook}. Raises
+    [Invalid_argument] on an already-wrapped (traced or hooked) device. *)
+
+val set_hook : t -> (unit -> unit) -> unit
+(** Install the per-operation hook of a {!hooked} device. The hook runs
+    {e before} the operation reaches the device, on the calling domain.
+    Raises [Invalid_argument] if [t] is not hooked. *)
+
+val clear_hook : t -> unit
+(** Reset the hook to [ignore]. *)
+
+val mask_hook : t -> (unit -> 'a) -> 'a
+(** [mask_hook t f] runs [f] with the hook suppressed; identity on
+    non-hooked devices. For mutex-protected critical sections that
+    perform word operations: under the cooperative scheduler a yield
+    taken while holding a lock would park the fiber mid-section and
+    deadlock any other fiber contending the same lock on the one
+    underlying domain, so such sections run atomically with respect to
+    scheduling instead. Fuel-based crash injection still applies inside
+    the masked section — only scheduling points are suppressed. *)
+
 (** {1 Introspection} *)
 
 val size : t -> int

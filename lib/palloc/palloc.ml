@@ -131,6 +131,10 @@ let carve t cls =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.carve_lock)
     (fun () ->
+      (* Hook-masked: a scheduler yield taken while holding [carve_lock]
+         would deadlock other carvers on a single-domain cooperative
+         run (see [Mem.mask_hook]). *)
+      Mem.mask_hook t.mem @@ fun () ->
       let next = Mem.read t.mem t.heap_next_addr in
       let total = 1 + class_size cls in
       if next + total > t.limit then failwith "Palloc.alloc: out of memory";

@@ -30,4 +30,24 @@ dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 120 \
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 40 \
   --seeds 1 --sabotage-drain
 
+echo "== dst smoke (scheduler + linearizability checker)"
+dune exec bin/pmwcas_cli.exe -- dst --strategy random --seeds 3
+dune exec bin/pmwcas_cli.exe -- dst --strategy pct --seeds 2
+dune exec bin/pmwcas_cli.exe -- dst --strategy exhaustive --threads 2 \
+  --ops 1 --addrs 2 --preemptions 1
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite dst-pmwcas --budget 80 \
+  --seeds 1
+
+echo "== dst broken-helper self-test (token must replay)"
+dune exec bin/pmwcas_cli.exe -- dst --broken-helper > /tmp/dst_selftest.out
+cat /tmp/dst_selftest.out
+token=$(sed -n 's/^token: //p' /tmp/dst_selftest.out)
+test -n "$token" || { echo "FAIL: self-test printed no token"; exit 1; }
+# The shrunk token must reproduce the violation under sabotage (exit 1)...
+if dune exec bin/pmwcas_cli.exe -- dst --replay "$token" --sabotage; then
+  echo "FAIL: sabotaged replay of $token exited 0"; exit 1
+fi
+# ...and be clean without it (exit 0).
+dune exec bin/pmwcas_cli.exe -- dst --replay "$token"
+
 echo "check: all green"

@@ -1,0 +1,521 @@
+(* Tier-1 coverage for the DST stack: the cooperative deterministic
+   scheduler (strategies, tokens, replay, exhaustive enumeration), the
+   Wing–Gong (durable) linearizability checker, the three scenarios at
+   smoke scale, recovery racing concurrent helpers, and the sabotaged
+   broken-helper self-test that proves the whole pipeline can see a
+   persistence-ordering bug. Deeper enumerations live in the @slow
+   alias (test_dst_slow.ml). *)
+
+module Mem = Nvram.Mem
+module Sched = Dst.Sched
+module History = Dst.History
+module Linearize = Dst.Linearize
+module Model = Dst.Model
+module Scenarios = Dst.Scenarios
+module RegCheck = Linearize.Make (Model.Registers)
+module KvCheck = Linearize.Make (Model.Kv)
+
+let check_ok name (v : Linearize.verdict) =
+  Alcotest.(check string) name "linearizable"
+    (match v with
+    | Linearizable -> "linearizable"
+    | v -> Format.asprintf "%a" Linearize.pp_verdict v)
+
+let check_violation name (v : Linearize.verdict) =
+  Alcotest.(check bool) name true
+    (match v with Linearize.Violation _ -> true | _ -> false)
+
+(* {1 Scheduler mechanics on raw fibers} *)
+
+let toy_mem words = Mem.hooked (Mem.create (Nvram.Config.make ~words ()))
+
+let writer mem base n () =
+  for i = 0 to n - 1 do
+    Mem.write mem (base + i) (base + i)
+  done
+
+let sched_tests =
+  [
+    Alcotest.test_case "round-robin alternates threads" `Quick (fun () ->
+        let mem = toy_mem 64 in
+        let out =
+          Sched.run ~mem
+            ~pick:(Sched.pick_of_strategy Sched.Round_robin)
+            [| writer mem 0 3; writer mem 8 3 |]
+        in
+        Alcotest.(check bool) "completed" true out.completed;
+        (* n writes cost n+1 picks: the first pick parks before the first
+           write, the last resumes past it to completion. *)
+        Alcotest.(check (list int))
+          "perfect alternation" [ 0; 1; 0; 1; 0; 1; 0; 1 ]
+          (Array.to_list out.schedule));
+    Alcotest.test_case "stop_at parks fibers at an op boundary" `Quick
+      (fun () ->
+        let mem = toy_mem 64 in
+        let out =
+          Sched.run ~mem ~stop_at:3
+            ~pick:(Sched.pick_of_strategy Sched.Round_robin)
+            [| writer mem 0 4; writer mem 8 4 |]
+        in
+        Alcotest.(check bool) "stopped" true out.stopped;
+        Alcotest.(check bool) "not completed" false out.completed;
+        Alcotest.(check int) "exactly 3 steps" 3 (Array.length out.schedule));
+    Alcotest.test_case "random strategy is deterministic per seed" `Quick
+      (fun () ->
+        let go () =
+          let mem = toy_mem 64 in
+          (Sched.run ~mem
+             ~pick:(Sched.pick_of_strategy (Sched.Random 42))
+             [| writer mem 0 5; writer mem 8 5; writer mem 16 5 |])
+            .schedule
+        in
+        Alcotest.(check (list int))
+          "same seed, same schedule"
+          (Array.to_list (go ()))
+          (Array.to_list (go ())));
+    Alcotest.test_case "prefix replay reproduces a random schedule" `Quick
+      (fun () ->
+        let run pick =
+          let mem = toy_mem 64 in
+          Sched.run ~mem ~pick [| writer mem 0 5; writer mem 8 5 |]
+        in
+        let a = run (Sched.pick_of_strategy (Sched.Random 9)) in
+        let b = run (Sched.pick_of_strategy (Sched.Prefix a.schedule)) in
+        Alcotest.(check (list int))
+          "replayed exactly"
+          (Array.to_list a.schedule)
+          (Array.to_list b.schedule));
+    Alcotest.test_case "pct runs highest priority thread" `Quick (fun () ->
+        let mem = toy_mem 64 in
+        let out =
+          Sched.run ~mem
+            ~pick:
+              (Sched.pick_of_strategy
+                 (Sched.Pct { seed = 3; changes = 2; horizon = 12 }))
+            [| writer mem 0 4; writer mem 8 4; writer mem 16 4 |]
+        in
+        Alcotest.(check bool) "completed" true out.completed;
+        (* Priority scheduling yields long runs of one thread: at most
+           changes + threads segments. *)
+        let switches = ref 0 in
+        Array.iteri
+          (fun i t -> if i > 0 && out.schedule.(i - 1) <> t then incr switches)
+          out.schedule;
+        Alcotest.(check bool) "few context switches" true (!switches <= 4));
+    Alcotest.test_case "fiber exceptions are reported, not raised" `Quick
+      (fun () ->
+        let mem = toy_mem 64 in
+        let out =
+          Sched.run ~mem
+            ~pick:(Sched.pick_of_strategy Sched.Round_robin)
+            [|
+              (fun () ->
+                Mem.write mem 0 1;
+                failwith "boom");
+              writer mem 8 2;
+            |]
+        in
+        Alcotest.(check bool) "completed" true out.completed;
+        match out.failures with
+        | [ (0, Failure msg) ] when msg = "boom" -> ()
+        | _ -> Alcotest.fail "expected exactly fiber 0's Failure");
+    Alcotest.test_case "exhaustive exploration covers a toy conflict" `Quick
+      (fun () ->
+        let run ~pick =
+          let mem = toy_mem 64 in
+          Sched.run ~mem ~pick [| writer mem 0 2; writer mem 8 2 |]
+        in
+        let seen = Hashtbl.create 16 in
+        let e =
+          Sched.explore ~preemptions:2 ~run
+            ~on_outcome:(fun o ->
+              Alcotest.(check bool) "completed" true o.completed;
+              Hashtbl.replace seen (Sched.encode_schedule o.schedule) ())
+            ()
+        in
+        Alcotest.(check bool) "not truncated" false e.truncated;
+        Alcotest.(check int)
+          "distinct schedules" e.schedules_run (Hashtbl.length seen);
+        (* 2 threads x 2 ops with <= 2 preemptions: more than the two
+           serial orders, less than all 6 interleavings' worth of
+           duplicates. *)
+        Alcotest.(check bool) "several schedules" true (e.schedules_run >= 4));
+  ]
+
+(* {1 Schedule tokens} *)
+
+let token_tests =
+  [
+    Alcotest.test_case "schedule round-trip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check (list int))
+              "decode (encode s) = s" (Array.to_list s)
+              (Array.to_list (Sched.decode_schedule (Sched.encode_schedule s))))
+          [
+            [||];
+            [| 0 |];
+            [| 0; 0; 0; 1; 1; 0; 2 |];
+            Array.init 100 (fun i -> i mod 3);
+          ]);
+    Alcotest.test_case "token with crash spec round-trips" `Quick (fun () ->
+        let crash =
+          Some Scenarios.{ at = 17; evict_prob = 0.3; evict_seed = 2 }
+        in
+        let schedule = [| 0; 0; 1; 0 |] in
+        let tok = Scenarios.encode_token ~schedule ~crash in
+        Alcotest.(check string) "format" "a2b1a1/c17e2p30" tok;
+        let s', c' = Scenarios.decode_token tok in
+        Alcotest.(check (list int)) "schedule" [ 0; 0; 1; 0 ]
+          (Array.to_list s');
+        match c' with
+        | Some { at = 17; evict_seed = 2; evict_prob } ->
+            Alcotest.(check (float 1e-9)) "prob" 0.3 evict_prob
+        | _ -> Alcotest.fail "crash spec lost");
+    Alcotest.test_case "malformed tokens rejected" `Quick (fun () ->
+        List.iter
+          (fun tok ->
+            Alcotest.check_raises ("reject " ^ tok)
+              (Invalid_argument "Sched.decode_schedule: expected count")
+              (fun () ->
+                match Scenarios.decode_token tok with
+                | exception Invalid_argument _ ->
+                    raise
+                      (Invalid_argument
+                         "Sched.decode_schedule: expected count")
+                | _ -> ()))
+          [ "a"; "3a"; "a2b"; "a1/x9"; "a1/c1e2"; "a1/c1e2p999" ]);
+  ]
+
+(* {1 The checker on hand-built histories} *)
+
+let reg_init = Model.Registers.init [ (0, 0); (1, 0) ]
+
+let checker_tests =
+  [
+    Alcotest.test_case "sequential history linearizes" `Quick (fun () ->
+        let h = History.create () in
+        let c = History.invoke h ~thread:0 (Model.Registers.Mwcas [ (0, 0, 5) ]) in
+        History.return h c (Model.Registers.Done true);
+        let c = History.invoke h ~thread:0 (Model.Registers.Read 0) in
+        History.return h c (Model.Registers.Value 5);
+        check_ok "seq" (RegCheck.check ~init:reg_init h));
+    Alcotest.test_case "stale read after completed mwcas is flagged" `Quick
+      (fun () ->
+        let h = History.create () in
+        let c = History.invoke h ~thread:0 (Model.Registers.Mwcas [ (0, 0, 5) ]) in
+        History.return h c (Model.Registers.Done true);
+        let c = History.invoke h ~thread:1 (Model.Registers.Read 0) in
+        History.return h c (Model.Registers.Value 0);
+        check_violation "stale read" (RegCheck.check ~init:reg_init h));
+    Alcotest.test_case "concurrent conflicting mwcas: one winner ok" `Quick
+      (fun () ->
+        let h = History.create () in
+        let a = History.invoke h ~thread:0 (Model.Registers.Mwcas [ (0, 0, 5) ]) in
+        let b = History.invoke h ~thread:1 (Model.Registers.Mwcas [ (0, 0, 7) ]) in
+        History.return h a (Model.Registers.Done true);
+        History.return h b (Model.Registers.Done false);
+        check_ok "one winner" (RegCheck.check ~init:reg_init h));
+    Alcotest.test_case "concurrent conflicting mwcas: two winners flagged"
+      `Quick (fun () ->
+        let h = History.create () in
+        let a = History.invoke h ~thread:0 (Model.Registers.Mwcas [ (0, 0, 5) ]) in
+        let b = History.invoke h ~thread:1 (Model.Registers.Mwcas [ (0, 0, 7) ]) in
+        History.return h a (Model.Registers.Done true);
+        History.return h b (Model.Registers.Done true);
+        check_violation "two winners" (RegCheck.check ~init:reg_init h));
+    Alcotest.test_case "pending op may be dropped or included" `Quick
+      (fun () ->
+        let make () =
+          let h = History.create () in
+          ignore
+            (History.invoke h ~thread:0 (Model.Registers.Mwcas [ (0, 0, 5) ]));
+          h
+        in
+        check_ok "plain check drops it" (RegCheck.check ~init:reg_init (make ()));
+        check_ok "durable: effect persisted"
+          (RegCheck.check_durable ~init:reg_init
+             ~observation:[ (Model.Registers.Read 0, Model.Registers.Value 5) ]
+             (make ()));
+        check_ok "durable: effect lost"
+          (RegCheck.check_durable ~init:reg_init
+             ~observation:[ (Model.Registers.Read 0, Model.Registers.Value 0) ]
+             (make ()));
+        check_violation "durable: effect corrupted"
+          (RegCheck.check_durable ~init:reg_init
+             ~observation:[ (Model.Registers.Read 0, Model.Registers.Value 9) ]
+             (make ())));
+    Alcotest.test_case "durable: completed op must persist" `Quick (fun () ->
+        let h = History.create () in
+        let c = History.invoke h ~thread:0 (Model.Registers.Mwcas [ (0, 0, 5) ]) in
+        History.return h c (Model.Registers.Done true);
+        check_violation "acked but lost"
+          (RegCheck.check_durable ~init:reg_init
+             ~observation:[ (Model.Registers.Read 0, Model.Registers.Value 0) ]
+             h));
+    Alcotest.test_case "kv model semantics" `Quick (fun () ->
+        let h = History.create () in
+        let step op res =
+          let c = History.invoke h ~thread:0 op in
+          History.return h c res
+        in
+        step (Model.Kv.Insert (1, 10)) (Model.Kv.Bool true);
+        step (Model.Kv.Insert (1, 11)) (Model.Kv.Bool false);
+        step (Model.Kv.Put (1, 12)) (Model.Kv.Opt (Some 10));
+        step (Model.Kv.Update (2, 5)) (Model.Kv.Bool false);
+        step (Model.Kv.Find 1) (Model.Kv.Opt (Some 12));
+        step (Model.Kv.Delete 1) (Model.Kv.Bool true);
+        step (Model.Kv.Find 1) (Model.Kv.Opt None);
+        check_ok "kv" (KvCheck.check ~init:(Model.Kv.init []) h));
+    Alcotest.test_case "real-time order is respected across threads" `Quick
+      (fun () ->
+        (* t0's insert completes strictly before t1's find is invoked,
+           so the find may not miss it. *)
+        let h = History.create () in
+        let c = History.invoke h ~thread:0 (Model.Kv.Insert (1, 10)) in
+        History.return h c (Model.Kv.Bool true);
+        let c = History.invoke h ~thread:1 (Model.Kv.Find 1) in
+        History.return h c (Model.Kv.Opt None);
+        check_violation "find missed acked insert"
+          (KvCheck.check ~init:(Model.Kv.init []) h));
+  ]
+
+(* {1 Scenarios end to end} *)
+
+let run_random scenario seed =
+  scenario.Scenarios.run
+    ~pick:(Sched.pick_of_strategy (Sched.Random seed))
+    ~fuel:None ~crash:None
+
+let scenario_tests =
+  [
+    Alcotest.test_case "pmwcas scenario deterministic and linearizable" `Quick
+      (fun () ->
+        let scenario = Scenarios.pmwcas ~threads:3 ~ops:2 ~width:2 ~addrs:4 () in
+        let a = run_random scenario 1 in
+        let b = run_random scenario 1 in
+        check_ok "verdict" a.verdict;
+        Alcotest.(check (list int))
+          "deterministic schedule"
+          (Array.to_list a.outcome.schedule)
+          (Array.to_list b.outcome.schedule);
+        Alcotest.(check int) "no pending ops" 0 a.history_pending;
+        (* 2 ops x (2 reads + 1 mwcas) x 3 threads *)
+        Alcotest.(check int) "history size" 18 a.history_ops);
+    Alcotest.test_case "pmwcas exhaustive: 2 overlapping 2-word ops" `Quick
+      (fun () ->
+        (* The tentpole acceptance shape: two 2-word PMwCAS on the same
+           two words, every bounded-preemption interleaving linearizable
+           and every descriptor terminal (checked inside the verdict). *)
+        let scenario = Scenarios.pmwcas ~threads:2 ~ops:1 ~width:2 ~addrs:2 () in
+        let e, violations = Scenarios.exhaust ~preemptions:1 scenario in
+        Alcotest.(check (list string))
+          "no violating schedule" []
+          (List.map fst violations);
+        Alcotest.(check bool) "not truncated" false e.truncated;
+        Alcotest.(check bool) "explored many schedules" true
+          (e.schedules_run > 50));
+    Alcotest.test_case "skiplist linearizable under random + pct" `Quick
+      (fun () ->
+        let scenario = Scenarios.skiplist ~threads:2 ~ops:4 ~keys:4 () in
+        List.iter
+          (fun seed ->
+            let r = run_random scenario seed in
+            check_ok (Printf.sprintf "random seed %d" seed) r.verdict)
+          [ 1; 2; 3 ];
+        let steps =
+          Array.length (run_random scenario 1).outcome.schedule
+        in
+        List.iter
+          (fun seed ->
+            let r =
+              scenario.Scenarios.run
+                ~pick:
+                  (Sched.pick_of_strategy
+                     (Sched.Pct { seed; changes = 3; horizon = steps }))
+                ~fuel:None ~crash:None
+            in
+            check_ok (Printf.sprintf "pct seed %d" seed) r.verdict)
+          [ 1; 2 ]);
+    Alcotest.test_case "bwtree linearizable under random + pct" `Quick
+      (fun () ->
+        let scenario = Scenarios.bwtree ~threads:2 ~ops:4 ~keys:4 () in
+        List.iter
+          (fun seed ->
+            let r = run_random scenario seed in
+            check_ok (Printf.sprintf "random seed %d" seed) r.verdict)
+          [ 1; 2 ];
+        let steps =
+          Array.length (run_random scenario 1).outcome.schedule
+        in
+        let r =
+          scenario.Scenarios.run
+            ~pick:
+              (Sched.pick_of_strategy
+                 (Sched.Pct { seed = 5; changes = 3; horizon = steps }))
+            ~fuel:None ~crash:None
+        in
+        check_ok "pct" r.verdict);
+    Alcotest.test_case "scheduled crashes recover durably (pmwcas)" `Quick
+      (fun () ->
+        let scenario = Scenarios.pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:3 () in
+        let full = run_random scenario 4 in
+        check_ok "full run" full.verdict;
+        let s = full.outcome.schedule in
+        let steps = Array.length s in
+        let at = ref 1 in
+        while !at < steps do
+          List.iter
+            (fun (evict_prob, evict_seed) ->
+              let r =
+                scenario.Scenarios.run
+                  ~pick:(Sched.pick_of_strategy (Sched.Prefix s))
+                  ~fuel:None
+                  ~crash:(Some Scenarios.{ at = !at; evict_prob; evict_seed })
+              in
+              check_ok
+                (Printf.sprintf "crash at %d (evict %f/%d)" !at evict_prob
+                   evict_seed)
+                r.verdict)
+            [ (0., 0); (0.3, 1) ];
+          at := !at + 7
+        done);
+    Alcotest.test_case "scheduled crashes recover durably (skiplist)" `Quick
+      (fun () ->
+        let scenario = Scenarios.skiplist ~threads:2 ~ops:3 ~keys:4 () in
+        let full = run_random scenario 2 in
+        check_ok "full run" full.verdict;
+        let s = full.outcome.schedule in
+        let steps = Array.length s in
+        let at = ref 1 in
+        while !at < steps do
+          let r =
+            scenario.Scenarios.run
+              ~pick:(Sched.pick_of_strategy (Sched.Prefix s))
+              ~fuel:None
+              ~crash:
+                (Some Scenarios.{ at = !at; evict_prob = 0.25; evict_seed = 1 })
+          in
+          check_ok (Printf.sprintf "crash at %d" !at) r.verdict;
+          at := !at + 31
+        done);
+  ]
+
+(* {1 Recovery racing concurrent mutators (under the DST scheduler)} *)
+
+let recovery_tests =
+  [
+    Alcotest.test_case "recovery is idempotent on a crash image" `Quick
+      (fun () ->
+        let scenario = Scenarios.pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:3 () in
+        let full = run_random scenario 6 in
+        let s = full.outcome.schedule in
+        let at = Array.length s / 2 in
+        let r =
+          scenario.Scenarios.run
+            ~pick:(Sched.pick_of_strategy (Sched.Prefix s))
+            ~fuel:None
+            ~crash:(Some Scenarios.{ at; evict_prob = 0.; evict_seed = 0 })
+        in
+        check_ok "first recovery" r.verdict;
+        (* Recover the same image twice: the second pass must find
+           nothing in flight and verify clean again. *)
+        let img = Mem.crash_image r.mem in
+        let stats1, errs1 = r.verify_image img in
+        Alcotest.(check (list string)) "first verify clean" [] errs1;
+        let stats2, errs2 = r.verify_image img in
+        Alcotest.(check (list string)) "second verify clean" [] errs2;
+        Alcotest.(check int) "nothing left in flight" 0
+          stats2.Pmwcas.Recovery.in_flight;
+        Alcotest.(check bool) "first pass saw the crash state" true
+          (stats1.Pmwcas.Recovery.scanned > 0));
+    Alcotest.test_case "recovery races a concurrent helper" `Quick (fun () ->
+        (* Crash mid-run, then interleave single-threaded recovery with
+           a reader that helps in-flight descriptors — every
+           interleaving must agree on a durably linearizable state. *)
+        let module Pool = Pmwcas.Pool in
+        let module Op = Pmwcas.Op in
+        let scenario = Scenarios.pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:3 () in
+        let full = run_random scenario 8 in
+        let s = full.outcome.schedule in
+        let pool_words = Pool.region_words ~max_threads:3 () in
+        let data_base = (pool_words + 7) / 8 * 8 in
+        List.iter
+          (fun at ->
+            let r =
+              scenario.Scenarios.run
+                ~pick:(Sched.pick_of_strategy (Sched.Prefix s))
+                ~fuel:None
+                ~crash:(Some Scenarios.{ at; evict_prob = 0.; evict_seed = 0 })
+            in
+            List.iter
+              (fun seed ->
+                let img = Mem.hooked (Mem.crash_image r.mem) in
+                let recovered = ref None in
+                let recover () =
+                  recovered := Some (Pmwcas.Recovery.run img ~base:0)
+                in
+                let helper () =
+                  let pool = Pool.attach img ~base:0 in
+                  let h = Pool.register pool in
+                  for a = 0 to 2 do
+                    ignore (Op.read_with h (data_base + a))
+                  done;
+                  Pool.unregister h
+                in
+                let out =
+                  Sched.run ~mem:img
+                    ~pick:(Sched.pick_of_strategy (Sched.Random seed))
+                    [| recover; helper |]
+                in
+                Alcotest.(check bool) "completed" true out.completed;
+                List.iter
+                  (fun (i, e) ->
+                    Alcotest.failf "fiber %d raised %s" i
+                      (Printexc.to_string e))
+                  out.failures;
+                (match !recovered with
+                | None -> Alcotest.fail "recovery never ran"
+                | Some (_pool, _stats) -> ());
+                (* The interleaved image must itself verify clean:
+                   re-recovering finds nothing in flight and the state
+                   is a durable linearization of the original history. *)
+                let stats, errs = r.verify_image (Mem.crash_image img) in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "at=%d seed=%d verifies" at seed)
+                  [] errs;
+                Alcotest.(check int) "nothing left in flight" 0
+                  stats.Pmwcas.Recovery.in_flight)
+              [ 1; 2; 3 ])
+          [
+            Array.length s / 4; Array.length s / 2; 3 * Array.length s / 4;
+          ]);
+  ]
+
+(* {1 Broken-helper self-test} *)
+
+let selftest_tests =
+  [
+    Alcotest.test_case "sabotaged helper caught; token replays" `Quick
+      (fun () ->
+        match
+          Scenarios.broken_helper_selftest ~seeds:[ 1; 2; 3; 4 ] ~stride:2 ()
+        with
+        | Ok token ->
+            (* The token must be parseable and name a crash point. *)
+            let _, crash = Scenarios.decode_token token in
+            Alcotest.(check bool) "token has a crash point" true
+              (crash <> None)
+        | Error reason -> Alcotest.fail reason);
+  ]
+
+let () =
+  Alcotest.run "dst"
+    [
+      ("sched", sched_tests);
+      ("tokens", token_tests);
+      ("checker", checker_tests);
+      ("scenarios", scenario_tests);
+      ("recovery", recovery_tests);
+      ("selftest", selftest_tests);
+    ]

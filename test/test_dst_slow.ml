@@ -1,0 +1,132 @@
+(* Slow tier (`dune build @slow`): deep DST enumeration and dense crash
+   sweeps that would blow the tier-1 budget. Everything here is still
+   deterministic — failures print replayable tokens. *)
+
+module Sched = Dst.Sched
+module Scenarios = Dst.Scenarios
+module Linearize = Dst.Linearize
+
+let check_ok name (v : Linearize.verdict) =
+  Alcotest.(check string) name "linearizable"
+    (match v with
+    | Linearizable -> "linearizable"
+    | v -> Format.asprintf "%a" Linearize.pp_verdict v)
+
+let exhaustive_tests =
+  [
+    Alcotest.test_case "pmwcas exhaustive at 2 preemptions" `Slow (fun () ->
+        let scenario = Scenarios.pmwcas ~threads:2 ~ops:1 ~width:2 ~addrs:2 () in
+        let e, violations =
+          Scenarios.exhaust ~preemptions:2 ~max_schedules:60_000 scenario
+        in
+        Alcotest.(check (list string))
+          "no violating schedule" []
+          (List.map fst violations);
+        if e.truncated then
+          Printf.printf
+            "note: enumeration truncated at %d schedules (coverage partial)\n"
+            e.schedules_run;
+        Alcotest.(check bool) "explored deeply" true (e.schedules_run > 1_000));
+    Alcotest.test_case "pmwcas 3 threads exhaustive at 1 preemption" `Slow
+      (fun () ->
+        let scenario = Scenarios.pmwcas ~threads:3 ~ops:1 ~width:2 ~addrs:2 () in
+        let e, violations =
+          Scenarios.exhaust ~preemptions:1 ~max_schedules:60_000 scenario
+        in
+        Alcotest.(check (list string))
+          "no violating schedule" []
+          (List.map fst violations);
+        Alcotest.(check bool) "explored deeply" true (e.schedules_run > 500));
+  ]
+
+let random_depth_tests =
+  [
+    Alcotest.test_case "skiplist: many seeds, random + pct" `Slow (fun () ->
+        let scenario = Scenarios.skiplist ~threads:3 ~ops:6 ~keys:6 () in
+        for seed = 1 to 25 do
+          let r =
+            scenario.Scenarios.run
+              ~pick:(Sched.pick_of_strategy (Sched.Random seed))
+              ~fuel:None ~crash:None
+          in
+          check_ok (Printf.sprintf "random %d" seed) r.verdict
+        done;
+        for seed = 1 to 10 do
+          let r =
+            scenario.Scenarios.run
+              ~pick:
+                (Sched.pick_of_strategy
+                   (Sched.Pct { seed; changes = 4; horizon = 4_000 }))
+              ~fuel:None ~crash:None
+          in
+          check_ok (Printf.sprintf "pct %d" seed) r.verdict
+        done);
+    Alcotest.test_case "bwtree: many seeds, random + pct" `Slow (fun () ->
+        let scenario = Scenarios.bwtree ~threads:3 ~ops:6 ~keys:6 () in
+        for seed = 1 to 15 do
+          let r =
+            scenario.Scenarios.run
+              ~pick:(Sched.pick_of_strategy (Sched.Random seed))
+              ~fuel:None ~crash:None
+          in
+          check_ok (Printf.sprintf "random %d" seed) r.verdict
+        done;
+        for seed = 1 to 8 do
+          let r =
+            scenario.Scenarios.run
+              ~pick:
+                (Sched.pick_of_strategy
+                   (Sched.Pct { seed; changes = 4; horizon = 8_000 }))
+              ~fuel:None ~crash:None
+          in
+          check_ok (Printf.sprintf "pct %d" seed) r.verdict
+        done);
+  ]
+
+let crash_density_tests =
+  [
+    Alcotest.test_case "pmwcas: every crash point, three images" `Slow
+      (fun () ->
+        let scenario = Scenarios.pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:3 () in
+        match Scenarios.hunt ~seeds:[ 1; 2 ] ~stride:1 scenario with
+        | None -> ()
+        | Some (token, r) ->
+            Alcotest.failf "violation %s: %s" token
+              (Format.asprintf "%a" Linearize.pp_verdict r.verdict));
+    Alcotest.test_case "skiplist: dense scheduled-crash sweep" `Slow (fun () ->
+        let scenario = Scenarios.skiplist ~threads:2 ~ops:4 ~keys:5 () in
+        match Scenarios.hunt ~seeds:[ 1 ] ~stride:3 scenario with
+        | None -> ()
+        | Some (token, r) ->
+            Alcotest.failf "violation %s: %s" token
+              (Format.asprintf "%a" Linearize.pp_verdict r.verdict));
+    Alcotest.test_case "bwtree: scheduled-crash sweep" `Slow (fun () ->
+        let scenario = Scenarios.bwtree ~threads:2 ~ops:4 ~keys:5 () in
+        match Scenarios.hunt ~seeds:[ 1 ] ~stride:5 scenario with
+        | None -> ()
+        | Some (token, r) ->
+            Alcotest.failf "violation %s: %s" token
+              (Format.asprintf "%a" Linearize.pp_verdict r.verdict));
+    Alcotest.test_case "dst crash-sweep suites (fuel composition)" `Slow
+      (fun () ->
+        List.iter
+          (fun spec ->
+            let s =
+              Harness.Crash_sweep.sweep ~budget:160 ~evict_seeds:[ 1 ] spec
+            in
+            Alcotest.(check (list string))
+              (spec.Harness.Crash_sweep.name ^ ": no failures")
+              []
+              (List.map
+                 (Format.asprintf "%a" Harness.Crash_sweep.pp_failure)
+                 s.failures))
+          (Harness.Dst_suites.all ()));
+  ]
+
+let () =
+  Alcotest.run "dst-slow"
+    [
+      ("exhaustive", exhaustive_tests);
+      ("random-depth", random_depth_tests);
+      ("crash-density", crash_density_tests);
+    ]

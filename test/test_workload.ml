@@ -1,0 +1,115 @@
+(* Property tests for Workload.Distribution: every sampler stays in
+   bounds, is deterministic under a fixed seed, and the Zipfian skew
+   knob is monotone — more theta, more mass on the hottest key. *)
+
+module D = Workload.Distribution
+
+let sample spec ~seed ~count =
+  let t = D.create spec in
+  let rng = Random.State.make [| seed |] in
+  Array.init count (fun _ -> D.next t rng)
+
+let freq_of_hottest samples n =
+  let counts = Array.make n 0 in
+  Array.iter (fun k -> counts.(k) <- counts.(k) + 1) samples;
+  Array.fold_left max 0 counts
+
+let spec_gen =
+  let open QCheck.Gen in
+  let n = 2 -- 512 in
+  oneof
+    [
+      map (fun n -> D.Uniform n) n;
+      map2
+        (fun n (theta, scrambled) -> D.Zipfian { n; theta; scrambled })
+        n
+        (pair (float_bound_inclusive 0.99) bool);
+      map2
+        (fun n (hot_fraction, hot_probability) ->
+          D.Hotspot { n; hot_fraction; hot_probability })
+        n
+        (pair (float_range 0.05 1.) (float_bound_inclusive 1.));
+    ]
+
+let spec_arbitrary = QCheck.make ~print:D.describe spec_gen
+
+let n_of = function
+  | D.Uniform n -> n
+  | D.Zipfian { n; _ } -> n
+  | D.Hotspot { n; _ } -> n
+
+let prop_bounds =
+  QCheck.Test.make ~count:100 ~name:"samples stay in [0, n)" spec_arbitrary
+    (fun spec ->
+      let n = n_of spec in
+      Array.for_all
+        (fun k -> 0 <= k && k < n)
+        (sample spec ~seed:7 ~count:500))
+
+let prop_deterministic =
+  QCheck.Test.make ~count:100 ~name:"fixed seed, fixed stream" spec_arbitrary
+    (fun spec ->
+      sample spec ~seed:11 ~count:200 = sample spec ~seed:11 ~count:200)
+
+let prop_full_support =
+  QCheck.Test.make ~count:50 ~name:"uniform hits every key eventually"
+    QCheck.(map (fun n -> D.Uniform n) (int_range 2 16))
+    (fun spec ->
+      let n = n_of spec in
+      let seen = Array.make n false in
+      Array.iter
+        (fun k -> seen.(k) <- true)
+        (sample spec ~seed:3 ~count:(n * 200));
+      Array.for_all Fun.id seen)
+
+let zipf_skew_monotone () =
+  (* Hotter theta concentrates more mass on the most popular key. The
+     unscrambled Gray generator makes the comparison direct. *)
+  let count = 20_000 in
+  let n = 64 in
+  let hot theta =
+    freq_of_hottest
+      (sample (D.Zipfian { n; theta; scrambled = false }) ~seed:5 ~count)
+      n
+  in
+  let h0 = hot 0. and h50 = hot 0.5 and h99 = hot 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "theta 0.5 (%d) above uniform (%d)" h50 h0)
+    true (h50 > h0);
+  Alcotest.(check bool)
+    (Printf.sprintf "theta 0.99 (%d) above 0.5 (%d)" h99 h50)
+    true (h99 > h50);
+  (* And theta ~ 0 really is near-uniform: the hottest key stays within
+     a small factor of the expected count. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "theta 0 near uniform (%d)" h0)
+    true
+    (h0 < 3 * count / n)
+
+let hotspot_probability () =
+  let n = 100 in
+  let samples =
+    sample
+      (D.Hotspot { n; hot_fraction = 0.1; hot_probability = 0.9 })
+      ~seed:13 ~count:20_000
+  in
+  let hot = Array.fold_left (fun c k -> if k < 10 then c + 1 else c) 0 samples in
+  let frac = float_of_int hot /. float_of_int (Array.length samples) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot fraction %.3f within [0.85, 0.95]" frac)
+    true
+    (frac > 0.85 && frac < 0.95)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "distribution",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_bounds; prop_deterministic; prop_full_support ]
+        @ [
+            Alcotest.test_case "zipfian skew is monotone in theta" `Quick
+              zipf_skew_monotone;
+            Alcotest.test_case "hotspot respects hot_probability" `Quick
+              hotspot_probability;
+          ] );
+    ]
