@@ -34,7 +34,7 @@ let default_flush_mode : Nvram.Config.flush_mode option ref = ref None
 let make ?(persistent = true) ?backend ?(flush_delay = 0) ?flush_mode
     ?(max_threads = 8) ?(descs_per_thread = 32) ?(max_words = 8)
     ?(heap_words = 1 lsl 22) ?(map_words = 1 lsl 16)
-    ?(data_words = 1 lsl 20) () =
+    ?(data_words = 1 lsl 20) ?sharing ?arenas ?carve_blocks () =
   let pool_words = Pool.region_words ~max_words ~descs_per_thread ~max_threads () in
   let heap_base = align8 pool_words in
   let sl_anchor = align8 (heap_base + heap_words) in
@@ -57,12 +57,12 @@ let make ?(persistent = true) ?backend ?(flush_delay = 0) ?flush_mode
       (Nvram.Config.make ~flush_delay ?flush_mode ~words ())
   in
   let palloc =
-    Palloc.create ~persistent mem ~base:heap_base ~words:heap_words
-      ~max_threads
+    Palloc.create ~persistent ?arenas ?carve_blocks mem ~base:heap_base
+      ~words:heap_words ~max_threads
   in
   let pool =
-    Pool.create ~persistent ~max_words ~descs_per_thread ~palloc mem ~base:0
-      ~max_threads
+    Pool.create ~persistent ?sharing ~max_words ~descs_per_thread ~palloc mem
+      ~base:0 ~max_threads
   in
   {
     mem;

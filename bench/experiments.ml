@@ -45,10 +45,10 @@ let section title = Printf.printf "\n=== %s ===\n%!" title
 (* ------------------------------------------------------------------ *)
 (* Multi-word CAS microbenchmark thunks.                               *)
 
-let mwcas_env ?persistent ?backend ?flush_delay ?flush_mode ~threads ~range
-    () =
+let mwcas_env ?persistent ?backend ?flush_delay ?flush_mode ?sharing ~threads
+    ~range () =
   let env =
-    Bench_env.make ?persistent ?backend ?flush_delay ?flush_mode
+    Bench_env.make ?persistent ?backend ?flush_delay ?flush_mode ?sharing
       ~max_threads:threads
       ~heap_words:(1 lsl 12)
       ~map_words:8
@@ -90,10 +90,11 @@ let mwcas_thunk (env : Bench_env.t) ~nwords ~range tid =
 
 (* [label] additionally pushes a JSON row (and, with it, a throughput /
    flush-rate time series) into [Report] when [--metrics] is active. *)
-let run_mwcas_point ?persistent ?backend ?flush_delay ?flush_mode ?label
-    ~threads ~range ~nwords ~seconds () =
+let run_mwcas_point ?persistent ?backend ?flush_delay ?flush_mode ?sharing
+    ?label ~threads ~range ~nwords ~seconds () =
   let env =
-    mwcas_env ?persistent ?backend ?flush_delay ?flush_mode ~threads ~range ()
+    mwcas_env ?persistent ?backend ?flush_delay ?flush_mode ?sharing ~threads
+      ~range ()
   in
   let sampler =
     match label with
@@ -952,6 +953,87 @@ let b2 s =
       ]
     (List.rev !rows)
 
+(* B3: descriptor-pool organization head-to-head. The per-domain pool
+   (owner-local free list + atomic inbox, epoch-limbo recycling) against
+   the shared claim-scan baseline (BzTree-style status scan from a
+   roving cursor) on the persistent 4-word MwCAS microbench. The scan
+   baseline pays O(scanned statuses) per allocation — and the scan
+   lengthens as retired-but-not-yet-reclaimed slots park in limbo —
+   while the per-domain pool pops its own free list with no atomics in
+   the common case. scans/op counts statuses inspected per operation on
+   the shared side; local% is the fraction of per-domain allocations
+   served owner-locally (no inbox CAS, no steal).
+
+   On a single-core host the throughput delta between the two
+   organizations is smaller than the run-to-run scheduler jitter at
+   quick-scale durations, and machine speed drifts over the run. Each
+   row therefore runs shared/per-domain back-to-back as a pair (drift
+   hits both sides equally) and reports the median-speedup pair of
+   three — the fl/op, scans/op and local% columns are protocol counts
+   and stable regardless. *)
+let b3 s =
+  section "B3  Descriptor pool: per-domain inbox pools vs shared claim scan";
+  let fpo (st : Nvram.Stats.snapshot) (r : Runner.result) =
+    float_of_int st.flushes /. float_of_int (max 1 r.ops)
+  in
+  let seconds = Float.max 0.75 s.seconds in
+  let point sharing tag threads =
+    let r, m, env =
+      run_mwcas_point ~persistent:true ~sharing ~label:("b3." ^ tag) ~threads
+        ~range:64 ~nwords:4 ~seconds ()
+    in
+    (r, m, Nvram.Stats.snapshot (Mem.stats env.mem))
+  in
+  let paired threads =
+    let pairs =
+      List.init 3 (fun _ ->
+          ( point `Shared "shared" threads,
+            point `Per_domain "perdomain" threads ))
+    in
+    let ratio (((sr : Runner.result), _, _), ((pr : Runner.result), _, _)) =
+      pr.throughput /. sr.throughput
+    in
+    let sorted = List.sort (fun a b -> compare (ratio a) (ratio b)) pairs in
+    List.nth sorted 1
+  in
+  let domains = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun threads ->
+        let (sr, sm, sst), (pr, pm, pst) = paired threads in
+        let local_frac =
+          float_of_int pm.desc_local
+          /. float_of_int (max 1 (pm.desc_local + pm.desc_remote))
+        in
+        let scans_per_op =
+          float_of_int sm.desc_scans /. float_of_int (max 1 sr.ops)
+        in
+        [
+          string_of_int threads;
+          Table.kops sr.throughput;
+          Table.kops pr.throughput;
+          Table.ratio pr.throughput sr.throughput;
+          Printf.sprintf "%.1f" (fpo sst sr);
+          Printf.sprintf "%.1f" (fpo pst pr);
+          Printf.sprintf "%.1f" scans_per_op;
+          Printf.sprintf "%.0f%%" (100. *. local_frac);
+          string_of_int (sm.backoffs + pm.backoffs);
+        ])
+      domains
+  in
+  Table.print
+    ~title:
+      "persistent 4-word MwCAS, shared claim-scan pool vs per-domain pools \
+       (Kops/s); speedup = perdomain/shared; fl/op = device flushes per \
+       operation; scans/op = statuses inspected per op (shared); local% = \
+       owner-local allocations (perdomain)"
+    ~header:
+      [
+        "domains"; "shared"; "perdomain"; "speedup"; "fl/op sh"; "fl/op pd";
+        "scans/op"; "local%"; "backoffs";
+      ]
+    rows
+
 (* Telemetry smoke: one tiny point per instrumented subsystem, so a
    [--metrics] run populates every latency histogram (PMwCAS attempt,
    clwb stall, palloc alloc, skip-list op, Bw-tree op) in a couple of
@@ -994,7 +1076,8 @@ let run_all ~full_scale () =
   a1 s;
   a2 s;
   b1 s;
-  b2 s
+  b2 s;
+  b3 s
 
 let by_name name s =
   match name with
@@ -1012,5 +1095,6 @@ let by_name name s =
   | "a2" -> a2 s
   | "b1" | "backends" -> b1 s
   | "b2" | "flush" -> b2 s
+  | "b3" | "pool" -> b3 s
   | "smoke" -> smoke s
   | _ -> Printf.printf "unknown experiment %s\n" name

@@ -1,6 +1,6 @@
 (* Entry point: regenerate the paper's tables and figures.
 
-   usage: bench/main.exe [all|e1|..|e10|b1|b2|smoke|bechamel] [--full]
+   usage: bench/main.exe [all|e1|..|e10|b1|b2|b3|smoke|bechamel] [--full]
                          [--backend sim|dram] [--flush sync|async]
                          [--metrics FILE]
 
@@ -53,7 +53,11 @@ let () =
     Telemetry.register_source ~kind:`Gauge "nvram.phase_ns" (fun () ->
         Nvram.Stats.phase_times_to_json ());
     Telemetry.register_source ~kind:`Counter "epoch" (fun () ->
-        Epoch.counters_to_json (Epoch.counters ()))
+        Epoch.counters_to_json (Epoch.counters ()));
+    (* Named under the palloc group (beside palloc.alloc_ns) rather than
+       as a bare "palloc" source, which would clobber the histogram. *)
+    Telemetry.register_source ~kind:`Counter "palloc.counters" (fun () ->
+        Palloc.counters_to_json (Palloc.counters ()))
   end;
   let scale =
     if full_scale then Experiments_lib.Experiments.full else Experiments_lib.Experiments.quick

@@ -295,7 +295,7 @@ let stats domains seconds format out =
 
 (* --- check-metrics: validate a --metrics report against the schema ----- *)
 
-let check_metrics require_coalescing file =
+let check_metrics require_coalescing require_alloc_counters file =
   let ic = open_in_bin file in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -363,12 +363,46 @@ let check_metrics require_coalescing file =
         | Some n -> n > 0
         | None -> false)
         "registry.epoch.enters missing or zero";
+      if require_alloc_counters then begin
+        (* The allocator instrumentation must be live end to end: the
+           palloc counter source exported, and descriptors actually
+           retired through epoch limbo (deferred and later freed). *)
+        List.iter
+          (fun f ->
+            check
+              (has [ "registry"; "palloc"; "counters"; f ])
+              ("registry.palloc.counters." ^ f ^ " missing"))
+          [
+            "cache_hits"; "freelist_hits"; "carves"; "carved_blocks";
+            "arena_steals";
+          ];
+        List.iter
+          (fun f ->
+            check
+              (match int_at [ "registry"; "epoch"; f ] with
+              | Some n -> n > 0
+              | None -> false)
+              ("registry.epoch." ^ f ^ " missing or zero"))
+          [ "deferred"; "freed" ]
+      end;
       (match V.find_path v [ "rows" ] with
       | Some (V.List []) -> check false "rows empty"
       | Some (V.List rows) ->
           check
             (List.exists (fun row -> V.member "pmwcas" row <> None) rows)
             "no row carries a pmwcas metrics snapshot";
+          if require_alloc_counters then
+            check
+              (List.exists
+                 (fun row ->
+                   match
+                     Option.bind (V.member "pmwcas" row)
+                       (V.member "desc_local")
+                   with
+                   | Some _ -> true
+                   | None -> false)
+                 rows)
+              "no row carries descriptor-pool counters (pmwcas.desc_local)";
           if require_coalescing then begin
             (* The async write-back pipeline must show its teeth: clwbs
                that coalesced or elided, and strictly fewer fences than
@@ -629,14 +663,17 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
 (* --- dst: deterministic-interleaving scheduler + linearizability ------- *)
 
 let dst scenario_name strategy threads ops width addrs keys seeds preemptions
-    max_runs changes hunt broken sabotage replay =
+    max_runs changes hunt broken broken_recycle sabotage sabotage_recycle
+    replay =
   let module S = Dst.Scenarios in
   let module Sc = Dst.Sched in
   let module L = Dst.Linearize in
   let pp_verdict v = Format.asprintf "%a" L.pp_verdict v in
   if sabotage then Op.set_sabotage_skip_precommit_flush true;
-  Fun.protect
-    ~finally:(fun () -> Op.set_sabotage_skip_precommit_flush false)
+  if sabotage_recycle then Pool.set_sabotage_immediate_recycle true;
+  Fun.protect ~finally:(fun () ->
+      Op.set_sabotage_skip_precommit_flush false;
+      Pool.set_sabotage_immediate_recycle false)
   @@ fun () ->
   if broken then (
     match S.broken_helper_selftest ~log:print_endline () with
@@ -648,6 +685,17 @@ let dst scenario_name strategy threads ops width addrs keys seeds preemptions
         0
     | Error m ->
         Printf.printf "broken-helper self-test FAILED: %s\n" m;
+        1)
+  else if broken_recycle then (
+    match S.recycle_selftest ~log:print_endline () with
+    | Ok token ->
+        Printf.printf
+          "broken-recycle self-test: violation caught, shrunk and replayed\n\
+           token: %s\n"
+          token;
+        0
+    | Error m ->
+        Printf.printf "broken-recycle self-test FAILED: %s\n" m;
         1)
   else
     let scenario =
@@ -939,6 +987,18 @@ let require_coalescing_t =
            summed over the rows' nvram snapshots, elided_flushes > 0 and \
            fences <= flushes.")
 
+let require_alloc_counters_t =
+  Arg.(
+    value & flag
+    & info
+        [ "require-alloc-counters" ]
+        ~doc:
+          "Additionally demand the allocator instrumentation: the \
+           registry's palloc counter source (cache_hits, freelist_hits, \
+           carves, carved_blocks, arena_steals), epoch deferred/freed > 0, \
+           and at least one row carrying the descriptor-pool counters \
+           (pmwcas.desc_local).")
+
 let dst_scenario_t =
   Arg.(
     value & opt string "pmwcas"
@@ -1010,6 +1070,16 @@ let broken_helper_t =
            demand the DST stack finds, shrinks and replays a durable \
            linearizability violation (exit 0 iff it does).")
 
+let broken_recycle_t =
+  Arg.(
+    value & flag
+    & info [ "broken-recycle" ]
+        ~doc:
+          "Self-test: sabotage the descriptor pool's epoch-limbo retirement \
+           (finished descriptors recycle immediately, while helpers may \
+           still hold references) and demand the DST stack finds, shrinks \
+           and replays the resulting violation (exit 0 iff it does).")
+
 let dst_sabotage_t =
   Arg.(
     value & flag
@@ -1017,6 +1087,14 @@ let dst_sabotage_t =
         ~doc:
           "Run with the precommit-flush sabotage enabled (to replay \
            broken-helper tokens).")
+
+let dst_sabotage_recycle_t =
+  Arg.(
+    value & flag
+    & info [ "sabotage-recycle" ]
+        ~doc:
+          "Run with the immediate-recycle sabotage enabled (to replay \
+           broken-recycle tokens).")
 
 let replay_t =
   Arg.(
@@ -1035,8 +1113,8 @@ let dst_cmd =
     Term.(
       const dst $ dst_scenario_t $ dst_strategy_t $ dst_threads_t $ dst_ops_t
       $ dst_width_t $ dst_addrs_t $ dst_keys_t $ dst_seeds_t $ preemptions_t
-      $ max_runs_t $ changes_t $ hunt_t $ broken_helper_t $ dst_sabotage_t
-      $ replay_t)
+      $ max_runs_t $ changes_t $ hunt_t $ broken_helper_t $ broken_recycle_t
+      $ dst_sabotage_t $ dst_sabotage_recycle_t $ replay_t)
 
 let check_metrics_cmd =
   Cmd.v
@@ -1045,7 +1123,9 @@ let check_metrics_cmd =
          "Validate a bench --metrics report: meta block, populated latency \
           histograms with percentiles, per-phase times, epoch counters and \
           per-experiment rows.")
-    Term.(const check_metrics $ require_coalescing_t $ file_t)
+    Term.(
+      const check_metrics $ require_coalescing_t $ require_alloc_counters_t
+      $ file_t)
 
 let main =
   Cmd.group

@@ -171,7 +171,10 @@ let attach ~pool ~palloc ~anchor =
   t
 
 let register t =
-  { t; ph = Pool.register t.pool; pa = Palloc.register_thread t.palloc }
+  let ph = Pool.register t.pool in
+  (* Arena affinity keyed by the pool partition (see Palloc): keeps each
+     domain's page allocations on its own heap shard. *)
+  { t; ph; pa = Palloc.register_thread ~arena:(Pool.handle_part ph) t.palloc }
 
 let unregister h =
   Pool.unregister h.ph;

@@ -1,9 +1,9 @@
 let shards = 64
-let fields = 6
+let fields = 10
 
-(* Pad each domain's field group to [stride] boxed atomics (128 bytes) so
+(* Pad each domain's field group to [stride] boxed atomics (256 bytes) so
    neighbouring domains never false-share a cache line; see Nvram.Stats. *)
-let stride = 8
+let stride = 16
 
 type t = int Atomic.t array
 
@@ -14,6 +14,10 @@ type snapshot = {
   desc_helps : int;
   rdcss_helps : int;
   backoffs : int;
+  desc_local : int;
+  desc_remote : int;
+  desc_scans : int;
+  alloc_retries : int;
 }
 
 let create () = Array.init (shards * stride) (fun _ -> Atomic.make 0)
@@ -29,6 +33,10 @@ let record_failed t = record t 2
 let record_desc_help t = record t 3
 let record_rdcss_help t = record t 4
 let record_backoff t = record t 5
+let record_desc_local t = record t 6
+let record_desc_remote t = record t 7
+let record_desc_scan t = record t 8
+let record_alloc_retry t = record t 9
 
 let sum t field =
   let acc = ref 0 in
@@ -47,6 +55,10 @@ let snapshot t =
     desc_helps = sum t 3;
     rdcss_helps = sum t 4;
     backoffs = sum t 5;
+    desc_local = sum t 6;
+    desc_remote = sum t 7;
+    desc_scans = sum t 8;
+    alloc_retries = sum t 9;
   }
 
 let reset t = Array.iter (fun c -> Atomic.set c 0) t
@@ -59,6 +71,10 @@ let diff a b =
     desc_helps = a.desc_helps - b.desc_helps;
     rdcss_helps = a.rdcss_helps - b.rdcss_helps;
     backoffs = a.backoffs - b.backoffs;
+    desc_local = a.desc_local - b.desc_local;
+    desc_remote = a.desc_remote - b.desc_remote;
+    desc_scans = a.desc_scans - b.desc_scans;
+    alloc_retries = a.alloc_retries - b.alloc_retries;
   }
 
 let to_json s =
@@ -70,6 +86,10 @@ let to_json s =
       ("desc_helps", Telemetry.Value.Int s.desc_helps);
       ("rdcss_helps", Telemetry.Value.Int s.rdcss_helps);
       ("backoffs", Telemetry.Value.Int s.backoffs);
+      ("desc_local", Telemetry.Value.Int s.desc_local);
+      ("desc_remote", Telemetry.Value.Int s.desc_remote);
+      ("desc_scans", Telemetry.Value.Int s.desc_scans);
+      ("alloc_retries", Telemetry.Value.Int s.alloc_retries);
     ]
 
 (* Derived from [to_json]; the printed fields cannot drift from the

@@ -11,6 +11,18 @@ type snapshot = {
   backoffs : int;
       (** Bounded exponential-backoff waits taken after contended
           failures (failed [Op.execute] attempts, RDCSS collisions). *)
+  desc_local : int;
+      (** Descriptor allocations served from the owning domain's local
+          free list — the contention-free fast path. *)
+  desc_remote : int;
+      (** Descriptor allocations that had to drain the partition inbox or
+          steal from another domain's inbox. *)
+  desc_scans : int;
+      (** Slots examined by the shared-pool baseline's free-slot scan
+          (zero under per-domain pools). *)
+  alloc_retries : int;
+      (** Empty-pool retry rounds in [Pool.alloc_desc] (each forces an
+          epoch advance + reclaim before re-trying). *)
 }
 
 val create : unit -> t
@@ -20,13 +32,18 @@ val record_failed : t -> unit
 val record_desc_help : t -> unit
 val record_rdcss_help : t -> unit
 val record_backoff : t -> unit
+val record_desc_local : t -> unit
+val record_desc_remote : t -> unit
+val record_desc_scan : t -> unit
+val record_alloc_retry : t -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 val diff : snapshot -> snapshot -> snapshot
 
 val to_json : snapshot -> Telemetry.Value.t
 (** Stable export shape:
-    [{attempts; succeeded; failed; desc_helps; rdcss_helps; backoffs}].
+    [{attempts; succeeded; failed; desc_helps; rdcss_helps; backoffs;
+      desc_local; desc_remote; desc_scans; alloc_retries}].
     Exporters use this; [pp] derives from it. *)
 
 val pp : Format.formatter -> snapshot -> unit

@@ -127,6 +127,17 @@ let rec help_at t ~depth ~slot =
     Telemetry.Histogram.record (help_depth_hist ()) depth;
   let mem = Pool.mem t in
   let persistent = Pool.persistent t in
+  (* A helper arrives here holding a reference obtained while pinned, and
+     [Pool.finish] parks decided slots in epoch limbo until every such
+     pin retires — so a [Free] status is impossible unless the limbo
+     protocol was violated and the slot recycled under us (it may already
+     carry an unrelated operation). Fail loudly instead of corrupting it;
+     the DST recycle scenario relies on this detector. *)
+  if
+    depth > 0
+    && Flags.clear_dirty (Mem.read mem (Layout.status_addr slot))
+       = Layout.status_free
+  then failwith "Op.help: descriptor recycled while referenced";
   (* Phase labels for crash classification. Saved and restored so nested
      helping keeps the outer label on return; an injected crash skips the
      restore and freezes the label (see Nvram.Stats). *)

@@ -13,6 +13,35 @@ type entry = {
 
 type callback = succeeded:bool -> entry array -> int list
 
+(* Volatile free-slot bookkeeping for one partition (one domain). The
+   [local] list is touched only by the owning domain — plain mutable
+   fields, no atomics, so the common recycle/alloc cycle is
+   contention-free. Remote frees (orphaned epoch garbage draining on a
+   different domain) and overflow past [local_cap] land in the atomic
+   [inbox], which is also what other domains steal from. *)
+type dpool = {
+  mutable local : int list;
+  mutable local_len : int;
+  inbox : int list Atomic.t;
+  inbox_len : int Atomic.t;
+  limbo : int Atomic.t; (* retired via the epoch, not yet recycled *)
+  owner : int Atomic.t; (* Domain id of the registered owner; -1 *)
+}
+
+(* Pre-refactor organization, kept as a measurable baseline (bench `b3`):
+   one shared pool where allocation scans the descriptor array for a
+   durably Free slot (the BzTree [pmwcas_alloc] shape) and claims it via
+   a per-slot volatile bit. Every domain contends on the same bitmap and
+   walks past every limbo-parked slot. *)
+type shared = {
+  claim : bool Atomic.t array; (* per slot *)
+  s_limbo : int Atomic.t;
+  mutable cursors : int array; (* per partition scan start *)
+}
+
+type org = Per_domain of dpool array | Shared of shared
+type sharing = [ `Per_domain | `Shared ]
+
 type t = {
   mem : Mem.t;
   lay : Layout.t;
@@ -20,11 +49,12 @@ type t = {
   palloc : Palloc.t option;
   epoch : Epoch.t;
   metrics : Metrics.t;
-  partitions : int list Atomic.t array; (* free slot addresses, per thread *)
-  claimed : bool Atomic.t array;
+  org : org;
+  claimed : bool Atomic.t array; (* handle registration, per partition *)
   mutable callbacks : callback array;
   descs_per_thread : int;
   max_threads : int;
+  local_cap : int;
 }
 
 type handle = {
@@ -45,6 +75,11 @@ type descriptor = {
 
 let default_max_words = 8
 let default_descs_per_thread = 32
+
+(* Bound on slots a domain keeps in its private list; recycles beyond it
+   overflow to the stealable inbox, so an idle domain can strand at most
+   this many slots from its peers. *)
+let default_local_cap = 8
 
 let region_words ?(line_words = 8) ?(max_words = default_max_words)
     ?(descs_per_thread = default_descs_per_thread) ~max_threads () =
@@ -68,16 +103,141 @@ let persist_desc t ~slot ~count =
     Mem.fence t.mem
   end
 
-let distribute_slots t =
-  for part = 0 to t.max_threads - 1 do
-    let slots =
-      List.init t.descs_per_thread (fun j ->
-          Layout.slot_off t.lay ((part * t.descs_per_thread) + j))
-    in
-    Atomic.set t.partitions.(part) slots
-  done
+(* --- free-slot bookkeeping ------------------------------------------ *)
 
-let build ?palloc ~persistent mem lay ~descs_per_thread ~max_threads =
+let self_id () = (Domain.self () :> int)
+
+let inbox_push d slot =
+  let rec go () =
+    let cur = Atomic.get d.inbox in
+    if not (Atomic.compare_and_set d.inbox cur (slot :: cur)) then go ()
+  in
+  go ();
+  ignore (Atomic.fetch_and_add d.inbox_len 1)
+
+let inbox_pop d =
+  let rec go () =
+    match Atomic.get d.inbox with
+    | [] -> None
+    | s :: rest as cur ->
+        if Atomic.compare_and_set d.inbox cur rest then begin
+          ignore (Atomic.fetch_and_add d.inbox_len (-1));
+          Some s
+        end
+        else go ()
+  in
+  go ()
+
+(* Owner-only: take the whole inbox in one exchange. *)
+let inbox_drain d =
+  match Atomic.exchange d.inbox [] with
+  | [] -> []
+  | l ->
+      ignore (Atomic.fetch_and_add d.inbox_len (-List.length l));
+      l
+
+(* The partition a slot address belongs to — slots are carved per
+   partition in contiguous runs of [descs_per_thread]. Recycles always
+   route here (not to the finishing handle's partition): a stolen slot
+   finished by another domain must flow back to its home inbox, where the
+   home owner (or a future stealer) can reach it — otherwise slots would
+   migrate into the stealer's private local list and strand there when
+   that domain goes idle. *)
+let home_part t slot = Layout.slot_index t.lay slot / t.descs_per_thread
+
+(* Return [slot] to partition [part]. Runs on the owner's domain in the
+   common case (the owner's own reclaim executes its deferred recycles),
+   where it is two plain stores; recycles of stolen slots, orphaned
+   recycles running elsewhere, and overflow past [local_cap], publish
+   through the inbox. *)
+let push_slot t part slot =
+  match t.org with
+  | Shared sh -> Atomic.set sh.claim.(Layout.slot_index t.lay slot) false
+  | Per_domain parts ->
+      let d = parts.(part) in
+      if Atomic.get d.owner = self_id () && d.local_len < t.local_cap then begin
+        d.local <- slot :: d.local;
+        d.local_len <- d.local_len + 1
+      end
+      else inbox_push d slot
+
+(* Owner-only fast path: private list first, then drain the inbox. *)
+let pop_own t part =
+  match t.org with
+  | Shared _ -> None
+  | Per_domain parts -> (
+      let d = parts.(part) in
+      match d.local with
+      | s :: rest ->
+          d.local <- rest;
+          d.local_len <- d.local_len - 1;
+          Metrics.record_desc_local t.metrics;
+          Some s
+      | [] -> (
+          match inbox_drain d with
+          | [] -> None
+          | s :: rest ->
+              d.local <- rest;
+              d.local_len <- List.length rest;
+              Metrics.record_desc_remote t.metrics;
+              Some s))
+
+let steal t ~not_from =
+  match t.org with
+  | Shared _ -> None
+  | Per_domain parts ->
+      let rec go i =
+        if i >= t.max_threads then None
+        else if i <> not_from then
+          match inbox_pop parts.(i) with
+          | Some s ->
+              Metrics.record_desc_remote t.metrics;
+              Some s
+          | None -> go (i + 1)
+        else go (i + 1)
+      in
+      go 0
+
+let distribute_slots t =
+  match t.org with
+  | Shared sh ->
+      Array.iter (fun c -> Atomic.set c false) sh.claim;
+      sh.cursors <- Array.init t.max_threads (fun p -> p * t.descs_per_thread)
+  | Per_domain parts ->
+      for part = 0 to t.max_threads - 1 do
+        let slots =
+          List.init t.descs_per_thread (fun j ->
+              Layout.slot_off t.lay ((part * t.descs_per_thread) + j))
+        in
+        let d = parts.(part) in
+        d.local <- [];
+        d.local_len <- 0;
+        Atomic.set d.inbox slots;
+        Atomic.set d.inbox_len (List.length slots)
+      done
+
+let build ?palloc ~persistent ~sharing mem lay ~descs_per_thread ~max_threads =
+  let org =
+    match sharing with
+    | `Per_domain ->
+        Per_domain
+          (Array.init max_threads (fun _ ->
+               {
+                 local = [];
+                 local_len = 0;
+                 inbox = Atomic.make [];
+                 inbox_len = Atomic.make 0;
+                 limbo = Atomic.make 0;
+                 owner = Atomic.make (-1);
+               }))
+    | `Shared ->
+        Shared
+          {
+            claim = Array.init lay.Layout.nslots (fun _ -> Atomic.make false);
+            s_limbo = Atomic.make 0;
+            cursors = Array.make max_threads 0;
+          }
+  in
   {
     mem;
     lay;
@@ -85,14 +245,15 @@ let build ?palloc ~persistent mem lay ~descs_per_thread ~max_threads =
     palloc;
     epoch = Epoch.create ~slots:(max 128 (2 * max_threads)) ();
     metrics = Metrics.create ();
-    partitions = Array.init max_threads (fun _ -> Atomic.make []);
+    org;
     claimed = Array.init max_threads (fun _ -> Atomic.make false);
     callbacks = [||];
     descs_per_thread;
     max_threads;
+    local_cap = min default_local_cap descs_per_thread;
   }
 
-let create ?persistent ?(max_words = default_max_words)
+let create ?persistent ?(sharing = `Per_domain) ?(max_words = default_max_words)
     ?(descs_per_thread = default_descs_per_thread) ?palloc mem ~base
     ~max_threads =
   let persistent = Option.value persistent ~default:(Mem.durable mem) in
@@ -108,7 +269,9 @@ let create ?persistent ?(max_words = default_max_words)
   in
   if base + Layout.region_words lay > Mem.size mem then
     invalid_arg "Pool.create: pool does not fit in the device";
-  let t = build ?palloc ~persistent mem lay ~descs_per_thread ~max_threads in
+  let t =
+    build ?palloc ~persistent ~sharing mem lay ~descs_per_thread ~max_threads
+  in
   Mem.write mem base magic;
   Mem.write mem (base + 1) nslots;
   Mem.write mem (base + 2) max_words;
@@ -127,7 +290,7 @@ let create ?persistent ?(max_words = default_max_words)
   distribute_slots t;
   t
 
-let attach ?palloc ?(callbacks = []) mem ~base =
+let attach ?palloc ?(sharing = `Per_domain) ?(callbacks = []) mem ~base =
   if not (Mem.durable mem) then
     invalid_arg "Pool.attach: requires a durable backend";
   if Mem.read mem base <> magic then failwith "Pool.attach: bad magic";
@@ -159,10 +322,15 @@ let attach ?palloc ?(callbacks = []) mem ~base =
       (Printf.sprintf "pool of %d words exceeds the device"
          (Layout.region_words lay));
   let t =
-    build ?palloc ~persistent:true mem lay
+    build ?palloc ~persistent:true ~sharing mem lay
       ~descs_per_thread:(nslots / max_threads) ~max_threads
   in
   t.callbacks <- Array.of_list callbacks;
+  (* Ownership transfer: every slot — free or still in flight — is
+     re-owned by its home partition's volatile pool. [Recovery.run]
+     finalizes the in-flight ones; until it does, allocation cannot hand
+     them out because [alloc_desc] only pops what recycling pushed (and,
+     in shared mode, the status scan skips non-Free slots). *)
   distribute_slots t;
   t
 
@@ -173,9 +341,29 @@ let palloc t = t.palloc
 let epoch t = t.epoch
 let metrics t = t.metrics
 let max_threads t = t.max_threads
+let sharing t : sharing = match t.org with Per_domain _ -> `Per_domain | Shared _ -> `Shared
 
+(* O(1) under per-domain pools: each partition maintains its own length
+   counters on push/pop. The shared baseline keeps the pre-refactor O(n)
+   behaviour it exists to measure. *)
 let free_slots t =
-  Array.fold_left (fun acc p -> acc + List.length (Atomic.get p)) 0 t.partitions
+  match t.org with
+  | Per_domain parts ->
+      Array.fold_left
+        (fun acc d -> acc + d.local_len + Atomic.get d.inbox_len)
+        0 parts
+  | Shared sh ->
+      let n = ref 0 in
+      for i = 0 to t.lay.nslots - 1 do
+        if not (Atomic.get sh.claim.(i)) then incr n
+      done;
+      !n
+
+let limbo_depth t =
+  match t.org with
+  | Per_domain parts ->
+      Array.fold_left (fun acc d -> acc + Atomic.get d.limbo) 0 parts
+  | Shared sh -> Atomic.get sh.s_limbo
 
 let register_callback t fn =
   t.callbacks <- Array.append t.callbacks [| fn |];
@@ -193,6 +381,9 @@ let register t =
     else claim (i + 1)
   in
   let part = claim 0 in
+  (match t.org with
+  | Per_domain parts -> Atomic.set parts.(part).owner (self_id ())
+  | Shared _ -> ());
   { pool = t; hguard = Epoch.register t.epoch; part; hlive = true }
 
 let check_handle h = if not h.hlive then invalid_arg "Pool: handle unregistered"
@@ -201,61 +392,121 @@ let unregister h =
   check_handle h;
   h.hlive <- false;
   Epoch.unregister h.hguard;
+  (match h.pool.org with
+  | Per_domain parts ->
+      (* Hand the private list back to the stealable inbox before giving
+         the partition up, so no slot is stranded behind a dead owner. *)
+      let d = parts.(h.part) in
+      Atomic.set d.owner (-1);
+      let l = d.local in
+      d.local <- [];
+      d.local_len <- 0;
+      List.iter (inbox_push d) l
+  | Shared _ -> ());
   Atomic.set h.pool.claimed.(h.part) false
 
 let guard h = h.hguard
 let pool_of_handle h = h.pool
+let handle_part h = h.part
 
 let with_epoch h fn =
   check_handle h;
   Epoch.with_guard h.hguard fn
 
-let pop_partition t part =
-  let p = t.partitions.(part) in
-  let rec loop () =
-    match Atomic.get p with
-    | [] -> None
-    | slot :: rest as cur ->
-        if Atomic.compare_and_set p cur rest then Some slot else loop ()
-  in
-  loop ()
+let status_census t =
+  let free = ref 0 and undec = ref 0 and succ = ref 0 and fail = ref 0 in
+  for i = 0 to t.lay.nslots - 1 do
+    let s =
+      Flags.clear_dirty
+        (Mem.read t.mem (Layout.status_addr (Layout.slot_off t.lay i)))
+    in
+    if s = Layout.status_free then incr free
+    else if s = Layout.status_undecided then incr undec
+    else if s = Layout.status_succeeded then incr succ
+    else incr fail
+  done;
+  (!free, !undec, !succ, !fail)
 
-let push_partition t part slot =
-  let p = t.partitions.(part) in
-  let rec loop () =
-    let cur = Atomic.get p in
-    if not (Atomic.compare_and_set p cur (slot :: cur)) then loop ()
+(* Satellite of the per-domain refactor: exhaustion used to be a bare
+   [failwith]; under partitioned pools "no slot" has several distinct
+   causes (limbo backlog, a peer hoarding, true undersizing) that the
+   message must distinguish. *)
+let exhausted t =
+  let sfree, sundec, ssucc, sfail = status_census t in
+  let parts_s =
+    match t.org with
+    | Shared sh ->
+        Printf.sprintf "shared: claimed=%d limbo=%d"
+          (Array.fold_left
+             (fun acc c -> if Atomic.get c then acc + 1 else acc)
+             0 sh.claim)
+          (Atomic.get sh.s_limbo)
+    | Per_domain parts ->
+        String.concat " "
+          (List.init t.max_threads (fun i ->
+               let d = parts.(i) in
+               Printf.sprintf "p%d%s:free=%d+%d,limbo=%d" i
+                 (if Atomic.get t.claimed.(i) then "*" else "")
+                 d.local_len (Atomic.get d.inbox_len) (Atomic.get d.limbo)))
   in
-  loop ()
+  failwith
+    (Printf.sprintf
+       "Pool.alloc_desc: descriptor pool exhausted: nslots=%d free=%d \
+        limbo=%d statuses[free=%d undecided=%d succeeded=%d failed=%d] [%s]"
+       t.lay.nslots (free_slots t) (limbo_depth t) sfree sundec ssucc sfail
+       parts_s)
 
-let steal t ~not_from =
-  let rec go i =
-    if i >= t.max_threads then None
-    else if i <> not_from then
-      match pop_partition t i with Some s -> Some s | None -> go (i + 1)
-    else go (i + 1)
+(* Shared-baseline allocation: walk the descriptor array from this
+   partition's cursor looking for a durably Free slot, claiming via the
+   volatile per-slot bit (cleared only after the durable Free, so a won
+   claim implies a Free slot). Cost scales with claimed + limbo-parked
+   slots — the behaviour the per-domain pools remove. *)
+let scan_claim t sh part =
+  let n = t.lay.nslots in
+  let start = sh.cursors.(part) in
+  let rec go k =
+    if k >= n then None
+    else begin
+      let i = (start + k) mod n in
+      Metrics.record_desc_scan t.metrics;
+      let slot = Layout.slot_off t.lay i in
+      if
+        Flags.clear_dirty (Mem.read t.mem (Layout.status_addr slot))
+        = Layout.status_free
+        && Atomic.compare_and_set sh.claim.(i) false true
+      then begin
+        sh.cursors.(part) <- (i + 1) mod n;
+        Some slot
+      end
+      else go (k + 1)
+    end
   in
   go 0
 
 let take_slot h =
   let t = h.pool in
+  let pop () =
+    match t.org with
+    | Shared sh -> scan_claim t sh h.part
+    | Per_domain _ -> (
+        match pop_own t h.part with
+        | Some s -> Some s
+        | None -> steal t ~not_from:h.part)
+  in
   let rec attempt tries =
-    match pop_partition t h.part with
+    match pop () with
     | Some s -> s
-    | None -> (
-        match steal t ~not_from:h.part with
-        | Some s -> s
-        | None ->
-            if tries = 0 then
-              failwith "Pool.alloc_desc: descriptor pool exhausted"
-            else begin
-              (* Recycling is epoch-deferred: advance, drain, and give a
-                 pinned (possibly preempted) peer a chance to move on. *)
-              ignore (Epoch.advance t.epoch);
-              ignore (Epoch.reclaim h.hguard);
-              Domain.cpu_relax ();
-              attempt (tries - 1)
-            end)
+    | None ->
+        if tries = 0 then exhausted t
+        else begin
+          (* Recycling is epoch-deferred: advance, drain, and give a
+             pinned (possibly preempted) peer a chance to move on. *)
+          Metrics.record_alloc_retry t.metrics;
+          ignore (Epoch.advance t.epoch);
+          ignore (Epoch.reclaim h.hguard);
+          Domain.cpu_relax ();
+          attempt (tries - 1)
+        end
   in
   attempt 262144
 
@@ -482,22 +733,49 @@ let finalize_slot ?(during_recovery = false) t ~slot ~succeeded =
 
 let make_free t ~slot ~part ~succeeded =
   finalize_slot t ~slot ~succeeded;
-  push_partition t part slot
+  push_slot t part slot
 
 let discard d =
   check_desc d;
   d.dlive <- false;
   (* Never exposed: recycle immediately, as a failure. *)
-  make_free d.dpool ~slot:d.slot ~part:d.hdl.part ~succeeded:false
+  make_free d.dpool ~slot:d.slot ~part:(home_part d.dpool d.slot)
+    ~succeeded:false
 
 let seal d =
   check_desc d;
   d.dlive <- false;
   persist_desc d.dpool ~slot:d.slot ~count:d.nentries
 
+(* DST self-test knob: recycle at [finish] time instead of parking the
+   slot in epoch limbo. A helper that still holds the descriptor pointer
+   then races slot reuse — the exact use-after-free the limbo protocol
+   exists to prevent, which the scheduled scenarios must be able to
+   flag. Never set outside tests and the CLI. *)
+let sabotage_recycle = Atomic.make false
+let set_sabotage_immediate_recycle b = Atomic.set sabotage_recycle b
+
+let limbo_cell t part =
+  match t.org with
+  | Per_domain parts -> parts.(part).limbo
+  | Shared sh -> sh.s_limbo
+
 let finish d ~succeeded =
-  let t = d.dpool and slot = d.slot and part = d.hdl.part in
-  Epoch.defer d.hdl.hguard (fun () -> make_free t ~slot ~part ~succeeded)
+  let t = d.dpool and slot = d.slot in
+  let part = home_part t slot in
+  if Atomic.get sabotage_recycle then make_free t ~slot ~part ~succeeded
+  else begin
+    (* Park the slot in this guard's limbo list: it is durably decided
+       but must not be reused while any reader pinned before now may
+       still dereference it (BzTree's gc_limbo / pmwcas_reclaim shape).
+       The deferred recycle usually runs on this same domain's next
+       reclaim, landing the slot back in the owner's local list. *)
+    let limbo = limbo_cell t part in
+    ignore (Atomic.fetch_and_add limbo 1);
+    Epoch.defer d.hdl.hguard (fun () ->
+        make_free t ~slot ~part ~succeeded;
+        ignore (Atomic.fetch_and_add limbo (-1)))
+  end
 
 let desc_slot d = d.slot
 let desc_handle d = d.hdl

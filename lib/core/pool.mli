@@ -29,6 +29,19 @@ type t
 type handle
 type descriptor
 
+type sharing = [ `Per_domain | `Shared ]
+(** Volatile free-slot organization (the durable format is identical):
+
+    - [`Per_domain] (default): each partition keeps an owner-local free
+      list (plain loads/stores — the contention-free common case) plus an
+      atomic inbox that receives remote recycles and overflow and that
+      other domains steal from.
+    - [`Shared]: the pre-refactor shared-pool organization, kept as a
+      measurable baseline (bench [b3]): allocation scans the descriptor
+      array for a durably Free slot (BzTree's [pmwcas_alloc] shape) and
+      claims it through one shared per-slot bitmap, so every domain
+      contends on the same structure and walks past limbo-parked slots. *)
+
 type entry = {
   addr : int;
   old_value : int;
@@ -64,6 +77,7 @@ val region_words :
 
 val create :
   ?persistent:bool ->
+  ?sharing:sharing ->
   ?max_words:int ->
   ?descs_per_thread:int ->
   ?palloc:Palloc.t ->
@@ -78,8 +92,8 @@ val create :
     elided automatically on a volatile (DRAM) backend, and requesting
     [persistent:true] on one raises [Invalid_argument]. *)
 
-val attach : ?palloc:Palloc.t -> ?callbacks:callback list -> Nvram.Mem.t
-  -> base:int -> t
+val attach : ?palloc:Palloc.t -> ?sharing:sharing
+  -> ?callbacks:callback list -> Nvram.Mem.t -> base:int -> t
 (** Re-open an already formatted pool (typically inside a crash image,
     before running [Recovery.run]). Callbacks are re-registered in order.
     Every header field is validated — a corrupt [nslots], [max_words] or
@@ -95,16 +109,25 @@ val register : t -> handle
     domain; handles are not thread-safe. *)
 
 val unregister : handle -> unit
+(** Release the partition. Any slots still in the owner's local list are
+    handed back to the partition's stealable inbox first. *)
+
 val with_epoch : handle -> (unit -> 'a) -> 'a
 val guard : handle -> Epoch.guard
 val pool_of_handle : handle -> t
 
+val handle_part : handle -> int
+(** Partition index this handle owns — callers that shard a companion
+    structure (e.g. {!Palloc} arenas) use it as the affinity key. *)
+
 (** {1 Descriptor lifecycle (the paper's API, Section 2.2)} *)
 
 val alloc_desc : ?callback:int -> handle -> descriptor
-(** [AllocateDescriptor]: take a slot from this thread's partition
-    (stealing, then forcing reclamation, when empty), durably mark it
-    [Undecided]. @raise Failure when the pool is truly exhausted. *)
+(** [AllocateDescriptor]: take a slot from this domain's pool — local
+    list, then inbox, then stealing a peer inbox, then forcing epoch
+    reclamation — and durably mark it [Undecided]. @raise Failure when
+    the pool is truly exhausted, with a diagnostic reporting per-domain
+    occupancy and limbo depth. *)
 
 val add_word :
   ?policy:Layout.policy -> descriptor -> addr:int -> expected:int
@@ -141,9 +164,17 @@ val palloc : t -> Palloc.t option
 val epoch : t -> Epoch.t
 val metrics : t -> Metrics.t
 val max_threads : t -> int
+val sharing : t -> sharing
+
 val free_slots : t -> int
 (** Currently recycled-and-available slots across all partitions (racy
-    snapshot; exact when quiescent). *)
+    snapshot; exact when quiescent). O(1) under [`Per_domain] — each
+    partition maintains length counters on push/pop; the [`Shared]
+    baseline keeps the O(nslots) walk it exists to measure. *)
+
+val limbo_depth : t -> int
+(** Descriptors retired by [finish] whose epoch-deferred recycle has not
+    run yet (racy snapshot; exact when quiescent). *)
 
 val register_callback : t -> callback -> int
 (** Returns the index to pass as [alloc_desc ?callback]. Call during
@@ -155,6 +186,12 @@ val desc_status : t -> slot:int -> int
 (**/**)
 
 (** Internal interface for [Op] and [Recovery]. *)
+
+val set_sabotage_immediate_recycle : bool -> unit
+(** DST self-test knob: make [finish] recycle the slot immediately
+    instead of parking it in epoch limbo, re-creating the
+    use-after-reuse race the limbo protocol prevents. Never set outside
+    tests and the CLI. *)
 
 val desc_slot : descriptor -> int
 val desc_handle : descriptor -> handle

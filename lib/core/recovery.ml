@@ -17,11 +17,11 @@ let refers_to_slot lay ~slot ~k w =
      | s, k' -> s = slot && k' = k
      | exception Invalid_argument _ -> false
 
-let run ?palloc ?(callbacks = []) mem ~base =
+let run ?palloc ?sharing ?(callbacks = []) mem ~base =
   let stats_sh = Mem.stats mem in
   let prev_phase = Nvram.Stats.current_phase stats_sh in
   Nvram.Stats.set_phase stats_sh Nvram.Stats.Recovery;
-  let pool = Pool.attach ?palloc ~callbacks mem ~base in
+  let pool = Pool.attach ?palloc ?sharing ~callbacks mem ~base in
   let lay = Pool.layout pool in
   let in_flight = ref 0
   and forward = ref 0

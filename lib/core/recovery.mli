@@ -24,11 +24,15 @@ type stats = {
 }
 
 val run :
-  ?palloc:Palloc.t -> ?callbacks:Pool.callback list -> Nvram.Mem.t
+  ?palloc:Palloc.t -> ?sharing:Pool.sharing
+  -> ?callbacks:Pool.callback list -> Nvram.Mem.t
   -> base:int -> Pool.t * stats
 (** Attach to the pool at [base] inside a crash image, recover every
     in-flight PMwCAS, and return a ready-to-use pool. [callbacks] must be
-    re-registered in the same order as before the crash.
+    re-registered in the same order as before the crash; [sharing] picks
+    the volatile free-slot organization of the recovered pool (recovery
+    re-owns every slot and redistributes it regardless — the durable
+    format does not record the organization).
     @raise Failure on bad magic or a corrupt descriptor. *)
 
 val pp_stats : Format.formatter -> stats -> unit

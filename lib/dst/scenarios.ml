@@ -593,15 +593,16 @@ let exhaust ?max_schedules ?(preemptions = 1) scenario =
   in
   (e, List.rev !violations)
 
-let broken_helper_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(stride = 1)
-    ?(log = ignore) () =
-  let scenario = pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:4 () in
-  Op.set_sabotage_skip_precommit_flush true;
+(* Shared shape of the sabotage self-tests: flip a knob that breaks one
+   protocol obligation, hunt for the violation, shrink, and require the
+   token to fail under sabotage and pass clean. *)
+let sabotage_selftest ~set ~missing ~seeds ~stride ~log scenario =
+  set true;
   Fun.protect
-    ~finally:(fun () -> Op.set_sabotage_skip_precommit_flush false)
+    ~finally:(fun () -> set false)
     (fun () ->
       match hunt ~seeds ~stride scenario with
-      | None -> Error "sabotaged precommit flush was NOT detected"
+      | None -> Error missing
       | Some (token, _) ->
           log (Printf.sprintf "violation found: %s" token);
           let token = shrink_token scenario token in
@@ -611,13 +612,34 @@ let broken_helper_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(stride = 1)
             Error
               (Printf.sprintf "token %s did not replay the violation" token)
           else begin
-            Op.set_sabotage_skip_precommit_flush false;
+            set false;
             let clean = replay scenario token in
-            Op.set_sabotage_skip_precommit_flush true;
+            set true;
             if verdict_fails clean then
               Error
-                (Printf.sprintf
-                   "token %s fails even without sabotage: %s" token
+                (Printf.sprintf "token %s fails even without sabotage: %s"
+                   token
                    (Format.asprintf "%a" Linearize.pp_verdict clean.verdict))
             else Ok token
           end)
+
+let recycle_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ])
+    ?(stride = 4) ?(log = ignore) () =
+  (* Two threads, overlapping 2-word CASes over 3 words: operations
+     conflict constantly, so helpers hold references into peers'
+     descriptors across many yield points. With immediate recycle (no
+     epoch limbo) an owner can retire and reuse a slot a helper still
+     points at — caught by [Op.help]'s recycled-while-referenced
+     detector, or by the durable-linearizability checker when the stale
+     reference corrupts a crash image. *)
+  let scenario = pmwcas ~threads:2 ~ops:4 ~width:2 ~addrs:3 () in
+  sabotage_selftest ~set:Pool.set_sabotage_immediate_recycle
+    ~missing:"immediate recycle (epoch limbo bypassed) was NOT detected"
+    ~seeds ~stride ~log scenario
+
+let broken_helper_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(stride = 1)
+    ?(log = ignore) () =
+  let scenario = pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:4 () in
+  sabotage_selftest ~set:Op.set_sabotage_skip_precommit_flush
+    ~missing:"sabotaged precommit flush was NOT detected" ~seeds ~stride ~log
+    scenario

@@ -127,3 +127,16 @@ val broken_helper_selftest :
     under sabotage and (b) the same token is clean without sabotage.
     [Ok token] when all three hold; [Error reason] otherwise — a
     passing DST harness must return [Ok]. *)
+
+val recycle_selftest :
+  ?seeds:int list -> ?stride:int -> ?log:(string -> unit) -> unit ->
+  (string, string) result
+(** Same shape for the descriptor-recycling protocol: enable
+    {!Pmwcas.Pool.set_sabotage_immediate_recycle} (retired slots skip the
+    epoch limbo list and are reused at once) and hunt a high-conflict
+    PMwCAS scenario for the resulting use-after-recycle — a helper
+    entering a descriptor after its slot was retired, flagged by
+    [Op.help]'s recycled-while-referenced check or by the
+    linearizability checker. The found token must fail under sabotage
+    and pass clean, demonstrating that epoch limbo is what prevents
+    reuse-under-readers. *)

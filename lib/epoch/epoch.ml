@@ -121,6 +121,7 @@ let safe_before t =
   if !m = max_int then current t + 1 else !m
 
 let pinned g = g.depth > 0
+let limbo g = g.garbage_len
 
 let enter g =
   check_live g;

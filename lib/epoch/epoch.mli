@@ -45,6 +45,10 @@ val with_guard : guard -> (unit -> 'a) -> 'a
 val defer : guard -> (unit -> unit) -> unit
 (** Schedule a callback to run once every epoch pinned now is gone. *)
 
+val limbo : guard -> int
+(** Depth of this guard's limbo list: callbacks deferred but not yet
+    reclaimed (excludes orphans handed to the manager by [unregister]). *)
+
 val current : t -> int
 (** Current global epoch. *)
 

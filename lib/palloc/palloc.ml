@@ -2,23 +2,90 @@ module Mem = Nvram.Mem
 
 let magic = 0x9a110c (* "palloc" *)
 let num_classes = 32
+let max_arenas = 64
+
+(* Soft cap on the words a single carve may pre-claim: chunked carving
+   amortizes the arena lock and the bump-pointer flush over several
+   blocks for small classes without letting large classes hoard space. *)
+let carve_words_target = 64
+
+(* --- allocation telemetry ------------------------------------------- *)
+
+(* Process-global sharded counters (see Telemetry.Sharded): where did
+   allocations come from (domain cache / arena free list / fresh carve /
+   another domain's arena), and how much did carving pre-claim. *)
+let f_cache = 0 (* allocations served by the handle's carve cache *)
+let f_list = 1 (* allocations served by an arena free list *)
+let f_carve = 2 (* carve calls (lock acquisitions) *)
+let f_carved_blocks = 3 (* blocks pre-claimed by carves *)
+let f_steal = 4 (* allocations that fell back to a non-home arena *)
+let counters_cells = Telemetry.Sharded.create ~fields:5
+
+type counters = {
+  cache_hits : int;
+  freelist_hits : int;
+  carves : int;
+  carved_blocks : int;
+  arena_steals : int;
+}
+
+let counters () =
+  let sum = Telemetry.Sharded.sum counters_cells in
+  {
+    cache_hits = sum f_cache;
+    freelist_hits = sum f_list;
+    carves = sum f_carve;
+    carved_blocks = sum f_carved_blocks;
+    arena_steals = sum f_steal;
+  }
+
+let reset_counters () = Telemetry.Sharded.reset counters_cells
+
+let counters_to_json c =
+  Telemetry.Value.Obj
+    [
+      ("cache_hits", Telemetry.Value.Int c.cache_hits);
+      ("freelist_hits", Telemetry.Value.Int c.freelist_hits);
+      ("carves", Telemetry.Value.Int c.carves);
+      ("carved_blocks", Telemetry.Value.Int c.carved_blocks);
+      ("arena_steals", Telemetry.Value.Int c.arena_steals);
+    ]
+
+let pp_counters ppf c = Telemetry.Value.pp_flat ppf (counters_to_json c)
+
+(* One shard of the heap: its own durable bump pointer, carve lock and
+   volatile free lists, so domains mapped to different arenas never
+   contend on either the lock or the free-list CAS. *)
+type arena = {
+  a_base : int;
+  a_limit : int; (* first word past this arena *)
+  next_addr : int; (* durable bump pointer *)
+  free_lists : int list Atomic.t array; (* header offsets, per class *)
+  lock : Mutex.t;
+}
 
 type t = {
   mem : Mem.t;
   persistent : bool;
   base : int;
   limit : int; (* first word past the heap *)
-  heap_next_addr : int;
   magic_addr : int;
+  arenas_addr : int;
+  threads_addr : int;
   slots_base : int;
   max_threads : int;
-  heap_base : int;
-  free_lists : int list Atomic.t array; (* header offsets, per size class *)
+  arenas : arena array;
   claimed : bool Atomic.t array;
-  carve_lock : Mutex.t;
+  carve_blocks : int;
 }
 
-type handle = { t : t; slot : int; mutable live : bool }
+type handle = {
+  t : t;
+  slot : int;
+  home : int; (* arena index this handle carves from *)
+  cache : int list array; (* per class, durably-free header offsets *)
+  mutable live : bool;
+}
 
 (* Header encoding: [size_class * 2 + allocated_bit]; 0 = never carved. *)
 let hdr ~cls ~allocated = (((cls + 1) * 2) + if allocated then 1 else 0)
@@ -30,7 +97,8 @@ let class_of nwords =
   let rec go c = if class_size c >= nwords then c else go (c + 1) in
   go 0
 
-let metadata_words ~max_threads = 8 + (2 * max_threads) + 8
+let metadata_words ?(arenas = 8) ~max_threads () =
+  8 + (2 * max_threads) + 8 + arenas + 8
 
 let line_align mem a =
   let lw = (Mem.config mem).line_words in
@@ -39,74 +107,143 @@ let line_align mem a =
 let clwb t a = if t.persistent then Mem.clwb t.mem a
 let fence t = if t.persistent then Mem.fence t.mem
 
-let layout mem ~persistent ~base ~words ~max_threads =
+let default_arenas ~max_threads = min max_threads 8
+
+(* Geometry is a pure function of (base, words, max_threads, narenas):
+   [create] persists [narenas] in the header and [recover] reads it back,
+   so both sides always carve the identical arena boundaries. *)
+let layout mem ~persistent ~base ~words ~max_threads ~narenas ~carve_blocks =
   if max_threads <= 0 then invalid_arg "Palloc: max_threads <= 0";
+  if narenas <= 0 || narenas > max_arenas then
+    invalid_arg "Palloc: arena count out of range";
+  if carve_blocks <= 0 then invalid_arg "Palloc: carve_blocks <= 0";
   if base < 0 || words <= 0 || base + words > Mem.size mem then
     invalid_arg "Palloc: region out of device bounds";
   if base <> line_align mem base then
     invalid_arg "Palloc: base must be cache-line aligned";
-  let heap_next_addr = base in
-  let magic_addr = base + 1 in
-  let slots_base = line_align mem (base + 2) in
-  let heap_base = line_align mem (slots_base + (2 * max_threads)) in
+  let magic_addr = base in
+  let arenas_addr = base + 1 in
+  let threads_addr = base + 2 in
+  let slots_base = line_align mem (base + 3) in
+  let nexts_base = line_align mem (slots_base + (2 * max_threads)) in
+  let heap0 = line_align mem (nexts_base + narenas) in
   let limit = base + words in
-  if heap_base + 2 > limit then invalid_arg "Palloc: region too small";
+  if heap0 + 2 > limit then invalid_arg "Palloc: region too small";
+  let span = limit - heap0 in
+  let bound i =
+    if i = 0 then heap0
+    else if i = narenas then limit
+    else line_align mem (heap0 + (i * span / narenas))
+  in
+  let arenas =
+    Array.init narenas (fun i ->
+        {
+          a_base = bound i;
+          a_limit = bound (i + 1);
+          next_addr = nexts_base + i;
+          free_lists = Array.init num_classes (fun _ -> Atomic.make []);
+          lock = Mutex.create ();
+        })
+  in
+  Array.iter
+    (fun a ->
+      if a.a_limit - a.a_base < 2 then
+        invalid_arg "Palloc: region too small for this many arenas")
+    arenas;
   {
     mem;
     persistent;
     base;
     limit;
-    heap_next_addr;
     magic_addr;
+    arenas_addr;
+    threads_addr;
     slots_base;
     max_threads;
-    heap_base;
-    free_lists = Array.init num_classes (fun _ -> Atomic.make []);
+    arenas;
     claimed = Array.init max_threads (fun _ -> Atomic.make false);
-    carve_lock = Mutex.create ();
+    carve_blocks;
   }
 
-let create ?persistent mem ~base ~words ~max_threads =
+(* Shrink the requested arena count until every shard gets a useful
+   slice; tiny test heaps collapse to one arena rather than failing. *)
+let fit_arenas mem ~base ~words ~max_threads ~narenas =
+  let lw = (Mem.config mem).line_words in
+  let rec go n =
+    if n <= 1 then 1
+    else
+      let slots_base = line_align mem (base + 3) in
+      let nexts_base = line_align mem (slots_base + (2 * max_threads)) in
+      let heap0 = line_align mem (nexts_base + n) in
+      let span = base + words - heap0 in
+      if span >= n * 4 * lw then n else go (n / 2)
+  in
+  go narenas
+
+let create ?persistent ?arenas:requested ?(carve_blocks = 8) mem ~base ~words
+    ~max_threads =
   let persistent = Option.value persistent ~default:(Mem.durable mem) in
   if persistent && not (Mem.durable mem) then
     invalid_arg "Palloc.create: persistent allocator requires a durable backend";
-  let t = layout mem ~persistent ~base ~words ~max_threads in
-  Mem.write mem t.heap_next_addr t.heap_base;
+  let requested =
+    Option.value requested ~default:(default_arenas ~max_threads)
+  in
+  if requested <= 0 || requested > max_arenas then
+    invalid_arg "Palloc.create: arena count out of range";
+  let narenas = fit_arenas mem ~base ~words ~max_threads ~narenas:requested in
+  let t =
+    layout mem ~persistent ~base ~words ~max_threads ~narenas ~carve_blocks
+  in
   Mem.write mem t.magic_addr magic;
+  Mem.write mem t.arenas_addr narenas;
+  Mem.write mem t.threads_addr max_threads;
   for i = 0 to max_threads - 1 do
     Mem.write mem (t.slots_base + (2 * i)) 0;
     Mem.write mem (t.slots_base + (2 * i) + 1) 0
   done;
+  Array.iter (fun a -> Mem.write mem a.next_addr a.a_base) t.arenas;
   if persistent then begin
-    Mem.clwb mem t.heap_next_addr;
+    Mem.clwb_range mem ~lo:t.magic_addr ~hi:t.threads_addr;
     let lw = (Mem.config mem).line_words in
     let a = ref t.slots_base in
     while !a < t.slots_base + (2 * max_threads) do
       Mem.clwb mem !a;
       a := !a + lw
     done;
+    Array.iter (fun a -> Mem.clwb mem a.next_addr) t.arenas;
     Mem.fence mem
   end;
   t
 
 let base t = t.base
 let mem t = t.mem
+let arenas t = Array.length t.arenas
 
-let register_thread t =
+let register_thread ?arena t =
   let rec claim i =
     if i >= t.max_threads then failwith "Palloc.register_thread: no slots"
     else if Atomic.compare_and_set t.claimed.(i) false true then i
     else claim (i + 1)
   in
-  { t; slot = claim 0; live = true }
+  let slot = claim 0 in
+  let narenas = Array.length t.arenas in
+  let home =
+    match arena with Some a -> a mod narenas | None -> slot mod narenas
+  in
+  { t; slot; home; cache = Array.make num_classes []; live = true }
 
-let release_thread h =
-  if not h.live then invalid_arg "Palloc: handle already released";
-  h.live <- false;
-  Atomic.set h.t.claimed.(h.slot) false
+let arena_of_addr t b =
+  let rec go i =
+    if i >= Array.length t.arenas then
+      invalid_arg "Palloc: address outside heap"
+    else
+      let a = t.arenas.(i) in
+      if b >= a.a_base && b < a.a_limit then a else go (i + 1)
+  in
+  go 0
 
-let pop_free t cls =
-  let l = t.free_lists.(cls) in
+let pop_free a cls =
+  let l = a.free_lists.(cls) in
   let rec loop () =
     match Atomic.get l with
     | [] -> None
@@ -115,54 +252,146 @@ let pop_free t cls =
   in
   loop ()
 
-let push_free t cls b =
-  let l = t.free_lists.(cls) in
+let push_free a cls b =
+  let l = a.free_lists.(cls) in
   let rec loop () =
     let cur = Atomic.get l in
     if not (Atomic.compare_and_set l cur (b :: cur)) then loop ()
   in
   loop ()
 
-(* Extend the heap by one block of class [cls]; returns the header offset.
-   Ordering for recovery: the free header is durable before the durable
-   bump-pointer update makes the block part of the scannable heap. *)
-let carve t cls =
-  Mutex.lock t.carve_lock;
+let release_thread h =
+  if not h.live then invalid_arg "Palloc: handle already released";
+  h.live <- false;
+  (* Cached blocks are durably free headers — hand them back to their
+     arena's free lists so nothing is stranded behind a dead handle. *)
+  Array.iteri
+    (fun cls blocks ->
+      List.iter (fun b -> push_free (arena_of_addr h.t b) cls b) blocks;
+      h.cache.(cls) <- [])
+    h.cache;
+  Atomic.set h.t.claimed.(h.slot) false
+
+exception Arena_full
+
+(* Extend [a]'s heap by up to [want] blocks of class [cls]; returns the
+   header offsets (at least one, or raises [Arena_full]). Ordering for
+   recovery, per arena: every pre-claimed free header is durable before
+   the one durable bump-pointer update makes the chunk part of the
+   scannable heap — the same free-header-before-bump order as a
+   single-block carve, paid once per chunk instead of once per block. *)
+let carve_chunk t a cls ~want =
+  Mutex.lock a.lock;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.carve_lock)
+    ~finally:(fun () -> Mutex.unlock a.lock)
     (fun () ->
-      (* Hook-masked: a scheduler yield taken while holding [carve_lock]
-         would deadlock other carvers on a single-domain cooperative
+      (* Hook-masked: a scheduler yield taken while holding the arena
+         lock would deadlock other carvers on a single-domain cooperative
          run (see [Mem.mask_hook]). *)
       Mem.mask_hook t.mem @@ fun () ->
-      let next = Mem.read t.mem t.heap_next_addr in
+      let next = Mem.read t.mem a.next_addr in
       let total = 1 + class_size cls in
-      if next + total > t.limit then failwith "Palloc.alloc: out of memory";
-      Mem.write t.mem next (hdr ~cls ~allocated:false);
-      clwb t next;
-      (* Drain before the bump-pointer store executes: the header must be
-         durable before any durable [heap_next] covers it, or recovery's
+      let fit = min want ((a.a_limit - next) / total) in
+      if fit <= 0 then raise Arena_full;
+      for k = 0 to fit - 1 do
+        Mem.write t.mem (next + (k * total)) (hdr ~cls ~allocated:false)
+      done;
+      if t.persistent then begin
+        let lw = (Mem.config t.mem).line_words in
+        if total < lw then
+          Mem.clwb_range t.mem ~lo:next ~hi:(next + (fit * total) - 1)
+        else
+          for k = 0 to fit - 1 do
+            Mem.clwb t.mem (next + (k * total))
+          done
+      end;
+      (* Drain before the bump-pointer store executes: the headers must be
+         durable before any durable [next] covers them, or recovery's
          heap walk reads an uncarved word. *)
       fence t;
-      Mem.write t.mem t.heap_next_addr (next + total);
-      clwb t t.heap_next_addr;
-      (* And the new bump pointer must be durable before the block is
+      Mem.write t.mem a.next_addr (next + (fit * total));
+      clwb t a.next_addr;
+      (* And the new bump pointer must be durable before any block is
          delivered: a crash image whose walk stops short of a block the
          application durably references would let a later carve hand the
          same words out twice. *)
       fence t;
-      next)
+      List.init fit (fun k -> next + (k * total)))
 
-let obtain t ~nwords =
+let chunk_blocks t cls =
+  max 1 (min t.carve_blocks (carve_words_target / (1 + class_size cls)))
+
+(* Carve a chunk from [a]; first block satisfies the caller, the rest
+   stock the handle's cache for lock-free follow-up allocations. *)
+let carve_into_cache h a cls =
+  match carve_chunk h.t a cls ~want:(chunk_blocks h.t cls) with
+  | [] -> None
+  | b :: rest ->
+      Telemetry.Sharded.incr counters_cells f_carve;
+      Telemetry.Sharded.add counters_cells f_carved_blocks (1 + List.length rest);
+      h.cache.(cls) <- rest @ h.cache.(cls);
+      Some b
+  | exception Arena_full -> None
+
+let oom t cls =
+  let per_arena =
+    String.concat " "
+      (Array.to_list
+         (Array.mapi
+            (fun i a ->
+              Printf.sprintf "a%d:carved=%d/%d" i
+                (Mem.read t.mem a.next_addr - a.a_base)
+                (a.a_limit - a.a_base))
+            t.arenas))
+  in
+  failwith
+    (Printf.sprintf "Palloc.alloc: out of memory (class %d, %d+1 words; %s)"
+       cls (class_size cls) per_arena)
+
+let obtain h ~nwords =
+  let t = h.t in
   let cls = class_of nwords in
-  let b = match pop_free t cls with Some b -> b | None -> carve t cls in
-  (cls, b)
+  match h.cache.(cls) with
+  | b :: rest ->
+      (* Common case: a block this domain already pre-claimed under the
+         arena lock — no atomics at all. *)
+      h.cache.(cls) <- rest;
+      Telemetry.Sharded.incr counters_cells f_cache;
+      (cls, b)
+  | [] -> (
+      let home = t.arenas.(h.home) in
+      match pop_free home cls with
+      | Some b ->
+          Telemetry.Sharded.incr counters_cells f_list;
+          (cls, b)
+      | None -> (
+          match carve_into_cache h home cls with
+          | Some b -> (cls, b)
+          | None ->
+              (* Home arena exhausted for this class: fall back over the
+                 other shards before giving up. *)
+              let n = Array.length t.arenas in
+              let rec fallback i =
+                if i >= n then oom t cls
+                else
+                  let j = (h.home + i) mod n in
+                  let a = t.arenas.(j) in
+                  match pop_free a cls with
+                  | Some b -> b
+                  | None -> (
+                      match carve_into_cache h a cls with
+                      | Some b -> b
+                      | None -> fallback (i + 1))
+              in
+              let b = fallback 1 in
+              Telemetry.Sharded.incr counters_cells f_steal;
+              (cls, b)))
 
 let slot_block h = h.t.slots_base + (2 * h.slot)
 let slot_dest h = h.t.slots_base + (2 * h.slot) + 1
 
-(* End-to-end allocation latency: covers free-list pop / carve, the
-   activation record and its flushes. On-demand so the registry entry
+(* End-to-end allocation latency: covers cache / free-list pop / carve,
+   the activation record and its flushes. On-demand so the registry entry
    only appears once an allocator runs. *)
 let alloc_hist = Telemetry.on_demand "palloc.alloc_ns"
 
@@ -176,7 +405,7 @@ let alloc h ~nwords ~dest =
   let stats_sh = Mem.stats t.mem in
   let prev_phase = Nvram.Stats.current_phase stats_sh in
   Nvram.Stats.set_phase stats_sh Nvram.Stats.Alloc;
-  let cls, b = obtain t ~nwords in
+  let cls, b = obtain h ~nwords in
   let payload = b + 1 in
   if t.persistent then begin
     (* Activation record. Dest word is written before the block word so a
@@ -218,15 +447,17 @@ let alloc_unsafe h ~nwords =
   if not h.live then invalid_arg "Palloc: handle already released";
   if nwords <= 0 then invalid_arg "Palloc.alloc: nwords <= 0";
   let t = h.t in
-  let cls, b = obtain t ~nwords in
+  let cls, b = obtain h ~nwords in
   Mem.write t.mem b (hdr ~cls ~allocated:true);
   clwb t b;
   fence t;
   b + 1
 
+let heap_lo t = t.arenas.(0).a_base
+
 let header_of t payload =
   let b = payload - 1 in
-  if b < t.heap_base || b >= t.limit then
+  if b < heap_lo t || b >= t.limit then
     invalid_arg "Palloc: address outside heap";
   b
 
@@ -256,7 +487,7 @@ let mark_free_if_allocated t payload =
 
 let enlist t payload =
   let b, _, cls = block_class t payload ~who:"Palloc.enlist" in
-  push_free t cls b
+  push_free (arena_of_addr t b) cls b
 
 let free t payload =
   mark_free t payload;
@@ -272,12 +503,29 @@ let usable_size t payload =
   if h = 0 then invalid_arg "Palloc.usable_size: not a block";
   class_size (hdr_class h)
 
-let recover mem ~base ~words ~max_threads =
+let recover ?(carve_blocks = 8) mem ~base ~words ~max_threads =
   if not (Mem.durable mem) then
     invalid_arg "Palloc.recover: requires a durable backend";
-  let t = layout mem ~persistent:true ~base ~words ~max_threads in
-  if Mem.read mem t.magic_addr <> magic then
+  if Mem.read mem base <> magic then
     failwith "Palloc.recover: bad magic (region was never formatted)";
+  let corrupt what =
+    failwith (Printf.sprintf "Palloc.recover: corrupt header (%s)" what)
+  in
+  let narenas = Mem.read mem (base + 1) in
+  if narenas <= 0 || narenas > max_arenas then
+    corrupt (Printf.sprintf "arena count %d" narenas);
+  let stored_threads = Mem.read mem (base + 2) in
+  if stored_threads <> max_threads then
+    corrupt
+      (Printf.sprintf "max_threads %d, expected %d" stored_threads max_threads);
+  let t =
+    match
+      layout mem ~persistent:true ~base ~words ~max_threads ~narenas
+        ~carve_blocks
+    with
+    | t -> t
+    | exception Invalid_argument m -> corrupt m
+  in
   (* Phase 1: resolve in-flight activation records. *)
   let rolled_back = ref 0 in
   for i = 0 to max_threads - 1 do
@@ -306,19 +554,27 @@ let recover mem ~base ~words ~max_threads =
   (* Drain the record resolutions before the allocator goes back into
      service. *)
   Mem.fence mem;
-  (* Phase 2: rebuild volatile free lists from the durable headers. *)
-  let heap_next = Mem.read mem t.heap_next_addr in
-  let p = ref t.heap_base in
-  while !p < heap_next do
-    let h = Mem.read mem !p in
-    let cls = hdr_class h in
-    if h = 0 || cls < 0 || cls >= num_classes then
-      failwith
-        (Printf.sprintf "Palloc.recover: corrupt header %d at %d" h !p);
-    if not (hdr_allocated h) then push_free t cls !p;
-    p := !p + 1 + class_size cls
-  done;
-  if !p <> heap_next then failwith "Palloc.recover: heap walk overran";
+  (* Phase 2: rebuild volatile free lists by walking every arena's
+     durable headers up to its durable bump pointer. Blocks that sat in
+     a handle's carve cache at the crash are durably free and re-enlist
+     here — caches are volatile, nothing leaks. *)
+  Array.iter
+    (fun a ->
+      let heap_next = Mem.read mem a.next_addr in
+      if heap_next < a.a_base || heap_next > a.a_limit then
+        corrupt (Printf.sprintf "bump pointer %d outside arena" heap_next);
+      let p = ref a.a_base in
+      while !p < heap_next do
+        let h = Mem.read mem !p in
+        let cls = hdr_class h in
+        if h = 0 || cls < 0 || cls >= num_classes then
+          failwith
+            (Printf.sprintf "Palloc.recover: corrupt header %d at %d" h !p);
+        if not (hdr_allocated h) then push_free a cls !p;
+        p := !p + 1 + class_size cls
+      done;
+      if !p <> heap_next then failwith "Palloc.recover: heap walk overran")
+    t.arenas;
   (t, !rolled_back)
 
 type audit = {
@@ -331,41 +587,49 @@ type audit = {
 }
 
 let audit t =
-  let heap_next = Mem.read t.mem t.heap_next_addr in
   let free_set = Hashtbl.create 64 in
   Array.iter
-    (fun l ->
-      List.iter
-        (fun b ->
-          if Hashtbl.mem free_set b then
-            failwith "Palloc.audit: block on a free list twice";
-          Hashtbl.add free_set b ())
-        (Atomic.get l))
-    t.free_lists;
+    (fun a ->
+      Array.iter
+        (fun l ->
+          List.iter
+            (fun b ->
+              if Hashtbl.mem free_set b then
+                failwith "Palloc.audit: block on a free list twice";
+              Hashtbl.add free_set b ())
+            (Atomic.get l))
+        a.free_lists)
+    t.arenas;
   let ab = ref 0
   and aw = ref 0
   and fb = ref 0
-  and fw = ref 0 in
-  let p = ref t.heap_base in
-  while !p < heap_next do
-    let h = Mem.read t.mem !p in
-    let cls = hdr_class h in
-    if h = 0 || cls < 0 || cls >= num_classes then
-      failwith (Printf.sprintf "Palloc.audit: corrupt header %d at %d" h !p);
-    let sz = class_size cls in
-    if hdr_allocated h then begin
-      if Hashtbl.mem free_set !p then
-        failwith "Palloc.audit: allocated block on a free list";
-      incr ab;
-      aw := !aw + sz
-    end
-    else begin
-      incr fb;
-      fw := !fw + sz
-    end;
-    p := !p + 1 + sz
-  done;
-  if !p <> heap_next then failwith "Palloc.audit: heap walk overran";
+  and fw = ref 0
+  and cw = ref 0 in
+  Array.iter
+    (fun a ->
+      let heap_next = Mem.read t.mem a.next_addr in
+      cw := !cw + (heap_next - a.a_base);
+      let p = ref a.a_base in
+      while !p < heap_next do
+        let h = Mem.read t.mem !p in
+        let cls = hdr_class h in
+        if h = 0 || cls < 0 || cls >= num_classes then
+          failwith (Printf.sprintf "Palloc.audit: corrupt header %d at %d" h !p);
+        let sz = class_size cls in
+        if hdr_allocated h then begin
+          if Hashtbl.mem free_set !p then
+            failwith "Palloc.audit: allocated block on a free list";
+          incr ab;
+          aw := !aw + sz
+        end
+        else begin
+          incr fb;
+          fw := !fw + sz
+        end;
+        p := !p + 1 + sz
+      done;
+      if !p <> heap_next then failwith "Palloc.audit: heap walk overran")
+    t.arenas;
   Hashtbl.iter
     (fun b () ->
       let h = Mem.read t.mem b in
@@ -380,7 +644,7 @@ let audit t =
     allocated_words = !aw;
     free_blocks = !fb;
     free_words = !fw;
-    carved_words = heap_next - t.heap_base;
+    carved_words = !cw;
     in_flight = !in_flight;
   }
 

@@ -16,12 +16,22 @@
     inside the allocator's metadata region, mirroring the reserve/activate
     split of persistent allocators the paper builds on.
 
-    Internally: segregated power-of-two size classes over a persistent
-    bump region. Block headers (1 word: size class + allocated bit) are
-    durable; free lists are volatile and rebuilt by [recover]'s heap scan.
-    Freed blocks are recycled exactly, never split or coalesced, bounding
-    internal fragmentation at 2x — adequate for index nodes, and it keeps
-    the recovery scan trivially linear.
+    Internally the heap is split into {e arenas} — independent shards,
+    each with its own durable bump pointer, carve lock and volatile free
+    lists — and every handle has a {e home} arena plus a per-size-class
+    {e carve cache}: taking the home arena's lock carves a chunk of
+    several blocks at once (all headers made durable before the single
+    durable bump-pointer update), the first block satisfies the
+    allocation and the rest are served later with no locks or atomics at
+    all. Handles mapped to different arenas therefore never contend.
+    Caches are volatile: a crash leaves cached blocks as durably-free
+    headers that [recover]'s per-arena heap scan re-enlists.
+
+    Segregated power-of-two size classes; block headers (1 word: size
+    class + allocated bit) are durable; free lists are volatile and
+    rebuilt by [recover]. Freed blocks are recycled exactly, never split
+    or coalesced, bounding internal fragmentation at 2x — adequate for
+    index nodes, and it keeps the recovery scan trivially linear.
 
     A [persistent:false] allocator skips every flush (for volatile-mode
     indexes); such a heap cannot be recovered but behaves identically
@@ -30,43 +40,72 @@
 type t
 
 type handle
-(** Per-thread handle owning one activation record. Not thread-safe:
-    one handle per domain. *)
+(** Per-thread handle owning one activation record, a home arena and the
+    carve caches. Not thread-safe: one handle per domain. *)
 
-val metadata_words : max_threads:int -> int
-(** Words of the region consumed by allocator metadata for sizing. *)
+val metadata_words : ?arenas:int -> max_threads:int -> unit -> int
+(** Words of the region consumed by allocator metadata for sizing
+    ([arenas] defaults to the [create] default's upper bound, 8). *)
 
 val create :
-  ?persistent:bool -> Nvram.Mem.t -> base:int -> words:int -> max_threads:int
-  -> t
+  ?persistent:bool ->
+  ?arenas:int ->
+  ?carve_blocks:int ->
+  Nvram.Mem.t ->
+  base:int ->
+  words:int ->
+  max_threads:int ->
+  t
 (** Format a fresh allocator over [\[base, base+words)]. [max_threads]
-    bounds concurrently registered handles. [persistent] defaults to
-    [Mem.durable mem]: flushes are elided automatically on a volatile
-    (DRAM) backend, and requesting [persistent:true] on one is an error.
+    bounds concurrently registered handles. [arenas] (default
+    [min max_threads 8]) requests the shard count; it is durably recorded
+    in the header and automatically reduced when the region is too small
+    to give every shard a useful slice. [carve_blocks] (default 8) caps
+    the blocks a single carve pre-claims into the caller's cache (small
+    classes carve up to this many; large classes carve fewer so no class
+    hoards space). [persistent] defaults to [Mem.durable mem]: flushes
+    are elided automatically on a volatile (DRAM) backend, and requesting
+    [persistent:true] on one is an error.
     @raise Invalid_argument if the region is too small or out of bounds,
     or if [persistent:true] is requested on a non-durable backend. *)
 
 val recover :
-  Nvram.Mem.t -> base:int -> words:int -> max_threads:int -> t * int
+  ?carve_blocks:int ->
+  Nvram.Mem.t ->
+  base:int ->
+  words:int ->
+  max_threads:int ->
+  t * int
 (** Attach to a previously formatted region inside a crash image and run
     allocator recovery: resolve every in-flight activation record (roll
-    forward or back) and rebuild the volatile free lists by scanning block
-    headers. Returns the allocator and the number of in-flight allocations
-    that were rolled {e back}. Single-threaded, run before any worker
-    starts (and before PMwCAS recovery, which may call [free]). *)
+    forward or back) and rebuild the volatile free lists by scanning each
+    arena's block headers up to its durable bump pointer. The arena count
+    is read back from the durable header, so the geometry always matches
+    the [create] that formatted the region. Returns the allocator and the
+    number of in-flight allocations that were rolled {e back}.
+    Single-threaded, run before any worker starts (and before PMwCAS
+    recovery, which may call [free]). *)
 
-val register_thread : t -> handle
-(** Claim an activation record. @raise Failure if [max_threads] handles
-    are live. *)
+val register_thread : ?arena:int -> t -> handle
+(** Claim an activation record. [arena] pins the handle's home arena
+    (reduced mod the arena count — callers pass a partition index, e.g.
+    {!Pool.handle_part}, to co-shard allocator and descriptor pool);
+    default is the record slot mod the arena count, spreading handles
+    round-robin. @raise Failure if [max_threads] handles are live. *)
 
 val release_thread : handle -> unit
+(** Release the record. Cached blocks are handed back to their arena's
+    free lists first, so nothing is stranded behind a dead handle. *)
 
 val alloc : handle -> nwords:int -> dest:Nvram.Mem.addr -> Nvram.Mem.addr
 (** Allocate at least [nwords] words; durably deliver the block address
     into [dest] (which is first durably nulled) and return it. The block's
     content is NOT zeroed — callers initialize and persist it themselves
     (freshly carved space is zero; recycled blocks carry old data, as in C).
-    @raise Failure ([Out of memory]) when the heap is exhausted
+    Served from the handle's cache, then the home arena's free list, then
+    a fresh carve, then the other arenas.
+    @raise Failure ([Out of memory]) when every arena is exhausted, with
+    a per-arena occupancy diagnostic
     @raise Invalid_argument if [nwords <= 0]. *)
 
 val alloc_unsafe : handle -> nwords:int -> Nvram.Mem.addr
@@ -77,9 +116,9 @@ val alloc_unsafe : handle -> nwords:int -> Nvram.Mem.addr
     hazard. *)
 
 val free : t -> Nvram.Mem.addr -> unit
-(** Return a block (by the address [alloc] returned) to its size class.
-    Thread-safe; durable before the block is recyclable.
-    Equivalent to [mark_free] followed by [enlist].
+(** Return a block (by the address [alloc] returned) to its size class in
+    the arena it was carved from. Thread-safe; durable before the block
+    is recyclable. Equivalent to [mark_free] followed by [enlist].
     @raise Invalid_argument on a non-block address or double free. *)
 
 val mark_free : t -> Nvram.Mem.addr -> unit
@@ -96,14 +135,18 @@ val mark_free_if_allocated : t -> Nvram.Mem.addr -> bool
     @raise Invalid_argument on a non-block address. *)
 
 val enlist : t -> Nvram.Mem.addr -> unit
-(** Make a block previously [mark_free]d recyclable. The caller owns the
-    ordering; enlisting a block twice corrupts the free lists. *)
+(** Make a block previously [mark_free]d recyclable (in its own arena).
+    The caller owns the ordering; enlisting a block twice corrupts the
+    free lists. *)
 
 val usable_size : t -> Nvram.Mem.addr -> int
 (** Actual capacity of the block (>= requested [nwords]). *)
 
 val base : t -> int
 val mem : t -> Nvram.Mem.t
+
+val arenas : t -> int
+(** Number of arenas the heap was formatted with. *)
 
 (** {1 Introspection (tests, space accounting)} *)
 
@@ -117,8 +160,31 @@ type audit = {
 }
 
 val audit : t -> audit
-(** Walk the heap headers and cross-check against the free lists.
+(** Walk every arena's headers and cross-check against the free lists.
     @raise Failure on any inconsistency (corrupt header, free-list entry
     whose header is not free, overlapping blocks). *)
 
 val pp_audit : Format.formatter -> audit -> unit
+
+(** {1 Allocation counters}
+
+    Process-global (across every allocator), sharded per domain: where
+    allocations were served from. [cache_hits] is the contention-free
+    fast path; [arena_steals] counts fall-backs to a non-home arena
+    (a sign the home arena is exhausted). *)
+
+type counters = {
+  cache_hits : int;
+  freelist_hits : int;
+  carves : int;
+  carved_blocks : int;
+  arena_steals : int;
+}
+
+val counters : unit -> counters
+
+val reset_counters : unit -> unit
+(** Zero the process-global counters (tests and fresh benchmark runs). *)
+
+val counters_to_json : counters -> Telemetry.Value.t
+val pp_counters : Format.formatter -> counters -> unit

@@ -114,10 +114,14 @@ let register ?seed t =
   let seed =
     match seed with Some s -> s | None -> (Domain.self () :> int) + 7919
   in
+  let ph = Pool.register t.pool in
   {
     sl = t;
-    ph = Pool.register t.pool;
-    pa = Palloc.register_thread t.palloc;
+    ph;
+    (* Co-shard allocator and descriptor pool: this domain carves from
+       the arena matching its pool partition, so index allocations never
+       contend with other domains' in the common case. *)
+    pa = Palloc.register_thread ~arena:(Pool.handle_part ph) t.palloc;
     rng = Random.State.make [| seed |];
   }
 

@@ -18,13 +18,18 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== telemetry smoke (with flush-coalescing gate)"
+echo "== telemetry smoke (with flush-coalescing + allocator-counter gates)"
 dune exec bench/main.exe -- smoke --metrics /tmp/telemetry_smoke.json
 dune exec bin/pmwcas_cli.exe -- check-metrics --require-coalescing \
-  /tmp/telemetry_smoke.json
+  --require-alloc-counters /tmp/telemetry_smoke.json
 
 echo "== crash-sweep smoke"
 dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 60 --seeds 1
+
+echo "== crash-sweep: per-domain pool + arena-palloc suites"
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 80 --seeds 2
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite palloc --budget 80 \
+  --seeds 2
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 120 \
   --seeds 1 --sabotage
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 40 \
@@ -49,5 +54,18 @@ if dune exec bin/pmwcas_cli.exe -- dst --replay "$token" --sabotage; then
 fi
 # ...and be clean without it (exit 0).
 dune exec bin/pmwcas_cli.exe -- dst --replay "$token"
+
+echo "== dst broken-recycle self-test (epoch limbo guards descriptor reuse)"
+dune exec bin/pmwcas_cli.exe -- dst --broken-recycle > /tmp/dst_recycle.out
+cat /tmp/dst_recycle.out
+rtoken=$(sed -n 's/^token: //p' /tmp/dst_recycle.out)
+test -n "$rtoken" || { echo "FAIL: recycle self-test printed no token"; exit 1; }
+# The recycle token replays against the selftest's scenario shape.
+if dune exec bin/pmwcas_cli.exe -- dst --threads 2 --ops 4 --width 2 \
+  --addrs 3 --replay "$rtoken" --sabotage-recycle; then
+  echo "FAIL: sabotage-recycle replay of $rtoken exited 0"; exit 1
+fi
+dune exec bin/pmwcas_cli.exe -- dst --threads 2 --ops 4 --width 2 --addrs 3 \
+  --replay "$rtoken"
 
 echo "check: all green"

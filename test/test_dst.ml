@@ -507,6 +507,15 @@ let selftest_tests =
             Alcotest.(check bool) "token has a crash point" true
               (crash <> None)
         | Error reason -> Alcotest.fail reason);
+    Alcotest.test_case "immediate recycle caught; limbo protects helpers"
+      `Quick (fun () ->
+        (* The dual self-test: with epoch limbo bypassed, some
+           interleaving must expose a helper touching a recycled
+           descriptor; the same schedule must be clean when retirement
+           goes through limbo. *)
+        match Scenarios.recycle_selftest ~seeds:[ 1; 2; 3; 4 ] ~stride:4 () with
+        | Ok _token -> ()
+        | Error reason -> Alcotest.fail reason);
   ]
 
 let () =

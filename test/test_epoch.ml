@@ -200,6 +200,49 @@ let prop_defer_reclaim_conservation =
       ignore (Epoch.drain_all t);
       Array.for_all (fun c -> c = 1) (Array.sub runs 0 n))
 
+let test_limbo_depth_basic () =
+  let t = Epoch.create () in
+  let g = Epoch.register t in
+  Alcotest.(check int) "empty" 0 (Epoch.limbo g);
+  for _ = 1 to 4 do
+    Epoch.defer g (fun () -> ())
+  done;
+  Alcotest.(check int) "parked" 4 (Epoch.limbo g);
+  ignore (Epoch.advance t);
+  ignore (Epoch.reclaim g);
+  Alcotest.(check int) "drained" 0 (Epoch.limbo g);
+  Epoch.unregister g
+
+let prop_limbo_depth_tracks_backlog =
+  QCheck.Test.make ~count:100
+    ~name:"limbo depth tracks the unreclaimed backlog exactly"
+    QCheck.(pair (int_bound 40) (int_bound 6))
+    (fun (n, batch) ->
+      let t = Epoch.create () in
+      let g = Epoch.register t in
+      (* A pinned blocker makes every reclaim attempt a no-op, so the
+         limbo depth must climb monotonically with each defer... *)
+      let blocker = Epoch.register t in
+      Epoch.enter blocker;
+      let ok = ref true in
+      for i = 1 to n do
+        Epoch.defer g (fun () -> ());
+        if Epoch.limbo g <> i then ok := false;
+        if batch > 0 && i mod (batch + 1) = 0 then begin
+          ignore (Epoch.advance t);
+          ignore (Epoch.reclaim g);
+          if Epoch.limbo g <> i then ok := false
+        end
+      done;
+      (* ...and drain to exactly zero once the pin retires. *)
+      Epoch.exit blocker;
+      ignore (Epoch.advance t);
+      ignore (Epoch.reclaim g);
+      let drained = Epoch.limbo g = 0 in
+      Epoch.unregister g;
+      Epoch.unregister blocker;
+      !ok && drained)
+
 let test_counters_track_activity () =
   let before = Epoch.counters () in
   let t = Epoch.create () in
@@ -261,6 +304,8 @@ let () =
             test_guard_unusable_after_unregister;
           Alcotest.test_case "reclamation counters track activity" `Quick
             test_counters_track_activity;
+          Alcotest.test_case "limbo depth counts the parked backlog" `Quick
+            test_limbo_depth_basic;
         ] );
       ( "concurrency",
         [
@@ -268,5 +313,8 @@ let () =
             test_concurrent_no_premature_free;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_defer_reclaim_conservation ] );
+        [
+          QCheck_alcotest.to_alcotest prop_defer_reclaim_conservation;
+          QCheck_alcotest.to_alcotest prop_limbo_depth_tracks_backlog;
+        ] );
     ]

@@ -20,13 +20,18 @@ let expect_failure f =
   with Failure _ -> ()
 
 (* A scratch delivery word: allocate it inside the device but outside the
-   allocator's region by giving the allocator a sub-range. *)
-let make_env_with_scratch () =
+   allocator's region by giving the allocator a sub-range. Tests that
+   assert exact-block recycling pass [~carve_blocks:1] to disable chunked
+   carving (a carve would otherwise stock the handle's cache, and the
+   cache — not the free list — serves the next allocation). *)
+let make_env_with_scratch ?carve_blocks () =
   let words = 4096 in
   let mem = Mem.create (Nvram.Config.make ~words ()) in
   let scratch = 0 in
   (* words 0..7: scratch line *)
-  let t = Palloc.create mem ~base:8 ~words:(words - 8) ~max_threads:4 in
+  let t =
+    Palloc.create ?carve_blocks mem ~base:8 ~words:(words - 8) ~max_threads:4
+  in
   (mem, t, scratch)
 
 let basic_tests =
@@ -52,7 +57,7 @@ let basic_tests =
           [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (9, 16); (33, 64) ];
         Palloc.release_thread h);
     Alcotest.test_case "free recycles exactly" `Quick (fun () ->
-        let _mem, t, dest = make_env_with_scratch () in
+        let _mem, t, dest = make_env_with_scratch ~carve_blocks:1 () in
         let h = Palloc.register_thread t in
         let p1 = Palloc.alloc h ~nwords:6 ~dest in
         Palloc.free t p1;
@@ -101,7 +106,7 @@ let basic_tests =
         Palloc.release_thread h2;
         Palloc.release_thread h3);
     Alcotest.test_case "audit counts" `Quick (fun () ->
-        let _mem, t, dest = make_env_with_scratch () in
+        let _mem, t, dest = make_env_with_scratch ~carve_blocks:1 () in
         let h = Palloc.register_thread t in
         let p1 = Palloc.alloc h ~nwords:4 ~dest in
         let _p2 = Palloc.alloc h ~nwords:8 ~dest in
@@ -119,11 +124,127 @@ let basic_tests =
             Palloc.create mem ~base:3 ~words:200 ~max_threads:1));
   ]
 
+let arena_tests =
+  [
+    Alcotest.test_case "arenas shard the heap without stealing" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:8192 ()) in
+        let t =
+          Palloc.create ~arenas:2 mem ~base:0 ~words:8192 ~max_threads:4
+        in
+        Alcotest.(check int) "two arenas" 2 (Palloc.arenas t);
+        let h0 = Palloc.register_thread ~arena:0 t in
+        let h1 = Palloc.register_thread ~arena:1 t in
+        Palloc.reset_counters ();
+        let p0 = Palloc.alloc_unsafe h0 ~nwords:4 in
+        let p1 = Palloc.alloc_unsafe h1 ~nwords:4 in
+        Alcotest.(check bool) "distinct blocks" true (p0 <> p1);
+        let c = Palloc.counters () in
+        (* Each handle carved from its own arena; neither had to fall
+           back to the other's. *)
+        Alcotest.(check int) "one carve per arena" 2 c.Palloc.carves;
+        Alcotest.(check int) "no steals" 0 c.Palloc.arena_steals;
+        ignore (Palloc.audit t);
+        Palloc.release_thread h0;
+        Palloc.release_thread h1);
+    Alcotest.test_case "home arena wraps modulo arena count" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:8192 ()) in
+        let t =
+          Palloc.create ~arenas:2 mem ~base:0 ~words:8192 ~max_threads:4
+        in
+        let h = Palloc.register_thread ~arena:7 t in
+        ignore (Palloc.alloc_unsafe h ~nwords:2);
+        ignore (Palloc.audit t);
+        Palloc.release_thread h);
+    Alcotest.test_case "carve cache serves follow-up allocations" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:8192 ()) in
+        let t =
+          Palloc.create ~arenas:1 ~carve_blocks:8 mem ~base:0 ~words:8192
+            ~max_threads:1
+        in
+        let h = Palloc.register_thread t in
+        Palloc.reset_counters ();
+        for _ = 1 to 7 do
+          ignore (Palloc.alloc_unsafe h ~nwords:1)
+        done;
+        (* The eighth allocation drains the cache exactly. *)
+        let p = Palloc.alloc_unsafe h ~nwords:1 in
+        let c = Palloc.counters () in
+        Alcotest.(check int) "single carve" 1 c.Palloc.carves;
+        Alcotest.(check int) "chunk pre-claimed" 8 c.Palloc.carved_blocks;
+        Alcotest.(check int) "cache served the rest" 7 c.Palloc.cache_hits;
+        (* With the cache empty, a freed block round-trips through the
+           arena free list rather than triggering a fresh carve. *)
+        Palloc.free t p;
+        ignore (Palloc.alloc_unsafe h ~nwords:1);
+        let c' = Palloc.counters () in
+        Alcotest.(check int) "free-list hit" 1 c'.Palloc.freelist_hits;
+        Alcotest.(check int) "no second carve" 1 c'.Palloc.carves;
+        Palloc.release_thread h);
+    Alcotest.test_case "exhausted home arena falls back to peers" `Quick
+      (fun () ->
+        let words = 1024 in
+        let mem = Mem.create (Nvram.Config.make ~words ()) in
+        let t =
+          Palloc.create ~arenas:2 mem ~base:0 ~words ~max_threads:2
+        in
+        let h = Palloc.register_thread ~arena:0 t in
+        Palloc.reset_counters ();
+        let rec burn n =
+          match Palloc.alloc_unsafe h ~nwords:8 with
+          | _ -> burn (n + 1)
+          | exception Failure m -> (n, m)
+        in
+        let n, m = burn 0 in
+        Alcotest.(check bool) "filled both arenas" true (n > 0);
+        let c = Palloc.counters () in
+        Alcotest.(check bool) "stole from the peer arena" true
+          (c.Palloc.arena_steals > 0);
+        let prefix = "Palloc.alloc: out of memory" in
+        Alcotest.(check bool) "oom names the allocator" true
+          (String.length m >= String.length prefix
+          && String.sub m 0 (String.length prefix) = prefix);
+        ignore (Palloc.audit t);
+        Palloc.release_thread h);
+    Alcotest.test_case "tiny regions collapse to fewer arenas" `Quick
+      (fun () ->
+        let words = 256 in
+        let mem = Mem.create (Nvram.Config.make ~words ()) in
+        let t =
+          Palloc.create ~arenas:8 mem ~base:0 ~words ~max_threads:1
+        in
+        Alcotest.(check bool) "clamped" true (Palloc.arenas t < 8);
+        let h = Palloc.register_thread t in
+        ignore (Palloc.alloc_unsafe h ~nwords:4);
+        ignore (Palloc.audit t);
+        Palloc.release_thread h);
+    Alcotest.test_case "crashed carve caches are re-enlisted by recovery"
+      `Quick (fun () ->
+        let mem, t, dest = make_env_with_scratch () in
+        let h = Palloc.register_thread t in
+        (* One allocation pre-claims a chunk into the volatile cache;
+           after a crash those blocks must reappear as free heap blocks,
+           not leak. *)
+        ignore (Palloc.alloc h ~nwords:1 ~dest);
+        let img = Mem.crash_image mem in
+        let t', rolled =
+          Palloc.recover img ~base:8 ~words:4088 ~max_threads:4
+        in
+        Alcotest.(check int) "nothing in flight" 0 rolled;
+        let a = Palloc.audit t' in
+        Alcotest.(check int) "application owns one" 1 a.allocated_blocks;
+        Alcotest.(check int) "cached blocks recovered as free" 7
+          a.free_blocks;
+        Palloc.release_thread h);
+  ]
+
 let recovery_tests =
   [
     Alcotest.test_case "clean crash: completed allocations survive" `Quick
       (fun () ->
-        let mem, t, dest = make_env_with_scratch () in
+        let mem, t, dest = make_env_with_scratch ~carve_blocks:1 () in
         let h = Palloc.register_thread t in
         let p1 = Palloc.alloc h ~nwords:4 ~dest in
         let p2 = Palloc.alloc h ~nwords:8 ~dest in
@@ -150,7 +271,7 @@ let recovery_tests =
       `Quick (fun () ->
         (* Simulate a crash mid-alloc by hand-writing the activation
            record the way alloc does, without completing delivery. *)
-        let mem, t, dest = make_env_with_scratch () in
+        let mem, t, dest = make_env_with_scratch ~carve_blocks:1 () in
         let h = Palloc.register_thread t in
         (* A committed allocation tells us where blocks live. *)
         let p = Palloc.alloc h ~nwords:4 ~dest in
@@ -158,7 +279,8 @@ let recovery_tests =
         let b = p - 1 in
         (* Forge: record points at the block, delivery word still null. *)
         let slots_base =
-          (* base=8, heap_next+magic at 8..9, slots line-aligned at 16 *)
+          (* base=8, magic/arenas/threads at 8..10, slots line-aligned
+             at 16 *)
           16
         in
         Mem.write mem (slots_base + 1) dest;
@@ -300,6 +422,7 @@ let () =
   Alcotest.run "palloc"
     [
       ("basic", basic_tests);
+      ("arenas", arena_tests);
       ("recovery", recovery_tests);
       ("concurrency", concurrency_tests);
       ("properties", [ QCheck_alcotest.to_alcotest prop_crash_ownership ]);

@@ -31,17 +31,19 @@ type env = {
 let align8 a = (a + 7) / 8 * 8
 
 let make_env ?(persistent = true) ?(max_threads = 4) ?(descs_per_thread = 8)
-    ?(max_words = 8) ?(data_words = 512) ?(heap_words = 8192) () =
+    ?(max_words = 8) ?(data_words = 512) ?(heap_words = 8192) ?carve_blocks
+    ?sharing () =
   let pool_words = Pool.region_words ~max_words ~descs_per_thread ~max_threads () in
   let heap_base = align8 pool_words in
   let data = align8 (heap_base + heap_words) in
   let mem = Mem.create (Nvram.Config.make ~words:(data + data_words) ()) in
   let palloc =
-    Palloc.create ~persistent mem ~base:heap_base ~words:heap_words ~max_threads
+    Palloc.create ~persistent ?carve_blocks mem ~base:heap_base
+      ~words:heap_words ~max_threads
   in
   let pool =
-    Pool.create ~persistent ~max_words ~descs_per_thread ~palloc mem ~base:0
-      ~max_threads
+    Pool.create ~persistent ?sharing ~max_words ~descs_per_thread ~palloc mem
+      ~base:0 ~max_threads
   in
   { mem; pool; palloc; heap_base; heap_words; data; data_words; max_threads }
 
@@ -279,6 +281,97 @@ let pool_tests =
         Alcotest.(check int) "one taken" 7 (Pool.free_slots env.pool);
         Pool.discard d;
         Alcotest.(check int) "returned" 8 (Pool.free_slots env.pool));
+    Alcotest.test_case "limbo parks retired slots until readers retire"
+      `Quick (fun () ->
+        let env = make_env ~max_threads:2 ~descs_per_thread:4 () in
+        let h = Pool.register env.pool in
+        let h2 = Pool.register env.pool in
+        (* h2 plays a reader that may still hold references into h's
+           descriptor: while it is pinned the retired slot must stay
+           parked, not free. *)
+        Epoch.enter (Pool.guard h2);
+        Alcotest.(check bool) "executes" true
+          (run_mwcas h [ (env.data, 0, 1) ]);
+        Alcotest.(check int) "parked in limbo" 1 (Pool.limbo_depth env.pool);
+        Alcotest.(check int) "not yet reusable" 7 (Pool.free_slots env.pool);
+        ignore (Epoch.advance (Pool.epoch env.pool));
+        ignore (Epoch.reclaim (Pool.guard h));
+        Alcotest.(check int) "still parked under pin" 1
+          (Pool.limbo_depth env.pool);
+        Epoch.exit (Pool.guard h2);
+        ignore (Epoch.advance (Pool.epoch env.pool));
+        ignore (Epoch.reclaim (Pool.guard h));
+        Alcotest.(check int) "limbo drained" 0 (Pool.limbo_depth env.pool);
+        Alcotest.(check int) "recycled" 8 (Pool.free_slots env.pool);
+        Pool.unregister h;
+        Pool.unregister h2);
+    Alcotest.test_case "steal crosses partitions; recycle returns home"
+      `Quick (fun () ->
+        let env = make_env ~max_threads:2 ~descs_per_thread:2 () in
+        let h = Pool.register env.pool in
+        let m0 = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        (* Only partition 0 is registered; taking all four slots forces
+           two steals from partition 1's inbox. *)
+        let ds = List.init 4 (fun _ -> Pool.alloc_desc h) in
+        let m1 = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        Alcotest.(check bool) "stole from the peer inbox" true
+          (m1.Pmwcas.Metrics.desc_remote - m0.Pmwcas.Metrics.desc_remote >= 2);
+        Alcotest.(check int) "pool drained" 0 (Pool.free_slots env.pool);
+        List.iter Pool.discard ds;
+        (* Discarded slots route to their home partitions, so the whole
+           pool is allocatable again (p1's via its inbox). *)
+        Alcotest.(check int) "all recycled" 4 (Pool.free_slots env.pool);
+        Pool.unregister h);
+    Alcotest.test_case "exhaustion diagnostic reports occupancy" `Quick
+      (fun () ->
+        let env = make_env ~max_threads:2 ~descs_per_thread:2 () in
+        let h = Pool.register env.pool in
+        let ds = List.init 4 (fun _ -> Pool.alloc_desc h) in
+        (try
+           ignore (Pool.alloc_desc h);
+           Alcotest.fail "expected exhaustion Failure"
+         with Failure m ->
+           let has s =
+             let n = String.length m and k = String.length s in
+             let rec go i =
+               i + k <= n && (String.sub m i k = s || go (i + 1))
+             in
+             go 0
+           in
+           List.iter
+             (fun s ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "diagnostic mentions %S" s)
+                 true (has s))
+             [
+               "descriptor pool exhausted"; "free=0"; "undecided=4"; "p0";
+               "limbo";
+             ]);
+        List.iter Pool.discard ds;
+        Pool.unregister h);
+    Alcotest.test_case "shared scan baseline allocates and recycles" `Quick
+      (fun () ->
+        let env =
+          make_env ~sharing:`Shared ~max_threads:1 ~descs_per_thread:4 ()
+        in
+        Alcotest.(check bool) "sharing mode" true
+          (Pool.sharing env.pool = `Shared);
+        let h = Pool.register env.pool in
+        let m0 = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        for i = 1 to 50 do
+          Alcotest.(check bool)
+            (Printf.sprintf "op %d" i)
+            true
+            (run_mwcas h [ (env.data, i - 1, i) ])
+        done;
+        let m1 = Pmwcas.Metrics.snapshot (Pool.metrics env.pool) in
+        Alcotest.(check bool) "scan examined slots" true
+          (m1.Pmwcas.Metrics.desc_scans - m0.Pmwcas.Metrics.desc_scans >= 50);
+        Alcotest.(check int) "final value" 50 (Op.read_with h env.data);
+        Pool.unregister h;
+        ignore (Epoch.drain_all (Pool.epoch env.pool));
+        Alcotest.(check int) "quiescent pool fully free" 4
+          (Pool.free_slots env.pool));
   ]
 
 let op_tests =
@@ -473,7 +566,9 @@ let op_tests =
 let policy_tests =
   [
     Alcotest.test_case "FreeOne frees old on success" `Quick (fun () ->
-        let env = make_env () in
+        (* carve_blocks:1: the "A reused" check below asserts exact-block
+           recycling, which chunked carving's cache would mask. *)
+        let env = make_env ~carve_blocks:1 () in
         let h = Pool.register env.pool in
         let ph = Palloc.register_thread env.palloc in
         (* Install block A, then replace it by block B with FreeOne. *)
