@@ -1034,6 +1034,191 @@ let b3 s =
       ]
     rows
 
+(* B4: the sharded store's per-shard group commit against per-op
+   persistence, under open-loop (arrival-rate driven) load. Each client
+   domain issues Zipf-keyed requests on a Poisson arrival process at a
+   fixed offered rate; a recorded latency is completion minus scheduled
+   arrival, so queueing behind the committer inflates the tail instead
+   of silently throttling the load (no coordinated omission). The group
+   side folds each drained batch's updates into one multi-word PMwCAS
+   and rides a shared persist/fence sequence, so fences/op falls as
+   client count (and with it batch size) grows; the per-op side pays
+   the full persistence trio for every mutation. *)
+let store_point ?label ~commit ~clients ~seconds ~keys ~next_op () =
+  let module Ol = Workload.Open_loop in
+  let latency = Telemetry.histogram "store.latency_ns" in
+  let config =
+    {
+      Store.default_config with
+      shards = 2;
+      commit;
+      max_clients = clients + 2;
+      heap_words = 1 lsl 17;
+      batch_limit = 16;
+    }
+  in
+  let mem =
+    Nvram.Mem.create
+      (Nvram.Config.make ?flush_mode:!Bench_env.default_flush_mode
+         ~words:(Store.words_needed config)
+         ())
+  in
+  let st = Store.create ~config mem ~base:0 in
+  let boot = Store.open_session st in
+  for k = 0 to keys - 1 do
+    ignore (Store.insert boot ~key:k ~value:k)
+  done;
+  Store.close_session boot;
+  Mem.persist_all mem;
+  Store.reset_counters ();
+  Telemetry.Histogram.reset latency;
+  let st0 = Nvram.Stats.snapshot (Mem.stats mem) in
+  let rate = 25_000. in
+  let ops = max 1_000 (int_of_float (rate *. seconds)) in
+  let results =
+    List.init clients (fun tid ->
+        Domain.spawn (fun () ->
+            let sess = Store.open_session st in
+            let d =
+              Dist.create (Dist.Zipfian { n = keys; theta = 0.9; scrambled = true })
+            in
+            let rng = Random.State.make [| 0xb4; tid; clients |] in
+            let r =
+              Ol.run ~seed:(tid + 1) ~rate ~ops ~latencies:latency (fun i ->
+                  let k = Dist.next d rng in
+                  let v = (tid * ops) + i + keys in
+                  match next_op rng with
+                  | `R -> ignore (Store.find sess ~key:k)
+                  | `U -> ignore (Store.update sess ~key:k ~value:v)
+                  | `I -> ignore (Store.insert sess ~key:k ~value:v)
+                  | `D -> ignore (Store.delete sess ~key:k))
+            in
+            Store.close_session sess;
+            r))
+    |> List.map Domain.join
+  in
+  let st1 = Nvram.Stats.snapshot (Mem.stats mem) in
+  let c = Store.counters () in
+  let total =
+    List.fold_left (fun a (r : Ol.result) -> a + r.completed) 0 results
+  in
+  let elapsed =
+    List.fold_left (fun a (r : Ol.result) -> max a r.elapsed_ns) 0 results
+  in
+  let throughput = float_of_int total *. 1e9 /. float_of_int (max 1 elapsed) in
+  let fences_per_op =
+    float_of_int (st1.fences - st0.fences) /. float_of_int (max 1 total)
+  in
+  let snap = Telemetry.Histogram.snapshot latency in
+  Option.iter
+    (fun label ->
+      let p q = Telemetry.Histogram.percentile snap q in
+      Report.add_row ~experiment:label
+        ~params:
+          [
+            ( "commit",
+              Report.V.String
+                (match commit with Store.Group -> "group" | Store.Per_op -> "perop") );
+            ("clients", Report.V.Int clients);
+            ("keys", Report.V.Int keys);
+            ("offered_rate_per_client", Report.V.Float rate);
+            ("ops", Report.V.Int total);
+            ("throughput", Report.V.Float throughput);
+            ("fences_per_op", Report.V.Float fences_per_op);
+            ("p50_ns", Report.V.Int (p 0.50));
+            ("p99_ns", Report.V.Int (p 0.99));
+            ("p999_ns", Report.V.Int (p 0.999));
+            ("commits", Report.V.Int c.Store.commits);
+            ("batched_ops", Report.V.Int c.Store.batched_ops);
+            ("merged_updates", Report.V.Int c.Store.merged_updates);
+          ]
+        ~stats:st1 ())
+    label;
+  (throughput, fences_per_op, snap, c)
+
+let b4 s =
+  section "B4  Sharded store: group commit vs per-op persistence (open loop)";
+  let keys = min s.index_keys 4096 in
+  let mixes =
+    [
+      ( "read-mostly",
+        fun rng -> if Random.State.int rng 100 < 90 then `R else `U );
+      ( "write-heavy",
+        fun rng ->
+          let r = Random.State.int rng 100 in
+          if r < 10 then `R
+          else if r < 60 then `U
+          else if r < 80 then `I
+          else `D );
+      ("update-only", fun _ -> `U);
+    ]
+  in
+  let thr_rows = ref [] and lat_rows = ref [] in
+  let us snap q =
+    Printf.sprintf "%.0f"
+      (float_of_int (Telemetry.Histogram.percentile snap q) /. 1e3)
+  in
+  List.iter
+    (fun (mix_name, next_op) ->
+      List.iter
+        (fun clients ->
+          let label side = Printf.sprintf "b4.%s.%s" side mix_name in
+          let pt, pf, psnap, _ =
+            store_point ~label:(label "perop") ~commit:Store.Per_op ~clients
+              ~seconds:s.seconds ~keys ~next_op ()
+          in
+          let gt, gf, gsnap, gc =
+            store_point ~label:(label "group") ~commit:Store.Group ~clients
+              ~seconds:s.seconds ~keys ~next_op ()
+          in
+          let batch =
+            float_of_int gc.Store.batched_ops
+            /. float_of_int (max 1 gc.Store.commits)
+          in
+          thr_rows :=
+            [
+              mix_name;
+              string_of_int clients;
+              Table.kops pt;
+              Table.kops gt;
+              Printf.sprintf "%.1f" pf;
+              Printf.sprintf "%.1f" gf;
+              Printf.sprintf "%.2f" batch;
+            ]
+            :: !thr_rows;
+          lat_rows :=
+            [
+              mix_name;
+              string_of_int clients;
+              us psnap 0.50;
+              us psnap 0.99;
+              us psnap 0.999;
+              us gsnap 0.50;
+              us gsnap 0.99;
+              us gsnap 0.999;
+            ]
+            :: !lat_rows)
+        s.threads)
+    mixes;
+  Table.print
+    ~title:
+      "open-loop sharded store, per-op persistence vs group commit \
+       (Kops/s); f/op = device fences per completed op; batch = mean \
+       drained batch size (group)"
+    ~header:
+      [ "mix"; "clients"; "perop"; "group"; "f/op po"; "f/op grp"; "batch" ]
+    (List.rev !thr_rows);
+  Table.print
+    ~title:
+      "open-loop latency in µs, completion minus scheduled arrival \
+       (coordinated-omission aware)"
+    ~header:
+      [
+        "mix"; "clients"; "po p50"; "po p99"; "po p999"; "grp p50";
+        "grp p99"; "grp p999";
+      ]
+    (List.rev !lat_rows)
+
 (* Telemetry smoke: one tiny point per instrumented subsystem, so a
    [--metrics] run populates every latency histogram (PMwCAS attempt,
    clwb stall, palloc alloc, skip-list op, Bw-tree op) in a couple of
@@ -1053,12 +1238,19 @@ let smoke s =
     bwtree_bench ~label:"smoke.bwtree" ~mix_name:"50/50" s ~mix:Mix.balanced
       ~threads:2 ~persistent:true
   in
+  let store, _, _, _ =
+    store_point ~label:"smoke.store" ~commit:Store.Group ~clients:2
+      ~seconds:s.seconds ~keys:256
+      ~next_op:(fun rng -> if Random.State.int rng 100 < 50 then `R else `U)
+      ()
+  in
   Table.print ~title:"quick persistent runs (Kops/s)"
     ~header:[ "subsystem"; "Kops/s" ]
     [
       [ "pmwcas"; Table.kops mw.throughput ];
       [ "skiplist"; Table.kops sl.throughput ];
       [ "bwtree"; Table.kops bt.throughput ];
+      [ "store"; Table.kops store ];
     ]
 
 let run_all ~full_scale () =
@@ -1077,7 +1269,8 @@ let run_all ~full_scale () =
   a2 s;
   b1 s;
   b2 s;
-  b3 s
+  b3 s;
+  b4 s
 
 let by_name name s =
   match name with
@@ -1096,5 +1289,6 @@ let by_name name s =
   | "b1" | "backends" -> b1 s
   | "b2" | "flush" -> b2 s
   | "b3" | "pool" -> b3 s
+  | "b4" | "store" -> b4 s
   | "smoke" -> smoke s
   | _ -> Printf.printf "unknown experiment %s\n" name

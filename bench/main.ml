@@ -49,6 +49,7 @@ let () =
       [
         "pmwcas.attempt_ns"; "pmwcas.success_ns"; "nvram.clwb_stall_ns";
         "palloc.alloc_ns"; "skiplist.op_ns"; "bwtree.op_ns";
+        "store.batch_size"; "store.queue_wait_ns"; "store.latency_ns";
       ];
     Telemetry.register_source ~kind:`Gauge "nvram.phase_ns" (fun () ->
         Nvram.Stats.phase_times_to_json ());
@@ -57,7 +58,9 @@ let () =
     (* Named under the palloc group (beside palloc.alloc_ns) rather than
        as a bare "palloc" source, which would clobber the histogram. *)
     Telemetry.register_source ~kind:`Counter "palloc.counters" (fun () ->
-        Palloc.counters_to_json (Palloc.counters ()))
+        Palloc.counters_to_json (Palloc.counters ()));
+    Telemetry.register_source ~kind:`Counter "store.counters" (fun () ->
+        Store.counters_to_json ())
   end;
   let scale =
     if full_scale then Experiments_lib.Experiments.full else Experiments_lib.Experiments.quick

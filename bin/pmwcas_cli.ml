@@ -181,7 +181,9 @@ let telemetry_setup () =
   Telemetry.register_source ~kind:`Gauge "nvram.phase_ns" (fun () ->
       Nvram.Stats.phase_times_to_json ());
   Telemetry.register_source ~kind:`Counter "epoch" (fun () ->
-      Epoch.counters_to_json (Epoch.counters ()))
+      Epoch.counters_to_json (Epoch.counters ()));
+  Telemetry.register_source ~kind:`Counter "store.counters" (fun () ->
+      Store.counters_to_json ())
 
 (* --- stats: run a mixed workload, dump the registry snapshot ----------- *)
 
@@ -295,7 +297,8 @@ let stats domains seconds format out =
 
 (* --- check-metrics: validate a --metrics report against the schema ----- *)
 
-let check_metrics require_coalescing require_alloc_counters file =
+let check_metrics require_coalescing require_alloc_counters
+    require_store_counters file =
   let ic = open_in_bin file in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -385,6 +388,30 @@ let check_metrics require_coalescing require_alloc_counters file =
               ("registry.epoch." ^ f ^ " missing or zero"))
           [ "deferred"; "freed" ]
       end;
+      if require_store_counters then begin
+        (* The group-commit pipeline must be live end to end: the store
+           counter source exported with batches actually drained, and the
+           batch-size histogram populated. *)
+        List.iter
+          (fun f ->
+            check
+              (has [ "registry"; "store"; "counters"; f ])
+              ("registry.store.counters." ^ f ^ " missing"))
+          [
+            "commits"; "batched_ops"; "merged_updates"; "solo_applies";
+            "direct_applies";
+          ];
+        check
+          (match int_at [ "registry"; "store"; "counters"; "commits" ] with
+          | Some n -> n > 0
+          | None -> false)
+          "registry.store.counters.commits zero (no batch ever drained)";
+        check
+          (match int_at [ "registry"; "store"; "batch_size"; "count" ] with
+          | Some n -> n > 0
+          | None -> false)
+          "registry.store.batch_size missing or empty"
+      end;
       (match V.find_path v [ "rows" ] with
       | Some (V.List []) -> check false "rows empty"
       | Some (V.List rows) ->
@@ -458,7 +485,7 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
           | None ->
               Printf.eprintf
                 "unknown suite %S (try \
-                 all|bank|palloc|skiplist|bwtree|dst-pmwcas|dst-skiplist)\n"
+                 all|bank|palloc|skiplist|bwtree|dst-pmwcas|dst-skiplist|dst-store)\n"
                 suite;
               exit 2)
   in
@@ -662,9 +689,9 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
 
 (* --- dst: deterministic-interleaving scheduler + linearizability ------- *)
 
-let dst scenario_name strategy threads ops width addrs keys seeds preemptions
-    max_runs changes hunt broken broken_recycle sabotage sabotage_recycle
-    replay =
+let dst scenario_name strategy threads ops width addrs keys shards seeds
+    preemptions max_runs changes hunt broken broken_recycle sabotage
+    sabotage_recycle replay =
   let module S = Dst.Scenarios in
   let module Sc = Dst.Sched in
   let module L = Dst.Linearize in
@@ -703,8 +730,10 @@ let dst scenario_name strategy threads ops width addrs keys seeds preemptions
       | "pmwcas" -> S.pmwcas ~threads ~ops ~width ~addrs ()
       | "skiplist" -> S.skiplist ~threads ~ops ~keys ()
       | "bwtree" -> S.bwtree ~threads ~ops ~keys ()
+      | "store" -> S.store ~threads ~ops ~keys ~shards ()
       | _ ->
-          Printf.eprintf "unknown scenario %S (try pmwcas|skiplist|bwtree)\n"
+          Printf.eprintf
+            "unknown scenario %S (try pmwcas|skiplist|bwtree|store)\n"
             scenario_name;
           exit 2
     in
@@ -783,6 +812,134 @@ let dst scenario_name strategy threads ops width addrs keys seeds preemptions
               Printf.eprintf "unknown strategy %S (try random|pct|exhaustive)\n"
                 s;
               exit 2)
+
+(* --- store-soak: crash mid-traffic, parallel recover, resume ----------- *)
+
+let store_soak shards clients ops fuel evict kind mode recover_domains keys =
+  let index =
+    match kind with
+    | "skiplist" -> Store.Skiplist
+    | "bwtree" -> Store.Bwtree
+    | k ->
+        Printf.eprintf "unknown index kind %S (try skiplist|bwtree)\n" k;
+        exit 2
+  in
+  let commit =
+    match mode with
+    | "group" -> Store.Group
+    | "per-op" -> Store.Per_op
+    | m ->
+        Printf.eprintf "unknown commit mode %S (try group|per-op)\n" m;
+        exit 2
+  in
+  let config =
+    {
+      Store.default_config with
+      shards;
+      index;
+      commit;
+      max_clients = clients + 1;
+      heap_words = 1 lsl 16;
+      batch_limit = 8;
+    }
+  in
+  let words = align8 (Store.words_needed config) in
+  let mem = Mem.create (Nvram.Config.make ~words ()) in
+  let st = Store.create ~config mem ~base:0 in
+  Mem.persist_all mem;
+  Printf.printf
+    "store-soak: %d shards (%s, %s commit), %d clients; crash after %d \
+     device ops\n\
+     %!"
+    shards kind mode clients fuel;
+  Mem.inject_crash_after mem fuel;
+  let traffic st label =
+    let crashed = Atomic.make 0 and completed = Atomic.make 0 in
+    List.init clients (fun t ->
+        Domain.spawn (fun () ->
+            let sess = Store.open_session st in
+            let rng = Random.State.make [| 0x50a6; t; ops |] in
+            (try
+               for j = 1 to ops do
+                 let k = 1 + Random.State.int rng keys in
+                 let v = ((t + 1) * 1_000_000) + j in
+                 match Random.State.int rng 8 with
+                 | 0 | 1 | 2 -> ignore (Store.insert sess ~key:k ~value:v)
+                 | 3 -> ignore (Store.delete sess ~key:k)
+                 | 4 | 5 -> ignore (Store.update sess ~key:k ~value:v)
+                 | _ -> ignore (Store.find sess ~key:k)
+               done;
+               Store.close_session sess;
+               Atomic.incr completed
+             with Mem.Crash -> Atomic.incr crashed)))
+    |> List.iter Domain.join;
+    Printf.printf "%s: %d clients completed, %d unwound at the crash\n%!"
+      label (Atomic.get completed) (Atomic.get crashed);
+    Atomic.get crashed
+  in
+  let crashed = traffic st "pre-crash" in
+  if crashed = 0 then begin
+    Printf.printf
+      "fuel never ran out — raise --ops or lower --fuel for a real soak\n";
+    Mem.disarm mem
+  end;
+  (* Power loss: unflushed lines may or may not survive. *)
+  let img = Mem.crash_image ~evict_prob:evict ~seed:7 mem in
+  let t0 = Unix.gettimeofday () in
+  let st', stats = Store.recover ~domains:recover_domains img ~base:0 in
+  let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let in_flight =
+    List.fold_left
+      (fun a (r : Store.shard_recovery) ->
+        a + r.pmwcas.Pmwcas.Recovery.in_flight)
+      0 stats
+  in
+  let rolled_back =
+    List.fold_left
+      (fun a (r : Store.shard_recovery) ->
+        a + r.pmwcas.Pmwcas.Recovery.rolled_back + r.alloc_rolled_back)
+      0 stats
+  in
+  Printf.printf
+    "recovered %d shards across %d domains in %.2f ms: %d in-flight \
+     PMwCASes, %d rollbacks\n\
+     %!"
+    shards recover_domains dt in_flight rolled_back;
+  let errors = ref 0 in
+  let audit label sess =
+    (try Store.check_invariants sess
+     with Failure m ->
+       incr errors;
+       Printf.printf "%s invariants FAILED: %s\n" label m);
+    Printf.printf "%s: %d keys across %d shards\n%!" label
+      (Store.length sess) shards
+  in
+  let sess' = Store.open_session st' in
+  audit "post-recovery" sess';
+  for i = 0 to shards - 1 do
+    try ignore (Palloc.audit (Store.shard_palloc st' i))
+    with Failure m ->
+      incr errors;
+      Printf.printf "shard %d palloc audit FAILED: %s\n" i m
+  done;
+  Store.close_session sess';
+  (* Resume: the recovered store must take fresh traffic. *)
+  let resumed_crashes = traffic st' "resumed" in
+  if resumed_crashes > 0 then begin
+    incr errors;
+    Printf.printf "resumed traffic crashed without an armed injector\n"
+  end;
+  let sess'' = Store.open_session st' in
+  audit "post-resume" sess'';
+  Store.close_session sess'';
+  if !errors = 0 then begin
+    Printf.printf "store-soak: crash, parallel recovery and resume all OK\n";
+    0
+  end
+  else begin
+    Printf.printf "store-soak: %d error(s)\n" !errors;
+    1
+  end
 
 (* --- space: descriptor pool sizing ------------------------------------ *)
 
@@ -1002,7 +1159,7 @@ let require_alloc_counters_t =
 let dst_scenario_t =
   Arg.(
     value & opt string "pmwcas"
-    & info [ "scenario" ] ~doc:"Scenario: pmwcas, skiplist or bwtree.")
+    & info [ "scenario" ] ~doc:"Scenario: pmwcas, skiplist, bwtree or store.")
 
 let dst_strategy_t =
   Arg.(
@@ -1030,6 +1187,10 @@ let dst_keys_t =
   Arg.(
     value & opt int 5
     & info [ "keys" ] ~doc:"Key-space size (index scenarios).")
+
+let dst_shards_t =
+  Arg.(
+    value & opt int 2 & info [ "shards" ] ~doc:"Shards (store scenario).")
 
 let dst_seeds_t =
   Arg.(
@@ -1112,9 +1273,20 @@ let dst_cmd =
           durable-linearizability checking, replayable failure tokens.")
     Term.(
       const dst $ dst_scenario_t $ dst_strategy_t $ dst_threads_t $ dst_ops_t
-      $ dst_width_t $ dst_addrs_t $ dst_keys_t $ dst_seeds_t $ preemptions_t
-      $ max_runs_t $ changes_t $ hunt_t $ broken_helper_t $ broken_recycle_t
-      $ dst_sabotage_t $ dst_sabotage_recycle_t $ replay_t)
+      $ dst_width_t $ dst_addrs_t $ dst_keys_t $ dst_shards_t $ dst_seeds_t
+      $ preemptions_t $ max_runs_t $ changes_t $ hunt_t $ broken_helper_t
+      $ broken_recycle_t $ dst_sabotage_t $ dst_sabotage_recycle_t $ replay_t)
+
+let require_store_counters_t =
+  Arg.(
+    value & flag
+    & info
+        [ "require-store-counters" ]
+        ~doc:
+          "Additionally demand the group-commit instrumentation: the \
+           registry's store counter source (commits, batched_ops, \
+           merged_updates, solo_applies, direct_applies) with commits > 0, \
+           and a populated store.batch_size histogram.")
 
 let check_metrics_cmd =
   Cmd.v
@@ -1125,7 +1297,49 @@ let check_metrics_cmd =
           per-experiment rows.")
     Term.(
       const check_metrics $ require_coalescing_t $ require_alloc_counters_t
-      $ file_t)
+      $ require_store_counters_t $ file_t)
+
+let soak_shards_t =
+  Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Store shards.")
+
+let soak_clients_t =
+  Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client domains.")
+
+let soak_ops_t =
+  Arg.(
+    value & opt int 4000
+    & info [ "ops" ] ~doc:"KV operations per client (per phase).")
+
+let soak_kind_t =
+  Arg.(
+    value & opt string "skiplist"
+    & info [ "kind" ] ~doc:"Shard index: skiplist or bwtree.")
+
+let soak_mode_t =
+  Arg.(
+    value & opt string "group"
+    & info [ "mode" ] ~doc:"Commit mode: group or per-op.")
+
+let soak_recover_domains_t =
+  Arg.(
+    value & opt int 2
+    & info [ "recover-domains" ] ~doc:"Domains for parallel recovery.")
+
+let soak_keys_t =
+  Arg.(value & opt int 512 & info [ "keys" ] ~doc:"Key-space size.")
+
+let store_soak_cmd =
+  Cmd.v
+    (Cmd.info "store-soak"
+       ~doc:
+         "Sharded-store crash/restart soak: run concurrent group-commit \
+          traffic, lose power mid-batch, recover every shard in parallel \
+          from the crash image, audit the indexes and allocators, then \
+          resume traffic on the recovered store.")
+    Term.(
+      const store_soak $ soak_shards_t $ soak_clients_t $ soak_ops_t $ fuel_t
+      $ evict_t $ soak_kind_t $ soak_mode_t $ soak_recover_domains_t
+      $ soak_keys_t)
 
 let main =
   Cmd.group
@@ -1133,7 +1347,7 @@ let main =
        ~doc:"PMwCAS demos and utilities (Easy Lock-Free Indexing in NVRAM).")
     [
       crash_demo_cmd; torture_cmd; trace_check_cmd; crash_sweep_cmd;
-      dst_cmd; space_cmd; stats_cmd; check_metrics_cmd;
+      dst_cmd; space_cmd; stats_cmd; check_metrics_cmd; store_soak_cmd;
     ]
 
 let () = Stdlib.exit (Cmd.eval' main)

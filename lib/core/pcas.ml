@@ -11,19 +11,42 @@ let persist mem a v =
   if Flags.is_dirty v then
     ignore (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v))
 
-(* Phase-batched variant: clwb every word (the device coalesces words
-   sharing a line), then one fence drains all of them, then the dirty
-   bits fall. One drain per distinct line instead of one per word. *)
+(* Phase-batched variant: clwb every distinct cache line once, one
+   fence drains all of them, then the dirty bits fall. Group commit
+   feeds this overlapping word lists from many ops, so a duplicated
+   line must only be flushed (and charged) once, and a duplicated
+   address gets one dirty-clear CAS against its last-listed value —
+   earlier stale expectations would just burn CAS fuel. An empty batch
+   emits nothing, in particular no fence. *)
 let persist_batch mem words =
   match words with
   | [] -> ()
+  | [ (a, v) ] -> persist mem a v
   | _ ->
-      List.iter (fun (a, _) -> Mem.clwb mem a) words;
-      Mem.fence mem;
+      let line_words = (Mem.config mem).line_words in
+      let lines = Hashtbl.create 8 in
       List.iter
-        (fun (a, v) ->
-          if Flags.is_dirty v then
-            ignore (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v)))
+        (fun (a, _) ->
+          let line = a / line_words in
+          if not (Hashtbl.mem lines line) then begin
+            Hashtbl.add lines line ();
+            Mem.clwb mem a
+          end)
+        words;
+      Mem.fence mem;
+      (* First-occurrence order, last-listed value: keeps the device-op
+         sequence deterministic (DST replays depend on it). *)
+      let last = Hashtbl.create 8 in
+      List.iter (fun (a, v) -> Hashtbl.replace last a v) words;
+      List.iter
+        (fun (a, _) ->
+          match Hashtbl.find_opt last a with
+          | None -> ()
+          | Some v ->
+              Hashtbl.remove last a;
+              if Flags.is_dirty v then
+                ignore
+                  (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v)))
         words
 
 let read mem a =

@@ -451,12 +451,132 @@ let bwtree ?(threads = 2) ?(ops = 4) ?(keys = 5) ?(seed = 0) () =
   in
   { name = "bwtree"; nthreads = threads; run }
 
-let names = [ "pmwcas"; "skiplist"; "bwtree" ]
+(* The sharded store under group commit: fibers are clients of the
+   flat-combining pipeline, so the schedule interleaves enqueue, combiner
+   election, batch application (including merged multi-key PMwCASes) and
+   the spin-wait seam — and a crash can land a committer mid-batch with
+   waiters parked on the queue. Recovery is the store's own
+   superblock-driven [Store.recover]. *)
+let store ?(threads = 2) ?(ops = 4) ?(keys = 5) ?(shards = 2) ?(seed = 0) () =
+  let module Store = Store in
+  if threads < 1 || threads > 26 then
+    invalid_arg "Scenarios.store: threads must be in [1,26]";
+  let config =
+    {
+      Store.default_config with
+      shards;
+      max_clients = threads + 1;
+      heap_words = 1 lsl 12;
+      batch_limit = 4;
+    }
+  in
+  let words = align8 (Store.words_needed config) in
+  let sum_stats stats =
+    List.fold_left
+      (fun (acc : Recovery.stats) (r : Store.shard_recovery) ->
+        {
+          Recovery.scanned = acc.scanned + r.pmwcas.scanned;
+          in_flight = acc.in_flight + r.pmwcas.in_flight;
+          rolled_forward = acc.rolled_forward + r.pmwcas.rolled_forward;
+          rolled_back = acc.rolled_back + r.pmwcas.rolled_back;
+          words_restored = acc.words_restored + r.pmwcas.words_restored;
+        })
+      {
+        Recovery.scanned = 0;
+        in_flight = 0;
+        rolled_forward = 0;
+        rolled_back = 0;
+        words_restored = 0;
+      }
+      stats
+  in
+  let run ~pick ~fuel ~crash =
+    let base = Mem.create (Config.make ~words ()) in
+    let mem = Mem.hooked base in
+    let st = Store.create ~config mem ~base:0 in
+    Mem.persist_all mem;
+    let hist : (Model.Kv.op, Model.Kv.res) History.t = History.create () in
+    let work t =
+      let sess = Store.open_session st in
+      let rng = Random.State.make [| seed; t; 0x570e |] in
+      for j = 1 to ops do
+        let k = 1 + Random.State.int rng keys in
+        let v = ((t + 1) * 1000) + j in
+        (match Random.State.int rng 4 with
+        | 0 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Insert (k, v)) in
+            let r = Store.insert sess ~key:k ~value:v in
+            History.return hist c (Model.Kv.Bool r)
+        | 1 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Delete k) in
+            let r = Store.delete sess ~key:k in
+            History.return hist c (Model.Kv.Bool r)
+        | 2 ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Update (k, v)) in
+            let r = Store.update sess ~key:k ~value:v in
+            History.return hist c (Model.Kv.Bool r)
+        | _ ->
+            let c = History.invoke hist ~thread:t (Model.Kv.Find k) in
+            let r = Store.find sess ~key:k in
+            History.return hist c (Model.Kv.Opt r));
+        ()
+      done;
+      Store.close_session sess
+    in
+    let bodies = Array.init threads (fun t () -> work t) in
+    let outcome, sweep_steps, crashed, hard =
+      scheduled_run ~base ~mem ~pick ~fuel ~crash bodies
+    in
+    let errs = base_errs ~crash ~crashed outcome hard in
+    let verify_image img =
+      let st', stats = Store.recover img ~base:0 in
+      let sess' = Store.open_session st' in
+      let verrs = ref [] in
+      (try Store.check_invariants sess'
+       with Failure m -> verrs := ("invariants: " ^ m) :: !verrs);
+      let observation =
+        kv_observation ~keys ~find:(fun ~key -> Store.find sess' ~key)
+      in
+      push_verdict verrs
+        (KvCheck.check_durable ~init:(Model.Kv.init []) ~observation hist);
+      Store.close_session sess';
+      (sum_stats stats, List.rev !verrs)
+    in
+    let live_check () =
+      let sess' = Store.open_session st in
+      let lerrs = ref [] in
+      Store.quiesce sess';
+      (try Store.check_invariants sess'
+       with Failure m -> lerrs := ("invariants: " ^ m) :: !lerrs);
+      let observation =
+        kv_observation ~keys ~find:(fun ~key -> Store.find sess' ~key)
+      in
+      push_verdict lerrs
+        (KvCheck.check_durable ~init:(Model.Kv.init []) ~observation hist);
+      Store.close_session sess';
+      verdict_of_errs (List.rev !lerrs)
+    in
+    let verdict = finish ~base ~crash ~crashed ~errs ~live_check ~verify_image in
+    {
+      outcome;
+      verdict;
+      mem = base;
+      crashed;
+      sweep_steps;
+      history_ops = History.length hist;
+      history_pending = History.pending hist;
+      verify_image;
+    }
+  in
+  { name = "store"; nthreads = threads; run }
+
+let names = [ "pmwcas"; "skiplist"; "bwtree"; "store" ]
 
 let find = function
   | "pmwcas" -> Some (pmwcas ())
   | "skiplist" -> Some (skiplist ())
   | "bwtree" -> Some (bwtree ())
+  | "store" -> Some (store ())
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

@@ -73,6 +73,16 @@ val bwtree : ?threads:int -> ?ops:int -> ?keys:int -> ?seed:int -> unit -> t
 (** Mixed insert/remove/put/get over the Bw-tree with aggressive
     consolidation/split thresholds, checked against {!Model.Kv}. *)
 
+val store :
+  ?threads:int -> ?ops:int -> ?keys:int -> ?shards:int -> ?seed:int -> unit
+  -> t
+(** Mixed insert/delete/update/find against the sharded group-commit
+    store (skip-list shards, small batch limit): the schedule interleaves
+    queue pushes, combiner election, merged-batch application and the
+    spin-wait seam, and crash images exercise [Store.recover]'s
+    superblock-driven multi-shard recovery. Checked against
+    {!Model.Kv}. *)
+
 val names : string list
 val find : string -> t option
 (** Scenario with default parameters, by name. *)

@@ -38,7 +38,11 @@ let dst_skiplist ?(seed = 12) () =
   spec_of_scenario ~name:"dst-skiplist" ~seed
     (Scenarios.skiplist ~threads:2 ~ops:5 ~keys:5 ())
 
-let all () = [ dst_pmwcas (); dst_skiplist () ]
+let dst_store ?(seed = 13) () =
+  spec_of_scenario ~name:"dst-store" ~seed
+    (Scenarios.store ~threads:2 ~ops:4 ~keys:5 ~shards:2 ())
+
+let all () = [ dst_pmwcas (); dst_skiplist (); dst_store () ]
 
 let find name =
   List.find_opt (fun s -> s.Crash_sweep.name = name) (all ())

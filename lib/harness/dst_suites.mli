@@ -18,5 +18,11 @@ val dst_skiplist : ?seed:int -> unit -> Crash_sweep.spec
 (** Concurrent skip-list workload ({!Dst.Scenarios.skiplist}), suite
     name ["dst-skiplist"]. *)
 
+val dst_store : ?seed:int -> unit -> Crash_sweep.spec
+(** Sharded group-commit store workload ({!Dst.Scenarios.store}), suite
+    name ["dst-store"]: crashes land mid-batch (committer holding the
+    combiner flag, waiters parked) and recovery goes through
+    [Store.recover]'s superblock + parallel per-shard stack. *)
+
 val all : unit -> Crash_sweep.spec list
 val find : string -> Crash_sweep.spec option

@@ -374,6 +374,21 @@ let update_impl h ~key ~value =
   in
   attempt ()
 
+(* Expose an existing key's value word so a group-commit leader can fold
+   many single-key updates into one multi-word PMwCAS over the value
+   words. Only sound when the caller serializes every mutation on this
+   structure (the store's committer is the sole writer per shard);
+   under concurrent mutators the returned expected value can go stale
+   the moment the epoch closes. *)
+let locate_impl h ~key =
+  let t = h.sl in
+  Pool.with_epoch h.ph (fun () ->
+      let _, succs = search t key in
+      let n = succs.(0) in
+      if n <> t.tail && key_of t n = key && alive t n then
+        Some (value_addr n, Op.read t.pool (value_addr n))
+      else None)
+
 let find_impl h ~key =
   let t = h.sl in
   Pool.with_epoch h.ph (fun () ->
@@ -406,6 +421,9 @@ let find h ~key =
   let r = find_impl h ~key in
   record_op t0;
   r
+
+let locate h ~key = locate_impl h ~key
+let pool_handle h = h.ph
 
 let fold_range h ~lo ~hi ~init ~f =
   let t = h.sl in

@@ -57,6 +57,17 @@ val find : handle -> key:int -> int option
 val update : handle -> key:int -> value:int -> bool
 (** Replace the value of an existing key; [false] if absent. *)
 
+val locate : handle -> key:int -> (int * int) option
+(** [(value_word_address, current_value)] of a present key, read through
+    the PMwCAS read protocol. For single-writer batch merging (a group
+    commit folds many updates into one PMwCAS over the value words):
+    the expected value is only stable if the caller serializes all
+    mutations on this index. *)
+
+val pool_handle : handle -> Pmwcas.Pool.handle
+(** The underlying pool registration, for callers that combine [locate]
+    results into their own multi-word PMwCAS (group commit). *)
+
 val fold_range :
   handle -> lo:int -> hi:int -> init:'a -> f:('a -> key:int -> value:int -> 'a)
   -> 'a

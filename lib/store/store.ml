@@ -1,0 +1,594 @@
+(* Sharded persistent KV service with per-shard group commit.
+
+   A [Store.t] hash-shards the keyspace across N independent shards on
+   one simulated NVRAM device: each shard owns its own descriptor pool,
+   palloc heap and index (skip list or Bw-tree) in a private region, so
+   shards never share persistent state and can be recovered
+   independently — and in parallel.
+
+   Mutations are fronted by a per-shard flat-combining group-commit
+   pipeline: clients push requests onto the shard's (volatile) queue,
+   and the first client to take the shard's combiner flag becomes the
+   committer, draining the queue and applying whole batches with its own
+   handles. On a skip-list shard the committer folds every Update in the
+   batch into ONE multi-word PMwCAS over the located value words (sound
+   because the committer is the sole mutator of its shard: between
+   [Pm.locate] and [Op.execute] nothing else can move or delete the
+   node), so a batch of updates persists with one precommit
+   [Pcas.persist_batch] + fence and one apply batch + fence instead of a
+   fence trio per operation. Structural operations (insert/delete, and
+   everything on a Bw-tree shard) are applied by the committer one at a
+   time — serialized, not fence-amortized.
+
+   Reordering inside a batch is linearizable: every enqueuer blocks
+   until its request completes, so all requests in a batch are mutually
+   concurrent and any application order is a valid linearization; a
+   client never has two ops in one batch, so program order is preserved.
+
+   Reads bypass the queue entirely — [Op.read] persists dirty words
+   before returning, so direct reads are durably linearizable.
+
+   [Per_op] commit mode is the baseline for the B4 bench: no queue, no
+   combining — each client drives its own lock-free index operation and
+   pays the full per-op fence cost. *)
+
+module Mem = Nvram.Mem
+module Pool = Pmwcas.Pool
+module Op = Pmwcas.Op
+module Recovery = Pmwcas.Recovery
+module Pm = Skiplist.Pm
+module Tree = Bwtree.Tree
+
+let align8 a = (a + 7) / 8 * 8
+let magic = 0x570_4e5e_ed
+
+type index_kind = Skiplist | Bwtree
+type commit = Group | Per_op
+
+type config = {
+  shards : int;
+  index : index_kind;
+  commit : commit;
+  max_clients : int;
+  heap_words : int;
+  map_words : int;
+  batch_limit : int;
+}
+
+let default_config =
+  {
+    shards = 4;
+    index = Skiplist;
+    commit = Group;
+    max_clients = 4;
+    heap_words = 1 lsl 16;
+    map_words = 1 lsl 10;
+    batch_limit = 16;
+  }
+
+(* --- telemetry -------------------------------------------------------- *)
+
+type counters = {
+  commits : int;
+  batched_ops : int;
+  merged_updates : int;
+  solo_applies : int;
+  direct_applies : int;
+}
+
+(* Process-global, like [Palloc.counters]: where mutations were applied.
+   Field 0 drained batches, 1 ops that went through a batch, 2 updates
+   folded into a merged PMwCAS, 3 per-op applies by a committer, 4
+   [Per_op]-mode direct applies. *)
+let counter_cells = Telemetry.Sharded.create ~fields:5
+
+let counters () =
+  let s = Telemetry.Sharded.sum counter_cells in
+  {
+    commits = s 0;
+    batched_ops = s 1;
+    merged_updates = s 2;
+    solo_applies = s 3;
+    direct_applies = s 4;
+  }
+
+let reset_counters () = Telemetry.Sharded.reset counter_cells
+
+let counters_to_json () =
+  let c = counters () in
+  Telemetry.Value.Obj
+    [
+      ("commits", Telemetry.Value.Int c.commits);
+      ("batched_ops", Telemetry.Value.Int c.batched_ops);
+      ("merged_updates", Telemetry.Value.Int c.merged_updates);
+      ("solo_applies", Telemetry.Value.Int c.solo_applies);
+      ("direct_applies", Telemetry.Value.Int c.direct_applies);
+    ]
+
+let batch_hist = Telemetry.on_demand "store.batch_size"
+let wait_hist = Telemetry.on_demand "store.queue_wait_ns"
+
+(* --- geometry --------------------------------------------------------- *)
+
+(* Durable superblock, written on create and read back by [recover]:
+   word 0 magic (written last), 1 shards, 2 index kind, 3 commit mode,
+   4 max_clients, 5 heap_words, 6 map_words, 7 shard stride, 8 first
+   shard base, 9 batch_limit. *)
+let header_words = 16
+
+let max_threads_of cfg = cfg.max_clients + 2
+let pool_max_words cfg = max 8 cfg.batch_limit
+
+type layout = { heap_base : int; anchor : int; map_base : int }
+
+let shard_layout cfg sbase =
+  let pool_words =
+    Pool.region_words ~max_words:(pool_max_words cfg)
+      ~max_threads:(max_threads_of cfg) ()
+  in
+  let heap_base = sbase + align8 pool_words in
+  let anchor = align8 (heap_base + cfg.heap_words) in
+  let map_base =
+    match cfg.index with
+    | Skiplist -> 0
+    | Bwtree -> align8 (anchor + Tree.anchor_words)
+  in
+  { heap_base; anchor; map_base }
+
+let shard_stride cfg =
+  let l = shard_layout cfg 0 in
+  let last =
+    match cfg.index with
+    | Skiplist -> l.anchor + Pm.anchor_words
+    | Bwtree -> l.map_base + cfg.map_words
+  in
+  align8 (last + 8)
+
+let words_needed cfg =
+  if cfg.shards < 1 then invalid_arg "Store: shards < 1";
+  align8 header_words + (cfg.shards * shard_stride cfg)
+
+(* --- runtime structure ------------------------------------------------ *)
+
+type kv_op = Insert of int * int | Update of int * int | Delete of int
+
+type request = {
+  op : kv_op;
+  mutable result : bool;
+  done_ : bool Atomic.t;
+  enq_ns : int;  (* 0 when telemetry is off *)
+}
+
+type index = Sl of Pm.t | Bt of Tree.t
+
+type shard = {
+  sbase : int;
+  index : index;
+  pool : Pool.t;
+  palloc : Palloc.t;
+  queue : request list Atomic.t;  (* Treiber stack, newest first *)
+  combiner : bool Atomic.t;
+}
+
+type t = { mem : Mem.t; base : int; cfg : config; shards : shard array }
+
+type shard_handle = Slh of Pm.handle | Bth of Tree.handle
+type session = { store : t; handles : shard_handle array }
+
+let mem t = t.mem
+let config t = t.cfg
+let nshards t = t.cfg.shards
+
+(* Fibonacci-hash the key so dense keyspaces spread across shards
+   instead of landing contiguously (same scramble the workload
+   distributions use). *)
+let shard_of t key =
+  if t.cfg.shards = 1 then 0
+  else key * 0x2545F4914F6CDD1D land max_int mod t.cfg.shards
+
+let shard_bounds t i =
+  let b = t.shards.(i).sbase in
+  (b, b + shard_stride t.cfg)
+
+let shard_palloc t i = t.shards.(i).palloc
+let shard_pool t i = t.shards.(i).pool
+
+(* --- construction ----------------------------------------------------- *)
+
+let kind_code = function Skiplist -> 0 | Bwtree -> 1
+
+let kind_of_code = function
+  | 0 -> Skiplist
+  | 1 -> Bwtree
+  | _ -> failwith "Store.recover: corrupt header (kind)"
+
+let commit_code = function Group -> 0 | Per_op -> 1
+
+let commit_of_code = function
+  | 0 -> Group
+  | 1 -> Per_op
+  | _ -> failwith "Store.recover: corrupt header (commit)"
+
+let fresh_shard cfg mem sbase =
+  let l = shard_layout cfg sbase in
+  let max_threads = max_threads_of cfg in
+  let palloc =
+    Palloc.create mem ~base:l.heap_base ~words:cfg.heap_words ~max_threads
+  in
+  let pool =
+    Pool.create ~max_words:(pool_max_words cfg) ~palloc mem ~base:sbase
+      ~max_threads
+  in
+  let index =
+    match cfg.index with
+    | Skiplist -> Sl (Pm.create ~pool ~palloc ~anchor:l.anchor ())
+    | Bwtree ->
+        Bt
+          (Tree.create ~pool ~palloc ~anchor:l.anchor ~map_base:l.map_base
+             ~map_words:cfg.map_words ())
+  in
+  {
+    sbase;
+    index;
+    pool;
+    palloc;
+    queue = Atomic.make [];
+    combiner = Atomic.make false;
+  }
+
+let write_header t =
+  let m = t.mem and b = t.base in
+  Mem.write m (b + 1) t.cfg.shards;
+  Mem.write m (b + 2) (kind_code t.cfg.index);
+  Mem.write m (b + 3) (commit_code t.cfg.commit);
+  Mem.write m (b + 4) t.cfg.max_clients;
+  Mem.write m (b + 5) t.cfg.heap_words;
+  Mem.write m (b + 6) t.cfg.map_words;
+  Mem.write m (b + 7) (shard_stride t.cfg);
+  Mem.write m (b + 8) (t.base + align8 header_words);
+  Mem.write m (b + 9) t.cfg.batch_limit;
+  Mem.clwb_range m ~lo:(b + 1) ~hi:(b + 9);
+  Mem.fence m;
+  (* Magic last, separately fenced: a creation crash leaves an
+     unformatted region, never a half-described one. *)
+  Mem.write m b magic;
+  Mem.clwb m b;
+  Mem.fence m
+
+let create ?(config = default_config) mem ~base =
+  let cfg = config in
+  if cfg.shards < 1 then invalid_arg "Store.create: shards < 1";
+  if cfg.max_clients < 1 then invalid_arg "Store.create: max_clients < 1";
+  if cfg.batch_limit < 1 then invalid_arg "Store.create: batch_limit < 1";
+  let stride = shard_stride cfg in
+  let shard0 = base + align8 header_words in
+  let shards =
+    Array.init cfg.shards (fun i -> fresh_shard cfg mem (shard0 + (i * stride)))
+  in
+  let t = { mem; base; cfg; shards } in
+  write_header t;
+  t
+
+(* --- recovery --------------------------------------------------------- *)
+
+type shard_recovery = {
+  shard : int;
+  alloc_rolled_back : int;
+  pmwcas : Recovery.stats;
+}
+
+let read_config mem ~base =
+  if Mem.read mem base <> magic then failwith "Store.recover: bad magic";
+  {
+    shards = Mem.read mem (base + 1);
+    index = kind_of_code (Mem.read mem (base + 2));
+    commit = commit_of_code (Mem.read mem (base + 3));
+    max_clients = Mem.read mem (base + 4);
+    heap_words = Mem.read mem (base + 5);
+    map_words = Mem.read mem (base + 6);
+    batch_limit = Mem.read mem (base + 9);
+  }
+
+let recover_shard cfg mem i sbase =
+  let l = shard_layout cfg sbase in
+  let max_threads = max_threads_of cfg in
+  let palloc, alloc_rolled_back =
+    Palloc.recover mem ~base:l.heap_base ~words:cfg.heap_words ~max_threads
+  in
+  (* The Bw-tree's consolidation callback must be re-registered before
+     recovery finalizes any descriptor that carries it. *)
+  let callbacks =
+    match cfg.index with
+    | Skiplist -> []
+    | Bwtree -> [ Tree.recovery_callback mem ]
+  in
+  let pool, stats = Recovery.run ~palloc ~callbacks mem ~base:sbase in
+  let index =
+    match cfg.index with
+    | Skiplist -> Sl (Pm.attach ~pool ~palloc ~anchor:l.anchor)
+    | Bwtree -> Bt (Tree.attach ~pool ~palloc ~anchor:l.anchor)
+  in
+  ( {
+      sbase;
+      index;
+      pool;
+      palloc;
+      queue = Atomic.make [];
+      combiner = Atomic.make false;
+    },
+    { shard = i; alloc_rolled_back; pmwcas = stats } )
+
+(* Re-open a crashed (or cleanly closed) store: read the geometry back
+   from the superblock and run the standard per-shard recovery stack
+   (Palloc.recover, Recovery.run, attach), optionally farmed across
+   [domains] worker domains. Shard regions are disjoint and each shard's
+   recovery is single-threaded within its region, so parallel recovery
+   needs no coordination and restart time stays flat as shards grow. *)
+let recover ?(domains = 1) mem ~base =
+  let cfg = read_config mem ~base in
+  let n = cfg.shards in
+  if n < 1 || n > 65536 then failwith "Store.recover: corrupt header (shards)";
+  let stride = Mem.read mem (base + 7) in
+  if stride <> shard_stride cfg then
+    failwith "Store.recover: corrupt header (stride)";
+  let shard0 = Mem.read mem (base + 8) in
+  if shard0 <> base + align8 header_words then
+    failwith "Store.recover: corrupt header (shard base)";
+  let results = Array.make n None in
+  let recover_range lo hi =
+    for i = lo to hi - 1 do
+      results.(i) <- Some (recover_shard cfg mem i (shard0 + (i * stride)))
+    done
+  in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then recover_range 0 n
+  else begin
+    let per = (n + domains - 1) / domains in
+    List.init domains (fun d ->
+        Domain.spawn (fun () -> recover_range (d * per) (min n ((d + 1) * per))))
+    |> List.iter Domain.join
+  end;
+  let pairs = Array.map Option.get results in
+  ( { mem; base; cfg; shards = Array.map fst pairs },
+    Array.to_list (Array.map snd pairs) )
+
+(* --- sessions --------------------------------------------------------- *)
+
+let open_session t =
+  {
+    store = t;
+    handles =
+      Array.map
+        (fun sh ->
+          match sh.index with
+          | Sl sl -> Slh (Pm.register sl)
+          | Bt tr -> Bth (Tree.register tr))
+        t.shards;
+  }
+
+let close_session sess =
+  Array.iter
+    (function Slh h -> Pm.unregister h | Bth h -> Tree.unregister h)
+    sess.handles
+
+let quiesce sess =
+  Array.iter
+    (function Slh h -> Pm.quiesce h | Bth h -> Tree.quiesce h)
+    sess.handles
+
+let check_invariants sess =
+  Array.iter
+    (function
+      | Slh h -> Pm.check_invariants h | Bth h -> Tree.check_invariants h)
+    sess.handles
+
+let length sess =
+  Array.fold_left
+    (fun acc -> function
+      | Slh h -> acc + Pm.length h | Bth h -> acc + Tree.length h)
+    0 sess.handles
+
+(* --- operation application ------------------------------------------- *)
+
+let apply_one handle op =
+  match (handle, op) with
+  | Slh h, Insert (key, value) -> Pm.insert h ~key ~value
+  | Slh h, Update (key, value) -> Pm.update h ~key ~value
+  | Slh h, Delete key -> Pm.delete h ~key
+  | Bth h, Insert (key, value) -> Tree.insert h ~key ~value
+  | Bth h, Update (key, value) -> (
+      (* Check-then-put: atomic here only because mutations on a Group
+         shard are committer-serialized; Per_op Bw-tree shards get upsert
+         semantics under a concurrent delete of the same key. *)
+      match Tree.get h ~key with
+      | None -> false
+      | Some _ ->
+          ignore (Tree.put h ~key ~value);
+          true)
+  | Bth h, Delete key -> Tree.remove h ~key
+
+(* Fold a batch's updates into merged PMwCASes over the located value
+   words, [batch_limit] keys at a time. Duplicate keys keep the
+   last-listed value; the overwritten requests linearize just before the
+   surviving one, so they report the same present/absent outcome.
+   Requests on absent keys fail without joining a descriptor. *)
+let apply_merged_updates cfg (h : Pm.handle) updates =
+  let value_of r = match r.op with Update (_, v) -> v | _ -> assert false in
+  let last = Hashtbl.create 16 and order = ref [] in
+  List.iter
+    (fun r ->
+      match r.op with
+      | Update (k, _) ->
+          if not (Hashtbl.mem last k) then order := k :: !order;
+          Hashtbl.replace last k r
+      | _ -> assert false)
+    updates;
+  let merged = ref 0 in
+  let finish_key k ok = (Hashtbl.find last k).result <- ok in
+  let commit_chunk chunk =
+    match chunk with
+    | [] -> ()
+    | [ (k, _, _) ] ->
+        (* A lone survivor gains nothing from a descriptor. *)
+        let v = value_of (Hashtbl.find last k) in
+        finish_key k (Pm.update h ~key:k ~value:v)
+    | _ ->
+        let d = Pool.alloc_desc (Pm.pool_handle h) in
+        List.iter
+          (fun (k, addr, cur) ->
+            Pool.add_word d ~addr ~expected:cur
+              ~desired:(value_of (Hashtbl.find last k)))
+          chunk;
+        if Op.execute d then begin
+          merged := !merged + List.length chunk;
+          List.iter (fun (k, _, _) -> finish_key k true) chunk
+        end
+        else
+          (* Cannot happen while the committer is the sole mutator, but
+             stay safe if that invariant is ever broken: re-apply each
+             update through the normal lock-free path. *)
+          List.iter
+            (fun (k, _, _) ->
+              finish_key k
+                (Pm.update h ~key:k ~value:(value_of (Hashtbl.find last k))))
+            chunk
+  in
+  let rec walk acc n = function
+    | [] -> commit_chunk (List.rev acc)
+    | k :: tl when n = cfg.batch_limit ->
+        commit_chunk (List.rev acc);
+        walk [] 0 (k :: tl)
+    | k :: tl -> (
+        match Pm.locate h ~key:k with
+        | None ->
+            finish_key k false;
+            walk acc n tl
+        | Some (addr, cur) -> walk ((k, addr, cur) :: acc) (n + 1) tl)
+  in
+  walk [] 0 (List.rev !order);
+  (* Every duplicate inherits its survivor's outcome. *)
+  List.iter
+    (fun r ->
+      match r.op with
+      | Update (k, _) ->
+          let surv = Hashtbl.find last k in
+          if r != surv then r.result <- surv.result
+      | _ -> assert false)
+    updates;
+  !merged
+
+let apply_batch cfg handle batch =
+  let n = List.length batch in
+  if Telemetry.enabled () then begin
+    Telemetry.Histogram.record (batch_hist ()) n;
+    let now = Telemetry.now_ns () in
+    List.iter
+      (fun r ->
+        if r.enq_ns > 0 then
+          Telemetry.Histogram.record (wait_hist ()) (now - r.enq_ns))
+      batch
+  end;
+  Telemetry.Sharded.incr counter_cells 0;
+  Telemetry.Sharded.add counter_cells 1 n;
+  let mergeable r =
+    match (handle, r.op) with Slh _, Update _ -> true | _ -> false
+  in
+  let updates, solo = List.partition mergeable batch in
+  (* Solos first: an insert and an update of the same key in one batch
+     are concurrent requests, and insert-before-update is the friendlier
+     of the two valid linearizations. *)
+  List.iter (fun r -> r.result <- apply_one handle r.op) solo;
+  Telemetry.Sharded.add counter_cells 3 (List.length solo);
+  (match (handle, updates) with
+  | _, [] -> ()
+  | Slh h, _ ->
+      let merged = apply_merged_updates cfg h updates in
+      Telemetry.Sharded.add counter_cells 2 merged;
+      Telemetry.Sharded.add counter_cells 3 (List.length updates - merged)
+  | Bth _, _ -> assert false);
+  (* Publish results only after every effect of the batch: a waiter that
+     sees [done_] must be past the batch's commit point. *)
+  List.iter (fun r -> Atomic.set r.done_ true) batch
+
+(* --- the client-facing operation path --------------------------------- *)
+
+(* Spin seam: route the wait through a hooked device read so DST fibers
+   yield here, and surface an exhausted crash budget so a waiter whose
+   committer died mid-batch unwinds instead of spinning forever. *)
+let yield_point t =
+  ignore (Mem.read t.mem t.base);
+  (match Mem.fuel_remaining t.mem with
+  | Some 0 -> raise Mem.Crash
+  | _ -> ());
+  Domain.cpu_relax ()
+
+let rec push_request q r =
+  let cur = Atomic.get q in
+  if not (Atomic.compare_and_set q cur (r :: cur)) then push_request q r
+
+let enqueue_and_wait t si handle op =
+  let sh = t.shards.(si) in
+  let enq_ns = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let r = { op; result = false; done_ = Atomic.make false; enq_ns } in
+  push_request sh.queue r;
+  let spins = ref 0 in
+  let rec wait () =
+    if Atomic.get r.done_ then r.result
+    else if Atomic.compare_and_set sh.combiner false true then begin
+      (* Committer: drain until our own request has been applied AND
+         the queue is empty. The request was enqueued before the flag
+         was taken, so it is in this committer's first exchange unless
+         a previous committer already completed it. Staying past our
+         own completion is what makes batches compose: requests pushed
+         while a batch is being applied are picked up by the next
+         exchange instead of each waiter self-electing and draining a
+         batch of one (flat combining). *)
+      let rec lead () =
+        let batch = Atomic.exchange sh.queue [] in
+        if batch <> [] then apply_batch t.cfg handle (List.rev batch);
+        if not (Atomic.get r.done_) then begin
+          yield_point t;
+          lead ()
+        end
+        else if Atomic.get sh.queue <> [] then lead ()
+      in
+      (match lead () with
+      | () -> Atomic.set sh.combiner false
+      | exception e ->
+          Atomic.set sh.combiner false;
+          raise e);
+      r.result
+    end
+    else begin
+      yield_point t;
+      (* On hosts with fewer cores than clients a pure spin is
+         pathological: the waiter burns its whole timeslice while the
+         descheduled committer holds the flag. After a short spin,
+         deschedule — the committer gets the CPU, and the requests that
+         pile up while it applies are what group commit batches. *)
+      incr spins;
+      if !spins > 64 then Unix.sleepf 2e-6;
+      wait ()
+    end
+  in
+  wait ()
+
+let mutate sess op key =
+  let t = sess.store in
+  let si = shard_of t key in
+  let handle = sess.handles.(si) in
+  match t.cfg.commit with
+  | Per_op ->
+      Telemetry.Sharded.incr counter_cells 4;
+      apply_one handle op
+  | Group -> enqueue_and_wait t si handle op
+
+let insert sess ~key ~value = mutate sess (Insert (key, value)) key
+let update sess ~key ~value = mutate sess (Update (key, value)) key
+let delete sess ~key = mutate sess (Delete key) key
+
+let find sess ~key =
+  let t = sess.store in
+  match sess.handles.(shard_of t key) with
+  | Slh h -> Pm.find h ~key
+  | Bth h -> Tree.get h ~key

@@ -1,0 +1,121 @@
+(** Sharded persistent KV service with per-shard group commit.
+
+    The keyspace is Fibonacci-hashed across [shards] independent shards
+    on one NVRAM device; each shard owns a private region holding its
+    descriptor pool, palloc heap and index (skip list or Bw-tree), so
+    shards share no persistent state and recover independently — in
+    parallel, via {!recover} [~domains].
+
+    With [commit = Group], mutations flow through a per-shard
+    flat-combining queue: the first waiter becomes the shard's committer
+    and applies whole batches, folding the batch's skip-list updates into
+    one multi-word PMwCAS so the batch persists with one flush round +
+    fence per phase instead of a fence trio per op. [Per_op] is the
+    uncombined baseline (every client drives its own lock-free index op).
+    Reads always bypass the queue; the PMwCAS read protocol persists
+    dirty words, keeping direct reads durably linearizable. *)
+
+type index_kind = Skiplist | Bwtree
+type commit = Group | Per_op
+
+type config = {
+  shards : int;
+  index : index_kind;
+  commit : commit;
+  max_clients : int;  (** Concurrently open sessions. *)
+  heap_words : int;  (** Palloc heap words per shard. *)
+  map_words : int;  (** Bw-tree mapping-table words per shard. *)
+  batch_limit : int;  (** Max updates folded into one merged PMwCAS. *)
+}
+
+val default_config : config
+
+val words_needed : config -> int
+(** Device words to carve for a store with this geometry. *)
+
+type t
+
+val create : ?config:config -> Nvram.Mem.t -> base:int -> t
+(** Format a fresh store at [base] ([words_needed config] words). The
+    durable superblock (geometry) is written last, so a creation crash
+    leaves an unformatted region rather than a half-built store. *)
+
+type shard_recovery = {
+  shard : int;
+  alloc_rolled_back : int;  (** In-flight allocations rolled back. *)
+  pmwcas : Pmwcas.Recovery.stats;
+}
+
+val recover : ?domains:int -> Nvram.Mem.t -> base:int -> t * shard_recovery list
+(** Re-open after a crash (or clean shutdown): reads the geometry back
+    from the superblock, then runs the standard recovery stack
+    ([Palloc.recover], [Recovery.run], index attach) on every shard.
+    With [domains > 1] the shards are recovered in parallel across that
+    many worker domains — their regions are disjoint, so no coordination
+    is needed and restart latency stays flat as the shard count grows.
+    @raise Failure on bad magic or a corrupt superblock. *)
+
+(** {1 Sessions} *)
+
+type session
+(** Per-domain client state: one index handle per shard. At most
+    [max_clients] sessions may be open at once; a session is not
+    thread-safe. *)
+
+val open_session : t -> session
+val close_session : session -> unit
+
+(** {1 Operations}
+
+    Results follow the index semantics: [insert] is [false] if present,
+    [update]/[delete] are [false] if absent. *)
+
+val insert : session -> key:int -> value:int -> bool
+val update : session -> key:int -> value:int -> bool
+val delete : session -> key:int -> bool
+val find : session -> key:int -> int option
+
+(** {1 Introspection} *)
+
+val mem : t -> Nvram.Mem.t
+val config : t -> config
+val nshards : t -> int
+
+val shard_of : t -> int -> int
+(** Shard index a key routes to. *)
+
+val shard_bounds : t -> int -> int * int
+(** [(lo, hi)] device-word bounds of shard [i]'s region — for isolation
+    tests that assert traffic to one shard never touches another. *)
+
+val shard_palloc : t -> int -> Palloc.t
+val shard_pool : t -> int -> Pmwcas.Pool.t
+
+val length : session -> int
+(** Total keys across all shards (O(n)). *)
+
+val quiesce : session -> unit
+(** Advance epochs and drain deferred reclamation on every shard. *)
+
+val check_invariants : session -> unit
+(** Structural audit of every shard's index (call when quiescent).
+    @raise Failure on violation. *)
+
+(** {1 Telemetry}
+
+    Process-global counters (all stores in the process), in the style of
+    [Palloc.counters]; histograms ["store.batch_size"] and
+    ["store.queue_wait_ns"] record per-batch size and enqueue-to-drain
+    wait when telemetry is enabled. *)
+
+type counters = {
+  commits : int;  (** Batches drained by a committer. *)
+  batched_ops : int;  (** Requests that went through a queue. *)
+  merged_updates : int;  (** Updates folded into merged PMwCASes. *)
+  solo_applies : int;  (** Batch requests applied one at a time. *)
+  direct_applies : int;  (** [Per_op]-mode direct applies. *)
+}
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+val counters_to_json : unit -> Telemetry.Value.t

@@ -138,11 +138,18 @@ let mean s = if s.count = 0 then 0. else float_of_int s.sum /. float_of_int s.co
 
 (* Value at quantile [q]: the upper bound of the first bucket whose
    cumulative count reaches [q * count], clamped to the recorded maximum
-   (so [percentile s 1. = s.max_value]). *)
+   (so [percentile s 1. = s.max_value]). Pinned boundary semantics: an
+   empty snapshot yields 0 for every q; q <= 0 yields the smallest
+   recorded bucket's upper bound; q >= 1 yields [max_value]; a NaN q
+   (e.g. a ratio computed off an empty counter upstream) is treated as
+   the conservative tail, q = 1 — the naive clamp would let it slip
+   through (every NaN comparison is false) and silently act like q = 0. *)
 let percentile s q =
   if s.count = 0 then 0
   else begin
-    let q = Float.max 0. (Float.min 1. q) in
+    let q =
+      if Float.is_nan q then 1.0 else Float.max 0. (Float.min 1. q)
+    in
     let target =
       let t = int_of_float (ceil (q *. float_of_int s.count)) in
       if t < 1 then 1 else t

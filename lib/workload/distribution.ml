@@ -29,6 +29,10 @@ let create = function
   | Zipfian { n; theta; scrambled } ->
       if n <= 0 then invalid_arg "Distribution: n <= 0";
       if theta < 0. || theta >= 1. then invalid_arg "Distribution: theta";
+      if n = 1 then (* eta's (2/n)^(1-theta) term is meaningless at n=1;
+                       a one-key Zipfian is just the constant 0 *)
+        U 1
+      else
       let zetan = zeta n theta in
       let zeta2 = zeta 2 theta in
       let alpha = 1. /. (1. -. theta) in
@@ -43,10 +47,13 @@ let create = function
         invalid_arg "Distribution: hot_fraction";
       if hot_probability < 0. || hot_probability > 1. then
         invalid_arg "Distribution: hot_probability";
+      (* hot_fraction * n can round to 0 (tiny fraction) or reach n
+         (fraction ~1, or n = 1): clamp into [1, n] so both the hot and
+         the cold draw below stay well-defined. *)
       H
         {
           n;
-          hot_n = max 1 (int_of_float (hot_fraction *. float_of_int n));
+          hot_n = min n (max 1 (int_of_float (hot_fraction *. float_of_int n)));
           hot_probability;
         }
 
@@ -69,9 +76,12 @@ let next t rng =
       let rank = if rank >= n then n - 1 else rank in
       if scrambled then scramble n rank else rank
   | H { n; hot_n; hot_probability } ->
-      if Random.State.float rng 1.0 < hot_probability then
+      (* When every key is hot there is no cold region to fall back to —
+         the old [hot_n + int (max 1 (n - hot_n))] drew the out-of-range
+         index [n] in that case. *)
+      if hot_n >= n || Random.State.float rng 1.0 < hot_probability then
         Random.State.int rng hot_n
-      else hot_n + Random.State.int rng (max 1 (n - hot_n))
+      else hot_n + Random.State.int rng (n - hot_n)
 
 let n = function U n -> n | Z { n; _ } -> n | H { n; _ } -> n
 

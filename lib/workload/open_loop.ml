@@ -1,0 +1,62 @@
+(* Open-loop (arrival-rate driven) load generation.
+
+   A closed loop issues the next request only after the previous one
+   completes, so a slow service quietly throttles its own offered load
+   and the measured latencies hide queueing delay — the classic
+   coordinated-omission trap. This driver instead fixes the arrival
+   schedule up front: request [i] is {e due} at a timestamp drawn from
+   the interarrival process regardless of how the service is doing, and
+   its recorded latency is [completion - scheduled_arrival]. A stalled
+   service therefore shows up as growing tail latency (requests complete
+   long after they were due), exactly as a queueing client would see. *)
+
+type arrival =
+  | Uniform  (** Deterministic interarrival: one request every [1/rate]. *)
+  | Poisson  (** Exponential interarrival with mean [1/rate]. *)
+
+type result = {
+  issued : int;
+  completed : int;
+  elapsed_ns : int;  (** First scheduled arrival to last completion. *)
+  achieved_rate : float;  (** Completions per second of elapsed time. *)
+}
+
+let interarrival_ns arrival rng rate =
+  let mean = 1e9 /. rate in
+  match arrival with
+  | Uniform -> int_of_float mean
+  | Poisson ->
+      (* Inverse-CDF draw; bound u away from 0 so log stays finite. *)
+      let u = Float.max 1e-12 (Random.State.float rng 1.0) in
+      int_of_float (-.mean *. log u)
+
+(* Run [ops] requests against [exec] at [rate] per second, recording
+   [completion - scheduled_arrival] for each into [latencies]
+   (unconditionally: the caller owns the histogram and may sample it with
+   telemetry globally off). [exec i] receives the request index. The
+   driver busy-waits until each request is due — cooperative enough for
+   bench domains, and it never sleeps past a due request. *)
+let run ?(arrival = Poisson) ?(seed = 42) ~rate ~ops ~latencies exec =
+  if rate <= 0. then invalid_arg "Open_loop.run: rate <= 0";
+  if ops < 0 then invalid_arg "Open_loop.run: ops < 0";
+  let rng = Random.State.make [| seed; 0x10ad |] in
+  let start = Telemetry.Clock.now_ns () in
+  let due = ref start in
+  let completed = ref 0 in
+  for i = 0 to ops - 1 do
+    while Telemetry.Clock.now_ns () < !due do
+      Domain.cpu_relax ()
+    done;
+    exec i;
+    let now = Telemetry.Clock.now_ns () in
+    Telemetry.Histogram.record latencies (now - !due);
+    incr completed;
+    due := !due + interarrival_ns arrival rng rate
+  done;
+  let elapsed_ns = max 1 (Telemetry.Clock.now_ns () - start) in
+  {
+    issued = ops;
+    completed = !completed;
+    elapsed_ns;
+    achieved_rate = float_of_int !completed *. 1e9 /. float_of_int elapsed_ns;
+  }

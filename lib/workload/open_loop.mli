@@ -1,0 +1,31 @@
+(** Open-loop (arrival-rate driven) load generation.
+
+    Requests are scheduled by an interarrival process at a fixed offered
+    rate, independent of service speed, and each recorded latency is
+    [completion - scheduled_arrival] — so queueing delay behind a slow
+    service inflates the tail instead of silently throttling the load
+    (no coordinated omission). *)
+
+type arrival =
+  | Uniform  (** One request every [1/rate] seconds. *)
+  | Poisson  (** Exponential interarrival with mean [1/rate]. *)
+
+type result = {
+  issued : int;
+  completed : int;
+  elapsed_ns : int;  (** First scheduled arrival to last completion. *)
+  achieved_rate : float;  (** Completions per second of elapsed time. *)
+}
+
+val run :
+  ?arrival:arrival ->
+  ?seed:int ->
+  rate:float ->
+  ops:int ->
+  latencies:Telemetry.Histogram.t ->
+  (int -> unit) ->
+  result
+(** [run ~rate ~ops ~latencies exec] issues [ops] calls of [exec i] on
+    the calling domain, each due at its scheduled arrival (busy-waiting
+    when early), recording [completion - due] into [latencies]
+    unconditionally. One driver per domain; give each a distinct [seed]. *)

@@ -18,10 +18,10 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== telemetry smoke (with flush-coalescing + allocator-counter gates)"
+echo "== telemetry smoke (with flush-coalescing + allocator + store gates)"
 dune exec bench/main.exe -- smoke --metrics /tmp/telemetry_smoke.json
 dune exec bin/pmwcas_cli.exe -- check-metrics --require-coalescing \
-  --require-alloc-counters /tmp/telemetry_smoke.json
+  --require-alloc-counters --require-store-counters /tmp/telemetry_smoke.json
 
 echo "== crash-sweep smoke"
 dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 60 --seeds 1
@@ -42,6 +42,14 @@ dune exec bin/pmwcas_cli.exe -- dst --strategy exhaustive --threads 2 \
   --ops 1 --addrs 2 --preemptions 1
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite dst-pmwcas --budget 80 \
   --seeds 1
+
+echo "== store smoke (group commit, DST + crash-restart-resume)"
+dune exec bin/pmwcas_cli.exe -- dst --scenario store --strategy random \
+  --seeds 2 --shards 2
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite dst-store --budget 48 \
+  --seeds 1
+dune exec bin/pmwcas_cli.exe -- store-soak --shards 2 --clients 2 \
+  --ops 1500 --fuel 16000 --recover-domains 2
 
 echo "== dst broken-helper self-test (token must replay)"
 dune exec bin/pmwcas_cli.exe -- dst --broken-helper > /tmp/dst_selftest.out

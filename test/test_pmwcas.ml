@@ -189,6 +189,50 @@ let pcas_tests =
         ignore (Pcas.cas mem 0 ~expected:0 ~desired:9);
         let img = Mem.crash_image mem in
         Alcotest.(check int) "lost" 0 (Flags.clear_dirty (Mem.read img 0)));
+    Alcotest.test_case "persist_batch: empty batch is free" `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:64 ()) in
+        let s0 = Nvram.Stats.snapshot (Mem.stats mem) in
+        Pcas.persist_batch mem [];
+        let s1 = Nvram.Stats.snapshot (Mem.stats mem) in
+        Alcotest.(check int) "no clwb" s0.flushes s1.flushes;
+        Alcotest.(check int) "no fence" s0.fences s1.fences;
+        Alcotest.(check int) "no cas" s0.cases s1.cases);
+    Alcotest.test_case "persist_batch: shared line flushed once" `Quick
+      (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:64 ()) in
+        Pcas.write mem 0 1;
+        Pcas.write mem 1 2;
+        let s0 = Nvram.Stats.snapshot (Mem.stats mem) in
+        Pcas.persist_batch mem
+          [ (0, Flags.set_dirty 1); (1, Flags.set_dirty 2) ];
+        let s1 = Nvram.Stats.snapshot (Mem.stats mem) in
+        Alcotest.(check int) "one clwb for the shared line" 1
+          (s1.flushes + s1.elided_flushes - s0.flushes - s0.elided_flushes);
+        Alcotest.(check int) "one fence" 1 (s1.fences - s0.fences);
+        Alcotest.(check int) "word 0 clean" 1 (Mem.read mem 0);
+        Alcotest.(check int) "word 1 clean" 2 (Mem.read mem 1);
+        Alcotest.(check int) "word 0 durable" 1
+          (Flags.clear_dirty (Mem.read_persistent mem 0)));
+    Alcotest.test_case "persist_batch: duplicate addr gets one CAS, last value"
+      `Quick (fun () ->
+        let mem = Mem.create (Nvram.Config.make ~words:64 ()) in
+        (* The word holds the batch's last-listed value, as it would after
+           a deduplicated multi-word install; the stale earlier entry must
+           neither CAS nor resurrect. A second address keeps the batch on
+           the >= 2 path. *)
+        Pcas.write mem 8 7;
+        Pcas.write mem 16 3;
+        let s0 = Nvram.Stats.snapshot (Mem.stats mem) in
+        Pcas.persist_batch mem
+          [
+            (8, Flags.set_dirty 5); (16, Flags.set_dirty 3);
+            (8, Flags.set_dirty 7);
+          ];
+        let s1 = Nvram.Stats.snapshot (Mem.stats mem) in
+        Alcotest.(check int) "one dirty-clear CAS per distinct addr" 2
+          (s1.cases - s0.cases);
+        Alcotest.(check int) "cleared to last-listed value" 7 (Mem.read mem 8);
+        Alcotest.(check int) "other word clean" 3 (Mem.read mem 16));
   ]
 
 let pool_tests =

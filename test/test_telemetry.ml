@@ -74,6 +74,32 @@ let test_empty_histogram () =
   Alcotest.(check int) "max" 0 s.H.max_value;
   Alcotest.(check (float 1e-9)) "mean" 0.0 (H.mean s)
 
+(* Pinned boundary semantics of [percentile]: empty -> 0 for every q
+   (finite or not); q <= 0 -> smallest recorded bucket's upper bound;
+   q >= 1 -> max_value; NaN q -> the conservative tail (q = 1), never
+   the silent q = 0 a naive clamp would produce. *)
+let test_percentile_boundaries () =
+  let e = H.snapshot (H.create ()) in
+  List.iter
+    (fun q -> Alcotest.(check int) "empty is 0 everywhere" 0 (H.percentile e q))
+    [ -1.; 0.; 0.5; 1.; 2.; Float.nan ];
+  let h = H.create () in
+  H.record h 5;
+  let s = H.snapshot h in
+  List.iter
+    (fun q ->
+      Alcotest.(check int) "single sample is every percentile" 5
+        (H.percentile s q))
+    [ 0.; 0.5; 1. ];
+  let h2 = H.create () in
+  List.iter (H.record h2) [ 1; 1000 ];
+  let s2 = H.snapshot h2 in
+  Alcotest.(check int) "q < 0 clamps to smallest bucket" 1
+    (H.percentile s2 (-0.5));
+  Alcotest.(check int) "q > 1 clamps to max" 1000 (H.percentile s2 7.);
+  Alcotest.(check int) "NaN q is the tail, not the floor" 1000
+    (H.percentile s2 Float.nan)
+
 let test_merge () =
   let mk vals =
     let h = H.create () in
@@ -336,6 +362,8 @@ let () =
           Alcotest.test_case "record/snapshot" `Quick test_record_snapshot;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "empty" `Quick test_empty_histogram;
+          Alcotest.test_case "percentile boundaries" `Quick
+            test_percentile_boundaries;
           Alcotest.test_case "merge algebra" `Quick test_merge;
           Alcotest.test_case "concurrent record" `Quick test_concurrent_record;
         ] );

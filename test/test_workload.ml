@@ -16,7 +16,9 @@ let freq_of_hottest samples n =
 
 let spec_gen =
   let open QCheck.Gen in
-  let n = 2 -- 512 in
+  (* n = 1 and extreme hot fractions (rounding to zero hot keys, or to
+     the whole keyspace) are valid specs; the generator must cover them. *)
+  let n = 1 -- 512 in
   oneof
     [
       map (fun n -> D.Uniform n) n;
@@ -28,7 +30,7 @@ let spec_gen =
         (fun n (hot_fraction, hot_probability) ->
           D.Hotspot { n; hot_fraction; hot_probability })
         n
-        (pair (float_range 0.05 1.) (float_bound_inclusive 1.));
+        (pair (float_range 0.001 1.) (float_bound_inclusive 1.));
     ]
 
 let spec_arbitrary = QCheck.make ~print:D.describe spec_gen
@@ -100,6 +102,51 @@ let hotspot_probability () =
     true
     (frac > 0.85 && frac < 0.95)
 
+(* The rounding edges the sampler must survive: a hot fraction small
+   enough to round to zero keys still keeps one hot key; a fraction of
+   1.0 makes every key hot (the cold branch would otherwise draw from
+   an empty range and raise); n = 1 degenerates to the constant key for
+   every family. *)
+let hotspot_edges () =
+  List.iter
+    (fun (hot_fraction, hot_probability) ->
+      let spec = D.Hotspot { n = 7; hot_fraction; hot_probability } in
+      Array.iter
+        (fun k ->
+          if k < 0 || k >= 7 then
+            Alcotest.failf "%s sampled %d" (D.describe spec) k)
+        (sample spec ~seed:5 ~count:2_000))
+    [ (0.001, 0.9); (1.0, 0.0); (1.0, 1.0); (0.001, 0.0) ];
+  (* hot_fraction 1.0 with hot_probability 0: only the all-hot branch
+     exists, and it must still cover the whole keyspace. *)
+  let all =
+    sample
+      (D.Hotspot { n = 3; hot_fraction = 1.0; hot_probability = 0.0 })
+      ~seed:3 ~count:3_000
+  in
+  Array.iter
+    (fun k ->
+      if k < 0 || k >= 3 then Alcotest.failf "all-hot sampled %d" k)
+    all;
+  let seen = Array.make 3 false in
+  Array.iter (fun k -> seen.(k) <- true) all;
+  Alcotest.(check bool) "all-hot covers every key" true
+    (Array.for_all Fun.id seen)
+
+let singleton_keyspace () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: n=1 is the constant key" (D.describe spec))
+        true
+        (Array.for_all (fun k -> k = 0) (sample spec ~seed:9 ~count:500)))
+    [
+      D.Uniform 1;
+      D.Zipfian { n = 1; theta = 0.99; scrambled = true };
+      D.Zipfian { n = 1; theta = 0.0; scrambled = false };
+      D.Hotspot { n = 1; hot_fraction = 0.5; hot_probability = 0.5 };
+    ]
+
 let () =
   Alcotest.run "workload"
     [
@@ -111,5 +158,9 @@ let () =
               zipf_skew_monotone;
             Alcotest.test_case "hotspot respects hot_probability" `Quick
               hotspot_probability;
+            Alcotest.test_case "hotspot rounding edges stay in range" `Quick
+              hotspot_edges;
+            Alcotest.test_case "n = 1 degenerates cleanly" `Quick
+              singleton_keyspace;
           ] );
     ]
