@@ -2,7 +2,7 @@
 
    usage: bench/main.exe [all|e1|..|e10|b1|b2|b3|smoke|bechamel] [--full]
                          [--backend sim|dram] [--flush sync|async]
-                         [--metrics FILE]
+                         [--metrics FILE] [--trace FILE] [--trace-shift N]
 
    With no argument, runs every experiment at the quick scale.
    [--backend] picks the memory backend for volatile runs (default dram;
@@ -11,11 +11,20 @@
    that does not pin one itself (default async; b2 compares both).
    [--metrics FILE] enables telemetry and writes a JSON report — the
    registry snapshot (per-phase times, latency histograms, epoch
-   counters) plus one row per measured point — to FILE at the end. *)
+   counters) plus one row per measured point — to FILE at the end.
+   [--metrics-shift N] records only 1 in 2^N latency observations per
+   site (default 0 = all), trading histogram population for
+   near-disabled overhead on hot paths.
+   [--trace FILE] turns the flight recorder on for the whole run and
+   writes a Chrome trace-event / Perfetto JSON export to FILE at exit;
+   [--trace-shift N] samples 1 in 2^N outermost op spans (default 4
+   under --trace, so long benches don't churn the rings). *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full_scale = List.mem "--full" args in
+  let trace_out : string option ref = ref None in
+  let trace_shift = ref 4 in
   let rec strip = function
     | "--backend" :: b :: rest ->
         (match Nvram.Mem.backend_of_string b with
@@ -35,11 +44,32 @@ let () =
     | "--metrics" :: path :: rest ->
         Experiments_lib.Report.out_path := Some path;
         strip rest
+    | "--metrics-shift" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> Telemetry.set_sample_shift n
+        | _ ->
+            Printf.eprintf "bad --metrics-shift %S (expected an int >= 0)\n"
+              n;
+            exit 2);
+        strip rest
+    | "--trace" :: path :: rest ->
+        trace_out := Some path;
+        strip rest
+    | "--trace-shift" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> trace_shift := n
+        | _ ->
+            Printf.eprintf "bad --trace-shift %S (expected an int >= 0)\n" n;
+            exit 2);
+        strip rest
     | "--full" :: rest -> strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in
   let names = strip args in
+  Option.iter
+    (fun _ -> Flight.enable ~sample_shift:!trace_shift ())
+    !trace_out;
   if Experiments_lib.Report.want () then begin
     Telemetry.enable ();
     (* Pre-create the histograms the report schema promises, so a run
@@ -84,4 +114,14 @@ let () =
     ~scale:(if full_scale then "full" else "quick")
     ~backend:
       (Nvram.Mem.backend_name
-         !Experiments_lib.Bench_env.default_volatile_backend)
+         !Experiments_lib.Bench_env.default_volatile_backend);
+  match !trace_out with
+  | None -> ()
+  | Some path ->
+      let snap = Flight.snapshot () in
+      Flight.Perfetto.write_file path snap;
+      Printf.printf "wrote trace to %s (%d events, %d help edges, run %s)\n%!"
+        path
+        (Flight.event_count snap)
+        (Flight.Perfetto.help_edge_count snap)
+        (Flight.run_id ())

@@ -86,6 +86,7 @@ let write ~scale ~backend =
                   ("date", V.String date);
                   ("scale", V.String scale);
                   ("backend", V.String backend);
+                  ("run_id", V.String (Flight.run_id ()));
                 ] );
             ("registry", Telemetry.snapshot ());
             ("rows", V.List (List.rev !rows));

@@ -165,6 +165,64 @@ let trace_check ?dump workers ops =
   end
   else 1
 
+(* --- trace-dump: contended workload under the flight recorder --------- *)
+
+let trace_dump workers ops accounts width flush_delay out tail shift capacity
+    run_id =
+  Option.iter Flight.set_run_id run_id;
+  Flight.enable ~capacity ~sample_shift:shift ();
+  let width = max 2 (min width accounts) in
+  let initial = 1000 in
+  let mem = Mem.create (Nvram.Config.make ~words:65536 ~flush_delay ()) in
+  let pool =
+    Pool.create ~max_words:(max 8 width) mem ~base:0 ~max_threads:workers
+  in
+  let data = 32768 in
+  for i = 0 to accounts - 1 do
+    Mem.write mem (data + i) initial
+  done;
+  Mem.persist_all mem;
+  Printf.printf
+    "trace-dump: %d workers x %d %d-word transfers over %d accounts (run \
+     %s)\n\
+     %!"
+    workers ops width accounts (Flight.run_id ());
+  let worker seed () =
+    let h = Pool.register pool in
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to ops do
+      (* [width] distinct accounts: move one unit from the first to the
+         last; the middle words are CAS'd in place, so wider descriptors
+         mean longer install phases (and more helping) while the books
+         still balance. *)
+      let start = Random.State.int rng accounts in
+      let idxs = List.init width (fun k -> (start + k) mod accounts) in
+      let d = Pool.alloc_desc h in
+      let n = List.length idxs in
+      List.iteri
+        (fun k i ->
+          let v = Op.read_with h (data + i) in
+          let d' = if k = 0 then -1 else if k = n - 1 then 1 else 0 in
+          Pool.add_word d ~addr:(data + i) ~expected:v ~desired:(v + d'))
+        idxs;
+      ignore (Op.execute d)
+    done;
+    Pool.unregister h
+  in
+  List.init workers (fun s -> Domain.spawn (worker (s + 1)))
+  |> List.iter Domain.join;
+  let snap = Flight.snapshot () in
+  Flight.disable ();
+  Flight.Perfetto.write_file out snap;
+  Printf.printf "%s" (Flight.postmortem ~tail snap);
+  Printf.printf
+    "wrote %s: %d events, %d help-chain flow edges (load at \
+     https://ui.perfetto.dev)\n"
+    out
+    (Flight.event_count snap)
+    (Flight.Perfetto.help_edge_count snap);
+  0
+
 (* --- telemetry plumbing shared by stats and crash-sweep ---------------- *)
 
 module V = Telemetry.Value
@@ -467,10 +525,119 @@ let check_metrics require_coalescing require_alloc_counters
             (List.rev es);
           1)
 
+(* --- check-trace: validate a flight-recorder Perfetto export ----------- *)
+
+let check_trace_file require_help_edge file =
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match V.of_string text with
+  | Error e ->
+      Printf.printf "check-trace: %s: parse error: %s\n" file e;
+      1
+  | Ok v ->
+      let errors = ref [] in
+      let check cond msg = if not cond then errors := msg :: !errors in
+      let events =
+        match V.find_path v [ "traceEvents" ] with
+        | Some (V.List l) -> l
+        | _ ->
+            check false "traceEvents missing or not a list";
+            []
+      in
+      check (events <> []) "traceEvents empty";
+      check
+        (V.find_path v [ "displayTimeUnit" ] <> None)
+        "displayTimeUnit missing";
+      check
+        (V.find_path v [ "otherData"; "run_id" ] <> None)
+        "otherData.run_id missing";
+      let str f e =
+        Option.bind (V.member f e) (function
+          | V.String s -> Some s
+          | _ -> None)
+      in
+      let int f e = Option.bind (V.member f e) V.to_int in
+      let spans = ref 0 and instants = ref 0 in
+      (* flow id -> (tid of "s" start, tid of "f" finish) *)
+      let flows : (int, int option * int option) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iteri
+        (fun idx e ->
+          let where msg = Printf.sprintf "event %d: %s" idx msg in
+          match str "ph" e with
+          | None -> check false (where "ph missing")
+          | Some ph -> (
+              check (str "name" e <> None) (where "name missing");
+              check (int "pid" e <> None) (where "pid missing");
+              (match ph with
+              | "M" -> ()
+              | _ ->
+                  check (int "tid" e <> None) (where "tid missing");
+                  check
+                    (match V.member "ts" e with
+                    | Some (V.Int _ | V.Float _) -> true
+                    | _ -> false)
+                    (where "ts missing"));
+              match ph with
+              | "X" ->
+                  incr spans;
+                  check
+                    (match int "dur" e with Some d -> d >= 0 | None -> false)
+                    (where "X slice without non-negative dur")
+              | "B" | "M" -> ()
+              | "i" -> incr instants
+              | "s" | "f" -> (
+                  match (int "id" e, int "tid" e) with
+                  | Some id, Some tid ->
+                      let s, f =
+                        Option.value
+                          (Hashtbl.find_opt flows id)
+                          ~default:(None, None)
+                      in
+                      if ph = "s" then Hashtbl.replace flows id (Some tid, f)
+                      else Hashtbl.replace flows id (s, Some tid)
+                  | _ -> check false (where "flow event without id/tid"))
+              | p -> check false (where ("unexpected ph " ^ p))))
+        events;
+      Hashtbl.iter
+        (fun id -> function
+          | Some _, None ->
+              check false (Printf.sprintf "flow %d: s without f" id)
+          | None, Some _ ->
+              check false (Printf.sprintf "flow %d: f without s" id)
+          | _ -> ())
+        flows;
+      let pairs =
+        Hashtbl.fold
+          (fun _ v acc ->
+            match v with Some s, Some f -> (s, f) :: acc | _ -> acc)
+          flows []
+      in
+      check (!spans > 0) "no complete (X) op spans";
+      if require_help_edge then
+        check
+          (List.exists (fun (s, f) -> s <> f) pairs)
+          "no help-chain flow pair linking two domains";
+      (match !errors with
+      | [] ->
+          Printf.printf
+            "check-trace: %s OK (%d events, %d spans, %d instants, %d help \
+             edges)\n"
+            file (List.length events) !spans !instants (List.length pairs);
+          0
+      | es ->
+          List.iter
+            (fun e -> Printf.printf "check-trace: %s: FAIL: %s\n" file e)
+            (List.rev es);
+          1)
+
 (* --- crash-sweep: exhaustive crash-point sweep over the suites -------- *)
 
 let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
-    metrics =
+    metrics artifacts run_id =
+  Option.iter Flight.set_run_id run_id;
   Option.iter (fun _ -> telemetry_setup ()) metrics;
   let module Cs = Harness.Crash_sweep in
   let suites =
@@ -527,6 +694,7 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
                   phase = Nvram.Stats.App;
                   reason = m;
                   shrunk = None;
+                  artifact = None;
                 };
               ];
             seconds = 0.;
@@ -558,6 +726,7 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
         let doc =
           V.Obj
             [
+              ("run_id", V.String (Flight.run_id ()));
               ("registry", Telemetry.snapshot ());
               ( "verdicts",
                 V.List
@@ -587,19 +756,55 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
       1
     end
   else
+  (* Forensics: re-execute the first few failures per suite at their
+     shrunk repro points under a wide-open flight recorder, and leave an
+     artifact (timeline, postmortem, pending lines, in-flight
+     descriptors) next to the repro coordinates. Runs inside the
+     sabotage wrapper when one is active, so the re-execution reproduces
+     the same violation it is documenting. *)
+  let forensics summaries =
+    if artifacts <> "none" then
+      List.iter
+        (fun (sum : Cs.summary) ->
+          match
+            List.find_opt (fun (s : Cs.spec) -> s.name = sum.suite) suites
+          with
+          | None -> ()
+          | Some spec ->
+              List.iteri
+                (fun i f ->
+                  if i < 3 then
+                    match Cs.capture_forensics ~dir:artifacts spec f with
+                    | path, postmortem ->
+                        Printf.printf "%s forensic artifact: %s\n%s%!"
+                          sum.suite path postmortem
+                    | exception e ->
+                        Printf.printf "%s forensics failed: %s\n" sum.suite
+                          (Printexc.to_string e))
+                sum.failures)
+        summaries
+  in
   let summaries =
     (* Under --sabotage a raised calibration IS part of the self-test
        surface, so keep the raw sweep there; the normal path degrades a
        raising suite to a synthetic failure and exits 1. *)
     if sabotage then
-      Cs.with_sabotaged_precommit (fun () -> List.map sweep_one suites)
-    else List.map sweep_checked suites
+      Cs.with_sabotaged_precommit (fun () ->
+          let ss = List.map sweep_one suites in
+          forensics ss;
+          ss)
+    else begin
+      let ss = List.map sweep_checked suites in
+      forensics ss;
+      ss
+    end
   in
   Option.iter
     (fun path ->
       let doc =
         V.Obj
           [
+            ("run_id", V.String (Flight.run_id ()));
             ("registry", Telemetry.snapshot ());
             ("summaries", V.List (List.map Cs.summary_to_json summaries));
           ]
@@ -691,7 +896,8 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
 
 let dst scenario_name strategy threads ops width addrs keys shards seeds
     preemptions max_runs changes hunt broken broken_recycle sabotage
-    sabotage_recycle replay =
+    sabotage_recycle replay artifacts run_id =
+  Option.iter Flight.set_run_id run_id;
   let module S = Dst.Scenarios in
   let module Sc = Dst.Sched in
   let module L = Dst.Linearize in
@@ -737,6 +943,35 @@ let dst scenario_name strategy threads ops width addrs keys shards seeds
             scenario_name;
           exit 2
     in
+    (* A DST failure leaves the same forensic trail as a crash-sweep
+       one: replay the shrunk token under a wide-open flight recorder
+       and artifact the timeline alongside the token. *)
+    let forensic token =
+      if artifacts <> "none" then begin
+        let was_on = Flight.tracing () in
+        Flight.enable ~sample_shift:0 ();
+        Flight.reset ();
+        let note =
+          match S.replay scenario token with
+          | _ -> "token replayed under the flight recorder"
+          | exception e -> "replay raised: " ^ Printexc.to_string e
+        in
+        let snap = Flight.snapshot () in
+        if not was_on then Flight.disable ();
+        match
+          Harness.Forensics.write_artifact ~dir:artifacts
+            ~suite:("dst-" ^ scenario_name) ~label:"violation"
+            ~extra:
+              [ ("token", V.String token); ("note", V.String note) ]
+            snap
+        with
+        | path ->
+            Printf.printf "forensic artifact: %s\n%s%!" path
+              (Flight.postmortem snap)
+        | exception e ->
+            Printf.printf "forensics failed: %s\n" (Printexc.to_string e)
+      end
+    in
     match replay with
     | Some token ->
         let r = S.replay scenario token in
@@ -753,6 +988,7 @@ let dst scenario_name strategy threads ops width addrs keys shards seeds
               let token = S.shrink_token scenario token in
               Printf.printf "hunt: %s\ntoken: %s\n" (pp_verdict r.S.verdict)
                 token;
+              forensic token;
               1)
         else
           match strategy with
@@ -772,6 +1008,7 @@ let dst scenario_name strategy threads ops width addrs keys shards seeds
                   Printf.printf
                     "%d violating schedule(s); first: %s\ntoken: %s\n"
                     (List.length violations) (pp_verdict v) token;
+                  forensic token;
                   1)
           | ("random" | "pct") as strat -> (
               (* PCT change points land anywhere in the horizon; the
@@ -807,6 +1044,7 @@ let dst scenario_name strategy threads ops width addrs keys shards seeds
                   in
                   Printf.printf "%s seed %d: %s\ntoken: %s\n" strat seed
                     (pp_verdict r.S.verdict) token;
+                  forensic token;
                   1)
           | s ->
               Printf.eprintf "unknown strategy %S (try random|pct|exhaustive)\n"
@@ -1087,6 +1325,24 @@ let sweep_metrics_t =
           "Enable telemetry and write the registry snapshot plus per-suite \
            summaries as JSON to $(docv).")
 
+let artifacts_t =
+  Arg.(
+    value
+    & opt string Harness.Forensics.default_dir
+    & info [ "artifacts" ]
+        ~doc:
+          "Directory for failure forensic artifacts (timeline, postmortem, \
+           pending lines, in-flight descriptors); \"none\" disables them.")
+
+let run_id_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run-id" ]
+        ~doc:
+          "Tag for this invocation, stamped into metrics output and \
+           artifact names (default: time + pid derived).")
+
 let crash_sweep_cmd =
   Cmd.v
     (Cmd.info "crash-sweep"
@@ -1098,7 +1354,7 @@ let crash_sweep_cmd =
     Term.(
       const crash_sweep $ suite_t $ budget_t $ sweep_evict_t $ seeds_t
       $ domains_t $ sweep_trace_t $ sabotage_t $ sabotage_drain_t
-      $ sweep_metrics_t)
+      $ sweep_metrics_t $ artifacts_t $ run_id_t)
 
 let stats_domains_t =
   Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker domains.")
@@ -1275,7 +1531,8 @@ let dst_cmd =
       const dst $ dst_scenario_t $ dst_strategy_t $ dst_threads_t $ dst_ops_t
       $ dst_width_t $ dst_addrs_t $ dst_keys_t $ dst_shards_t $ dst_seeds_t
       $ preemptions_t $ max_runs_t $ changes_t $ hunt_t $ broken_helper_t
-      $ broken_recycle_t $ dst_sabotage_t $ dst_sabotage_recycle_t $ replay_t)
+      $ broken_recycle_t $ dst_sabotage_t $ dst_sabotage_recycle_t $ replay_t
+      $ artifacts_t $ run_id_t)
 
 let require_store_counters_t =
   Arg.(
@@ -1341,13 +1598,93 @@ let store_soak_cmd =
       $ evict_t $ soak_kind_t $ soak_mode_t $ soak_recover_domains_t
       $ soak_keys_t)
 
+let accounts_t =
+  Arg.(
+    value & opt int 8
+    & info [ "accounts" ]
+        ~doc:"Shared accounts — fewer means more contention and helping.")
+
+let width_t =
+  Arg.(
+    value & opt int 4
+    & info [ "width" ]
+        ~doc:
+          "Accounts touched per transfer — wider descriptors spend longer \
+           in flight, so other domains help more.")
+
+let flush_delay_t =
+  Arg.(
+    value & opt int 0
+    & info [ "flush-delay" ]
+        ~doc:
+          "Simulated per-line write-back stall (cpu-relax iterations); \
+           stretches the in-flight window on hosts with few cores.")
+
+let trace_out_t =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "out" ] ~doc:"Chrome trace-event JSON output file.")
+
+let tail_t =
+  Arg.(
+    value & opt int 20
+    & info [ "tail" ] ~doc:"Events per domain in the printed postmortem.")
+
+let sample_shift_t =
+  Arg.(
+    value & opt int 0
+    & info [ "sample-shift" ]
+        ~doc:"Record 1 in 2^$(docv) outermost op spans (0 = every op).")
+
+let capacity_t =
+  Arg.(
+    value & opt int 4096
+    & info [ "capacity" ] ~doc:"Ring-buffer records per domain.")
+
+let trace_dump_cmd =
+  Cmd.v
+    (Cmd.info "trace-dump"
+       ~doc:
+         "Run a contended multi-domain PMwCAS workload under the flight \
+          recorder, print the per-domain postmortem tails and write a \
+          Chrome trace-event / Perfetto JSON file with op spans, \
+          low-level instants and help-chain flow edges.")
+    Term.(
+      const trace_dump $ workers_t $ ops_t $ accounts_t $ width_t
+      $ flush_delay_t $ trace_out_t $ tail_t $ sample_shift_t $ capacity_t
+      $ run_id_t)
+
+let require_help_edge_t =
+  Arg.(
+    value & flag
+    & info [ "require-help-edge" ]
+        ~doc:
+          "Additionally demand at least one help-chain flow pair linking \
+           two different domains.")
+
+let trace_file_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Trace JSON file to validate.")
+
+let check_trace_cmd =
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:
+         "Validate a flight-recorder trace export: well-formed trace-event \
+          records, non-negative span durations, matched flow pairs and a \
+          run id.")
+    Term.(const check_trace_file $ require_help_edge_t $ trace_file_t)
+
 let main =
   Cmd.group
     (Cmd.info "pmwcas_cli" ~version:"1.0"
        ~doc:"PMwCAS demos and utilities (Easy Lock-Free Indexing in NVRAM).")
     [
-      crash_demo_cmd; torture_cmd; trace_check_cmd; crash_sweep_cmd;
-      dst_cmd; space_cmd; stats_cmd; check_metrics_cmd; store_soak_cmd;
+      crash_demo_cmd; torture_cmd; trace_check_cmd; trace_dump_cmd;
+      check_trace_cmd; crash_sweep_cmd; dst_cmd; space_cmd; stats_cmd;
+      check_metrics_cmd; store_soak_cmd;
     ]
 
 let () = Stdlib.exit (Cmd.eval' main)

@@ -785,29 +785,39 @@ let get_impl h ~key =
   run_hints h hints;
   value
 
+(* Latency sampling + flight-recorder op span around each public op;
+   closed on the exception path too so crash-unwound ops are visible in
+   forensics timelines. *)
+let with_span op ~key ~ok f =
+  let t0 =
+    if Telemetry.enabled () && Telemetry.sample () then Telemetry.now_ns ()
+    else 0
+  in
+  let sp = Flight.op_begin ~op ~key in
+  match f () with
+  | r ->
+      Flight.op_end sp ~op ~key ~ok:(ok r);
+      record_op t0;
+      r
+  | exception e ->
+      Flight.op_cancel sp ~op ~key;
+      raise e
+
 let put h ~key ~value =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = put_impl h ~key ~value in
-  record_op t0;
-  r
+  with_span Flight.op_bt_put ~key
+    ~ok:(fun _ -> true)
+    (fun () -> put_impl h ~key ~value)
 
 let insert h ~key ~value =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = insert_impl h ~key ~value in
-  record_op t0;
-  r
+  with_span Flight.op_bt_insert ~key ~ok:Fun.id (fun () ->
+      insert_impl h ~key ~value)
 
 let remove h ~key =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = remove_impl h ~key in
-  record_op t0;
-  r
+  with_span Flight.op_bt_remove ~key ~ok:Fun.id (fun () -> remove_impl h ~key)
 
 let get h ~key =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = get_impl h ~key in
-  record_op t0;
-  r
+  with_span Flight.op_bt_get ~key ~ok:Option.is_some (fun () ->
+      get_impl h ~key)
 
 let fold_range h ~lo ~hi ~init ~f =
   let t = h.t in

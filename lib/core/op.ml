@@ -64,7 +64,9 @@ let max_backoff_shift = 10
 
 let backoff t attempt =
   Metrics.record_backoff (Pool.metrics t);
-  for _ = 1 to 1 lsl min attempt max_backoff_shift do
+  let spins = 1 lsl min attempt max_backoff_shift in
+  if Flight.tracing () then Flight.emit Flight.Mwcas_backoff attempt spins 0;
+  for _ = 1 to spins do
     Domain.cpu_relax ()
   done
 
@@ -93,11 +95,13 @@ let install_rdcss t ~slot ~k ~addr ~old_v =
   let rec go attempt =
     let witnessed = Mem.cas mem addr ~expected:old_v ~desired:ptr in
     if witnessed = old_v then begin
+      if Flight.tracing () then Flight.emit Flight.Rdcss_install addr slot 0;
       complete_install t ptr;
       old_v
     end
     else if Flags.is_rdcss witnessed then begin
       Metrics.record_rdcss_help (Pool.metrics t);
+      if Flight.tracing () then Flight.emit Flight.Rdcss_install addr slot 1;
       complete_install t witnessed;
       if attempt > 0 then backoff t attempt;
       go (attempt + 1)
@@ -123,8 +127,14 @@ let install_rdcss t ~slot ~k ~addr ~old_v =
    having been taken. [depth] is the help-chain depth: 0 for the owner,
    [n + 1] when entered while helping at depth [n]. *)
 let rec help_at t ~depth ~slot =
-  if depth > 0 && Telemetry.enabled () then
-    Telemetry.Histogram.record (help_depth_hist ()) depth;
+  if depth > 0 then begin
+    if Telemetry.enabled () && Telemetry.sample () then
+      Telemetry.Histogram.record (help_depth_hist ()) depth;
+    (* The causal help edge: this domain is finishing a PMwCAS whose
+       descriptor lives in the owner domain's partition. *)
+    if Flight.tracing () then
+      Flight.emit Flight.Help_edge (Pool.slot_owner_domain t ~slot) slot depth
+  end;
   let mem = Pool.mem t in
   let persistent = Pool.persistent t in
   (* A helper arrives here holding a reference obtained while pinned, and
@@ -145,6 +155,7 @@ let rec help_at t ~depth ~slot =
   let prev_phase = Stats.current_phase stats in
   Stats.set_phase stats Stats.Install;
   let count = Mem.read mem (Layout.count_addr slot) in
+  if Flight.tracing () then Flight.emit Flight.Mwcas_attempt slot count depth;
   let order = sorted_order t ~slot ~count in
   (* Phase 1: install descriptor pointers in address order. *)
   let st = ref Layout.status_succeeded in
@@ -235,6 +246,10 @@ let rec help_at t ~depth ~slot =
     order;
   if persistent then Pcas.persist_batch mem !won;
   Stats.set_phase stats prev_phase;
+  if Flight.tracing () then
+    Flight.emit
+      (if succeeded then Flight.Mwcas_succeed else Flight.Mwcas_fail)
+      slot 0 depth;
   succeeded
 
 let help t ~slot = help_at t ~depth:1 ~slot
@@ -280,10 +295,22 @@ let execute d =
   let h = Pool.desc_handle d in
   Pool.seal d;
   Metrics.record_attempt (Pool.metrics t);
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let ok =
-    Pool.with_epoch h (fun () -> help_at t ~depth:0 ~slot:(Pool.desc_slot d))
+  let slot = Pool.desc_slot d in
+  let t0 =
+    if Telemetry.enabled () && Telemetry.sample () then Telemetry.now_ns ()
+    else 0
   in
+  let sp = Flight.op_begin ~op:Flight.op_mwcas ~key:slot in
+  let ok =
+    match Pool.with_epoch h (fun () -> help_at t ~depth:0 ~slot) with
+    | ok -> ok
+    | exception e ->
+        (* Unwound mid-op (an injected crash): close the span so the
+           forensics timeline shows the abort. *)
+        Flight.op_cancel sp ~op:Flight.op_mwcas ~key:slot;
+        raise e
+  in
+  Flight.op_end sp ~op:Flight.op_mwcas ~key:slot ~ok;
   if t0 <> 0 then begin
     let dt = Telemetry.now_ns () - t0 in
     Telemetry.Histogram.record (attempt_hist ()) dt;

@@ -545,6 +545,7 @@ let alloc_desc ?(callback = 0) h =
   (* One drain for the whole header: the slot is durably Undecided (with a
      zero count) before the caller can reserve memory into it. *)
   fence_if t;
+  if Flight.tracing () then Flight.emit Flight.Desc_alloc slot 0 0;
   { dpool = t; hdl = h; slot; dlive = true; nentries = 0; has_reserved = false }
 
 let check_desc d = if not d.dlive then invalid_arg "Pool: descriptor not live"
@@ -763,6 +764,7 @@ let limbo_cell t part =
 let finish d ~succeeded =
   let t = d.dpool and slot = d.slot in
   let part = home_part t slot in
+  if Flight.tracing () then Flight.emit Flight.Desc_retire slot 0 0;
   if Atomic.get sabotage_recycle then make_free t ~slot ~part ~succeeded
   else begin
     (* Park the slot in this guard's limbo list: it is durably decided
@@ -784,3 +786,8 @@ let desc_live d = d.dlive
 
 let desc_status t ~slot =
   Flags.clear_dirty (Mem.read t.mem (Layout.status_addr slot))
+
+let slot_owner_domain t ~slot =
+  match t.org with
+  | Shared _ -> -1
+  | Per_domain parts -> Atomic.get parts.(home_part t slot).owner

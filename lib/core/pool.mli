@@ -63,6 +63,10 @@ type callback = succeeded:bool -> entry array -> int list
 
 (** {1 Construction} *)
 
+val magic : int
+(** First header word of every formatted pool — what forensic scanners
+    look for when walking a crash image for descriptor pools. *)
+
 val region_words :
   ?line_words:int ->
   ?max_words:int ->
@@ -182,6 +186,11 @@ val register_callback : t -> callback -> int
 
 val desc_status : t -> slot:int -> int
 (** Clean status value of the slot at address [slot] (tests, recovery). *)
+
+val slot_owner_domain : t -> slot:int -> int
+(** Domain id of the registered owner of the slot's home partition, or
+    -1 when unregistered or under the [`Shared] baseline. Racy snapshot;
+    the flight recorder labels help-chain edges with it. *)
 
 (**/**)
 

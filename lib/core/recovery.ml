@@ -21,6 +21,7 @@ let run ?palloc ?sharing ?(callbacks = []) mem ~base =
   let stats_sh = Mem.stats mem in
   let prev_phase = Nvram.Stats.current_phase stats_sh in
   Nvram.Stats.set_phase stats_sh Nvram.Stats.Recovery;
+  if Flight.tracing () then Flight.emit Flight.Recovery_phase 0 base 0;
   let pool = Pool.attach ?palloc ?sharing ~callbacks mem ~base in
   let lay = Pool.layout pool in
   let in_flight = ref 0
@@ -34,6 +35,8 @@ let run ?palloc ?sharing ?(callbacks = []) mem ~base =
       incr in_flight;
       let roll_forward = status = Layout.status_succeeded in
       if roll_forward then incr forward else incr backward;
+      if Flight.tracing () then
+        Flight.emit Flight.Recovery_phase (if roll_forward then 1 else 2) slot 0;
       let count = Mem.read mem (Layout.count_addr slot) in
       if count < 0 || count > lay.max_words then
         failwith
@@ -52,6 +55,7 @@ let run ?palloc ?sharing ?(callbacks = []) mem ~base =
     end
   done;
   Nvram.Stats.set_phase stats_sh prev_phase;
+  if Flight.tracing () then Flight.emit Flight.Recovery_phase 3 !in_flight 0;
   ( pool,
     {
       scanned = lay.nslots;

@@ -108,7 +108,9 @@ let current t = Atomic.get t.epoch
 
 let advance t =
   Telemetry.Sharded.incr counters_cells f_advance;
-  1 + Atomic.fetch_and_add t.epoch 1
+  let e = 1 + Atomic.fetch_and_add t.epoch 1 in
+  if Flight.tracing () then Flight.emit Flight.Epoch_advance e 0 0;
+  e
 let registered t = Atomic.get t.registered
 
 let safe_before t =
@@ -135,16 +137,20 @@ let enter g =
       if Atomic.get g.mgr.epoch <> e then pin ()
     in
     pin ();
-    Telemetry.Sharded.incr counters_cells f_enter
+    Telemetry.Sharded.incr counters_cells f_enter;
+    if Flight.tracing () then
+      Flight.emit Flight.Epoch_enter (Atomic.get g.cell) 0 0
   end;
   g.depth <- g.depth + 1
 
 let defer g fn =
   check_live g;
-  g.garbage <- (Atomic.get g.mgr.epoch, fn) :: g.garbage;
+  let e = Atomic.get g.mgr.epoch in
+  g.garbage <- (e, fn) :: g.garbage;
   g.garbage_len <- g.garbage_len + 1;
   Telemetry.Sharded.incr counters_cells f_defer;
-  Telemetry.Sharded.record_max counters_cells f_limbo g.garbage_len
+  Telemetry.Sharded.record_max counters_cells f_limbo g.garbage_len;
+  if Flight.tracing () then Flight.emit Flight.Epoch_defer e 0 0
 
 let run_eligible ~bound items =
   let run, keep = List.partition (fun (e, _) -> e < bound) items in
@@ -178,7 +184,10 @@ let reclaim g =
   let orphans = take_orphans g.mgr in
   let n2, keep_orphans = run_eligible ~bound orphans in
   give_orphans g.mgr keep_orphans;
-  if n1 + n2 > 0 then Telemetry.Sharded.add counters_cells f_free (n1 + n2);
+  if n1 + n2 > 0 then begin
+    Telemetry.Sharded.add counters_cells f_free (n1 + n2);
+    if Flight.tracing () then Flight.emit Flight.Epoch_free (n1 + n2) bound 0
+  end;
   n1 + n2
 
 let exit g =

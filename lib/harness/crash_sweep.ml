@@ -20,6 +20,7 @@ type failure = {
   phase : Stats.phase;
   reason : string;
   shrunk : (int * int option) option;
+  mutable artifact : string option;
 }
 
 type summary = {
@@ -145,6 +146,7 @@ let eval_point ~trace ~evict_prob ~evict_seeds spec acc fuel =
           phase = Stats.App;
           reason = "workload raised: " ^ Printexc.to_string e;
           shrunk = None;
+          artifact = None;
         }
         :: acc.a_failures
   | run -> (
@@ -157,7 +159,8 @@ let eval_point ~trace ~evict_prob ~evict_seeds spec acc fuel =
       end;
       let fail seed reason =
         acc.a_failures <-
-          { fuel; evict_seed = seed; phase; reason; shrunk = None }
+          { fuel; evict_seed = seed; phase; reason; shrunk = None;
+            artifact = None }
           :: acc.a_failures
       in
       List.iter
@@ -285,6 +288,47 @@ let sweep ?(budget = 512) ?(evict_prob = 0.25) ?(evict_seeds = [ 1; 2 ])
 
 let ok s = s.failures = []
 
+(* Re-execute a failure at its minimal repro point with the flight
+   recorder wide open (no sampling), then package the timeline, the
+   device's pending lines and the in-flight descriptor states into one
+   artifact. Restores the recorder to whatever state the caller had. *)
+let capture_forensics ?dir ?(tail = 50) spec (f : failure) =
+  let fuel, seed =
+    match f.shrunk with Some p -> p | None -> (f.fuel, f.evict_seed)
+  in
+  let was_on = Flight.tracing () in
+  let old_shift = Flight.sample_shift () in
+  Flight.enable ~sample_shift:0 ();
+  Flight.reset ();
+  Fun.protect ~finally:(fun () ->
+      if was_on then Flight.set_sample_shift old_shift else Flight.disable ())
+  @@ fun () ->
+  let mem, note =
+    match spec.execute ~traced:false ~fuel:(Some fuel) with
+    | run -> (Some run.mem, "re-executed at the repro point")
+    | exception e -> (None, "re-execution raised: " ^ Printexc.to_string e)
+  in
+  let snap = Flight.snapshot () in
+  let module V = Telemetry.Value in
+  let extra =
+    [
+      ("fuel", V.Int fuel);
+      ("evict_seed", match seed with None -> V.Null | Some s -> V.Int s);
+      ("phase", V.String (Stats.phase_name f.phase));
+      ("reason", V.String f.reason);
+      ("note", V.String note);
+    ]
+  in
+  let path =
+    Forensics.write_artifact ?dir ?mem ~tail ~suite:spec.name
+      ~label:
+        (Printf.sprintf "fuel%d%s" fuel
+           (match seed with None -> "" | Some s -> Printf.sprintf "-seed%d" s))
+      ~extra snap
+  in
+  f.artifact <- Some path;
+  (path, Flight.postmortem ~tail snap)
+
 let pp_seed ppf = function
   | None -> Format.pp_print_string ppf "-"
   | Some s -> Format.pp_print_int ppf s
@@ -292,10 +336,13 @@ let pp_seed ppf = function
 let pp_failure ppf f =
   Format.fprintf ppf "fuel=%d seed=%a phase=%s: %s" f.fuel pp_seed
     f.evict_seed (Stats.phase_name f.phase) f.reason;
-  match f.shrunk with
+  (match f.shrunk with
   | None -> ()
   | Some (fuel, seed) ->
-      Format.fprintf ppf " [shrunk to fuel=%d seed=%a]" fuel pp_seed seed
+      Format.fprintf ppf " [shrunk to fuel=%d seed=%a]" fuel pp_seed seed);
+  match f.artifact with
+  | None -> ()
+  | Some path -> Format.fprintf ppf " [artifact %s]" path
 
 let summary_to_json s =
   let module V = Telemetry.Value in
@@ -317,6 +364,8 @@ let summary_to_json s =
                   ( "evict_seed",
                     match seed with None -> V.Null | Some x -> V.Int x );
                 ] );
+        ( "artifact",
+          match f.artifact with None -> V.Null | Some p -> V.String p );
       ]
   in
   V.Obj

@@ -56,6 +56,8 @@ type failure = {
   reason : string;
   shrunk : (int * int option) option;
       (** Minimal [(fuel, evict_seed)] still reproducing the failure. *)
+  mutable artifact : string option;
+      (** Forensic artifact path, once {!capture_forensics} ran. *)
 }
 
 type summary = {
@@ -115,6 +117,15 @@ val with_sabotaged_drain : (unit -> 'a) -> 'a
     pending lines, so nothing clwb'd ever becomes durable and even the
     uncrashed calibration image must fail verification. A sweep under
     this wrapper must fail, or the fences are not load-bearing. *)
+
+val capture_forensics :
+  ?dir:string -> ?tail:int -> spec -> failure -> string * string
+(** Re-execute a failure at its shrunk (or original) repro point with
+    the flight recorder fully open, write a {!Forensics} artifact —
+    event timeline, postmortem, pending-line set, in-flight descriptor
+    states — into [dir] (default [_artifacts]), stamp the failure's
+    [artifact] field, and return [(path, postmortem)]. The recorder's
+    previous enable/sampling state is restored. *)
 
 val ok : summary -> bool
 val pp_failure : Format.formatter -> failure -> unit

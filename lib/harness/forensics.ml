@@ -1,0 +1,187 @@
+module Mem = Nvram.Mem
+module Layout = Pmwcas.Layout
+module V = Telemetry.Value
+
+type desc_state = {
+  index : int;
+  slot : int;
+  status : int;
+  count : int;
+  words : (int * int * int * int) list;
+}
+
+type pool_report = {
+  base : int;
+  nslots : int;
+  max_words : int;
+  max_threads : int;
+  in_flight : desc_state list;
+}
+
+let status_name s =
+  let dirty = s land Nvram.Flags.dirty <> 0 in
+  let base = s land lnot Nvram.Flags.dirty in
+  let n =
+    if base = Layout.status_free then "Free"
+    else if base = Layout.status_undecided then "Undecided"
+    else if base = Layout.status_succeeded then "Succeeded"
+    else if base = Layout.status_failed then "Failed"
+    else Printf.sprintf "Invalid(%d)" base
+  in
+  if dirty then n ^ "*" else n
+
+(* Header sanity mirrors [Pool.attach]'s checks: a magic word whose
+   neighbours fail them is a coincidental bit pattern, not a pool. *)
+let header_ok mem ~base ~nslots ~max_words ~max_threads =
+  nslots > 0 && max_threads > 0
+  && nslots mod max_threads = 0
+  && max_words > 0
+  && max_words <= Layout.max_words_limit
+  &&
+  match
+    Layout.make ~line_words:(Mem.config mem).line_words ~pool_base:base
+      ~nslots ~max_words
+  with
+  | lay -> base + Layout.region_words lay <= Mem.size mem
+  | exception Invalid_argument _ -> false
+
+let scan_slot mem lay i =
+  let slot = Layout.slot_off lay i in
+  let status = Mem.read mem (Layout.status_addr slot) in
+  if status land lnot Nvram.Flags.dirty = Layout.status_free then None
+  else
+    let count = Mem.read mem (Layout.count_addr slot) in
+    let n = max 0 (min count lay.Layout.max_words) in
+    let words =
+      List.init n (fun k ->
+          let e = Layout.entry_addr lay slot k in
+          ( Mem.read mem (Layout.addr_field e),
+            Mem.read mem (Layout.old_field e),
+            Mem.read mem (Layout.new_field e),
+            Mem.read mem (Layout.policy_field e) ))
+    in
+    Some { index = i; slot; status; count; words }
+
+let scan_pools mem =
+  let line_words = (Mem.config mem).line_words in
+  let size = Mem.size mem in
+  let out = ref [] in
+  let a = ref 0 in
+  while !a + Layout.header_words <= size do
+    if
+      !a mod line_words = 0
+      && Mem.read mem !a = Pmwcas.Pool.magic
+      &&
+      let nslots = Mem.read mem (!a + 1)
+      and max_words = Mem.read mem (!a + 2)
+      and max_threads = Mem.read mem (!a + 3) in
+      header_ok mem ~base:!a ~nslots ~max_words ~max_threads
+    then begin
+      let nslots = Mem.read mem (!a + 1)
+      and max_words = Mem.read mem (!a + 2)
+      and max_threads = Mem.read mem (!a + 3) in
+      let lay =
+        Layout.make ~line_words ~pool_base:!a ~nslots ~max_words
+      in
+      let in_flight =
+        List.filter_map (scan_slot mem lay) (List.init nslots Fun.id)
+      in
+      out := { base = !a; nslots; max_words; max_threads; in_flight } :: !out;
+      a := !a + Layout.region_words lay
+    end
+    else incr a
+  done;
+  List.rev !out
+
+let desc_to_json (d : desc_state) =
+  V.Obj
+    [
+      ("index", V.Int d.index);
+      ("slot", V.Int d.slot);
+      ("status", V.String (status_name d.status));
+      ("status_raw", V.Int d.status);
+      ("count", V.Int d.count);
+      ( "words",
+        V.List
+          (List.map
+             (fun (a, o, n, p) ->
+               V.Obj
+                 [
+                   ("addr", V.Int a); ("old", V.Int o); ("new", V.Int n);
+                   ("policy", V.Int p);
+                 ])
+             d.words) );
+    ]
+
+let pool_to_json (p : pool_report) =
+  V.Obj
+    [
+      ("base", V.Int p.base);
+      ("nslots", V.Int p.nslots);
+      ("max_words", V.Int p.max_words);
+      ("max_threads", V.Int p.max_threads);
+      ("in_flight", V.List (List.map desc_to_json p.in_flight));
+    ]
+
+let event_to_json (e : Flight.event) =
+  V.List
+    [
+      V.Int e.dom; V.Int e.seq; V.Int e.t_ns;
+      V.String (Flight.kind_name e.kind); V.Int e.a; V.Int e.b; V.Int e.c;
+    ]
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    s
+
+let default_dir = "_artifacts"
+
+let write_artifact ?(dir = default_dir) ?mem ?(tail = 50) ~suite ~label
+    ~extra snapshot =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-%s-%s.json"
+         (sanitize (Flight.run_id ()))
+         (sanitize suite) (sanitize label))
+  in
+  let device_fields =
+    match mem with
+    | None -> []
+    | Some mem ->
+        [
+          ( "pending_lines",
+            V.List (List.map (fun l -> V.Int l) (Mem.pending_lines mem)) );
+          ("pools", V.List (List.map pool_to_json (scan_pools mem)));
+        ]
+  in
+  let doc =
+    V.Obj
+      ([
+         ("run_id", V.String (Flight.run_id ()));
+         ("suite", V.String suite);
+         ("label", V.String label);
+         ("taken_ns", V.Int snapshot.Flight.taken_ns);
+       ]
+      @ extra @ device_fields
+      @ [
+          ("postmortem", V.String (Flight.postmortem ~tail snapshot));
+          ( "events",
+            V.List (List.map event_to_json (Flight.merged snapshot)) );
+        ])
+  in
+  let oc = open_out path in
+  output_string oc (V.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  path

@@ -1,0 +1,65 @@
+(** Crash forensics: descriptor-pool scanning and failure artifacts.
+
+    When a crash-sweep point or a DST seed fails, a summary line alone
+    ("books do not balance at fuel 1742") leaves the interesting state —
+    which descriptors were mid-flight, which cache lines were pending,
+    what the domains were doing — to be re-derived by hand. This module
+    packages all of it into one JSON artifact per failure:
+
+    - the flight-recorder snapshot (merged event timeline plus the
+      per-domain "last N events" postmortem text),
+    - the device's pending-line set ({!Nvram.Mem.pending_lines} — lines
+      clwb'd but not yet drained, i.e. at risk at the crash),
+    - every descriptor pool found on the device with its in-flight
+      (non-[Free]) slots and their word descriptors.
+
+    Artifacts land in [_artifacts/] (gitignored) named
+    [<run-id>-<suite>-<label>.json] so outputs of one invocation are
+    joinable with its metrics files. *)
+
+type desc_state = {
+  index : int;  (** Slot index within its pool. *)
+  slot : int;  (** Status-word address. *)
+  status : int;  (** Raw status word (dirty bit preserved). *)
+  count : int;  (** Word-descriptor count as stored. *)
+  words : (int * int * int * int) list;
+      (** [(addr, old, new, policy)] per word descriptor, clamped to the
+          pool's [max_words]. *)
+}
+
+type pool_report = {
+  base : int;
+  nslots : int;
+  max_words : int;
+  max_threads : int;
+  in_flight : desc_state list;  (** Slots whose status is not [Free]. *)
+}
+
+val status_name : int -> string
+(** Decode a raw status word; a trailing [*] marks the dirty bit
+    (status update not yet durable). *)
+
+val scan_pools : Nvram.Mem.t -> pool_report list
+(** Walk the device for {!Pmwcas.Pool.magic} at line-aligned addresses,
+    validate each candidate header with the same checks
+    [Pool.attach] applies, and report every pool's in-flight slots.
+    Safe on a quiesced (crashed) device or image. *)
+
+val default_dir : string
+(** ["_artifacts"]. *)
+
+val write_artifact :
+  ?dir:string ->
+  ?mem:Nvram.Mem.t ->
+  ?tail:int ->
+  suite:string ->
+  label:string ->
+  extra:(string * Telemetry.Value.t) list ->
+  Flight.snapshot ->
+  string
+(** Write one failure artifact and return its path. [extra] fields are
+    spliced into the document (repro coordinates, failure reason,
+    schedule tokens...). [mem], when given, contributes the
+    pending-line set and the pool scan. [tail] (default 50) bounds the
+    embedded postmortem. Creates [dir] (default {!default_dir}) as
+    needed. *)

@@ -17,4 +17,5 @@ module type S = sig
   val persist_all : t -> unit
   val read_persistent : t -> int -> int
   val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
+  val pending_lines : t -> int list
 end

@@ -52,4 +52,9 @@ module type S = sig
   (** Power-failure snapshot. [seed] drives the per-line eviction lottery
       and is required whenever [evict_prob > 0] so crash tests are
       reproducible. *)
+
+  val pending_lines : t -> int list
+  (** Cache lines clwb'd but not yet drained by a fence — at-risk state
+      the crash forensics report alongside event timelines. Always empty
+      on volatile or synchronous-flush backends. *)
 end

@@ -47,3 +47,6 @@ let read_persistent = read
 
 (* A power failure wipes DRAM: the image is a fresh zeroed device. *)
 let crash_image ?evict_prob:_ ?seed:_ t = create t.cfg
+
+(* No write-back pipeline, nothing ever at risk. *)
+let pending_lines _ = []

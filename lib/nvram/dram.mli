@@ -29,3 +29,6 @@ val fence : t -> unit
 val persist_all : t -> unit
 val read_persistent : t -> int -> int
 val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
+
+val pending_lines : t -> int list
+(** Always empty — there is no write-back pipeline. *)

@@ -239,6 +239,12 @@ let rec persist_all t =
       !hook ();
       persist_all inner
 
+let rec pending_lines = function
+  | Simulated s -> Sim.pending_lines s
+  | Dram d -> Dram.pending_lines d
+  | Traced { inner; _ } -> pending_lines inner
+  | Hooked { inner; _ } -> pending_lines inner
+
 let rec read_persistent t a =
   match t with
   | Simulated s -> Sim.read_persistent s a

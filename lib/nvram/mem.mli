@@ -166,6 +166,12 @@ val read_persistent : t -> addr -> int
 (** Read the NVM image directly (white-box accessor for tests). On a
     volatile backend this reads the one coherent array. *)
 
+val pending_lines : t -> int list
+(** Cache lines clwb'd but not yet drained by a fence — exactly the
+    state a power failure would lose (modulo the eviction lottery).
+    Crash forensics snapshot this next to the event rings. Always empty
+    on volatile backends and under {!Config.Sync}. *)
+
 val crash_image : ?evict_prob:float -> ?seed:int -> t -> t
 (** Power-failure snapshot: a fresh device whose content is the
     persistent image, except that each cache line, independently with

@@ -159,7 +159,8 @@ let drain_line t line =
   Atomic.set t.pending.(line) false;
   write_back_line t line;
   charge_flush_delay t;
-  Stats.record_drain t.stats
+  Stats.record_drain t.stats;
+  if Flight.tracing () then Flight.emit Flight.Drain line 0 0
 
 (* Stall-time histograms: how long the caller was stuck in the device.
    Under [Async], clwb stalls only for the elision bookkeeping (the
@@ -171,7 +172,9 @@ let fence_hist = Telemetry.on_demand "nvram.fence_ns"
 
 let clwb_sync t a =
   Stats.record_flush t.stats;
-  write_back_line t (a / t.cfg.line_words);
+  let line = a / t.cfg.line_words in
+  if Flight.tracing () then Flight.emit Flight.Clwb a line 0;
+  write_back_line t line;
   charge_flush_delay t
 
 (* Async CLWB: mark the line pending and return — the copy and the
@@ -181,16 +184,21 @@ let clwb_sync t a =
    draining fence clears the flag before it copies, so observing the
    flag set guarantees the coming copy covers this clwb's values) or
    already clean in the persistent image. *)
+let record_elided t a line =
+  Stats.record_elided t.stats;
+  if Flight.tracing () then Flight.emit Flight.Flush_elided a line 0
+
 let clwb_async t a =
   let line = a / t.cfg.line_words in
-  if Atomic.get t.pending.(line) then Stats.record_elided t.stats
-  else if line_clean t line then Stats.record_elided t.stats
+  if Atomic.get t.pending.(line) then record_elided t a line
+  else if line_clean t line then record_elided t a line
   else if Atomic.compare_and_set t.pending.(line) false true then begin
     Stats.record_flush t.stats;
+    if Flight.tracing () then Flight.emit Flight.Clwb a line 0;
     push_pending t line
   end
   else (* lost the race: someone else just marked it pending *)
-    Stats.record_elided t.stats
+    record_elided t a line
 
 let clwb t a =
   check t a;
@@ -200,7 +208,7 @@ let clwb t a =
     | Config.Sync -> clwb_sync
     | Config.Async -> clwb_async
   in
-  if Telemetry.enabled () then begin
+  if Telemetry.enabled () && Telemetry.sample () then begin
     let t0 = Telemetry.now_ns () in
     body t a;
     Telemetry.Histogram.record (clwb_hist ()) (Telemetry.now_ns () - t0)
@@ -212,30 +220,40 @@ let clwb t a =
    on the fence boundary (pending lines lost) — never inside a torn
    drain. *)
 let drain_all t =
+  let drained = ref 0 in
   let rec loop () =
     match Atomic.exchange t.pending_stack [] with
     | [] -> ()
     | lines ->
-        List.iter (fun line -> drain_line t line) lines;
+        List.iter
+          (fun line ->
+            drain_line t line;
+            incr drained)
+          lines;
         loop ()
   in
-  loop ()
+  loop ();
+  !drained
 
 let fence t =
   spend t;
   Stats.record_fence t.stats;
   let drain () =
     match t.cfg.flush_mode with
-    | Config.Sync -> ()
+    | Config.Sync -> 0
     | Config.Async ->
-        if not (Atomic.get sabotage_skip_drain) then drain_all t
+        if not (Atomic.get sabotage_skip_drain) then drain_all t else 0
   in
-  if Telemetry.enabled () then begin
-    let t0 = Telemetry.now_ns () in
-    drain ();
-    Telemetry.Histogram.record (fence_hist ()) (Telemetry.now_ns () - t0)
-  end
-  else drain ()
+  let drained =
+    if Telemetry.enabled () && Telemetry.sample () then begin
+      let t0 = Telemetry.now_ns () in
+      let n = drain () in
+      Telemetry.Histogram.record (fence_hist ()) (Telemetry.now_ns () - t0);
+      n
+    end
+    else drain ()
+  in
+  if Flight.tracing () then Flight.emit Flight.Fence drained 0 0
 
 let persist_all t =
   (* Full-device write-back: also retires the pending pipeline so a
@@ -245,6 +263,16 @@ let persist_all t =
     if Atomic.exchange t.pending.(line) false then Stats.record_drain t.stats;
     write_back_line t line
   done
+
+(* At-risk lines for crash forensics: enqueued for write-back but not
+   yet drained. Sampled without locks — callers run it on a quiesced
+   (crashed) device. *)
+let pending_lines t =
+  let out = ref [] in
+  for line = Array.length t.pending - 1 downto 0 do
+    if Atomic.get t.pending.(line) then out := line :: !out
+  done;
+  !out
 
 let read_persistent t a =
   check t a;

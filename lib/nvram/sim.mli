@@ -57,6 +57,11 @@ val set_sabotage_skip_drain : bool -> unit
     persists except through eviction. The crash-sweep calibration must
     detect this as a correctness failure. *)
 
+val pending_lines : t -> int list
+(** Lines clwb'd but not yet drained (at-risk under a power failure).
+    Call on a quiesced device — the forensics path reads it after the
+    workers unwound from a crash. *)
+
 val fuel_remaining : t -> int option
 (** Remaining injector fuel; [None] when disarmed. Once armed fuel
     reaches zero it stays there (no wrap-around), and a concurrent

@@ -323,12 +323,14 @@ let chunk_blocks t cls =
 
 (* Carve a chunk from [a]; first block satisfies the caller, the rest
    stock the handle's cache for lock-free follow-up allocations. *)
-let carve_into_cache h a cls =
+let carve_into_cache h ~arena a cls =
   match carve_chunk h.t a cls ~want:(chunk_blocks h.t cls) with
   | [] -> None
   | b :: rest ->
       Telemetry.Sharded.incr counters_cells f_carve;
       Telemetry.Sharded.add counters_cells f_carved_blocks (1 + List.length rest);
+      if Flight.tracing () then
+        Flight.emit Flight.Palloc_carve cls (1 + List.length rest) arena;
       h.cache.(cls) <- rest @ h.cache.(cls);
       Some b
   | exception Arena_full -> None
@@ -365,7 +367,7 @@ let obtain h ~nwords =
           Telemetry.Sharded.incr counters_cells f_list;
           (cls, b)
       | None -> (
-          match carve_into_cache h home cls with
+          match carve_into_cache h ~arena:h.home home cls with
           | Some b -> (cls, b)
           | None ->
               (* Home arena exhausted for this class: fall back over the
@@ -377,14 +379,16 @@ let obtain h ~nwords =
                   let j = (h.home + i) mod n in
                   let a = t.arenas.(j) in
                   match pop_free a cls with
-                  | Some b -> b
+                  | Some b -> (j, b)
                   | None -> (
-                      match carve_into_cache h a cls with
-                      | Some b -> b
+                      match carve_into_cache h ~arena:j a cls with
+                      | Some b -> (j, b)
                       | None -> fallback (i + 1))
               in
-              let b = fallback 1 in
+              let victim, b = fallback 1 in
               Telemetry.Sharded.incr counters_cells f_steal;
+              if Flight.tracing () then
+                Flight.emit Flight.Palloc_steal cls victim 0;
               (cls, b)))
 
 let slot_block h = h.t.slots_base + (2 * h.slot)
@@ -398,7 +402,10 @@ let alloc_hist = Telemetry.on_demand "palloc.alloc_ns"
 let alloc h ~nwords ~dest =
   if not h.live then invalid_arg "Palloc: handle already released";
   if nwords <= 0 then invalid_arg "Palloc.alloc: nwords <= 0";
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let t0 =
+    if Telemetry.enabled () && Telemetry.sample () then Telemetry.now_ns ()
+    else 0
+  in
   let t = h.t in
   (* Phase label for crash classification; restored on normal return only
      so an injected crash freezes it (see Nvram.Stats). *)

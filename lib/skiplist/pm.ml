@@ -398,29 +398,38 @@ let find_impl h ~key =
         Some (Op.read t.pool (value_addr n))
       else None)
 
+(* Latency sampling + flight-recorder op span around each public op.
+   The span is closed on the exception path too, so a crash-unwound op
+   shows up as aborted in the forensics timeline. *)
+let with_span op ~key ~ok f =
+  let t0 =
+    if Telemetry.enabled () && Telemetry.sample () then Telemetry.now_ns ()
+    else 0
+  in
+  let sp = Flight.op_begin ~op ~key in
+  match f () with
+  | r ->
+      Flight.op_end sp ~op ~key ~ok:(ok r);
+      record_op t0;
+      r
+  | exception e ->
+      Flight.op_cancel sp ~op ~key;
+      raise e
+
 let insert h ~key ~value =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = insert_impl h ~key ~value in
-  record_op t0;
-  r
+  with_span Flight.op_sl_insert ~key ~ok:Fun.id (fun () ->
+      insert_impl h ~key ~value)
 
 let delete h ~key =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = delete_impl h ~key in
-  record_op t0;
-  r
+  with_span Flight.op_sl_delete ~key ~ok:Fun.id (fun () -> delete_impl h ~key)
 
 let update h ~key ~value =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = update_impl h ~key ~value in
-  record_op t0;
-  r
+  with_span Flight.op_sl_update ~key ~ok:Fun.id (fun () ->
+      update_impl h ~key ~value)
 
 let find h ~key =
-  let t0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
-  let r = find_impl h ~key in
-  record_op t0;
-  r
+  with_span Flight.op_sl_find ~key ~ok:Option.is_some (fun () ->
+      find_impl h ~key)
 
 let locate h ~key = locate_impl h ~key
 let pool_handle h = h.ph

@@ -477,8 +477,9 @@ let apply_merged_updates cfg (h : Pm.handle) updates =
     updates;
   !merged
 
-let apply_batch cfg handle batch =
+let apply_batch cfg ~shard handle batch =
   let n = List.length batch in
+  if Flight.tracing () then Flight.emit Flight.Batch_open shard n 0;
   if Telemetry.enabled () then begin
     Telemetry.Histogram.record (batch_hist ()) n;
     let now = Telemetry.now_ns () in
@@ -508,7 +509,8 @@ let apply_batch cfg handle batch =
   | Bth _, _ -> assert false);
   (* Publish results only after every effect of the batch: a waiter that
      sees [done_] must be past the batch's commit point. *)
-  List.iter (fun r -> Atomic.set r.done_ true) batch
+  List.iter (fun r -> Atomic.set r.done_ true) batch;
+  if Flight.tracing () then Flight.emit Flight.Batch_commit shard n 0
 
 (* --- the client-facing operation path --------------------------------- *)
 
@@ -528,7 +530,10 @@ let rec push_request q r =
 
 let enqueue_and_wait t si handle op =
   let sh = t.shards.(si) in
-  let enq_ns = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
+  let enq_ns =
+    if Telemetry.enabled () && Telemetry.sample () then Telemetry.now_ns ()
+    else 0
+  in
   let r = { op; result = false; done_ = Atomic.make false; enq_ns } in
   push_request sh.queue r;
   let spins = ref 0 in
@@ -545,7 +550,8 @@ let enqueue_and_wait t si handle op =
          batch of one (flat combining). *)
       let rec lead () =
         let batch = Atomic.exchange sh.queue [] in
-        if batch <> [] then apply_batch t.cfg handle (List.rev batch);
+        if batch <> [] then
+          apply_batch t.cfg ~shard:si handle (List.rev batch);
         if not (Atomic.get r.done_) then begin
           yield_point t;
           lead ()

@@ -29,6 +29,28 @@ let[@inline] enabled () = Atomic.get enabled_flag
 
 let now_ns = Clock.now_ns
 
+(* Sampled histogram recording. The documented ~2x enabled-mode
+   microbench overhead is two clock reads per sub-microsecond attempt;
+   [sample_shift > 0] makes each latency site record only 1 in 2^shift
+   of its calls (per-domain counter, no synchronization), trading
+   histogram population for near-disabled overhead. 0 — the default —
+   keeps the record-everything behavior. Sites guard with
+   [if enabled () && sample () then ...]: the shift check short-circuits
+   before the DLS lookup, so the default path costs one extra atomic
+   load. *)
+let shift_cell = Atomic.make 0
+let set_sample_shift n = Atomic.set shift_cell (max 0 (min 30 n))
+let sample_shift () = Atomic.get shift_cell
+let sample_counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let[@inline] sample () =
+  let sh = Atomic.get shift_cell in
+  sh = 0
+  ||
+  let c = Domain.DLS.get sample_counter in
+  incr c;
+  !c land ((1 lsl sh) - 1) = 0
+
 (* The default registry every layer's module-level histograms register
    into; [pmwcas_cli stats] and [bench --metrics] snapshot it. *)
 let default : Registry.t = Registry.create ()

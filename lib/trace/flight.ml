@@ -1,0 +1,2 @@
+include Recorder
+module Perfetto = Perfetto

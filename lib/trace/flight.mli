@@ -1,0 +1,5 @@
+(** Flight recorder: per-domain event rings ({!Recorder}) plus the
+    Chrome trace-event / Perfetto exporter ({!Perfetto}). *)
+
+include module type of Recorder
+module Perfetto = Perfetto

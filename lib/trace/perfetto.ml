@@ -1,0 +1,253 @@
+module V = Telemetry.Value
+
+(* Chrome trace-event JSON (the "JSON Array Format" wrapped in an
+   object, which Perfetto also ingests). One process (pid 1), one
+   thread per recording domain. Timestamps are microseconds as floats;
+   rebasing to the earliest event keeps them well inside double
+   precision. *)
+
+let pid = 1
+
+let base_ns snap =
+  List.fold_left
+    (fun acc (_, _, evs) ->
+      Array.fold_left (fun acc e -> min acc e.Recorder.t_ns) acc evs)
+    max_int snap.Recorder.rings
+
+let ts ~base t_ns = V.Float (float_of_int (t_ns - base) /. 1000.)
+
+let meta_events snap =
+  V.Obj
+    [
+      ("name", V.String "process_name");
+      ("ph", V.String "M");
+      ("pid", V.Int pid);
+      ("args", V.Obj [ ("name", V.String "pmwcas") ]);
+    ]
+  :: List.map
+       (fun (dom, _, _) ->
+         V.Obj
+           [
+             ("name", V.String "thread_name");
+             ("ph", V.String "M");
+             ("pid", V.Int pid);
+             ("tid", V.Int dom);
+             ("args", V.Obj [ ("name", V.String ("domain " ^ string_of_int dom)) ]);
+           ])
+       snap.Recorder.rings
+
+let cat_of = function
+  | Recorder.Op_begin | Op_end -> "op"
+  | Mwcas_attempt | Mwcas_succeed | Mwcas_fail | Mwcas_backoff | Rdcss_install
+    ->
+      "mwcas"
+  | Help_edge -> "help"
+  | Clwb | Flush_elided | Fence | Drain -> "nvram"
+  | Epoch_enter | Epoch_advance | Epoch_defer | Epoch_free -> "epoch"
+  | Palloc_carve | Palloc_steal -> "palloc"
+  | Desc_alloc | Desc_retire -> "desc"
+  | Batch_open | Batch_commit -> "store"
+  | Recovery_phase -> "recovery"
+
+let args_of (e : Recorder.event) =
+  let an, bn, cn = Recorder.arg_names e.kind in
+  let field n v acc = if n = "" then acc else (n, V.Int v) :: acc in
+  V.Obj (("seq", V.Int e.seq) :: field an e.a (field bn e.b (field cn e.c [])))
+
+let instant ~base (e : Recorder.event) =
+  V.Obj
+    [
+      ("name", V.String (Recorder.kind_name e.kind));
+      ("cat", V.String (cat_of e.kind));
+      ("ph", V.String "i");
+      ("s", V.String "t");
+      ("ts", ts ~base e.t_ns);
+      ("pid", V.Int pid);
+      ("tid", V.Int e.dom);
+      ("args", args_of e);
+    ]
+
+(* Op spans: match Op_begin/Op_end per domain with a stack (spans nest:
+   an index op contains the MwCAS ops it issues). A begin left open by
+   a crash exports as a "B" without an "E" — viewers clamp it to the
+   end of the trace, which is exactly right for a crashed op. *)
+let span_events ~base evs =
+  let out = ref [] in
+  let stack = ref [] in
+  Array.iter
+    (fun (e : Recorder.event) ->
+      match e.kind with
+      | Op_begin -> stack := e :: !stack
+      | Op_end -> (
+          match !stack with
+          | b :: rest when b.a = e.a ->
+              stack := rest;
+              out :=
+                V.Obj
+                  [
+                    ("name", V.String (Recorder.op_name b.a));
+                    ("cat", V.String "op");
+                    ("ph", V.String "X");
+                    ("ts", ts ~base b.t_ns);
+                    ( "dur",
+                      V.Float (float_of_int (e.t_ns - b.t_ns) /. 1000.) );
+                    ("pid", V.Int pid);
+                    ("tid", V.Int e.dom);
+                    ( "args",
+                      V.Obj
+                        [
+                          ("key", V.Int b.b);
+                          ( "ok",
+                            V.String
+                              (match e.c with
+                              | 1 -> "true"
+                              | 2 -> "aborted"
+                              | _ -> "false") );
+                          ("seq", V.Int b.seq);
+                        ] );
+                  ]
+                :: !out
+          | _ ->
+              (* Begin fell off the ring (or was sampled away by a
+                 mid-span enable): keep the end as an instant. *)
+              out := instant ~base e :: !out)
+      | _ -> ())
+    evs;
+  List.iter
+    (fun (b : Recorder.event) ->
+      out :=
+        V.Obj
+          [
+            ("name", V.String (Recorder.op_name b.a));
+            ("cat", V.String "op");
+            ("ph", V.String "B");
+            ("ts", ts ~base b.t_ns);
+            ("pid", V.Int pid);
+            ("tid", V.Int b.dom);
+            ("args", V.Obj [ ("key", V.Int b.b); ("seq", V.Int b.seq) ]);
+          ]
+        :: !out)
+    !stack;
+  List.rev !out
+
+(* Help edges as flow pairs. The "s" end sits on the owner's track at
+   the owner's most recent attempt on that descriptor slot before the
+   help (its install is what the helper is finishing); if the ring no
+   longer holds one, it degrades to the helper's own stamp. *)
+let flow_events ~base snap =
+  let attempts =
+    (* (dom, slot) -> ascending attempt stamps *)
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (dom, _, evs) ->
+        Array.iter
+          (fun (e : Recorder.event) ->
+            if e.kind = Recorder.Mwcas_attempt then
+              Hashtbl.replace tbl (dom, e.a)
+                (e.t_ns
+                 :: (try Hashtbl.find tbl (dom, e.a) with Not_found -> [])))
+          evs)
+      snap.Recorder.rings;
+    tbl
+  in
+  let owner_stamp ~owner ~slot ~before =
+    match Hashtbl.find_opt attempts (owner, slot) with
+    | None -> None
+    | Some stamps ->
+        (* Stored newest-first. *)
+        List.find_opt (fun t -> t <= before) stamps
+  in
+  let next_id = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun (dom, _, evs) ->
+      Array.iter
+        (fun (e : Recorder.event) ->
+          if e.kind = Recorder.Help_edge && e.a >= 0 then begin
+            incr next_id;
+            let id = !next_id in
+            let s_ts =
+              match owner_stamp ~owner:e.a ~slot:e.b ~before:e.t_ns with
+              | Some t -> t
+              | None -> e.t_ns
+            in
+            let common =
+              [
+                ("name", V.String "help");
+                ("cat", V.String "help");
+                ("id", V.Int id);
+                ("pid", V.Int pid);
+              ]
+            in
+            out :=
+              V.Obj
+                (common
+                @ [
+                    ("ph", V.String "s");
+                    ("ts", ts ~base s_ts);
+                    ("tid", V.Int e.a);
+                    ("args", V.Obj [ ("slot", V.Int e.b) ]);
+                  ])
+              :: V.Obj
+                   (common
+                   @ [
+                       ("ph", V.String "f");
+                       ("bp", V.String "e");
+                       ("ts", ts ~base e.t_ns);
+                       ("tid", V.Int dom);
+                       ( "args",
+                         V.Obj [ ("slot", V.Int e.b); ("depth", V.Int e.c) ] );
+                     ])
+              :: !out
+          end)
+        evs)
+    snap.Recorder.rings;
+  List.rev !out
+
+let help_edge_count snap =
+  List.fold_left
+    (fun n (_, _, evs) ->
+      Array.fold_left
+        (fun n (e : Recorder.event) ->
+          if e.kind = Recorder.Help_edge && e.a >= 0 then n + 1 else n)
+        n evs)
+    0 snap.Recorder.rings
+
+let to_chrome ?run_id snap =
+  let base = base_ns snap in
+  let base = if base = max_int then 0 else base in
+  let instants =
+    List.concat_map
+      (fun (_, _, evs) ->
+        Array.to_list evs
+        |> List.filter_map (fun (e : Recorder.event) ->
+               match e.kind with
+               | Recorder.Op_begin | Op_end -> None
+               | _ -> Some (instant ~base e)))
+      snap.Recorder.rings
+  in
+  let spans =
+    List.concat_map (fun (_, _, evs) -> span_events ~base evs) snap.Recorder.rings
+  in
+  let events =
+    meta_events snap @ spans @ instants @ flow_events ~base snap
+  in
+  V.Obj
+    [
+      ("traceEvents", V.List events);
+      ("displayTimeUnit", V.String "ns");
+      ( "otherData",
+        V.Obj
+          [
+            ( "run_id",
+              V.String
+                (match run_id with Some r -> r | None -> Recorder.run_id ()) );
+            ("events", V.Int (Recorder.event_count snap));
+          ] );
+    ]
+
+let write_file ?run_id path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (V.to_string (to_chrome ?run_id snap)))

@@ -1,0 +1,17 @@
+(** Chrome trace-event / Perfetto JSON export of flight-recorder
+    snapshots: domains as tracks, op spans as complete ("X") slices,
+    low-level events as thread-scoped instants, and help-chain edges as
+    flow event pairs ("s" on the owner's track at its matching MwCAS
+    attempt, "f" on the helper's track) so a contended run shows who
+    helped whose descriptor. Load the output at https://ui.perfetto.dev
+    or chrome://tracing. *)
+
+val to_chrome : ?run_id:string -> Recorder.snapshot -> Telemetry.Value.t
+(** Timestamps are rebased to the earliest event and expressed in
+    microseconds, as the trace-event format requires. *)
+
+val write_file : ?run_id:string -> string -> Recorder.snapshot -> unit
+
+val help_edge_count : Recorder.snapshot -> int
+(** Help edges that will export as flow-event pairs (owner domain
+    known). *)

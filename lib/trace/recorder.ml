@@ -1,0 +1,399 @@
+(* Per-domain single-writer event rings. Each record is [stride] ints:
+   [kind; t_ns; a; b; c]. The owning domain writes the fields with
+   plain stores and then publishes by bumping [seq] (an Atomic.set is a
+   release on OCaml 5), so a snapshotting domain that reads [seq],
+   copies the buffer, and re-reads [seq] can tell exactly which records
+   survived the copy untorn: index [i] is safe iff
+   [i < seq_before && i >= seq_after + 1 - capacity] — anything later
+   was (possibly) being overwritten while we copied. *)
+
+type kind =
+  | Op_begin
+  | Op_end
+  | Mwcas_attempt
+  | Mwcas_succeed
+  | Mwcas_fail
+  | Mwcas_backoff
+  | Rdcss_install
+  | Help_edge
+  | Clwb
+  | Flush_elided
+  | Fence
+  | Drain
+  | Epoch_enter
+  | Epoch_advance
+  | Epoch_defer
+  | Epoch_free
+  | Palloc_carve
+  | Palloc_steal
+  | Desc_alloc
+  | Desc_retire
+  | Batch_open
+  | Batch_commit
+  | Recovery_phase
+
+let all_kinds =
+  [|
+    Op_begin; Op_end; Mwcas_attempt; Mwcas_succeed; Mwcas_fail; Mwcas_backoff;
+    Rdcss_install; Help_edge; Clwb; Flush_elided; Fence; Drain; Epoch_enter;
+    Epoch_advance; Epoch_defer; Epoch_free; Palloc_carve; Palloc_steal;
+    Desc_alloc; Desc_retire; Batch_open; Batch_commit; Recovery_phase;
+  |]
+
+let kind_to_int = function
+  | Op_begin -> 0
+  | Op_end -> 1
+  | Mwcas_attempt -> 2
+  | Mwcas_succeed -> 3
+  | Mwcas_fail -> 4
+  | Mwcas_backoff -> 5
+  | Rdcss_install -> 6
+  | Help_edge -> 7
+  | Clwb -> 8
+  | Flush_elided -> 9
+  | Fence -> 10
+  | Drain -> 11
+  | Epoch_enter -> 12
+  | Epoch_advance -> 13
+  | Epoch_defer -> 14
+  | Epoch_free -> 15
+  | Palloc_carve -> 16
+  | Palloc_steal -> 17
+  | Desc_alloc -> 18
+  | Desc_retire -> 19
+  | Batch_open -> 20
+  | Batch_commit -> 21
+  | Recovery_phase -> 22
+
+let kind_of_int i =
+  if i >= 0 && i < Array.length all_kinds then Some all_kinds.(i) else None
+
+let kind_name = function
+  | Op_begin -> "op_begin"
+  | Op_end -> "op_end"
+  | Mwcas_attempt -> "mwcas_attempt"
+  | Mwcas_succeed -> "mwcas_succeed"
+  | Mwcas_fail -> "mwcas_fail"
+  | Mwcas_backoff -> "mwcas_backoff"
+  | Rdcss_install -> "rdcss_install"
+  | Help_edge -> "help_edge"
+  | Clwb -> "clwb"
+  | Flush_elided -> "flush_elided"
+  | Fence -> "fence"
+  | Drain -> "drain"
+  | Epoch_enter -> "epoch_enter"
+  | Epoch_advance -> "epoch_advance"
+  | Epoch_defer -> "epoch_defer"
+  | Epoch_free -> "epoch_free"
+  | Palloc_carve -> "palloc_carve"
+  | Palloc_steal -> "palloc_steal"
+  | Desc_alloc -> "desc_alloc"
+  | Desc_retire -> "desc_retire"
+  | Batch_open -> "batch_open"
+  | Batch_commit -> "batch_commit"
+  | Recovery_phase -> "recovery_phase"
+
+let op_mwcas = 0
+let op_sl_insert = 1
+let op_sl_delete = 2
+let op_sl_update = 3
+let op_sl_find = 4
+let op_bt_put = 5
+let op_bt_insert = 6
+let op_bt_remove = 7
+let op_bt_get = 8
+let op_recovery = 9
+
+let op_name = function
+  | 0 -> "mwcas"
+  | 1 -> "skiplist.insert"
+  | 2 -> "skiplist.delete"
+  | 3 -> "skiplist.update"
+  | 4 -> "skiplist.find"
+  | 5 -> "bwtree.put"
+  | 6 -> "bwtree.insert"
+  | 7 -> "bwtree.remove"
+  | 8 -> "bwtree.get"
+  | 9 -> "recovery"
+  | n -> "op" ^ string_of_int n
+
+let stride = 5
+let default_capacity = 4096
+
+(* Global switch + configuration. [generation] retires every existing
+   ring (reset, capacity change): a cached ring whose [gen] is stale is
+   simply replaced on the owner's next write. *)
+let enabled_flag = Atomic.make false
+let capacity_cell = Atomic.make default_capacity
+let shift_cell = Atomic.make 0
+let generation = Atomic.make 0
+
+let[@inline] tracing () = Atomic.get enabled_flag
+let sample_shift () = Atomic.get shift_cell
+let set_sample_shift n = Atomic.set shift_cell (max 0 (min 30 n))
+
+type ring = {
+  dom : int;
+  gen : int;
+  cap : int;  (* records *)
+  buf : int array;  (* cap * stride *)
+  seq : int Atomic.t;  (* published record count; single writer *)
+  mutable depth : int;  (* open op spans on this domain *)
+  mutable ops : int;  (* outermost spans seen, for sampling *)
+  mutable sampled : bool;  (* current outermost span kept? *)
+}
+
+let registry_mutex = Mutex.create ()
+let registry : (int, ring) Hashtbl.t = Hashtbl.create 16
+
+let key : ring option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let make_ring dom gen =
+  let cap = max 1 (Atomic.get capacity_cell) in
+  {
+    dom;
+    gen;
+    cap;
+    buf = Array.make (cap * stride) 0;
+    seq = Atomic.make 0;
+    depth = 0;
+    ops = 0;
+    sampled = true;
+  }
+
+let ring () =
+  let g = Atomic.get generation in
+  match Domain.DLS.get key with
+  | Some r when r.gen = g -> r
+  | _ ->
+      let dom = (Domain.self () :> int) in
+      let r = make_ring dom g in
+      Mutex.lock registry_mutex;
+      Hashtbl.replace registry dom r;
+      Mutex.unlock registry_mutex;
+      Domain.DLS.set key (Some r);
+      r
+
+let enable ?capacity ?sample_shift () =
+  (match capacity with
+  | Some c when c <> Atomic.get capacity_cell ->
+      Atomic.set capacity_cell (max 1 c);
+      Atomic.incr generation
+  | _ -> ());
+  (match sample_shift with Some s -> set_sample_shift s | None -> ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.reset registry;
+  Atomic.incr generation;
+  Mutex.unlock registry_mutex
+
+(* Run identifier: joinable tag for metrics files and forensics
+   artifacts produced by one invocation. *)
+let run_id_cell = Atomic.make None
+let set_run_id s = Atomic.set run_id_cell (Some s)
+
+let run_id () =
+  match Atomic.get run_id_cell with
+  | Some s -> s
+  | None ->
+      let t = Unix.gettimeofday () in
+      let tm = Unix.localtime t in
+      let fresh =
+        Printf.sprintf "%04d%02d%02d-%02d%02d%02d-p%d" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+          tm.Unix.tm_sec (Unix.getpid ())
+      in
+      if Atomic.compare_and_set run_id_cell None (Some fresh) then fresh
+      else Option.get (Atomic.get run_id_cell)
+
+(* Single-writer append. Plain stores into [buf], then a release
+   publish of [seq]. *)
+let record r k a b c =
+  let s = Atomic.get r.seq in
+  let off = s mod r.cap * stride in
+  let buf = r.buf in
+  buf.(off) <- kind_to_int k;
+  buf.(off + 1) <- Telemetry.Clock.now_ns ();
+  buf.(off + 2) <- a;
+  buf.(off + 3) <- b;
+  buf.(off + 4) <- c;
+  Atomic.set r.seq (s + 1)
+
+let[@inline] keeping r = r.depth = 0 || r.sampled
+
+let emit k a b c =
+  if tracing () then begin
+    let r = ring () in
+    if keeping r then record r k a b c
+  end
+
+(* Op spans. The token encodes what [op_end] must undo: 0 = recorder
+   was off (nothing opened), 1 = span opened but sampled out, 2 = span
+   opened and recorded. The sampling decision is made only at depth 0
+   and inherited by nested spans, so a skiplist op and the MwCAS
+   attempts under it keep or drop their events together. *)
+let op_begin ~op ~key:k =
+  if not (tracing ()) then 0
+  else begin
+    let r = ring () in
+    if r.depth = 0 then begin
+      let sh = Atomic.get shift_cell in
+      r.ops <- r.ops + 1;
+      r.sampled <- sh = 0 || r.ops land ((1 lsl sh) - 1) = 0
+    end;
+    r.depth <- r.depth + 1;
+    if r.sampled then record r Op_begin op k 0;
+    if r.sampled then 2 else 1
+  end
+
+let close_span token ~op ~key:k ~code =
+  if token <> 0 then begin
+    let r = ring () in
+    if token = 2 then record r Op_end op k code;
+    if r.depth > 0 then r.depth <- r.depth - 1
+  end
+
+let op_end token ~op ~key ~ok =
+  close_span token ~op ~key ~code:(if ok then 1 else 0)
+
+let op_cancel token ~op ~key = close_span token ~op ~key ~code:2
+
+type event = {
+  dom : int;
+  seq : int;
+  t_ns : int;
+  kind : kind;
+  a : int;
+  b : int;
+  c : int;
+}
+
+type snapshot = { taken_ns : int; rings : (int * int * event array) list }
+
+let snapshot_ring (r : ring) =
+  let seq_before = Atomic.get r.seq in
+  let copy = Array.copy r.buf in
+  let seq_after = Atomic.get r.seq in
+  (* Record [i] lives in slot [i mod cap]; it is torn if some record
+     [j >= seq_before] with [j mod cap = i mod cap] was being written
+     during the copy. The writer may already be filling record
+     [seq_after] (unpublished), so the oldest trustworthy index is
+     [seq_after + 1 - cap]. *)
+  let lo = max 0 (seq_after + 1 - r.cap) in
+  let hi = seq_before in
+  let out = ref [] in
+  for i = hi - 1 downto lo do
+    let off = i mod r.cap * stride in
+    match kind_of_int copy.(off) with
+    | Some kind ->
+        out :=
+          {
+            dom = r.dom;
+            seq = i;
+            t_ns = copy.(off + 1);
+            kind;
+            a = copy.(off + 2);
+            b = copy.(off + 3);
+            c = copy.(off + 4);
+          }
+          :: !out
+    | None -> ()
+  done;
+  (r.dom, seq_before, Array.of_list !out)
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let rings = Hashtbl.fold (fun _ r acc -> r :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  let rings =
+    List.sort (fun (a : ring) (b : ring) -> compare a.dom b.dom) rings
+    |> List.map snapshot_ring
+  in
+  { taken_ns = Telemetry.Clock.now_ns (); rings }
+
+let event_count s =
+  List.fold_left (fun n (_, _, evs) -> n + Array.length evs) 0 s.rings
+
+let merged s =
+  List.concat_map (fun (_, _, evs) -> Array.to_list evs) s.rings
+  |> List.sort (fun a b -> compare (a.t_ns, a.dom, a.seq) (b.t_ns, b.dom, b.seq))
+
+(* Per-kind payload field names, shared by the pretty-printer and the
+   Chrome exporter. *)
+let arg_names = function
+  | Op_begin -> ("op", "key", "")
+  | Op_end -> ("op", "key", "ok")
+  | Mwcas_attempt -> ("slot", "words", "depth")
+  | Mwcas_succeed | Mwcas_fail -> ("slot", "", "depth")
+  | Mwcas_backoff -> ("streak", "spins", "")
+  | Rdcss_install -> ("addr", "slot", "helped")
+  | Help_edge -> ("owner", "slot", "depth")
+  | Clwb | Flush_elided -> ("addr", "line", "")
+  | Fence -> ("drained", "", "")
+  | Drain -> ("line", "", "")
+  | Epoch_enter | Epoch_defer -> ("epoch", "", "")
+  | Epoch_advance -> ("epoch", "", "")
+  | Epoch_free -> ("freed", "upto", "")
+  | Palloc_carve -> ("cls", "blocks", "arena")
+  | Palloc_steal -> ("cls", "victim", "")
+  | Desc_alloc | Desc_retire -> ("slot", "", "")
+  | Batch_open -> ("shard", "queued", "")
+  | Batch_commit -> ("shard", "size", "")
+  | Recovery_phase -> ("phase", "arg", "")
+
+let pp_event ppf e =
+  let an, bn, cn = arg_names e.kind in
+  let field n v =
+    if n <> "" then
+      if e.kind = Op_begin && n = "op" then
+        Format.fprintf ppf " %s=%s" n (op_name v)
+      else if e.kind = Op_end && n = "op" then
+        Format.fprintf ppf " %s=%s" n (op_name v)
+      else Format.fprintf ppf " %s=%d" n v
+  in
+  Format.fprintf ppf "[%d.%d] t=%dns %s" e.dom e.seq e.t_ns
+    (kind_name e.kind);
+  field an e.a;
+  field bn e.b;
+  field cn e.c
+
+let postmortem ?(tail = 50) s =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let base =
+    List.fold_left
+      (fun acc (_, _, evs) ->
+        Array.fold_left (fun acc e -> min acc e.t_ns) acc evs)
+      max_int s.rings
+  in
+  List.iter
+    (fun (dom, total, evs) ->
+      let n = Array.length evs in
+      let k = min tail n in
+      Format.fprintf ppf "domain %d: %d events recorded, showing last %d@." dom
+        total k;
+      for i = n - k to n - 1 do
+        let e = evs.(i) in
+        let an, bn, cn = arg_names e.kind in
+        let field n v =
+          if n <> "" then
+            if (e.kind = Op_begin || e.kind = Op_end) && n = "op" then
+              Format.fprintf ppf " %s=%s" n (op_name v)
+            else Format.fprintf ppf " %s=%d" n v
+        in
+        Format.fprintf ppf "  [%4d] +%-9d %s" e.seq
+          (if base = max_int then e.t_ns else e.t_ns - base)
+          (kind_name e.kind);
+        field an e.a;
+        field bn e.b;
+        field cn e.c;
+        Format.pp_print_newline ppf ()
+      done)
+    s.rings;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

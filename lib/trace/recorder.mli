@@ -1,0 +1,163 @@
+(** Flight recorder: per-domain ring buffers of compact binary events.
+
+    Always-on-capable causal tracing for the PMwCAS stack: each domain
+    owns a fixed-capacity ring of [kind; t_ns; a; b; c] integer records
+    written lock-free by that domain only, published through a
+    per-domain sequence counter and merged post-hoc on the monotonic
+    clock stamps. Disabled ([tracing () = false], the default) every
+    instrumentation site costs one atomic load and a branch; enabled,
+    1-in-2^[sample_shift] operation sampling decides per outermost op
+    span whether the op and the low-level events nested under it
+    (flushes, fences, help edges, epoch traffic) are recorded, so the
+    recorder can stay on in benches.
+
+    The library is named [flight] rather than [trace] because the
+    [nvram] library already carries an internal [Trace] module (word-op
+    persistence traces); this recorder is the event-timeline layer on
+    top. *)
+
+(** Event kinds. Payload word meaning per kind (a, b, c):
+    - [Op_begin]/[Op_end]: opcode (see [op_name]), key, ok-code
+      (end only: 0 = false, 1 = true, 2 = aborted by exception)
+    - [Mwcas_attempt]: descriptor slot, word count, help depth
+    - [Mwcas_succeed]/[Mwcas_fail]: descriptor slot, 0, help depth
+    - [Mwcas_backoff]: failure streak, spin count, 0
+    - [Rdcss_install]: target address, descriptor slot,
+      0 = own install / 1 = helped a foreign RDCSS
+    - [Help_edge]: owner domain (-1 unknown), descriptor slot, depth
+    - [Clwb]/[Flush_elided]: address, cache line, 0
+    - [Fence]: drained line count, 0, 0
+    - [Drain]: cache line, 0, 0
+    - [Epoch_enter]/[Epoch_defer]: global epoch, 0, 0
+    - [Epoch_advance]: new epoch, 0, 0
+    - [Epoch_free]: freed node count, up-to epoch, 0
+    - [Palloc_carve]: size class, blocks carved, arena
+    - [Palloc_steal]: size class, victim arena, 0
+    - [Desc_alloc]/[Desc_retire]: descriptor slot, 0, 0
+    - [Batch_open]: store shard, queued ops, 0
+    - [Batch_commit]: store shard, batch size, 0
+    - [Recovery_phase]: phase code (0 = begin, 1 = rolled forward,
+      2 = rolled back, 3 = end), argument (base / slot / in-flight), 0 *)
+type kind =
+  | Op_begin
+  | Op_end
+  | Mwcas_attempt
+  | Mwcas_succeed
+  | Mwcas_fail
+  | Mwcas_backoff
+  | Rdcss_install
+  | Help_edge
+  | Clwb
+  | Flush_elided
+  | Fence
+  | Drain
+  | Epoch_enter
+  | Epoch_advance
+  | Epoch_defer
+  | Epoch_free
+  | Palloc_carve
+  | Palloc_steal
+  | Desc_alloc
+  | Desc_retire
+  | Batch_open
+  | Batch_commit
+  | Recovery_phase
+
+val kind_name : kind -> string
+val kind_to_int : kind -> int
+val kind_of_int : int -> kind option
+
+(** Opcodes carried by [Op_begin]/[Op_end]. *)
+
+val op_mwcas : int
+val op_sl_insert : int
+val op_sl_delete : int
+val op_sl_update : int
+val op_sl_find : int
+val op_bt_put : int
+val op_bt_insert : int
+val op_bt_remove : int
+val op_bt_get : int
+val op_recovery : int
+val op_name : int -> string
+
+(** {1 Switch, sampling, identity} *)
+
+val enable : ?capacity:int -> ?sample_shift:int -> unit -> unit
+(** Turn the recorder on. [capacity] is records per domain ring
+    (default 4096; changing it retires existing rings). [sample_shift]
+    records 1 in 2^shift outermost op spans (default 0 = every op). *)
+
+val disable : unit -> unit
+
+val tracing : unit -> bool
+(** One atomic load; the guard every instrumentation site uses. *)
+
+val reset : unit -> unit
+(** Drop all recorded events (rings are recreated lazily). *)
+
+val set_sample_shift : int -> unit
+val sample_shift : unit -> int
+
+val run_id : unit -> string
+(** Process-wide run identifier (time + pid derived unless set),
+    stamped into metrics files and forensics artifacts so outputs of
+    one invocation are joinable. *)
+
+val set_run_id : string -> unit
+
+(** {1 Recording} *)
+
+val emit : kind -> int -> int -> int -> unit
+(** [emit k a b c] appends a record to the calling domain's ring. No-op
+    when disabled; inside an unsampled op span the record is dropped;
+    outside any span (rare structural events) it is always kept. *)
+
+val op_begin : op:int -> key:int -> int
+(** Open an op span; returns a token to pass to [op_end]/[op_cancel].
+    The outermost span makes the sampling decision for everything
+    nested under it. Token 0 means the recorder was off. *)
+
+val op_end : int -> op:int -> key:int -> ok:bool -> unit
+val op_cancel : int -> op:int -> key:int -> unit
+(** [op_cancel] closes a span unwound by an exception (e.g. an injected
+    crash); the [Op_end] record carries ok-code 2. *)
+
+(** {1 Snapshots} *)
+
+type event = {
+  dom : int;  (** recording domain *)
+  seq : int;  (** per-domain sequence, monotonic *)
+  t_ns : int;  (** monotonic clock stamp *)
+  kind : kind;
+  a : int;
+  b : int;
+  c : int;
+}
+
+type snapshot = {
+  taken_ns : int;
+  rings : (int * int * event array) list;
+      (** (domain, total records ever written, surviving events
+          oldest-first) sorted by domain. *)
+}
+
+val snapshot : unit -> snapshot
+(** Safe against concurrent writers: records that may have been
+    overwritten or in flight during the copy are dropped, never torn. *)
+
+val merged : snapshot -> event list
+(** All surviving events, sorted by clock stamp (ties by domain then
+    sequence). *)
+
+val arg_names : kind -> string * string * string
+(** Payload field names (empty string = unused word); shared by the
+    pretty-printer and the exporters. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val postmortem : ?tail:int -> snapshot -> string
+(** Human-readable per-domain "last [tail] events" report
+    (default 50). *)
+
+val event_count : snapshot -> int

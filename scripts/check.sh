@@ -23,6 +23,27 @@ dune exec bench/main.exe -- smoke --metrics /tmp/telemetry_smoke.json
 dune exec bin/pmwcas_cli.exe -- check-metrics --require-coalescing \
   --require-alloc-counters --require-store-counters /tmp/telemetry_smoke.json
 
+echo "== trace smoke (flight recorder + Perfetto export round-trip)"
+dune exec bench/main.exe -- smoke --trace /tmp/trace_smoke.json \
+  --trace-shift 0
+dune exec bin/pmwcas_cli.exe -- check-trace /tmp/trace_smoke.json
+
+echo "== trace: contended help-edge gate"
+# Helping needs a preemption mid-operation, so on a single-core host the
+# edge count is probabilistic; wide descriptors + simulated flush stalls
+# make it near-certain, and we allow three tries before failing.
+help_ok=0
+for _try in 1 2 3; do
+  dune exec bin/pmwcas_cli.exe -- trace-dump --workers 4 --ops 4000 \
+    --accounts 5 --width 4 --flush-delay 2000 --out /tmp/trace_help.json
+  if dune exec bin/pmwcas_cli.exe -- check-trace --require-help-edge \
+    /tmp/trace_help.json; then help_ok=1; break; fi
+done
+test "$help_ok" = 1 || { echo "FAIL: no help edge in 3 contended runs"; exit 1; }
+
+echo "== trace: disabled-mode overhead guard"
+dune exec test/test_trace.exe -- test overhead
+
 echo "== crash-sweep smoke"
 dune exec bin/pmwcas_cli.exe -- crash-sweep --budget 60 --seeds 1
 
@@ -30,8 +51,13 @@ echo "== crash-sweep: per-domain pool + arena-palloc suites"
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 80 --seeds 2
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite palloc --budget 80 \
   --seeds 2
+# The sabotaged run must also leave a forensics artifact (ring snapshot,
+# pool scan, postmortem) tagged with the run id we pass in.
+rm -rf /tmp/check_artifacts
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 120 \
-  --seeds 1 --sabotage
+  --seeds 1 --sabotage --artifacts /tmp/check_artifacts --run-id check-smoke
+ls /tmp/check_artifacts/check-smoke-*.json >/dev/null 2>&1 \
+  || { echo "FAIL: sabotaged sweep wrote no forensics artifact"; exit 1; }
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 40 \
   --seeds 1 --sabotage-drain
 

@@ -1,0 +1,338 @@
+(* Tests for the flight recorder: ring wraparound and the torn-read-safe
+   snapshot window, capacity-1 degeneracy, concurrent emit vs snapshot,
+   per-domain sequence monotonicity, op-span sampling, the Perfetto
+   export round-tripped through the telemetry JSON parser, postmortem
+   rendering, and the forensics pool scanner. *)
+
+module V = Telemetry.Value
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  at 0
+
+(* [sample_shift] sticks across enable/disable, so default it to 0 here
+   rather than inheriting whatever the previous test set. *)
+let with_recorder ?capacity ?(sample_shift = 0) f =
+  Flight.enable ?capacity ~sample_shift ();
+  Flight.reset ();
+  Fun.protect ~finally:Flight.disable f
+
+let ring_of snap dom =
+  match
+    List.find_opt (fun (d, _, _) -> d = dom) snap.Flight.rings
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "no ring for domain %d" dom
+
+(* --- wraparound -------------------------------------------------------- *)
+
+let test_wraparound () =
+  with_recorder ~capacity:8 @@ fun () ->
+  for i = 1 to 20 do
+    Flight.emit Flight.Clwb i 0 0
+  done;
+  let snap = Flight.snapshot () in
+  let _, total, evs = ring_of snap (Domain.self () :> int) in
+  Alcotest.(check int) "total counts every emit" 20 total;
+  (* A full ring surrenders one slot to the in-flight write guard. *)
+  Alcotest.(check int) "survivors fill the ring minus one" 7
+    (Array.length evs);
+  Array.iteri
+    (fun k e ->
+      Alcotest.(check int) "newest events survive, oldest-first" (14 + k)
+        e.Flight.a)
+    evs
+
+let test_capacity_one () =
+  with_recorder ~capacity:1 @@ fun () ->
+  for i = 1 to 5 do
+    Flight.emit Flight.Fence i 0 0
+  done;
+  let snap = Flight.snapshot () in
+  let _, total, evs = ring_of snap (Domain.self () :> int) in
+  Alcotest.(check int) "total still counts" 5 total;
+  (* The only slot is always potentially in flight, so nothing is ever
+     guaranteed intact — the snapshot must degrade to empty, not tear. *)
+  Alcotest.(check int) "no guaranteed-intact record" 0 (Array.length evs)
+
+(* --- sequence monotonicity -------------------------------------------- *)
+
+let test_seq_monotonic () =
+  with_recorder ~capacity:64 @@ fun () ->
+  let workers = 3 and per = 200 in
+  List.init workers (fun w ->
+      Domain.spawn (fun () ->
+          for i = 1 to per do
+            Flight.emit Flight.Drain w i 0
+          done))
+  |> List.iter Domain.join;
+  let snap = Flight.snapshot () in
+  List.iter
+    (fun (dom, total, evs) ->
+      if dom <> (Domain.self () :> int) then
+        Alcotest.(check int)
+          (Printf.sprintf "domain %d total" dom)
+          per total;
+      Array.iteri
+        (fun k e ->
+          Alcotest.(check int) "dom stamped" dom e.Flight.dom;
+          if k > 0 then
+            Alcotest.(check int) "seq strictly ascending by one"
+              (evs.(k - 1).Flight.seq + 1)
+              e.Flight.seq)
+        evs)
+      snap.Flight.rings;
+  (* The merged view keeps per-domain order even after the global sort. *)
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Flight.event) ->
+      (match Hashtbl.find_opt last e.dom with
+      | Some s -> Alcotest.(check bool) "merged keeps per-domain order" true (e.seq > s)
+      | None -> ());
+      Hashtbl.replace last e.dom e.seq)
+    (Flight.merged snap)
+
+(* --- concurrent emit vs snapshot -------------------------------------- *)
+
+let test_concurrent_snapshot () =
+  with_recorder ~capacity:32 @@ fun () ->
+  let stop = Atomic.make false in
+  let written = Atomic.make 0 in
+  let writer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          (* A marker payload the checker can validate: b = a + 1. *)
+          Flight.emit Flight.Clwb !i (!i + 1) 0;
+          Atomic.set written !i
+        done)
+  in
+  (* Keep snapshotting until the writer has demonstrably run: on a
+     single-core host 200 iterations can finish before its thread is
+     ever scheduled. *)
+  let snaps = ref 0 in
+  while !snaps < 200 || Atomic.get written = 0 do
+    incr snaps;
+    let snap = Flight.snapshot () in
+    List.iter
+      (fun (_, total, evs) ->
+        Alcotest.(check bool) "survivors bounded by total" true
+          (Array.length evs <= total);
+        Array.iter
+          (fun (e : Flight.event) ->
+            (* A torn record would break the payload invariant. *)
+            Alcotest.(check int) "record not torn" (e.a + 1) e.b)
+          evs)
+      snap.Flight.rings
+  done;
+  Atomic.set stop true;
+  Domain.join writer;
+  Alcotest.(check bool) "writer made progress" true (Atomic.get written > 0)
+
+(* --- op spans and sampling -------------------------------------------- *)
+
+let count_kind snap k =
+  List.fold_left
+    (fun n (e : Flight.event) -> if e.kind = k then n + 1 else n)
+    0 (Flight.merged snap)
+
+let test_sampling () =
+  with_recorder ~capacity:8192 ~sample_shift:2 @@ fun () ->
+  let ops = 400 in
+  for i = 1 to ops do
+    let sp = Flight.op_begin ~op:Flight.op_mwcas ~key:i in
+    (* Nested low-level events inherit the outer span's decision. *)
+    Flight.emit Flight.Clwb i 0 0;
+    Flight.op_end sp ~op:Flight.op_mwcas ~key:i ~ok:true
+  done;
+  let snap = Flight.snapshot () in
+  let begins = count_kind snap Flight.Op_begin in
+  let clwbs = count_kind snap Flight.Clwb in
+  Alcotest.(check int) "exactly 1 in 4 spans recorded" (ops / 4) begins;
+  Alcotest.(check int) "nested events follow the span decision" begins clwbs
+
+let test_disabled_is_free () =
+  (* [disable] leaves existing rings in place for post-run export, so
+     clear the previous test's events before checking nothing new lands. *)
+  Flight.reset ();
+  Flight.disable ();
+  let sp = Flight.op_begin ~op:Flight.op_mwcas ~key:1 in
+  Alcotest.(check int) "disabled span token" 0 sp;
+  Flight.op_end sp ~op:Flight.op_mwcas ~key:1 ~ok:true;
+  Flight.emit Flight.Fence 0 0 0;
+  Alcotest.(check bool) "not tracing" false (Flight.tracing ());
+  Alcotest.(check int) "nothing recorded" 0
+    (Flight.event_count (Flight.snapshot ()))
+
+(* Disabled-mode overhead guard: an emit with the recorder off is one
+   atomic load, so ten million of them must stay well under a second
+   even on a loaded CI box (~100ns/emit budget vs ~5ns actual). *)
+let test_disabled_overhead () =
+  Flight.reset ();
+  Flight.disable ();
+  let n = 10_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    Flight.emit Flight.Clwb i 0 0
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%dM disabled emits took %.3fs (budget 1s)"
+       (n / 1_000_000) dt)
+    true (dt < 1.0);
+  Alcotest.(check int) "still nothing recorded" 0
+    (Flight.event_count (Flight.snapshot ()))
+
+let test_cancel_unwinds () =
+  with_recorder @@ fun () ->
+  (try
+     let sp = Flight.op_begin ~op:Flight.op_sl_insert ~key:7 in
+     try raise Exit with Exit ->
+       Flight.op_cancel sp ~op:Flight.op_sl_insert ~key:7;
+       raise Exit
+   with Exit -> ());
+  (* Depth unwound: the next outermost span samples afresh. *)
+  let sp = Flight.op_begin ~op:Flight.op_sl_insert ~key:8 in
+  Flight.op_end sp ~op:Flight.op_sl_insert ~key:8 ~ok:true;
+  let snap = Flight.snapshot () in
+  let ends =
+    List.filter (fun (e : Flight.event) -> e.kind = Flight.Op_end)
+      (Flight.merged snap)
+  in
+  Alcotest.(check int) "both spans closed" 2 (List.length ends);
+  Alcotest.(check bool) "one closed as aborted" true
+    (List.exists (fun (e : Flight.event) -> e.c = 2) ends)
+
+(* --- Perfetto export round-trip --------------------------------------- *)
+
+let test_perfetto_roundtrip () =
+  with_recorder @@ fun () ->
+  (* One op span with an attempt, plus a help edge pointing at this
+     domain as owner so the exporter emits a flow pair. *)
+  let dom = (Domain.self () :> int) in
+  let sp = Flight.op_begin ~op:Flight.op_mwcas ~key:42 in
+  Flight.emit Flight.Mwcas_attempt 42 2 0;
+  Flight.emit Flight.Clwb 42 5 0;
+  Flight.emit Flight.Help_edge dom 42 1;
+  Flight.op_end sp ~op:Flight.op_mwcas ~key:42 ~ok:true;
+  let snap = Flight.snapshot () in
+  Alcotest.(check int) "one exportable help edge" 1
+    (Flight.Perfetto.help_edge_count snap);
+  let text = V.to_string (Flight.Perfetto.to_chrome ~run_id:"test-run" snap) in
+  match V.of_string text with
+  | Error e -> Alcotest.failf "export does not re-parse: %s" e
+  | Ok v ->
+      let events =
+        match V.find_path v [ "traceEvents" ] with
+        | Some (V.List l) -> l
+        | _ -> Alcotest.fail "traceEvents missing"
+      in
+      let phs =
+        List.filter_map
+          (fun e ->
+            match V.member "ph" e with Some (V.String p) -> Some p | _ -> None)
+          events
+      in
+      List.iter
+        (fun ph ->
+          Alcotest.(check bool) ("has a " ^ ph ^ " event") true
+            (List.mem ph phs))
+        [ "M"; "X"; "i"; "s"; "f" ];
+      (match V.find_path v [ "otherData"; "run_id" ] with
+      | Some (V.String r) -> Alcotest.(check string) "run id" "test-run" r
+      | _ -> Alcotest.fail "otherData.run_id missing");
+      (* The flow start must anchor on the owner's attempt stamp, which
+         precedes the helper-side finish. *)
+      let flow ph =
+        List.find_opt
+          (fun e -> V.member "ph" e = Some (V.String ph))
+          events
+        |> Option.get
+      in
+      let ts e =
+        match V.member "ts" e with
+        | Some (V.Float f) -> f
+        | Some (V.Int i) -> float_of_int i
+        | _ -> Alcotest.fail "flow without ts"
+      in
+      Alcotest.(check bool) "flow start at or before finish" true
+        (ts (flow "s") <= ts (flow "f"))
+
+(* --- postmortem -------------------------------------------------------- *)
+
+let test_postmortem () =
+  with_recorder @@ fun () ->
+  for i = 1 to 60 do
+    Flight.emit Flight.Epoch_advance i 0 0
+  done;
+  let text = Flight.postmortem ~tail:10 (Flight.snapshot ()) in
+  Alcotest.(check bool) "names the domain" true
+    (contains ~affix:"domain" text);
+  Alcotest.(check bool) "shows the newest event" true
+    (contains ~affix:"epoch_advance" text);
+  Alcotest.(check bool) "tail is bounded" true
+    (not (contains ~affix:"epoch=49" text))
+
+(* --- forensics: descriptor-pool scan ----------------------------------- *)
+
+let test_forensics_scan () =
+  let mem = Nvram.Mem.create (Nvram.Config.make ~words:8192 ()) in
+  let pool = Pmwcas.Pool.create mem ~base:0 ~max_threads:2 in
+  let h = Pmwcas.Pool.register pool in
+  let d = Pmwcas.Pool.alloc_desc h in
+  Pmwcas.Pool.add_word d ~addr:8000 ~expected:0 ~desired:1;
+  (* Allocated but never executed: the slot sits in [Undecided]. *)
+  let reports = Harness.Forensics.scan_pools mem in
+  match reports with
+  | [ r ] ->
+      Alcotest.(check int) "pool found at base" 0 r.Harness.Forensics.base;
+      Alcotest.(check bool) "in-flight slot listed" true
+        (r.in_flight <> []);
+      List.iter
+        (fun (s : Harness.Forensics.desc_state) ->
+          Alcotest.(check bool) "status decodes" true
+            (Harness.Forensics.status_name s.status <> ""))
+        r.in_flight
+  | rs -> Alcotest.failf "expected exactly one pool, found %d" (List.length rs)
+
+let test_run_id () =
+  let saved = Flight.run_id () in
+  Alcotest.(check bool) "derived run id is non-empty" true (saved <> "");
+  Flight.set_run_id "custom-id";
+  Alcotest.(check string) "override sticks" "custom-id" (Flight.run_id ());
+  Flight.set_run_id saved
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound" `Quick test_wraparound;
+          Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "seq monotonic" `Quick test_seq_monotonic;
+          Alcotest.test_case "concurrent snapshot" `Quick
+            test_concurrent_snapshot;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "sampling" `Quick test_sampling;
+          Alcotest.test_case "disabled" `Quick test_disabled_is_free;
+          Alcotest.test_case "cancel" `Quick test_cancel_unwinds;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "disabled emit is free" `Quick
+            test_disabled_overhead;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "perfetto roundtrip" `Quick
+            test_perfetto_roundtrip;
+          Alcotest.test_case "postmortem" `Quick test_postmortem;
+          Alcotest.test_case "run id" `Quick test_run_id;
+        ] );
+      ( "forensics",
+        [ Alcotest.test_case "pool scan" `Quick test_forensics_scan ] );
+    ]
