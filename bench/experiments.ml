@@ -262,8 +262,12 @@ let index_op (type h) ~insert ~delete ~update ~find ~scan ~(h : h) ~mix ~dist
 
 let index_heap_words s = max (1 lsl 20) (64 * s.index_keys)
 
-let skiplist_bench ?label ?(mix_name = "") ?flush_delay ?flush_mode s ~mix
-    ~threads variant =
+(* [zipf] skews the key distribution (theta 0.9, scrambled) so reads
+   keep landing on recently-dirtied words — the flush-on-read hot case
+   b5 measures. The returned stats are the timed run only (preload
+   excluded), so flushes/op ratios compare protocols, not setup cost. *)
+let skiplist_bench ?label ?(mix_name = "") ?flush_delay ?flush_mode
+    ?(zipf = false) s ~mix ~threads variant =
   let persistent = variant = Sl_persistent in
   let env =
     Bench_env.make ~persistent ?flush_delay ?flush_mode ~max_threads:threads
@@ -271,7 +275,12 @@ let skiplist_bench ?label ?(mix_name = "") ?flush_delay ?flush_mode s ~mix
       ~data_words:8 ()
   in
   let keyspace = preload_keys s.index_keys in
-  let dist = Dist.create (Dist.Uniform keyspace) in
+  let dist =
+    Dist.create
+      (if zipf then Dist.Zipfian { n = keyspace; theta = 0.9; scrambled = true }
+       else Dist.Uniform keyspace)
+  in
+  let st0 = ref (Nvram.Stats.snapshot (Mem.stats env.mem)) in
   let r =
     match variant with
     | Sl_cas ->
@@ -281,6 +290,7 @@ let skiplist_bench ?label ?(mix_name = "") ?flush_delay ?flush_mode s ~mix
         ignore (Cas.insert h0 ~key:(2 * i) ~value:i)
       done;
       Cas.unregister h0;
+      st0 := Nvram.Stats.snapshot (Mem.stats env.mem);
       Runner.run_timed ~threads ~seconds:s.seconds ~prepare:(fun tid ->
           let h = Cas.register ~seed:(100 + tid) t in
           let rng = Random.State.make [| 31 * (tid + 1) |] in
@@ -302,6 +312,7 @@ let skiplist_bench ?label ?(mix_name = "") ?flush_delay ?flush_mode s ~mix
         ignore (Pm.insert h0 ~key:(2 * i) ~value:i)
       done;
       Pm.unregister h0;
+      st0 := Nvram.Stats.snapshot (Mem.stats env.mem);
       Runner.run_timed ~threads ~seconds:s.seconds ~prepare:(fun tid ->
           let h = Pm.register ~seed:(100 + tid) t in
           let rng = Random.State.make [| 31 * (tid + 1) |] in
@@ -329,7 +340,7 @@ let skiplist_bench ?label ?(mix_name = "") ?flush_delay ?flush_mode s ~mix
         ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
         ())
     label;
-  (r, Nvram.Stats.snapshot (Mem.stats env.mem))
+  (r, Nvram.Stats.diff (Nvram.Stats.snapshot (Mem.stats env.mem)) !st0)
 
 (* E4: the skip-list comparison — the paper reports 1-3% PMwCAS overhead
    vs the volatile MwCAS implementation under realistic workloads. *)
@@ -365,13 +376,18 @@ let e4 s =
     ~header:[ "mix"; "threads"; "cas-singly"; "mwcas-vol"; "pmwcas"; "overhead" ]
     (List.rev !rows)
 
-let bwtree_bench ?label ?(mix_name = "") s ~mix ~threads ~persistent =
+let bwtree_bench ?label ?(mix_name = "") ?(zipf = false) s ~mix ~threads
+    ~persistent =
   let env =
     Bench_env.make ~persistent ~max_threads:threads
       ~heap_words:(index_heap_words s) ~map_words:(1 lsl 14) ~data_words:8 ()
   in
   let keyspace = preload_keys s.index_keys in
-  let dist = Dist.create (Dist.Uniform keyspace) in
+  let dist =
+    Dist.create
+      (if zipf then Dist.Zipfian { n = keyspace; theta = 0.9; scrambled = true }
+       else Dist.Uniform keyspace)
+  in
   let t =
     Tree.create ~pool:env.pool ~palloc:env.palloc ~anchor:env.bt_anchor
       ~map_base:env.map_base ~map_words:env.map_words ()
@@ -381,6 +397,7 @@ let bwtree_bench ?label ?(mix_name = "") s ~mix ~threads ~persistent =
     ignore (Tree.put h0 ~key:(2 * i) ~value:i)
   done;
   Tree.unregister h0;
+  let st0 = Nvram.Stats.snapshot (Mem.stats env.mem) in
   let r =
     Runner.run_timed ~threads ~seconds:s.seconds ~prepare:(fun tid ->
         let h = Tree.register t in
@@ -409,7 +426,7 @@ let bwtree_bench ?label ?(mix_name = "") s ~mix ~threads ~persistent =
         ~stats:(Nvram.Stats.snapshot (Mem.stats env.mem))
         ())
     label;
-  r
+  (r, Nvram.Stats.diff (Nvram.Stats.snapshot (Mem.stats env.mem)) st0)
 
 (* E5: the Bw-tree comparison — paper reports 4-8% overhead. *)
 let e5 s =
@@ -420,8 +437,8 @@ let e5 s =
     (fun (mname, mix) ->
       List.iter
         (fun threads ->
-          let vol = bwtree_bench ~label:"e5" ~mix_name:mname s ~mix ~threads ~persistent:false in
-          let per = bwtree_bench ~label:"e5" ~mix_name:mname s ~mix ~threads ~persistent:true in
+          let vol, _ = bwtree_bench ~label:"e5" ~mix_name:mname s ~mix ~threads ~persistent:false in
+          let per, _ = bwtree_bench ~label:"e5" ~mix_name:mname s ~mix ~threads ~persistent:true in
           rows :=
             [
               mname;
@@ -1219,6 +1236,99 @@ let b4 s =
       ]
     (List.rev !lat_rows)
 
+(* B5: destination-only persistence (FliT-style per-word flush
+   tracking) on the index workloads. With flit on (the default), index
+   traversals use weak journey reads — no flush-on-read write-back +
+   fence on dirty words they merely pass over — and the destination
+   pass before each PMwCAS consults the per-word flush counters to
+   elide write-backs already in flight. Off restores the seed
+   behaviour: strong flush-on-read traversals and unconditional
+   clwb_range over fresh node bodies. Zipfian keys (theta 0.9) keep
+   every traversal landing on recently-dirtied hot words — exactly
+   where flush-on-read burns write-backs. Both sides of each row run
+   back-to-back on fresh environments; flushes/op and fences/op count
+   the timed run only (preload excluded). As in B3, the single-core
+   host's scheduler jitter at quick-scale durations exceeds the
+   throughput delta, so each row runs its off/on pair three times and
+   reports the median-speedup pair — the per-op flush and fence counts
+   are protocol-determined and stable across repetitions. *)
+let b5 s =
+  section
+    "B5  Destination-only persistence: flit on vs off (zipf-keyed indexes)";
+  let saved = Nvram.Flit.enabled () in
+  let fl (st : Nvram.Stats.snapshot) (r : Runner.result) =
+    float_of_int st.flushes /. float_of_int (max 1 r.ops)
+  and fe (st : Nvram.Stats.snapshot) (r : Runner.result) =
+    float_of_int st.fences /. float_of_int (max 1 r.ops)
+  in
+  let sl_point ~mix_name ~mix ~threads flit =
+    Nvram.Flit.set_enabled flit;
+    skiplist_bench
+      ~label:("b5.skiplist." ^ if flit then "on" else "off")
+      ~mix_name ~zipf:true s ~mix ~threads Sl_persistent
+  in
+  let bt_point ~mix_name ~mix ~threads flit =
+    Nvram.Flit.set_enabled flit;
+    bwtree_bench
+      ~label:("b5.bwtree." ^ if flit then "on" else "off")
+      ~mix_name ~zipf:true s ~mix ~threads ~persistent:true
+  in
+  let rows = ref [] in
+  Fun.protect
+    ~finally:(fun () -> Nvram.Flit.set_enabled saved)
+    (fun () ->
+      List.iter
+        (fun (structure, point) ->
+          List.iter
+            (fun (mix_name, mix) ->
+              List.iter
+                (fun threads ->
+                  let pairs =
+                    List.init 3 (fun _ ->
+                        let off = point ~mix_name ~mix ~threads false in
+                        let on = point ~mix_name ~mix ~threads true in
+                        (off, on))
+                  in
+                  let ratio (((offr : Runner.result), _), ((onr : Runner.result), _))
+                      =
+                    onr.throughput /. offr.throughput
+                  in
+                  let sorted =
+                    List.sort (fun a b -> compare (ratio a) (ratio b)) pairs
+                  in
+                  let (offr, offst), (onr, onst) = List.nth sorted 1 in
+                  let off_fl = fl offst offr and on_fl = fl onst onr in
+                  rows :=
+                    [
+                      structure;
+                      mix_name;
+                      string_of_int threads;
+                      Table.kops offr.throughput;
+                      Table.kops onr.throughput;
+                      Table.ratio onr.throughput offr.throughput;
+                      Printf.sprintf "%.1f" off_fl;
+                      Printf.sprintf "%.1f" on_fl;
+                      Printf.sprintf "-%.0f%%"
+                        (100. *. (1. -. (on_fl /. Float.max 1e-9 off_fl)));
+                      Printf.sprintf "%.1f" (fe offst offr);
+                      Printf.sprintf "%.1f" (fe onst onr);
+                    ]
+                    :: !rows)
+                s.threads)
+            [ ("90/10", Mix.read_heavy); ("50/50", Mix.balanced) ])
+        [ ("skiplist", sl_point); ("bwtree", bt_point) ]);
+  Table.print
+    ~title:
+      "persistent zipf-keyed indexes, flit off vs on (Kops/s); speedup = \
+       on/off; fl/op = device flushes per op; drop = flush/op reduction; \
+       fe/op = device fences per op"
+    ~header:
+      [
+        "index"; "mix"; "threads"; "off"; "on"; "speedup"; "fl/op off";
+        "fl/op on"; "drop"; "fe/op off"; "fe/op on";
+      ]
+    (List.rev !rows)
+
 (* Telemetry smoke: one tiny point per instrumented subsystem, so a
    [--metrics] run populates every latency histogram (PMwCAS attempt,
    clwb stall, palloc alloc, skip-list op, Bw-tree op) in a couple of
@@ -1234,7 +1344,7 @@ let smoke s =
     skiplist_bench ~label:"smoke.skiplist" ~mix_name:"50/50" s
       ~mix:Mix.balanced ~threads:2 Sl_persistent
   in
-  let bt =
+  let bt, _ =
     bwtree_bench ~label:"smoke.bwtree" ~mix_name:"50/50" s ~mix:Mix.balanced
       ~threads:2 ~persistent:true
   in
@@ -1270,7 +1380,8 @@ let run_all ~full_scale () =
   b1 s;
   b2 s;
   b3 s;
-  b4 s
+  b4 s;
+  b5 s
 
 let by_name name s =
   match name with
@@ -1290,5 +1401,6 @@ let by_name name s =
   | "b2" | "flush" -> b2 s
   | "b3" | "pool" -> b3 s
   | "b4" | "store" -> b4 s
+  | "b5" | "flit" -> b5 s
   | "smoke" -> smoke s
   | _ -> Printf.printf "unknown experiment %s\n" name

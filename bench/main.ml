@@ -1,14 +1,17 @@
 (* Entry point: regenerate the paper's tables and figures.
 
-   usage: bench/main.exe [all|e1|..|e10|b1|b2|b3|smoke|bechamel] [--full]
+   usage: bench/main.exe [all|e1|..|e10|b1|..|b5|smoke|bechamel] [--full]
                          [--backend sim|dram] [--flush sync|async]
-                         [--metrics FILE] [--trace FILE] [--trace-shift N]
+                         [--flit on|off] [--metrics FILE] [--trace FILE]
+                         [--trace-shift N]
 
    With no argument, runs every experiment at the quick scale.
    [--backend] picks the memory backend for volatile runs (default dram;
    persistent runs always use the simulated NVRAM device).
    [--flush] forces the device's write-back mode for every experiment
    that does not pin one itself (default async; b2 compares both).
+   [--flit] turns destination-only persistence on or off globally
+   (default on; b5 compares both regardless of this switch).
    [--metrics FILE] enables telemetry and writes a JSON report — the
    registry snapshot (per-phase times, latency histograms, epoch
    counters) plus one row per measured point — to FILE at the end.
@@ -39,6 +42,14 @@ let () =
         | None ->
             Printf.eprintf "unknown flush mode %S (expected sync or async)\n"
               m;
+            exit 2);
+        strip rest
+    | "--flit" :: m :: rest ->
+        (match m with
+        | "on" -> Nvram.Flit.set_enabled true
+        | "off" -> Nvram.Flit.set_enabled false
+        | _ ->
+            Printf.eprintf "unknown flit mode %S (expected on or off)\n" m;
             exit 2);
         strip rest
     | "--metrics" :: path :: rest ->
@@ -90,7 +101,9 @@ let () =
     Telemetry.register_source ~kind:`Counter "palloc.counters" (fun () ->
         Palloc.counters_to_json (Palloc.counters ()));
     Telemetry.register_source ~kind:`Counter "store.counters" (fun () ->
-        Store.counters_to_json ())
+        Store.counters_to_json ());
+    Telemetry.register_source ~kind:`Counter "flit.counters" (fun () ->
+        Nvram.Flit.counters_to_json ())
   end;
   let scale =
     if full_scale then Experiments_lib.Experiments.full else Experiments_lib.Experiments.quick

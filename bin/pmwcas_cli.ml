@@ -356,7 +356,7 @@ let stats domains seconds format out =
 (* --- check-metrics: validate a --metrics report against the schema ----- *)
 
 let check_metrics require_coalescing require_alloc_counters
-    require_store_counters file =
+    require_store_counters require_flit_counters file =
   let ic = open_in_bin file in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -469,6 +469,26 @@ let check_metrics require_coalescing require_alloc_counters
           | Some n -> n > 0
           | None -> false)
           "registry.store.batch_size missing or empty"
+      end;
+      if require_flit_counters then begin
+        (* Destination-only persistence must be live end to end: the
+           flit counter source exported, destination passes actually
+           issuing write-backs, and at least one flush elided (the
+           whole point of the mode). *)
+        List.iter
+          (fun f ->
+            check
+              (has [ "registry"; "flit"; "counters"; f ])
+              ("registry.flit.counters." ^ f ^ " missing"))
+          [ "elided"; "destination_flushes" ];
+        List.iter
+          (fun f ->
+            check
+              (match int_at [ "registry"; "flit"; "counters"; f ] with
+              | Some n -> n > 0
+              | None -> false)
+              ("registry.flit.counters." ^ f ^ " zero (mode not exercised)"))
+          [ "elided"; "destination_flushes" ]
       end;
       (match V.find_path v [ "rows" ] with
       | Some (V.List []) -> check false "rows empty"
@@ -636,7 +656,7 @@ let check_trace_file require_help_edge file =
 (* --- crash-sweep: exhaustive crash-point sweep over the suites -------- *)
 
 let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
-    metrics artifacts run_id =
+    broken_flit metrics artifacts run_id =
   Option.iter Flight.set_run_id run_id;
   Option.iter (fun _ -> telemetry_setup ()) metrics;
   let module Cs = Harness.Crash_sweep in
@@ -753,6 +773,40 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
       Printf.printf
         "drain-sabotage self-test: some suite swept clean without durable \
          writes — its fences are not load-bearing\n";
+      1
+    end
+  else if broken_flit then
+    (* Self-test for destination-only persistence: with the destination
+       write-backs skipped, fresh node bodies reach NVM only via the
+       eviction lottery, so every persistent suite must fail — typically
+       at calibration, whose baseline image holds garbage where the
+       index expects durable nodes. Exit 0 iff every suite notices. *)
+    let verdicts =
+      Cs.with_sabotaged_flit (fun () ->
+          List.map
+            (fun (s : Cs.spec) ->
+              match sweep_one s with
+              | sum -> (s.name, sum.Cs.failures <> [], "sweep failures")
+              | exception Failure m -> (s.name, true, m))
+            suites)
+    in
+    let all_detected = List.for_all (fun (_, d, _) -> d) verdicts in
+    List.iter
+      (fun (name, d, why) ->
+        Printf.printf "%-9s %s (%s)\n" name
+          (if d then "detected" else "NOT DETECTED")
+          why)
+      verdicts;
+    if all_detected then begin
+      Printf.printf
+        "flit-sabotage self-test: every suite noticed the skipped \
+         destination flushes\n";
+      0
+    end
+    else begin
+      Printf.printf
+        "flit-sabotage self-test: some suite swept clean without \
+         destination flushes — its destination passes are not load-bearing\n";
       1
     end
   else
@@ -1310,6 +1364,16 @@ let sabotage_drain_t =
            draining pending lines, so clwb'd data never becomes durable. \
            Every suite must fail (exit 0 iff all do).")
 
+let broken_flit_t =
+  Arg.(
+    value & flag
+    & info [ "broken-flit" ]
+        ~doc:
+          "Self-test for destination-only persistence: destination passes \
+           skip the write-backs they decided were needed, so fresh node \
+           bodies never durably reach NVM. Every suite must fail (exit 0 \
+           iff all do).")
+
 let sweep_evict_t =
   Arg.(
     value & opt float 0.25
@@ -1354,7 +1418,7 @@ let crash_sweep_cmd =
     Term.(
       const crash_sweep $ suite_t $ budget_t $ sweep_evict_t $ seeds_t
       $ domains_t $ sweep_trace_t $ sabotage_t $ sabotage_drain_t
-      $ sweep_metrics_t $ artifacts_t $ run_id_t)
+      $ broken_flit_t $ sweep_metrics_t $ artifacts_t $ run_id_t)
 
 let stats_domains_t =
   Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker domains.")
@@ -1545,6 +1609,16 @@ let require_store_counters_t =
            merged_updates, solo_applies, direct_applies) with commits > 0, \
            and a populated store.batch_size histogram.")
 
+let require_flit_counters_t =
+  Arg.(
+    value & flag
+    & info
+        [ "require-flit-counters" ]
+        ~doc:
+          "Additionally demand the destination-only-persistence \
+           instrumentation: the registry's flit counter source with both \
+           elided and destination_flushes > 0.")
+
 let check_metrics_cmd =
   Cmd.v
     (Cmd.info "check-metrics"
@@ -1554,7 +1628,7 @@ let check_metrics_cmd =
           per-experiment rows.")
     Term.(
       const check_metrics $ require_coalescing_t $ require_alloc_counters_t
-      $ require_store_counters_t $ file_t)
+      $ require_store_counters_t $ require_flit_counters_t $ file_t)
 
 let soak_shards_t =
   Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Store shards.")

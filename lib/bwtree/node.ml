@@ -84,18 +84,28 @@ let read_base mem p =
     payloads = Array.init count (fun i -> Mem.read mem (p + 5 + count + i));
   }
 
+(* Record-body stores: tracked (flit counter) with destination-only
+   persistence on, so the destination pass over the record
+   ([Tree.persist_record] via [Pcas.persist_range]) knows which words
+   still owe a write-back. Must stay in lockstep with that pass: an
+   untracked store under a flit-mode range pass reads as already durable
+   and gets wrongly elided. *)
+let store mem a v =
+  if Nvram.Flit.enabled () && Mem.durable mem then Mem.flit_write mem a v
+  else Mem.write mem a v
+
 let write_base mem p b =
   if Array.length b.keys <> b.count || Array.length b.payloads <> b.count then
     invalid_arg "Bwtree.Node.write_base: array sizes";
-  Mem.write mem p
+  store mem p
     (tag_to_int (match b.kind with `Leaf -> Leaf_base | `Inner -> Inner_base));
-  Mem.write mem (p + 1) b.count;
-  Mem.write mem (p + 2) b.low;
-  Mem.write mem (p + 3) b.high;
-  Mem.write mem (p + 4) b.link;
+  store mem (p + 1) b.count;
+  store mem (p + 2) b.low;
+  store mem (p + 3) b.high;
+  store mem (p + 4) b.link;
   for i = 0 to b.count - 1 do
-    Mem.write mem (p + 5 + i) b.keys.(i);
-    Mem.write mem (p + 5 + b.count + i) b.payloads.(i)
+    store mem (p + 5 + i) b.keys.(i);
+    store mem (p + 5 + b.count + i) b.payloads.(i)
   done
 
 (* Binary search over the in-place key array [p+5 .. p+5+count).
@@ -134,42 +144,42 @@ let delta_words = function
   | Leaf_base | Inner_base -> invalid_arg "Bwtree.Node.delta_words: base"
 
 let write_put mem p ~next ~key ~value =
-  Mem.write mem p (tag_to_int Put);
-  Mem.write mem (p + 1) next;
-  Mem.write mem (p + 2) key;
-  Mem.write mem (p + 3) value
+  store mem p (tag_to_int Put);
+  store mem (p + 1) next;
+  store mem (p + 2) key;
+  store mem (p + 3) value
 
 let write_del mem p ~next ~key =
-  Mem.write mem p (tag_to_int Del);
-  Mem.write mem (p + 1) next;
-  Mem.write mem (p + 2) key
+  store mem p (tag_to_int Del);
+  store mem (p + 1) next;
+  store mem (p + 2) key
 
 let write_split mem p ~kind ~next ~sep ~right =
-  Mem.write mem p
+  store mem p
     (tag_to_int (match kind with `Leaf -> Leaf_split | `Inner -> Inner_split));
-  Mem.write mem (p + 1) next;
-  Mem.write mem (p + 2) sep;
-  Mem.write mem (p + 3) right
+  store mem (p + 1) next;
+  store mem (p + 2) sep;
+  store mem (p + 3) right
 
 let write_index_entry mem p ~next ~sep ~child =
-  Mem.write mem p (tag_to_int Index_entry);
-  Mem.write mem (p + 1) next;
-  Mem.write mem (p + 2) sep;
-  Mem.write mem (p + 3) child
+  store mem p (tag_to_int Index_entry);
+  store mem (p + 1) next;
+  store mem (p + 2) sep;
+  store mem (p + 3) child
 
 let write_index_del mem p ~next ~sep ~victim =
-  Mem.write mem p (tag_to_int Index_del);
-  Mem.write mem (p + 1) next;
-  Mem.write mem (p + 2) sep;
-  Mem.write mem (p + 3) victim
+  store mem p (tag_to_int Index_del);
+  store mem (p + 1) next;
+  store mem (p + 2) sep;
+  store mem (p + 3) victim
 
 let write_merge mem p ~next ~victim_top ~sep ~new_high ~new_right =
-  Mem.write mem p (tag_to_int Merge);
-  Mem.write mem (p + 1) next;
-  Mem.write mem (p + 2) victim_top;
-  Mem.write mem (p + 3) sep;
-  Mem.write mem (p + 4) new_high;
-  Mem.write mem (p + 5) new_right
+  store mem p (tag_to_int Merge);
+  store mem (p + 1) next;
+  store mem (p + 2) victim_top;
+  store mem (p + 3) sep;
+  store mem (p + 4) new_high;
+  store mem (p + 5) new_right
 
 let chain_blocks mem top =
   let rec walk p acc =

@@ -46,9 +46,20 @@ let free_chain_callback mem ~succeeded (entries : Pool.entry array) =
 let recovery_callback mem ~succeeded entries =
   free_chain_callback mem ~succeeded entries
 
+(* Destination pass over a record body: with the flit mode on,
+   [Pcas.persist_range] elides lines whose tracked stores (Node.store)
+   already issued their write-backs; off, the plain range flush. *)
 let persist_record t p nwords =
   if Pool.persistent t.pool then
-    Mem.clwb_range t.mem ~lo:p ~hi:(p + nwords - 1)
+    Pmwcas.Pcas.persist_range t.mem ~lo:p ~hi:(p + nwords - 1)
+
+(* Journey read of a mapping word: with destination-only persistence on,
+   traversal skips the flush-on-read write-back and fence. A plain dirty
+   value was installed by a durably-decided op (recovery rolls it
+   forward), and an install that targets it claims it in place via
+   [Op.install_rdcss]'s dirty-expected branch. *)
+let jread t a =
+  if Nvram.Flit.enabled () then Op.read_weak t.pool a else Op.read t.pool a
 
 let clwb_if t a = if Pool.persistent t.pool then Mem.clwb t.mem a
 let fence_if t = if Pool.persistent t.pool then Mem.fence t.mem
@@ -231,58 +242,75 @@ let rec upsert pairs k v =
 
 let remove_key pairs k = List.filter (fun (k', _) -> k' <> k) pairs
 
-let rec eval t ptr =
+(* Corrupt crash images can link delta records into cycles; every chain
+   walk carries a step budget far above any legal chain length so
+   verification on a broken image fails loudly instead of looping (or
+   accumulating an unbounded image). *)
+let chain_budget t = (2 * Mem.size t.mem) + 64
+
+let chain_guard t =
+  let budget = ref (chain_budget t) in
+  fun () ->
+    decr budget;
+    if !budget < 0 then failwith "Bwtree: delta chain exceeded walk budget"
+
+let eval t ptr =
   let mem = t.mem in
-  let f i = Node.field mem ptr i in
-  match Node.read_tag mem ptr with
-  | Node.Put ->
-      let img = eval t (f 1) in
-      { img with pairs = upsert img.pairs (f 2) (f 3) }
-  | Node.Del ->
-      let img = eval t (f 1) in
-      { img with pairs = remove_key img.pairs (f 2) }
-  | Node.Index_entry ->
-      let img = eval t (f 1) in
-      { img with pairs = upsert img.pairs (f 2) (f 3) }
-  | Node.Index_del ->
-      let img = eval t (f 1) in
-      { img with pairs = remove_key img.pairs (f 2) }
-  | Node.Leaf_split ->
-      let img = eval t (f 1) in
-      let sep = f 2 in
-      {
-        img with
-        pairs = List.filter (fun (k, _) -> k < sep) img.pairs;
-        high = sep;
-        link = f 3;
-      }
-  | Node.Inner_split ->
-      let img = eval t (f 1) in
-      let sep = f 2 in
-      {
-        img with
-        pairs = List.filter (fun (k, _) -> k < sep) img.pairs;
-        high = sep;
-      }
-  | Node.Merge ->
-      let left = eval t (f 1) in
-      let victim = eval t (f 2) in
-      {
-        left with
-        pairs = left.pairs @ victim.pairs;
-        high = f 4;
-        link = f 5;
-      }
-  | Node.Leaf_base | Node.Inner_base ->
-      let b = Node.read_base mem ptr in
-      {
-        kind = b.kind;
-        low = b.low;
-        high = b.high;
-        link = b.link;
-        pairs =
-          List.init b.count (fun i -> (b.keys.(i), b.payloads.(i)));
-      }
+  let tick = chain_guard t in
+  let rec go ptr =
+    tick ();
+    let f i = Node.field mem ptr i in
+    match Node.read_tag mem ptr with
+    | Node.Put ->
+        let img = go (f 1) in
+        { img with pairs = upsert img.pairs (f 2) (f 3) }
+    | Node.Del ->
+        let img = go (f 1) in
+        { img with pairs = remove_key img.pairs (f 2) }
+    | Node.Index_entry ->
+        let img = go (f 1) in
+        { img with pairs = upsert img.pairs (f 2) (f 3) }
+    | Node.Index_del ->
+        let img = go (f 1) in
+        { img with pairs = remove_key img.pairs (f 2) }
+    | Node.Leaf_split ->
+        let img = go (f 1) in
+        let sep = f 2 in
+        {
+          img with
+          pairs = List.filter (fun (k, _) -> k < sep) img.pairs;
+          high = sep;
+          link = f 3;
+        }
+    | Node.Inner_split ->
+        let img = go (f 1) in
+        let sep = f 2 in
+        {
+          img with
+          pairs = List.filter (fun (k, _) -> k < sep) img.pairs;
+          high = sep;
+        }
+    | Node.Merge ->
+        let left = go (f 1) in
+        let victim = go (f 2) in
+        {
+          left with
+          pairs = left.pairs @ victim.pairs;
+          high = f 4;
+          link = f 5;
+        }
+    | Node.Leaf_base | Node.Inner_base ->
+        let b = Node.read_base mem ptr in
+        {
+          kind = b.kind;
+          low = b.low;
+          high = b.high;
+          link = b.link;
+          pairs =
+            List.init b.count (fun i -> (b.keys.(i), b.payloads.(i)));
+        }
+  in
+  go ptr
 
 let write_image t p img =
   let pairs = Array.of_list img.pairs in
@@ -305,7 +333,9 @@ let write_image t p img =
    number of delta records, or jumps to a sibling after a split. *)
 let route_leaf t ~key top =
   let mem = t.mem in
+  let tick = chain_guard t in
   let rec walk ptr len found =
+    tick ();
     let f i = Node.field mem ptr i in
     match Node.read_tag mem ptr with
     | Node.Put ->
@@ -346,7 +376,9 @@ let route_inner t ~key top =
     | Some (s, _) when s >= sep -> ()
     | _ -> best := Some (sep, child)
   in
+  let tick = chain_guard t in
   let rec walk ptr len =
+    tick ();
     let f i = Node.field mem ptr i in
     match Node.read_tag mem ptr with
     | Node.Index_entry ->
@@ -421,7 +453,7 @@ let traverse t ~key =
     if !restarts > 10_000 then failwith "Bwtree: traversal livelock";
     go t.root []
   and go lpid path =
-    let top = Op.read t.pool (map_addr t lpid) in
+    let top = jread t (map_addr t lpid) in
     if top = 0 then from_root ()
     else
       match chain_kind t top with
@@ -451,7 +483,7 @@ let reserve_record h d ~addr ~expected ~nwords writer =
   let dest =
     Pool.reserve_entry ~policy:Layout.Free_new_on_failure d ~addr ~expected
   in
-  let p = Palloc.alloc h.pa ~nwords ~dest in
+  let p = Palloc.alloc ~reserved:true h.pa ~nwords ~dest in
   writer p;
   persist_record h.t p nwords;
   p
@@ -483,7 +515,7 @@ let try_split h lpid path =
   let d = Pool.alloc_desc h.ph in
   let outcome =
     Pool.with_epoch h.ph (fun () ->
-        let top = Op.read t.pool (map_addr t lpid) in
+        let top = jread t (map_addr t lpid) in
         if top = 0 then begin
           Pool.discard d;
           `Done
@@ -537,7 +569,7 @@ let try_split h lpid path =
                 end
             | _ ->
                 let parent = List.nth path (List.length path - 1) in
-                let ptop = Op.read t.pool (map_addr t parent) in
+                let ptop = jread t (map_addr t parent) in
                 if ptop = 0 then begin
                   Pool.discard d;
                   `Done
@@ -583,8 +615,8 @@ let try_merge h lpid path =
       | [] -> give_up ()
       | _ -> (
           let parent = List.nth path (List.length path - 1) in
-          let ptop = Op.read t.pool (map_addr t parent) in
-          let rtop = Op.read t.pool (map_addr t lpid) in
+          let ptop = jread t (map_addr t parent) in
+          let rtop = jread t (map_addr t lpid) in
           if ptop = 0 || rtop = 0 then give_up ()
           else
             let pimg = eval t ptop in
@@ -601,7 +633,7 @@ let try_merge h lpid path =
               match locate pimg.link pimg.pairs with
               | None -> give_up () (* leftmost child or stale path *)
               | Some (sep, left_lpid) -> (
-                  let ltop = Op.read t.pool (map_addr t left_lpid) in
+                  let ltop = jread t (map_addr t left_lpid) in
                   if ltop = 0 then give_up ()
                   else
                     let rimg = eval t rtop in
@@ -638,7 +670,7 @@ let try_consolidate h lpid path =
   let d = Pool.alloc_desc ~callback:t.cb h.ph in
   let action =
     Pool.with_epoch h.ph (fun () ->
-        let top = Op.read t.pool (map_addr t lpid) in
+        let top = jread t (map_addr t lpid) in
         if top = 0 then begin
           Pool.discard d;
           `None
@@ -714,6 +746,10 @@ let leaf_delta_op ?(eager_hint = false) h ~key decide =
               `Done (result, hints)
           | `Install (write, result) ->
               let nwords, writer = write in
+              (* No destination flush of the expected mapping word: a
+                 still-dirty value is claimed in place by
+                 [Op.install_rdcss]; this descriptor's sealed old-field
+                 is the rollback record. *)
               ignore
                 (reserve_record h d ~addr:(map_addr t lpid) ~expected:top
                    ~nwords (fun p -> writer p top));
@@ -827,7 +863,7 @@ let fold_range h ~lo ~hi ~init ~f =
       let step =
         Pool.with_epoch h.ph (fun () ->
             let (lpid, _, _, _, _), _ = traverse t ~key:lo in
-            let top = Op.read t.pool (map_addr t lpid) in
+            let top = jread t (map_addr t lpid) in
             if top = 0 then `Again lo
             else
               let img = eval t top in
@@ -865,13 +901,16 @@ type stats = {
   merges : int;
 }
 
-let rec chain_length t ptr =
-  match Node.read_tag t.mem ptr with
-  | Node.Leaf_base | Node.Inner_base -> 1
-  | Node.Merge ->
-      1 + chain_length t (Node.next t.mem ptr)
-      + chain_length t (Node.field t.mem ptr 2)
-  | _ -> 1 + chain_length t (Node.next t.mem ptr)
+let chain_length t ptr =
+  let tick = chain_guard t in
+  let rec go ptr =
+    tick ();
+    match Node.read_tag t.mem ptr with
+    | Node.Leaf_base | Node.Inner_base -> 1
+    | Node.Merge -> 1 + go (Node.next t.mem ptr) + go (Node.field t.mem ptr 2)
+    | _ -> 1 + go (Node.next t.mem ptr)
+  in
+  go ptr
 
 let stats h =
   let t = h.t in

@@ -19,6 +19,7 @@ let help_depth_hist = Telemetry.on_demand "pmwcas.help_depth"
    Harness.Crash_sweep). Never set outside tests and the CLI. *)
 let sabotage_precommit = Atomic.make false
 let set_sabotage_skip_precommit_flush b = Atomic.set sabotage_precommit b
+let sabotaging_skip_precommit_flush () = Atomic.get sabotage_precommit
 
 (* Descriptor-pointer words, with the dirty bit elided in volatile mode. *)
 let desc_clean slot = slot lor Flags.mwcas
@@ -111,12 +112,28 @@ let install_rdcss t ~slot ~k ~addr ~old_v =
       && (not (Flags.is_mwcas witnessed))
       && Flags.is_dirty witnessed
       && Flags.clear_dirty witnessed = old_v
-    then begin
-      (* The word holds the expected value, merely unflushed: persist it
-         and claim it, rather than failing spuriously. *)
-      Pcas.persist mem addr witnessed;
-      go (attempt + 1)
-    end
+    then
+      if Nvram.Flit.enabled () then begin
+        (* The word holds the expected value, merely unflushed — a
+           deferred final of a durably-decided op. Claim it in place:
+           this descriptor was sealed with [old_v] as the expected
+           value, so recovery can restore it from our rollback record
+           without it ever reaching NVM on its own. *)
+        if Mem.cas mem addr ~expected:witnessed ~desired:ptr = witnessed
+        then begin
+          if Flight.tracing () then
+            Flight.emit Flight.Rdcss_install addr slot 0;
+          complete_install t ptr;
+          old_v
+        end
+        else go (attempt + 1)
+      end
+      else begin
+        (* The word holds the expected value, merely unflushed: persist
+           it and claim it, rather than failing spuriously. *)
+        Pcas.persist mem addr witnessed;
+        go (attempt + 1)
+      end
     else witnessed
   in
   go 0
@@ -216,7 +233,17 @@ let rec help_at t ~depth ~slot =
   ignore (Mem.cas mem status_a ~expected:Layout.status_undecided ~desired:decided);
   if persistent then begin
     let s = Mem.read mem status_a in
-    if Flags.is_dirty s then Pcas.persist mem status_a s
+    (* A succeeding decision must be durable before Phase 2 installs any
+       final value — that is what lets journey reads return dirty finals
+       unflushed. A failed decision orders nothing: its rollback values
+       are recoverable from the sealed descriptor whether the status
+       reads Undecided or Failed, so destination-only persistence defers
+       that flush to [Pool.finalize_slot]'s recycle drain. *)
+    if
+      Flags.is_dirty s
+      && ((not (Nvram.Flit.enabled ()))
+         || Flags.clear_dirty s = Layout.status_succeeded)
+    then Pcas.persist mem status_a s
   end;
   let final = Flags.clear_dirty (Mem.read mem status_a) in
   let succeeded = final = Layout.status_succeeded in
@@ -244,7 +271,20 @@ let rec help_at t ~depth ~slot =
         && (witnessed = expected_dirty || witnessed = expected_clean)
       then won := (addr, v_inst) :: !won)
     order;
-  if persistent then Pcas.persist_batch mem !won;
+  if persistent then begin
+    if Nvram.Flit.enabled () then
+      (* Destination-only persistence: leave the finals dirty. The
+         decision is already durable, so recovery rolls them forward;
+         readers strip the bit ([read_weak]) or flush on demand
+         ([read]); the next op to claim such a word seals it as its
+         expected value; and [Pool.finalize_slot] settles whatever is
+         still owed before the slot recycles. *)
+      let lw = (Mem.config mem).line_words in
+      List.iter
+        (fun (addr, _) -> Nvram.Flit.record_elided ~addr ~line:(addr / lw))
+        !won
+    else Pcas.persist_batch mem !won
+  end;
   Stats.set_phase stats prev_phase;
   if Flight.tracing () then
     Flight.emit
@@ -282,6 +322,36 @@ let rec read t a =
 
 let read_with h a =
   Pool.with_epoch h (fun () -> read (Pool.pool_of_handle h) a)
+
+(* Journey read (NVTraverse traversal phase): like [read] it never
+   exposes a descriptor pointer — it still resolves RDCSS claims and
+   helps foreign PMwCASes — but a dirty plain value is returned with the
+   bit stripped and {e without} being persisted. Sound for traversals
+   because every dirty value a journey can observe was installed by an
+   operation that either re-persists it before depending on it
+   ([install_rdcss]'s dirty-expected branch), or has already decided —
+   and recovery rolls decided operations forward, re-applying their
+   final values regardless of which applied words reached NVM. Only the
+   destination pass ([Pcas.persist_target] / [Pcas.persist_range]) may
+   rely on durability; anything the critical phase reads or writes must
+   go through it. *)
+let rec read_weak t a =
+  let mem = Pool.mem t in
+  let v = Mem.read mem a in
+  if Flags.is_rdcss v then begin
+    Metrics.record_rdcss_help (Pool.metrics t);
+    complete_install t v;
+    read_weak t a
+  end
+  else begin
+    let v = Flags.clear_dirty v in
+    if Flags.is_mwcas v then begin
+      Metrics.record_desc_help (Pool.metrics t);
+      ignore (help t ~slot:(Layout.desc_of_ptr v));
+      read_weak t a
+    end
+    else v
+  end
 
 (* Consecutive failed [execute]s on this domain: seeds the backoff taken
    before handing a failure back to the (immediately retrying) caller.

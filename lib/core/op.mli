@@ -34,12 +34,25 @@ val read_with : Pool.handle -> Nvram.Mem.addr -> int
 (** [read] wrapped in the handle's epoch — convenient, slightly slower
     than batching several reads under one {!Pool.with_epoch}. *)
 
+val read_weak : Pool.t -> Nvram.Mem.addr -> int
+(** Journey read for the traversal phase of destination-only
+    persistence ([Nvram.Flit]): resolves descriptor pointers exactly
+    like {!read}, but returns a dirty plain value with the bit stripped
+    {e without} flushing it — no clwb, no fence. The caller must treat
+    the result as volatile guidance only: before the critical phase
+    depends on any word, pass it through [Pcas.persist_target] (or cover
+    the node with [Pcas.persist_range]). Must be called inside an
+    epoch. *)
+
 val help : Pool.t -> slot:int -> bool
 (** Drive the PMwCAS whose descriptor sits at [slot] to completion
     (exposed for tests; [read] and [execute] call it internally).
     Must be called inside an epoch. *)
 
 (**/**)
+
+val sabotaging_skip_precommit_flush : unit -> bool
+(** Current state of the knob (for save/restore around calibration). *)
 
 val set_sabotage_skip_precommit_flush : bool -> unit
 (** Debug knob for the crash-sweep self-test: when set, [help] skips the

@@ -57,6 +57,61 @@ let read mem a =
   end
   else v
 
+(* Destination pass over a contiguous window (a node body): write back
+   every line intersecting [lo, hi], except that with the flit mode on a
+   line whose tracked stores have all issued their write-backs already
+   ([Mem.persisted] on every word) is elided outright. Like
+   [Mem.clwb_range] this issues no fence of its own — durability before
+   the decide point comes from the precommit fence every persistent
+   PMwCAS executes, which drains all pending lines including the ones
+   enqueued (or elided as already-enqueued) here. *)
+let persist_range mem ~lo ~hi =
+  if not (Nvram.Flit.enabled ()) then Mem.clwb_range mem ~lo ~hi
+  else begin
+    let lw = (Mem.config mem).line_words in
+    let sabotaged = Nvram.Flit.sabotage_skip_destination () in
+    let line_lo = ref (lo / lw * lw) in
+    while !line_lo <= hi do
+      let wlo = max lo !line_lo and whi = min hi (!line_lo + lw - 1) in
+      let unflushed = ref false in
+      for w = wlo to whi do
+        if not (Mem.persisted mem w) then unflushed := true
+      done;
+      let line = !line_lo / lw in
+      if !unflushed then begin
+        Nvram.Flit.record_destination_flush ~addr:wlo ~line;
+        if not sabotaged then
+          for w = wlo to whi do
+            if not (Mem.persisted mem w) then Mem.flit_flush mem w
+          done
+      end
+      else Nvram.Flit.record_elided ~addr:wlo ~line;
+      line_lo := !line_lo + lw
+    done
+  end
+
+(* Destination pass over a single PMwCAS target word: make its current
+   value durable before the critical phase. Usually the word is clean
+   and its counter quiescent (the previous op's apply persisted it), so
+   this is one load + one counter check, counted as an elision; a dirty
+   value is persisted exactly as flush-on-read would, and a tracked
+   store still in flight gets its write-back. *)
+let persist_target mem a =
+  let v = Mem.read mem a in
+  let line = a / (Mem.config mem).line_words in
+  if Flags.is_dirty v then begin
+    Nvram.Flit.record_destination_flush ~addr:a ~line;
+    if not (Nvram.Flit.sabotage_skip_destination ()) then persist mem a v
+  end
+  else if Mem.persisted mem a then Nvram.Flit.record_elided ~addr:a ~line
+  else begin
+    Nvram.Flit.record_destination_flush ~addr:a ~line;
+    if not (Nvram.Flit.sabotage_skip_destination ()) then begin
+      Mem.flit_flush mem a;
+      Mem.fence mem
+    end
+  end
+
 let flush mem a =
   let v = Mem.read mem a in
   if Flags.is_dirty v then persist mem a v

@@ -25,6 +25,22 @@ val persist_batch : Nvram.Mem.t -> (Nvram.Mem.addr * int) list -> unit
     clear each dirty bit. Equivalent to [persist] on every pair but pays
     one stall per distinct line instead of one per word. No-op on []. *)
 
+val persist_range : Nvram.Mem.t -> lo:Nvram.Mem.addr -> hi:Nvram.Mem.addr -> unit
+(** Destination pass over a node body: write back every cache line
+    intersecting [\[lo, hi\]] (inclusive), eliding — with
+    [Nvram.Flit.enabled] — lines whose words are all [Mem.persisted]
+    (their tracked stores already issued write-backs). Counts each line
+    as a [Flit] elision or destination flush. Falls back to
+    [Mem.clwb_range] with the mode off. No fence: like the plain range
+    flush, durability comes from the caller's next fence (for index
+    nodes, the PMwCAS precommit fence before the decide point). *)
+
+val persist_target : Nvram.Mem.t -> Nvram.Mem.addr -> unit
+(** Destination pass over one PMwCAS target word: persist its current
+    value (dirty payloads via {!persist}, in-flight tracked stores via
+    [flit_flush] + fence) or count an elision when it is already
+    durable. Call before the critical phase with the flit mode on. *)
+
 val cas : Nvram.Mem.t -> Nvram.Mem.addr -> expected:int -> desired:int -> bool
 (** Persistent CAS: ensures the current value is durable (flush-on-read),
     then attempts to install [desired] with the dirty bit set. [expected]

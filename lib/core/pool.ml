@@ -541,10 +541,22 @@ let alloc_desc ?(callback = 0) h =
     Mem.fence t.mem
   end;
   Mem.write t.mem (Layout.status_addr slot) Layout.status_undecided;
-  clwb_if t slot;
-  (* One drain for the whole header: the slot is durably Undecided (with a
-     zero count) before the caller can reserve memory into it. *)
-  fence_if t;
+  (* With destination-only persistence the header flush rides [seal]'s
+     [persist_desc]: nothing durable references the slot before the seal
+     fence (installs only start after [execute] seals), and the
+     store-order above keeps every eviction snapshot either Free or
+     Undecided-with-zero-count. Reservations still need a durably
+     Undecided slot earlier — [reserve_entry] persists the whole
+     descriptor itself in this mode. *)
+  if t.persistent && Nvram.Flit.enabled () then
+    Nvram.Flit.record_elided ~addr:(Layout.status_addr slot)
+      ~line:(Layout.status_addr slot / (Mem.config t.mem).line_words)
+  else begin
+    clwb_if t slot;
+    (* One drain for the whole header: the slot is durably Undecided (with
+       a zero count) before the caller can reserve memory into it. *)
+    fence_if t
+  end;
   if Flight.tracing () then Flight.emit Flight.Desc_alloc slot 0 0;
   { dpool = t; hdl = h; slot; dlive = true; nentries = 0; has_reserved = false }
 
@@ -596,11 +608,24 @@ let append_entry ?(policy = Layout.None_) d ~addr ~expected ~desired =
      entry — and free a live block under a Free_* policy. *)
   if t.persistent then begin
     let e = entry_base d k in
-    Mem.clwb_range t.mem ~lo:e ~hi:(Layout.policy_field e);
-    (* Drain before the count store executes: the async pipeline would
-       otherwise leave the entry lines pending while an eviction could
-       persist the new count next to the previous incarnation's words. *)
-    Mem.fence t.mem
+    let lw = (Mem.config t.mem).line_words in
+    if
+      Nvram.Flit.enabled ()
+      && e / lw = Layout.policy_field e / lw
+      && e / lw = Layout.count_addr d.slot / lw
+    then
+      (* Entry and count share one cache line, so the eviction hazard
+         below cannot arise — a line persists atomically, and by store
+         order any snapshot holding the new count holds the new entry
+         words too. Durability itself comes from [seal]. *)
+      Nvram.Flit.record_elided ~addr:e ~line:(e / lw)
+    else begin
+      Mem.clwb_range t.mem ~lo:e ~hi:(Layout.policy_field e);
+      (* Drain before the count store executes: the async pipeline would
+         otherwise leave the entry lines pending while an eviction could
+         persist the new count next to the previous incarnation's words. *)
+      Mem.fence t.mem
+    end
   end;
   d.nentries <- k + 1;
   Mem.write t.mem (Layout.count_addr d.slot) d.nentries;
@@ -615,9 +640,15 @@ let reserve_entry ?(policy = Layout.Free_new_on_failure) d ~addr ~expected =
   (* The reservation must be durable before the allocator can deliver into
      it, so that recovery frees the delivered block when rolling back.
      [append_entry] already persisted the entry words; only the count line
-     is still volatile. *)
-  clwb_if d.dpool (Layout.count_addr d.slot);
-  fence_if d.dpool;
+     is still volatile. Under destination-only persistence the header and
+     entry flushes were deferred to [seal], so persist the whole
+     descriptor here instead. *)
+  if d.dpool.persistent && Nvram.Flit.enabled () then
+    persist_desc d.dpool ~slot:d.slot ~count:d.nentries
+  else begin
+    clwb_if d.dpool (Layout.count_addr d.slot);
+    fence_if d.dpool
+  end;
   Layout.new_field (entry_base d k)
 
 let remove_word d ~addr =
@@ -715,6 +746,29 @@ let finalize_slot ?(during_recovery = false) t ~slot ~succeeded =
           vs
         end
   in
+  (* Destination-only persistence defers the apply-phase write-backs
+     (and a failed op's status persist): settle those debts now, ahead
+     of the drain below, so the durable Free can never precede them. A
+     target that no longer holds this op's final value owes nothing —
+     whoever claimed it durably sealed that value as its expected, so
+     recovery reaches it through the successor's descriptor instead. *)
+  if t.persistent && Nvram.Flit.enabled () then begin
+    let sabotaged = Nvram.Flit.sabotage_skip_destination () in
+    let lw = (Mem.config t.mem).line_words in
+    Array.iter
+      (fun e ->
+        let final = if succeeded then e.new_value else e.old_value in
+        let w = Mem.read t.mem e.addr in
+        if Flags.is_dirty w && Flags.clear_dirty w = final then begin
+          Nvram.Flit.record_destination_flush ~addr:e.addr
+            ~line:(e.addr / lw);
+          if not sabotaged then Mem.clwb t.mem e.addr
+        end
+        else Nvram.Flit.record_elided ~addr:e.addr ~line:(e.addr / lw))
+      entries;
+    let s = Mem.read t.mem (Layout.status_addr slot) in
+    if Flags.is_dirty s then Mem.clwb t.mem (Layout.status_addr slot)
+  end;
   (* Drain everything still pending before the slot can return to Free:
      the policy frees marked above, and — during recovery — the rollback
      write-backs the caller enqueued. Always fenced, so the status store

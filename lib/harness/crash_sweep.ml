@@ -77,20 +77,43 @@ let with_sabotaged_drain f =
   Nvram.Mem.set_sabotage_skip_drain true;
   Fun.protect ~finally:(fun () -> Nvram.Mem.set_sabotage_skip_drain false) f
 
+let with_sabotaged_flit f =
+  Nvram.Flit.set_sabotage_skip_destination true;
+  Fun.protect ~finally:(fun () ->
+      Nvram.Flit.set_sabotage_skip_destination false)
+    f
+
 (* Run once with no injection to learn the sweepable step count, and
    insist the baseline image recovers clean — a suite whose own verify
-   rejects an uncrashed run would report nonsense failures. *)
+   rejects an uncrashed run would report nonsense failures. The sabotage
+   self-test knobs are parked off for this run: calibration validates
+   the SUITE, and with destination-only persistence a sabotaged protocol
+   can leave even a completed workload non-durable — flagging that is
+   the crash points' job, not the baseline's. *)
 let calibrate spec =
-  let r = spec.execute ~traced:false ~fuel:None in
-  if r.crashed then
-    failwith (spec.name ^ ": calibration run crashed without injection");
-  (match r.verify (Mem.crash_image r.mem) with
-  | _, [] -> ()
-  | _, e :: _ -> failwith (spec.name ^ ": baseline image failed verify: " ^ e)
-  | exception e ->
-      failwith
-        (spec.name ^ ": baseline verify raised: " ^ Printexc.to_string e));
-  r.sweep_steps
+  let sab_pre = Pmwcas.Op.sabotaging_skip_precommit_flush ()
+  and sab_drain = Mem.sabotaging_skip_drain ()
+  and sab_flit = Nvram.Flit.sabotage_skip_destination () in
+  Pmwcas.Op.set_sabotage_skip_precommit_flush false;
+  Mem.set_sabotage_skip_drain false;
+  Nvram.Flit.set_sabotage_skip_destination false;
+  Fun.protect
+    ~finally:(fun () ->
+      Pmwcas.Op.set_sabotage_skip_precommit_flush sab_pre;
+      Mem.set_sabotage_skip_drain sab_drain;
+      Nvram.Flit.set_sabotage_skip_destination sab_flit)
+    (fun () ->
+      let r = spec.execute ~traced:false ~fuel:None in
+      if r.crashed then
+        failwith (spec.name ^ ": calibration run crashed without injection");
+      (match r.verify (Mem.crash_image r.mem) with
+      | _, [] -> ()
+      | _, e :: _ ->
+          failwith (spec.name ^ ": baseline image failed verify: " ^ e)
+      | exception e ->
+          failwith
+            (spec.name ^ ": baseline verify raised: " ^ Printexc.to_string e));
+      r.sweep_steps)
 
 (* Fuel points: exhaustive below the budget, else one deterministic
    sample per equal-width stratum so every region of the run stays

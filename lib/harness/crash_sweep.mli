@@ -118,6 +118,15 @@ val with_sabotaged_drain : (unit -> 'a) -> 'a
     uncrashed calibration image must fail verification. A sweep under
     this wrapper must fail, or the fences are not load-bearing. *)
 
+val with_sabotaged_flit : (unit -> 'a) -> 'a
+(** Run [f] with {!Nvram.Flit.set_sabotage_skip_destination} enabled,
+    restoring it afterwards — the destination-only-persistence
+    self-test ([--broken-flit]): destination passes skip the
+    write-backs they decided were needed, so fresh node bodies only
+    reach NVM through the eviction lottery and a sweep (often the
+    calibration itself) must fail. If it does not, the destination
+    passes are not load-bearing. *)
+
 val capture_forensics :
   ?dir:string -> ?tail:int -> spec -> failure -> string * string
 (** Re-execute a failure at its shrunk (or original) repro point with

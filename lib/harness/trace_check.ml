@@ -12,6 +12,7 @@ let protocol pool =
     line_words = (Mem.config mem).line_words;
     max_words = l.max_words;
     async_flush = (Mem.config mem).flush_mode = Nvram.Config.Async;
+    flit = Nvram.Flit.enabled ();
     is_status_addr =
       (fun a ->
         a >= l.slots_base && a < slots_end

@@ -13,6 +13,9 @@ module type S = sig
   val write : t -> int -> int -> unit
   val cas : t -> int -> expected:int -> desired:int -> int
   val clwb : t -> int -> unit
+  val flit_write : t -> int -> int -> unit
+  val flit_flush : t -> int -> unit
+  val persisted : t -> int -> bool
   val fence : t -> unit
   val persist_all : t -> unit
   val read_persistent : t -> int -> int

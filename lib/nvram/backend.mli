@@ -40,6 +40,22 @@ module type S = sig
       backends). Whether the copy happens here or at the next [fence] is
       the backend's [Config.flush_mode]. *)
 
+  val flit_write : t -> int -> int -> unit
+  (** FliT-style tracked store: bump the flush counter of the containing
+      granule ([Config.flit_gran]), then store. The counter stays above
+      zero until a matching [flit_flush], so [persisted] never reports a
+      granule with an unflushed tracked store as durable. *)
+
+  val flit_flush : t -> int -> unit
+  (** [clwb] plus a floor-at-zero decrement of the granule's flush
+      counter — the write-back half of the flit_write/flit_flush pair. *)
+
+  val persisted : t -> int -> bool
+  (** FliT invariant query: [true] iff the granule's flush counter is
+      zero, i.e. no tracked store is still awaiting its [flit_flush]. A
+      destination pass may skip flushing such a granule. Volatile
+      backends always return [true] (there is nothing to flush). *)
+
   val fence : t -> unit
   (** Store fence / drain point: orders (and, under an asynchronous flush
       model, performs) the write-backs initiated by earlier [clwb]s. A

@@ -3,6 +3,7 @@ type protocol = {
   line_words : int;
   max_words : int;
   async_flush : bool;
+  flit : bool;
   is_status_addr : int -> bool;
   is_desc_addr : int -> bool;
   slot_of_status : int -> int;
@@ -108,6 +109,25 @@ let persist_word st a =
           then fl.flushed.(k) <- true)
         fl.targets)
     st.inflight
+
+(* Flit mode: a deferred final is superseded the moment a later op
+   overwrites the word with a different value — an installer seals the
+   value it claims as its own old-field before the CAS, so recovery
+   restores the word from the successor's entry and the original flush
+   is no longer owed. *)
+let supersede st addr value =
+  if st.p.flit then
+    Hashtbl.iter
+      (fun _ (fl : inflight) ->
+        Array.iteri
+          (fun k target ->
+            if
+              target = addr
+              && (not fl.flushed.(k))
+              && Flags.clear_dirty value <> fl.finals.(k)
+            then fl.flushed.(k) <- true)
+          fl.targets)
+      st.inflight
 
 let persist_line st addr =
   let lw = st.p.line_words in
@@ -224,11 +244,15 @@ let step st (e : Trace.event) =
       else persist_line st addr
   | Read { addr; value } ->
       check_divergence st ~seq ~what:"read" addr value;
-      if Flags.is_dirty value && not (p.is_desc_addr addr) then
-        observe_dirty st ~domain:e.domain ~seq addr
+      (* Flit mode permits unflushed journey reads: no flush-before-use
+         obligation accrues; decide-after-persist still guards the
+         destination words. *)
+      if Flags.is_dirty value && (not (p.is_desc_addr addr)) && not p.flit
+      then observe_dirty st ~domain:e.domain ~seq addr
   | Write { addr; value } ->
       if st.vol.(addr) <> value then discharge st addr;
       st.vol.(addr) <- value;
+      supersede st addr value;
       if p.is_status_addr addr && value = p.status_free then
         on_recycle st ~seq addr
   | Cas { addr; expected; desired; witnessed } ->
@@ -247,6 +271,7 @@ let step st (e : Trace.event) =
       if witnessed = expected then begin
         if st.vol.(addr) <> desired then discharge st addr;
         st.vol.(addr) <- desired;
+        supersede st addr desired;
         if
           p.is_status_addr addr
           && expected = p.status_undecided

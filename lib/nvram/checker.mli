@@ -37,6 +37,14 @@ type protocol = {
           legacy synchronous model. Must match the
           [Config.flush_mode] the traced device ran with, or the checker
           proves the wrong ordering. *)
+  flit : bool;
+      (** Destination-only persistence mode ([Nvram.Flit]): journey
+          reads legitimately observe dirty values without writing them
+          back, so the flush-before-use rule is waived. The structural
+          rules — decide-after-persist for every destination word and
+          persist-before-recycle — still hold and are still checked;
+          they are what [--broken-flit] trips. Must match
+          [Flit.enabled] during the traced run. *)
   is_status_addr : int -> bool;
   is_desc_addr : int -> bool;  (** Inside the descriptor-pool region. *)
   slot_of_status : int -> int;

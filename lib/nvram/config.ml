@@ -1,24 +1,34 @@
 type flush_mode = Sync | Async
+type flit_gran = Word | Line
 
 type t = {
   words : int;
   line_words : int;
   flush_delay : int;
   flush_mode : flush_mode;
+  flit_gran : flit_gran;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let make ?(line_words = 8) ?(flush_delay = 0) ?(flush_mode = Async) ~words () =
+let make ?(line_words = 8) ?(flush_delay = 0) ?(flush_mode = Async)
+    ?(flit_gran = Word) ~words () =
   if words <= 0 then invalid_arg "Nvram.Config.make: words <= 0";
   if not (is_pow2 line_words) then
     invalid_arg "Nvram.Config.make: line_words must be a positive power of two";
   if flush_delay < 0 then invalid_arg "Nvram.Config.make: flush_delay < 0";
-  { words; line_words; flush_delay; flush_mode }
+  { words; line_words; flush_delay; flush_mode; flit_gran }
 
 let flush_mode_name = function Sync -> "sync" | Async -> "async"
 
 let flush_mode_of_string = function
   | "sync" -> Some Sync
   | "async" -> Some Async
+  | _ -> None
+
+let flit_gran_name = function Word -> "word" | Line -> "line"
+
+let flit_gran_of_string = function
+  | "word" -> Some Word
+  | "line" -> Some Line
   | _ -> None

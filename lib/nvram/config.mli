@@ -12,6 +12,16 @@
     flight. Kept as the baseline the flush experiments compare against. *)
 type flush_mode = Sync | Async
 
+(** Granularity of the FliT-style flush counters ({!Mem.flit_write} /
+    {!Mem.flit_flush} / {!Mem.persisted}).
+
+    [Word] keeps one counter per word — precise, so a destination pass
+    can elide a line as soon as every word it covers has been flushed.
+    [Line] keeps one counter per cache line — 8x fewer counters, but a
+    pending write anywhere in the line keeps the whole line
+    "unpersisted". *)
+type flit_gran = Word | Line
+
 type t = private {
   words : int;  (** Total capacity in 8-byte words. *)
   line_words : int;
@@ -23,12 +33,16 @@ type t = private {
           extra latency of an NVDIMM relative to a cached store. [0]
           disables the cost model (pure functional simulation). *)
   flush_mode : flush_mode;  (** Write-back pipeline model; default [Async]. *)
+  flit_gran : flit_gran;
+      (** Flush-counter granularity for the destination-only persistence
+          API; default [Word]. *)
 }
 
 val make :
   ?line_words:int ->
   ?flush_delay:int ->
   ?flush_mode:flush_mode ->
+  ?flit_gran:flit_gran ->
   words:int ->
   unit ->
   t
@@ -37,3 +51,5 @@ val make :
 
 val flush_mode_name : flush_mode -> string
 val flush_mode_of_string : string -> flush_mode option
+val flit_gran_name : flit_gran -> string
+val flit_gran_of_string : string -> flit_gran option

@@ -38,6 +38,17 @@ let cas t a ~expected ~desired =
   loop ()
 
 let clwb t a = check t a
+
+(* Nothing to flush on DRAM: tracked stores are plain stores, flushes are
+   bounds checks, and every word is trivially "persisted" — a destination
+   pass elides all of its (free) flushes. *)
+let flit_write = write
+let flit_flush = clwb
+
+let persisted t a =
+  check t a;
+  true
+
 let fence _ = ()
 let persist_all _ = ()
 

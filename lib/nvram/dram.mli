@@ -25,6 +25,16 @@ val read : t -> int -> int
 val write : t -> int -> int -> unit
 val cas : t -> int -> expected:int -> desired:int -> int
 val clwb : t -> int -> unit
+
+val flit_write : t -> int -> int -> unit
+(** A plain [write] — no flush counters on a volatile backend. *)
+
+val flit_flush : t -> int -> unit
+(** Same free no-op as [clwb]. *)
+
+val persisted : t -> int -> bool
+(** Always [true]: there is never anything to flush. *)
+
 val fence : t -> unit
 val persist_all : t -> unit
 val read_persistent : t -> int -> int

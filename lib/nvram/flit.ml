@@ -1,0 +1,52 @@
+(* Process-global policy and accounting for destination-only
+   persistence (the NVTraverse traverse/critical split backed by FliT
+   flush counters). The device-level counters live in the backends
+   ({!Sim.flit_write} et al.); this module owns what is policy rather
+   than mechanism: the mode switch the benches toggle, the sabotage
+   hook the crash-sweep self-test arms, and the elided-vs-real
+   destination flush counters the metrics gate requires. *)
+
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
+
+(* Toggle only while the indexes are quiesced (between bench points, or
+   at CLI startup): writers pick flit_write vs write by this flag, and a
+   destination pass that runs in a different mode than the stores it
+   covers would consult counters those stores never touched. *)
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Self-test hook: when armed, destination passes skip the write-backs
+   they decided were needed (while still counting them), so freshly
+   written node bodies never reach NVM except through the eviction
+   lottery. The crash-sweep must flag the resulting garbage. *)
+let sabotage_flag = Atomic.make false
+let set_sabotage_skip_destination b = Atomic.set sabotage_flag b
+let sabotage_skip_destination () = Atomic.get sabotage_flag
+
+type counters = { elided : int; destination_flushes : int }
+
+(* Field 0 = flushes a destination pass skipped because the granule was
+   already durable, 1 = real write-backs it issued. *)
+let counter_cells = Telemetry.Sharded.create ~fields:2
+
+let record_elided ~addr ~line =
+  Telemetry.Sharded.incr counter_cells 0;
+  if Flight.tracing () then Flight.emit Flight.Flit_elide addr line 0
+
+let record_destination_flush ~addr ~line =
+  Telemetry.Sharded.incr counter_cells 1;
+  if Flight.tracing () then Flight.emit Flight.Flit_dest_flush addr line 0
+
+let counters () =
+  let s = Telemetry.Sharded.sum counter_cells in
+  { elided = s 0; destination_flushes = s 1 }
+
+let reset_counters () = Telemetry.Sharded.reset counter_cells
+
+let counters_to_json () =
+  let c = counters () in
+  Telemetry.Value.Obj
+    [
+      ("elided", Telemetry.Value.Int c.elided);
+      ("destination_flushes", Telemetry.Value.Int c.destination_flushes);
+    ]

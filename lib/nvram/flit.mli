@@ -1,0 +1,49 @@
+(** Destination-only persistence: process-global policy switch and
+    accounting.
+
+    With the mode on (the default), index operations split NVTraverse
+    style: the {e journey} — the traversal to the operation's window —
+    does plain volatile reads (no clwb, no fence, dirty payloads are
+    returned unflushed), and only the {e destination} — the nodes
+    written in the critical phase plus the PMwCAS target words — is
+    made persistent before the decide point. The per-granule FliT
+    counters ({!Mem.flit_write} / {!Mem.flit_flush} / {!Mem.persisted})
+    let that destination pass elide write-backs of already-durable
+    granules; this module counts both outcomes and exposes the switch. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Toggle the mode. Only flip it while the indexes on the device are
+    quiesced: tracked writers and destination passes must agree on the
+    mode, or the pass will consult counters the stores never bumped. *)
+
+val set_sabotage_skip_destination : bool -> unit
+(** Self-test hook ([--broken-flit]): armed, destination passes count
+    but skip the write-backs they decided were needed, so fresh node
+    bodies only persist via the eviction lottery. The crash-sweep must
+    detect the resulting corruption. *)
+
+val sabotage_skip_destination : unit -> bool
+
+(** {1 Counters}
+
+    Process-global (like [Store.counters]), summed over all domains.
+    [elided] counts flushes a destination pass skipped because every
+    granule in the line was already durable; [destination_flushes]
+    counts the real write-backs it issued. Exported to the metrics
+    registry as the [flit.counters] source and gated by
+    [check-metrics --require-flit-counters]. *)
+
+type counters = { elided : int; destination_flushes : int }
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+val counters_to_json : unit -> Telemetry.Value.t
+
+val record_elided : addr:int -> line:int -> unit
+(** Count (and, when the flight recorder is on, emit a [Flit_elide]
+    instant for) one skipped destination flush. *)
+
+val record_destination_flush : addr:int -> line:int -> unit
+(** Count one real destination write-back ([Flit_dest_flush] instant). *)

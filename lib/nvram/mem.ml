@@ -128,6 +128,18 @@ let untraced_clwb t a =
   | Dram d -> Dram.clwb d a
   | Traced _ | Hooked _ -> assert false
 
+let untraced_flit_write t a v =
+  match t with
+  | Simulated s -> Sim.flit_write s a v
+  | Dram d -> Dram.flit_write d a v
+  | Traced _ | Hooked _ -> assert false
+
+let untraced_flit_flush t a =
+  match t with
+  | Simulated s -> Sim.flit_flush s a
+  | Dram d -> Dram.flit_flush d a
+  | Traced _ | Hooked _ -> assert false
+
 let traced_read inner tr a =
   Trace.locked tr (fun () ->
       let v = untraced_read inner a in
@@ -150,6 +162,20 @@ let traced_clwb inner tr a =
       untraced_clwb inner a;
       Trace.record tr (Trace.Clwb { addr = a }))
 
+(* Flit counters are volatile cache metadata the offline checker does not
+   model; the traced arms record the underlying store / write-back so the
+   replay stays faithful to what reached the device. *)
+
+let traced_flit_write inner tr a v =
+  Trace.locked tr (fun () ->
+      untraced_flit_write inner a v;
+      Trace.record tr (Trace.Write { addr = a; value = v }))
+
+let traced_flit_flush inner tr a =
+  Trace.locked tr (fun () ->
+      untraced_flit_flush inner a;
+      Trace.record tr (Trace.Clwb { addr = a }))
+
 (* The hooked (DST) paths: run the installed hook — a scheduler yield
    point — before the operation reaches the device, so a deterministic
    scheduler can interleave logical threads at exactly the word-operation
@@ -170,6 +196,14 @@ let hooked_cas inner hook a ~expected ~desired =
 let hooked_clwb inner hook a =
   !hook ();
   untraced_clwb inner a
+
+let hooked_flit_write inner hook a v =
+  !hook ();
+  untraced_flit_write inner a v
+
+let hooked_flit_flush inner hook a =
+  !hook ();
+  untraced_flit_flush inner a
 
 let[@inline] read t a =
   match t with
@@ -201,6 +235,32 @@ let[@inline] clwb t a =
   | Dram d -> Dram.clwb d a
   | Traced { inner; tr } -> traced_clwb inner tr a
   | Hooked { inner; hook } -> hooked_clwb inner hook a
+
+let[@inline] flit_write t a v =
+  match t with
+  | Simulated s -> Sim.flit_write s a v
+  | Dram d -> Dram.flit_write d a v
+  | Traced { inner; tr } -> traced_flit_write inner tr a v
+  | Hooked { inner; hook } -> hooked_flit_write inner hook a v
+
+let[@inline] flit_flush t a =
+  match t with
+  | Simulated s -> Sim.flit_flush s a
+  | Dram d -> Dram.flit_flush d a
+  | Traced { inner; tr } -> traced_flit_flush inner tr a
+  | Hooked { inner; hook } -> hooked_flit_flush inner hook a
+
+(* A pure metadata load (like [read], it mutates nothing and spends no
+   fuel), but routed through the DST hook so schedules can preempt a
+   destination pass between the counter check and the elided flush. *)
+let rec persisted t a =
+  match t with
+  | Simulated s -> Sim.persisted s a
+  | Dram d -> Dram.persisted d a
+  | Traced { inner; _ } -> persisted inner a
+  | Hooked { inner; hook } ->
+      !hook ();
+      persisted inner a
 
 let clwb_range t ~lo ~hi =
   let words = size t in
@@ -273,6 +333,7 @@ let rec disarm = function
   | Hooked { inner; _ } -> disarm inner
 
 let set_sabotage_skip_drain = Sim.set_sabotage_skip_drain
+let sabotaging_skip_drain = Sim.sabotaging_skip_drain
 
 let dump t ~lo ~hi ppf =
   for a = lo to hi - 1 do

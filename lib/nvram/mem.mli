@@ -127,6 +127,31 @@ val fence : t -> unit
     whatever was clwb'd but not yet drained. Under {!Config.Sync} it
     orders nothing (clwb already copied) but still counts and spends. *)
 
+val flit_write : t -> addr -> int -> unit
+(** FliT-style tracked store (Wei et al., SPAA 2021): bump the flush
+    counter of the containing granule ([Config.flit_gran], default one
+    counter per word), then store. Pair every tracked store with a later
+    {!flit_flush}; until then {!persisted} reports the granule
+    unpersisted. Use for destination words that a later counter-eliding
+    persist pass (e.g. [Pcas.persist_range]) will make durable — plain
+    [write]s are invisible to the counters and must keep using
+    [clwb]-based persistence. *)
+
+val flit_flush : t -> addr -> unit
+(** [clwb] plus a floor-at-zero decrement of the granule's flush
+    counter: the write-back half of the flit_write/flit_flush pair.
+    Durability under the async pipeline still comes from the next
+    [fence], exactly as for [clwb]. *)
+
+val persisted : t -> addr -> bool
+(** [true] iff the granule's flush counter is zero, i.e. every tracked
+    store to it has issued its write-back. Conservative by construction
+    (the counter rises before the store lands, falls only after its
+    clwb), so a destination pass may safely elide flushing a persisted
+    granule — any still-pending line is drained by the fence the PMwCAS
+    precommit always executes before its decide point. Always [true] on
+    volatile backends; spends no injector fuel. *)
+
 val clwb_range : t -> lo:addr -> hi:addr -> unit
 (** Write back every cache line intersecting [\[lo, hi\]] (inclusive).
     Handles unaligned ranges — the footgun of stepping by the line size
@@ -156,6 +181,9 @@ val set_sabotage_skip_drain : bool -> unit
     armed, every simulated [fence] skips its drain while still counting
     and spending fuel. The crash-sweep must flag the resulting silent
     durability loss. *)
+
+val sabotaging_skip_drain : unit -> bool
+(** Current state of the knob (for save/restore around calibration). *)
 
 val fuel_remaining : t -> int option
 (** Remaining injector fuel; [None] when disarmed (or on a volatile

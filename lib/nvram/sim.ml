@@ -9,6 +9,7 @@ type t = {
   line_locks : int Atomic.t array;
   pending : bool Atomic.t array; (* line enqueued for write-back *)
   pending_stack : int list Atomic.t; (* lines awaiting the next fence *)
+  flit : int Atomic.t array; (* FliT flush counters, one per granule *)
   stats : Stats.t;
   fuel : int Atomic.t; (* fault injector; max_int = disarmed *)
   steps : int Atomic.t; (* completed mutating ops since creation *)
@@ -20,9 +21,13 @@ type t = {
    the CLI can arm it without threading a handle through the suites. *)
 let sabotage_skip_drain = Atomic.make false
 let set_sabotage_skip_drain b = Atomic.set sabotage_skip_drain b
+let sabotaging_skip_drain () = Atomic.get sabotage_skip_drain
 
 let create (cfg : Config.t) =
   let lines = (cfg.words + cfg.line_words - 1) / cfg.line_words in
+  let granules =
+    match cfg.flit_gran with Config.Word -> cfg.words | Config.Line -> lines
+  in
   {
     cfg;
     volatile = Array.init cfg.words (fun _ -> Atomic.make 0);
@@ -30,6 +35,7 @@ let create (cfg : Config.t) =
     line_locks = Array.init lines (fun _ -> Atomic.make 0);
     pending = Array.init lines (fun _ -> Atomic.make false);
     pending_stack = Atomic.make [];
+    flit = Array.init granules (fun _ -> Atomic.make 0);
     stats = Stats.create ();
     fuel = Atomic.make max_int;
     steps = Atomic.make 0;
@@ -215,6 +221,42 @@ let clwb t a =
   end
   else body t a
 
+(* FliT-style flush counters (Wei et al., SPAA 2021). A tracked store
+   bumps its granule's counter *before* the store lands, and the paired
+   [flit_flush] decrements it after the clwb — so a nonzero counter means
+   "a tracked store may still be unflushed" at every interleaving, and
+   [persisted] can only under-report durability, never over-report it.
+   The counters are volatile cache metadata: a crash image starts from
+   [create] and therefore resets them all to zero, which is the correct
+   conservative state (everything in the image IS the durable content). *)
+
+let granule t a =
+  match t.cfg.flit_gran with
+  | Config.Word -> a
+  | Config.Line -> a / t.cfg.line_words
+
+let flit_write t a v =
+  check t a;
+  spend t;
+  Atomic.incr t.flit.(granule t a);
+  Atomic.set t.volatile.(a) v
+
+(* Floor-at-zero decrement: two racing flushers of the same granule must
+   not drive the counter negative (a negative counter would make a later
+   tracked store invisible to [persisted]). *)
+let flit_flush t a =
+  clwb t a;
+  let c = t.flit.(granule t a) in
+  let rec dec () =
+    let n = Atomic.get c in
+    if n > 0 && not (Atomic.compare_and_set c n (n - 1)) then dec ()
+  in
+  dec ()
+
+let persisted t a =
+  check t a;
+  Atomic.get t.flit.(granule t a) = 0
+
 (* Drain every line enqueued so far. Runs to completion once entered:
    [fence] spends its fuel *before* the drain, so an injected crash lands
    on the fence boundary (pending lines lost) — never inside a torn
@@ -257,12 +299,15 @@ let fence t =
 
 let persist_all t =
   (* Full-device write-back: also retires the pending pipeline so a
-     subsequent crash image reflects a quiescent device. *)
+     subsequent crash image reflects a quiescent device, and settles the
+     flit counters — every tracked store is now durable. Init-time only;
+     concurrent tracked stores would race the counter reset. *)
   ignore (Atomic.exchange t.pending_stack []);
   for line = 0 to Array.length t.line_locks - 1 do
     if Atomic.exchange t.pending.(line) false then Stats.record_drain t.stats;
     write_back_line t line
-  done
+  done;
+  Array.iter (fun c -> Atomic.set c 0) t.flit
 
 (* At-risk lines for crash forensics: enqueued for write-back but not
    yet drained. Sampled without locks — callers run it on a quiesced

@@ -34,6 +34,20 @@ val read : t -> addr -> int
 val write : t -> addr -> int -> unit
 val cas : t -> addr -> expected:int -> desired:int -> int
 val clwb : t -> addr -> unit
+
+val flit_write : t -> addr -> int -> unit
+(** Tracked store: increments the flush counter of the containing granule
+    ([Config.flit_gran]) before the store, so [persisted] reports the
+    granule unpersisted until a matching [flit_flush]. *)
+
+val flit_flush : t -> addr -> unit
+(** [clwb] plus a floor-at-zero decrement of the granule's counter. *)
+
+val persisted : t -> addr -> bool
+(** [true] iff the granule's flush counter is zero — no tracked store is
+    awaiting its flush. Conservative across interleavings: the counter is
+    bumped before the store lands and dropped only after its clwb. *)
+
 val fence : t -> unit
 val persist_all : t -> unit
 val read_persistent : t -> addr -> int
@@ -56,6 +70,9 @@ val set_sabotage_skip_drain : bool -> unit
     is counted but skips its drain, so nothing enqueued by [clwb] ever
     persists except through eviction. The crash-sweep calibration must
     detect this as a correctness failure. *)
+
+val sabotaging_skip_drain : unit -> bool
+(** Current state of the knob (for save/restore around calibration). *)
 
 val pending_lines : t -> int list
 (** Lines clwb'd but not yet drained (at-risk under a power failure).

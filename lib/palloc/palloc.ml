@@ -399,7 +399,7 @@ let slot_dest h = h.t.slots_base + (2 * h.slot) + 1
    only appears once an allocator runs. *)
 let alloc_hist = Telemetry.on_demand "palloc.alloc_ns"
 
-let alloc h ~nwords ~dest =
+let alloc ?(reserved = false) h ~nwords ~dest =
   if not h.live then invalid_arg "Palloc: handle already released";
   if nwords <= 0 then invalid_arg "Palloc.alloc: nwords <= 0";
   let t0 =
@@ -414,35 +414,56 @@ let alloc h ~nwords ~dest =
   Nvram.Stats.set_phase stats_sh Nvram.Stats.Alloc;
   let cls, b = obtain h ~nwords in
   let payload = b + 1 in
-  if t.persistent then begin
-    (* Activation record. Dest word is written before the block word so a
-       torn volatile snapshot can never show a record pointing at a stale
-       delivery address. Both words share a cache line (2-word aligned
-       slot), so the crash image sees them together. *)
-    Mem.write t.mem (slot_dest h) dest;
-    Mem.write t.mem (slot_block h) b;
-    Mem.clwb t.mem (slot_block h);
-    (* Null the delivery word so recovery's "did it complete?" test is
-       unambiguous. *)
-    Mem.write t.mem dest 0;
+  if t.persistent && reserved && Nvram.Flit.enabled () then begin
+    (* Reserved delivery under destination-only persistence: [dest] is a
+       descriptor entry the caller durably reserved ([ReserveEntry]
+       persisted it holding 0 before this call), so the descriptor's
+       rollback policy is already the durable reference to the block and
+       the activation record buys nothing. Deliver first and drain, so a
+       durably allocated header can only coexist with a durable pointer
+       to the block: recovery either rolls the reservation back (freeing
+       the block) or finds the header still durably free with nothing
+       durable pointing at it. *)
+    Mem.write t.mem dest payload;
     Mem.clwb t.mem dest;
-    (* The record and the nulled delivery word must be durable before the
-       header flips to allocated — recovery's "did it complete?" test
-       reads them. *)
-    Mem.fence t.mem
-  end;
-  Mem.write t.mem b (hdr ~cls ~allocated:true);
-  clwb t b;
-  Mem.write t.mem dest payload;
-  clwb t dest;
-  (* One drain covers the header and the delivery word; both must be
-     durable before the record is retired, or a crash image could pair a
-     cleared record with a free header the application durably points
-     into. *)
-  fence t;
-  if t.persistent then begin
-    Mem.write t.mem (slot_block h) 0;
-    Mem.clwb t.mem (slot_block h)
+    Mem.fence t.mem;
+    Mem.write t.mem b (hdr ~cls ~allocated:true);
+    clwb t b
+    (* No trailing drain: the header write-back need only land before the
+       block becomes durably reachable, and every route there (the seal's
+       [persist_desc], precommit) fences first. *)
+  end
+  else begin
+    if t.persistent then begin
+      (* Activation record. Dest word is written before the block word so
+         a torn volatile snapshot can never show a record pointing at a
+         stale delivery address. Both words share a cache line (2-word
+         aligned slot), so the crash image sees them together. *)
+      Mem.write t.mem (slot_dest h) dest;
+      Mem.write t.mem (slot_block h) b;
+      Mem.clwb t.mem (slot_block h);
+      (* Null the delivery word so recovery's "did it complete?" test is
+         unambiguous. *)
+      Mem.write t.mem dest 0;
+      Mem.clwb t.mem dest;
+      (* The record and the nulled delivery word must be durable before
+         the header flips to allocated — recovery's "did it complete?"
+         test reads them. *)
+      Mem.fence t.mem
+    end;
+    Mem.write t.mem b (hdr ~cls ~allocated:true);
+    clwb t b;
+    Mem.write t.mem dest payload;
+    clwb t dest;
+    (* One drain covers the header and the delivery word; both must be
+       durable before the record is retired, or a crash image could pair
+       a cleared record with a free header the application durably points
+       into. *)
+    fence t;
+    if t.persistent then begin
+      Mem.write t.mem (slot_block h) 0;
+      Mem.clwb t.mem (slot_block h)
+    end
   end;
   Nvram.Stats.set_phase stats_sh prev_phase;
   if t0 <> 0 then

@@ -97,13 +97,24 @@ val release_thread : handle -> unit
 (** Release the record. Cached blocks are handed back to their arena's
     free lists first, so nothing is stranded behind a dead handle. *)
 
-val alloc : handle -> nwords:int -> dest:Nvram.Mem.addr -> Nvram.Mem.addr
+val alloc :
+  ?reserved:bool -> handle -> nwords:int -> dest:Nvram.Mem.addr
+  -> Nvram.Mem.addr
 (** Allocate at least [nwords] words; durably deliver the block address
     into [dest] (which is first durably nulled) and return it. The block's
     content is NOT zeroed — callers initialize and persist it themselves
     (freshly carved space is zero; recycled blocks carry old data, as in C).
     Served from the handle's cache, then the home arena's free list, then
     a fresh carve, then the other arenas.
+
+    [~reserved:true] promises that [dest] is a descriptor entry obtained
+    from [Pool.reserve_entry] — durably holding 0, with a rollback policy
+    that frees the delivered block. Under destination-only persistence
+    ({!Nvram.Flit.enabled}) the activation record is then skipped: the
+    delivery word is drained before the header flips to allocated, so the
+    descriptor's rollback is the sole (and sufficient) durable reference.
+    With FliT disabled the flag is ignored and the classic record is
+    taken.
     @raise Failure ([Out of memory]) when every arena is exhausted, with
     a per-arena occupancy diagnostic
     @raise Invalid_argument if [nwords <= 0]. *)

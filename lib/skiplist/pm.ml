@@ -2,6 +2,7 @@ module Mem = Nvram.Mem
 module Flags = Nvram.Flags
 module Pool = Pmwcas.Pool
 module Op = Pmwcas.Op
+module Pcas = Pmwcas.Pcas
 module Layout = Pmwcas.Layout
 
 let magic = 0x5_c1_b1_15
@@ -40,16 +41,29 @@ let key_of t n =
   else if n = t.tail then max_int
   else Mem.read t.mem (key_addr n)
 
+(* Destination pass over a node body: with the flit mode on,
+   [Pcas.persist_range] elides lines whose tracked stores already issued
+   their write-backs; off, it degrades to the plain range flush. *)
 let persist_node t n =
   if Pool.persistent t.pool then
     let last = n + node_words (Mem.read t.mem (level_addr n)) - 1 in
-    Mem.clwb_range t.mem ~lo:n ~hi:last
+    Pcas.persist_range t.mem ~lo:n ~hi:last
+
+(* Node-body stores: tracked (counter-bumping) when destination-only
+   persistence is on, so the [persist_node] pass knows which words still
+   owe a write-back. The two must agree per node — an untracked store
+   under a flit-mode [persist_node] reads as already durable and gets
+   wrongly elided. *)
+let node_write t a v =
+  if Pool.persistent t.pool && Nvram.Flit.enabled () then
+    Mem.flit_write t.mem a v
+  else Mem.write t.mem a v
 
 let init_sentinel t n ~max_level =
-  Mem.write t.mem (key_addr n) 0;
-  Mem.write t.mem (value_addr n) 0;
-  Mem.write t.mem (level_addr n) max_level;
-  Mem.write t.mem (alive_addr n) 1
+  node_write t (key_addr n) 0;
+  node_write t (value_addr n) 0;
+  node_write t (level_addr n) max_level;
+  node_write t (alive_addr n) 1
 
 let clwb_if t a = if Pool.persistent t.pool then Mem.clwb t.mem a
 let fence_if t = if Pool.persistent t.pool then Mem.fence t.mem
@@ -82,10 +96,10 @@ let create ?(max_level = max_level_default) ~pool ~palloc ~anchor () =
     (* head.next = tail, head.prev = head (never followed);
        tail.next = tail (end marker), tail.prev = head. *)
     for i = 0 to max_level - 1 do
-      Mem.write mem (next_addr head i) tail;
-      Mem.write mem (head + 4 + max_level + i) head;
-      Mem.write mem (next_addr tail i) tail;
-      Mem.write mem (tail + 4 + max_level + i) head
+      node_write t (next_addr head i) tail;
+      node_write t (head + 4 + max_level + i) head;
+      node_write t (next_addr tail i) tail;
+      node_write t (tail + 4 + max_level + i) head
     done;
     persist_node t head;
     persist_node t tail;
@@ -136,20 +150,40 @@ let random_level h =
   in
   go 1
 
+(* Journey read: with destination-only persistence on, traversal loads
+   skip the flush-on-read write-back and fence (dirty values navigate
+   unflushed). Sound because a plain dirty value was installed by a
+   durably-decided op — recovery rolls it forward — and an op that
+   claims such a word does so in place ([Op.install_rdcss]). *)
+let jread t a =
+  if Nvram.Flit.enabled () then Op.read_weak t.pool a else Op.read t.pool a
+
 (* Read a link through the PMwCAS read protocol and split mark/target. *)
 let read_link t a =
-  let v = Op.read t.pool a in
+  let v = jread t a in
   (Flags.clear_mark v, Flags.is_marked v)
+
+(* Corrupt crash images can link nodes into cycles; every unbounded walk
+   carries a step budget far above any legal node count so verification
+   on a broken image fails loudly instead of looping. *)
+let walk_guard t =
+  let budget = ref ((2 * Mem.size t.mem) + 64) in
+  fun () ->
+    decr budget;
+    if !budget < 0 then
+      failwith "Pm: walk exceeded the node budget (corrupt structure?)"
 
 (* Collect predecessor/successor nodes per level. Marked links still
    navigate (the node is already unlinked; its forward pointer remains a
    correct snapshot). *)
 let search t key =
+  let tick = walk_guard t in
   let preds = Array.make t.max_level t.head in
   let succs = Array.make t.max_level t.tail in
   let cur = ref t.head in
   for lvl = t.max_level - 1 downto 0 do
     let rec walk () =
+      tick ();
       let nxt, _marked = read_link t (next_addr !cur lvl) in
       if nxt <> t.tail && key_of t nxt < key then begin
         cur := nxt;
@@ -164,7 +198,7 @@ let search t key =
   done;
   (preds, succs)
 
-let alive t n = Op.read t.pool (alive_addr n) = 1
+let alive t n = jread t (alive_addr n) = 1
 
 (* Descriptor-allocation discipline: a starved pool waits for epochs to
    pass, so a thread must never wait while pinned. Every attempt therefore
@@ -244,17 +278,17 @@ let insert_impl h ~key ~value =
               Pool.reserve_entry ~policy:Layout.Free_new_on_failure d
                 ~addr:(next_addr pred 0) ~expected:succ
             in
-            let n = Palloc.alloc h.pa ~nwords:(node_words level) ~dest in
-            Mem.write t.mem (key_addr n) key;
-            Mem.write t.mem (value_addr n) value;
-            Mem.write t.mem (level_addr n) level;
-            Mem.write t.mem (alive_addr n) 1;
-            Mem.write t.mem (next_addr n 0) succ;
-            Mem.write t.mem (n + 4 + level) pred;
+            let n = Palloc.alloc ~reserved:true h.pa ~nwords:(node_words level) ~dest in
+            node_write t (key_addr n) key;
+            node_write t (value_addr n) value;
+            node_write t (level_addr n) level;
+            node_write t (alive_addr n) 1;
+            node_write t (next_addr n 0) succ;
+            node_write t (n + 4 + level) pred;
             (* prev[0] *)
             for i = 1 to level - 1 do
-              Mem.write t.mem (next_addr n i) 0;
-              Mem.write t.mem (n + 4 + level + i) 0
+              node_write t (next_addr n i) 0;
+              node_write t (n + 4 + level + i) 0
             done;
             (* The node body must be durable before it can become
                reachable. *)
@@ -358,7 +392,11 @@ let update_impl h ~key ~value =
             `Absent
           end
           else begin
-            let old_v = Op.read t.pool (value_addr n) in
+            let old_v = jread t (value_addr n) in
+            (* No destination flush of the expected value: if the word
+               is still dirty, [Op.install_rdcss] claims it in place and
+               this descriptor's sealed old-field is the rollback
+               record. *)
             Pool.add_word d ~addr:(value_addr n) ~expected:old_v
               ~desired:value;
             Pool.add_word d ~addr:(alive_addr n) ~expected:1 ~desired:1;
@@ -386,7 +424,7 @@ let locate_impl h ~key =
       let _, succs = search t key in
       let n = succs.(0) in
       if n <> t.tail && key_of t n = key && alive t n then
-        Some (value_addr n, Op.read t.pool (value_addr n))
+        Some (value_addr n, jread t (value_addr n))
       else None)
 
 let find_impl h ~key =
@@ -395,7 +433,10 @@ let find_impl h ~key =
       let _, succs = search t key in
       let n = succs.(0) in
       if n <> t.tail && key_of t n = key then
-        Some (Op.read t.pool (value_addr n))
+        (* Weak value read: a plain dirty value was installed by a
+           durably-decided op (recovery rolls it forward), so the lookup
+           result is sound without a flush. *)
+        Some (jread t (value_addr n))
       else None)
 
 (* Latency sampling + flight-recorder op span around each public op.
@@ -437,14 +478,16 @@ let pool_handle h = h.ph
 let fold_range h ~lo ~hi ~init ~f =
   let t = h.sl in
   Pool.with_epoch h.ph (fun () ->
+      let tick = walk_guard t in
       let _, succs = search t lo in
       let rec walk acc n =
+        tick ();
         if n = t.tail then acc
         else
           let k = key_of t n in
           if k > hi then acc
           else begin
-            let v = Op.read t.pool (value_addr n) in
+            let v = jread t (value_addr n) in
             let nxt, _ = read_link t (next_addr n 0) in
             walk (f acc ~key:k ~value:v) nxt
           end
@@ -455,9 +498,11 @@ let fold_range_rev h ~lo ~hi ~init ~f =
   let t = h.sl in
   Pool.with_epoch h.ph (fun () ->
       (* Position after hi, then follow the backward links. *)
+      let tick = walk_guard t in
       let _, succs = search t (hi + 1) in
       let start, _ = read_link t (prev_addr t succs.(0) 0) in
       let rec walk acc n =
+        tick ();
         if n = t.head then acc
         else
           let k = key_of t n in
@@ -467,7 +512,7 @@ let fold_range_rev h ~lo ~hi ~init ~f =
             let p, _ = read_link t (prev_addr t n 0) in
             walk acc p
           else begin
-            let v = Op.read t.pool (value_addr n) in
+            let v = jread t (value_addr n) in
             let p, _ = read_link t (prev_addr t n 0) in
             walk (f acc ~key:k ~value:v) p
           end
@@ -484,7 +529,9 @@ let quiesce h =
 
 let node_count_words t =
   (* Quiescent base-level walk summing per-node footprints. *)
+  let tick = walk_guard t in
   let rec walk acc n =
+    tick ();
     if n = t.tail then acc
     else
       let level = Mem.read t.mem (level_addr n) in
@@ -497,11 +544,13 @@ let check_invariants h =
   let t = h.sl in
   Pool.with_epoch h.ph (fun () ->
       let fail fmt = Printf.ksprintf failwith fmt in
+      let tick = walk_guard t in
       (* Forward walk at every level: strict order, prev symmetry, marks,
          alive bits, tower containment. *)
       let level_nodes = Array.make t.max_level [] in
       for lvl = t.max_level - 1 downto 0 do
         let rec walk cur =
+          tick ();
           let nxt_raw = Op.read t.pool (next_addr cur lvl) in
           if Flags.is_marked nxt_raw then
             fail "level %d: reachable marked link at node %d" lvl cur;

@@ -433,6 +433,10 @@ let apply_merged_updates cfg (h : Pm.handle) updates =
         let v = value_of (Hashtbl.find last k) in
         finish_key k (Pm.update h ~key:k ~value:v)
     | _ ->
+        (* No destination pass over the chunk's located value words: a
+           still-dirty expected value is claimed in place by
+           [Op.install_rdcss]; the merged descriptor's sealed old-fields
+           are the rollback records. *)
         let d = Pool.alloc_desc (Pm.pool_handle h) in
         List.iter
           (fun (k, addr, cur) ->

@@ -31,6 +31,8 @@ type kind =
   | Batch_open
   | Batch_commit
   | Recovery_phase
+  | Flit_elide
+  | Flit_dest_flush
 
 let all_kinds =
   [|
@@ -38,6 +40,7 @@ let all_kinds =
     Rdcss_install; Help_edge; Clwb; Flush_elided; Fence; Drain; Epoch_enter;
     Epoch_advance; Epoch_defer; Epoch_free; Palloc_carve; Palloc_steal;
     Desc_alloc; Desc_retire; Batch_open; Batch_commit; Recovery_phase;
+    Flit_elide; Flit_dest_flush;
   |]
 
 let kind_to_int = function
@@ -64,6 +67,8 @@ let kind_to_int = function
   | Batch_open -> 20
   | Batch_commit -> 21
   | Recovery_phase -> 22
+  | Flit_elide -> 23
+  | Flit_dest_flush -> 24
 
 let kind_of_int i =
   if i >= 0 && i < Array.length all_kinds then Some all_kinds.(i) else None
@@ -92,6 +97,8 @@ let kind_name = function
   | Batch_open -> "batch_open"
   | Batch_commit -> "batch_commit"
   | Recovery_phase -> "recovery_phase"
+  | Flit_elide -> "flit_elide"
+  | Flit_dest_flush -> "flit_dest_flush"
 
 let op_mwcas = 0
 let op_sl_insert = 1
@@ -334,6 +341,7 @@ let arg_names = function
   | Rdcss_install -> ("addr", "slot", "helped")
   | Help_edge -> ("owner", "slot", "depth")
   | Clwb | Flush_elided -> ("addr", "line", "")
+  | Flit_elide | Flit_dest_flush -> ("addr", "line", "")
   | Fence -> ("drained", "", "")
   | Drain -> ("line", "", "")
   | Epoch_enter | Epoch_defer -> ("epoch", "", "")

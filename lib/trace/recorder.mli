@@ -37,7 +37,11 @@
     - [Batch_open]: store shard, queued ops, 0
     - [Batch_commit]: store shard, batch size, 0
     - [Recovery_phase]: phase code (0 = begin, 1 = rolled forward,
-      2 = rolled back, 3 = end), argument (base / slot / in-flight), 0 *)
+      2 = rolled back, 3 = end), argument (base / slot / in-flight), 0
+    - [Flit_elide]/[Flit_dest_flush]: address, cache line, 0 — a
+      destination-persist pass that skipped an already-durable granule
+      vs one that issued a real write-back, so Perfetto shows the
+      journey/destination split of the FliT mode *)
 type kind =
   | Op_begin
   | Op_end
@@ -62,6 +66,8 @@ type kind =
   | Batch_open
   | Batch_commit
   | Recovery_phase
+  | Flit_elide
+  | Flit_dest_flush
 
 val kind_name : kind -> string
 val kind_to_int : kind -> int

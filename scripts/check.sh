@@ -18,10 +18,11 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== telemetry smoke (with flush-coalescing + allocator + store gates)"
+echo "== telemetry smoke (with flush-coalescing + allocator + store + flit gates)"
 dune exec bench/main.exe -- smoke --metrics /tmp/telemetry_smoke.json
 dune exec bin/pmwcas_cli.exe -- check-metrics --require-coalescing \
-  --require-alloc-counters --require-store-counters /tmp/telemetry_smoke.json
+  --require-alloc-counters --require-store-counters \
+  --require-flit-counters /tmp/telemetry_smoke.json
 
 echo "== trace smoke (flight recorder + Perfetto export round-trip)"
 dune exec bench/main.exe -- smoke --trace /tmp/trace_smoke.json \
@@ -60,6 +61,18 @@ ls /tmp/check_artifacts/check-smoke-*.json >/dev/null 2>&1 \
   || { echo "FAIL: sabotaged sweep wrote no forensics artifact"; exit 1; }
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 40 \
   --seeds 1 --sabotage-drain
+
+echo "== crash-sweep broken-flit self-test (destination passes load-bearing)"
+# Only the index suites run destination passes, so the gate targets them
+# directly; bank/palloc/dst-pmwcas are raw-word workloads that a flit
+# sabotage cannot corrupt.
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite skiplist --budget 40 \
+  --seeds 1 --broken-flit
+# Budget 6 for the bwtree arm: sabotaged crash images can leave cyclic
+# delta chains whose guarded walks make large sweeps very slow, and the
+# corruption is already detected within the first handful of points.
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bwtree --budget 6 \
+  --seeds 1 --broken-flit
 
 echo "== dst smoke (scheduler + linearizability checker)"
 dune exec bin/pmwcas_cli.exe -- dst --strategy random --seeds 3

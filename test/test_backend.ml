@@ -246,6 +246,7 @@ let hand_protocol =
     line_words = 8;
     max_words = 4;
     async_flush = false;
+    flit = false;
     is_status_addr = (fun _ -> false);
     is_desc_addr = (fun a -> a < 8);
     slot_of_status = Fun.id;

@@ -513,7 +513,10 @@ let selftest_tests =
            interleaving must expose a helper touching a recycled
            descriptor; the same schedule must be clean when retirement
            goes through limbo. *)
-        match Scenarios.recycle_selftest ~seeds:[ 1; 2; 3; 4 ] ~stride:4 () with
+        match
+          Scenarios.recycle_selftest ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8 ]
+            ~stride:4 ()
+        with
         | Ok _token -> ()
         | Error reason -> Alcotest.fail reason);
   ]

@@ -1,0 +1,268 @@
+(* Unit coverage for destination-only persistence: the FliT-style
+   per-granule flush counters ([Mem.flit_write] / [Mem.flit_flush] /
+   [Mem.persisted]), the counter-eliding destination passes
+   ([Pcas.persist_range] / [Pcas.persist_target]), and the trace
+   checker's [flit] mode. *)
+
+module Mem = Nvram.Mem
+module Flags = Nvram.Flags
+module Flit = Nvram.Flit
+module Checker = Nvram.Checker
+module Trace = Nvram.Trace
+module Pcas = Pmwcas.Pcas
+
+let sim ?(line_words = 8) ?flit_gran words =
+  Mem.create (Nvram.Config.make ~line_words ?flit_gran ~words ())
+
+let with_flit on f =
+  let saved = Flit.enabled () in
+  Flit.set_enabled on;
+  Fun.protect ~finally:(fun () -> Flit.set_enabled saved) f
+
+let counter_tests =
+  [
+    Alcotest.test_case "word granularity isolates neighbours" `Quick
+      (fun () ->
+        let m = sim 64 in
+        (* Default granularity: one counter per word. *)
+        Mem.flit_write m 8 42;
+        Alcotest.(check bool) "written word unpersisted" false
+          (Mem.persisted m 8);
+        Alcotest.(check bool) "same-line neighbour untouched" true
+          (Mem.persisted m 9);
+        Alcotest.(check int) "store landed" 42 (Mem.read m 8);
+        Mem.flit_flush m 8;
+        Alcotest.(check bool) "flush settles the counter" true
+          (Mem.persisted m 8);
+        Mem.fence m;
+        Alcotest.(check int) "durable after drain" 42
+          (Mem.read_persistent m 8));
+    Alcotest.test_case "line granularity covers the whole line" `Quick
+      (fun () ->
+        let m = sim ~flit_gran:Nvram.Config.Line 64 in
+        Mem.flit_write m 8 1;
+        Alcotest.(check bool) "written word unpersisted" false
+          (Mem.persisted m 8);
+        Alcotest.(check bool) "same-line word shares the counter" false
+          (Mem.persisted m 15);
+        Alcotest.(check bool) "next line independent" true
+          (Mem.persisted m 16);
+        Mem.flit_flush m 12;
+        (* Any word of the granule settles it. *)
+        Alcotest.(check bool) "line settled" true (Mem.persisted m 8));
+    Alcotest.test_case "counter nests and floors at zero" `Quick (fun () ->
+        let m = sim 64 in
+        Mem.flit_write m 8 1;
+        Mem.flit_write m 8 2;
+        Mem.flit_flush m 8;
+        Alcotest.(check bool) "one of two stores still pending" false
+          (Mem.persisted m 8);
+        Mem.flit_flush m 8;
+        Alcotest.(check bool) "balanced" true (Mem.persisted m 8);
+        (* Extra flushes must not drive the counter negative: the next
+           tracked store still reports unpersisted. *)
+        Mem.flit_flush m 8;
+        Mem.flit_flush m 8;
+        Mem.flit_write m 8 3;
+        Alcotest.(check bool) "floor preserved visibility" false
+          (Mem.persisted m 8);
+        Mem.flit_flush m 8;
+        Alcotest.(check bool) "and it settles again" true
+          (Mem.persisted m 8));
+    Alcotest.test_case "persisted is monotone between tracked stores" `Quick
+      (fun () ->
+        let m = sim 64 in
+        Mem.flit_write m 8 5;
+        Mem.flit_flush m 8;
+        Alcotest.(check bool) "settled" true (Mem.persisted m 8);
+        (* Untracked traffic never resurrects the obligation. *)
+        ignore (Mem.read m 8);
+        Mem.clwb m 8;
+        Mem.fence m;
+        Mem.write m 8 6;
+        Alcotest.(check bool) "plain write invisible to counters" true
+          (Mem.persisted m 8);
+        Mem.flit_write m 8 7;
+        Alcotest.(check bool) "only a tracked store flips it" false
+          (Mem.persisted m 8));
+    Alcotest.test_case "crash image resets the counters" `Quick (fun () ->
+        let m = sim 64 in
+        Mem.flit_write m 8 9;
+        Alcotest.(check bool) "pending before the crash" false
+          (Mem.persisted m 8);
+        let img = Mem.crash_image m in
+        (* Counters are volatile cache metadata: the image's content IS
+           the durable state, so everything starts persisted. *)
+        Alcotest.(check bool) "image starts quiescent" true
+          (Mem.persisted img 8);
+        Alcotest.(check int) "unflushed store lost" 0 (Mem.read img 8));
+    Alcotest.test_case "persist_all settles every counter" `Quick (fun () ->
+        let m = sim 64 in
+        Mem.flit_write m 8 1;
+        Mem.flit_write m 33 2;
+        Mem.persist_all m;
+        Alcotest.(check bool) "w8" true (Mem.persisted m 8);
+        Alcotest.(check bool) "w33" true (Mem.persisted m 33);
+        Alcotest.(check int) "durable" 2 (Mem.read_persistent m 33));
+    Alcotest.test_case "dram reports everything persisted" `Quick (fun () ->
+        let m = Mem.create_dram (Nvram.Config.make ~words:64 ()) in
+        Mem.flit_write m 8 4;
+        Alcotest.(check int) "store landed" 4 (Mem.read m 8);
+        Alcotest.(check bool) "volatile backend: always persisted" true
+          (Mem.persisted m 8);
+        Mem.flit_flush m 8;
+        Alcotest.(check bool) "flush is a no-op" true (Mem.persisted m 8));
+    Alcotest.test_case "racing writer and flusher never lose a store" `Quick
+      (fun () ->
+        let m = sim 64 in
+        let iters = 20_000 in
+        let worker () =
+          for i = 1 to iters do
+            Mem.flit_write m 8 i;
+            Mem.flit_flush m 8
+          done
+        in
+        let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+        Domain.join d1;
+        Domain.join d2;
+        (* Every domain flushes only after its own tracked store, so no
+           decrement can observe a zero counter mid-race and the pairs
+           balance exactly. *)
+        Alcotest.(check bool) "quiescent after join" true
+          (Mem.persisted m 8);
+        Mem.flit_write m 8 0;
+        Alcotest.(check bool) "no negative residue" false
+          (Mem.persisted m 8);
+        Mem.flit_flush m 8;
+        Alcotest.(check bool) "settles" true (Mem.persisted m 8));
+  ]
+
+(* --- destination passes ------------------------------------------------ *)
+
+let delta f =
+  let c0 = Flit.counters () in
+  f ();
+  let c1 = Flit.counters () in
+  ( c1.Flit.elided - c0.Flit.elided,
+    c1.Flit.destination_flushes - c0.Flit.destination_flushes )
+
+let pass_tests =
+  [
+    Alcotest.test_case "persist_range flushes pending lines once" `Quick
+      (fun () ->
+        with_flit true (fun () ->
+            let m = sim 64 in
+            for a = 16 to 20 do
+              Mem.flit_write m a (a * 10)
+            done;
+            let el, fl = delta (fun () -> Pcas.persist_range m ~lo:16 ~hi:20) in
+            Alcotest.(check int) "one line flushed" 1 fl;
+            Alcotest.(check int) "nothing elided yet" 0 el;
+            Mem.fence m;
+            Alcotest.(check int) "durable" 180 (Mem.read_persistent m 18);
+            (* Second pass over the settled range elides outright. *)
+            let el, fl = delta (fun () -> Pcas.persist_range m ~lo:16 ~hi:20) in
+            Alcotest.(check int) "elided" 1 el;
+            Alcotest.(check int) "no second flush" 0 fl));
+    Alcotest.test_case "persist_range spans lines independently" `Quick
+      (fun () ->
+        with_flit true (fun () ->
+            let m = sim 64 in
+            (* Dirty one word in the second of three covered lines. *)
+            Mem.flit_write m 12 7;
+            let el, fl = delta (fun () -> Pcas.persist_range m ~lo:2 ~hi:22) in
+            Alcotest.(check int) "only the pending line flushed" 1 fl;
+            Alcotest.(check int) "clean lines elided" 2 el));
+    Alcotest.test_case "persist_target covers dirty, tracked, and clean"
+      `Quick (fun () ->
+        with_flit true (fun () ->
+            let m = sim 64 in
+            (* Clean + quiescent: elision. *)
+            let el, fl = delta (fun () -> Pcas.persist_target m 8) in
+            Alcotest.(check (pair int int)) "clean word elided" (1, 0)
+              (el, fl);
+            (* Dirty payload: flushed like flush-on-read. *)
+            Mem.write m 8 (Flags.set_dirty 5);
+            let el, fl = delta (fun () -> Pcas.persist_target m 8) in
+            Alcotest.(check (pair int int)) "dirty word flushed" (0, 1)
+              (el, fl);
+            Alcotest.(check int) "dirty bit cleared" 5 (Mem.read m 8);
+            (* Tracked store still in flight: write-back + drain. *)
+            Mem.flit_write m 9 6;
+            let el, fl = delta (fun () -> Pcas.persist_target m 9) in
+            Alcotest.(check (pair int int)) "tracked store flushed" (0, 1)
+              (el, fl);
+            Alcotest.(check bool) "counter settled" true (Mem.persisted m 9)));
+    Alcotest.test_case "sabotage counts but skips the write-back" `Quick
+      (fun () ->
+        with_flit true (fun () ->
+            let m = sim 64 in
+            Mem.flit_write m 8 3;
+            Flit.set_sabotage_skip_destination true;
+            Fun.protect
+              ~finally:(fun () -> Flit.set_sabotage_skip_destination false)
+              (fun () ->
+                let _, fl =
+                  delta (fun () -> Pcas.persist_range m ~lo:8 ~hi:8)
+                in
+                Alcotest.(check int) "flush counted" 1 fl;
+                Mem.fence m;
+                Alcotest.(check int) "but nothing persisted" 0
+                  (Mem.read_persistent m 8))));
+  ]
+
+(* --- checker flit mode ------------------------------------------------- *)
+
+let hand_protocol =
+  {
+    Checker.words = 64;
+    line_words = 8;
+    max_words = 4;
+    async_flush = false;
+    flit = false;
+    is_status_addr = (fun _ -> false);
+    is_desc_addr = (fun a -> a < 8);
+    slot_of_status = Fun.id;
+    count_addr = (fun s -> s + 1);
+    entry_fields = (fun _ _ -> (0, 0, 0));
+    desc_ptr = Fun.id;
+    status_undecided = 1;
+    status_succeeded = 2;
+    status_failed = 3;
+    status_free = 0;
+  }
+
+let checker_tests =
+  [
+    Alcotest.test_case "flit mode waives the flush-before-use rule" `Quick
+      (fun () ->
+        let ev seq op = { Trace.seq; domain = 1; op } in
+        let dirty = Flags.set_dirty 7 in
+        (* A journey read of a dirty word followed by a dependent CAS:
+           the classic protocol demands a write-back in between; the
+           flit protocol does not (the decide-after-persist rule guards
+           the destination words instead). *)
+        let events =
+          [|
+            ev 0 (Trace.Write { addr = 10; value = dirty });
+            ev 1 (Trace.Read { addr = 10; value = dirty });
+            ev 2
+              (Trace.Cas { addr = 12; expected = 0; desired = 5; witnessed = 0 });
+          |]
+        in
+        let strict = Checker.run hand_protocol events in
+        Alcotest.(check int) "strict mode flags it" 1
+          (List.length strict.Checker.violations);
+        let relaxed =
+          Checker.run { hand_protocol with Checker.flit = true } events
+        in
+        Alcotest.(check bool) "flit mode accepts it" true
+          (Checker.ok relaxed));
+  ]
+
+let () =
+  Alcotest.run "flit"
+    [
+      ("counters", counter_tests); ("passes", pass_tests);
+      ("checker", checker_tests);
+    ]
