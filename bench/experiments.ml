@@ -1329,6 +1329,121 @@ let b5 s =
       ]
     (List.rev !rows)
 
+(* B6: the commit-protocol strategy race — [`Paper]'s dirty-bit
+   protocol vs [`NoDirty] (unconditional flushes, no dirty-clear CAS)
+   vs [`FewFence] (one relocated commit fence per op) — across domain
+   counts and both flush models, on the MwCAS microbenchmark and both
+   zipf-keyed persistent indexes. The strategy is baked into the device
+   at creation, so each point sets the process default before building
+   its environment. *)
+let b6 s =
+  section
+    "B6  Commit-protocol strategies: paper vs nodirty vs fewfence \
+     (persistent runs)";
+  let saved_strategy = Nvram.Config.default_strategy () in
+  let saved_flush = !Bench_env.default_flush_mode in
+  let strategies = [ `Paper; `NoDirty; `FewFence ] in
+  let per (r : Runner.result) n =
+    float_of_int n /. float_of_int (max 1 r.ops)
+  in
+  let mwcas_point ~flush_name ~threads strat =
+    let label =
+      Printf.sprintf "b6.mwcas.%s.%s"
+        (Nvram.Config.strategy_name strat)
+        flush_name
+    in
+    let r, _, env =
+      run_mwcas_point ~persistent:true ~label ~threads ~range:1024 ~nwords:4
+        ~seconds:s.seconds ()
+    in
+    (r, Nvram.Stats.snapshot (Mem.stats env.mem))
+  in
+  let sl_point ~flush_name ~threads strat =
+    skiplist_bench
+      ~label:
+        (Printf.sprintf "b6.skiplist.%s.%s"
+           (Nvram.Config.strategy_name strat)
+           flush_name)
+      ~mix_name:"50/50" ~zipf:true s ~mix:Mix.balanced ~threads Sl_persistent
+  in
+  let bt_point ~flush_name ~threads strat =
+    bwtree_bench
+      ~label:
+        (Printf.sprintf "b6.bwtree.%s.%s"
+           (Nvram.Config.strategy_name strat)
+           flush_name)
+      ~mix_name:"50/50" ~zipf:true s ~mix:Mix.balanced ~threads
+      ~persistent:true
+  in
+  let workloads =
+    [ ("mwcas", mwcas_point); ("skiplist", sl_point); ("bwtree", bt_point) ]
+  in
+  let rows = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      Nvram.Config.set_default_strategy saved_strategy;
+      Bench_env.default_flush_mode := saved_flush)
+    (fun () ->
+      List.iter
+        (fun (flush_name, flush_mode) ->
+          Bench_env.default_flush_mode := Some flush_mode;
+          List.iter
+            (fun threads ->
+              List.iter
+                (fun (workload, point) ->
+                  let results =
+                    List.map
+                      (fun strat ->
+                        Nvram.Config.set_default_strategy strat;
+                        Nvram.Strategy.reset_counters ();
+                        let r, (st : Nvram.Stats.snapshot) =
+                          point ~flush_name ~threads strat
+                        in
+                        (strat, r, st, Nvram.Strategy.counters ()))
+                      strategies
+                  in
+                  let paper_tp =
+                    match results with
+                    | (_, (r : Runner.result), _, _) :: _ -> r.throughput
+                    | [] -> 1.
+                  in
+                  List.iter
+                    (fun ( strat,
+                           (r : Runner.result),
+                           (st : Nvram.Stats.snapshot),
+                           (c : Nvram.Strategy.counters) ) ->
+                      rows :=
+                        [
+                          workload;
+                          flush_name;
+                          string_of_int threads;
+                          Nvram.Config.strategy_name strat;
+                          Table.kops r.throughput;
+                          Table.ratio r.throughput paper_tp;
+                          Printf.sprintf "%.1f" (per r st.flushes);
+                          Printf.sprintf "%.2f" (per r st.fences);
+                          Printf.sprintf "%.2f" (per r c.dirty_cas);
+                          Printf.sprintf "%.2f" (per r c.commit_batches);
+                        ]
+                        :: !rows)
+                    results)
+                workloads)
+            s.threads)
+        [ ("sync", Nvram.Config.Sync); ("async", Nvram.Config.Async) ]);
+  Table.print
+    ~title:
+      "three protocol strategies head to head (Kops/s); vs paper = \
+       throughput ratio against the dirty-bit baseline; fl/op, fe/op = \
+       device flushes and fences per timed op; dcas/op = dirty-clear \
+       CASes per timed op (index preload included); batch/op = fewfence \
+       combined commit batches per op"
+    ~header:
+      [
+        "workload"; "flush"; "domains"; "strategy"; "Kops/s"; "vs paper";
+        "fl/op"; "fe/op"; "dcas/op"; "batch/op";
+      ]
+    (List.rev !rows)
+
 (* Telemetry smoke: one tiny point per instrumented subsystem, so a
    [--metrics] run populates every latency histogram (PMwCAS attempt,
    clwb stall, palloc alloc, skip-list op, Bw-tree op) in a couple of
@@ -1381,7 +1496,8 @@ let run_all ~full_scale () =
   b2 s;
   b3 s;
   b4 s;
-  b5 s
+  b5 s;
+  b6 s
 
 let by_name name s =
   match name with
@@ -1402,5 +1518,6 @@ let by_name name s =
   | "b3" | "pool" -> b3 s
   | "b4" | "store" -> b4 s
   | "b5" | "flit" -> b5 s
+  | "b6" | "strategy" -> b6 s
   | "smoke" -> smoke s
   | _ -> Printf.printf "unknown experiment %s\n" name

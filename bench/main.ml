@@ -1,9 +1,9 @@
 (* Entry point: regenerate the paper's tables and figures.
 
-   usage: bench/main.exe [all|e1|..|e10|b1|..|b5|smoke|bechamel] [--full]
+   usage: bench/main.exe [all|e1|..|e10|b1|..|b6|smoke|bechamel] [--full]
                          [--backend sim|dram] [--flush sync|async]
-                         [--flit on|off] [--metrics FILE] [--trace FILE]
-                         [--trace-shift N]
+                         [--flit on|off] [--strategy paper|nodirty|fewfence]
+                         [--metrics FILE] [--trace FILE] [--trace-shift N]
 
    With no argument, runs every experiment at the quick scale.
    [--backend] picks the memory backend for volatile runs (default dram;
@@ -12,6 +12,8 @@
    that does not pin one itself (default async; b2 compares both).
    [--flit] turns destination-only persistence on or off globally
    (default on; b5 compares both regardless of this switch).
+   [--strategy] picks the default commit-protocol strategy for every
+   persistent run (default paper; b6 races all three regardless).
    [--metrics FILE] enables telemetry and writes a JSON report — the
    registry snapshot (per-phase times, latency histograms, epoch
    counters) plus one row per measured point — to FILE at the end.
@@ -50,6 +52,14 @@ let () =
         | "off" -> Nvram.Flit.set_enabled false
         | _ ->
             Printf.eprintf "unknown flit mode %S (expected on or off)\n" m;
+            exit 2);
+        strip rest
+    | "--strategy" :: s :: rest ->
+        (match Nvram.Config.strategy_of_string s with
+        | Some s -> Nvram.Config.set_default_strategy s
+        | None ->
+            Printf.eprintf
+              "unknown strategy %S (expected paper, nodirty or fewfence)\n" s;
             exit 2);
         strip rest
     | "--metrics" :: path :: rest ->
@@ -103,7 +113,9 @@ let () =
     Telemetry.register_source ~kind:`Counter "store.counters" (fun () ->
         Store.counters_to_json ());
     Telemetry.register_source ~kind:`Counter "flit.counters" (fun () ->
-        Nvram.Flit.counters_to_json ())
+        Nvram.Flit.counters_to_json ());
+    Telemetry.register_source ~kind:`Counter "strategy.counters" (fun () ->
+        Nvram.Strategy.counters_to_json ())
   end;
   let scale =
     if full_scale then Experiments_lib.Experiments.full else Experiments_lib.Experiments.quick

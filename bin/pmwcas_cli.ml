@@ -241,11 +241,21 @@ let telemetry_setup () =
   Telemetry.register_source ~kind:`Counter "epoch" (fun () ->
       Epoch.counters_to_json (Epoch.counters ()));
   Telemetry.register_source ~kind:`Counter "store.counters" (fun () ->
-      Store.counters_to_json ())
+      Store.counters_to_json ());
+  Telemetry.register_source ~kind:`Counter "strategy.counters" (fun () ->
+      Nvram.Strategy.counters_to_json ())
+
+let set_strategy name =
+  match Nvram.Config.strategy_of_string name with
+  | Some s -> Nvram.Config.set_default_strategy s
+  | None ->
+      Printf.eprintf "unknown strategy %S (try paper|nodirty|fewfence)\n" name;
+      exit 2
 
 (* --- stats: run a mixed workload, dump the registry snapshot ----------- *)
 
-let stats domains seconds format out =
+let stats strategy domains seconds format out =
+  set_strategy strategy;
   telemetry_setup ();
   (* One simulated device hosting every subsystem: descriptor pool, heap,
      both indexes, and a raw array for plain PMwCAS ops. Each worker
@@ -356,7 +366,8 @@ let stats domains seconds format out =
 (* --- check-metrics: validate a --metrics report against the schema ----- *)
 
 let check_metrics require_coalescing require_alloc_counters
-    require_store_counters require_flit_counters file =
+    require_store_counters require_flit_counters require_strategy_counters
+    file =
   let ic = open_in_bin file in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -489,6 +500,43 @@ let check_metrics require_coalescing require_alloc_counters
               | None -> false)
               ("registry.flit.counters." ^ f ^ " zero (mode not exercised)"))
           [ "elided"; "destination_flushes" ]
+      end;
+      if require_strategy_counters then begin
+        (* The per-strategy instrumentation must be live end to end: the
+           strategy counter source exported, naming the strategy the run
+           used, with the counter profile that strategy promises —
+           [paper] clears dirty bits with CASes, [nodirty] never does,
+           [fewfence] retires every operation through a commit batch. *)
+        List.iter
+          (fun f ->
+            check
+              (has [ "registry"; "strategy"; "counters"; f ])
+              ("registry.strategy.counters." ^ f ^ " missing"))
+          [ "strategy"; "dirty_cas"; "commit_batches" ];
+        let dirty_cas =
+          int_at [ "registry"; "strategy"; "counters"; "dirty_cas" ]
+        and batches =
+          int_at [ "registry"; "strategy"; "counters"; "commit_batches" ]
+        in
+        match V.find_path v [ "registry"; "strategy"; "counters"; "strategy" ]
+        with
+        | Some (V.String "paper") ->
+            check
+              (match dirty_cas with Some n -> n > 0 | None -> false)
+              "registry.strategy.counters.dirty_cas zero under paper \
+               (dirty-clear CASes not instrumented)"
+        | Some (V.String "nodirty") ->
+            check (dirty_cas = Some 0)
+              "registry.strategy.counters.dirty_cas nonzero under nodirty \
+               (dirty-bit machinery not eliminated)"
+        | Some (V.String "fewfence") ->
+            check
+              (match batches with Some n -> n > 0 | None -> false)
+              "registry.strategy.counters.commit_batches zero under fewfence \
+               (no operation retired through a commit batch)"
+        | Some (V.String s) ->
+            check false ("registry.strategy.counters.strategy unknown: " ^ s)
+        | _ -> ()
       end;
       (match V.find_path v [ "rows" ] with
       | Some (V.List []) -> check false "rows empty"
@@ -655,10 +703,16 @@ let check_trace_file require_help_edge file =
 
 (* --- crash-sweep: exhaustive crash-point sweep over the suites -------- *)
 
-let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
-    broken_flit metrics artifacts run_id =
+let crash_sweep suite budget evict seeds domains trace strategy_name sabotage
+    sabotage_drain broken_flit broken_nodirty broken_fewfence metrics
+    artifacts run_id =
   Option.iter Flight.set_run_id run_id;
   Option.iter (fun _ -> telemetry_setup ()) metrics;
+  set_strategy strategy_name;
+  (* The strategy self-tests break an obligation only their own variant
+     carries, so they force that variant regardless of --strategy. *)
+  if broken_nodirty then Nvram.Config.set_default_strategy `NoDirty;
+  if broken_fewfence then Nvram.Config.set_default_strategy `FewFence;
   let module Cs = Harness.Crash_sweep in
   let suites =
     if suite = "all" then
@@ -720,13 +774,14 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
             seconds = 0.;
           }
   in
-  if sabotage_drain then
-    (* Self-test for the async pipeline: with fences no longer draining,
-       nothing clwb'd ever reaches NVM, so every persistent suite must
-       fail — typically at calibration, whose baseline image can no
-       longer recover. Exit 0 iff every suite notices. *)
+  (* Shared shape of the catastrophic sabotage self-tests: under the
+     wrapper something the protocol's durability relies on wholesale
+     never happens, so every persistent suite must fail — typically at
+     calibration, whose baseline image can no longer recover. Exit 0
+     iff every suite notices. *)
+  let every_suite_selftest ~wrapper ~what ~ok_msg ~fail_msg =
     let verdicts =
-      Cs.with_sabotaged_drain (fun () ->
+      wrapper (fun () ->
           List.map
             (fun (s : Cs.spec) ->
               match sweep_one s with
@@ -747,6 +802,7 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
           V.Obj
             [
               ("run_id", V.String (Flight.run_id ()));
+              ("selftest", V.String what);
               ("registry", Telemetry.snapshot ());
               ( "verdicts",
                 V.List
@@ -765,50 +821,44 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
         Printf.printf "wrote metrics to %s\n%!" path)
       metrics;
     if all_detected then begin
-      Printf.printf
-        "drain-sabotage self-test: every suite noticed the dropped fences\n";
+      Printf.printf "%s\n" ok_msg;
       0
     end
     else begin
-      Printf.printf
+      Printf.printf "%s\n" fail_msg;
+      1
+    end
+  in
+  if sabotage_drain then
+    (* With fences no longer draining, nothing clwb'd ever reaches NVM. *)
+    every_suite_selftest ~wrapper:Cs.with_sabotaged_drain ~what:"drain"
+      ~ok_msg:
+        "drain-sabotage self-test: every suite noticed the dropped fences"
+      ~fail_msg:
         "drain-sabotage self-test: some suite swept clean without durable \
-         writes — its fences are not load-bearing\n";
-      1
-    end
+         writes — its fences are not load-bearing"
   else if broken_flit then
-    (* Self-test for destination-only persistence: with the destination
-       write-backs skipped, fresh node bodies reach NVM only via the
-       eviction lottery, so every persistent suite must fail — typically
-       at calibration, whose baseline image holds garbage where the
-       index expects durable nodes. Exit 0 iff every suite notices. *)
-    let verdicts =
-      Cs.with_sabotaged_flit (fun () ->
-          List.map
-            (fun (s : Cs.spec) ->
-              match sweep_one s with
-              | sum -> (s.name, sum.Cs.failures <> [], "sweep failures")
-              | exception Failure m -> (s.name, true, m))
-            suites)
-    in
-    let all_detected = List.for_all (fun (_, d, _) -> d) verdicts in
-    List.iter
-      (fun (name, d, why) ->
-        Printf.printf "%-9s %s (%s)\n" name
-          (if d then "detected" else "NOT DETECTED")
-          why)
-      verdicts;
-    if all_detected then begin
-      Printf.printf
+    (* With the destination write-backs skipped, fresh node bodies reach
+       NVM only via the eviction lottery. *)
+    every_suite_selftest ~wrapper:Cs.with_sabotaged_flit ~what:"flit"
+      ~ok_msg:
         "flit-sabotage self-test: every suite noticed the skipped \
-         destination flushes\n";
-      0
-    end
-    else begin
-      Printf.printf
+         destination flushes"
+      ~fail_msg:
         "flit-sabotage self-test: some suite swept clean without \
-         destination flushes — its destination passes are not load-bearing\n";
-      1
-    end
+         destination flushes — its destination passes are not load-bearing"
+  else if broken_nodirty then
+    (* Under [`NoDirty] the unconditional flushes ARE the persistence
+       protocol — skipping them leaves pointers, statuses and finals
+       volatile, with no dirty bits left to flag them. *)
+    every_suite_selftest ~wrapper:Cs.with_sabotaged_nodirty ~what:"nodirty"
+      ~ok_msg:
+        "nodirty-sabotage self-test: every suite noticed the skipped \
+         unconditional flushes"
+      ~fail_msg:
+        "nodirty-sabotage self-test: some suite swept clean without the \
+         unconditional flushes — the nodirty strategy's flushes are not \
+         load-bearing"
   else
   (* Forensics: re-execute the first few failures per suite at their
      shrunk repro points under a wide-open flight recorder, and leave an
@@ -839,11 +889,20 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
         summaries
   in
   let summaries =
-    (* Under --sabotage a raised calibration IS part of the self-test
-       surface, so keep the raw sweep there; the normal path degrades a
-       raising suite to a synthetic failure and exits 1. *)
+    (* Under --sabotage / --broken-fewfence a raised calibration IS part
+       of the self-test surface, so keep the raw sweep there; the normal
+       path degrades a raising suite to a synthetic failure and exits
+       1. --broken-fewfence shares this narrow-window shape rather than
+       the every-suite one: the dropped commit fence only loses data in
+       the ack-to-next-fence window, which the point sweep must find and
+       shrink rather than the calibration trip over. *)
     if sabotage then
       Cs.with_sabotaged_precommit (fun () ->
+          let ss = List.map sweep_one suites in
+          forensics ss;
+          ss)
+    else if broken_fewfence then
+      Cs.with_sabotaged_fewfence (fun () ->
           let ss = List.map sweep_one suites in
           forensics ss;
           ss)
@@ -917,9 +976,12 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
     List.fold_left (fun n (s : Cs.summary) -> n + s.points) 0 summaries
   in
   let failed = List.exists (fun (s : Cs.summary) -> s.failures <> []) summaries in
-  if sabotage then
-    (* Self-test: the sweeper must catch the dropped precommit flush and
+  if sabotage || broken_fewfence then
+    (* Self-test: the sweeper must catch the dropped flush/fence and
        shrink at least one failure to a concrete repro. *)
+    let what =
+      if sabotage then "sabotage" else "fewfence-sabotage"
+    in
     let detected =
       List.exists
         (fun (s : Cs.summary) ->
@@ -928,15 +990,15 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
     in
     if detected then begin
       Printf.printf
-        "sabotage self-test: violation detected and shrunk (%d points)\n"
+        "%s self-test: violation detected and shrunk (%d points)\n" what
         total_points;
       0
     end
     else begin
       Printf.printf
-        "sabotage self-test: NO violation detected across %d points — the \
+        "%s self-test: NO violation detected across %d points — the \
          sweeper is not sensitive enough\n"
-        total_points;
+        what total_points;
       1
     end
   else if failed then 1
@@ -948,19 +1010,35 @@ let crash_sweep suite budget evict seeds domains trace sabotage sabotage_drain
 
 (* --- dst: deterministic-interleaving scheduler + linearizability ------- *)
 
-let dst scenario_name strategy threads ops width addrs keys shards seeds
-    preemptions max_runs changes hunt broken broken_recycle sabotage
-    sabotage_recycle replay artifacts run_id =
+let dst scenario_name strategy protocol threads ops width addrs keys shards
+    seeds preemptions max_runs changes hunt broken broken_recycle
+    broken_nodirty broken_fewfence sabotage sabotage_recycle sabotage_nodirty
+    sabotage_fewfence replay artifacts run_id =
   Option.iter Flight.set_run_id run_id;
+  (* --protocol, not --strategy: the latter already names the schedule
+     strategy here. The strategy self-tests force their own variant. *)
+  set_strategy protocol;
   let module S = Dst.Scenarios in
   let module Sc = Dst.Sched in
   let module L = Dst.Linearize in
   let pp_verdict v = Format.asprintf "%a" L.pp_verdict v in
   if sabotage then Op.set_sabotage_skip_precommit_flush true;
   if sabotage_recycle then Pool.set_sabotage_immediate_recycle true;
+  (* The strategy sabotage knobs only bite under their own variant, so
+     arming one forces the matching protocol (mirroring the hunts). *)
+  if sabotage_nodirty then begin
+    Nvram.Config.set_default_strategy `NoDirty;
+    Nvram.Strategy.set_sabotage_skip_nodirty_flush true
+  end;
+  if sabotage_fewfence then begin
+    Nvram.Config.set_default_strategy `FewFence;
+    Nvram.Strategy.set_sabotage_skip_commit_fence true
+  end;
   Fun.protect ~finally:(fun () ->
       Op.set_sabotage_skip_precommit_flush false;
-      Pool.set_sabotage_immediate_recycle false)
+      Pool.set_sabotage_immediate_recycle false;
+      Nvram.Strategy.set_sabotage_skip_nodirty_flush false;
+      Nvram.Strategy.set_sabotage_skip_commit_fence false)
   @@ fun () ->
   if broken then (
     match S.broken_helper_selftest ~log:print_endline () with
@@ -983,6 +1061,28 @@ let dst scenario_name strategy threads ops width addrs keys shards seeds
         0
     | Error m ->
         Printf.printf "broken-recycle self-test FAILED: %s\n" m;
+        1)
+  else if broken_nodirty then (
+    match S.broken_nodirty_selftest ~log:print_endline () with
+    | Ok token ->
+        Printf.printf
+          "broken-nodirty self-test: violation caught, shrunk and replayed\n\
+           token: %s\n"
+          token;
+        0
+    | Error m ->
+        Printf.printf "broken-nodirty self-test FAILED: %s\n" m;
+        1)
+  else if broken_fewfence then (
+    match S.broken_fewfence_selftest ~log:print_endline () with
+    | Ok token ->
+        Printf.printf
+          "broken-fewfence self-test: violation caught, shrunk and replayed\n\
+           token: %s\n"
+          token;
+        0
+    | Error m ->
+        Printf.printf "broken-fewfence self-test FAILED: %s\n" m;
         1)
   else
     let scenario =
@@ -1374,6 +1474,36 @@ let broken_flit_t =
            bodies never durably reach NVM. Every suite must fail (exit 0 \
            iff all do).")
 
+let strategy_t =
+  Arg.(
+    value & opt string "paper"
+    & info [ "strategy" ]
+        ~doc:
+          "Commit-protocol strategy: paper (the paper's dirty-bit \
+           protocol), nodirty (unconditional flushes, no dirty bits) or \
+           fewfence (reduced-fence commit ordering).")
+
+let broken_nodirty_t =
+  Arg.(
+    value & flag
+    & info [ "broken-nodirty" ]
+        ~doc:
+          "Self-test for the nodirty strategy (forces --strategy nodirty): \
+           writers skip the unconditional flushes that replace the \
+           dirty-bit machinery, so nothing the protocol installs durably \
+           reaches NVM. Every suite must fail (exit 0 iff all do).")
+
+let broken_fewfence_t =
+  Arg.(
+    value & flag
+    & info [ "broken-fewfence" ]
+        ~doc:
+          "Self-test for the fewfence strategy (forces --strategy \
+           fewfence): the relocated commit fence is dropped, leaving \
+           acknowledged operations pending until some unrelated fence \
+           drains them. The sweep must detect and shrink the resulting \
+           lost-ack window (exit 0 iff it does).")
+
 let sweep_evict_t =
   Arg.(
     value & opt float 0.25
@@ -1417,8 +1547,9 @@ let crash_sweep_cmd =
           durable-prefix semantics.")
     Term.(
       const crash_sweep $ suite_t $ budget_t $ sweep_evict_t $ seeds_t
-      $ domains_t $ sweep_trace_t $ sabotage_t $ sabotage_drain_t
-      $ broken_flit_t $ sweep_metrics_t $ artifacts_t $ run_id_t)
+      $ domains_t $ sweep_trace_t $ strategy_t $ sabotage_t $ sabotage_drain_t
+      $ broken_flit_t $ broken_nodirty_t $ broken_fewfence_t $ sweep_metrics_t
+      $ artifacts_t $ run_id_t)
 
 let stats_domains_t =
   Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker domains.")
@@ -1447,7 +1578,9 @@ let stats_cmd =
           simulated device) with telemetry enabled and dump the full \
           registry snapshot: per-phase times, latency histograms, epoch \
           counters.")
-    Term.(const stats $ stats_domains_t $ stats_seconds_t $ format_t $ out_t)
+    Term.(
+      const stats $ strategy_t $ stats_domains_t $ stats_seconds_t $ format_t
+      $ out_t)
 
 let file_t =
   Arg.(
@@ -1485,6 +1618,13 @@ let dst_strategy_t =
   Arg.(
     value & opt string "random"
     & info [ "strategy" ] ~doc:"Schedule strategy: random, pct or exhaustive.")
+
+let dst_protocol_t =
+  (* --strategy is taken by the schedule strategy above. *)
+  Arg.(
+    value & opt string "paper"
+    & info [ "protocol" ]
+        ~doc:"Commit-protocol strategy: paper, nodirty or fewfence.")
 
 let dst_threads_t =
   Arg.(
@@ -1577,6 +1717,22 @@ let dst_sabotage_recycle_t =
           "Run with the immediate-recycle sabotage enabled (to replay \
            broken-recycle tokens).")
 
+let dst_sabotage_nodirty_t =
+  Arg.(
+    value & flag
+    & info [ "sabotage-nodirty" ]
+        ~doc:
+          "Run under the nodirty strategy with its unconditional flushes \
+           sabotaged (to replay broken-nodirty tokens).")
+
+let dst_sabotage_fewfence_t =
+  Arg.(
+    value & flag
+    & info [ "sabotage-fewfence" ]
+        ~doc:
+          "Run under the fewfence strategy with the relocated commit fence \
+           sabotaged (to replay broken-fewfence tokens).")
+
 let replay_t =
   Arg.(
     value
@@ -1592,10 +1748,12 @@ let dst_cmd =
           stack: random/PCT/exhaustive schedules, scheduled-crash hunts, \
           durable-linearizability checking, replayable failure tokens.")
     Term.(
-      const dst $ dst_scenario_t $ dst_strategy_t $ dst_threads_t $ dst_ops_t
-      $ dst_width_t $ dst_addrs_t $ dst_keys_t $ dst_shards_t $ dst_seeds_t
-      $ preemptions_t $ max_runs_t $ changes_t $ hunt_t $ broken_helper_t
-      $ broken_recycle_t $ dst_sabotage_t $ dst_sabotage_recycle_t $ replay_t
+      const dst $ dst_scenario_t $ dst_strategy_t $ dst_protocol_t
+      $ dst_threads_t $ dst_ops_t $ dst_width_t $ dst_addrs_t $ dst_keys_t
+      $ dst_shards_t $ dst_seeds_t $ preemptions_t $ max_runs_t $ changes_t
+      $ hunt_t $ broken_helper_t $ broken_recycle_t $ broken_nodirty_t
+      $ broken_fewfence_t $ dst_sabotage_t $ dst_sabotage_recycle_t
+      $ dst_sabotage_nodirty_t $ dst_sabotage_fewfence_t $ replay_t
       $ artifacts_t $ run_id_t)
 
 let require_store_counters_t =
@@ -1619,6 +1777,17 @@ let require_flit_counters_t =
            instrumentation: the registry's flit counter source with both \
            elided and destination_flushes > 0.")
 
+let require_strategy_counters_t =
+  Arg.(
+    value & flag
+    & info
+        [ "require-strategy-counters" ]
+        ~doc:
+          "Additionally demand the commit-protocol strategy \
+           instrumentation: the registry's strategy counter source naming \
+           the strategy, with dirty_cas > 0 under paper, dirty_cas = 0 \
+           under nodirty and commit_batches > 0 under fewfence.")
+
 let check_metrics_cmd =
   Cmd.v
     (Cmd.info "check-metrics"
@@ -1628,7 +1797,8 @@ let check_metrics_cmd =
           per-experiment rows.")
     Term.(
       const check_metrics $ require_coalescing_t $ require_alloc_counters_t
-      $ require_store_counters_t $ require_flit_counters_t $ file_t)
+      $ require_store_counters_t $ require_flit_counters_t
+      $ require_strategy_counters_t $ file_t)
 
 let soak_shards_t =
   Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Store shards.")

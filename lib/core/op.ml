@@ -21,11 +21,17 @@ let sabotage_precommit = Atomic.make false
 let set_sabotage_skip_precommit_flush b = Atomic.set sabotage_precommit b
 let sabotaging_skip_precommit_flush () = Atomic.get sabotage_precommit
 
-(* Descriptor-pointer words, with the dirty bit elided in volatile mode. *)
+(* Descriptor-pointer words, with the dirty bit elided in volatile mode
+   — and under [`NoDirty], where every protocol store is installed
+   clean and flushed unconditionally instead of carrying the bit. *)
 let desc_clean slot = slot lor Flags.mwcas
 
 let desc_word t slot =
-  if Pool.persistent t then Layout.desc_ptr slot else desc_clean slot
+  if not (Pool.persistent t) then desc_clean slot
+  else
+    match Pcas.strategy (Pool.mem t) with
+    | `NoDirty -> desc_clean slot
+    | `Paper | `FewFence -> Layout.desc_ptr slot
 
 let entry_fields t ~slot ~k =
   let mem = Pool.mem t in
@@ -113,7 +119,7 @@ let install_rdcss t ~slot ~k ~addr ~old_v =
       && Flags.is_dirty witnessed
       && Flags.clear_dirty witnessed = old_v
     then
-      if Nvram.Flit.enabled () then begin
+      if Nvram.Flit.enabled () && Pcas.strategy mem = `Paper then begin
         (* The word holds the expected value, merely unflushed — a
            deferred final of a durably-decided op. Claim it in place:
            this descriptor was sealed with [old_v] as the expected
@@ -130,7 +136,10 @@ let install_rdcss t ~slot ~k ~addr ~old_v =
       end
       else begin
         (* The word holds the expected value, merely unflushed: persist
-           it and claim it, rather than failing spuriously. *)
+           it and claim it, rather than failing spuriously. Under
+           [`FewFence] this is also why claim-in-place is off: the dirty
+           final may belong to an op whose decision is only clwb'd, and
+           this persist's fence drains that status line with it. *)
         Pcas.persist mem addr witnessed;
         go (attempt + 1)
       end
@@ -211,39 +220,72 @@ let rec help_at t ~depth ~slot =
    with Phase1_failed -> ());
   (* Precommit: persist the installed pointers, then durably decide. The
      decision must not become visible before every Phase 1 write is
-     durable, or recovery could roll forward over unpersisted state. *)
+     durable, or recovery could roll forward over unpersisted state.
+     Every strategy keeps this fence — a single fence covering pointers
+     and status together would let the eviction lottery persist a
+     Succeeded status whose pointers never reached NVM. *)
+  let strat = if persistent then Pcas.strategy mem else `Paper in
   Stats.set_phase stats Stats.Precommit;
   if
     persistent
     && !st = Layout.status_succeeded
-    && not (Atomic.get sabotage_precommit)
+    && (not (Atomic.get sabotage_precommit))
+    && not
+         (strat = `NoDirty && Nvram.Strategy.sabotage_skip_nodirty_flush ())
   then
     (* Batched: clwb every installed pointer (entries sharing a line
        coalesce in the device), then one drain-fence for the whole
-       phase. *)
+       phase. Under [`NoDirty] the pointers are clean, so the batch is
+       exactly the unconditional flush: clwbs + fence, no dirty-clear
+       CAS traffic. *)
     Pcas.persist_batch mem
       (Array.fold_right
          (fun k acc ->
            let addr, _, _ = entry_fields t ~slot ~k in
-           (addr, Layout.desc_ptr slot) :: acc)
+           (addr, desc_word t slot) :: acc)
          order []);
   Stats.set_phase stats Stats.Decide;
   let status_a = Layout.status_addr slot in
-  let decided = if persistent then Flags.set_dirty !st else !st in
+  let decided =
+    if persistent && strat <> `NoDirty then Flags.set_dirty !st else !st
+  in
   ignore (Mem.cas mem status_a ~expected:Layout.status_undecided ~desired:decided);
   if persistent then begin
-    let s = Mem.read mem status_a in
-    (* A succeeding decision must be durable before Phase 2 installs any
-       final value — that is what lets journey reads return dirty finals
-       unflushed. A failed decision orders nothing: its rollback values
-       are recoverable from the sealed descriptor whether the status
-       reads Undecided or Failed, so destination-only persistence defers
-       that flush to [Pool.finalize_slot]'s recycle drain. *)
-    if
-      Flags.is_dirty s
-      && ((not (Nvram.Flit.enabled ()))
-         || Flags.clear_dirty s = Layout.status_succeeded)
-    then Pcas.persist mem status_a s
+    match strat with
+    | `Paper ->
+        let s = Mem.read mem status_a in
+        (* A succeeding decision must be durable before Phase 2 installs
+           any final value — that is what lets journey reads return
+           dirty finals unflushed. A failed decision orders nothing: its
+           rollback values are recoverable from the sealed descriptor
+           whether the status reads Undecided or Failed, so
+           destination-only persistence defers that flush to
+           [Pool.finalize_slot]'s recycle drain. *)
+        if
+          Flags.is_dirty s
+          && ((not (Nvram.Flit.enabled ()))
+             || Flags.clear_dirty s = Layout.status_succeeded)
+        then Pcas.persist mem status_a s
+    | `NoDirty ->
+        (* The clean decision must still be durable before Phase 2: a
+           clean final is indistinguishable from a durable one, so a
+           reader could otherwise build on a value that recovery rolls
+           back. Both outcomes persist — with no dirty bit,
+           [finalize_slot] could not tell a deferred Failed status from
+           a settled one. *)
+        if not (Nvram.Strategy.sabotage_skip_nodirty_flush ()) then begin
+          Mem.clwb mem status_a;
+          Mem.fence mem
+        end
+    | `FewFence ->
+        (* Reduced-fence commit: only enqueue the status write-back
+           here. The single fence of the phase-2 commit batch below
+           drains it together with the finals — and because the clwb
+           precedes every phase-2 install, any fence another thread
+           issues after observing a dirty final (flush-on-read,
+           [read_weak]'s persist) drains this status with it. *)
+        let s = Mem.read mem status_a in
+        if Flags.is_dirty s then Mem.clwb mem status_a
   end;
   let final = Flags.clear_dirty (Mem.read mem status_a) in
   let succeeded = final = Layout.status_succeeded in
@@ -258,7 +300,9 @@ let rec help_at t ~depth ~slot =
     (fun k ->
       let addr, old_v, new_v = entry_fields t ~slot ~k in
       let v = if succeeded then new_v else old_v in
-      let v_inst = if persistent then Flags.set_dirty v else v in
+      let v_inst =
+        if persistent && strat <> `NoDirty then Flags.set_dirty v else v
+      in
       let witnessed = Mem.cas mem addr ~expected:expected_dirty ~desired:v_inst in
       let witnessed =
         if persistent && witnessed = expected_clean then
@@ -271,20 +315,47 @@ let rec help_at t ~depth ~slot =
         && (witnessed = expected_dirty || witnessed = expected_clean)
       then won := (addr, v_inst) :: !won)
     order;
-  if persistent then begin
-    if Nvram.Flit.enabled () then
-      (* Destination-only persistence: leave the finals dirty. The
-         decision is already durable, so recovery rolls them forward;
-         readers strip the bit ([read_weak]) or flush on demand
-         ([read]); the next op to claim such a word seals it as its
-         expected value; and [Pool.finalize_slot] settles whatever is
-         still owed before the slot recycles. *)
-      let lw = (Mem.config mem).line_words in
-      List.iter
-        (fun (addr, _) -> Nvram.Flit.record_elided ~addr ~line:(addr / lw))
-        !won
-    else Pcas.persist_batch mem !won
-  end;
+  (if persistent then
+     match strat with
+     | `Paper ->
+         if Nvram.Flit.enabled () then
+           (* Destination-only persistence: leave the finals dirty. The
+              decision is already durable, so recovery rolls them
+              forward; readers strip the bit ([read_weak]) or flush on
+              demand ([read]); the next op to claim such a word seals it
+              as its expected value; and [Pool.finalize_slot] settles
+              whatever is still owed before the slot recycles. *)
+           let lw = (Mem.config mem).line_words in
+           List.iter
+             (fun (addr, _) -> Nvram.Flit.record_elided ~addr ~line:(addr / lw))
+             !won
+         else Pcas.persist_batch mem !won
+     | `NoDirty ->
+         (* Finals are clean but deliberately unflushed: the decision is
+            already durable, so recovery rolls them forward, and
+            [Pool.finalize_slot] settles by value match (current word
+            still equals the final) before the slot recycles. *)
+         if Nvram.Flit.enabled () then
+           let lw = (Mem.config mem).line_words in
+           List.iter
+             (fun (addr, _) -> Nvram.Flit.record_elided ~addr ~line:(addr / lw))
+             !won
+     | `FewFence ->
+         (* The relocated commit point: one batch — status plus the
+            finals this thread won — one fence, then the dirty bits
+            fall. If the status was already cleared, whoever cleared it
+            fenced first, so its durability is covered. *)
+         let s = Mem.read mem status_a in
+         let batch =
+           if Flags.is_dirty s then (status_a, s) :: !won else !won
+         in
+         if batch <> [] then begin
+           Nvram.Strategy.record_commit_batch ~slot
+             ~words:(List.length batch);
+           Pcas.persist_batch
+             ~fence:(not (Nvram.Strategy.sabotage_skip_commit_fence ()))
+             mem batch
+         end);
   Stats.set_phase stats prev_phase;
   if Flight.tracing () then
     Flight.emit
@@ -344,6 +415,15 @@ let rec read_weak t a =
     read_weak t a
   end
   else begin
+    (* Under [`FewFence] a dirty value may be a phase-2 final of an op
+       whose decision is only clwb'd, not yet drained — stripping it
+       unflushed would let this traversal build on a value recovery can
+       still roll back. Persist instead: the fence drains the pending
+       status clwb along with the value. *)
+    if
+      Flags.is_dirty v && Pool.persistent t
+      && Pcas.strategy mem = `FewFence
+    then Pcas.persist mem a v;
     let v = Flags.clear_dirty v in
     if Flags.is_mwcas v then begin
       Metrics.record_desc_help (Pool.metrics t);

@@ -1,15 +1,29 @@
 module Mem = Nvram.Mem
 module Flags = Nvram.Flags
 
+(* The commit-protocol strategy is a property of the device: every pool,
+   helper and recovery pass attached to the same memory must agree on
+   it, so it rides [Mem.config] rather than a process global. *)
+let strategy mem : Nvram.Config.strategy = (Mem.config mem).strategy
+
+(* Dirty-clear CAS after a drain — the per-word protocol cost the
+   [`NoDirty] strategy eliminates. Counted so the b6 bench and the
+   [strategy.counters] metrics gate can show the reduction. *)
+let clear_dirty_cas mem a v =
+  ignore (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v));
+  Nvram.Strategy.record_dirty_cas ~addr:a
+    ~line:(a / (Mem.config mem).line_words)
+
 (* clwb + fence: under the async write-back model the line is only
    durable once the fence drains it, and the dirty bit must not be
    cleared before that — a reader of the cleared value would skip its
-   own flush of a line that never reached the NVM image. *)
+   own flush of a line that never reached the NVM image. Under
+   [`NoDirty] values are installed clean, so the CAS never fires and
+   this degenerates to the unconditional clwb + fence. *)
 let persist mem a v =
   Mem.clwb mem a;
   Mem.fence mem;
-  if Flags.is_dirty v then
-    ignore (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v))
+  if Flags.is_dirty v then clear_dirty_cas mem a v
 
 (* Phase-batched variant: clwb every distinct cache line once, one
    fence drains all of them, then the dirty bits fall. Group commit
@@ -17,11 +31,17 @@ let persist mem a v =
    line must only be flushed (and charged) once, and a duplicated
    address gets one dirty-clear CAS against its last-listed value —
    earlier stale expectations would just burn CAS fuel. An empty batch
-   emits nothing, in particular no fence. *)
-let persist_batch mem words =
+   emits nothing, in particular no fence. [fence:false] is the
+   [--broken-fewfence] sabotage shape: write-backs enqueued and dirty
+   bits cleared with nothing draining the lines — never pass it outside
+   the self-tests. *)
+let persist_batch ?(fence = true) mem words =
   match words with
   | [] -> ()
-  | [ (a, v) ] -> persist mem a v
+  | [ (a, v) ] ->
+      Mem.clwb mem a;
+      if fence then Mem.fence mem;
+      if Flags.is_dirty v then clear_dirty_cas mem a v
   | _ ->
       let line_words = (Mem.config mem).line_words in
       let lines = Hashtbl.create 8 in
@@ -33,7 +53,7 @@ let persist_batch mem words =
             Mem.clwb mem a
           end)
         words;
-      Mem.fence mem;
+      if fence then Mem.fence mem;
       (* First-occurrence order, last-listed value: keeps the device-op
          sequence deterministic (DST replays depend on it). *)
       let last = Hashtbl.create 8 in
@@ -44,9 +64,7 @@ let persist_batch mem words =
           | None -> ()
           | Some v ->
               Hashtbl.remove last a;
-              if Flags.is_dirty v then
-                ignore
-                  (Mem.cas mem a ~expected:v ~desired:(Flags.clear_dirty v)))
+              if Flags.is_dirty v then clear_dirty_cas mem a v)
         words
 
 let read mem a =
@@ -95,7 +113,9 @@ let persist_range mem ~lo ~hi =
    and its counter quiescent (the previous op's apply persisted it), so
    this is one load + one counter check, counted as an elision; a dirty
    value is persisted exactly as flush-on-read would, and a tracked
-   store still in flight gets its write-back. *)
+   store still in flight gets its write-back. Under [`NoDirty] a
+   deferred final is clean but possibly unflushed — the counter check
+   catches the tracked-store case, and the clwb+fence path covers it. *)
 let persist_target mem a =
   let v = Mem.read mem a in
   let line = a / (Mem.config mem).line_words in
@@ -118,11 +138,28 @@ let flush mem a =
 
 let cas mem a ~expected ~desired =
   ignore (read mem a);
-  Mem.cas_bool mem a ~expected ~desired:(Flags.set_dirty desired)
+  match strategy mem with
+  | `NoDirty ->
+      (* Dirty-bit-free: install clean and write back unconditionally;
+         the next fence (the caller's commit point) makes it durable. *)
+      let ok = Mem.cas_bool mem a ~expected ~desired in
+      if ok then Mem.clwb mem a;
+      ok
+  | `Paper | `FewFence ->
+      Mem.cas_bool mem a ~expected ~desired:(Flags.set_dirty desired)
 
 let cas_durable mem a ~expected ~desired =
   let ok = cas mem a ~expected ~desired in
-  if ok then persist mem a (Flags.set_dirty desired);
+  if ok then begin
+    match strategy mem with
+    | `NoDirty -> persist mem a desired
+    | `Paper | `FewFence -> persist mem a (Flags.set_dirty desired)
+  end;
   ok
 
-let write mem a v = Mem.write mem a (Flags.set_dirty v)
+let write mem a v =
+  match strategy mem with
+  | `NoDirty ->
+      Mem.write mem a v;
+      Mem.clwb mem a
+  | `Paper | `FewFence -> Mem.write mem a (Flags.set_dirty v)

@@ -5,9 +5,17 @@
     the bit before using the value, so a value can never be depended upon
     before it is durable, and a durable value is never flushed twice.
 
+    Under the [`NoDirty] strategy ([Nvram.Config.strategy] of the
+    device) the dirty bit is never set: every store is installed clean
+    and written back unconditionally by its writer, so readers pay no
+    dirty-clear CAS and [persist] degenerates to clwb + fence.
+
     Words managed by this protocol must never hold descriptor pointers —
     that is [Op]'s territory. Payloads are limited to
     [Nvram.Flags.address_mask]. *)
+
+val strategy : Nvram.Mem.t -> Nvram.Config.strategy
+(** The device's commit-protocol strategy ([Mem.config]). *)
 
 val read : Nvram.Mem.t -> Nvram.Mem.addr -> int
 (** [pcas_read]: load; if dirty, persist the line and clear the bit.
@@ -19,11 +27,15 @@ val persist : Nvram.Mem.t -> Nvram.Mem.addr -> int -> unit
     with a CAS (a no-op if the word moved on — the new writer's own
     protocol covers it). Safe to call with a clean [v]. *)
 
-val persist_batch : Nvram.Mem.t -> (Nvram.Mem.addr * int) list -> unit
+val persist_batch :
+  ?fence:bool -> Nvram.Mem.t -> (Nvram.Mem.addr * int) list -> unit
 (** Persist several words with a single drain: clwb each word (the device
     coalesces words sharing a cache line), issue {e one} fence, then
     clear each dirty bit. Equivalent to [persist] on every pair but pays
-    one stall per distinct line instead of one per word. No-op on []. *)
+    one stall per distinct line instead of one per word. No-op on [].
+    [~fence:false] enqueues the write-backs and clears the dirty bits
+    without draining anything — the [--broken-fewfence] sabotage shape,
+    never to be used outside the self-tests. *)
 
 val persist_range : Nvram.Mem.t -> lo:Nvram.Mem.addr -> hi:Nvram.Mem.addr -> unit
 (** Destination pass over a node body: write back every cache line

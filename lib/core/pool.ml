@@ -746,29 +746,44 @@ let finalize_slot ?(during_recovery = false) t ~slot ~succeeded =
           vs
         end
   in
-  (* Destination-only persistence defers the apply-phase write-backs
-     (and a failed op's status persist): settle those debts now, ahead
-     of the drain below, so the durable Free can never precede them. A
-     target that no longer holds this op's final value owes nothing —
-     whoever claimed it durably sealed that value as its expected, so
-     recovery reaches it through the successor's descriptor instead. *)
-  if t.persistent && Nvram.Flit.enabled () then begin
-    let sabotaged = Nvram.Flit.sabotage_skip_destination () in
-    let lw = (Mem.config t.mem).line_words in
-    Array.iter
-      (fun e ->
-        let final = if succeeded then e.new_value else e.old_value in
-        let w = Mem.read t.mem e.addr in
-        if Flags.is_dirty w && Flags.clear_dirty w = final then begin
-          Nvram.Flit.record_destination_flush ~addr:e.addr
-            ~line:(e.addr / lw);
-          if not sabotaged then Mem.clwb t.mem e.addr
-        end
-        else Nvram.Flit.record_elided ~addr:e.addr ~line:(e.addr / lw))
-      entries;
-    let s = Mem.read t.mem (Layout.status_addr slot) in
-    if Flags.is_dirty s then Mem.clwb t.mem (Layout.status_addr slot)
-  end;
+  (* Deferred apply-phase write-backs (destination-only persistence
+     under [`Paper], always under [`NoDirty]) and a failed op's status
+     persist: settle those debts now, ahead of the drain below, so the
+     durable Free can never precede them. A target that no longer holds
+     this op's final value owes nothing — whoever claimed it durably
+     sealed that value as its expected, so recovery reaches it through
+     the successor's descriptor instead. [`Paper] detects an owed final
+     by its dirty bit; [`NoDirty] installs finals clean, so the owed
+     test is plain value equality (flushing an equal-valued successor by
+     accident is harmless — it writes back the word's current coherent
+     content). [`FewFence] owes nothing here: its commit batch already
+     drained status and finals. *)
+  (let strat = (Mem.config t.mem).strategy in
+   if
+     t.persistent
+     && (strat = `NoDirty || (strat = `Paper && Nvram.Flit.enabled ()))
+   then begin
+     let sabotaged = Nvram.Flit.sabotage_skip_destination () in
+     let lw = (Mem.config t.mem).line_words in
+     Array.iter
+       (fun e ->
+         let final = if succeeded then e.new_value else e.old_value in
+         let w = Mem.read t.mem e.addr in
+         let owed =
+           match strat with
+           | `NoDirty -> w = final
+           | _ -> Flags.is_dirty w && Flags.clear_dirty w = final
+         in
+         if owed then begin
+           Nvram.Flit.record_destination_flush ~addr:e.addr
+             ~line:(e.addr / lw);
+           if not sabotaged then Mem.clwb t.mem e.addr
+         end
+         else Nvram.Flit.record_elided ~addr:e.addr ~line:(e.addr / lw))
+       entries;
+     let s = Mem.read t.mem (Layout.status_addr slot) in
+     if Flags.is_dirty s then Mem.clwb t.mem (Layout.status_addr slot)
+   end);
   (* Drain everything still pending before the slot can return to Free:
      the policy frees marked above, and — during recovery — the rollback
      write-backs the caller enqueued. Always fenced, so the status store

@@ -17,6 +17,32 @@ let refers_to_slot lay ~slot ~k w =
      | s, k' -> s = slot && k' = k
      | exception Invalid_argument _ -> false
 
+(* [`FewFence] promote rule. An Undecided status can coexist with
+   durable phase-2 finals under the reduced-fence ordering: the decide
+   status was only clwb'd when the finals were installed, and the
+   eviction lottery can persist a dirty final while dropping the status
+   line. Plain rollback would restore only the pointer-matched words,
+   leaving such a final as a durable wrong value. When every entry word
+   is either a pointer into this slot or a dirty copy of the entry's new
+   value — the only states a crashed phase 2 can leave, given the
+   precommit fence — and at least one final actually landed, promote the
+   slot to roll-forward. Forward writes are idempotent on a
+   coincidentally equal alien value (the payload written is the payload
+   present), which is why the match is on the new value and never used
+   to write {e old} values back. Any other word means the crash predates
+   phase 2 (or an alien overwrote the target): fall back to rollback. *)
+let promote_to_forward pool mem ~lay ~slot ~count =
+  let evidence = ref false and consistent = ref true in
+  for k = 0 to count - 1 do
+    let e = Pool.read_entry pool ~slot ~k in
+    let w = Mem.read mem e.addr in
+    if refers_to_slot lay ~slot ~k w then ()
+    else if Flags.is_dirty w && Flags.clear_dirty w = Flags.clear_dirty e.new_value
+    then evidence := true
+    else consistent := false
+  done;
+  !evidence && !consistent
+
 let run ?palloc ?sharing ?(callbacks = []) mem ~base =
   let stats_sh = Mem.stats mem in
   let prev_phase = Nvram.Stats.current_phase stats_sh in
@@ -33,18 +59,31 @@ let run ?palloc ?sharing ?(callbacks = []) mem ~base =
     let status = Pool.desc_status pool ~slot in
     if status <> Layout.status_free then begin
       incr in_flight;
-      let roll_forward = status = Layout.status_succeeded in
-      if roll_forward then incr forward else incr backward;
-      if Flight.tracing () then
-        Flight.emit Flight.Recovery_phase (if roll_forward then 1 else 2) slot 0;
       let count = Mem.read mem (Layout.count_addr slot) in
       if count < 0 || count > lay.max_words then
         failwith
           (Printf.sprintf "Recovery: corrupt count %d in slot %d" count i);
+      let strat = (Mem.config mem).strategy in
+      let roll_forward =
+        status = Layout.status_succeeded
+        || strat = `FewFence
+           && status = Layout.status_undecided
+           && promote_to_forward pool mem ~lay ~slot ~count
+      in
+      if roll_forward then incr forward else incr backward;
+      if Flight.tracing () then
+        Flight.emit Flight.Recovery_phase (if roll_forward then 1 else 2) slot 0;
       for k = 0 to count - 1 do
         let e = Pool.read_entry pool ~slot ~k in
         let w = Mem.read mem e.addr in
-        if refers_to_slot lay ~slot ~k w then begin
+        let final_residue =
+          (* A promoted (or plain-forward) [`FewFence] slot may hold
+             dirty finals: rewrite them clean so no dirty residue of a
+             dead descriptor survives recovery. *)
+          strat = `FewFence && roll_forward && Flags.is_dirty w
+          && Flags.clear_dirty w = Flags.clear_dirty e.new_value
+        in
+        if refers_to_slot lay ~slot ~k w || final_residue then begin
           let v = if roll_forward then e.new_value else e.old_value in
           Mem.write mem e.addr v;
           Mem.clwb mem e.addr;

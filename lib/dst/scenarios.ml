@@ -763,3 +763,32 @@ let broken_helper_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(stride = 1)
   sabotage_selftest ~set:Op.set_sabotage_skip_precommit_flush
     ~missing:"sabotaged precommit flush was NOT detected" ~seeds ~stride ~log
     scenario
+
+let with_strategy strat f =
+  let saved = Config.default_strategy () in
+  Config.set_default_strategy strat;
+  Fun.protect ~finally:(fun () -> Config.set_default_strategy saved) f
+
+(* The strategy self-tests force the process-global default strategy
+   for the whole hunt/shrink/replay cycle: scenario devices are created
+   inside [run], so every (re-)execution — including the clean control
+   replay with the knob parked — runs under the variant whose
+   obligation the knob breaks. *)
+let broken_nodirty_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ?(stride = 1) ?(log = ignore) () =
+  let scenario = pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:4 () in
+  with_strategy `NoDirty (fun () ->
+      sabotage_selftest
+        ~set:Nvram.Strategy.set_sabotage_skip_nodirty_flush
+        ~missing:
+          "skipped unconditional flushes (nodirty sabotage) were NOT detected"
+        ~seeds ~stride ~log scenario)
+
+let broken_fewfence_selftest ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ?(stride = 1) ?(log = ignore) () =
+  let scenario = pmwcas ~threads:2 ~ops:2 ~width:2 ~addrs:4 () in
+  with_strategy `FewFence (fun () ->
+      sabotage_selftest
+        ~set:Nvram.Strategy.set_sabotage_skip_commit_fence
+        ~missing:"dropped commit fence (fewfence sabotage) was NOT detected"
+        ~seeds ~stride ~log scenario)

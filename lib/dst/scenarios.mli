@@ -150,3 +150,33 @@ val recycle_selftest :
     linearizability checker. The found token must fail under sabotage
     and pass clean, demonstrating that epoch limbo is what prevents
     reuse-under-readers. *)
+
+val with_strategy : Nvram.Config.strategy -> (unit -> 'a) -> 'a
+(** [with_strategy s f] runs [f] with the process-global default
+    commit-protocol strategy ({!Nvram.Config.set_default_strategy})
+    forced to [s], restoring the previous default afterwards. Scenario
+    devices are created inside [run], so every run/replay under the
+    wrapper executes the protocol variant [s]. *)
+
+val broken_nodirty_selftest :
+  ?seeds:int list -> ?stride:int -> ?log:(string -> unit) -> unit ->
+  (string, string) result
+(** Same shape for the [`NoDirty] strategy: under a forced [`NoDirty]
+    default, enable
+    {!Nvram.Strategy.set_sabotage_skip_nodirty_flush} — writers skip
+    the unconditional flushes that replace the dirty-bit machinery, so
+    neither phase-1 pointers nor decided statuses durably reach NVM —
+    and hunt the PMwCAS scenario for the resulting durable
+    linearizability violation. The shrunk token must fail under
+    sabotage and pass clean (still under [`NoDirty]). *)
+
+val broken_fewfence_selftest :
+  ?seeds:int list -> ?stride:int -> ?log:(string -> unit) -> unit ->
+  (string, string) result
+(** Same shape for the [`FewFence] strategy: under a forced [`FewFence]
+    default, enable {!Nvram.Strategy.set_sabotage_skip_commit_fence} —
+    the relocated commit fence is dropped, leaving an acknowledged
+    operation's status and finals pending until some unrelated fence
+    happens to drain them — and hunt for the crash window where the
+    acknowledged operation rolls back. The shrunk token must fail under
+    sabotage and pass clean (still under [`FewFence]). *)

@@ -67,41 +67,63 @@ let merge_acc a b =
   Array.iteri (fun i n -> a.a_phases.(i) <- a.a_phases.(i) + n) b.a_phases;
   a.a_failures <- a.a_failures @ b.a_failures
 
-let with_sabotaged_precommit f =
-  Pmwcas.Op.set_sabotage_skip_precommit_flush true;
-  Fun.protect ~finally:(fun () ->
-      Pmwcas.Op.set_sabotage_skip_precommit_flush false)
-    f
+(* Sabotage-knob registry. Every protocol sabotage switch the sweep
+   self-tests can arm is registered here by name, so [calibrate] can
+   park them all off for the baseline run (and restore them afterwards)
+   without enumerating each one — a knob added for a new protocol
+   variant is parked automatically. *)
+type knob = { knob_name : string; get : unit -> bool; set : bool -> unit }
 
-let with_sabotaged_drain f =
-  Nvram.Mem.set_sabotage_skip_drain true;
-  Fun.protect ~finally:(fun () -> Nvram.Mem.set_sabotage_skip_drain false) f
+let knobs : knob list ref = ref []
 
-let with_sabotaged_flit f =
-  Nvram.Flit.set_sabotage_skip_destination true;
-  Fun.protect ~finally:(fun () ->
-      Nvram.Flit.set_sabotage_skip_destination false)
-    f
+let register_knob ~name ~get ~set =
+  if List.exists (fun k -> k.knob_name = name) !knobs then
+    invalid_arg ("Crash_sweep.register_knob: duplicate knob " ^ name);
+  knobs := !knobs @ [ { knob_name = name; get; set } ]
+
+let knob_names () = List.map (fun k -> k.knob_name) !knobs
+
+let with_knob name on f =
+  match List.find_opt (fun k -> k.knob_name = name) !knobs with
+  | None -> invalid_arg ("Crash_sweep.with_knob: unknown knob " ^ name)
+  | Some k ->
+      let saved = k.get () in
+      k.set on;
+      Fun.protect ~finally:(fun () -> k.set saved) f
+
+let () =
+  register_knob ~name:"precommit"
+    ~get:Pmwcas.Op.sabotaging_skip_precommit_flush
+    ~set:Pmwcas.Op.set_sabotage_skip_precommit_flush;
+  register_knob ~name:"drain" ~get:Mem.sabotaging_skip_drain
+    ~set:Mem.set_sabotage_skip_drain;
+  register_knob ~name:"flit" ~get:Nvram.Flit.sabotage_skip_destination
+    ~set:Nvram.Flit.set_sabotage_skip_destination;
+  register_knob ~name:"nodirty"
+    ~get:Nvram.Strategy.sabotage_skip_nodirty_flush
+    ~set:Nvram.Strategy.set_sabotage_skip_nodirty_flush;
+  register_knob ~name:"fewfence"
+    ~get:Nvram.Strategy.sabotage_skip_commit_fence
+    ~set:Nvram.Strategy.set_sabotage_skip_commit_fence
+
+let with_sabotaged_precommit f = with_knob "precommit" true f
+let with_sabotaged_drain f = with_knob "drain" true f
+let with_sabotaged_flit f = with_knob "flit" true f
+let with_sabotaged_nodirty f = with_knob "nodirty" true f
+let with_sabotaged_fewfence f = with_knob "fewfence" true f
 
 (* Run once with no injection to learn the sweepable step count, and
    insist the baseline image recovers clean — a suite whose own verify
-   rejects an uncrashed run would report nonsense failures. The sabotage
-   self-test knobs are parked off for this run: calibration validates
-   the SUITE, and with destination-only persistence a sabotaged protocol
-   can leave even a completed workload non-durable — flagging that is
-   the crash points' job, not the baseline's. *)
+   rejects an uncrashed run would report nonsense failures. Every
+   registered sabotage knob is parked off for this run: calibration
+   validates the SUITE, and with destination-only persistence a
+   sabotaged protocol can leave even a completed workload non-durable —
+   flagging that is the crash points' job, not the baseline's. *)
 let calibrate spec =
-  let sab_pre = Pmwcas.Op.sabotaging_skip_precommit_flush ()
-  and sab_drain = Mem.sabotaging_skip_drain ()
-  and sab_flit = Nvram.Flit.sabotage_skip_destination () in
-  Pmwcas.Op.set_sabotage_skip_precommit_flush false;
-  Mem.set_sabotage_skip_drain false;
-  Nvram.Flit.set_sabotage_skip_destination false;
+  let saved = List.map (fun k -> (k, k.get ())) !knobs in
+  List.iter (fun k -> k.set false) !knobs;
   Fun.protect
-    ~finally:(fun () ->
-      Pmwcas.Op.set_sabotage_skip_precommit_flush sab_pre;
-      Mem.set_sabotage_skip_drain sab_drain;
-      Nvram.Flit.set_sabotage_skip_destination sab_flit)
+    ~finally:(fun () -> List.iter (fun (k, v) -> k.set v) saved)
     (fun () ->
       let r = spec.execute ~traced:false ~fuel:None in
       if r.crashed then

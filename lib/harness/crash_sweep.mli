@@ -106,6 +106,23 @@ val replay : spec -> fuel:int -> ?evict_prob:float -> ?evict_seed:int
 (** Re-run a single [(fuel, evict_seed)] point — the repro a shrunken
     failure names — and return its violations. *)
 
+val register_knob :
+  name:string -> get:(unit -> bool) -> set:(bool -> unit) -> unit
+(** Register a sabotage knob under [name]. Registered knobs are parked
+    off for every calibration run (and restored afterwards), so a
+    self-test wrapper armed around {!sweep} never poisons the baseline.
+    The builtins are ["precommit"], ["drain"], ["flit"], ["nodirty"]
+    and ["fewfence"].
+    @raise Invalid_argument on a duplicate name. *)
+
+val knob_names : unit -> string list
+(** Names of every registered knob, in registration order. *)
+
+val with_knob : string -> bool -> (unit -> 'a) -> 'a
+(** [with_knob name on f] runs [f] with knob [name] set to [on],
+    restoring its previous value afterwards.
+    @raise Invalid_argument on an unknown name. *)
+
 val with_sabotaged_precommit : (unit -> 'a) -> 'a
 (** Run [f] with {!Pmwcas.Op.set_sabotage_skip_precommit_flush} enabled,
     restoring it afterwards — the sweeper self-test: a sweep under this
@@ -126,6 +143,22 @@ val with_sabotaged_flit : (unit -> 'a) -> 'a
     reach NVM through the eviction lottery and a sweep (often the
     calibration itself) must fail. If it does not, the destination
     passes are not load-bearing. *)
+
+val with_sabotaged_nodirty : (unit -> 'a) -> 'a
+(** Run [f] with {!Nvram.Strategy.set_sabotage_skip_nodirty_flush}
+    enabled, restoring it afterwards — the [`NoDirty]-strategy
+    self-test ([--broken-nodirty]): writers skip the unconditional
+    flushes that replace the dirty-bit machinery, so neither phase-1
+    pointers nor decided statuses ever durably reach NVM and every
+    persistent suite (run under [`NoDirty]) must fail. *)
+
+val with_sabotaged_fewfence : (unit -> 'a) -> 'a
+(** Run [f] with {!Nvram.Strategy.set_sabotage_skip_commit_fence}
+    enabled, restoring it afterwards — the [`FewFence]-strategy
+    self-test ([--broken-fewfence]): the relocated commit fence is
+    dropped, so an acknowledged operation's status and finals stay
+    pending until some unrelated fence drains them, and a sweep under
+    [`FewFence] must catch the window. *)
 
 val capture_forensics :
   ?dir:string -> ?tail:int -> spec -> failure -> string * string

@@ -13,6 +13,7 @@ let protocol pool =
     max_words = l.max_words;
     async_flush = (Mem.config mem).flush_mode = Nvram.Config.Async;
     flit = Nvram.Flit.enabled ();
+    strategy = (Mem.config mem).strategy;
     is_status_addr =
       (fun a ->
         a >= l.slots_base && a < slots_end

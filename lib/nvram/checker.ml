@@ -4,6 +4,7 @@ type protocol = {
   max_words : int;
   async_flush : bool;
   flit : bool;
+  strategy : Config.strategy;
   is_status_addr : int -> bool;
   is_desc_addr : int -> bool;
   slot_of_status : int -> int;
@@ -110,13 +111,14 @@ let persist_word st a =
         fl.targets)
     st.inflight
 
-(* Flit mode: a deferred final is superseded the moment a later op
-   overwrites the word with a different value — an installer seals the
-   value it claims as its own old-field before the CAS, so recovery
-   restores the word from the successor's entry and the original flush
-   is no longer owed. *)
+(* Flit mode — and the dirty-bit-free strategy, whose clean finals are
+   deferred the same way: a deferred final is superseded the moment a
+   later op overwrites the word with a different value — an installer
+   seals the value it claims as its own old-field before the CAS, so
+   recovery restores the word from the successor's entry and the
+   original flush is no longer owed. *)
 let supersede st addr value =
-  if st.p.flit then
+  if st.p.flit || st.p.strategy = `NoDirty then
     Hashtbl.iter
       (fun _ (fl : inflight) ->
         Array.iteri
@@ -244,12 +246,23 @@ let step st (e : Trace.event) =
       else persist_line st addr
   | Read { addr; value } ->
       check_divergence st ~seq ~what:"read" addr value;
-      (* Flit mode permits unflushed journey reads: no flush-before-use
-         obligation accrues; decide-after-persist still guards the
-         destination words. *)
-      if Flags.is_dirty value && (not (p.is_desc_addr addr)) && not p.flit
+      (* The dirty-bit-free strategy's strengthened invariant: no store
+         ever sets the bit, so a dirty value anywhere — protocol word or
+         descriptor — is a protocol breach, not an obligation. *)
+      if Flags.is_dirty value && p.strategy = `NoDirty then
+        flag st seq
+          "dirty value %a observed at %d under the dirty-bit-free strategy"
+          Flags.pp value addr
+        (* Flit mode permits unflushed journey reads: no flush-before-use
+           obligation accrues; decide-after-persist still guards the
+           destination words. *)
+      else if Flags.is_dirty value && (not (p.is_desc_addr addr)) && not p.flit
       then observe_dirty st ~domain:e.domain ~seq addr
   | Write { addr; value } ->
+      if Flags.is_dirty value && p.strategy = `NoDirty then
+        flag st seq
+          "dirty value %a written to %d under the dirty-bit-free strategy"
+          Flags.pp value addr;
       if st.vol.(addr) <> value then discharge st addr;
       st.vol.(addr) <- value;
       supersede st addr value;
@@ -257,6 +270,11 @@ let step st (e : Trace.event) =
         on_recycle st ~seq addr
   | Cas { addr; expected; desired; witnessed } ->
       check_divergence st ~seq ~what:"cas" addr witnessed;
+      if Flags.is_dirty desired && p.strategy = `NoDirty then
+        flag st seq
+          "dirty value %a CAS-installed at %d under the dirty-bit-free \
+           strategy"
+          Flags.pp desired addr;
       if domain_obliged st e.domain then begin
         match first_obligation st e.domain with
         | Some (a, obs_seq) ->
@@ -269,6 +287,43 @@ let step st (e : Trace.event) =
         | None -> ()
       end;
       if witnessed = expected then begin
+        (* Decide-persist anchor on phase-2 installs: replacing a
+           descriptor pointer of a {e succeeded} op with its final value
+           requires the decided status to be durable first ([`Paper] and
+           [`NoDirty] fence it at the decide point) — except that
+           [`FewFence] relocates the anchor: the status need only be
+           clwb'd (pending) before the install, since every later fence,
+           including the op's own commit batch, drains it with the
+           finals. A failed op's rollback installs anchor nothing. *)
+        Hashtbl.iter
+          (fun slot (fl : inflight) ->
+            if
+              fl.succeeded
+              && Flags.clear_dirty expected
+                 = Flags.clear_dirty (p.desc_ptr slot)
+              (* A pointer-to-pointer CAS is the precommit dirty-clear,
+                 not a phase-2 install. *)
+              && Flags.clear_dirty desired
+                 <> Flags.clear_dirty (p.desc_ptr slot)
+            then begin
+              let durable =
+                Flags.clear_dirty st.per.(fl.status) = p.status_succeeded
+              in
+              let anchored =
+                durable
+                || p.strategy = `FewFence
+                   && Hashtbl.mem st.pending_lines (fl.status / p.line_words)
+              in
+              if not anchored then
+                flag st seq
+                  "phase-2 final %a installed at %d before the decision of \
+                   slot %d was %s (NVM status %a)"
+                  Flags.pp desired addr slot
+                  (if p.strategy = `FewFence then "written back"
+                   else "persisted")
+                  Flags.pp st.per.(fl.status)
+            end)
+          st.inflight;
         if st.vol.(addr) <> desired then discharge st addr;
         st.vol.(addr) <- desired;
         supersede st addr desired;

@@ -45,6 +45,23 @@ type protocol = {
           persist-before-recycle — still hold and are still checked;
           they are what [--broken-flit] trips. Must match
           [Flit.enabled] during the traced run. *)
+  strategy : Config.strategy;
+      (** Commit-protocol strategy of the traced device. Adjusts the
+          rule set per variant:
+          - [`Paper]: the three invariants above, plus the decide-persist
+            anchor — a succeeded op's phase-2 final is never installed
+            over its descriptor pointer before the decided status is in
+            the persistent image.
+          - [`NoDirty] strengthens: any dirty value read, written or
+            CAS-installed anywhere is a violation (so flush-before-use
+            is vacuous), and clean deferred finals supersede like flit
+            finals do.
+          - [`FewFence] relocates the decide-persist anchor: at a
+            phase-2 install the status need only be {e pending}
+            (clwb'd), because the op's commit batch — and any
+            intervening fence by a reader that persisted a dirty final —
+            drains it before anything acks. Persist-before-recycle is
+            unchanged and is what [--broken-fewfence] trips. *)
   is_status_addr : int -> bool;
   is_desc_addr : int -> bool;  (** Inside the descriptor-pool region. *)
   slot_of_status : int -> int;

@@ -1,5 +1,6 @@
 type flush_mode = Sync | Async
 type flit_gran = Word | Line
+type strategy = [ `Paper | `NoDirty | `FewFence ]
 
 type t = {
   words : int;
@@ -7,17 +8,28 @@ type t = {
   flush_delay : int;
   flush_mode : flush_mode;
   flit_gran : flit_gran;
+  strategy : strategy;
 }
 
+(* Process-global default so the many call sites that build a device
+   with [Config.make ~words ()] (scenario constructors, sweep suites,
+   tests) pick up the strategy selected at the CLI without each being
+   re-plumbed. Set only while quiesced, like [Flit.set_enabled]. *)
+let default_strategy_cell : strategy Atomic.t = Atomic.make `Paper
+let set_default_strategy s = Atomic.set default_strategy_cell s
+let default_strategy () = Atomic.get default_strategy_cell
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let make ?(line_words = 8) ?(flush_delay = 0) ?(flush_mode = Async)
-    ?(flit_gran = Word) ~words () =
+    ?(flit_gran = Word) ?strategy ~words () =
   if words <= 0 then invalid_arg "Nvram.Config.make: words <= 0";
   if not (is_pow2 line_words) then
     invalid_arg "Nvram.Config.make: line_words must be a positive power of two";
   if flush_delay < 0 then invalid_arg "Nvram.Config.make: flush_delay < 0";
-  { words; line_words; flush_delay; flush_mode; flit_gran }
+  let strategy =
+    match strategy with Some s -> s | None -> default_strategy ()
+  in
+  { words; line_words; flush_delay; flush_mode; flit_gran; strategy }
 
 let flush_mode_name = function Sync -> "sync" | Async -> "async"
 
@@ -31,4 +43,15 @@ let flit_gran_name = function Word -> "word" | Line -> "line"
 let flit_gran_of_string = function
   | "word" -> Some Word
   | "line" -> Some Line
+  | _ -> None
+
+let strategy_name = function
+  | `Paper -> "paper"
+  | `NoDirty -> "nodirty"
+  | `FewFence -> "fewfence"
+
+let strategy_of_string = function
+  | "paper" -> Some `Paper
+  | "nodirty" -> Some `NoDirty
+  | "fewfence" -> Some `FewFence
   | _ -> None

@@ -22,6 +22,31 @@ type flush_mode = Sync | Async
     "unpersisted". *)
 type flit_gran = Word | Line
 
+(** Commit-protocol strategy of the PMwCAS running on this device.
+
+    [`Paper] is the ICDE'18 protocol exactly as reproduced so far: every
+    protocol store carries a dirty bit, readers flush-on-read and clear
+    it with a CAS, and the commit ordering fences at precommit, at the
+    decide persist, and per phase-2 batch.
+
+    [`NoDirty] is the dirty-bit-free variant (Sugiura et al.,
+    arXiv:2404.01710): every protocol store is installed {e clean} and
+    flushed unconditionally by its writer, so no reader ever pays a
+    dirty-clear CAS and no dirty value is ever observable. The decide
+    status must still be durable before phase 2 applies finals.
+
+    [`FewFence] keeps the dirty bits but relocates the decide-persist
+    fence: after the decide CAS the status line is only [clwb]'d, and
+    the single fence of the phase-2 batch drains status and finals
+    together (the decide-after-persist anchor moves from the status CAS
+    to that batch fence). Journey reads must persist dirty values under
+    this strategy — a stripped dirty final could otherwise be observed
+    before the decision is durable.
+
+    The strategy is a property of the device so every pool, checker and
+    recovery pass attached to the same memory agrees on the protocol. *)
+type strategy = [ `Paper | `NoDirty | `FewFence ]
+
 type t = private {
   words : int;  (** Total capacity in 8-byte words. *)
   line_words : int;
@@ -36,6 +61,8 @@ type t = private {
   flit_gran : flit_gran;
       (** Flush-counter granularity for the destination-only persistence
           API; default [Word]. *)
+  strategy : strategy;
+      (** Commit-protocol strategy; defaults to {!default_strategy}. *)
 }
 
 val make :
@@ -43,13 +70,25 @@ val make :
   ?flush_delay:int ->
   ?flush_mode:flush_mode ->
   ?flit_gran:flit_gran ->
+  ?strategy:strategy ->
   words:int ->
   unit ->
   t
 (** @raise Invalid_argument if [words <= 0], [line_words] is not a positive
     power of two, or [flush_delay < 0]. *)
 
+val set_default_strategy : strategy -> unit
+(** Process-global default picked up by [make] when [?strategy] is
+    omitted. Flip only while every device built from it is quiesced
+    (CLI startup, between bench points): pools dispatch on their
+    device's strategy at every protocol step, and mixing strategies on
+    one device is unsound. *)
+
+val default_strategy : unit -> strategy
+
 val flush_mode_name : flush_mode -> string
 val flush_mode_of_string : string -> flush_mode option
 val flit_gran_name : flit_gran -> string
 val flit_gran_of_string : string -> flit_gran option
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy option

@@ -1,0 +1,57 @@
+(* Process-global accounting and self-test hooks for the commit-protocol
+   strategy seam. Which strategy runs is a per-device property
+   ([Config.strategy], defaulted from [Config.set_default_strategy]);
+   this module owns what is policy around it: the sabotage knobs the
+   crash-sweep self-tests arm, and the counters the metrics gate
+   requires ([strategy.counters], gated by
+   [check-metrics --require-strategy-counters]). *)
+
+(* Self-test hook ([--broken-nodirty]): armed, a [`NoDirty] commit skips
+   the unconditional pointer and status write-backs (while still
+   installing everything clean, i.e. still skipping the dirty bits), so
+   the decision and the phase-1 pointers only reach NVM through the
+   eviction lottery. Crash-sweep and DST must flag the resulting torn
+   or lost commits. *)
+let sabotage_nodirty = Atomic.make false
+let set_sabotage_skip_nodirty_flush b = Atomic.set sabotage_nodirty b
+let sabotage_skip_nodirty_flush () = Atomic.get sabotage_nodirty
+
+(* Self-test hook ([--broken-fewfence]): armed, a [`FewFence] commit
+   drops the relocated batch fence — the clwbs and the dirty-clear
+   CASes still run, so readers are told the words are durable while the
+   lines were never drained. *)
+let sabotage_fewfence = Atomic.make false
+let set_sabotage_skip_commit_fence b = Atomic.set sabotage_fewfence b
+let sabotage_skip_commit_fence () = Atomic.get sabotage_fewfence
+
+type counters = { dirty_cas : int; commit_batches : int }
+
+(* Field 0 = dirty-clear CASes issued after a persist (the per-word
+   cost [`NoDirty] eliminates), 1 = [`FewFence] combined status+finals
+   commit batches (one fence each). *)
+let counter_cells = Telemetry.Sharded.create ~fields:2
+
+let record_dirty_cas ~addr ~line =
+  Telemetry.Sharded.incr counter_cells 0;
+  if Flight.tracing () then Flight.emit Flight.Dirty_cas addr line 0
+
+let record_commit_batch ~slot ~words =
+  Telemetry.Sharded.incr counter_cells 1;
+  if Flight.tracing () then Flight.emit Flight.Commit_batch slot words 0
+
+let counters () =
+  let s = Telemetry.Sharded.sum counter_cells in
+  { dirty_cas = s 0; commit_batches = s 1 }
+
+let reset_counters () = Telemetry.Sharded.reset counter_cells
+
+let counters_to_json () =
+  let c = counters () in
+  Telemetry.Value.Obj
+    [
+      ( "strategy",
+        Telemetry.Value.String
+          (Config.strategy_name (Config.default_strategy ())) );
+      ("dirty_cas", Telemetry.Value.Int c.dirty_cas);
+      ("commit_batches", Telemetry.Value.Int c.commit_batches);
+    ]

@@ -1,0 +1,52 @@
+(** Commit-protocol strategy seam: process-global accounting and
+    self-test hooks.
+
+    The strategy itself is selected per device ({!Config.strategy},
+    usually via {!Config.set_default_strategy}); [Pmwcas.Pcas] and
+    [Pmwcas.Op] dispatch on it at every protocol step. This module
+    carries the cross-cutting pieces: the sabotage knobs the
+    [--broken-nodirty] / [--broken-fewfence] self-tests arm, and the
+    process-global counters exported to the metrics registry as the
+    [strategy.counters] source (gated by
+    [check-metrics --require-strategy-counters]). *)
+
+val set_sabotage_skip_nodirty_flush : bool -> unit
+(** Self-test hook ([--broken-nodirty]): armed, a [`NoDirty] commit
+    skips its unconditional pointer and status write-backs while still
+    skipping the dirty bits, so the decision only persists through the
+    eviction lottery. Crash-sweep and DST must detect the resulting
+    torn or lost commits. *)
+
+val sabotage_skip_nodirty_flush : unit -> bool
+
+val set_sabotage_skip_commit_fence : bool -> unit
+(** Self-test hook ([--broken-fewfence]): armed, a [`FewFence] commit
+    issues its clwbs and dirty-clear CASes but drops the relocated
+    batch fence, claiming durability for lines that were never
+    drained. *)
+
+val sabotage_skip_commit_fence : unit -> bool
+
+(** {1 Counters}
+
+    Process-global (like [Flit.counters]), summed over all domains.
+    [dirty_cas] counts dirty-clear CASes issued after persists — the
+    per-word protocol cost [`NoDirty] eliminates; [commit_batches]
+    counts [`FewFence] combined status+finals batches (one fence
+    each). *)
+
+type counters = { dirty_cas : int; commit_batches : int }
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+
+val counters_to_json : unit -> Telemetry.Value.t
+(** [{strategy; dirty_cas; commit_batches}] where [strategy] is the
+    process-default strategy name. *)
+
+val record_dirty_cas : addr:int -> line:int -> unit
+(** Count (and, when the flight recorder is on, emit a [Dirty_cas]
+    instant for) one dirty-clear CAS. *)
+
+val record_commit_batch : slot:int -> words:int -> unit
+(** Count one [`FewFence] commit batch ([Commit_batch] instant). *)

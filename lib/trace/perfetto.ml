@@ -44,6 +44,7 @@ let cat_of = function
   | Help_edge -> "help"
   | Clwb | Flush_elided | Fence | Drain -> "nvram"
   | Flit_elide | Flit_dest_flush -> "nvram"
+  | Dirty_cas | Commit_batch -> "strategy"
   | Epoch_enter | Epoch_advance | Epoch_defer | Epoch_free -> "epoch"
   | Palloc_carve | Palloc_steal -> "palloc"
   | Desc_alloc | Desc_retire -> "desc"

@@ -33,6 +33,8 @@ type kind =
   | Recovery_phase
   | Flit_elide
   | Flit_dest_flush
+  | Dirty_cas
+  | Commit_batch
 
 let all_kinds =
   [|
@@ -40,7 +42,7 @@ let all_kinds =
     Rdcss_install; Help_edge; Clwb; Flush_elided; Fence; Drain; Epoch_enter;
     Epoch_advance; Epoch_defer; Epoch_free; Palloc_carve; Palloc_steal;
     Desc_alloc; Desc_retire; Batch_open; Batch_commit; Recovery_phase;
-    Flit_elide; Flit_dest_flush;
+    Flit_elide; Flit_dest_flush; Dirty_cas; Commit_batch;
   |]
 
 let kind_to_int = function
@@ -69,6 +71,8 @@ let kind_to_int = function
   | Recovery_phase -> 22
   | Flit_elide -> 23
   | Flit_dest_flush -> 24
+  | Dirty_cas -> 25
+  | Commit_batch -> 26
 
 let kind_of_int i =
   if i >= 0 && i < Array.length all_kinds then Some all_kinds.(i) else None
@@ -99,6 +103,8 @@ let kind_name = function
   | Recovery_phase -> "recovery_phase"
   | Flit_elide -> "flit_elide"
   | Flit_dest_flush -> "flit_dest_flush"
+  | Dirty_cas -> "dirty_cas"
+  | Commit_batch -> "commit_batch"
 
 let op_mwcas = 0
 let op_sl_insert = 1
@@ -342,6 +348,8 @@ let arg_names = function
   | Help_edge -> ("owner", "slot", "depth")
   | Clwb | Flush_elided -> ("addr", "line", "")
   | Flit_elide | Flit_dest_flush -> ("addr", "line", "")
+  | Dirty_cas -> ("addr", "line", "")
+  | Commit_batch -> ("slot", "words", "")
   | Fence -> ("drained", "", "")
   | Drain -> ("line", "", "")
   | Epoch_enter | Epoch_defer -> ("epoch", "", "")

@@ -41,7 +41,12 @@
     - [Flit_elide]/[Flit_dest_flush]: address, cache line, 0 — a
       destination-persist pass that skipped an already-durable granule
       vs one that issued a real write-back, so Perfetto shows the
-      journey/destination split of the FliT mode *)
+      journey/destination split of the FliT mode
+    - [Dirty_cas]: address, cache line, 0 — a dirty-clear CAS issued
+      after a persist (the per-word cost the [`NoDirty] strategy
+      eliminates)
+    - [Commit_batch]: descriptor slot, word count, 0 — the [`FewFence]
+      combined status+finals persist batch (one fence for both) *)
 type kind =
   | Op_begin
   | Op_end
@@ -68,6 +73,8 @@ type kind =
   | Recovery_phase
   | Flit_elide
   | Flit_dest_flush
+  | Dirty_cas
+  | Commit_batch
 
 val kind_name : kind -> string
 val kind_to_int : kind -> int

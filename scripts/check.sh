@@ -22,7 +22,8 @@ echo "== telemetry smoke (with flush-coalescing + allocator + store + flit gates
 dune exec bench/main.exe -- smoke --metrics /tmp/telemetry_smoke.json
 dune exec bin/pmwcas_cli.exe -- check-metrics --require-coalescing \
   --require-alloc-counters --require-store-counters \
-  --require-flit-counters /tmp/telemetry_smoke.json
+  --require-flit-counters --require-strategy-counters \
+  /tmp/telemetry_smoke.json
 
 echo "== trace smoke (flight recorder + Perfetto export round-trip)"
 dune exec bench/main.exe -- smoke --trace /tmp/trace_smoke.json \
@@ -74,6 +75,22 @@ dune exec bin/pmwcas_cli.exe -- crash-sweep --suite skiplist --budget 40 \
 dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bwtree --budget 6 \
   --seeds 1 --broken-flit
 
+echo "== crash-sweep per-strategy smoke (nodirty + fewfence sweep clean)"
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 60 \
+  --seeds 1 --strategy nodirty
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 60 \
+  --seeds 1 --strategy fewfence
+
+echo "== crash-sweep broken-strategy self-tests"
+# nodirty without its unconditional flushes persists nothing reliably:
+# like --sabotage-drain, every suite must notice.
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 40 \
+  --seeds 1 --broken-nodirty
+# fewfence without its relocated commit fence only loses the narrow
+# ack-to-next-fence window: like --sabotage, detected and shrunk.
+dune exec bin/pmwcas_cli.exe -- crash-sweep --suite bank --budget 48 \
+  --seeds 1 --broken-fewfence --artifacts none
+
 echo "== dst smoke (scheduler + linearizability checker)"
 dune exec bin/pmwcas_cli.exe -- dst --strategy random --seeds 3
 dune exec bin/pmwcas_cli.exe -- dst --strategy pct --seeds 2
@@ -114,5 +131,29 @@ if dune exec bin/pmwcas_cli.exe -- dst --threads 2 --ops 4 --width 2 \
 fi
 dune exec bin/pmwcas_cli.exe -- dst --threads 2 --ops 4 --width 2 --addrs 3 \
   --replay "$rtoken"
+
+echo "== dst broken-nodirty self-test (unconditional flushes load-bearing)"
+dune exec bin/pmwcas_cli.exe -- dst --broken-nodirty > /tmp/dst_nodirty.out
+cat /tmp/dst_nodirty.out
+ntoken=$(sed -n 's/^token: //p' /tmp/dst_nodirty.out)
+test -n "$ntoken" || { echo "FAIL: nodirty self-test printed no token"; exit 1; }
+# --sabotage-nodirty forces the strategy and arms the knob; the shrunk
+# token must still fail armed (exit 1) and be clean under plain nodirty.
+if dune exec bin/pmwcas_cli.exe -- dst --replay "$ntoken" \
+  --sabotage-nodirty; then
+  echo "FAIL: sabotage-nodirty replay of $ntoken exited 0"; exit 1
+fi
+dune exec bin/pmwcas_cli.exe -- dst --protocol nodirty --replay "$ntoken"
+
+echo "== dst broken-fewfence self-test (relocated commit fence load-bearing)"
+dune exec bin/pmwcas_cli.exe -- dst --broken-fewfence > /tmp/dst_fewfence.out
+cat /tmp/dst_fewfence.out
+ftoken=$(sed -n 's/^token: //p' /tmp/dst_fewfence.out)
+test -n "$ftoken" || { echo "FAIL: fewfence self-test printed no token"; exit 1; }
+if dune exec bin/pmwcas_cli.exe -- dst --replay "$ftoken" \
+  --sabotage-fewfence; then
+  echo "FAIL: sabotage-fewfence replay of $ftoken exited 0"; exit 1
+fi
+dune exec bin/pmwcas_cli.exe -- dst --protocol fewfence --replay "$ftoken"
 
 echo "check: all green"

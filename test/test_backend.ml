@@ -247,6 +247,7 @@ let hand_protocol =
     max_words = 4;
     async_flush = false;
     flit = false;
+    strategy = `Paper;
     is_status_addr = (fun _ -> false);
     is_desc_addr = (fun a -> a < 8);
     slot_of_status = Fun.id;

@@ -492,6 +492,106 @@ let recovery_tests =
           ]);
   ]
 
+(* {1 Cross-strategy differential replay} *)
+
+let all_strategies : Nvram.Config.strategy list =
+  [ `Paper; `NoDirty; `FewFence ]
+
+let strategy_label s = Nvram.Config.strategy_name s
+
+let differential_tests =
+  [
+    Alcotest.test_case
+      "one schedule token, three strategies, all durably linearizable" `Quick
+      (fun () ->
+        (* Derive a schedule token from a completed run under the paper
+           protocol, then replay the SAME token — full and at crash
+           points — under every strategy. Each variant performs a
+           different number of device operations, so the prefix maps to
+           a different interleaving past its end (Prefix falls back to
+           the default pick), but every replay must still be durably
+           linearizable against its own history. *)
+        let scenario () = Scenarios.skiplist ~threads:2 ~ops:3 ~keys:4 () in
+        let token =
+          Scenarios.with_strategy `Paper (fun () ->
+              let sc = scenario () in
+              let full = run_random sc 2 in
+              check_ok "paper full run" full.verdict;
+              Scenarios.shrink_token sc
+                (Scenarios.encode_token ~schedule:full.outcome.schedule
+                   ~crash:None))
+        in
+        List.iter
+          (fun strat ->
+            Scenarios.with_strategy strat (fun () ->
+                let r = Scenarios.replay (scenario ()) token in
+                check_ok (strategy_label strat ^ " full replay") r.verdict;
+                List.iter
+                  (fun at ->
+                    let crashing =
+                      Printf.sprintf "%s/c%de1p30" token at
+                    in
+                    let r = Scenarios.replay (scenario ()) crashing in
+                    check_ok
+                      (Printf.sprintf "%s crash at %d" (strategy_label strat)
+                         at)
+                      r.verdict)
+                  [ 40; 120; 280 ]))
+          all_strategies);
+    Alcotest.test_case
+      "sequential KV history recovers to the identical state everywhere"
+      `Quick (fun () ->
+        (* One thread, fixed seed: the op sequence and hence the model's
+           final KV state are strategy-independent. Run it to completion
+           under each strategy, recover the crash image of the finished
+           run, and demand the recovered key-value contents agree across
+           all three variants bit for bit. *)
+        let module Pm = Skiplist.Pm in
+        let threads = 1 and ops = 10 and keys = 5 in
+        let align8 a = (a + 7) / 8 * 8 in
+        (* Mirrors Scenarios.skiplist's region plan. *)
+        let max_threads = threads + 1 in
+        let heap_base =
+          align8 (Pmwcas.Pool.region_words ~max_threads ())
+        in
+        let heap_words = 1 lsl 13 in
+        let anchor = align8 (heap_base + heap_words) in
+        let final_state strat =
+          Scenarios.with_strategy strat (fun () ->
+              let sc = Scenarios.skiplist ~threads ~ops ~keys () in
+              let r = run_random sc 5 in
+              check_ok (strategy_label strat ^ " sequential run") r.verdict;
+              let img = Mem.crash_image r.mem in
+              let palloc, _ =
+                Palloc.recover img ~base:heap_base ~words:heap_words
+                  ~max_threads
+              in
+              let pool, _ = Pmwcas.Recovery.run ~palloc img ~base:0 in
+              let sl = Pm.attach ~pool ~palloc ~anchor in
+              let h = Pm.register ~seed:42 sl in
+              let state =
+                List.init keys (fun k -> (k + 1, Pm.find h ~key:(k + 1)))
+              in
+              Pm.unregister h;
+              state)
+        in
+        let reference = final_state `Paper in
+        Alcotest.(check bool) "paper state is non-trivial" true
+          (List.exists (fun (_, v) -> v <> None) reference);
+        List.iter
+          (fun strat ->
+            let state = final_state strat in
+            List.iter2
+              (fun (k, vp) (k', v) ->
+                Alcotest.(check int) "same key" k k';
+                Alcotest.(check (option int))
+                  (Printf.sprintf "%s key %d matches paper"
+                     (strategy_label strat) k)
+                  vp v)
+              reference state)
+          [ `NoDirty; `FewFence ]);
+  ]
+
 (* {1 Broken-helper self-test} *)
 
 let selftest_tests =
@@ -519,6 +619,27 @@ let selftest_tests =
         with
         | Ok _token -> ()
         | Error reason -> Alcotest.fail reason);
+    Alcotest.test_case "nodirty sabotage caught; flushes load-bearing" `Quick
+      (fun () ->
+        match
+          Scenarios.broken_nodirty_selftest ~seeds:[ 1; 2; 3; 4 ] ~stride:2 ()
+        with
+        | Ok token ->
+            let _, crash = Scenarios.decode_token token in
+            Alcotest.(check bool) "token has a crash point" true
+              (crash <> None)
+        | Error reason -> Alcotest.fail reason);
+    Alcotest.test_case "fewfence sabotage caught; commit fence load-bearing"
+      `Quick (fun () ->
+        match
+          Scenarios.broken_fewfence_selftest ~seeds:[ 1; 2; 3; 4 ] ~stride:2
+            ()
+        with
+        | Ok token ->
+            let _, crash = Scenarios.decode_token token in
+            Alcotest.(check bool) "token has a crash point" true
+              (crash <> None)
+        | Error reason -> Alcotest.fail reason);
   ]
 
 let () =
@@ -529,5 +650,6 @@ let () =
       ("checker", checker_tests);
       ("scenarios", scenario_tests);
       ("recovery", recovery_tests);
+      ("differential", differential_tests);
       ("selftest", selftest_tests);
     ]

@@ -1050,6 +1050,108 @@ let prop_all_or_nothing =
       done;
       !ok)
 
+(* Commit-protocol strategy variants: the flag algebra is identical for
+   all three, but each dictates which words ever carry the dirty bit. *)
+let with_strategy strat f =
+  let saved = Nvram.Config.default_strategy () in
+  Nvram.Config.set_default_strategy strat;
+  Fun.protect ~finally:(fun () -> Nvram.Config.set_default_strategy saved) f
+
+let prop_flags_per_strategy =
+  QCheck.Test.make ~count:120
+    ~name:"flag round trips and store discipline hold under every strategy"
+    QCheck.(pair (int_bound 0x3FFF_FFFF) (int_bound 2))
+    (fun (v, si) ->
+      let strat = List.nth [ `Paper; `NoDirty; `FewFence ] si in
+      with_strategy strat (fun () ->
+          let algebra =
+            Flags.clear_dirty (Flags.set_dirty v) = v
+            && Flags.is_dirty (Flags.set_dirty v)
+            && (not (Flags.is_dirty (Flags.clear_dirty (Flags.set_dirty v))))
+            && Flags.clear_dirty v = Flags.clear_dirty (Flags.clear_dirty v)
+          in
+          (* A protocol store observes the strategy's dirty discipline
+             and always reads back the payload: [`Paper]/[`FewFence]
+             install dirty, [`NoDirty] installs clean with the write-back
+             already enqueued — durable at the next fence with no
+             per-word dirty handling. *)
+          let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+          Pcas.write mem 0 v;
+          let raw = Mem.read mem 0 in
+          let discipline =
+            match strat with
+            | `NoDirty -> not (Flags.is_dirty raw)
+            | `Paper | `FewFence -> Flags.is_dirty raw
+          in
+          let read_back = Pcas.read mem 0 = v in
+          let clean_after = not (Flags.is_dirty (Mem.read mem 0)) in
+          Mem.fence mem;
+          algebra && discipline && read_back && clean_after
+          && Flags.clear_dirty (Mem.read_persistent mem 0) = v))
+
+let strategy_tests =
+  [
+    Alcotest.test_case
+      "persist_batch under nodirty: no dirty-clear CAS, still one fence"
+      `Quick (fun () ->
+        with_strategy `NoDirty (fun () ->
+            let mem = Mem.create (Nvram.Config.make ~words:64 ()) in
+            (* [`NoDirty] protocol stores install clean values, so the
+               batch's dirty checks all skip their CAS — the whole batch
+               degenerates to clwbs plus the single fence. *)
+            Pcas.write mem 0 7;
+            Pcas.write mem 9 8;
+            Pcas.write mem 17 9;
+            Nvram.Strategy.reset_counters ();
+            let s0 = Nvram.Stats.snapshot (Mem.stats mem) in
+            Pcas.persist_batch mem
+              [ (0, Mem.read mem 0); (9, Mem.read mem 9); (17, Mem.read mem 17) ];
+            let s1 = Nvram.Stats.snapshot (Mem.stats mem) in
+            let c = Nvram.Strategy.counters () in
+            Alcotest.(check int) "no dirty-clear CAS counted" 0
+              c.Nvram.Strategy.dirty_cas;
+            Alcotest.(check int) "no CAS hit the device" 0 (s1.cases - s0.cases);
+            Alcotest.(check int) "one fence drains the batch" 1
+              (s1.fences - s0.fences);
+            Alcotest.(check int) "payloads durable" (7 + 8 + 9)
+              (Flags.clear_dirty (Mem.read_persistent mem 0)
+              + Flags.clear_dirty (Mem.read_persistent mem 9)
+              + Flags.clear_dirty (Mem.read_persistent mem 17))));
+    Alcotest.test_case "paper persist_batch still pays the dirty-clear CASes"
+      `Quick (fun () ->
+        (* Contrast case for the one above: same shape of batch, default
+           [`Paper] strategy, one dirty-clear CAS per distinct address,
+           and the [strategy.counters] source sees them. *)
+        with_strategy `Paper (fun () ->
+            let mem = Mem.create (Nvram.Config.make ~words:64 ()) in
+            Pcas.write mem 0 7;
+            Pcas.write mem 9 8;
+            Nvram.Strategy.reset_counters ();
+            let s0 = Nvram.Stats.snapshot (Mem.stats mem) in
+            Pcas.persist_batch mem [ (0, Mem.read mem 0); (9, Mem.read mem 9) ];
+            let s1 = Nvram.Stats.snapshot (Mem.stats mem) in
+            let c = Nvram.Strategy.counters () in
+            Alcotest.(check int) "one dirty-clear CAS per addr" 2
+              c.Nvram.Strategy.dirty_cas;
+            Alcotest.(check int) "device saw both CASes" 2
+              (s1.cases - s0.cases);
+            Alcotest.(check int) "one fence drains the batch" 1
+              (s1.fences - s0.fences)));
+    Alcotest.test_case "cas under nodirty installs clean and writes back"
+      `Quick (fun () ->
+        with_strategy `NoDirty (fun () ->
+            let mem = Mem.create (Nvram.Config.make ~words:16 ()) in
+            Alcotest.(check bool) "cas succeeds" true
+              (Pcas.cas mem 0 ~expected:0 ~desired:5);
+            Alcotest.(check bool) "installed clean" false
+              (Flags.is_dirty (Mem.read mem 0));
+            (* The clwb is enqueued but not yet drained: a fence makes it
+               durable with no further per-word work. *)
+            Mem.fence mem;
+            Alcotest.(check int) "durable after the next fence" 5
+              (Flags.clear_dirty (Mem.read_persistent mem 0))));
+  ]
+
 (* Header sizing, short-cache-line durability and attach validation. *)
 let header_tests =
   [
@@ -1307,7 +1409,12 @@ let () =
       ("policies", policy_tests);
       ("concurrency", concurrency_tests);
       ("recovery", recovery_tests);
+      ("strategy", strategy_tests);
       ("header", header_tests);
       ("recovery-edge", recovery_edge_tests);
-      ("properties", [ QCheck_alcotest.to_alcotest prop_all_or_nothing ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_all_or_nothing;
+          QCheck_alcotest.to_alcotest prop_flags_per_strategy;
+        ] );
     ]

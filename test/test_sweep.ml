@@ -83,6 +83,52 @@ let sweep_tests =
         (* The knob is restored: the same workload sweeps clean again. *)
         check_clean "bank after sabotage"
           (Cs.sweep ~budget:20 ~evict_seeds:[ 1 ] (bank_small ())));
+    Alcotest.test_case "calibration parks every registered sabotage knob"
+      `Quick (fun () ->
+        (* Regression for the knob registry: calibration used to park a
+           hand-maintained list of knobs, so a newly added sabotage mode
+           silently poisoned the baseline run (and with it every fuel
+           value of the sweep). Now any registered knob — including ones
+           the harness has never heard of — must be off during the
+           calibration run and restored afterwards. *)
+        List.iter
+          (fun builtin ->
+            Alcotest.(check bool)
+              (builtin ^ " knob registered")
+              true
+              (List.mem builtin (Cs.knob_names ())))
+          [ "precommit"; "drain"; "flit"; "nodirty"; "fewfence" ];
+        let armed = ref false in
+        let sets = ref [] in
+        (* Uses the test-only knob registered below if a previous run of
+           this binary already added it (Alcotest can re-run cases). *)
+        if not (List.mem "test-dummy" (Cs.knob_names ())) then
+          Cs.register_knob ~name:"test-dummy"
+            ~get:(fun () -> !armed)
+            ~set:(fun v ->
+              sets := v :: !sets;
+              armed := v);
+        (try
+           Cs.register_knob ~name:"test-dummy" ~get:(fun () -> false)
+             ~set:ignore;
+           Alcotest.fail "duplicate knob registration was accepted"
+         with Invalid_argument _ -> ());
+        Cs.with_knob "test-dummy" true (fun () ->
+            Alcotest.(check bool) "armed inside with_knob" true !armed;
+            (* A sweep calibrates first: the dummy knob must be parked
+               off for the baseline, then restored for the sweep body —
+               since the dummy sabotages nothing, the sweep stays
+               clean either way, but the knob state must round-trip. *)
+            sets := [];
+            let s = Cs.sweep ~budget:6 ~evict_seeds:[ 1 ] (bank_small ()) in
+            check_clean "sweep under dummy knob" s;
+            Alcotest.(check bool) "knob restored after calibration" true
+              !armed;
+            (* Oldest-first set history: calibration parked the knob off,
+               then put it back. *)
+            Alcotest.(check (list bool)) "parked off, then restored"
+              [ false; true ] (List.rev !sets));
+        Alcotest.(check bool) "knob restored after with_knob" false !armed);
   ]
 
 let () = Alcotest.run "sweep" [ ("sweep", sweep_tests) ]
